@@ -1,0 +1,87 @@
+//! One benchmark per paper artifact. Each prints the regenerated headline
+//! rows once (outside the timing loop), then times the regeneration.
+
+use adaptive_clock_bench::headline;
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::config::PaperParams;
+use experiments::{constraints, fig2, fig7, fig8, fig9, table1, worked};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    println!("{}", table1::render());
+    c.bench_function("table1/render", |b| b.iter(|| black_box(table1::render())));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    headline(&fig2::run(4.0, 101));
+    c.bench_function("fig2/series-401pts", |b| {
+        b.iter(|| black_box(fig2::run(4.0, 401)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let params = PaperParams::default();
+    for te in fig7::PANELS {
+        let r = fig7::run_panel(&params, te);
+        headline(&r);
+        for (label, m) in fig7::panel_margins(&r) {
+            println!("    margin[{label}] = {m:.2} stages");
+        }
+    }
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("panel-te37.5c", |b| {
+        b.iter(|| black_box(fig7::run_panel(&params, 37.5)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let params = PaperParams::default();
+    headline(&fig8::run_upper(&params, 9));
+    headline(&fig8::run_lower(&params, 9));
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("upper-9pts", |b| {
+        b.iter(|| black_box(fig8::run_upper(&params, 9)))
+    });
+    g.bench_function("lower-9pts", |b| {
+        b.iter(|| black_box(fig8::run_lower(&params, 9)))
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let params = PaperParams::default();
+    headline(&fig9::run_panel(&params, 1.0, 37.5, 9));
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("panel-tclk1c-te37.5c-9mu", |b| {
+        b.iter(|| black_box(fig9::run_panel(&params, 1.0, 37.5, 9)))
+    });
+    g.finish();
+}
+
+fn bench_worked(c: &mut Criterion) {
+    println!("{}", worked::render(&worked::run()));
+    c.bench_function("worked-examples", |b| b.iter(|| black_box(worked::run())));
+}
+
+fn bench_constraints(c: &mut Criterion) {
+    println!("{}", constraints::render(&constraints::run(30)));
+    c.bench_function("constraints/stability-scan-30", |b| {
+        b.iter(|| black_box(constraints::run(30)))
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig2,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_worked,
+    bench_constraints
+);
+criterion_main!(figures);

@@ -1,0 +1,246 @@
+//! Multi-domain studies: several clock domains, each with its own clock
+//! generator and clock-tree depth, exposed to the same die-wide variation.
+//!
+//! The paper's conclusions tie adaptive-clock viability to *clock domain
+//! size* (through the CDN delay). This module makes that quantitative: the
+//! same perturbation is survivable in a small domain and ruinous in a large
+//! one, so a die partitioned into more, smaller adaptive domains tolerates
+//! faster variations — at the cost of more clock generators and inter-domain
+//! asynchrony (quantified here as the spread of mean periods).
+
+use variation::sources::Waveform;
+
+use crate::system::{RunTrace, System};
+
+/// A named clock domain.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    /// Human-readable name.
+    pub name: String,
+    /// The domain's clock generation system.
+    pub system: System,
+}
+
+impl Domain {
+    /// A named domain around a system.
+    pub fn new(name: impl Into<String>, system: System) -> Self {
+        Domain {
+            name: name.into(),
+            system,
+        }
+    }
+}
+
+/// Per-domain outcome of a multi-domain run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainReport {
+    /// Domain name.
+    pub name: String,
+    /// Safety margin the domain needs (stages).
+    pub required_margin: f64,
+    /// Mean generated period (stages).
+    pub mean_period: f64,
+    /// Timing violations at the domain's own set-point.
+    pub violations: usize,
+}
+
+/// Aggregate of a multi-domain run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiDomainReport {
+    /// Per-domain results, in registration order.
+    pub domains: Vec<DomainReport>,
+}
+
+impl MultiDomainReport {
+    /// The largest per-domain margin — what the whole die must budget if
+    /// domains share a voltage/frequency contract.
+    pub fn worst_margin(&self) -> f64 {
+        self.domains
+            .iter()
+            .map(|d| d.required_margin)
+            .fold(0.0, f64::max)
+    }
+
+    /// Spread of mean periods across domains (max − min): a proxy for the
+    /// asynchrony that inter-domain communication must absorb.
+    pub fn period_spread(&self) -> f64 {
+        let lo = self
+            .domains
+            .iter()
+            .map(|d| d.mean_period)
+            .fold(f64::MAX, f64::min);
+        let hi = self
+            .domains
+            .iter()
+            .map(|d| d.mean_period)
+            .fold(f64::MIN, f64::max);
+        if self.domains.is_empty() {
+            0.0
+        } else {
+            hi - lo
+        }
+    }
+
+    /// Look up one domain's report by name.
+    pub fn domain(&self, name: &str) -> Option<&DomainReport> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+}
+
+/// A set of clock domains simulated under one shared variation.
+///
+/// # Example
+///
+/// ```
+/// use adaptive_clock::domains::{Domain, MultiDomain};
+/// use adaptive_clock::system::SystemBuilder;
+/// use variation::sources::NoVariation;
+///
+/// # fn main() -> Result<(), adaptive_clock::Error> {
+/// let md = MultiDomain::new()
+///     .with(Domain::new("cpu", SystemBuilder::new(64).build()?))
+///     .with(Domain::new("gpu", SystemBuilder::new(64).cdn_delay(128.0).build()?));
+/// let report = md.run(&NoVariation, 500, 100);
+/// assert_eq!(report.domains.len(), 2);
+/// assert_eq!(report.worst_margin(), 0.0); // quiet world, no margin needed
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct MultiDomain {
+    domains: Vec<Domain>,
+}
+
+impl MultiDomain {
+    /// An empty multi-domain set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a domain; returns `self` for chaining.
+    #[must_use]
+    pub fn with(mut self, domain: Domain) -> Self {
+        self.domains.push(domain);
+        self
+    }
+
+    /// Number of registered domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when no domains are registered.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Run every domain for `n_samples` delivered periods under the shared
+    /// waveform, discarding `warmup` samples before scoring.
+    pub fn run<W: Waveform + Sync + ?Sized>(
+        &self,
+        e: &W,
+        n_samples: usize,
+        warmup: usize,
+    ) -> MultiDomainReport {
+        let domains = self
+            .domains
+            .iter()
+            .map(|d| {
+                let run: RunTrace = d.system.run(e, n_samples).skip(warmup);
+                DomainReport {
+                    name: d.name.clone(),
+                    required_margin: run.worst_negative_error(),
+                    mean_period: run.mean_period(),
+                    violations: run.violations(0.0),
+                }
+            })
+            .collect();
+        MultiDomainReport { domains }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{Scheme, SystemBuilder};
+    use variation::sources::Harmonic;
+
+    fn domain(name: &str, t_clk: f64) -> Domain {
+        Domain::new(
+            name,
+            SystemBuilder::new(64)
+                .cdn_delay(t_clk)
+                .scheme(Scheme::FreeRo { extra_length: 0 })
+                .build()
+                .expect("valid"),
+        )
+    }
+
+    #[test]
+    fn small_domain_tolerates_faster_variation() {
+        // Fast HoDV: Te = 8c. Small domain t_clk = 0.25c, large t_clk = 4c
+        // (= Te/2, the Eq. 2 worst case).
+        let md = MultiDomain::new()
+            .with(domain("small", 16.0))
+            .with(domain("large", 256.0));
+        let e = Harmonic::new(6.4, 8.0 * 64.0, 0.0);
+        let rep = md.run(&e, 6000, 500);
+        let small = rep.domain("small").expect("registered").required_margin;
+        let large = rep.domain("large").expect("registered").required_margin;
+        assert!(
+            small < 0.6 * large,
+            "small domain margin {small} vs large {large}"
+        );
+        assert_eq!(rep.worst_margin(), large.max(small));
+    }
+
+    #[test]
+    fn period_spread_reflects_domain_conditions() {
+        // Two IIR domains with different static sensor mismatches settle at
+        // different mean periods; the spread reports the asynchrony.
+        let mk = |name: &str, mu: f64| {
+            Domain::new(
+                name,
+                SystemBuilder::new(64)
+                    .cdn_delay(64.0)
+                    .scheme(Scheme::iir_paper())
+                    .single_sensor_mu(mu)
+                    .build()
+                    .expect("valid"),
+            )
+        };
+        let md = MultiDomain::new().with(mk("hot", -8.0)).with(mk("cool", 0.0));
+        let rep = md.run(&variation::sources::NoVariation, 3000, 1500);
+        // hot domain stretches its RO by ~8 stages
+        let spread = rep.period_spread();
+        assert!(
+            (spread - 8.0).abs() < 1.5,
+            "expected ≈ 8 stages of spread, got {spread}"
+        );
+    }
+
+    #[test]
+    fn empty_set_is_harmless() {
+        let md = MultiDomain::new();
+        assert!(md.is_empty());
+        let rep = md.run(&variation::sources::NoVariation, 10, 0);
+        assert_eq!(rep.domains.len(), 0);
+        assert_eq!(rep.worst_margin(), 0.0);
+        assert_eq!(rep.period_spread(), 0.0);
+        assert!(rep.domain("x").is_none());
+    }
+
+    #[test]
+    fn registration_order_preserved() {
+        let md = MultiDomain::new()
+            .with(domain("a", 16.0))
+            .with(domain("b", 32.0));
+        assert_eq!(md.len(), 2);
+        let rep = md.run(&variation::sources::NoVariation, 100, 0);
+        assert_eq!(rep.domains[0].name, "a");
+        assert_eq!(rep.domains[1].name, "b");
+        for d in &rep.domains {
+            assert_eq!(d.violations, 0);
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The Fig. 4 loop assembled as a [`dtsim`] block diagram.
+//!
+//! This module exists for two reasons. First, it demonstrates that the
+//! `dtsim` engine (our Simulink substitute) can express the paper's model
+//! the way the authors built it — as a wired diagram of sums, delays and a
+//! control block. Second, it provides a third, independently-constructed
+//! implementation of the loop that the tests compare sample-for-sample
+//! against [`crate::loopsim`], catching index-arithmetic mistakes in either.
+//!
+//! Diagram (fixed whole-period CDN delay `M`):
+//!
+//! ```text
+//!  c ──────────────────────────────►(+)
+//!  e ──► z⁻¹ ─────────────────────►(−)  δ ──► control ──► z^{M+2} ┐
+//!  e ──► z^{M+2} ─────────────────►(+)◄──────────────────────────┘
+//!  μ ──► z^{M+2} ─────────────────►(+)   (sum feeds back as τ)
+//! ```
+
+use dtsim::blocks::{
+    DelayN, FunctionSource, Gain, Probe, StatefulFnBlock, Sum, TappedDelayLine, UnitDelay,
+};
+use dtsim::{GraphBuilder, Simulation};
+
+use crate::controller::{Controller, IirConfig};
+use crate::error::Error;
+
+/// Signal names of the probes installed by the model builders.
+pub mod probes {
+    /// TDC reading `τ[n]`.
+    pub const TAU: &str = "probe_tau";
+    /// Adaptation error `δ[n]`.
+    pub const DELTA: &str = "probe_delta";
+    /// RO length `l_RO[n]`.
+    pub const LRO: &str = "probe_lro";
+    /// Output of the Fig. 5 IIR diagram.
+    pub const FIG5_OUT: &str = "probe_fig5_y";
+}
+
+/// Build the paper's Fig. 4 loop as a `dtsim` [`Simulation`].
+///
+/// * `m` — CDN delay in whole periods;
+/// * `controller` — any [`Controller`]; it is wrapped in a non-feedthrough
+///   stateful block (output = current length, update = consume `δ[n]`),
+///   which realizes the control block's `z⁻¹`;
+/// * `setpoint`, `homogeneous`, `heterogeneous` — input sequences indexed
+///   by simulation time (one step = one period; the model is queried at
+///   integer times starting from 0).
+///
+/// Probes named per [`probes`] record `τ`, `δ` and `l_RO`.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors from `dtsim` (these indicate a bug
+/// in this module rather than bad user input).
+pub fn build_fig4_model(
+    m: usize,
+    controller: Box<dyn Controller>,
+    setpoint: impl Fn(f64) -> f64 + 'static,
+    homogeneous: impl Fn(f64) -> f64 + 'static,
+    heterogeneous: impl Fn(f64) -> f64 + 'static,
+) -> Result<Simulation, dtsim::Error> {
+    let mut g = GraphBuilder::new();
+    let depth = m + 2;
+    let initial_len = controller.length();
+
+    let c_src = g.add(FunctionSource::new("c", setpoint));
+    let e_src = g.add(FunctionSource::new("e", homogeneous));
+    let mu_src = g.add(FunctionSource::new("mu", heterogeneous));
+
+    // Control block: output phase emits l_RO[n], update phase consumes δ[n]
+    // and computes l_RO[n+1] — a non-feedthrough block, exactly the z⁻¹
+    // the paper draws after H(z).
+    let ctrl = g.add(
+        StatefulFnBlock::new(
+            "control",
+            1,
+            1,
+            false,
+            controller,
+            #[allow(clippy::borrowed_box)] // the state type IS Box<dyn Controller>
+            |s: &Box<dyn Controller>, _in, out| out[0] = s.length(),
+            |s: &mut Box<dyn Controller>, inputs| {
+                s.step(inputs[0]);
+            },
+        )
+        .with_reset(|s| s.reset()),
+    );
+
+    let cdn = g.add(DelayN::new("cdn", depth, initial_len));
+    let e_gen_delay = g.add(DelayN::new("e_gen_delay", depth, 0.0));
+    let e_meas_delay = g.add(UnitDelay::new("e_meas_delay", 0.0));
+    let mu_delay = g.add(DelayN::new("mu_delay", depth, 0.0));
+
+    // τ[n] = l_RO[n−M−2] + e[n−M−2] − e[n−1] + μ[n−M−2]
+    let tau = g.add(Sum::new("tau", "++-+"));
+    // δ[n] = c[n] − τ[n]
+    let delta = g.add(Sum::new("delta", "+-"));
+
+    let p_tau = g.add(Probe::new(probes::TAU));
+    let p_delta = g.add(Probe::new(probes::DELTA));
+    let p_lro = g.add(Probe::new(probes::LRO));
+
+    g.connect(ctrl, 0, cdn, 0)?;
+    g.connect(e_src, 0, e_gen_delay, 0)?;
+    g.connect(e_src, 0, e_meas_delay, 0)?;
+    g.connect(mu_src, 0, mu_delay, 0)?;
+
+    g.connect(cdn, 0, tau, 0)?;
+    g.connect(e_gen_delay, 0, tau, 1)?;
+    g.connect(e_meas_delay, 0, tau, 2)?;
+    g.connect(mu_delay, 0, tau, 3)?;
+
+    g.connect(c_src, 0, delta, 0)?;
+    g.connect(tau, 0, delta, 1)?;
+    g.connect(delta, 0, ctrl, 0)?;
+
+    g.connect(tau, 0, p_tau, 0)?;
+    g.connect(delta, 0, p_delta, 0)?;
+    g.connect(ctrl, 0, p_lro, 0)?;
+
+    g.build()
+}
+
+/// Build the paper's Fig. 5 IIR control block as a `dtsim` diagram of
+/// primitive gains, sums and delays — the structure exactly as drawn:
+///
+/// ```text
+/// x ─► ×kexp ─►(+)─► ×k* ─► z⁻¹ ─► w ─► ×kexp⁻¹ ─► y
+///              ▲                   │
+///              └── ×k₁ ◄───────────┤
+///              └── ×k₂ ◄── z⁻¹ ◄───┤   (tap bank)
+///              └── …               │
+/// ```
+///
+/// The input is supplied by `input(t)` (queried at integer times); the
+/// output is recorded by a probe named [`probes::FIG5_OUT`].
+///
+/// This is a third implementation of Eq. (9), cross-checked in tests
+/// against both [`crate::controller::FloatIir`] and the z-domain transfer
+/// function.
+///
+/// # Errors
+///
+/// Returns [`Error`] for an invalid gain configuration; graph-construction
+/// failures inside this function are bugs and panic.
+pub fn build_fig5_iir_diagram(
+    config: &IirConfig,
+    input: impl Fn(f64) -> f64 + 'static,
+) -> Result<Simulation, Error> {
+    config.validate()?;
+    let taps = config.taps_f64();
+    let kexp = 2f64.powi(config.kexp_exp as i32);
+    let k_star = config.k_star_f64();
+
+    let mut g = GraphBuilder::new();
+    let x = g.add(FunctionSource::new("x", input));
+    let kexp_gain = g.add(Gain::new("kexp", kexp));
+    let signs = "+".repeat(1 + taps.len());
+    let adder = g.add(Sum::new("adder", &signs));
+    let kstar_gain = g.add(Gain::new("k_star", k_star));
+    let w_reg = g.add(UnitDelay::new("w", 0.0));
+    let out_gain = g.add(Gain::new("kexp_inv", 1.0 / kexp));
+    let probe = g.add(Probe::new(probes::FIG5_OUT));
+
+    let wire = |g: &mut GraphBuilder, a, ap, b, bp| {
+        g.connect(a, ap, b, bp)
+            .expect("fig5 diagram wiring is statically correct");
+    };
+    wire(&mut g, x, 0, kexp_gain, 0);
+    wire(&mut g, kexp_gain, 0, adder, 0);
+    wire(&mut g, adder, 0, kstar_gain, 0);
+    wire(&mut g, kstar_gain, 0, w_reg, 0);
+    wire(&mut g, w_reg, 0, out_gain, 0);
+    wire(&mut g, out_gain, 0, probe, 0);
+
+    // Tap bank: k1 reads w[n] directly; k2.. read the delay line on w.
+    let k1 = g.add(Gain::new("k1", taps[0]));
+    wire(&mut g, w_reg, 0, k1, 0);
+    wire(&mut g, k1, 0, adder, 1);
+    if taps.len() > 1 {
+        let tdl = g.add(TappedDelayLine::new("w_taps", taps.len() - 1, 0.0));
+        wire(&mut g, w_reg, 0, tdl, 0);
+        for (i, &k) in taps.iter().enumerate().skip(1) {
+            let gain = g.add(Gain::new(format!("k{}", i + 1), k));
+            wire(&mut g, tdl, i - 1, gain, 0);
+            wire(&mut g, gain, 0, adder, i + 1);
+        }
+    }
+
+    Ok(g.build().expect("fig5 diagram is well-formed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{FloatIir, IirConfig};
+    use crate::loopsim::{DiscreteLoop, LoopInputs};
+    use crate::tdc::Quantization;
+
+    fn run_dt(m: usize, steps: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).unwrap();
+        let mut sim = build_fig4_model(
+            m,
+            Box::new(ctrl),
+            |_| 1.0,                                  // unit set-point step at n=0
+            |t| if t >= 20.0 { 0.5 } else { 0.0 },    // e step at n=20
+            |t| if t >= 40.0 { -0.25 } else { 0.0 },  // μ step at n=40
+        )
+        .unwrap();
+        sim.run(steps).unwrap();
+        (
+            sim.trace(probes::TAU).unwrap().samples().to_vec(),
+            sim.trace(probes::DELTA).unwrap().samples().to_vec(),
+            sim.trace(probes::LRO).unwrap().samples().to_vec(),
+        )
+    }
+
+    /// The dtsim diagram and the hand-rolled discrete loop must agree
+    /// sample-for-sample — two independent constructions of Fig. 4.
+    #[test]
+    fn dtsim_model_matches_discrete_loop() {
+        for m in [0usize, 1, 2] {
+            let (dt_tau, dt_delta, dt_lro) = run_dt(m, 120);
+            let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).unwrap();
+            let mut dl = DiscreteLoop::new(m, Box::new(ctrl), Quantization::None);
+            let c = |_n: i64| 1.0;
+            let e = |n: i64| if n >= 20 { 0.5 } else { 0.0 };
+            let mu = |n: i64| if n >= 40 { -0.25 } else { 0.0 };
+            let tr = dl.run(
+                &LoopInputs {
+                    setpoint: &c,
+                    homogeneous: &e,
+                    heterogeneous: &mu,
+                },
+                120,
+            );
+            for k in 0..120 {
+                assert!(
+                    (dt_tau[k] - tr.tau[k]).abs() < 1e-9,
+                    "m={m} k={k}: dtsim τ {} vs loop τ {}",
+                    dt_tau[k],
+                    tr.tau[k]
+                );
+                assert!((dt_delta[k] - tr.delta[k]).abs() < 1e-9, "m={m} k={k} δ");
+                assert!((dt_lro[k] - tr.lro[k]).abs() < 1e-9, "m={m} k={k} lro");
+            }
+        }
+    }
+
+    /// Fig. 5 as a wired diagram vs the reference float controller: same
+    /// filter, three independent constructions.
+    #[test]
+    fn fig5_diagram_matches_float_iir() {
+        let cfg = IirConfig::paper();
+        let input = |t: f64| {
+            // a deterministic pseudo-random-ish integer error sequence
+            let k = t as i64;
+            ((k * 13 % 9) - 4) as f64
+        };
+        let mut sim = build_fig5_iir_diagram(&cfg, input).unwrap();
+        sim.run(200).unwrap();
+        let got = sim.trace(probes::FIG5_OUT).unwrap().samples().to_vec();
+
+        let mut reference = FloatIir::from_config(&cfg, 0.0).unwrap();
+        // diagram: y[n] reads w[n], which was computed from x[n-1];
+        // FloatIir::step(x[n]) returns y[n+1].
+        let mut want = vec![0.0];
+        for k in 0..199 {
+            want.push(reference.step(input(k as f64)));
+        }
+        for k in 0..200 {
+            assert!(
+                (got[k] - want[k]).abs() < 1e-9,
+                "k={k}: diagram {} vs reference {}",
+                got[k],
+                want[k]
+            );
+        }
+    }
+
+    /// And against the z-domain impulse response of Eq. (9).
+    #[test]
+    fn fig5_diagram_matches_transfer_function() {
+        let cfg = IirConfig::paper();
+        let mut sim =
+            build_fig5_iir_diagram(&cfg, |t| if t == 0.0 { 1.0 } else { 0.0 }).unwrap();
+        sim.run(60).unwrap();
+        let got = sim.trace(probes::FIG5_OUT).unwrap().samples().to_vec();
+        let want = cfg.transfer_function().impulse_response(60);
+        for k in 0..60 {
+            assert!(
+                (got[k] - want[k]).abs() < 1e-9,
+                "k={k}: diagram {} vs H(z) {}",
+                got[k],
+                want[k]
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_diagram_rejects_invalid_gains() {
+        let bad = IirConfig {
+            kexp_exp: 3,
+            k_star_exp: -3,
+            tap_exps: vec![1, 0],
+        };
+        assert!(build_fig5_iir_diagram(&bad, |_| 0.0).is_err());
+    }
+
+    #[test]
+    fn fig5_diagram_single_tap() {
+        // degenerate single-tap config: k = [1], k* = 1
+        let cfg = IirConfig {
+            kexp_exp: 3,
+            k_star_exp: 0,
+            tap_exps: vec![0],
+        };
+        let mut sim =
+            build_fig5_iir_diagram(&cfg, |t| if t == 0.0 { 1.0 } else { 0.0 }).unwrap();
+        sim.run(10).unwrap();
+        let got = sim.trace(probes::FIG5_OUT).unwrap().samples().to_vec();
+        // H = z^-1/(1 - z^-1): a delayed accumulator; impulse -> step
+        assert_eq!(got[0], 0.0);
+        for (k, v) in got.iter().enumerate().skip(1) {
+            assert!((v - 1.0).abs() < 1e-12, "k={k}: {v}");
+        }
+    }
+
+    #[test]
+    fn model_rejects_nothing_but_runs_clean() {
+        let ctrl = FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap();
+        let mut sim = build_fig4_model(1, Box::new(ctrl), |_| 64.0, |_| 0.0, |_| 0.0).unwrap();
+        sim.run(50).unwrap();
+        let delta = sim.trace(probes::DELTA).unwrap();
+        for (_, d) in delta.iter() {
+            assert!(d.abs() < 1e-9, "equilibrium must hold, δ = {d}");
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! Event-driven simulation engine with a continuous-time CDN.
+//!
+//! The discrete loop of [`crate::loopsim`] fixes the CDN delay at a whole
+//! number of periods. Physically, though, the CDN is a fixed *time* delay
+//! `t_clk`, so its depth in periods varies with the instantaneous clock
+//! period — `M[n] = t_clk / T_clk[n]`, as the paper's Fig. 4 caption
+//! states. This engine tracks absolute clock-edge times:
+//!
+//! 1. the generator emits edge `k` at `t_k` and the next at
+//!    `t_{k+1} = t_k + T_gen(t_k)` where `T_gen` comes from the RO model
+//!    (or a constant for the fixed-clock baseline);
+//! 2. the period between delivered edges `k` and `k+1` is measured by the
+//!    TDC bank at `t_meas = t_{k+1} + t_clk`, producing the worst reading
+//!    `τ_k` under the local conditions *at measurement time*;
+//! 3. the control block turns `δ_k = c − τ_k` into a new RO length that
+//!    becomes effective at the first generation edge after
+//!    `t_meas + T_k` (one further period of control/register latency,
+//!    mirroring the `z⁻¹` blocks of the discrete model).
+//!
+//! For a constant period `T` and `t_clk = M·T` this reduces exactly to the
+//! discrete loop (cross-validated in the tests).
+
+use std::collections::VecDeque;
+
+use variation::sources::Waveform;
+
+use crate::cdn::Cdn;
+use crate::controller::Controller;
+use crate::ro::{RingOscillator, RoBounds};
+use crate::tdc::SensorBank;
+
+/// Cycle-to-cycle period jitter of the generator (RO phase noise).
+///
+/// Jitter is *unpredictable* by construction, so no control loop can adapt
+/// to it — it sets a margin floor that adaptation cannot reclaim. Samples
+/// are a pure function of `(seed, edge index)` (a hash feeding an
+/// Irwin–Hall approximate Gaussian), so runs stay reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeriodJitter {
+    /// Standard deviation of the per-edge period perturbation (stages).
+    pub sigma: f64,
+    /// Seed decorrelating different runs.
+    pub seed: u64,
+}
+
+impl PeriodJitter {
+    /// Jitter with the given sigma and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma < 0`.
+    pub fn new(sigma: f64, seed: u64) -> Self {
+        assert!(sigma >= 0.0, "jitter sigma must be non-negative");
+        PeriodJitter { sigma, seed }
+    }
+
+    /// The jitter sample for generation edge `k` (zero-mean, ≈ Gaussian,
+    /// bounded by `±6σ`).
+    pub fn sample(&self, k: u64) -> f64 {
+        if self.sigma == 0.0 {
+            return 0.0;
+        }
+        // splitmix64 stream seeded per edge
+        let mut x = self.seed ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        // Irwin–Hall with n = 12: sum of 12 uniforms − 6 ≈ N(0, 1)
+        let mut s = 0.0f64;
+        for _ in 0..12 {
+            s += (next() >> 11) as f64 / (1u64 << 53) as f64;
+        }
+        self.sigma * (s - 6.0)
+    }
+}
+
+/// What generates the raw clock period.
+pub enum Generator {
+    /// A ring oscillator: the period tracks local variation.
+    Ro(RingOscillator),
+    /// A fixed (PLL-style) source: the period ignores variation.
+    Fixed {
+        /// The constant generated period, in stage units.
+        period: f64,
+    },
+}
+
+impl std::fmt::Debug for Generator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Generator::Ro(ro) => f.debug_tuple("Ro").field(ro).finish(),
+            Generator::Fixed { period } => {
+                f.debug_struct("Fixed").field("period", period).finish()
+            }
+        }
+    }
+}
+
+/// One recorded delivered-period sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Measurement completion time (stage units).
+    pub time: f64,
+    /// Generated period of this cycle.
+    pub period: f64,
+    /// Worst TDC reading.
+    pub tau: f64,
+    /// Adaptation error `c − τ`.
+    pub delta: f64,
+    /// RO length in effect when the cycle was generated.
+    pub lro: f64,
+}
+
+/// The event-driven closed loop.
+pub struct EventLoop {
+    setpoint: f64,
+    generator: Generator,
+    cdn: Cdn,
+    sensors: SensorBank,
+    controller: Option<Box<dyn Controller>>,
+    jitter: Option<PeriodJitter>,
+}
+
+impl std::fmt::Debug for EventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop")
+            .field("setpoint", &self.setpoint)
+            .field("generator", &self.generator)
+            .field("cdn", &self.cdn)
+            .field("controlled", &self.controller.is_some())
+            .finish()
+    }
+}
+
+struct PendingMeasurement {
+    t_meas: f64,
+    period: f64,
+    lro: f64,
+}
+
+struct PendingUpdate {
+    effective_at: f64,
+    length: f64,
+}
+
+impl EventLoop {
+    /// Assemble a loop. Pass `controller: None` for uncontrolled schemes
+    /// (free-running RO or fixed clock).
+    pub fn new(
+        setpoint: i64,
+        generator: Generator,
+        cdn: Cdn,
+        sensors: SensorBank,
+        controller: Option<Box<dyn Controller>>,
+    ) -> Self {
+        EventLoop {
+            setpoint: setpoint as f64,
+            generator,
+            cdn,
+            sensors,
+            controller,
+            jitter: None,
+        }
+    }
+
+    /// Attach cycle-to-cycle period jitter to the generator.
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: PeriodJitter) -> Self {
+        self.jitter = Some(jitter);
+        self
+    }
+
+    fn generated_period<W: Waveform + ?Sized>(&self, e: &W, t: f64) -> f64 {
+        match &self.generator {
+            Generator::Ro(ro) => ro.period_at(e, t),
+            Generator::Fixed { period } => *period,
+        }
+    }
+
+    fn ro_bounds(&self) -> Option<RoBounds> {
+        match &self.generator {
+            Generator::Ro(ro) => Some(ro.bounds()),
+            Generator::Fixed { .. } => None,
+        }
+    }
+
+    /// Simulate until `n_samples` delivered periods have been measured,
+    /// under homogeneous variation `e`. Per-sensor heterogeneous variation
+    /// lives inside the [`SensorBank`].
+    pub fn run<W: Waveform + ?Sized>(&mut self, e: &W, n_samples: usize) -> Vec<Sample> {
+        let mut samples = Vec::with_capacity(n_samples);
+        let mut meas: VecDeque<PendingMeasurement> = VecDeque::new();
+        let mut updates: VecDeque<PendingUpdate> = VecDeque::new();
+        let bounds = self.ro_bounds();
+        let mut t = 0.0f64;
+        // Hard cap on generated edges so a mis-tuned loop cannot spin
+        // forever waiting for measurements.
+        let max_edges = n_samples * 8 + 1024;
+        for edge in 0..max_edges as u64 {
+            if samples.len() >= n_samples {
+                break;
+            }
+            // 1. Process measurements completed by now.
+            while meas
+                .front()
+                .is_some_and(|m| m.t_meas <= t && samples.len() < n_samples)
+            {
+                let m = meas.pop_front().expect("front checked");
+                let tau = self
+                    .sensors
+                    .worst(m.period, e, m.t_meas)
+                    .expect("sensor bank validated non-empty at build time");
+                let delta = self.setpoint - tau;
+                samples.push(Sample {
+                    time: m.t_meas,
+                    period: m.period,
+                    tau,
+                    delta,
+                    lro: m.lro,
+                });
+                if let Some(ctrl) = self.controller.as_mut() {
+                    let mut next = ctrl.step(delta);
+                    if let Some(b) = bounds {
+                        next = b.clamp(next.round() as i64) as f64;
+                    }
+                    updates.push_back(PendingUpdate {
+                        effective_at: m.t_meas + m.period,
+                        length: next,
+                    });
+                }
+            }
+            // 2. Apply control updates that have propagated back.
+            while updates.front().is_some_and(|u| u.effective_at <= t) {
+                let u = updates.pop_front().expect("front checked");
+                if let Generator::Ro(ro) = &mut self.generator {
+                    ro.set_length(u.length.round() as i64);
+                }
+            }
+            // 3. Emit the next clock edge.
+            let lro_now = match &self.generator {
+                Generator::Ro(ro) => ro.length() as f64,
+                Generator::Fixed { period } => *period,
+            };
+            let mut period = self.generated_period(e, t);
+            if let Some(j) = self.jitter {
+                period = (period + j.sample(edge)).max(1.0);
+            }
+            let t_next = t + period;
+            meas.push_back(PendingMeasurement {
+                t_meas: self.cdn.delivery_time(t_next),
+                period,
+                lro: lro_now,
+            });
+            t = t_next;
+        }
+        samples
+    }
+
+    /// Reset controller state (the generator keeps its current length; call
+    /// sites that need a pristine system should rebuild it).
+    pub fn reset_controller(&mut self) {
+        if let Some(c) = self.controller.as_mut() {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{FloatIir, IirConfig};
+    use crate::loopsim::{constant, DiscreteLoop, LoopInputs};
+    use crate::tdc::{Quantization, Tdc};
+    use variation::sources::{ConstantOffset, Harmonic, NoVariation, SingleEvent};
+
+    fn ideal_sensors() -> SensorBank {
+        SensorBank::new().with(Tdc::ideal(Quantization::None))
+    }
+
+    fn ro(c: i64) -> Generator {
+        Generator::Ro(RingOscillator::new(c, RoBounds::around(c)).unwrap())
+    }
+
+    #[test]
+    fn quiescent_loop_stays_at_setpoint() {
+        let mut el = EventLoop::new(
+            64,
+            ro(64),
+            Cdn::new(64.0).unwrap(),
+            ideal_sensors(),
+            Some(Box::new(
+                FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap(),
+            )),
+        );
+        let samples = el.run(&NoVariation, 200);
+        assert_eq!(samples.len(), 200);
+        for s in &samples {
+            assert!((s.tau - 64.0).abs() < 1e-9, "τ = {}", s.tau);
+            assert!(s.delta.abs() < 1e-9);
+            assert_eq!(s.period, 64.0);
+        }
+        // time advances by one period per sample
+        assert!((samples[10].time - samples[9].time - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_clock_fully_exposed_to_variation() {
+        let mut el = EventLoop::new(
+            64,
+            Generator::Fixed { period: 64.0 },
+            Cdn::new(64.0).unwrap(),
+            ideal_sensors(),
+            None,
+        );
+        let amp = 12.8;
+        let e = Harmonic::new(amp, 64.0 * 50.0, 0.0);
+        let samples = el.run(&e, 4000);
+        let worst = samples.iter().map(|s| -s.delta).fold(f64::MAX, f64::min);
+        let best = samples.iter().map(|s| -s.delta).fold(f64::MIN, f64::max);
+        // τ - c swings the full ±amp
+        assert!(worst < -0.95 * amp, "min(τ-c) = {worst}");
+        assert!(best > 0.95 * amp, "max(τ-c) = {best}");
+    }
+
+    #[test]
+    fn free_ro_tracks_slow_variation() {
+        let mut el = EventLoop::new(
+            64,
+            ro(64),
+            Cdn::new(64.0).unwrap(),
+            ideal_sensors(),
+            None,
+        );
+        let amp = 12.8;
+        // slow variation: Te = 200c
+        let e = Harmonic::new(amp, 64.0 * 200.0, 0.0);
+        let samples = el.run(&e, 4000);
+        let worst = samples
+            .iter()
+            .map(|s| s.delta.abs())
+            .fold(0.0f64, f64::max);
+        // Eq. 2 with t_clk/Te = 1/200 plus the ~2-period pipeline skew:
+        // mismatch ≈ 2·amp·sin(π·3/200) ≈ 1.2; far below the raw amplitude.
+        assert!(worst < 2.0, "worst |δ| = {worst}");
+        assert!(worst > 0.05, "some residual mismatch must remain");
+    }
+
+    #[test]
+    fn free_ro_fails_fast_variation_as_eq2_predicts() {
+        // At t_clk = Te/2 the induced mismatch doubles the perturbation.
+        let c = 64.0;
+        let te = 4.0 * c; // fast variation
+        let t_clk = 2.0 * c; // = Te/2
+        let mut el = EventLoop::new(
+            64,
+            ro(64),
+            Cdn::new(t_clk).unwrap(),
+            ideal_sensors(),
+            None,
+        );
+        let amp = 6.4;
+        let e = Harmonic::new(amp, te, 0.0);
+        let samples = el.run(&e, 6000);
+        let worst = samples
+            .iter()
+            .skip(100)
+            .map(|s| s.delta.abs())
+            .fold(0.0f64, f64::max);
+        // Eq. 2 with the effective loop skew T + t_clk = 3c over Te = 4c:
+        // 2·amp·|sin(3π/4)| ≈ 1.41·amp — well above the raw amplitude.
+        assert!(worst > 1.2 * amp, "worst |δ| = {worst}, expected ≈ {}", 1.41 * amp);
+    }
+
+    #[test]
+    fn iir_loop_compensates_static_mismatch() {
+        let sensors = SensorBank::new().with(Tdc::new(
+            ConstantOffset::new(-10.0),
+            Quantization::None,
+        ));
+        let mut el = EventLoop::new(
+            64,
+            ro(64),
+            Cdn::new(64.0).unwrap(),
+            sensors,
+            Some(Box::new(
+                FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap(),
+            )),
+        );
+        let samples = el.run(&NoVariation, 1500);
+        let tail = &samples[1200..];
+        for s in tail {
+            assert!(s.delta.abs() < 0.5, "δ = {} at t = {}", s.delta, s.time);
+        }
+        // The RO stretched to cover the mismatch.
+        let lro_tail = tail.last().unwrap().lro;
+        assert!(
+            (lro_tail - 74.0).abs() < 1.5,
+            "l_RO settled at {lro_tail}, expected ≈ 74"
+        );
+    }
+
+    #[test]
+    fn worst_of_n_sensors_drives_the_loop() {
+        let sensors = SensorBank::new()
+            .with(Tdc::new(ConstantOffset::new(0.0), Quantization::None))
+            .with(Tdc::new(ConstantOffset::new(-6.0), Quantization::None))
+            .with(Tdc::new(ConstantOffset::new(3.0), Quantization::None));
+        let mut el = EventLoop::new(
+            64,
+            ro(64),
+            Cdn::new(32.0).unwrap(),
+            sensors,
+            Some(Box::new(
+                FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap(),
+            )),
+        );
+        let samples = el.run(&NoVariation, 1500);
+        // Loop nulls the WORST sensor: lro -> 70 so that τ_worst = 64.
+        let s = samples.last().unwrap();
+        assert!((s.lro - 70.0).abs() < 1.5, "l_RO = {}", s.lro);
+        assert!(s.delta.abs() < 0.5);
+    }
+
+    #[test]
+    fn matches_discrete_loop_when_period_locked() {
+        // Uncontrolled free RO + integer t_clk multiples: the event engine
+        // must agree with the discrete fixed-M loop sample-for-sample.
+        let c = 64i64;
+        let m = 2usize;
+        let te = 37.5 * c as f64;
+        // Use a LOW amplitude so the period stays ≈ c and the continuous
+        // mapping M = t_clk/T is effectively constant.
+        let small_amp = 0.5;
+        let mut el = EventLoop::new(
+            c,
+            ro(c),
+            Cdn::new(m as f64 * c as f64).unwrap(),
+            ideal_sensors(),
+            None,
+        );
+        let e_wave = Harmonic::new(small_amp, te, 0.0);
+        let ev = el.run(&e_wave, 400);
+
+        let mut dl = DiscreteLoop::new(
+            m,
+            Box::new(crate::controller::FreeRunning::new(c)),
+            Quantization::None,
+        );
+        let cseq = constant(c as f64);
+        let zero = constant(0.0);
+        // Discrete model samples e at integer periods: e[n] = e(n·c).
+        // The event engine samples at slightly drifting times because the
+        // period wobbles by ±0.5 stages; tolerance accounts for that.
+        let e_seq = move |n: i64| {
+            Harmonic::new(small_amp, te, 0.0).value(n as f64 * c as f64)
+        };
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &cseq,
+                homogeneous: &e_seq,
+                heterogeneous: &zero,
+            },
+            400,
+        );
+        // The event engine's sampling clock drifts slightly (the period
+        // wobbles by ±0.5 stages), so compare error *envelopes* rather than
+        // demanding sample-exact alignment.
+        let worst_ev = ev.iter().map(|s| s.delta.abs()).fold(0.0f64, f64::max);
+        let worst_dl = tr.delta.iter().map(|d| d.abs()).fold(0.0f64, f64::max);
+        assert!(
+            (worst_ev - worst_dl).abs() < 0.1 * worst_dl.max(0.05),
+            "event {worst_ev} vs discrete {worst_dl}"
+        );
+    }
+
+    #[test]
+    fn jitter_samples_are_deterministic_and_calibrated() {
+        let j = PeriodJitter::new(2.0, 99);
+        let j2 = PeriodJitter::new(2.0, 99);
+        let other = PeriodJitter::new(2.0, 100);
+        let n = 20_000u64;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let mut differs = false;
+        for k in 0..n {
+            let v = j.sample(k);
+            assert_eq!(v, j2.sample(k), "same seed must reproduce");
+            if (v - other.sample(k)).abs() > 1e-12 {
+                differs = true;
+            }
+            sum += v;
+            sum2 += v * v;
+        }
+        assert!(differs, "different seeds must differ");
+        let mean = sum / n as f64;
+        let std = (sum2 / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.05, "jitter mean {mean}");
+        assert!((std - 2.0).abs() < 0.1, "jitter std {std}");
+        assert_eq!(PeriodJitter::new(0.0, 1).sample(123), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn jitter_rejects_negative_sigma() {
+        let _ = PeriodJitter::new(-1.0, 0);
+    }
+
+    #[test]
+    fn jitter_sets_margin_floor_no_loop_can_reclaim() {
+        // Quiet environment, jittery RO: the IIR loop cannot predict the
+        // jitter, so the margin floor scales with sigma.
+        let margin_for = |sigma: f64| -> f64 {
+            let mut el = EventLoop::new(
+                64,
+                ro(64),
+                Cdn::new(64.0).unwrap(),
+                ideal_sensors(),
+                Some(Box::new(
+                    FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap(),
+                )),
+            )
+            .with_jitter(PeriodJitter::new(sigma, 7));
+            let samples = el.run(&NoVariation, 4000);
+            samples
+                .iter()
+                .skip(500)
+                .map(|s| 64.0 - s.tau)
+                .fold(0.0f64, f64::max)
+        };
+        let m0 = margin_for(0.0);
+        let m1 = margin_for(1.0);
+        let m3 = margin_for(3.0);
+        assert!(m0 < 0.01, "no jitter, no margin: {m0}");
+        assert!(m1 > 2.0, "σ=1 worst-case margin should be a few σ: {m1}");
+        assert!(m3 > 2.0 * m1 * 0.8, "margin must scale with σ: {m1} -> {m3}");
+    }
+
+    #[test]
+    fn single_event_droop_with_short_cdn_is_attenuated() {
+        // Eq. 3: for t_clk << Tν the free RO sees only 2ν0·t_clk/Tν.
+        let c = 64i64;
+        let droop = SingleEvent::new(12.8, 6400.0, 32_000.0);
+        let mut short = EventLoop::new(c, ro(c), Cdn::new(6.4).unwrap(), ideal_sensors(), None);
+        let s1 = short.run(&droop, 2000);
+        let worst_short = s1.iter().map(|s| s.delta.abs()).fold(0.0f64, f64::max);
+        let mut long = EventLoop::new(
+            c,
+            ro(c),
+            Cdn::new(6400.0).unwrap(),
+            ideal_sensors(),
+            None,
+        );
+        let s2 = long.run(&droop, 2000);
+        let worst_long = s2.iter().map(|s| s.delta.abs()).fold(0.0f64, f64::max);
+        assert!(
+            worst_short < 0.3 * worst_long,
+            "short-CDN worst {worst_short} vs long-CDN worst {worst_long}"
+        );
+        // long CDN: no attenuation at all (≈ the full droop amplitude)
+        assert!(worst_long > 0.9 * 12.8);
+    }
+}

@@ -1,0 +1,433 @@
+//! Paper-faithful discrete-time simulation of the Fig. 4 loop with a
+//! *fixed* whole-period CDN delay `M`.
+//!
+//! Per delivered period `n` (all quantities in stage units):
+//!
+//! ```text
+//! τ[n]   = Q( l_RO[n−M−2] + e[n−M−2] − e[n−1] + μ[n−M−2] )
+//! δ[n]   = c[n] − τ[n]
+//! l_RO[n+1] = control(δ[n])
+//! ```
+//!
+//! which reproduces the paper's loop transfer functions exactly: with the
+//! quantizer `Q` disabled and a linear control block `H = N/D`, the
+//! sequences `δ` and `l_RO` match the inverse transforms of
+//! `H_δ(z)·p(z)` and `H_lRO(z)·p(z)` (Eq. 4–5) sample-for-sample — the
+//! cross-validation tests in this module and in the `zdomain` integration
+//! suite rely on this.
+//!
+//! The index arithmetic mirrors the block diagram: one `z⁻¹` inside the
+//! control block (built into the [`Controller`] calling convention), one
+//! `z⁻¹` of generation/measurement registering, and `z⁻ᴹ` of clock
+//! distribution. Inputs are supplied as sequences over a *signed* index so
+//! callers can choose the pre-start history (the loop queries negative
+//! indices during the first `M+2` periods).
+
+use crate::controller::Controller;
+use crate::tdc::Quantization;
+
+/// Input sequences of the discrete loop. Functions are queried with signed
+/// indices; return the pre-start value for negative arguments.
+pub struct LoopInputs<'a> {
+    /// Set-point sequence `c[n]`.
+    pub setpoint: &'a dyn Fn(i64) -> f64,
+    /// Homogeneous variation sequence `e[n]` (RO side +, TDC side −).
+    pub homogeneous: &'a dyn Fn(i64) -> f64,
+    /// Heterogeneous variation sequence `μ[n]` (TDC side).
+    pub heterogeneous: &'a dyn Fn(i64) -> f64,
+}
+
+impl<'a> LoopInputs<'a> {
+    /// All-zero inputs (useful as a starting point in tests).
+    pub fn zero() -> LoopInputs<'static> {
+        LoopInputs {
+            setpoint: &|_| 0.0,
+            homogeneous: &|_| 0.0,
+            heterogeneous: &|_| 0.0,
+        }
+    }
+}
+
+/// Recorded sequences of a discrete-loop run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoopTrace {
+    /// TDC readings `τ[n]`.
+    pub tau: Vec<f64>,
+    /// Adaptation errors `δ[n] = c[n] − τ[n]`.
+    pub delta: Vec<f64>,
+    /// RO lengths `l_RO[n]` (the value used for generation at period `n`).
+    pub lro: Vec<f64>,
+}
+
+/// The discrete closed loop.
+///
+/// # Example
+///
+/// Run the paper's loop from equilibrium against a static mismatch step
+/// and watch the integrator null the error:
+///
+/// ```
+/// use adaptive_clock::controller::{IirConfig, IntIirControl};
+/// use adaptive_clock::loopsim::{constant, step_at, DiscreteLoop, LoopInputs};
+/// use adaptive_clock::tdc::Quantization;
+///
+/// # fn main() -> Result<(), adaptive_clock::Error> {
+/// let ctrl = IntIirControl::new(IirConfig::paper(), 64)?;
+/// let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::Floor);
+/// let c = constant(64.0);
+/// let zero = constant(0.0);
+/// let mu = step_at(10, -8.0);
+/// let tr = dl.run(
+///     &LoopInputs { setpoint: &c, homogeneous: &zero, heterogeneous: &mu },
+///     400,
+/// );
+/// assert!(tr.delta[399].abs() <= 1.0); // compensated to within a stage
+/// # Ok(())
+/// # }
+/// ```
+pub struct DiscreteLoop {
+    m: usize,
+    quantization: Quantization,
+    controller: Box<dyn Controller>,
+    initial_length: f64,
+}
+
+impl std::fmt::Debug for DiscreteLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiscreteLoop")
+            .field("m", &self.m)
+            .field("quantization", &self.quantization)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DiscreteLoop {
+    /// A loop with CDN delay of `m` whole periods driving `controller`.
+    ///
+    /// `initial_length` is both the controller's resting output and the
+    /// pre-start generation history (the value `l_RO[n]` for `n < 0`).
+    pub fn new(
+        m: usize,
+        controller: Box<dyn Controller>,
+        quantization: Quantization,
+    ) -> Self {
+        let initial_length = controller.length();
+        DiscreteLoop {
+            m,
+            quantization,
+            controller,
+            initial_length,
+        }
+    }
+
+    /// Run `steps` periods and record the loop signals.
+    pub fn run(&mut self, inputs: &LoopInputs<'_>, steps: usize) -> LoopTrace {
+        let mm = (self.m + 2) as i64;
+        let mut trace = LoopTrace {
+            tau: Vec::with_capacity(steps),
+            delta: Vec::with_capacity(steps),
+            lro: Vec::with_capacity(steps),
+        };
+        // lro[k] for k = 0.. ; lro[0] is the controller's initial output.
+        let mut lro: Vec<f64> = Vec::with_capacity(steps + 1);
+        lro.push(self.controller.length());
+        for n in 0..steps as i64 {
+            let lro_at = |i: i64| -> f64 {
+                if i < 0 {
+                    self.initial_length
+                } else {
+                    lro[i as usize]
+                }
+            };
+            let e = |i: i64| (inputs.homogeneous)(i);
+            let mu = |i: i64| (inputs.heterogeneous)(i);
+            let raw = lro_at(n - mm) + e(n - mm) - e(n - 1) + mu(n - mm);
+            let tau = self.quantization.apply(raw);
+            let delta = (inputs.setpoint)(n) - tau;
+            let next = self.controller.step(delta);
+            trace.tau.push(tau);
+            trace.delta.push(delta);
+            trace.lro.push(lro[n as usize]);
+            lro.push(next);
+        }
+        trace
+    }
+
+    /// Reset the control block to its initial state.
+    pub fn reset(&mut self) {
+        self.controller.reset();
+    }
+}
+
+/// Convenience: a step sequence `amplitude · u[n − at]`.
+pub fn step_at(at: i64, amplitude: f64) -> impl Fn(i64) -> f64 {
+    move |n| if n >= at { amplitude } else { 0.0 }
+}
+
+/// Convenience: a constant sequence.
+pub fn constant(value: f64) -> impl Fn(i64) -> f64 {
+    move |_| value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{FloatIir, FreeRunning, IirConfig, IntIirControl, TeaTime};
+    use zdomain::closedloop;
+
+    fn paper_float_loop(m: usize) -> DiscreteLoop {
+        let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).unwrap();
+        DiscreteLoop::new(m, Box::new(ctrl), Quantization::None)
+    }
+
+    /// The central cross-validation: the time-domain loop from rest must
+    /// match the z-domain error transfer function H_δ (Eq. 5) for a
+    /// set-point step, for several CDN depths.
+    #[test]
+    fn delta_matches_zdomain_for_setpoint_step() {
+        let h = zdomain::iir_paper_filter();
+        for m in 0..4usize {
+            let mut dl = paper_float_loop(m);
+            let c = step_at(0, 1.0);
+            let zero = constant(0.0);
+            let tr = dl.run(
+                &LoopInputs {
+                    setpoint: &c,
+                    homogeneous: &zero,
+                    heterogeneous: &zero,
+                },
+                80,
+            );
+            let hd = closedloop::error_transfer(&h, m);
+            let want = hd.step_response(80);
+            for k in 0..80 {
+                assert!(
+                    (tr.delta[k] - want[k]).abs() < 1e-9,
+                    "M={m} k={k}: sim {} vs theory {}",
+                    tr.delta[k],
+                    want[k]
+                );
+            }
+        }
+    }
+
+    /// Same cross-validation for the RO length via H_lRO (Eq. 4).
+    #[test]
+    fn lro_matches_zdomain_for_setpoint_step() {
+        let h = zdomain::iir_paper_filter();
+        for m in [0usize, 1, 3] {
+            let mut dl = paper_float_loop(m);
+            let c = step_at(0, 1.0);
+            let zero = constant(0.0);
+            let tr = dl.run(
+                &LoopInputs {
+                    setpoint: &c,
+                    homogeneous: &zero,
+                    heterogeneous: &zero,
+                },
+                80,
+            );
+            let hl = closedloop::length_transfer(&h, m);
+            let want = hl.step_response(80);
+            for k in 0..80 {
+                assert!(
+                    (tr.lro[k] - want[k]).abs() < 1e-9,
+                    "M={m} k={k}: sim {} vs theory {}",
+                    tr.lro[k],
+                    want[k]
+                );
+            }
+        }
+    }
+
+    /// Homogeneous-variation input enters through the weight
+    /// `(1 − z^{−M−1}) z^{−1}` of p(z).
+    #[test]
+    fn delta_matches_zdomain_for_homogeneous_step() {
+        let h = zdomain::iir_paper_filter();
+        let m = 2usize;
+        let mut dl = paper_float_loop(m);
+        let e = step_at(0, 1.0);
+        let zero = constant(0.0);
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &zero,
+                homogeneous: &e,
+                heterogeneous: &zero,
+            },
+            80,
+        );
+        let hd = closedloop::error_transfer(&h, m);
+        let w = closedloop::input_weights(m);
+        let weighted =
+            zdomain::TransferFunction::new(hd.num().mul(&w.homogeneous), hd.den().clone())
+                .unwrap();
+        let want = weighted.step_response(80);
+        for k in 0..80 {
+            assert!(
+                (tr.delta[k] - want[k]).abs() < 1e-9,
+                "k={k}: sim {} vs theory {}",
+                tr.delta[k],
+                want[k]
+            );
+        }
+    }
+
+    /// Heterogeneous-variation input enters through `−z^{−M−2}`.
+    #[test]
+    fn delta_matches_zdomain_for_mismatch_step() {
+        let h = zdomain::iir_paper_filter();
+        let m = 1usize;
+        let mut dl = paper_float_loop(m);
+        let mu = step_at(0, 1.0);
+        let zero = constant(0.0);
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &zero,
+                homogeneous: &zero,
+                heterogeneous: &mu,
+            },
+            80,
+        );
+        let hd = closedloop::error_transfer(&h, m);
+        let w = closedloop::input_weights(m);
+        let weighted =
+            zdomain::TransferFunction::new(hd.num().mul(&w.heterogeneous), hd.den().clone())
+                .unwrap();
+        let want = weighted.step_response(80);
+        for k in 0..80 {
+            assert!(
+                (tr.delta[k] - want[k]).abs() < 1e-9,
+                "k={k}: sim {} vs theory {}",
+                tr.delta[k],
+                want[k]
+            );
+        }
+    }
+
+    /// From equilibrium (length = c), a static mismatch must be fully
+    /// compensated: τ returns to c and l_RO settles at c − μ.
+    #[test]
+    fn integer_loop_cancels_static_mismatch() {
+        let c = 64.0;
+        let ctrl = IntIirControl::new(IirConfig::paper(), 64).unwrap();
+        let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::Floor);
+        let cseq = constant(c);
+        let zero = constant(0.0);
+        let mu = step_at(50, 12.0); // 0.1875c mismatch kicks in at period 50
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &cseq,
+                homogeneous: &zero,
+                heterogeneous: &mu,
+            },
+            600,
+        );
+        // before the step: perfect equilibrium
+        for k in 0..50 {
+            assert_eq!(tr.delta[k], 0.0, "k={k}");
+        }
+        // long after the step: error back within quantization (±1 stage)
+        for k in 400..600 {
+            assert!(tr.delta[k].abs() <= 1.0, "k={k}: δ={}", tr.delta[k]);
+        }
+        let tail_lro = tr.lro[599];
+        assert!(
+            (tail_lro - (c - 12.0)).abs() <= 1.5,
+            "l_RO settled at {tail_lro}, expected ≈ {}",
+            c - 12.0
+        );
+    }
+
+    #[test]
+    fn teatime_loop_cancels_static_mismatch_with_limit_cycle() {
+        let c = 64.0;
+        let mut dl = DiscreteLoop::new(1, Box::new(TeaTime::new(64)), Quantization::Floor);
+        let cseq = constant(c);
+        let zero = constant(0.0);
+        let mu = step_at(10, -10.0);
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &cseq,
+                homogeneous: &zero,
+                heterogeneous: &mu,
+            },
+            400,
+        );
+        // TEAtime hunts around the target with a small limit cycle.
+        for k in 300..400 {
+            assert!(tr.delta[k].abs() <= 3.0, "k={k}: δ={}", tr.delta[k]);
+        }
+    }
+
+    #[test]
+    fn free_running_ignores_mismatch() {
+        let mut dl = DiscreteLoop::new(1, Box::new(FreeRunning::new(64)), Quantization::None);
+        let cseq = constant(64.0);
+        let zero = constant(0.0);
+        let mu = constant(-8.0);
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &cseq,
+                homogeneous: &zero,
+                heterogeneous: &mu,
+            },
+            50,
+        );
+        // error never decays: the free RO cannot see μ
+        assert!((tr.delta[49] - 8.0).abs() < 1e-12);
+        assert_eq!(tr.lro[49], 64.0);
+    }
+
+    #[test]
+    fn homogeneous_variation_cancels_at_zero_cdn_delay_in_steady_state() {
+        // With M = 0 the RO and the TDC see (nearly) the same e: only the
+        // one-period registration skew remains, so a slow e produces a tiny
+        // error even for a free-running RO.
+        let mut dl =
+            DiscreteLoop::new(0, Box::new(FreeRunning::new(64)), Quantization::None);
+        let cseq = constant(64.0);
+        let zero = constant(0.0);
+        let e = |n: i64| 12.8 * (std::f64::consts::TAU * n as f64 / 1000.0).sin();
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &cseq,
+                homogeneous: &e,
+                heterogeneous: &zero,
+            },
+            1000,
+        );
+        let worst = tr.delta.iter().cloned().fold(0.0f64, |a, d| a.max(d.abs()));
+        // e[n-2] - e[n-1] for a slow sinusoid is ~ 2π·12.8/1000 ≈ 0.08
+        assert!(worst < 0.1, "worst |δ| = {worst}");
+    }
+
+    #[test]
+    fn reset_restores_equilibrium() {
+        let ctrl = IntIirControl::new(IirConfig::paper(), 64).unwrap();
+        let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::Floor);
+        let cseq = constant(64.0);
+        let zero = constant(0.0);
+        let mu = constant(5.0);
+        let _ = dl.run(
+            &LoopInputs {
+                setpoint: &cseq,
+                homogeneous: &zero,
+                heterogeneous: &mu,
+            },
+            100,
+        );
+        dl.reset();
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &cseq,
+                homogeneous: &zero,
+                heterogeneous: &zero,
+            },
+            20,
+        );
+        for d in tr.delta {
+            assert_eq!(d, 0.0);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Deterministic noise primitives shared by the jitter and sensor-noise
+//! models: pure functions of `(seed, key)`, so simulations stay exactly
+//! reproducible and waveforms may be sampled in any order.
+
+/// One splitmix64 scramble.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A standard-normal-ish sample (Irwin–Hall with n = 12, bounded ±6) that
+/// is a pure function of `(seed, key)`.
+pub fn hash_gauss(seed: u64, key: u64) -> f64 {
+    let mut x = seed ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut s = 0.0f64;
+    for _ in 0..12 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        s += (splitmix(x) >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    s - 6.0
+}
+
+/// A key derived from a measurement time: quantizes `t` to 2⁻²⁰ stage
+/// units so numerically identical times map to identical keys.
+pub fn time_key(t: f64) -> u64 {
+    (t * (1u64 << 20) as f64).round() as i64 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauss_is_deterministic() {
+        assert_eq!(hash_gauss(1, 42), hash_gauss(1, 42));
+        assert_ne!(hash_gauss(1, 42), hash_gauss(2, 42));
+        assert_ne!(hash_gauss(1, 42), hash_gauss(1, 43));
+    }
+
+    #[test]
+    fn gauss_is_calibrated() {
+        let n = 20_000u64;
+        let (mut sum, mut sum2) = (0.0f64, 0.0f64);
+        for k in 0..n {
+            let v = hash_gauss(7, k);
+            sum += v;
+            sum2 += v * v;
+        }
+        let mean = sum / n as f64;
+        let std = (sum2 / n as f64 - mean * mean).sqrt();
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((std - 1.0).abs() < 0.05, "std {std}");
+    }
+
+    #[test]
+    fn time_key_distinguishes_close_times() {
+        assert_ne!(time_key(64.0), time_key(64.001));
+        assert_eq!(time_key(64.0), time_key(64.0));
+        // negative times do not panic
+        let _ = time_key(-5.0);
+    }
+}

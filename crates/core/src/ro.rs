@@ -1,0 +1,228 @@
+//! Ring-oscillator model.
+//!
+//! The RO is modelled at the paper's level of abstraction: a chain of
+//! `l_RO` stages whose total traversal time sets the clock period. In stage
+//! units (nominal stage delay = 1) the generated period is
+//!
+//! ```text
+//! T_gen(t) = l_RO + e(t)
+//! ```
+//!
+//! where `e(t)` is the homogeneous variation at the RO's location at
+//! generation time: slower gates (positive `e`) lengthen the period by the
+//! same number of nominal stage delays that the variation adds to a
+//! `c`-stage path — this additive convention is exactly the paper's Fig. 4
+//! model, where `e` enters the RO branch of the loop directly.
+
+use serde::{Deserialize, Serialize};
+use variation::sources::Waveform;
+
+use crate::error::Error;
+
+/// How a delay variation couples into stage delays.
+///
+/// The paper's Fig. 4 model is **additive**: a variation of `e` stage-units
+/// adds `e` to the period of a `c`-stage oscillator regardless of its
+/// current length. The physically-grounded alternative is
+/// **multiplicative**: each stage slows by the factor `1 + e/c_ref`, so a
+/// longer oscillator picks up proportionally more delay. The two agree to
+/// first order around `l_RO = c_ref`; the workspace's ablation tests
+/// measure how little the difference matters at the paper's 20 %
+/// amplitudes (justifying the paper's simpler model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Coupling {
+    /// `T = l_RO + e(t)` — the paper's model.
+    #[default]
+    Additive,
+    /// `T = l_RO · (1 + e(t)/c_ref)` with the reference length `c_ref`.
+    Multiplicative {
+        /// The reference length the variation amplitude is quoted against.
+        c_ref: i64,
+    },
+}
+
+impl Coupling {
+    /// Generated period for an oscillator of `length` stages under
+    /// variation value `e`.
+    pub fn period(self, length: f64, e: f64) -> f64 {
+        match self {
+            Coupling::Additive => length + e,
+            Coupling::Multiplicative { c_ref } => length * Self::factor(e, c_ref),
+        }
+    }
+
+    /// The multiplicative slowdown factor, floored so a pathological
+    /// variation cannot stall or reverse time.
+    fn factor(e: f64, c_ref: i64) -> f64 {
+        (1.0 + e / c_ref as f64).max(1e-3)
+    }
+
+    /// Convert a delivered period back to a stage count under local
+    /// variation value `e` (the TDC's inverse view).
+    pub fn stages(self, period: f64, e: f64) -> f64 {
+        match self {
+            Coupling::Additive => period - e,
+            Coupling::Multiplicative { c_ref } => period / Self::factor(e, c_ref),
+        }
+    }
+}
+
+/// Design-time limits on the ring-oscillator length.
+///
+/// The paper's point (§III): with a closed loop, the design stage no longer
+/// fixes the clock period — "just the minimum and maximum number of RO
+/// stages".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoBounds {
+    /// Minimum number of stages.
+    pub min: i64,
+    /// Maximum number of stages.
+    pub max: i64,
+}
+
+impl RoBounds {
+    /// Validate bounds around a set-point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRoBounds`] unless `0 < min ≤ setpoint ≤ max`.
+    pub fn validate(self, setpoint: i64) -> Result<Self, Error> {
+        if self.min <= 0 || self.min > setpoint || self.max < setpoint {
+            return Err(Error::InvalidRoBounds {
+                min: self.min,
+                max: self.max,
+                setpoint,
+            });
+        }
+        Ok(self)
+    }
+
+    /// Clamp a requested length into the bounds.
+    pub fn clamp(self, length: i64) -> i64 {
+        length.clamp(self.min, self.max)
+    }
+
+    /// Generous default bounds around a set-point: `[max(3, c/8), 16c]`.
+    pub fn around(setpoint: i64) -> Self {
+        RoBounds {
+            min: (setpoint / 8).max(3),
+            max: setpoint.saturating_mul(16),
+        }
+    }
+}
+
+/// A behavioural ring oscillator.
+#[derive(Debug, Clone)]
+pub struct RingOscillator {
+    length: i64,
+    bounds: RoBounds,
+    coupling: Coupling,
+}
+
+impl RingOscillator {
+    /// An RO with the given initial length and bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidRoBounds`] if the initial length violates the
+    /// bounds (with the initial length acting as the set-point).
+    pub fn new(length: i64, bounds: RoBounds) -> Result<Self, Error> {
+        bounds.validate(length)?;
+        Ok(RingOscillator {
+            length,
+            bounds,
+            coupling: Coupling::Additive,
+        })
+    }
+
+    /// Use a different variation coupling (default: additive, the paper's
+    /// model).
+    #[must_use]
+    pub fn with_coupling(mut self, coupling: Coupling) -> Self {
+        self.coupling = coupling;
+        self
+    }
+
+    /// The coupling in use.
+    pub fn coupling(&self) -> Coupling {
+        self.coupling
+    }
+
+    /// Current number of stages.
+    pub fn length(&self) -> i64 {
+        self.length
+    }
+
+    /// The length bounds.
+    pub fn bounds(&self) -> RoBounds {
+        self.bounds
+    }
+
+    /// Request a new length; it is clamped into the design bounds and the
+    /// actually-applied value is returned.
+    pub fn set_length(&mut self, length: i64) -> i64 {
+        self.length = self.bounds.clamp(length);
+        self.length
+    }
+
+    /// The generated period (stage units) at time `t` under homogeneous
+    /// variation `e`. Never less than one stage delay: a physical RO cannot
+    /// oscillate faster than a single stage allows.
+    pub fn period_at<W: Waveform + ?Sized>(&self, e: &W, t: f64) -> f64 {
+        self.coupling
+            .period(self.length as f64, e.value(t))
+            .max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use variation::sources::{ConstantOffset, Harmonic, NoVariation};
+
+    #[test]
+    fn bounds_validation() {
+        assert!(RoBounds { min: 8, max: 512 }.validate(64).is_ok());
+        assert!(RoBounds { min: 0, max: 512 }.validate(64).is_err());
+        assert!(RoBounds { min: 65, max: 512 }.validate(64).is_err());
+        assert!(RoBounds { min: 8, max: 63 }.validate(64).is_err());
+    }
+
+    #[test]
+    fn default_bounds_bracket_setpoint() {
+        let b = RoBounds::around(64);
+        assert!(b.validate(64).is_ok());
+        assert_eq!(b.min, 8);
+        assert_eq!(b.max, 1024);
+        // tiny set-points still get a sane floor
+        let b = RoBounds::around(4);
+        assert_eq!(b.min, 3);
+        assert!(b.validate(4).is_ok());
+    }
+
+    #[test]
+    fn set_length_clamps() {
+        let mut ro = RingOscillator::new(64, RoBounds { min: 8, max: 128 }).unwrap();
+        assert_eq!(ro.set_length(1000), 128);
+        assert_eq!(ro.set_length(1), 8);
+        assert_eq!(ro.set_length(77), 77);
+        assert_eq!(ro.length(), 77);
+    }
+
+    #[test]
+    fn period_tracks_variation() {
+        let ro = RingOscillator::new(64, RoBounds::around(64)).unwrap();
+        assert_eq!(ro.period_at(&NoVariation, 0.0), 64.0);
+        assert_eq!(ro.period_at(&ConstantOffset::new(12.8), 5.0), 76.8);
+        let h = Harmonic::new(12.8, 100.0, 0.0);
+        assert!((ro.period_at(&h, 25.0) - 76.8).abs() < 1e-9);
+        assert!((ro.period_at(&h, 75.0) - 51.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn period_never_collapses() {
+        let ro = RingOscillator::new(4, RoBounds { min: 3, max: 8 }).unwrap();
+        // variation of -100 would make a negative period; clamp to 1 stage
+        assert_eq!(ro.period_at(&ConstantOffset::new(-100.0), 0.0), 1.0);
+    }
+}

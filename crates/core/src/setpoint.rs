@@ -1,0 +1,260 @@
+//! Set-point scheduling — the extension sketched in the paper's
+//! conclusions: *"The set-point value could be varied as function of the
+//! timing errors during a time window and/or the performance necessities."*
+//!
+//! [`SetPointTuner`] implements an AIMD (additive-increase on errors,
+//! additive-decrease when clean — note the inversion relative to TCP: here
+//! *increase* means "more margin, safer") policy over observation windows:
+//!
+//! * any timing violation inside a window ⇒ raise the set-point by
+//!   `backoff` immediately (safety first);
+//! * a fully clean window ⇒ lower the set-point by `probe` (reclaim
+//!   performance), never below `floor`.
+//!
+//! The pipeline is assumed to have error *detection* (the paper requires
+//! this: "the pipeline needs, at least, error detection capacities"), so a
+//! violation is observable but recoverable.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the AIMD set-point policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TunerConfig {
+    /// Window length in delivered periods.
+    pub window: usize,
+    /// Set-point increase applied on a violation (stages).
+    pub backoff: i64,
+    /// Set-point decrease applied after a clean window (stages).
+    pub probe: i64,
+    /// Lowest set-point the tuner may reach.
+    pub floor: i64,
+    /// Highest set-point the tuner may reach.
+    pub ceiling: i64,
+}
+
+impl TunerConfig {
+    /// A reasonable default policy around an initial set-point `c`:
+    /// windows of `4c` periods, backoff 4 stages, probe 1 stage, bounds
+    /// `[c/2, 2c]`.
+    pub fn around(c: i64) -> Self {
+        TunerConfig {
+            window: (4 * c).max(16) as usize,
+            backoff: 4,
+            probe: 1,
+            floor: (c / 2).max(1),
+            ceiling: 2 * c,
+        }
+    }
+
+    /// Validate the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`, steps are non-positive, or
+    /// `floor > ceiling`.
+    pub fn validated(self) -> Self {
+        assert!(self.window > 0, "window must be non-empty");
+        assert!(self.backoff > 0, "backoff must be positive");
+        assert!(self.probe > 0, "probe must be positive");
+        assert!(self.floor <= self.ceiling, "floor must not exceed ceiling");
+        self
+    }
+}
+
+/// Outcome of feeding one period's observation to the tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TunerAction {
+    /// Nothing changed this period.
+    Hold,
+    /// The set-point was raised (a violation occurred).
+    Raised {
+        /// New set-point value.
+        to: i64,
+    },
+    /// The set-point was lowered (a clean window completed).
+    Lowered {
+        /// New set-point value.
+        to: i64,
+    },
+}
+
+/// The windowed AIMD set-point tuner.
+///
+/// # Example
+///
+/// ```
+/// use adaptive_clock::setpoint::{SetPointTuner, TunerConfig, TunerAction};
+///
+/// let mut tuner = SetPointTuner::new(80, TunerConfig::around(64));
+/// // a detected timing error raises the set-point immediately:
+/// assert!(matches!(tuner.observe(true), TunerAction::Raised { .. }));
+/// // clean windows walk it back down one stage at a time:
+/// let before = tuner.setpoint();
+/// for _ in 0..10_000 {
+///     tuner.observe(false);
+/// }
+/// assert!(tuner.setpoint() < before);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetPointTuner {
+    config: TunerConfig,
+    setpoint: i64,
+    seen: usize,
+    dirty: bool,
+}
+
+impl SetPointTuner {
+    /// A tuner starting at `initial` with the given policy.
+    pub fn new(initial: i64, config: TunerConfig) -> Self {
+        let config = config.validated();
+        SetPointTuner {
+            setpoint: initial.clamp(config.floor, config.ceiling),
+            config,
+            seen: 0,
+            dirty: false,
+        }
+    }
+
+    /// The current set-point.
+    pub fn setpoint(&self) -> i64 {
+        self.setpoint
+    }
+
+    /// Feed one period's outcome (`violation` = a timing error was
+    /// detected this period). Returns what the tuner did.
+    pub fn observe(&mut self, violation: bool) -> TunerAction {
+        if violation {
+            // React immediately; restart the window.
+            self.seen = 0;
+            self.dirty = false;
+            let to = (self.setpoint + self.config.backoff).min(self.config.ceiling);
+            if to != self.setpoint {
+                self.setpoint = to;
+                return TunerAction::Raised { to };
+            }
+            return TunerAction::Hold;
+        }
+        self.seen += 1;
+        if self.seen >= self.config.window {
+            self.seen = 0;
+            let to = (self.setpoint - self.config.probe).max(self.config.floor);
+            if to != self.setpoint {
+                self.setpoint = to;
+                return TunerAction::Lowered { to };
+            }
+        }
+        TunerAction::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TunerConfig {
+        TunerConfig {
+            window: 10,
+            backoff: 4,
+            probe: 1,
+            floor: 50,
+            ceiling: 100,
+        }
+    }
+
+    #[test]
+    fn clean_windows_probe_down() {
+        let mut t = SetPointTuner::new(64, cfg());
+        let mut lowered = 0;
+        for _ in 0..30 {
+            if matches!(t.observe(false), TunerAction::Lowered { .. }) {
+                lowered += 1;
+            }
+        }
+        assert_eq!(lowered, 3);
+        assert_eq!(t.setpoint(), 61);
+    }
+
+    #[test]
+    fn violation_backs_off_immediately() {
+        let mut t = SetPointTuner::new(64, cfg());
+        assert_eq!(t.observe(true), TunerAction::Raised { to: 68 });
+        assert_eq!(t.setpoint(), 68);
+    }
+
+    #[test]
+    fn violation_restarts_window() {
+        let mut t = SetPointTuner::new(64, cfg());
+        for _ in 0..9 {
+            assert_eq!(t.observe(false), TunerAction::Hold);
+        }
+        t.observe(true); // window progress discarded
+        for _ in 0..9 {
+            assert_eq!(t.observe(false), TunerAction::Hold);
+        }
+        // the 10th clean period after the violation completes a window
+        assert!(matches!(t.observe(false), TunerAction::Lowered { .. }));
+    }
+
+    #[test]
+    fn respects_floor_and_ceiling() {
+        let mut t = SetPointTuner::new(51, cfg());
+        // drive to the floor
+        for _ in 0..100 {
+            t.observe(false);
+        }
+        assert_eq!(t.setpoint(), 50);
+        // at the floor a clean window holds
+        for _ in 0..10 {
+            assert_eq!(t.observe(false), TunerAction::Hold);
+        }
+        // drive to the ceiling
+        let mut t = SetPointTuner::new(99, cfg());
+        t.observe(true);
+        assert_eq!(t.setpoint(), 100);
+        assert_eq!(t.observe(true), TunerAction::Hold);
+    }
+
+    #[test]
+    fn initial_clamped_into_bounds() {
+        let t = SetPointTuner::new(1000, cfg());
+        assert_eq!(t.setpoint(), 100);
+    }
+
+    #[test]
+    fn converges_to_minimal_safe_setpoint() {
+        // Ground truth: violations occur whenever setpoint < 60.
+        let mut t = SetPointTuner::new(90, cfg());
+        let mut last = Vec::new();
+        for k in 0..5000 {
+            let violation = t.setpoint() < 60;
+            t.observe(violation);
+            if k > 4000 {
+                last.push(t.setpoint());
+            }
+        }
+        let avg: f64 = last.iter().map(|&v| v as f64).sum::<f64>() / last.len() as f64;
+        // the tuner hunts just above the true requirement
+        assert!(
+            (58.0..66.0).contains(&avg),
+            "steady-state set-point {avg}, expected near 60"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_rejected() {
+        let bad = TunerConfig {
+            window: 0,
+            ..cfg()
+        };
+        let _ = SetPointTuner::new(64, bad);
+    }
+
+    #[test]
+    fn default_policy_brackets_setpoint() {
+        let c = 64;
+        let cfg = TunerConfig::around(c);
+        assert!(cfg.floor <= c && c <= cfg.ceiling);
+        let _ = cfg.validated();
+    }
+}

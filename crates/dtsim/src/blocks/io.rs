@@ -1,0 +1,282 @@
+//! Hierarchy blocks: external inputs and nested subsystems.
+
+use crate::block::{Block, StepContext};
+use crate::error::Error;
+use crate::sim::Simulation;
+
+/// An externally-driven source: holds the last value pushed with
+/// [`Simulation::set_input`] (or by an enclosing [`Subsystem`]).
+#[derive(Debug, Clone)]
+pub struct Inport {
+    name: String,
+    initial: f64,
+    value: f64,
+}
+
+impl Inport {
+    /// An input port with the given initial value.
+    pub fn new(name: impl Into<String>, initial: f64) -> Self {
+        Inport {
+            name: name.into(),
+            initial,
+            value: initial,
+        }
+    }
+}
+
+impl Block for Inport {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        0
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn direct_feedthrough(&self) -> bool {
+        false
+    }
+    fn output(&mut self, _ctx: &StepContext, _inputs: &[f64], outputs: &mut [f64]) {
+        outputs[0] = self.value;
+    }
+    fn reset(&mut self) {
+        self.value = self.initial;
+    }
+    fn set_value(&mut self, value: f64) -> bool {
+        self.value = value;
+        true
+    }
+}
+
+/// A nested simulation wrapped as a single block.
+///
+/// Each outer step runs exactly one inner step. The boundary introduces one
+/// outer-step of latency by construction (`direct_feedthrough() == false`):
+/// the block's outputs during step `n` are the nested diagram's outputs
+/// from inner step `n−1`, and the inputs sampled at step `n` feed inner
+/// step `n`. This makes subsystems unconditionally safe inside feedback
+/// loops at the cost of a registered boundary — the same discipline a
+/// hardware hierarchy would impose.
+pub struct Subsystem {
+    name: String,
+    sim: Simulation,
+    inports: Vec<String>,
+    outputs: Vec<(String, usize)>,
+    latched: Vec<f64>,
+}
+
+impl std::fmt::Debug for Subsystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subsystem")
+            .field("name", &self.name)
+            .field("inports", &self.inports)
+            .field("outputs", &self.outputs)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Subsystem {
+    /// Wrap `sim` as a block.
+    ///
+    /// * `inports` — names of [`Inport`] blocks inside `sim`, one per block
+    ///   input port (in order);
+    /// * `outputs` — `(block name, output port)` pairs inside `sim`, one
+    ///   per block output port (in order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownBlock`]-style validation failures when a
+    /// named inport or output source does not exist in `sim`.
+    pub fn new(
+        name: impl Into<String>,
+        mut sim: Simulation,
+        inports: Vec<String>,
+        outputs: Vec<(String, usize)>,
+    ) -> Result<Self, Error> {
+        for (idx, p) in inports.iter().enumerate() {
+            if !sim.set_input(p, 0.0) {
+                let _ = idx;
+                return Err(Error::UnconnectedInput {
+                    block: p.clone(),
+                    port: 0,
+                });
+            }
+        }
+        for (src, port) in &outputs {
+            if sim.output(src, *port).is_none() {
+                return Err(Error::BadOutputPort {
+                    block: src.clone(),
+                    port: *port,
+                    available: 0,
+                });
+            }
+        }
+        sim.reset();
+        let latched = vec![0.0; outputs.len()];
+        Ok(Subsystem {
+            name: name.into(),
+            sim,
+            inports,
+            outputs,
+            latched,
+        })
+    }
+}
+
+impl Block for Subsystem {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        self.inports.len()
+    }
+    fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+    fn direct_feedthrough(&self) -> bool {
+        false
+    }
+    fn output(&mut self, _ctx: &StepContext, _inputs: &[f64], outputs: &mut [f64]) {
+        outputs.copy_from_slice(&self.latched);
+    }
+    fn update(&mut self, _ctx: &StepContext, inputs: &[f64]) {
+        for (p, &v) in self.inports.iter().zip(inputs) {
+            let accepted = self.sim.set_input(p, v);
+            debug_assert!(accepted, "inport validated at construction");
+        }
+        self.sim
+            .step()
+            .expect("nested simulation failed; construct subsystems from validated models");
+        for (slot, (src, port)) in self.latched.iter_mut().zip(&self.outputs) {
+            *slot = self
+                .sim
+                .output(src, *port)
+                .expect("output source validated at construction");
+        }
+    }
+    fn reset(&mut self) {
+        self.sim.reset();
+        self.latched.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{FunctionSource, Gain, Probe, Sum, UnitDelay};
+    use crate::GraphBuilder;
+
+    /// Inner diagram: y = 2·u (via an inport and a gain).
+    fn doubler() -> Simulation {
+        let mut g = GraphBuilder::new();
+        let inp = g.add(Inport::new("u", 0.0));
+        let gain = g.add(Gain::new("twice", 2.0));
+        g.connect(inp, 0, gain, 0).unwrap();
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn inport_holds_pushed_value() {
+        let mut g = GraphBuilder::new();
+        let inp = g.add(Inport::new("u", 7.0));
+        let p = g.add(Probe::new("p"));
+        g.connect(inp, 0, p, 0).unwrap();
+        let mut sim = g.build().unwrap();
+        sim.step().unwrap();
+        assert!(sim.set_input("u", -3.0));
+        assert!(!sim.set_input("p", 0.0), "probes refuse external values");
+        assert!(!sim.set_input("ghost", 0.0));
+        sim.step().unwrap();
+        sim.reset();
+        sim.step().unwrap();
+        assert_eq!(sim.trace("p").unwrap().samples(), &[7.0]);
+    }
+
+    #[test]
+    fn subsystem_validates_port_names() {
+        assert!(Subsystem::new("s", doubler(), vec!["nope".into()], vec![]).is_err());
+        assert!(Subsystem::new(
+            "s",
+            doubler(),
+            vec!["u".into()],
+            vec![("twice".into(), 3)]
+        )
+        .is_err());
+        assert!(Subsystem::new(
+            "s",
+            doubler(),
+            vec!["u".into()],
+            vec![("twice".into(), 0)]
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn subsystem_applies_inner_diagram_with_one_step_latency() {
+        let sub = Subsystem::new(
+            "dbl",
+            doubler(),
+            vec!["u".into()],
+            vec![("twice".into(), 0)],
+        )
+        .unwrap();
+        let mut g = GraphBuilder::new();
+        let src = g.add(FunctionSource::new("src", |t| t + 1.0));
+        let s = g.add(sub);
+        let p = g.add(Probe::new("p"));
+        g.chain(&[src, s, p]).unwrap();
+        let mut sim = g.build().unwrap();
+        sim.run(4).unwrap();
+        // boundary latency of one step: y[n] = 2·u[n-1]
+        assert_eq!(sim.trace("p").unwrap().samples(), &[0.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn subsystem_breaks_feedback_loops() {
+        // outer loop: x[n+1] = x[n] + 1 built with the accumulator INSIDE a
+        // subsystem: inner computes u + state via sum + delay.
+        let inner = {
+            let mut g = GraphBuilder::new();
+            let inp = g.add(Inport::new("u", 0.0));
+            let sum = g.add(Sum::new("sum", "++"));
+            let dly = g.add(UnitDelay::new("dly", 0.0));
+            g.connect(inp, 0, sum, 0).unwrap();
+            g.connect(dly, 0, sum, 1).unwrap();
+            g.connect(sum, 0, dly, 0).unwrap();
+            g.build().unwrap()
+        };
+        let sub =
+            Subsystem::new("acc", inner, vec!["u".into()], vec![("sum".into(), 0)]).unwrap();
+        let mut g = GraphBuilder::new();
+        let one = g.add(FunctionSource::new("one", |_| 1.0));
+        let s = g.add(sub);
+        let p = g.add(Probe::new("p"));
+        g.chain(&[one, s, p]).unwrap();
+        let mut sim = g.build().unwrap();
+        sim.run(5).unwrap();
+        // sub output lags: [0, 1, 2, 3, 4]
+        assert_eq!(sim.trace("p").unwrap().samples(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn subsystem_reset_propagates() {
+        let sub = Subsystem::new(
+            "dbl",
+            doubler(),
+            vec!["u".into()],
+            vec![("twice".into(), 0)],
+        )
+        .unwrap();
+        let mut g = GraphBuilder::new();
+        let src = g.add(FunctionSource::new("src", |t| t + 5.0));
+        let s = g.add(sub);
+        let p = g.add(Probe::new("p"));
+        g.chain(&[src, s, p]).unwrap();
+        let mut sim = g.build().unwrap();
+        sim.run(3).unwrap();
+        sim.reset();
+        sim.run(1).unwrap();
+        assert_eq!(sim.trace("p").unwrap().samples(), &[0.0]);
+    }
+}

@@ -1,0 +1,105 @@
+use std::fmt;
+
+/// Errors produced while building or running a simulation graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A connection referenced a block id that does not exist in the graph.
+    UnknownBlock {
+        /// The offending block index.
+        index: usize,
+    },
+    /// A connection referenced an output port outside the block's range.
+    BadOutputPort {
+        /// Name of the source block.
+        block: String,
+        /// Requested port index.
+        port: usize,
+        /// Number of output ports the block actually has.
+        available: usize,
+    },
+    /// A connection referenced an input port outside the block's range.
+    BadInputPort {
+        /// Name of the destination block.
+        block: String,
+        /// Requested port index.
+        port: usize,
+        /// Number of input ports the block actually has.
+        available: usize,
+    },
+    /// Two different sources were connected to the same input port.
+    InputAlreadyDriven {
+        /// Name of the destination block.
+        block: String,
+        /// The input port that was driven twice.
+        port: usize,
+    },
+    /// An input port was left unconnected at build time.
+    UnconnectedInput {
+        /// Name of the block with the dangling input.
+        block: String,
+        /// The unconnected port index.
+        port: usize,
+    },
+    /// The feedthrough sub-graph contains a cycle (an algebraic loop).
+    AlgebraicLoop {
+        /// Names of the blocks participating in the loop.
+        blocks: Vec<String>,
+    },
+    /// Two blocks were registered with the same name.
+    DuplicateName {
+        /// The non-unique block name.
+        name: String,
+    },
+    /// A signal became non-finite (NaN or infinity) during simulation.
+    NonFiniteSignal {
+        /// Name of the block that produced the value.
+        block: String,
+        /// Output port index.
+        port: usize,
+        /// Step at which the value appeared.
+        step: u64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownBlock { index } => write!(f, "unknown block index {index}"),
+            Error::BadOutputPort {
+                block,
+                port,
+                available,
+            } => write!(
+                f,
+                "block `{block}` has {available} output port(s), index {port} is out of range"
+            ),
+            Error::BadInputPort {
+                block,
+                port,
+                available,
+            } => write!(
+                f,
+                "block `{block}` has {available} input port(s), index {port} is out of range"
+            ),
+            Error::InputAlreadyDriven { block, port } => {
+                write!(f, "input port {port} of block `{block}` is already driven")
+            }
+            Error::UnconnectedInput { block, port } => {
+                write!(f, "input port {port} of block `{block}` is not connected")
+            }
+            Error::AlgebraicLoop { blocks } => {
+                write!(f, "algebraic loop through blocks: {}", blocks.join(" -> "))
+            }
+            Error::DuplicateName { name } => {
+                write!(f, "a block named `{name}` already exists")
+            }
+            Error::NonFiniteSignal { block, port, step } => write!(
+                f,
+                "non-finite signal at output {port} of block `{block}` on step {step}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,212 @@
+//! `repro` — regenerate any table or figure of the paper from the command
+//! line.
+//!
+//! ```text
+//! repro table1 | fig2 | fig7 | fig8 | fig9 | worked-examples | constraints | all
+//! repro --json <id>               # machine-readable series instead of text
+//! repro --c 128 --amp 0.1 fig8    # override the paper's c = 64 / 0.2c
+//! ```
+
+use std::process::ExitCode;
+
+use experiments::config::PaperParams;
+use experiments::{
+    constraints, ext_coupling, ext_lock, ext_noise, ext_sensitivity, ext_stability, ext_throughput, fig2,
+    fig7, fig8, fig9, table1, worked,
+};
+
+fn usage() -> &'static str {
+    "usage: repro [--json] [--c <stages>] [--amp <frac>] <experiment>\n\
+     paper artifacts: table1, fig2, fig7, fig8, fig9, worked-examples, constraints\n\
+     extensions:      ext-sensitivity, ext-throughput, ext-noise, ext-stability, ext-lock, ext-coupling\n\
+     bundles:         all (paper artifacts), extensions, everything\n"
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let mut params = PaperParams::default();
+    if let Some(err) = apply_overrides(&mut args, &mut params) {
+        eprintln!("error: {err}");
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let Some(which) = args.first() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let ok = dispatch(which, &params, json);
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        eprint!("{}", usage());
+        ExitCode::FAILURE
+    }
+}
+
+/// Pull `--c`/`--amp` overrides out of `args`; returns an error message on
+/// malformed input.
+fn apply_overrides(args: &mut Vec<String>, params: &mut PaperParams) -> Option<String> {
+    let mut take = |flag: &str| -> Result<Option<f64>, String> {
+        match args.iter().position(|a| a == flag) {
+            None => Ok(None),
+            Some(i) if i + 1 < args.len() => {
+                let v: f64 = args[i + 1]
+                    .parse()
+                    .map_err(|e| format!("{flag}: {e}"))?;
+                args.drain(i..=i + 1);
+                Ok(Some(v))
+            }
+            Some(_) => Err(format!("{flag} needs a value")),
+        }
+    };
+    match take("--c") {
+        Ok(Some(c)) if c >= 4.0 => params.setpoint = c as i64,
+        Ok(Some(c)) => return Some(format!("--c must be at least 4, got {c}")),
+        Ok(None) => {}
+        Err(e) => return Some(e),
+    }
+    match take("--amp") {
+        Ok(Some(a)) if (0.0..1.0).contains(&a) => params.amplitude_frac = a,
+        Ok(Some(a)) => return Some(format!("--amp must be in [0, 1), got {a}")),
+        Ok(None) => {}
+        Err(e) => return Some(e),
+    }
+    None
+}
+
+fn dispatch(which: &str, params: &PaperParams, json: bool) -> bool {
+    match which {
+        "table1" => {
+            println!("{}", table1::render());
+            true
+        }
+        "fig2" => {
+            let r = fig2::run(4.0, 401);
+            if json {
+                println!("{}", r.to_json().expect("plain data serializes"));
+            } else {
+                println!("{}", fig2::render(&r));
+            }
+            true
+        }
+        "fig7" => {
+            for panel in fig7::run(params) {
+                if json {
+                    println!("{}", panel.to_json().expect("plain data serializes"));
+                } else {
+                    println!("{}", fig7::render(&panel));
+                    println!("needed safety margins (stages):");
+                    for (label, m) in fig7::panel_margins(&panel) {
+                        println!("  {label:<12} {m:.2}");
+                    }
+                    println!();
+                }
+            }
+            true
+        }
+        "fig8" => {
+            let upper = fig8::run_upper(params, 17);
+            let lower = fig8::run_lower(params, 17);
+            if json {
+                println!("{}", upper.to_json().expect("plain data serializes"));
+                println!("{}", lower.to_json().expect("plain data serializes"));
+            } else {
+                println!("{}", fig8::render(&upper, "t_clk/c"));
+                println!("{}", fig8::render(&lower, "Te/c"));
+            }
+            true
+        }
+        "fig9" => {
+            for panel in fig9::run(params, 9) {
+                if json {
+                    println!("{}", panel.to_json().expect("plain data serializes"));
+                } else {
+                    println!("{}", fig9::render(&panel));
+                }
+            }
+            true
+        }
+        "worked-examples" => {
+            println!("{}", worked::render(&worked::run()));
+            true
+        }
+        "constraints" => {
+            println!("{}", constraints::render(&constraints::run(30)));
+            true
+        }
+        "ext-sensitivity" => {
+            let r = ext_sensitivity::run(params, 13);
+            if json {
+                println!("{}", r.to_json().expect("plain data serializes"));
+            } else {
+                println!("{}", ext_sensitivity::render(&r));
+            }
+            true
+        }
+        "ext-throughput" => {
+            let r = ext_throughput::run(params, 8);
+            if json {
+                println!("{}", r.to_json().expect("plain data serializes"));
+            } else {
+                println!("{}", ext_throughput::render(&r));
+            }
+            true
+        }
+        "ext-noise" => {
+            let r = ext_noise::run(params, &[1, 2, 3, 4, 5]);
+            if json {
+                println!("{}", r.to_json().expect("plain data serializes"));
+            } else {
+                println!("{}", ext_noise::render(&r));
+            }
+            true
+        }
+        "ext-stability" => {
+            println!("{}", ext_stability::render(&ext_stability::run(300)));
+            true
+        }
+        "ext-lock" => {
+            println!("{}", ext_lock::render(&ext_lock::run()));
+            true
+        }
+        "ext-coupling" => {
+            println!("{}", ext_coupling::render(&ext_coupling::run(params)));
+            true
+        }
+        "all" => {
+            for id in [
+                "table1",
+                "fig2",
+                "fig7",
+                "fig8",
+                "fig9",
+                "worked-examples",
+                "constraints",
+            ] {
+                println!("================ {id} ================\n");
+                dispatch(id, params, json);
+            }
+            true
+        }
+        "extensions" => {
+            for id in [
+                "ext-sensitivity",
+                "ext-throughput",
+                "ext-noise",
+                "ext-stability",
+                "ext-lock",
+                "ext-coupling",
+            ] {
+                println!("================ {id} ================\n");
+                dispatch(id, params, json);
+            }
+            true
+        }
+        "everything" => {
+            dispatch("all", params, json) && dispatch("extensions", params, json)
+        }
+        _ => false,
+    }
+}

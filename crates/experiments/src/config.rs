@@ -1,0 +1,67 @@
+//! Shared simulation parameters, matching the paper's §IV.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's global simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperParams {
+    /// Set-point `c` ("the set-point value for all the simulations is
+    /// c = 64").
+    pub setpoint: i64,
+    /// HoDV amplitude as a fraction of `c` ("the amplitude of the periodic
+    /// perturbation e is set equal to 0.2c").
+    pub amplitude_frac: f64,
+    /// Samples to discard as warm-up before computing margins (the real
+    /// system has been running forever; cold-start transients are not part
+    /// of the paper's steady-state figures).
+    pub warmup: usize,
+    /// Minimum recorded samples after warm-up.
+    pub min_samples: usize,
+    /// Perturbation cycles to cover after warm-up.
+    pub cycles: usize,
+}
+
+impl Default for PaperParams {
+    fn default() -> Self {
+        PaperParams {
+            setpoint: 64,
+            amplitude_frac: 0.2,
+            warmup: 1200,
+            min_samples: 4000,
+            cycles: 6,
+        }
+    }
+}
+
+impl PaperParams {
+    /// HoDV amplitude in stages (`0.2c = 12.8` for the paper's values).
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude_frac * self.setpoint as f64
+    }
+
+    /// Total samples to simulate for a perturbation of period
+    /// `te_over_c · c`: warm-up plus enough cycles of the perturbation.
+    pub fn samples_for(&self, te_over_c: f64) -> usize {
+        let per_cycle = te_over_c.ceil().max(1.0) as usize;
+        self.warmup + (self.cycles * per_cycle).max(self.min_samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = PaperParams::default();
+        assert_eq!(p.setpoint, 64);
+        assert!((p.amplitude() - 12.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_budget_scales_with_perturbation_period() {
+        let p = PaperParams::default();
+        assert!(p.samples_for(1000.0) >= p.warmup + 6000);
+        assert!(p.samples_for(1.0) >= p.warmup + p.min_samples);
+    }
+}

@@ -1,0 +1,128 @@
+//! §III-A — the control-block constraints (Eq. 6–8) and the closed-loop
+//! stability limit versus CDN delay.
+//!
+//! Not a numbered figure in the paper, but its central piece of theory:
+//! `N(1) ≠ 0` and `D(1) = 0` guarantee a nonzero steady-state length
+//! correction and zero steady-state error under step perturbations. This
+//! module verifies the constraints for the paper's filter, computes the
+//! steady-state responses by the final value theorem, and quantifies the
+//! paper's "clock domain size" warning: the largest whole-period CDN delay
+//! `M` for which the loop of Eq. (4)–(5) is still stable.
+
+use zdomain::{closedloop, iir_paper_filter};
+
+use crate::render::{fmt, Table};
+
+/// Constraint-check and stability summary of the paper's IIR filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintsReport {
+    /// `N(1)` of the filter (must be nonzero).
+    pub n_at_one: f64,
+    /// `D(1)` of the filter (must be zero).
+    pub d_at_one: f64,
+    /// Whether Eq. (8) is satisfied.
+    pub satisfied: bool,
+    /// Steady-state error for a unit set-point step (Eq. 7: must be 0).
+    pub ss_error_setpoint: f64,
+    /// Steady-state error for a unit mismatch step (must be 0).
+    pub ss_error_mismatch: f64,
+    /// Steady-state length change for a unit mismatch step (Eq. 6: −1).
+    pub ss_length_mismatch: f64,
+    /// Per-`M` spectral radius of the closed loop.
+    pub radius_by_m: Vec<(usize, f64)>,
+    /// Largest stable `M`.
+    pub max_stable_m: Option<usize>,
+}
+
+/// Run the constraint verification for `M ∈ 0..=max_m`.
+pub fn run(max_m: usize) -> ConstraintsReport {
+    let h = iir_paper_filter();
+    let radius_by_m: Vec<(usize, f64)> = (0..=max_m)
+        .map(|m| (m, closedloop::stability(&h, m).spectral_radius))
+        .collect();
+    ConstraintsReport {
+        n_at_one: h.num().at_one(),
+        d_at_one: h.den().at_one(),
+        satisfied: closedloop::satisfies_constraints(&h),
+        ss_error_setpoint: closedloop::steady_state_error(&h, 1, 1.0, 0.0, 0.0)
+            .unwrap_or(f64::NAN),
+        ss_error_mismatch: closedloop::steady_state_error(&h, 1, 0.0, 0.0, 1.0)
+            .unwrap_or(f64::NAN),
+        ss_length_mismatch: closedloop::steady_state_length(&h, 1, 0.0, 0.0, 1.0)
+            .unwrap_or(f64::NAN),
+        radius_by_m,
+        max_stable_m: closedloop::max_stable_cdn_delay(&h, max_m),
+    }
+}
+
+/// Render the report.
+pub fn render(r: &ConstraintsReport) -> String {
+    let mut out = String::new();
+    out.push_str("§III-A constraints for the paper's IIR control block (Eq. 6–8)\n\n");
+    out.push_str(&format!(
+        "  N(1) = {} (must be ≠ 0)\n  D(1) = {} (must be = 0)\n  Eq. (8) satisfied: {}\n\n",
+        fmt(r.n_at_one),
+        fmt(r.d_at_one),
+        r.satisfied
+    ));
+    out.push_str(&format!(
+        "  steady-state δ for set-point step: {}\n  steady-state δ for mismatch step:  {}\n  \
+         steady-state l_RO for mismatch step: {} (counteracts the unit mismatch)\n\n",
+        fmt(r.ss_error_setpoint),
+        fmt(r.ss_error_mismatch),
+        fmt(r.ss_length_mismatch)
+    ));
+    let mut t = Table::new(["M (CDN periods)", "spectral radius", "stable"]);
+    for (m, rad) in &r.radius_by_m {
+        t.row([
+            m.to_string(),
+            fmt(*rad),
+            if *rad < 1.0 { "yes" } else { "NO" }.to_owned(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nLargest stable CDN delay: M = {:?} periods — the 'clock domain size' limit \
+         of the paper's conclusions.\n",
+        r.max_stable_m
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constraints_hold_for_paper_filter() {
+        let r = run(20);
+        assert!(r.satisfied);
+        assert!(r.n_at_one.abs() > 1e-9);
+        assert!(r.d_at_one.abs() < 1e-9);
+        assert!(r.ss_error_setpoint.abs() < 1e-9);
+        assert!(r.ss_error_mismatch.abs() < 1e-9);
+        assert!((r.ss_length_mismatch + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stability_bound_is_finite_and_consistent() {
+        let r = run(60);
+        let m = r.max_stable_m.expect("stable at M = 0");
+        assert!(m >= 1, "the paper simulates t_clk = c (M ≈ 1) successfully");
+        assert!(m < 60, "bound must exist within the scan");
+        // radius table consistent with the bound
+        for (mm, rad) in &r.radius_by_m {
+            if *mm <= m {
+                assert!(*rad < 1.0, "M={mm} should be stable, radius {rad}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_mentions_bound() {
+        let r = run(10);
+        let text = render(&r);
+        assert!(text.contains("spectral radius"));
+        assert!(text.contains("clock domain size"));
+    }
+}

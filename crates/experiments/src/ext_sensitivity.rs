@@ -1,0 +1,175 @@
+//! Extension: predict the time-domain adaptation error from the z-domain
+//! sensitivity function — theory meets simulation.
+//!
+//! For a harmonic HoDV of amplitude `A` and period `T_e` (in clock
+//! periods), the loop's residual error amplitude is predicted by
+//!
+//! ```text
+//! |δ|_max ≈ A · |H_δ(e^{jω}) · W_e(e^{jω})| ,   ω = 2π / (T_e/c)
+//! ```
+//!
+//! with `H_δ` the error transfer (Eq. 5) and `W_e = (1 − z^{−M−1})z^{−1}`
+//! the homogeneous-input weight of `p(z)`. This experiment sweeps `T_e`,
+//! measures the actual error envelope of the (float, unquantized) IIR loop
+//! in the event-driven engine, and overlays the prediction — quantitative
+//! evidence that the whole simulation tower and the paper's Eq. (4)–(5)
+//! algebra describe the same system.
+
+use adaptive_clock::controller::IirConfig;
+use adaptive_clock::system::{Scheme, SystemBuilder};
+use adaptive_clock::tdc::Quantization;
+use variation::sources::Harmonic;
+use zdomain::{closedloop, Complex, TransferFunction};
+
+use crate::config::PaperParams;
+use crate::render::{fmt, Table};
+use crate::results::{ExperimentResult, Series};
+use crate::sweep::{log_grid, parallel_map};
+
+/// Predicted error amplitude for perturbation period `te_over_c` and CDN
+/// depth `m` (whole periods), per unit perturbation amplitude.
+pub fn predicted_gain(h: &TransferFunction, m: usize, te_over_c: f64) -> f64 {
+    assert!(te_over_c >= 2.0, "beyond Nyquist");
+    let omega = std::f64::consts::TAU / te_over_c;
+    let z = Complex::unit_circle(omega);
+    let hd = closedloop::error_transfer(h, m);
+    let w = closedloop::input_weights(m);
+    let weight = w.homogeneous.eval_z_complex(z);
+    (hd.eval(z) * weight).abs()
+}
+
+/// Run the sweep: measured vs predicted error amplitude across `T_e/c`.
+pub fn run(params: &PaperParams, points: usize) -> ExperimentResult {
+    // Below Te ≈ 8 periods the loop's own period modulation makes the CDN
+    // depth M[n] swing within one perturbation cycle, so the fixed-M linear
+    // prediction stops being meaningful; sweep the regime it claims.
+    let tes = log_grid(8.0, 500.0, points);
+    let h = zdomain::iir_paper_filter();
+    let c = params.setpoint;
+    let amp = params.amplitude();
+
+    let measured = parallel_map(&tes, |&te| {
+        let system = SystemBuilder::new(c)
+            .cdn_delay(c as f64)
+            .scheme(Scheme::IirFloat(IirConfig::paper()))
+            .quantization(Quantization::None)
+            .build()
+            .expect("valid configuration");
+        let hodv = Harmonic::new(amp, te * c as f64, 0.0);
+        let run = system.run(&hodv, params.samples_for(te)).skip(params.warmup);
+        run.timing_errors()
+            .iter()
+            .fold(0.0f64, |a, e| a.max(e.abs()))
+    });
+    let predicted: Vec<f64> = tes.iter().map(|&te| amp * predicted_gain(&h, 1, te)).collect();
+
+    ExperimentResult::new(
+        "ext-sensitivity",
+        format!(
+            "Measured vs z-domain-predicted |τ−c| amplitude for the IIR RO \
+             (c = {c}, t_clk = c, HoDV amplitude 0.2c)"
+        ),
+    )
+    .with_series(Series::new("measured", tes.clone(), measured))
+    .with_series(Series::new("predicted", tes, predicted))
+}
+
+/// Render as a comparison table.
+pub fn render(result: &ExperimentResult) -> String {
+    let meas = result.series_named("measured").expect("series present");
+    let pred = result.series_named("predicted").expect("series present");
+    let mut t = Table::new(["Te/c", "measured |δ|max", "predicted |δ|max", "ratio"]);
+    for (i, &x) in meas.x.iter().enumerate() {
+        let ratio = if pred.y[i] > 1e-9 {
+            meas.y[i] / pred.y[i]
+        } else {
+            f64::NAN
+        };
+        t.row([fmt(x), fmt(meas.y[i]), fmt(pred.y[i]), fmt(ratio)]);
+    }
+    format!(
+        "Extension — sensitivity-function prediction of the adaptation error\n\n{}\n\
+         The prediction uses only Eq. (4)–(5) algebra evaluated on the unit circle;\n\
+         the measurement is the full event-driven simulation. The measurement\n\
+         bottoms out at a ≈1-stage floor the linear fixed-M model cannot see:\n\
+         the ±20% period modulation swings the CDN depth M[n] itself (a\n\
+         second-order, amplitude-squared effect). Against the fixed-M discrete\n\
+         loop the prediction is tight to 3% (see the module tests).\n",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_clock::controller::FloatIir;
+    use adaptive_clock::loopsim::{constant, DiscreteLoop, LoopInputs};
+
+    /// Against the discrete fixed-M loop — the system the prediction is
+    /// derived for — the sensitivity formula is tight.
+    #[test]
+    fn prediction_matches_discrete_loop_tightly() {
+        let h = zdomain::iir_paper_filter();
+        let amp = 12.8;
+        for te in [10.0f64, 25.0, 50.0, 100.0, 400.0] {
+            let ctrl = FloatIir::from_config(&IirConfig::paper(), 64.0).expect("paper");
+            let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::None);
+            let cs = constant(64.0);
+            let zero = constant(0.0);
+            let e = move |n: i64| amp * (std::f64::consts::TAU * n as f64 / te).sin();
+            let steps = 2000 + (12.0 * te) as usize;
+            let tr = dl.run(
+                &LoopInputs {
+                    setpoint: &cs,
+                    homogeneous: &e,
+                    heterogeneous: &zero,
+                },
+                steps,
+            );
+            let tail = &tr.delta[steps / 2..];
+            let measured = tail.iter().fold(0.0f64, |a, d| a.max(d.abs()));
+            let predicted = amp * predicted_gain(&h, 1, te);
+            assert!(
+                (measured - predicted).abs() <= 0.03 * predicted + 0.02,
+                "Te={te}: discrete-loop measured {measured} vs predicted {predicted}"
+            );
+        }
+    }
+
+    /// Against the event-driven engine the prediction still tracks, but the
+    /// time-varying CDN depth (M[n] swings with the ±20% period modulation)
+    /// adds real second-order error the linear model cannot see.
+    #[test]
+    fn prediction_tracks_event_engine_loosely() {
+        let params = PaperParams::default();
+        let r = run(&params, 7);
+        let meas = r.series_named("measured").unwrap();
+        let pred = r.series_named("predicted").unwrap();
+        for (i, &te) in meas.x.iter().enumerate() {
+            let m = meas.y[i];
+            let p = pred.y[i];
+            assert!(
+                (m - p).abs() <= 0.35 * p + 1.3,
+                "Te/c={te}: measured {m} vs predicted {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn predicted_gain_shapes() {
+        let h = zdomain::iir_paper_filter();
+        // very slow perturbations are almost fully rejected
+        assert!(predicted_gain(&h, 1, 500.0) < 0.1);
+        // the waterbed hump amplifies mid-frequency perturbations
+        assert!(predicted_gain(&h, 1, 10.0) > 0.8);
+    }
+
+    #[test]
+    fn render_lists_every_point() {
+        let params = PaperParams::default();
+        let r = run(&params, 5);
+        let text = render(&r);
+        assert!(text.contains("predicted"));
+        assert!(text.matches('\n').count() > 8);
+    }
+}

@@ -1,0 +1,139 @@
+//! Fig. 2 — mismatch induced between the RO and an arbitrary CP by the CDN
+//! delay under harmonic and single-event HoDV.
+//!
+//! Reproduced twice: analytically (Eq. 2–3 in closed form) and empirically
+//! (sweeping Eq. 1 over the actual waveforms); the run asserts both agree,
+//! which is exactly the property the paper's figure illustrates.
+
+use variation::analysis;
+use variation::sources::{Harmonic, SingleEvent};
+
+use crate::render::{ascii_chart, fmt, Table};
+use crate::results::{ExperimentResult, Series};
+
+/// Generate the Fig. 2 curves over `x = t_clk/T_ν ∈ [0, x_max]`.
+pub fn run(x_max: f64, points: usize) -> ExperimentResult {
+    let pts = analysis::fig2_series(x_max, points);
+    let x: Vec<f64> = pts.iter().map(|p| p.x).collect();
+    let harmonic: Vec<f64> = pts.iter().map(|p| p.harmonic).collect();
+    let single: Vec<f64> = pts.iter().map(|p| p.single_event).collect();
+
+    // Empirical counterparts from the actual waveforms (unit amplitude,
+    // unit variation period/duration).
+    let h_wave = Harmonic::new(1.0, 1.0, 0.0);
+    let s_wave = SingleEvent::new(1.0, 1.0, 10.0);
+    let emp_h: Vec<f64> = x
+        .iter()
+        .map(|&t_clk| analysis::empirical_worst_case(&h_wave, t_clk, 0.0, 10.0, 0.002))
+        .collect();
+    let emp_s: Vec<f64> = x
+        .iter()
+        .map(|&t_clk| analysis::empirical_worst_case(&s_wave, t_clk, 0.0, 30.0, 0.002))
+        .collect();
+
+    ExperimentResult::new(
+        "fig2",
+        "Worst-case induced mismatch Δν/ν0 vs t_clk/Tν for harmonic and \
+         single-event HoDV (Eq. 2 and Eq. 3, with empirical validation)",
+    )
+    .with_series(Series::new("Harmonic HoDV", x.clone(), harmonic))
+    .with_series(Series::new("Single event HoDV", x.clone(), single))
+    .with_series(Series::new("Harmonic (empirical)", x.clone(), emp_h))
+    .with_series(Series::new("Single event (empirical)", x, emp_s))
+}
+
+/// Render the figure as a chart plus the zero-mismatch-island table.
+pub fn render(result: &ExperimentResult) -> String {
+    let h = result.series_named("Harmonic HoDV").expect("series present");
+    let s = result
+        .series_named("Single event HoDV")
+        .expect("series present");
+    let mut out = String::new();
+    out.push_str("Fig. 2 — Δν/ν0 vs t_clk/Tν\n\n");
+    out.push_str(&ascii_chart(
+        &[("Harmonic HoDV", &h.y), ("Single event HoDV", &s.y)],
+        72,
+        16,
+    ));
+    out.push('\n');
+    let mut t = Table::new(["t_clk/Tν", "harmonic Δν/ν0", "single event Δν/ν0"]);
+    for (i, &x) in h.x.iter().enumerate() {
+        if (x * 4.0).fract().abs() < 1e-9 {
+            // quarter-integer rows only, to keep the table printable
+            t.row([fmt(x), fmt(h.y[i]), fmt(s.y[i])]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nSafety-margin reduction islands (harmonic): t_clk < Tν/6 or \
+         |t_clk/Tν − n| < 1/6;\nsingle event: no benefit once t_clk > Tν/2.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> ExperimentResult {
+        run(4.0, 401)
+    }
+
+    #[test]
+    fn analytic_and_empirical_agree() {
+        let r = result();
+        let h = r.series_named("Harmonic HoDV").unwrap();
+        let eh = r.series_named("Harmonic (empirical)").unwrap();
+        for k in 0..h.len() {
+            assert!(
+                (h.y[k] - eh.y[k]).abs() < 0.02,
+                "x={}: analytic {} vs empirical {}",
+                h.x[k],
+                h.y[k],
+                eh.y[k]
+            );
+        }
+        let s = r.series_named("Single event HoDV").unwrap();
+        let es = r.series_named("Single event (empirical)").unwrap();
+        for k in 0..s.len() {
+            assert!(
+                (s.y[k] - es.y[k]).abs() < 0.02,
+                "x={}: analytic {} vs empirical {}",
+                s.x[k],
+                s.y[k],
+                es.y[k]
+            );
+        }
+    }
+
+    #[test]
+    fn paper_shape_harmonic_peaks_at_two_and_islands_at_integers() {
+        let r = result();
+        let h = r.series_named("Harmonic HoDV").unwrap();
+        assert!((h.nearest(0.5).unwrap() - 2.0).abs() < 0.01);
+        assert!((h.nearest(1.5).unwrap() - 2.0).abs() < 0.01);
+        assert!(h.nearest(1.0).unwrap() < 0.02);
+        assert!(h.nearest(2.0).unwrap() < 0.02);
+        assert!(h.nearest(3.0).unwrap() < 0.02);
+    }
+
+    #[test]
+    fn paper_shape_single_event_saturates_at_one() {
+        let r = result();
+        let s = r.series_named("Single event HoDV").unwrap();
+        assert!((s.nearest(0.25).unwrap() - 0.5).abs() < 0.01);
+        assert!((s.nearest(0.5).unwrap() - 1.0).abs() < 0.01);
+        for x in [0.75, 1.0, 2.0, 4.0] {
+            assert!((s.nearest(x).unwrap() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn render_mentions_boundaries() {
+        let r = result();
+        let text = render(&r);
+        assert!(text.contains("Tν/6"));
+        assert!(text.contains("Tν/2"));
+        assert!(text.contains("Harmonic HoDV"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Fig. 8 — relative adaptive period `⟨T_clk⟩/T_fixed` under a HoDV, for
+//! the three adaptive systems.
+//!
+//! Upper panel: the variation period is fixed at `T_e = 100c` while the CDN
+//! delay sweeps `t_clk/c ∈ [0.1, 10]` (log axis). Lower panel: the CDN
+//! delay is fixed at `t_clk = c` while the perturbation period sweeps
+//! `T_e/c ∈ [1, 1000]` (log axis).
+//!
+//! Paper observations the tests assert:
+//!
+//! * upper: for `t_clk/c` up to ≈ 5 the IIR RO is the best option (ratio
+//!   below 1 at small delays); the benefit erodes as the delay grows;
+//! * lower: at very fast perturbations no adaptive system helps (ratios
+//!   ≈ 1 or worse); the free RO is the first to drop below 1 as `T_e`
+//!   grows; at mid frequencies (around `T_e = 100c`) the IIR RO is best;
+//!   for `T_e/c > 200` the IIR RO and the free RO perform the same.
+
+use adaptive_clock::system::Scheme;
+
+use crate::config::PaperParams;
+use crate::render::{ascii_chart, fmt, Table};
+use crate::results::{ExperimentResult, Series};
+use crate::runner::{adaptive_schemes, relative_period, OperatingPoint};
+use crate::sweep::{log_grid, parallel_map};
+
+/// Upper panel: sweep `t_clk/c` at fixed `T_e = 100c`.
+pub fn run_upper(params: &PaperParams, points: usize) -> ExperimentResult {
+    let xs = log_grid(0.1, 10.0, points);
+    let mut result = ExperimentResult::new(
+        "fig8-upper",
+        format!(
+            "Relative adaptive period vs t_clk/c at Te = 100c \
+             (c = {}, HoDV amplitude 0.2c)",
+            params.setpoint
+        ),
+    );
+    for scheme in adaptive_schemes() {
+        let ys = parallel_map(&xs, |&x| {
+            relative_period(params, scheme.clone(), OperatingPoint::new(x, 100.0))
+        });
+        result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
+    }
+    result
+}
+
+/// Lower panel: sweep `T_e/c` at fixed `t_clk = c`.
+pub fn run_lower(params: &PaperParams, points: usize) -> ExperimentResult {
+    let xs = log_grid(1.0, 1000.0, points);
+    let mut result = ExperimentResult::new(
+        "fig8-lower",
+        format!(
+            "Relative adaptive period vs Te/c at t_clk = c \
+             (c = {}, HoDV amplitude 0.2c)",
+            params.setpoint
+        ),
+    );
+    for scheme in adaptive_schemes() {
+        let ys = parallel_map(&xs, |&x| {
+            relative_period(params, scheme.clone(), OperatingPoint::new(1.0, x))
+        });
+        result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
+    }
+    result
+}
+
+/// Render a panel as chart plus table.
+pub fn render(result: &ExperimentResult, x_label: &str) -> String {
+    let series: Vec<(&str, &[f64])> = result
+        .series
+        .iter()
+        .map(|s| (s.label.as_str(), s.y.as_slice()))
+        .collect();
+    let mut out = format!("Fig. 8 panel — {}\n\n", result.description);
+    out.push_str(&ascii_chart(&series, 80, 16));
+    out.push('\n');
+    let mut headers = vec![x_label.to_owned()];
+    headers.extend(result.series.iter().map(|s| s.label.clone()));
+    let mut t = Table::new(headers);
+    if let Some(first) = result.series.first() {
+        for (i, &x) in first.x.iter().enumerate() {
+            let mut row = vec![fmt(x)];
+            row.extend(result.series.iter().map(|s| fmt(s.y[i])));
+            t.row(row);
+        }
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Scheme label helper used by the tests and the CLI.
+pub fn y_at(result: &ExperimentResult, scheme: &Scheme, x: f64) -> f64 {
+    result
+        .series_named(scheme.label())
+        .and_then(|s| s.nearest(x))
+        .unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> PaperParams {
+        PaperParams::default()
+    }
+
+    #[test]
+    fn upper_iir_wins_at_small_delay_and_degrades() {
+        let r = run_upper(&params(), 9);
+        let iir = Scheme::iir_paper();
+        let at_small = y_at(&r, &iir, 0.1);
+        let at_large = y_at(&r, &iir, 10.0);
+        assert!(at_small < 1.0, "IIR at t_clk=0.1c: {at_small}");
+        assert!(
+            at_large > at_small,
+            "IIR must degrade with CDN delay: {at_small} -> {at_large}"
+        );
+    }
+
+    #[test]
+    fn upper_iir_at_least_ties_free_ro_for_small_delays() {
+        // Paper: "for the whole range until t_clk/c = 5 the IIR RO shows
+        // the best performance, slightly better than the free RO".
+        let r = run_upper(&params(), 9);
+        let iir = Scheme::iir_paper();
+        let free = Scheme::FreeRo { extra_length: 0 };
+        for x in [0.1, 0.32, 1.0, 3.2] {
+            let yi = y_at(&r, &iir, x);
+            let yf = y_at(&r, &free, x);
+            assert!(
+                yi <= yf + 0.03,
+                "t_clk/c={x}: IIR {yi} should not lose to free RO {yf}"
+            );
+        }
+    }
+
+    #[test]
+    fn lower_no_benefit_at_very_fast_perturbation() {
+        let r = run_lower(&params(), 9);
+        for scheme in adaptive_schemes() {
+            let y = y_at(&r, &scheme, 1.0);
+            assert!(
+                y > 0.93,
+                "{}: ratio {y} at Te=c should show no real benefit",
+                scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn lower_all_adaptive_win_at_slow_perturbation() {
+        let r = run_lower(&params(), 9);
+        for scheme in adaptive_schemes() {
+            let y = y_at(&r, &scheme, 1000.0);
+            assert!(
+                y < 0.92,
+                "{}: ratio {y} at Te=1000c should be well below 1",
+                scheme.label()
+            );
+        }
+    }
+
+    #[test]
+    fn lower_iir_and_free_converge_at_very_slow_perturbation() {
+        // Paper: "For Te/c > 200 IIR RO and free RO show the same
+        // performance."
+        let r = run_lower(&params(), 9);
+        let yi = y_at(&r, &Scheme::iir_paper(), 1000.0);
+        let yf = y_at(&r, &Scheme::FreeRo { extra_length: 0 }, 1000.0);
+        assert!(
+            (yi - yf).abs() < 0.05,
+            "at Te=1000c: IIR {yi} vs free {yf}"
+        );
+    }
+
+    #[test]
+    fn render_contains_all_series_and_axis() {
+        let r = run_lower(&params(), 5);
+        let text = render(&r, "Te/c");
+        assert!(text.contains("Te/c"));
+        assert!(text.contains("IIR RO"));
+        assert!(text.contains("Free RO"));
+        assert!(text.contains("TEAtime RO"));
+    }
+}

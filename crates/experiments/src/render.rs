@@ -1,0 +1,228 @@
+//! Plain-text rendering of tables and series — the console face of every
+//! reproduced figure.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; it is padded or truncated to the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        row.truncate(self.headers.len());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push(' ');
+                line.push_str(c);
+                line.extend(std::iter::repeat_n(' ', w - c.chars().count() + 1));
+                line.push('|');
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&"-".repeat(w + 2));
+            sep.push('|');
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Render one or more named series as an ASCII chart (rows = value bands,
+/// columns = sample index). Each series gets a distinct glyph; overlapping
+/// points show the later series' glyph.
+///
+/// # Panics
+///
+/// Panics if `width` or `height` is zero, or no series data is given.
+pub fn ascii_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "chart must have positive size");
+    assert!(
+        series.iter().any(|(_, ys)| !ys.is_empty()),
+        "chart needs at least one non-empty series"
+    );
+    const GLYPHS: [char; 6] = ['*', '+', 'o', 'x', '#', '@'];
+    let mut lo = f64::MAX;
+    let mut hi = f64::MIN;
+    for (_, ys) in series {
+        for &y in *ys {
+            lo = lo.min(y);
+            hi = hi.max(y);
+        }
+    }
+    if hi - lo < 1e-12 {
+        hi = lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        if ys.is_empty() {
+            continue;
+        }
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        #[allow(clippy::needless_range_loop)] // col indexes every grid row, not one slice
+        for col in 0..width {
+            // nearest-sample resampling onto the column grid
+            let idx = if width == 1 {
+                0
+            } else {
+                ((col as f64 / (width - 1) as f64) * (ys.len() - 1) as f64).round() as usize
+            };
+            let y = ys[idx];
+            let frac = (y - lo) / (hi - lo);
+            let row = ((1.0 - frac) * (height - 1) as f64).round() as usize;
+            grid[row.min(height - 1)][col] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{hi:>10.3} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in grid.iter().take(height - 1).skip(1) {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{lo:>10.3} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", GLYPHS[i % GLYPHS.len()], name))
+        .collect();
+    out.push_str("           ");
+    out.push_str(&legend.join("   "));
+    out.push('\n');
+    out
+}
+
+/// Format a float compactly for table cells.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 || v.abs() < 0.001 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // all lines same display width
+        let w = lines[0].chars().count();
+        for l in &lines {
+            assert_eq!(l.chars().count(), w, "line {l:?}");
+        }
+        assert!(s.contains("alpha"));
+        assert!(s.contains("12345"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn table_pads_and_truncates_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+        t.row(["x", "y", "z-dropped"]);
+        let s = t.render();
+        assert!(!s.contains("z-dropped"));
+    }
+
+    #[test]
+    fn chart_contains_series_extremes_and_legend() {
+        let ys: Vec<f64> = (0..100)
+            .map(|k| (k as f64 * 0.2).sin() * 3.0)
+            .collect();
+        let s = ascii_chart(&[("sine", &ys)], 60, 12);
+        assert!(s.contains('*'));
+        assert!(s.contains("sine"));
+        let first = s.lines().next().unwrap();
+        assert!(first.contains("3.0") || first.contains("2.9"), "{first}");
+    }
+
+    #[test]
+    fn chart_flat_series_does_not_divide_by_zero() {
+        let ys = vec![5.0; 10];
+        let s = ascii_chart(&[("flat", &ys)], 20, 5);
+        assert!(s.contains("flat"));
+    }
+
+    #[test]
+    fn chart_multiple_series_distinct_glyphs() {
+        let a = vec![0.0, 1.0, 0.0];
+        let b = vec![1.0, 0.0, 1.0];
+        let s = ascii_chart(&[("a", &a), ("b", &b)], 30, 8);
+        assert!(s.contains('*'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty series")]
+    fn chart_rejects_all_empty() {
+        let empty: [f64; 0] = [];
+        let _ = ascii_chart(&[("e", &empty)], 10, 5);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1.5), "1.5000");
+        assert!(fmt(12345.0).contains('e'));
+        assert!(fmt(0.0001).contains('e'));
+    }
+}

@@ -1,0 +1,129 @@
+//! Structured, serializable experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// One named data series (a curve in a figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Abscissa values.
+    pub x: Vec<f64>,
+    /// Ordinate values.
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    /// A series from parallel x/y vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn new(label: impl Into<String>, x: Vec<f64>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "series x/y lengths differ");
+        Series {
+            label: label.into(),
+            x,
+            y,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The y value at the x closest to `x0`, or `None` if empty.
+    pub fn nearest(&self, x0: f64) -> Option<f64> {
+        self.x
+            .iter()
+            .zip(&self.y)
+            .min_by(|a, b| {
+                (a.0 - x0)
+                    .abs()
+                    .partial_cmp(&(b.0 - x0).abs())
+                    .expect("finite abscissae")
+            })
+            .map(|(_, &y)| y)
+    }
+}
+
+/// A reproduced artifact: one figure panel or table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`"fig8-upper"`, `"table1"`, …).
+    pub id: String,
+    /// Human description.
+    pub description: String,
+    /// The curves/rows of the artifact.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentResult {
+    /// A result under construction.
+    pub fn new(id: impl Into<String>, description: impl Into<String>) -> Self {
+        ExperimentResult {
+            id: id.into(),
+            description: description.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series; returns `self` for chaining.
+    #[must_use]
+    pub fn with_series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Find a series by label.
+    pub fn series_named(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Serialize to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (practically unreachable for these
+    /// plain-data types).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_nearest_lookup() {
+        let s = Series::new("a", vec![0.0, 1.0, 2.0], vec![10.0, 11.0, 12.0]);
+        assert_eq!(s.nearest(0.9), Some(11.0));
+        assert_eq!(s.nearest(-5.0), Some(10.0));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn series_rejects_mismatched_lengths() {
+        let _ = Series::new("bad", vec![0.0], vec![]);
+    }
+
+    #[test]
+    fn result_roundtrips_through_json() {
+        let r = ExperimentResult::new("fig2", "mismatch curves")
+            .with_series(Series::new("harmonic", vec![0.0, 0.5], vec![0.0, 2.0]));
+        let json = r.to_json().unwrap();
+        let back: ExperimentResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(back.series_named("harmonic").is_some());
+        assert!(back.series_named("nope").is_none());
+    }
+}

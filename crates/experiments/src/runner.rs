@@ -1,0 +1,115 @@
+//! Shared machinery for running scheme comparisons at one operating point.
+
+use adaptive_clock::system::{Scheme, SystemBuilder};
+use adaptive_clock::RunTrace;
+use clock_metrics::margin;
+use variation::sources::Harmonic;
+
+use crate::config::PaperParams;
+
+/// One operating point of the paper's evaluation: CDN delay and HoDV
+/// period, both as multiples of `c`, plus a static RO↔TDC mismatch as a
+/// fraction of `c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// `t_clk / c`.
+    pub t_clk_over_c: f64,
+    /// `T_e / c` (HoDV period in nominal clock periods).
+    pub te_over_c: f64,
+    /// `μ / c`.
+    pub mu_over_c: f64,
+}
+
+impl OperatingPoint {
+    /// A mismatch-free point.
+    pub fn new(t_clk_over_c: f64, te_over_c: f64) -> Self {
+        OperatingPoint {
+            t_clk_over_c,
+            te_over_c,
+            mu_over_c: 0.0,
+        }
+    }
+
+    /// Same point with a mismatch.
+    #[must_use]
+    pub fn with_mu(mut self, mu_over_c: f64) -> Self {
+        self.mu_over_c = mu_over_c;
+        self
+    }
+}
+
+/// The three adaptive schemes the paper compares (legend order of Fig. 8).
+pub fn adaptive_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::iir_paper(),
+        Scheme::TeaTime,
+        Scheme::FreeRo { extra_length: 0 },
+    ]
+}
+
+/// Run `scheme` at the operating point and return the post-warm-up trace.
+pub fn run_scheme(params: &PaperParams, scheme: Scheme, point: OperatingPoint) -> RunTrace {
+    let c = params.setpoint;
+    let hodv = Harmonic::new(params.amplitude(), point.te_over_c * c as f64, 0.0);
+    let system = SystemBuilder::new(c)
+        .cdn_delay(point.t_clk_over_c * c as f64)
+        .scheme(scheme)
+        .single_sensor_mu(point.mu_over_c * c as f64)
+        .build()
+        .expect("paper operating points are valid configurations");
+    let samples = params.samples_for(point.te_over_c);
+    system.run(&hodv, samples).skip(params.warmup)
+}
+
+/// The relative adaptive period `⟨T_clk⟩/T_fixed` of `scheme` at the
+/// operating point, with the fixed-clock baseline run under the identical
+/// waveform and mismatch.
+pub fn relative_period(params: &PaperParams, scheme: Scheme, point: OperatingPoint) -> f64 {
+    let adaptive = run_scheme(params, scheme, point);
+    let fixed = run_scheme(params, Scheme::Fixed, point);
+    margin::relative_adaptive_period(&adaptive, &fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operating_point_builders() {
+        let p = OperatingPoint::new(1.0, 25.0).with_mu(-0.2);
+        assert_eq!(p.t_clk_over_c, 1.0);
+        assert_eq!(p.te_over_c, 25.0);
+        assert_eq!(p.mu_over_c, -0.2);
+    }
+
+    #[test]
+    fn scheme_lineup_matches_paper() {
+        let labels: Vec<&str> = adaptive_schemes().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["IIR RO", "TEAtime RO", "Free RO"]);
+    }
+
+    #[test]
+    fn fixed_baseline_margin_equals_hodv_amplitude() {
+        let params = PaperParams::default();
+        let run = run_scheme(
+            &params,
+            Scheme::Fixed,
+            OperatingPoint::new(1.0, 50.0),
+        );
+        let m = clock_metrics::margin::required_margin(&run);
+        // Fixed clock is fully exposed: needs the whole 0.2c = 12.8 plus
+        // the TDC floor quantization (≤ 1 stage).
+        assert!((m - 12.8).abs() < 1.2, "fixed margin {m}");
+    }
+
+    #[test]
+    fn relative_period_sane_at_friendly_point() {
+        let params = PaperParams::default();
+        let r = relative_period(
+            &params,
+            Scheme::iir_paper(),
+            OperatingPoint::new(1.0, 50.0),
+        );
+        assert!(r > 0.7 && r < 1.1, "relative period {r}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Parallel parameter sweeps over crossbeam scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `items` in parallel, preserving order. Spawns at most
+/// `available_parallelism` scoped worker threads; items are handed out
+/// through a shared atomic cursor, so uneven per-item cost balances
+/// automatically.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                tx.send((i, f(&items[i]))).expect("receiver outlives workers");
+            });
+        }
+        drop(tx);
+        for (i, r) in rx.iter() {
+            out[i] = Some(r);
+        }
+    })
+    .expect("sweep worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// A logarithmically spaced grid of `n` points from `lo` to `hi`
+/// (inclusive).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or the bounds are not positive and increasing.
+pub fn log_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two grid points");
+    assert!(lo > 0.0 && hi > lo, "log grid needs 0 < lo < hi");
+    let (la, lb) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|k| (la + (lb - la) * k as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// A linearly spaced grid of `n` points from `lo` to `hi` (inclusive).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `hi <= lo`.
+pub fn linear_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two grid points");
+    assert!(hi > lo, "grid needs lo < hi");
+    (0..n)
+        .map(|k| lo + (hi - lo) * k as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[5u32], |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn parallel_map_uneven_work() {
+        let items: Vec<u64> = (0..40).collect();
+        let out = parallel_map(&items, |&x| {
+            // make later items much cheaper than early ones
+            let spins = if x < 4 { 200_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn log_grid_endpoints_and_monotonicity() {
+        let g = log_grid(0.1, 10.0, 21);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[20] - 10.0).abs() < 1e-9);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // geometric: ratio constant
+        let r0 = g[1] / g[0];
+        let r1 = g[11] / g[10];
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_grid_endpoints() {
+        let g = linear_grid(-0.2, 0.2, 9);
+        assert!((g[0] + 0.2).abs() < 1e-12);
+        assert!((g[8] - 0.2).abs() < 1e-12);
+        assert!((g[4]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Table I — sources of variability classified by time and space
+//! characteristics.
+
+use variation::taxonomy::{self, SpatialNature, TimeNature};
+
+use crate::render::Table;
+
+/// Render Table I in the paper's layout (rows = spatial nature, columns =
+/// temporal nature; each cell lists its sources).
+pub fn render() -> String {
+    let mut t = Table::new(["", "Static", "Dynamic"]);
+    for space in [SpatialNature::Homogeneous, SpatialNature::Heterogeneous] {
+        let static_cell = cell_text(TimeNature::Static, space);
+        let dynamic_cell = cell_text(TimeNature::Dynamic, space);
+        t.row([format!("{space:?}"), static_cell, dynamic_cell]);
+    }
+    format!(
+        "TABLE I — Sources of variability classified by time and space characteristics\n\n{}",
+        t.render()
+    )
+}
+
+fn cell_text(time: TimeNature, space: SpatialNature) -> String {
+    taxonomy::cell(time, space)
+        .iter()
+        .map(|s| s.label())
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rendered_table_contains_all_ten_sources() {
+        let s = render();
+        for src in variation::taxonomy::SourceKind::ALL {
+            assert!(s.contains(src.label()), "missing {:?}", src);
+        }
+    }
+
+    #[test]
+    fn layout_matches_paper() {
+        let s = render();
+        // D2D sits in the static-homogeneous cell: same row as Homogeneous
+        let homo_row = s
+            .lines()
+            .find(|l| l.contains("Homogeneous") && !l.contains("Heterogeneous"))
+            .unwrap();
+        assert!(homo_row.contains("Die to die"));
+        assert!(homo_row.contains("VRM"));
+        let hetero_row = s.lines().find(|l| l.contains("Heterogeneous")).unwrap();
+        assert!(hetero_row.contains("Within die"));
+        assert!(hetero_row.contains("IR drop"));
+        assert!(hetero_row.contains("Ageing"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Safety-margin accounting and the relative adaptive period.
+//!
+//! # The shift property
+//!
+//! Every scheme in the paper responds to a set-point (or design-length, or
+//! fixed-period) increase of `m` stages by shifting its whole `τ` and
+//! period trajectories up by exactly `m`:
+//!
+//! * **fixed clock** — `τ = T_fixed − e + μ` is affine in `T_fixed`;
+//! * **free RO** — `τ = l_RO + Δe + μ` is affine in the design length;
+//! * **IIR / TEAtime RO** — the loop regulates `τ` to the set-point; both
+//!   the linear filter and the sign nonlinearity commute with a constant
+//!   offset of (set-point, τ, l_RO) as long as the integer arithmetic is
+//!   offset by whole stages.
+//!
+//! Hence the *minimal error-free margin* is read off a single nominal run:
+//! `m* = max(0, max_n (c − τ[n]))`, the mean period of the margined system
+//! is `⟨T⟩ + m*`, and no per-point search is needed. The integration tests
+//! re-verify the property by actually re-running shifted systems.
+
+use adaptive_clock::RunTrace;
+
+/// The minimal margin (stages) that must be added for error-free operation:
+/// `max(0, max_n (c − τ[n]))`.
+pub fn required_margin(run: &RunTrace) -> f64 {
+    run.worst_negative_error()
+}
+
+/// Mean clock period of the run once operated with just enough margin to be
+/// error-free: `⟨T⟩ + m*`.
+pub fn adaptive_needed_period(run: &RunTrace) -> f64 {
+    run.mean_period() + required_margin(run)
+}
+
+/// The fixed-clock period needed for error-free operation, from a run of
+/// the fixed clock at its nominal period `c`: `c + m*_fixed`.
+pub fn needed_fixed_period(fixed_run: &RunTrace) -> f64 {
+    fixed_run.setpoint() + required_margin(fixed_run)
+}
+
+/// The paper's figure of merit `⟨T_clk⟩ / T_fixed` (Figs. 8–9): values
+/// below 1 mean the adaptive clock runs faster, on average, than the
+/// margined fixed clock while giving the same error-free guarantee.
+pub fn relative_adaptive_period(adaptive_run: &RunTrace, fixed_run: &RunTrace) -> f64 {
+    adaptive_needed_period(adaptive_run) / needed_fixed_period(fixed_run)
+}
+
+/// Relative adaptive period against an externally-supplied margin (used by
+/// the paper's Fig. 9, where the free RO's margin is fixed at design time
+/// to cover the whole mismatch range rather than tuned per operating
+/// point).
+pub fn relative_adaptive_period_with_margin(
+    adaptive_run: &RunTrace,
+    margin: f64,
+    fixed_run: &RunTrace,
+) -> f64 {
+    (adaptive_run.mean_period() + margin) / needed_fixed_period(fixed_run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adaptive_clock::event::Sample;
+
+    fn trace(setpoint: f64, taus: &[f64], periods: &[f64]) -> RunTrace {
+        let samples: Vec<Sample> = taus
+            .iter()
+            .zip(periods)
+            .enumerate()
+            .map(|(k, (&tau, &period))| Sample {
+                time: k as f64,
+                period,
+                tau,
+                delta: setpoint - tau,
+                lro: period,
+            })
+            .collect();
+        RunTrace::from_samples(setpoint, samples)
+    }
+
+    #[test]
+    fn margin_is_worst_negative_excursion() {
+        let r = trace(64.0, &[64.0, 60.0, 66.0, 62.0], &[64.0; 4]);
+        assert_eq!(required_margin(&r), 4.0);
+    }
+
+    #[test]
+    fn margin_zero_when_always_above_setpoint() {
+        let r = trace(64.0, &[64.0, 65.0, 70.0], &[64.0; 3]);
+        assert_eq!(required_margin(&r), 0.0);
+    }
+
+    #[test]
+    fn needed_period_adds_margin_to_mean() {
+        let r = trace(64.0, &[60.0, 64.0], &[64.0, 66.0]);
+        assert_eq!(adaptive_needed_period(&r), 65.0 + 4.0);
+    }
+
+    #[test]
+    fn fixed_needed_period_uses_setpoint_not_mean() {
+        // fixed run at nominal c: τ dips by 12.8 under a 20% HoDV
+        let r = trace(64.0, &[51.2, 76.8, 64.0], &[64.0; 3]);
+        assert!((needed_fixed_period(&r) - 76.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_period_below_one_when_adaptive_wins() {
+        let adaptive = trace(64.0, &[63.0, 65.0], &[64.0, 64.0]);
+        let fixed = trace(64.0, &[51.2, 76.8], &[64.0, 64.0]);
+        let r = relative_adaptive_period(&adaptive, &fixed);
+        assert!((r - 65.0 / 76.8).abs() < 1e-12);
+        assert!(r < 1.0);
+    }
+
+    #[test]
+    fn external_margin_variant() {
+        let adaptive = trace(64.0, &[64.0, 64.0], &[64.0, 64.0]);
+        let fixed = trace(64.0, &[54.0, 64.0], &[64.0, 64.0]);
+        let r = relative_adaptive_period_with_margin(&adaptive, 10.0, &fixed);
+        assert!((r - 74.0 / 74.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Descriptive statistics over recorded signals.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample set.
+///
+/// # Example
+///
+/// ```
+/// use clock_metrics::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0]).expect("non-empty");
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.range(), 2.0);
+/// assert!(Summary::of(&[]).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Summarize a slice. Returns `None` for an empty slice.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+        let pct = |p: f64| -> f64 {
+            // linear interpolation between closest ranks
+            let idx = p * (n - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            sorted[lo] + frac * (sorted[hi] - sorted[lo])
+        };
+        Some(Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p05: pct(0.05),
+            p50: pct(0.50),
+            p95: pct(0.95),
+        })
+    }
+
+    /// Peak-to-peak range.
+    pub fn range(&self) -> f64 {
+        self.max - self.min
+    }
+}
+
+/// A fixed-width histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Build a histogram of `values` with `bins` equal-width bins spanning
+    /// `[lo, hi]`. Out-of-range values clamp into the edge bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn build(values: &[f64], lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        let mut counts = vec![0u64; bins];
+        for &v in values {
+            let x = ((v - lo) / (hi - lo) * bins as f64).floor();
+            let idx = (x as i64).clamp(0, bins as i64 - 1) as usize;
+            counts[idx] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            counts,
+            total: values.len() as u64,
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples binned.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `[lo, hi)` range of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * w, self.lo + (i + 1) as f64 * w)
+    }
+
+    /// Fraction of samples in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.range(), 4.0);
+        assert!((s.std - (2.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_and_singleton() {
+        assert!(Summary::of(&[]).is_none());
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.p05, 7.0);
+        assert_eq!(s.p95, 7.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::of(&[0.0, 10.0]).unwrap();
+        assert!((s.p05 - 0.5).abs() < 1e-12);
+        assert!((s.p95 - 9.5).abs() < 1e-12);
+        assert!((s.p50 - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_order_invariant() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        let b = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let h = Histogram::build(&[-10.0, 0.1, 0.5, 0.9, 99.0], 0.0, 1.0, 2);
+        // -10 clamps into bin 0; 0.5, 0.9 and 99 land/clamp into bin 1
+        assert_eq!(h.counts(), &[2, 3]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.bin_range(0), (0.0, 0.5));
+        assert!((h.fraction(1) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_boundary_value_goes_right() {
+        let h = Histogram::build(&[0.5], 0.0, 1.0, 2);
+        assert_eq!(h.counts(), &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = Histogram::build(&[1.0], 0.0, 1.0, 0);
+    }
+}

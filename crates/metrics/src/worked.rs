@@ -1,0 +1,130 @@
+//! The paper's worked examples (end of §IV-A and §IV-B): translating the
+//! stage-unit adaptation results into nanoseconds and safety-margin
+//! reductions.
+//!
+//! Setup common to both examples: the set-point `c = 64` corresponds, in
+//! ideal conditions, to a clock period of 1 ns (so one stage ≈ 15.6 ps).
+
+use serde::{Deserialize, Serialize};
+
+/// One worked example: a worst-case delay variation forces a margined
+/// fixed clock; the adaptive clock reclaims part of that margin.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkedExample {
+    /// Set-point in stages (64 in the paper).
+    pub setpoint: i64,
+    /// Nominal period in ns at the set-point (1.0 in the paper).
+    pub nominal_ns: f64,
+    /// Total worst-case delay variation, as a fraction of nominal (e.g.
+    /// 0.2 for §IV-A's 20 % HoDV, 0.4 for §IV-B's 20 % HoDV + 20 % HeDV).
+    pub variation_frac: f64,
+    /// Fraction of the *margined period* the adaptive clock saves (0.1 in
+    /// §IV-A, 0.2 in §IV-B).
+    pub adaptive_saving_frac: f64,
+}
+
+/// Derived quantities of a worked example.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkedResult {
+    /// The margined fixed-clock period in ns (`nominal · (1 + variation)`).
+    pub fixed_period_ns: f64,
+    /// The equivalent set-point in stages (`ceil(c · (1 + variation))`).
+    pub margined_setpoint: i64,
+    /// Absolute period saving of the adaptive clock in ns.
+    pub saving_ns: f64,
+    /// The saving as a percentage of the *added* safety margin.
+    pub sm_reduction_pct: f64,
+}
+
+impl WorkedExample {
+    /// The §IV-A example: 20 % HoDV, 10 % adaptive set-point reduction.
+    pub fn hodv_paper() -> Self {
+        WorkedExample {
+            setpoint: 64,
+            nominal_ns: 1.0,
+            variation_frac: 0.2,
+            adaptive_saving_frac: 0.1,
+        }
+    }
+
+    /// The §IV-B example: 20 % HoDV + 20 % HeDV (0.4 total), 20 % adaptive
+    /// set-point reduction.
+    pub fn hedv_paper() -> Self {
+        WorkedExample {
+            setpoint: 64,
+            nominal_ns: 1.0,
+            variation_frac: 0.4,
+            adaptive_saving_frac: 0.2,
+        }
+    }
+
+    /// Evaluate the example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variation_frac <= 0` (no margin to reduce).
+    pub fn compute(&self) -> WorkedResult {
+        assert!(self.variation_frac > 0.0, "no margin to reduce");
+        let fixed_period_ns = self.nominal_ns * (1.0 + self.variation_frac);
+        let margined_setpoint =
+            (self.setpoint as f64 * (1.0 + self.variation_frac)).ceil() as i64;
+        let added_margin_ns = self.nominal_ns * self.variation_frac;
+        let saving_ns = self.adaptive_saving_frac * fixed_period_ns;
+        WorkedResult {
+            fixed_period_ns,
+            margined_setpoint,
+            saving_ns,
+            sm_reduction_pct: 100.0 * saving_ns / added_margin_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §IV-A: "the clock period has to be set to 1.2 ns, or … c = 77. …
+    /// a reduction of 0.12 ns in the clock period, which is a 60 %
+    /// reduction of the added SM."
+    #[test]
+    fn hodv_example_reproduces_paper_numbers() {
+        let r = WorkedExample::hodv_paper().compute();
+        assert!((r.fixed_period_ns - 1.2).abs() < 1e-12);
+        assert_eq!(r.margined_setpoint, 77);
+        assert!((r.saving_ns - 0.12).abs() < 1e-12);
+        assert!((r.sm_reduction_pct - 60.0).abs() < 1e-9);
+    }
+
+    /// §IV-B: "the clock period has to be set to 1.4 ns, or … c = 90. …
+    /// a reduction of 0.28 ns in the clock period, which is a 70 %
+    /// reduction of the added safety margin."
+    #[test]
+    fn hedv_example_reproduces_paper_numbers() {
+        let r = WorkedExample::hedv_paper().compute();
+        assert!((r.fixed_period_ns - 1.4).abs() < 1e-12);
+        assert_eq!(r.margined_setpoint, 90);
+        assert!((r.saving_ns - 0.28).abs() < 1e-12);
+        assert!((r.sm_reduction_pct - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_saving_gives_zero_reduction() {
+        let ex = WorkedExample {
+            adaptive_saving_frac: 0.0,
+            ..WorkedExample::hodv_paper()
+        };
+        let r = ex.compute();
+        assert_eq!(r.saving_ns, 0.0);
+        assert_eq!(r.sm_reduction_pct, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no margin to reduce")]
+    fn rejects_zero_variation() {
+        let ex = WorkedExample {
+            variation_frac: 0.0,
+            ..WorkedExample::hodv_paper()
+        };
+        let _ = ex.compute();
+    }
+}

@@ -1,0 +1,248 @@
+//! Waveform combinators: build compound variation profiles from primitives
+//! without writing new types.
+
+use crate::sources::Waveform;
+
+/// Extension methods available on every [`Waveform`].
+///
+/// # Example
+///
+/// ```
+/// use variation::sources::{Harmonic, Waveform};
+/// use variation::WaveformExt;
+///
+/// // a 10%-of-c ripple riding on a +2-stage static offset, gated in time
+/// let w = Harmonic::new(6.4, 1600.0, 0.0)
+///     .offset(2.0)
+///     .windowed(0.0, 1.0e6);
+/// assert_eq!(w.value(2.0e6), 0.0);
+/// assert!((w.value(400.0) - 8.4).abs() < 1e-9);
+/// ```
+pub trait WaveformExt: Waveform + Sized {
+    /// Scale the waveform by a constant factor.
+    fn scaled(self, factor: f64) -> Scaled<Self> {
+        Scaled {
+            inner: self,
+            factor,
+        }
+    }
+
+    /// Add a constant offset.
+    fn offset(self, offset: f64) -> OffsetBy<Self> {
+        OffsetBy {
+            inner: self,
+            offset,
+        }
+    }
+
+    /// Delay the waveform in time: `w'(t) = w(t − delay)`.
+    fn delayed(self, delay: f64) -> Delayed<Self> {
+        Delayed {
+            inner: self,
+            delay,
+        }
+    }
+
+    /// Clip the waveform into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    fn clipped(self, lo: f64, hi: f64) -> Clipped<Self> {
+        assert!(lo <= hi, "clip bounds must satisfy lo <= hi");
+        Clipped {
+            inner: self,
+            lo,
+            hi,
+        }
+    }
+
+    /// Sum with another waveform.
+    fn plus<W: Waveform>(self, other: W) -> SumOf<Self, W> {
+        SumOf { a: self, b: other }
+    }
+
+    /// Gate the waveform: zero outside `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    fn windowed(self, start: f64, end: f64) -> Windowed<Self> {
+        assert!(end >= start, "window must be non-empty");
+        Windowed {
+            inner: self,
+            start,
+            end,
+        }
+    }
+}
+
+impl<W: Waveform + Sized> WaveformExt for W {}
+
+/// See [`WaveformExt::scaled`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scaled<W> {
+    inner: W,
+    factor: f64,
+}
+
+impl<W: Waveform> Waveform for Scaled<W> {
+    fn value(&self, t: f64) -> f64 {
+        self.factor * self.inner.value(t)
+    }
+    fn amplitude_bound(&self) -> f64 {
+        self.factor.abs() * self.inner.amplitude_bound()
+    }
+}
+
+/// See [`WaveformExt::offset`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffsetBy<W> {
+    inner: W,
+    offset: f64,
+}
+
+impl<W: Waveform> Waveform for OffsetBy<W> {
+    fn value(&self, t: f64) -> f64 {
+        self.offset + self.inner.value(t)
+    }
+    fn amplitude_bound(&self) -> f64 {
+        self.offset.abs() + self.inner.amplitude_bound()
+    }
+}
+
+/// See [`WaveformExt::delayed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delayed<W> {
+    inner: W,
+    delay: f64,
+}
+
+impl<W: Waveform> Waveform for Delayed<W> {
+    fn value(&self, t: f64) -> f64 {
+        self.inner.value(t - self.delay)
+    }
+    fn amplitude_bound(&self) -> f64 {
+        self.inner.amplitude_bound()
+    }
+}
+
+/// See [`WaveformExt::clipped`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clipped<W> {
+    inner: W,
+    lo: f64,
+    hi: f64,
+}
+
+impl<W: Waveform> Waveform for Clipped<W> {
+    fn value(&self, t: f64) -> f64 {
+        self.inner.value(t).clamp(self.lo, self.hi)
+    }
+    fn amplitude_bound(&self) -> f64 {
+        self.lo
+            .abs()
+            .max(self.hi.abs())
+            .min(self.inner.amplitude_bound())
+    }
+}
+
+/// See [`WaveformExt::plus`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SumOf<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Waveform, B: Waveform> Waveform for SumOf<A, B> {
+    fn value(&self, t: f64) -> f64 {
+        self.a.value(t) + self.b.value(t)
+    }
+    fn amplitude_bound(&self) -> f64 {
+        self.a.amplitude_bound() + self.b.amplitude_bound()
+    }
+}
+
+/// See [`WaveformExt::windowed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Windowed<W> {
+    inner: W,
+    start: f64,
+    end: f64,
+}
+
+impl<W: Waveform> Waveform for Windowed<W> {
+    fn value(&self, t: f64) -> f64 {
+        if (self.start..self.end).contains(&t) {
+            self.inner.value(t)
+        } else {
+            0.0
+        }
+    }
+    fn amplitude_bound(&self) -> f64 {
+        self.inner.amplitude_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::{ConstantOffset, Harmonic};
+
+    #[test]
+    fn scaled_and_offset() {
+        let w = Harmonic::new(2.0, 8.0, 0.0).scaled(3.0).offset(1.0);
+        assert!((w.value(2.0) - 7.0).abs() < 1e-12); // 3·2 + 1
+        assert_eq!(w.amplitude_bound(), 7.0);
+    }
+
+    #[test]
+    fn delayed_shifts_time() {
+        let w = Harmonic::new(2.0, 8.0, 0.0).delayed(2.0);
+        assert!((w.value(4.0) - 2.0).abs() < 1e-12); // sin at quarter period
+        assert_eq!(w.amplitude_bound(), 2.0);
+    }
+
+    #[test]
+    fn clipped_limits_range() {
+        let w = Harmonic::new(5.0, 8.0, 0.0).clipped(-1.0, 2.0);
+        assert_eq!(w.value(2.0), 2.0);
+        assert_eq!(w.value(6.0), -1.0);
+        assert_eq!(w.amplitude_bound(), 2.0);
+    }
+
+    #[test]
+    fn plus_sums() {
+        let w = ConstantOffset::new(1.0).plus(ConstantOffset::new(2.0));
+        assert_eq!(w.value(0.0), 3.0);
+        assert_eq!(w.amplitude_bound(), 3.0);
+    }
+
+    #[test]
+    fn windowed_gates() {
+        let w = ConstantOffset::new(4.0).windowed(10.0, 20.0);
+        assert_eq!(w.value(9.9), 0.0);
+        assert_eq!(w.value(10.0), 4.0);
+        assert_eq!(w.value(19.9), 4.0);
+        assert_eq!(w.value(20.0), 0.0);
+    }
+
+    #[test]
+    fn combinators_chain() {
+        let w = Harmonic::new(1.0, 4.0, 0.0)
+            .scaled(2.0)
+            .offset(0.5)
+            .clipped(-1.0, 1.0)
+            .delayed(1.0)
+            .windowed(0.0, 100.0);
+        // at t=2: inner sees t=1 -> sin(π/2)=1 -> 2·1+0.5=2.5 -> clip 1.0
+        assert_eq!(w.value(2.0), 1.0);
+        assert_eq!(w.value(200.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn clip_rejects_inverted_bounds() {
+        let _ = ConstantOffset::new(0.0).clipped(1.0, -1.0);
+    }
+}

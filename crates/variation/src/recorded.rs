@@ -1,0 +1,164 @@
+//! Recorded variation traces: capture any waveform on a grid, serialize
+//! it, and replay it later as a [`Waveform`].
+//!
+//! This is the substitution path for "real PVTA traces" the paper's
+//! methodology would use on silicon: a measured supply/temperature record
+//! can be imported as `(dt, samples)` and driven through the exact same
+//! simulators as the synthetic profiles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::sources::Waveform;
+
+/// A uniformly-sampled variation trace, linearly interpolated on replay
+/// and clamped to its end values outside the recorded range.
+///
+/// # Example
+///
+/// ```
+/// use variation::recorded::RecordedTrace;
+/// use variation::sources::{Harmonic, Waveform};
+///
+/// let live = Harmonic::new(2.0, 100.0, 0.0);
+/// let rec = RecordedTrace::capture(&live, 1000.0, 1.0);
+/// assert!((rec.value(33.3) - live.value(33.3)).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecordedTrace {
+    dt: f64,
+    samples: Vec<f64>,
+}
+
+impl RecordedTrace {
+    /// Wrap raw samples with grid spacing `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `samples` is empty.
+    pub fn new(dt: f64, samples: Vec<f64>) -> Self {
+        assert!(dt > 0.0, "grid spacing must be positive");
+        assert!(!samples.is_empty(), "a trace needs at least one sample");
+        RecordedTrace { dt, samples }
+    }
+
+    /// Record `source` over `[0, horizon]` at spacing `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt <= 0` or `horizon < 0`.
+    pub fn capture<W: Waveform + ?Sized>(source: &W, horizon: f64, dt: f64) -> Self {
+        assert!(dt > 0.0, "grid spacing must be positive");
+        assert!(horizon >= 0.0, "horizon must be non-negative");
+        let n = (horizon / dt).floor() as usize + 1;
+        let samples = (0..n).map(|k| source.value(k as f64 * dt)).collect();
+        RecordedTrace::new(dt, samples)
+    }
+
+    /// Grid spacing.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when only one sample exists (a constant trace).
+    pub fn is_empty(&self) -> bool {
+        false // `new` guarantees at least one sample
+    }
+
+    /// The recorded duration.
+    pub fn duration(&self) -> f64 {
+        (self.samples.len() - 1) as f64 * self.dt
+    }
+
+    /// Borrow the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Serialize as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization failures (practically unreachable).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-input failures.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl Waveform for RecordedTrace {
+    fn value(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return self.samples[0];
+        }
+        let x = t / self.dt;
+        let i = x.floor() as usize;
+        if i + 1 >= self.samples.len() {
+            return *self.samples.last().expect("non-empty by construction");
+        }
+        let frac = x - i as f64;
+        self.samples[i] + frac * (self.samples[i + 1] - self.samples[i])
+    }
+    fn amplitude_bound(&self) -> f64 {
+        self.samples.iter().map(|s| s.abs()).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::Harmonic;
+
+    #[test]
+    fn capture_and_replay_matches_source_between_grid_points() {
+        let src = Harmonic::new(2.0, 100.0, 0.3);
+        let rec = RecordedTrace::capture(&src, 500.0, 0.5);
+        for k in 0..900 {
+            let t = k as f64 * 0.55;
+            let err = (rec.value(t) - src.value(t)).abs();
+            // linear interpolation error bound for this curvature/grid
+            assert!(err < 0.01, "t={t}: err {err}");
+        }
+        assert_eq!(rec.dt(), 0.5);
+        assert!((rec.duration() - 500.0).abs() < 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn clamps_outside_recorded_range() {
+        let rec = RecordedTrace::new(1.0, vec![5.0, 6.0, 7.0]);
+        assert_eq!(rec.value(-10.0), 5.0);
+        assert_eq!(rec.value(100.0), 7.0);
+        assert_eq!(rec.value(1.5), 6.5);
+        assert_eq!(rec.len(), 3);
+        assert!(!rec.is_empty());
+        assert!((rec.amplitude_bound() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let src = Harmonic::new(1.5, 40.0, 0.0);
+        let rec = RecordedTrace::capture(&src, 100.0, 2.0);
+        let json = rec.to_json().unwrap();
+        let back = RecordedTrace::from_json(&json).unwrap();
+        assert_eq!(back, rec);
+        assert!(RecordedTrace::from_json("not json").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trace_rejected() {
+        let _ = RecordedTrace::new(1.0, vec![]);
+    }
+}

@@ -1,0 +1,429 @@
+//! Heterogeneous (per-location) variation fields.
+//!
+//! The paper's closed-loop architecture disseminates TDC sensors over the
+//! clock domain precisely because variations differ from place to place.
+//! A [`SpatialField`] assigns each sensor location a *static* offset and an
+//! optional *dynamic* waveform, modelling WID process variation, IR-drop
+//! profiles, and temperature hotspots.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::sources::Waveform;
+
+/// A sensor location in normalized die coordinates (`[0, 1] × [0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// Horizontal coordinate in `[0, 1]`.
+    pub x: f64,
+    /// Vertical coordinate in `[0, 1]`.
+    pub y: f64,
+}
+
+impl Position {
+    /// A position; coordinates are clamped into the unit square.
+    pub fn new(x: f64, y: f64) -> Self {
+        Position {
+            x: x.clamp(0.0, 1.0),
+            y: y.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Euclidean distance to another position.
+    pub fn distance(&self, other: &Position) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// A `n`-point grid layout covering the die (row-major, roughly square).
+    pub fn grid(n: usize) -> Vec<Position> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![Position::new(0.5, 0.5)];
+        }
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        (0..n)
+            .map(|i| {
+                let r = i / cols;
+                let c = i % cols;
+                Position::new(
+                    (c as f64 + 0.5) / cols as f64,
+                    (r as f64 + 0.5) / rows.max(1) as f64,
+                )
+            })
+            .collect()
+    }
+}
+
+/// A static spatial profile: maps a position to a delay offset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Profile {
+    /// The same offset everywhere (degenerates to a homogeneous variation).
+    Uniform {
+        /// Offset applied at every position.
+        offset: f64,
+    },
+    /// Linear gradient across the die along a direction.
+    Gradient {
+        /// Offset at the die center.
+        center_offset: f64,
+        /// Change per unit distance along x.
+        slope_x: f64,
+        /// Change per unit distance along y.
+        slope_y: f64,
+    },
+    /// Gaussian hotspot (e.g. a temperature peak over a busy core).
+    Hotspot {
+        /// Hotspot center.
+        center: Position,
+        /// Peak extra delay at the center.
+        peak: f64,
+        /// Gaussian radius (standard deviation) in die units.
+        radius: f64,
+    },
+}
+
+impl Profile {
+    /// Evaluate the profile at a position.
+    pub fn offset_at(&self, p: Position) -> f64 {
+        match *self {
+            Profile::Uniform { offset } => offset,
+            Profile::Gradient {
+                center_offset,
+                slope_x,
+                slope_y,
+            } => center_offset + slope_x * (p.x - 0.5) + slope_y * (p.y - 0.5),
+            Profile::Hotspot {
+                center,
+                peak,
+                radius,
+            } => {
+                let d = p.distance(&center);
+                peak * (-0.5 * (d / radius).powi(2)).exp()
+            }
+        }
+    }
+}
+
+/// A *moving* hotspot: a Gaussian thermal peak whose center migrates
+/// between waypoints on a fixed period — the canonical dynamic
+/// heterogeneous variation (a workload hopping between cores).
+///
+/// The center moves along the closed polyline of `waypoints`, completing
+/// one lap every `period` time units, with linear interpolation between
+/// waypoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingHotspot {
+    waypoints: Vec<Position>,
+    period: f64,
+    peak: f64,
+    radius: f64,
+}
+
+impl MovingHotspot {
+    /// A migrating hotspot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 waypoints are given, or `period`/`radius`
+    /// are not positive.
+    pub fn new(waypoints: Vec<Position>, period: f64, peak: f64, radius: f64) -> Self {
+        assert!(waypoints.len() >= 2, "need at least two waypoints");
+        assert!(period > 0.0, "migration period must be positive");
+        assert!(radius > 0.0, "hotspot radius must be positive");
+        MovingHotspot {
+            waypoints,
+            period,
+            peak,
+            radius,
+        }
+    }
+
+    /// The hotspot center at time `t`.
+    pub fn center_at(&self, t: f64) -> Position {
+        let n = self.waypoints.len();
+        let lap = (t / self.period).rem_euclid(1.0);
+        let x = lap * n as f64;
+        let i = (x.floor() as usize) % n;
+        let j = (i + 1) % n;
+        let frac = x - x.floor();
+        let a = self.waypoints[i];
+        let b = self.waypoints[j];
+        Position::new(a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y))
+    }
+
+    /// The extra delay this hotspot induces at position `p`, time `t`.
+    pub fn value_at(&self, p: Position, t: f64) -> f64 {
+        let d = p.distance(&self.center_at(t));
+        self.peak * (-0.5 * (d / self.radius).powi(2)).exp()
+    }
+
+    /// A per-position [`Waveform`] view of this hotspot, usable as a
+    /// sensor's dynamic mismatch (negate `peak` for "slower gates read
+    /// fewer stages" conventions as needed).
+    pub fn at_position(&self, p: Position) -> MovingHotspotAt {
+        MovingHotspotAt {
+            hotspot: self.clone(),
+            position: p,
+        }
+    }
+}
+
+/// A [`MovingHotspot`] observed from one fixed position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingHotspotAt {
+    hotspot: MovingHotspot,
+    position: Position,
+}
+
+impl Waveform for MovingHotspotAt {
+    fn value(&self, t: f64) -> f64 {
+        self.hotspot.value_at(self.position, t)
+    }
+    fn amplitude_bound(&self) -> f64 {
+        self.hotspot.peak.abs()
+    }
+}
+
+/// A spatial variation field: a sum of static profiles, optional seeded
+/// per-position randomness, and an optional shared dynamic waveform scaled
+/// per position.
+pub struct SpatialField {
+    profiles: Vec<Profile>,
+    random_sigma: f64,
+    seed: u64,
+    dynamic: Option<Box<dyn Waveform + Send + Sync>>,
+}
+
+impl std::fmt::Debug for SpatialField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpatialField")
+            .field("profiles", &self.profiles)
+            .field("random_sigma", &self.random_sigma)
+            .field("seed", &self.seed)
+            .field("has_dynamic", &self.dynamic.is_some())
+            .finish()
+    }
+}
+
+impl Default for SpatialField {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpatialField {
+    /// An empty field (zero offset everywhere).
+    pub fn new() -> Self {
+        SpatialField {
+            profiles: Vec::new(),
+            random_sigma: 0.0,
+            seed: 0,
+            dynamic: None,
+        }
+    }
+
+    /// Add a static profile; returns `self` for chaining.
+    #[must_use]
+    pub fn with_profile(mut self, p: Profile) -> Self {
+        self.profiles.push(p);
+        self
+    }
+
+    /// Add seeded per-position Gaussian-ish randomness of the given sigma
+    /// (models device-to-device random variation). Deterministic per
+    /// position for a fixed seed.
+    #[must_use]
+    pub fn with_randomness(mut self, sigma: f64, seed: u64) -> Self {
+        self.random_sigma = sigma;
+        self.seed = seed;
+        self
+    }
+
+    /// Add a dynamic waveform shared by all positions (its local amplitude
+    /// is scaled by the *static* field value through `scale`; pass a
+    /// uniform profile first if a flat dynamic term is wanted).
+    #[must_use]
+    pub fn with_dynamic(mut self, w: impl Waveform + Send + Sync + 'static) -> Self {
+        self.dynamic = Some(Box::new(w));
+        self
+    }
+
+    fn random_component(&self, p: Position) -> f64 {
+        if self.random_sigma == 0.0 {
+            return 0.0;
+        }
+        // Hash the position into a per-site seed; quantize to avoid float
+        // identity issues.
+        let qx = (p.x * 1e6).round() as u64;
+        let qy = (p.y * 1e6).round() as u64;
+        let site_seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(qx.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(qy.wrapping_mul(0x94D0_49BB_1331_11EB));
+        let mut rng = ChaCha8Rng::seed_from_u64(site_seed);
+        // Sum of uniforms ~ approximately normal (Irwin–Hall with n=12).
+        let s: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0;
+        s * self.random_sigma
+    }
+
+    /// Static offset at a position (profiles + randomness; no dynamics).
+    pub fn static_offset(&self, p: Position) -> f64 {
+        self.profiles.iter().map(|pr| pr.offset_at(p)).sum::<f64>()
+            + self.random_component(p)
+    }
+
+    /// Total variation at a position and time.
+    pub fn value_at(&self, p: Position, t: f64) -> f64 {
+        let d = self.dynamic.as_ref().map_or(0.0, |w| w.value(t));
+        self.static_offset(p) + d
+    }
+
+    /// Materialize static offsets for a set of sensor positions.
+    pub fn sample_offsets(&self, positions: &[Position]) -> Vec<f64> {
+        positions.iter().map(|&p| self.static_offset(p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::Harmonic;
+
+    #[test]
+    fn grid_covers_unit_square() {
+        let g = Position::grid(9);
+        assert_eq!(g.len(), 9);
+        for p in &g {
+            assert!((0.0..=1.0).contains(&p.x));
+            assert!((0.0..=1.0).contains(&p.y));
+        }
+        // distinct positions
+        for (i, a) in g.iter().enumerate() {
+            for b in &g[i + 1..] {
+                assert!(a.distance(b) > 1e-6);
+            }
+        }
+        assert!(Position::grid(0).is_empty());
+        assert_eq!(Position::grid(1), vec![Position::new(0.5, 0.5)]);
+    }
+
+    #[test]
+    fn uniform_profile_is_flat() {
+        let f = SpatialField::new().with_profile(Profile::Uniform { offset: 2.0 });
+        for p in Position::grid(5) {
+            assert_eq!(f.static_offset(p), 2.0);
+        }
+    }
+
+    #[test]
+    fn gradient_profile_tilts() {
+        let pr = Profile::Gradient {
+            center_offset: 1.0,
+            slope_x: 2.0,
+            slope_y: 0.0,
+        };
+        assert!((pr.offset_at(Position::new(0.5, 0.5)) - 1.0).abs() < 1e-12);
+        assert!((pr.offset_at(Position::new(1.0, 0.5)) - 2.0).abs() < 1e-12);
+        assert!((pr.offset_at(Position::new(0.0, 0.5)) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hotspot_decays_with_distance() {
+        let pr = Profile::Hotspot {
+            center: Position::new(0.5, 0.5),
+            peak: 4.0,
+            radius: 0.1,
+        };
+        let at_center = pr.offset_at(Position::new(0.5, 0.5));
+        let near = pr.offset_at(Position::new(0.55, 0.5));
+        let far = pr.offset_at(Position::new(0.9, 0.5));
+        assert!((at_center - 4.0).abs() < 1e-12);
+        assert!(near < at_center && near > far);
+        assert!(far < 0.01);
+    }
+
+    #[test]
+    fn randomness_is_deterministic_per_seed() {
+        let f1 = SpatialField::new().with_randomness(1.0, 99);
+        let f2 = SpatialField::new().with_randomness(1.0, 99);
+        let f3 = SpatialField::new().with_randomness(1.0, 100);
+        let pts = Position::grid(16);
+        let o1 = f1.sample_offsets(&pts);
+        let o2 = f2.sample_offsets(&pts);
+        let o3 = f3.sample_offsets(&pts);
+        assert_eq!(o1, o2);
+        assert_ne!(o1, o3);
+        // nonzero spread
+        let spread = o1.iter().cloned().fold(f64::MIN, f64::max)
+            - o1.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 0.1);
+    }
+
+    #[test]
+    fn dynamic_component_added_uniformly() {
+        let f = SpatialField::new()
+            .with_profile(Profile::Uniform { offset: 1.0 })
+            .with_dynamic(Harmonic::new(2.0, 8.0, 0.0));
+        let p = Position::new(0.3, 0.7);
+        assert!((f.value_at(p, 0.0) - 1.0).abs() < 1e-12);
+        assert!((f.value_at(p, 2.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_hotspot_visits_waypoints_in_order() {
+        let hs = MovingHotspot::new(
+            vec![Position::new(0.0, 0.0), Position::new(1.0, 0.0)],
+            10.0,
+            4.0,
+            0.1,
+        );
+        let c0 = hs.center_at(0.0);
+        assert!((c0.x - 0.0).abs() < 1e-12);
+        let c_quarter = hs.center_at(2.5);
+        assert!((c_quarter.x - 0.5).abs() < 1e-12, "x = {}", c_quarter.x);
+        let c_half = hs.center_at(5.0);
+        assert!((c_half.x - 1.0).abs() < 1e-12);
+        // second half returns along the closing segment
+        let c_three_quarter = hs.center_at(7.5);
+        assert!((c_three_quarter.x - 0.5).abs() < 1e-12);
+        // periodicity
+        let c_lap = hs.center_at(12.5);
+        assert!((c_lap.x - hs.center_at(2.5).x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moving_hotspot_waveform_peaks_when_overhead() {
+        let hs = MovingHotspot::new(
+            vec![Position::new(0.0, 0.5), Position::new(1.0, 0.5)],
+            100.0,
+            -6.0, // slows gates under it
+            0.15,
+        );
+        let sensor = hs.at_position(Position::new(1.0, 0.5));
+        // hotspot overhead at t = 50 (half lap)
+        assert!((sensor.value(50.0) + 6.0).abs() < 1e-9);
+        // far away at t = 0
+        assert!(sensor.value(0.0).abs() < 0.01);
+        assert_eq!(sensor.amplitude_bound(), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two waypoints")]
+    fn moving_hotspot_needs_waypoints() {
+        let _ = MovingHotspot::new(vec![Position::new(0.5, 0.5)], 10.0, 1.0, 0.1);
+    }
+
+    #[test]
+    fn profiles_sum() {
+        let f = SpatialField::new()
+            .with_profile(Profile::Uniform { offset: 1.0 })
+            .with_profile(Profile::Uniform { offset: -3.0 });
+        assert_eq!(f.static_offset(Position::new(0.1, 0.1)), -2.0);
+    }
+}

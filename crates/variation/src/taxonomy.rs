@@ -1,0 +1,208 @@
+//! The paper's Table I: sources of variability classified by their time and
+//! space characteristics.
+
+use serde::{Deserialize, Serialize};
+
+/// Temporal nature of a variability source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimeNature {
+    /// Fixed once the die is manufactured (or changing on very long scales).
+    Static,
+    /// Changes while the circuit operates.
+    Dynamic,
+}
+
+/// Spatial nature of a variability source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpatialNature {
+    /// Affects the whole die equally.
+    Homogeneous,
+    /// Differs from place to place on the die.
+    Heterogeneous,
+}
+
+/// The variability sources enumerated in the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SourceKind {
+    /// Die-to-die (D2D) process variations.
+    DieToDie,
+    /// Within-die (WID) process variations.
+    WithinDie,
+    /// Device-to-device random (RND) process variations.
+    DeviceRandom,
+    /// Voltage regulation module (VRM) ripple.
+    VrmRipple,
+    /// Room temperature variations.
+    RoomTemperature,
+    /// Off-chip voltage drops.
+    OffChipVoltageDrop,
+    /// Simultaneous switching noise (SSN).
+    SimultaneousSwitchingNoise,
+    /// IR drop across the power grid.
+    IrDrop,
+    /// Temperature hotspots.
+    TemperatureHotspot,
+    /// Transistor aging (BTI/HCI wear-out).
+    Aging,
+}
+
+impl SourceKind {
+    /// All Table I sources, in the paper's reading order.
+    pub const ALL: [SourceKind; 10] = [
+        SourceKind::DieToDie,
+        SourceKind::VrmRipple,
+        SourceKind::RoomTemperature,
+        SourceKind::OffChipVoltageDrop,
+        SourceKind::WithinDie,
+        SourceKind::DeviceRandom,
+        SourceKind::SimultaneousSwitchingNoise,
+        SourceKind::IrDrop,
+        SourceKind::TemperatureHotspot,
+        SourceKind::Aging,
+    ];
+
+    /// Temporal classification per Table I.
+    pub fn time_nature(self) -> TimeNature {
+        match self {
+            SourceKind::DieToDie | SourceKind::WithinDie | SourceKind::DeviceRandom => {
+                TimeNature::Static
+            }
+            // The paper lists ageing with the dynamic heterogeneous cell:
+            // it drifts during operation, though slowly.
+            SourceKind::Aging
+            | SourceKind::VrmRipple
+            | SourceKind::RoomTemperature
+            | SourceKind::OffChipVoltageDrop
+            | SourceKind::SimultaneousSwitchingNoise
+            | SourceKind::IrDrop
+            | SourceKind::TemperatureHotspot => TimeNature::Dynamic,
+        }
+    }
+
+    /// Spatial classification per Table I.
+    pub fn spatial_nature(self) -> SpatialNature {
+        match self {
+            SourceKind::DieToDie
+            | SourceKind::VrmRipple
+            | SourceKind::RoomTemperature
+            | SourceKind::OffChipVoltageDrop => SpatialNature::Homogeneous,
+            SourceKind::WithinDie
+            | SourceKind::DeviceRandom
+            | SourceKind::SimultaneousSwitchingNoise
+            | SourceKind::IrDrop
+            | SourceKind::TemperatureHotspot
+            | SourceKind::Aging => SpatialNature::Heterogeneous,
+        }
+    }
+
+    /// Short display name, as used in the paper's table.
+    pub fn label(self) -> &'static str {
+        match self {
+            SourceKind::DieToDie => "Die to die (D2D) process variations",
+            SourceKind::WithinDie => "Within die (WID) process variations",
+            SourceKind::DeviceRandom => "Device to device random (RND) process variations",
+            SourceKind::VrmRipple => "Voltage regulation module (VRM) ripple",
+            SourceKind::RoomTemperature => "Room temperature variations",
+            SourceKind::OffChipVoltageDrop => "Off chip voltage drops",
+            SourceKind::SimultaneousSwitchingNoise => "Simultaneous switching noise (SSN)",
+            SourceKind::IrDrop => "IR drop",
+            SourceKind::TemperatureHotspot => "Temperature hotspots",
+            SourceKind::Aging => "Ageing",
+        }
+    }
+
+    /// Whether a free-running ring oscillator can in principle track this
+    /// source (paper §II: the RO is a *point* sensor, so it only tracks
+    /// homogeneous variations, and only when they are slow relative to the
+    /// clock-distribution delay).
+    pub fn trackable_by_free_ro(self) -> bool {
+        self.spatial_nature() == SpatialNature::Homogeneous
+    }
+}
+
+impl std::fmt::Display for SourceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One cell of Table I: every source with the given time/space nature.
+pub fn cell(time: TimeNature, space: SpatialNature) -> Vec<SourceKind> {
+    SourceKind::ALL
+        .into_iter()
+        .filter(|s| s.time_nature() == time && s.spatial_nature() == space)
+        .collect()
+}
+
+/// The full 2×2 table as `[(time, space, sources)]`, row-major in the
+/// paper's order (homogeneous row first).
+pub fn table() -> Vec<(TimeNature, SpatialNature, Vec<SourceKind>)> {
+    let mut rows = Vec::with_capacity(4);
+    for space in [SpatialNature::Homogeneous, SpatialNature::Heterogeneous] {
+        for time in [TimeNature::Static, TimeNature::Dynamic] {
+            rows.push((time, space, cell(time, space)));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_source_is_classified_once() {
+        let total: usize = table().iter().map(|(_, _, v)| v.len()).sum();
+        assert_eq!(total, SourceKind::ALL.len());
+    }
+
+    #[test]
+    fn paper_cell_contents() {
+        // Static homogeneous: D2D only.
+        assert_eq!(
+            cell(TimeNature::Static, SpatialNature::Homogeneous),
+            vec![SourceKind::DieToDie]
+        );
+        // Dynamic homogeneous: VRM ripple, room temperature, off-chip drops.
+        let dh = cell(TimeNature::Dynamic, SpatialNature::Homogeneous);
+        assert_eq!(dh.len(), 3);
+        assert!(dh.contains(&SourceKind::VrmRipple));
+        assert!(dh.contains(&SourceKind::RoomTemperature));
+        assert!(dh.contains(&SourceKind::OffChipVoltageDrop));
+        // Static heterogeneous: WID + RND.
+        let sh = cell(TimeNature::Static, SpatialNature::Heterogeneous);
+        assert_eq!(sh.len(), 2);
+        assert!(sh.contains(&SourceKind::WithinDie));
+        assert!(sh.contains(&SourceKind::DeviceRandom));
+        // Dynamic heterogeneous: SSN, IR drop, hotspots, ageing.
+        let dh2 = cell(TimeNature::Dynamic, SpatialNature::Heterogeneous);
+        assert_eq!(dh2.len(), 4);
+        assert!(dh2.contains(&SourceKind::Aging));
+    }
+
+    #[test]
+    fn free_ro_tracks_only_homogeneous() {
+        assert!(SourceKind::VrmRipple.trackable_by_free_ro());
+        assert!(SourceKind::DieToDie.trackable_by_free_ro());
+        assert!(!SourceKind::IrDrop.trackable_by_free_ro());
+        assert!(!SourceKind::WithinDie.trackable_by_free_ro());
+    }
+
+    #[test]
+    fn labels_are_nonempty_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in SourceKind::ALL {
+            assert!(!s.label().is_empty());
+            assert!(seen.insert(s.label()), "duplicate label {}", s.label());
+            assert_eq!(s.to_string(), s.label());
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let json = serde_json::to_string(&SourceKind::IrDrop).unwrap();
+        let back: SourceKind = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, SourceKind::IrDrop);
+    }
+}

@@ -1,0 +1,248 @@
+//! Closed-loop algebra of the paper's Fig. 4 discrete system.
+//!
+//! With control block `H(z) = N(z)/D(z)`, a clock-distribution delay of `M`
+//! whole periods and the two-register pipeline of the loop, the paper
+//! derives (its Eq. 4–5):
+//!
+//! ```text
+//! H_lRO(z) = N(z) / (D(z) + N(z)·z^{−M−2})
+//! H_δ(z)   = D(z) / (D(z) + N(z)·z^{−M−2})
+//! ```
+//!
+//! driven by the combined input
+//! `p(z) = c(z) + e(z)(1 − z^{−M−1})z^{−1} − μ(z)z^{−M−2}`.
+//!
+//! §III-A of the paper requires, for zero steady-state error under step
+//! perturbations (its Eq. 6–8): `N(1) ≠ 0` and `D(1) = 0`.
+
+use crate::error::Error;
+use crate::poly::Polynomial;
+use crate::stability::StabilityReport;
+use crate::transfer::TransferFunction;
+
+/// The closed-loop characteristic polynomial `D(z) + N(z) z^{−M−2}`.
+pub fn characteristic_polynomial(h: &TransferFunction, m: usize) -> Polynomial {
+    h.den().add(&h.num().shifted(m + 2))
+}
+
+/// `H_lRO(z)` of Eq. (4): response of the ring-oscillator length to the
+/// combined input `p`.
+pub fn length_transfer(h: &TransferFunction, m: usize) -> TransferFunction {
+    TransferFunction::new(h.num().clone(), characteristic_polynomial(h, m))
+        .expect("closed loop of a causal filter is causal")
+}
+
+/// `H_δ(z)` of Eq. (5): response of the adaptation error to the combined
+/// input `p`.
+pub fn error_transfer(h: &TransferFunction, m: usize) -> TransferFunction {
+    TransferFunction::new(h.den().clone(), characteristic_polynomial(h, m))
+        .expect("closed loop of a causal filter is causal")
+}
+
+/// The paper's Eq. (8) constraints on the control block: `N(1) ≠ 0` and
+/// `D(1) = 0`, which by the final value theorem give a nonzero steady-state
+/// `l_RO` correction (Eq. 6) and zero steady-state error `δ` (Eq. 7) under
+/// step perturbations.
+pub fn satisfies_constraints(h: &TransferFunction) -> bool {
+    h.num().at_one().abs() > 1e-9 && h.den().at_one().abs() < 1e-9
+}
+
+/// Weights of the combined input
+/// `p(z) = c(z)·W_c + e(z)·W_e + μ(z)·W_μ` with
+/// `W_c = 1`, `W_e = (1 − z^{−M−1})·z^{−1}`, `W_μ = −z^{−M−2}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputWeights {
+    /// Weight applied to the set-point `c`.
+    pub setpoint: Polynomial,
+    /// Weight applied to the homogeneous variation `e`.
+    pub homogeneous: Polynomial,
+    /// Weight applied to the heterogeneous variation `μ`.
+    pub heterogeneous: Polynomial,
+}
+
+/// Input weights of the combined perturbation `p(z)` for CDN delay `M`.
+pub fn input_weights(m: usize) -> InputWeights {
+    let one = Polynomial::one();
+    InputWeights {
+        setpoint: one.clone(),
+        homogeneous: one.sub(&Polynomial::delay(m + 1)).shifted(1),
+        heterogeneous: Polynomial::delay(m + 2).scale(-1.0),
+    }
+}
+
+/// Steady-state adaptation error `δ(∞)` for *step* inputs of the given
+/// amplitudes on `c`, `e`, `μ`.
+///
+/// # Errors
+///
+/// Returns [`Error::FinalValueUndefined`] when the closed loop is unstable
+/// or retains an uncancelled integrator.
+pub fn steady_state_error(
+    h: &TransferFunction,
+    m: usize,
+    c_step: f64,
+    e_step: f64,
+    mu_step: f64,
+) -> Result<f64, Error> {
+    let hd = error_transfer(h, m);
+    let w = input_weights(m);
+    // Response to each weighted step, summed (linearity). For a step of
+    // amplitude A through weight W(z), the final value is A·W(1)·H_δ(1)
+    // when H_δ has no pole at 1; more generally compose polynomials.
+    let weighted_num = |wpoly: &Polynomial, amp: f64| -> Result<f64, Error> {
+        let tf = TransferFunction::new(hd.num().mul(wpoly), hd.den().clone())?;
+        Ok(amp * tf.step_final_value()?)
+    };
+    Ok(weighted_num(&w.setpoint, c_step)?
+        + weighted_num(&w.homogeneous, e_step)?
+        + weighted_num(&w.heterogeneous, mu_step)?)
+}
+
+/// Steady-state ring-oscillator length deviation `l_RO(∞)` for step inputs.
+///
+/// # Errors
+///
+/// Returns [`Error::FinalValueUndefined`] when the closed loop is unstable
+/// or retains an uncancelled integrator.
+pub fn steady_state_length(
+    h: &TransferFunction,
+    m: usize,
+    c_step: f64,
+    e_step: f64,
+    mu_step: f64,
+) -> Result<f64, Error> {
+    let hl = length_transfer(h, m);
+    let w = input_weights(m);
+    let weighted = |wpoly: &Polynomial, amp: f64| -> Result<f64, Error> {
+        let tf = TransferFunction::new(hl.num().mul(wpoly), hl.den().clone())?;
+        Ok(amp * tf.step_final_value()?)
+    };
+    Ok(weighted(&w.setpoint, c_step)?
+        + weighted(&w.homogeneous, e_step)?
+        + weighted(&w.heterogeneous, mu_step)?)
+}
+
+/// Stability report of the closed loop for CDN delay `M`.
+pub fn stability(h: &TransferFunction, m: usize) -> StabilityReport {
+    StabilityReport::of(&characteristic_polynomial(h, m))
+}
+
+/// Largest CDN delay `M` (searched in `0..=max_m`) for which the closed
+/// loop remains stable, or `None` if even `M = 0` is unstable.
+///
+/// This quantifies the paper's "clock domain size" limitation: the CDN
+/// delay grows with the physical extent of the clock domain, and past this
+/// bound the adaptive loop itself goes unstable.
+pub fn max_stable_cdn_delay(h: &TransferFunction, max_m: usize) -> Option<usize> {
+    let mut best = None;
+    for m in 0..=max_m {
+        if stability(h, m).is_stable() {
+            best = Some(m);
+        } else if best.is_some() {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iir_paper_filter;
+
+    #[test]
+    fn paper_filter_meets_constraints() {
+        let h = iir_paper_filter();
+        assert!(satisfies_constraints(&h));
+        // N(1) = 1, D(1) = 4 - 4 = 0
+        assert!((h.num().at_one() - 0.25).abs() < 1e-12); // normalized by 1/k* = 4
+        assert!(h.den().at_one().abs() < 1e-12);
+    }
+
+    #[test]
+    fn plain_gain_fails_constraints() {
+        let h = TransferFunction::constant(1.0);
+        assert!(!satisfies_constraints(&h));
+    }
+
+    #[test]
+    fn characteristic_polynomial_shape() {
+        let h = iir_paper_filter();
+        let cp = characteristic_polynomial(&h, 1);
+        // den degree 6, num shifted by 3 -> degree 4; total degree 6
+        assert_eq!(cp.degree(), Some(6));
+        // at M=1 the numerator's z^{-1} term is shifted to z^{-(1+M+2)} = z^{-4}
+        assert!((cp.coeff(4) - (h.den().coeff(4) + h.num().coeff(1))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_steady_state_error_for_setpoint_step() {
+        let h = iir_paper_filter();
+        for m in 0..4 {
+            let e = steady_state_error(&h, m, 1.0, 0.0, 0.0).unwrap();
+            assert!(e.abs() < 1e-9, "M={m}: residual error {e}");
+        }
+    }
+
+    #[test]
+    fn zero_steady_state_error_for_mismatch_step() {
+        // Static heterogeneous mismatch must be fully compensated (this is
+        // why the IIR RO wins in the paper's Fig. 9).
+        let h = iir_paper_filter();
+        let e = steady_state_error(&h, 1, 0.0, 0.0, 0.2 * 64.0).unwrap();
+        assert!(e.abs() < 1e-9);
+    }
+
+    #[test]
+    fn homogeneous_step_vanishes_in_steady_state() {
+        // W_e(1) = (1 - 1)·1 = 0: a homogeneous step is invisible once it
+        // has propagated through the CDN (RO and TDC cancel).
+        let w = input_weights(3);
+        assert!(w.homogeneous.at_one().abs() < 1e-12);
+        let h = iir_paper_filter();
+        let e = steady_state_error(&h, 3, 0.0, 5.0, 0.0).unwrap();
+        assert!(e.abs() < 1e-9);
+    }
+
+    #[test]
+    fn length_counteracts_mismatch_step() {
+        // Eq. 6: l_RO settles at a nonzero value opposing the perturbation.
+        let h = iir_paper_filter();
+        let mu = 12.8; // 0.2c with c = 64
+        let l = steady_state_length(&h, 1, 0.0, 0.0, mu).unwrap();
+        // τ = l_RO + μ in steady state; δ = c - τ = 0 -> l_RO = -μ (for the
+        // sign convention of p where μ enters with -z^{-M-2})
+        assert!((l + mu).abs() < 1e-6, "l = {l}");
+    }
+
+    #[test]
+    fn setpoint_step_moves_length_by_step() {
+        let h = iir_paper_filter();
+        let l = steady_state_length(&h, 2, 10.0, 0.0, 0.0).unwrap();
+        assert!((l - 10.0).abs() < 1e-6, "l = {l}");
+    }
+
+    #[test]
+    fn paper_loop_stable_for_small_m() {
+        let h = iir_paper_filter();
+        for m in 0..3 {
+            let rep = stability(&h, m);
+            assert!(
+                rep.is_stable(),
+                "loop must be stable at M={m}, got {rep:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn stability_bound_exists() {
+        let h = iir_paper_filter();
+        let bound = max_stable_cdn_delay(&h, 200);
+        let bound = bound.expect("stable at least for M=0");
+        // The loop must eventually destabilize as CDN delay grows.
+        assert!(bound < 200, "expected a finite stability bound");
+        // And the bound must be consistent: M = bound stable, bound+1 not.
+        assert!(stability(&h, bound).is_stable());
+        assert!(!stability(&h, bound + 1).is_stable());
+    }
+}

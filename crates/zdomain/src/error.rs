@@ -1,0 +1,57 @@
+use std::fmt;
+
+/// Errors from z-domain constructions and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A transfer function was built with a zero denominator polynomial.
+    ZeroDenominator,
+    /// A transfer function denominator's leading (z⁰) coefficient is zero,
+    /// i.e. the difference equation cannot be solved for the current output.
+    NonCausalDenominator,
+    /// A rational number was built with a zero denominator.
+    ZeroRationalDenominator,
+    /// Arithmetic overflowed the underlying integer type.
+    Overflow,
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Iterations attempted.
+        iterations: usize,
+    },
+    /// The final value does not exist (a pole on or outside the unit circle
+    /// other than a simple pole at z = 1).
+    FinalValueUndefined,
+    /// A modal decomposition was requested for a system with (numerically)
+    /// repeated poles, where simple partial fractions do not apply.
+    RepeatedPoles {
+        /// The smallest pairwise pole separation found.
+        separation: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ZeroDenominator => write!(f, "transfer function denominator is zero"),
+            Error::NonCausalDenominator => write!(
+                f,
+                "denominator has zero constant coefficient; system is not causal"
+            ),
+            Error::ZeroRationalDenominator => write!(f, "rational denominator is zero"),
+            Error::Overflow => write!(f, "integer arithmetic overflow"),
+            Error::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            Error::FinalValueUndefined => write!(f, "final value does not exist"),
+            Error::RepeatedPoles { separation } => write!(
+                f,
+                "repeated poles (separation {separation:.2e}); modal decomposition needs simple poles"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,76 @@
+//! `zdomain` — discrete-time (z-domain) analysis toolkit.
+//!
+//! This crate provides the analytical counterpart to the time-domain
+//! simulators in the workspace: dense polynomials in `z⁻¹`, rational
+//! transfer functions, exact rational arithmetic, root finding, the Jury
+//! stability criterion, frequency responses, and — specific to the SOCC 2012
+//! adaptive-clock paper — the closed-loop algebra of its Eq. (4)–(8):
+//!
+//! ```text
+//! H_lRO(z) = N(z) / (D(z) + N(z) z^{-M-2})      (Eq. 4)
+//! H_δ(z)   = D(z) / (D(z) + N(z) z^{-M-2})      (Eq. 5)
+//! N(1) ≠ 0   and   D(1) = 0                     (Eq. 8)
+//! ```
+//!
+//! where `H(z) = N(z)/D(z)` is the control block and `M` the clock
+//! distribution delay in periods.
+//!
+//! # Example
+//!
+//! Verify that the paper's IIR control filter satisfies the final-value
+//! constraints and yields zero steady-state adaptation error:
+//!
+//! ```
+//! use zdomain::{closedloop, iir_paper_filter};
+//!
+//! let h = iir_paper_filter();
+//! assert!(closedloop::satisfies_constraints(&h));
+//! let hd = closedloop::error_transfer(&h, 1);
+//! // steady-state error for a unit step: final value of H_δ · step
+//! let fv = hd.step_final_value().unwrap();
+//! assert!(fv.abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod closedloop;
+mod complex;
+mod error;
+mod freq;
+pub mod ident;
+pub mod margins;
+pub mod modal;
+mod poly;
+mod rational;
+mod roots;
+mod stability;
+mod transfer;
+
+pub use complex::Complex;
+pub use error::Error;
+pub use freq::FrequencyResponse;
+pub use poly::Polynomial;
+pub use rational::Rational;
+pub use roots::polynomial_roots;
+pub use stability::{jury_stable, spectral_radius, StabilityReport};
+pub use transfer::TransferFunction;
+
+/// The exact IIR control filter used in the paper's simulations (§IV):
+/// `H(z) = z⁻¹ (1/k* − Σ kᵢ z⁻ⁱ)⁻¹` with `k* = 1/4`,
+/// `k = [2, 1, 1/2, 1/4, 1/8, 1/8]` (Eq. 9, Fig. 5).
+///
+/// The gains satisfy Eq. (10): `k* = (Σ kᵢ)⁻¹`, so the filter has an
+/// integrator pole at `z = 1` and the closed loop reaches zero steady-state
+/// error.
+pub fn iir_paper_filter() -> TransferFunction {
+    let k = [2.0, 1.0, 0.5, 0.25, 0.125, 0.125];
+    let k_star: f64 = 0.25;
+    // N(z) = z^{-1}
+    let num = Polynomial::new(vec![0.0, 1.0]);
+    // D(z) = 1/k* - sum k_i z^{-i}
+    let mut den = vec![1.0 / k_star];
+    den.extend(k.iter().map(|ki| -ki));
+    let den = Polynomial::new(den);
+    TransferFunction::new(num, den).expect("paper filter is well-formed")
+}

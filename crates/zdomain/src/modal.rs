@@ -1,0 +1,285 @@
+//! Modal (partial-fraction) decomposition of discrete transfer functions.
+//!
+//! A proper rational `H(z)` with *simple* poles `p_i` splits as
+//!
+//! ```text
+//! H(z) = D(z)  +  Σ_i  r_i / (1 − p_i z⁻¹)
+//! ```
+//!
+//! where `D` is a finite direct (FIR) part. The impulse response is then a
+//! sum of geometric modes `h[k] = d[k] + Σ_i r_i p_i^k` — which is how the
+//! adaptive-clock loop's transient decomposes into a dominant settling mode
+//! (the spectral radius) plus faster ringing terms. Used by the ablation
+//! analyses to *explain* settling times, not just measure them.
+
+use crate::complex::Complex;
+use crate::error::Error;
+use crate::poly::Polynomial;
+use crate::roots::polynomial_roots;
+use crate::transfer::TransferFunction;
+
+/// One first-order mode `r / (1 − p z⁻¹)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mode {
+    /// Pole location in the `z` plane.
+    pub pole: Complex,
+    /// Residue (mode amplitude).
+    pub residue: Complex,
+}
+
+impl Mode {
+    /// The mode's contribution to the impulse response at sample `k`.
+    pub fn sample(&self, k: usize) -> Complex {
+        // p^k by repeated squaring is overkill for the sizes used here
+        let mut acc = Complex::ONE;
+        for _ in 0..k {
+            acc *= self.pole;
+        }
+        self.residue * acc
+    }
+
+    /// Time constant in samples (`−1/ln|p|`), or `None` for `|p| ≥ 1`.
+    pub fn time_constant(&self) -> Option<f64> {
+        let m = self.pole.abs();
+        if m >= 1.0 || m == 0.0 {
+            None
+        } else {
+            Some(-1.0 / m.ln())
+        }
+    }
+}
+
+/// A complete modal decomposition.
+///
+/// # Example
+///
+/// ```
+/// use zdomain::modal::ModalDecomposition;
+/// use zdomain::{closedloop, iir_paper_filter};
+///
+/// # fn main() -> Result<(), zdomain::Error> {
+/// let hd = closedloop::error_transfer(&iir_paper_filter(), 1);
+/// let modes = ModalDecomposition::of(&hd)?;
+/// let dominant = modes.dominant().expect("loop has poles");
+/// // the slowest mode sets the settling rate of the adaptation error
+/// assert!(dominant.pole.abs() < 1.0);
+/// assert!(dominant.time_constant().expect("stable") > 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModalDecomposition {
+    /// Direct FIR part (empty for strictly proper systems).
+    pub direct: Polynomial,
+    /// First-order modes, one per pole.
+    pub modes: Vec<Mode>,
+}
+
+impl ModalDecomposition {
+    /// Decompose `h`. Fails for systems with numerically repeated poles.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::RepeatedPoles`] when two poles are closer than `1e-6`.
+    pub fn of(h: &TransferFunction) -> Result<Self, Error> {
+        // Poles: roots of den in z after clearing delays.
+        let den_z_ascending: Vec<f64> = h.den().coeffs().iter().rev().copied().collect();
+        let poles = polynomial_roots(&den_z_ascending);
+        // Simple-pole check.
+        let mut min_sep = f64::MAX;
+        for (i, a) in poles.iter().enumerate() {
+            for b in &poles[i + 1..] {
+                min_sep = min_sep.min((*a - *b).abs());
+            }
+        }
+        if poles.len() > 1 && min_sep < 1e-6 {
+            return Err(Error::RepeatedPoles {
+                separation: min_sep,
+            });
+        }
+        // Long-divide num/den in x = z^-1 to split off the direct part when
+        // deg(num) >= deg(den).
+        let (direct, num_rem) = if h.num().degree() >= h.den().degree() {
+            h.num().div_rem(h.den())
+        } else {
+            (Polynomial::zero(), h.num().clone())
+        };
+        // Residues: for H_p(z) = N(x)/A(x) strictly proper with simple
+        // poles p_i, write A(x) = a_d · Π (x − x_i), x_i = 1/p_i. Then
+        // N(x)/A(x) = Σ c_i/(x − x_i), c_i = N(x_i)/A'(x_i), and
+        // c_i/(x − x_i) = (−c_i/x_i) / (1 − p_i x).
+        let den_coeffs = h.den().coeffs();
+        let derivative = |x: Complex| -> Complex {
+            den_coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .fold(Complex::ZERO, |acc, (k, &c)| {
+                    let mut xk = Complex::ONE;
+                    for _ in 0..k - 1 {
+                        xk *= x;
+                    }
+                    acc + xk * (c * k as f64)
+                })
+        };
+        let num_at = |x: Complex| -> Complex {
+            num_rem
+                .coeffs()
+                .iter()
+                .rev()
+                .fold(Complex::ZERO, |acc, &c| acc * x + Complex::from(c))
+        };
+        let mut modes = Vec::with_capacity(poles.len());
+        for p in poles {
+            if p.abs() < 1e-12 {
+                // A pole at z = 0 would mean den(x) has a root at x = ∞,
+                // impossible for a polynomial with a nonzero top
+                // coefficient; skip defensively if the root finder ever
+                // reports one.
+                continue;
+            }
+            let x_i = p.recip();
+            let c_i = num_at(x_i) / derivative(x_i);
+            let residue = -(c_i / x_i);
+            modes.push(Mode { pole: p, residue });
+        }
+        Ok(ModalDecomposition { direct, modes })
+    }
+
+    /// Reconstruct the impulse response from the modes (real part; the
+    /// imaginary parts of conjugate pairs cancel).
+    pub fn impulse_response(&self, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = self.direct.coeff(k);
+        }
+        // iterate modes with running pole powers for O(n·modes)
+        for m in &self.modes {
+            let mut pk = Complex::ONE;
+            for slot in out.iter_mut() {
+                *slot += (m.residue * pk).re;
+                pk *= m.pole;
+            }
+        }
+        out
+    }
+
+    /// The slowest (dominant) decaying mode, by pole magnitude.
+    pub fn dominant(&self) -> Option<&Mode> {
+        self.modes.iter().max_by(|a, b| {
+            a.pole
+                .abs()
+                .partial_cmp(&b.pole.abs())
+                .expect("finite poles")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closedloop;
+    use crate::iir_paper_filter;
+
+    fn tf(num: &[f64], den: &[f64]) -> TransferFunction {
+        TransferFunction::new(Polynomial::new(num.to_vec()), Polynomial::new(den.to_vec()))
+            .expect("valid")
+    }
+
+    #[test]
+    fn one_pole_mode() {
+        let h = tf(&[1.0], &[1.0, -0.5]);
+        let d = ModalDecomposition::of(&h).unwrap();
+        assert_eq!(d.modes.len(), 1);
+        let m = &d.modes[0];
+        assert!((m.pole - Complex::new(0.5, 0.0)).abs() < 1e-9);
+        assert!((m.residue - Complex::ONE).abs() < 1e-9);
+        let tc = m.time_constant().unwrap();
+        assert!((tc - 1.0 / (2f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconstruction_matches_direct_simulation_two_pole() {
+        let den = Polynomial::new(vec![1.0, -0.5]).mul(&Polynomial::new(vec![1.0, 0.25]));
+        let h = TransferFunction::new(Polynomial::new(vec![1.0, 0.3]), den).unwrap();
+        let d = ModalDecomposition::of(&h).unwrap();
+        let want = h.impulse_response(40);
+        let got = d.impulse_response(40);
+        for k in 0..40 {
+            assert!((got[k] - want[k]).abs() < 1e-8, "k={k}: {} vs {}", got[k], want[k]);
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_for_complex_pair() {
+        // resonant pair: den = 1 - 1.2 z^-1 + 0.72 z^-2
+        let h = tf(&[0.5, 0.1], &[1.0, -1.2, 0.72]);
+        let d = ModalDecomposition::of(&h).unwrap();
+        assert_eq!(d.modes.len(), 2);
+        let want = h.impulse_response(50);
+        let got = d.impulse_response(50);
+        for k in 0..50 {
+            assert!((got[k] - want[k]).abs() < 1e-8, "k={k}");
+        }
+    }
+
+    #[test]
+    fn paper_closed_loop_decomposes_and_dominant_matches_radius() {
+        let h = iir_paper_filter();
+        let hd = closedloop::error_transfer(&h, 1);
+        let d = ModalDecomposition::of(&hd).unwrap();
+        let want = hd.impulse_response(120);
+        let got = d.impulse_response(120);
+        for k in 0..120 {
+            assert!(
+                (got[k] - want[k]).abs() < 1e-6,
+                "k={k}: {} vs {}",
+                got[k],
+                want[k]
+            );
+        }
+        let dominant = d.dominant().expect("modes exist");
+        let radius = closedloop::stability(&h, 1).spectral_radius;
+        assert!(
+            (dominant.pole.abs() - radius).abs() < 1e-6,
+            "dominant pole {} vs spectral radius {radius}",
+            dominant.pole.abs()
+        );
+        // settle time explained: ~4 dominant time constants within band
+        let tc = dominant.time_constant().expect("stable");
+        assert!(tc > 1.0 && tc < 40.0, "time constant {tc}");
+    }
+
+    #[test]
+    fn improper_system_gets_direct_part() {
+        // H = (1 + x + x^2)/(1 + 0.5x): deg num > deg den
+        let h = tf(&[1.0, 1.0, 1.0], &[1.0, 0.5]);
+        let d = ModalDecomposition::of(&h).unwrap();
+        assert!(!d.direct.is_zero());
+        let want = h.impulse_response(30);
+        let got = d.impulse_response(30);
+        for k in 0..30 {
+            assert!((got[k] - want[k]).abs() < 1e-8, "k={k}");
+        }
+    }
+
+    #[test]
+    fn repeated_poles_rejected() {
+        // (1 - 0.5x)^2 denominator
+        let den = Polynomial::new(vec![1.0, -0.5]).mul(&Polynomial::new(vec![1.0, -0.5]));
+        let h = TransferFunction::new(Polynomial::one(), den).unwrap();
+        assert!(matches!(
+            ModalDecomposition::of(&h),
+            Err(Error::RepeatedPoles { .. })
+        ));
+    }
+
+    #[test]
+    fn fir_system_is_all_direct() {
+        let h = tf(&[1.0, 2.0, 3.0], &[1.0]);
+        let d = ModalDecomposition::of(&h).unwrap();
+        assert!(d.modes.is_empty());
+        assert_eq!(d.impulse_response(5), vec![1.0, 2.0, 3.0, 0.0, 0.0]);
+        assert!(d.dominant().is_none());
+    }
+}

@@ -1,0 +1,472 @@
+//! Dense polynomials in the delay operator `z⁻¹`.
+
+use crate::complex::Complex;
+
+/// A polynomial `p(z) = c₀ + c₁ z⁻¹ + c₂ z⁻² + …` in the delay operator.
+///
+/// Coefficient `k` multiplies `z⁻ᵏ`. Trailing (highest-delay) zero
+/// coefficients are trimmed on construction so that two equal polynomials
+/// compare equal regardless of how they were built.
+///
+/// # Example
+///
+/// ```
+/// use zdomain::Polynomial;
+///
+/// let p = Polynomial::new(vec![1.0, -1.0]); // 1 − z⁻¹
+/// let q = Polynomial::new(vec![1.0, 1.0]);  // 1 + z⁻¹
+/// assert_eq!(p.mul(&q), Polynomial::new(vec![1.0, 0.0, -1.0]));
+/// assert_eq!(p.at_one(), 0.0); // the paper's D(1) = 0 constraint check
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Build from coefficients `[c₀, c₁, …]` (ascending delay powers).
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut p = Polynomial { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Polynomial { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Polynomial { coeffs: vec![1.0] }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Polynomial::new(vec![c])
+    }
+
+    /// The pure delay `z⁻ᵐ`.
+    pub fn delay(m: usize) -> Self {
+        let mut coeffs = vec![0.0; m + 1];
+        coeffs[m] = 1.0;
+        Polynomial { coeffs }
+    }
+
+    fn trim(&mut self) {
+        while self.coeffs.last() == Some(&0.0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// True for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree in `z⁻¹` (highest delay power), or `None` for zero.
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Borrow the coefficients `[c₀, c₁, …]`.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of `z⁻ᵏ` (zero beyond the stored degree).
+    pub fn coeff(&self, k: usize) -> f64 {
+        self.coeffs.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Evaluate at a real point `z` (NOT at `z⁻¹`): computes `p` with
+    /// `x = z⁻¹` substituted, i.e. `Σ cₖ z⁻ᵏ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z == 0` and the polynomial has delay terms.
+    pub fn eval_z(&self, z: f64) -> f64 {
+        if self.coeffs.len() > 1 {
+            assert!(z != 0.0, "cannot evaluate delay terms at z = 0");
+        }
+        // Horner in x = 1/z.
+        let x = if self.coeffs.len() > 1 { 1.0 / z } else { 0.0 };
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluate at a complex point `z` (substituting `x = z⁻¹`).
+    pub fn eval_z_complex(&self, z: Complex) -> Complex {
+        if self.coeffs.is_empty() {
+            return Complex::ZERO;
+        }
+        let x = if self.coeffs.len() > 1 {
+            z.recip()
+        } else {
+            Complex::ZERO
+        };
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * x + Complex::from(c))
+    }
+
+    /// Evaluate the polynomial *in the variable* `x = z⁻¹` at a real `x`.
+    pub fn eval_x(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Sum of coefficients — the value at `z = 1`. This is the quantity the
+    /// paper's final-value constraints (Eq. 8) test: `N(1) ≠ 0`, `D(1) = 0`.
+    pub fn at_one(&self) -> f64 {
+        self.coeffs.iter().sum()
+    }
+
+    /// Add two polynomials.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n).map(|k| self.coeff(k) + other.coeff(k)).collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Subtract `other` from `self`.
+    pub fn sub(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n).map(|k| self.coeff(k) - other.coeff(k)).collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Multiply two polynomials (convolution of coefficients).
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Multiply by a scalar.
+    pub fn scale(&self, s: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|c| c * s).collect())
+    }
+
+    /// Multiply by `z⁻ᵐ` (append `m` leading zero coefficients).
+    pub fn shifted(&self, m: usize) -> Polynomial {
+        if self.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![0.0; m];
+        coeffs.extend_from_slice(&self.coeffs);
+        Polynomial { coeffs }
+    }
+
+    /// Divide by `(1 − z⁻¹)` exactly.
+    ///
+    /// Returns `None` if the polynomial is not divisible (remainder ≠ 0
+    /// within `tol`), i.e. if `p(1) ≠ 0`. Used to deflate the integrator
+    /// pole when applying the final value theorem.
+    pub fn deflate_unit_root(&self, tol: f64) -> Option<Polynomial> {
+        if self.is_zero() {
+            return Some(Polynomial::zero());
+        }
+        // p(x) = (1 - x) q(x)  with x = z^{-1}. Synthetic division by
+        // (1 - x): q_k = p_k + q_{k-1}.
+        let mut q = Vec::with_capacity(self.coeffs.len().saturating_sub(1));
+        let mut carry = 0.0;
+        for k in 0..self.coeffs.len() - 1 {
+            carry += self.coeffs[k];
+            q.push(carry);
+        }
+        let remainder = carry + self.coeffs[self.coeffs.len() - 1];
+        let scale = self
+            .coeffs
+            .iter()
+            .map(|c| c.abs())
+            .fold(0.0, f64::max)
+            .max(1.0);
+        if remainder.abs() > tol * scale {
+            return None;
+        }
+        Some(Polynomial::new(q))
+    }
+
+    /// Polynomial long division in the variable `x = z⁻¹`: returns
+    /// `(quotient, remainder)` with `self = q·divisor + r` and
+    /// `deg(r) < deg(divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Polynomial) -> (Polynomial, Polynomial) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        let dd = divisor.coeffs.len() - 1;
+        let lead = divisor.coeffs[dd];
+        let mut rem = self.coeffs.clone();
+        if rem.len() <= dd {
+            return (Polynomial::zero(), self.clone());
+        }
+        let qn = rem.len() - dd;
+        let mut quot = vec![0.0; qn];
+        for k in (0..qn).rev() {
+            let coef = rem[k + dd] / lead;
+            quot[k] = coef;
+            for (j, &dj) in divisor.coeffs.iter().enumerate() {
+                rem[k + j] -= coef * dj;
+            }
+        }
+        rem.truncate(dd);
+        (Polynomial::new(quot), Polynomial::new(rem))
+    }
+
+    /// Approximate greatest common divisor via the Euclidean algorithm with
+    /// a relative tolerance for declaring remainders zero. Returns a monic
+    /// (leading coefficient 1 in `x`) polynomial; the GCD of anything with
+    /// zero is the other argument (normalized).
+    pub fn gcd(&self, other: &Polynomial, tol: f64) -> Polynomial {
+        let monic = |p: &Polynomial| -> Polynomial {
+            match p.coeffs.last() {
+                Some(&l) if l != 0.0 => p.scale(1.0 / l),
+                _ => p.clone(),
+            }
+        };
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let scale = b
+                .coeffs
+                .iter()
+                .map(|c| c.abs())
+                .fold(0.0, f64::max)
+                .max(1.0);
+            let (_, mut r) = a.div_rem(&b);
+            // Snap tiny residues to zero for numerical robustness.
+            let rmax = r.coeffs.iter().map(|c| c.abs()).fold(0.0, f64::max);
+            if rmax <= tol * scale {
+                r = Polynomial::zero();
+            }
+            a = b;
+            b = r;
+        }
+        monic(&a)
+    }
+
+    /// Coefficients in *ascending powers of `z`* after clearing delays:
+    /// multiplies by `z^deg` and returns `[a₀, a₁, …, a_deg]` where
+    /// `a_k` multiplies `z^k`. For `p = c₀ + c₁ z⁻¹ + … + c_d z⁻ᵈ` this is
+    /// simply the reversed coefficient list. Returns an empty vector for the
+    /// zero polynomial.
+    pub fn as_z_polynomial(&self) -> Vec<f64> {
+        self.coeffs.iter().rev().copied().collect()
+    }
+}
+
+impl std::ops::Add for &Polynomial {
+    type Output = Polynomial;
+    fn add(self, rhs: &Polynomial) -> Polynomial {
+        Polynomial::add(self, rhs)
+    }
+}
+
+impl std::ops::Sub for &Polynomial {
+    type Output = Polynomial;
+    fn sub(self, rhs: &Polynomial) -> Polynomial {
+        Polynomial::sub(self, rhs)
+    }
+}
+
+impl std::ops::Mul for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, rhs: &Polynomial) -> Polynomial {
+        Polynomial::mul(self, rhs)
+    }
+}
+
+impl std::ops::Neg for &Polynomial {
+    type Output = Polynomial;
+    fn neg(self) -> Polynomial {
+        self.scale(-1.0)
+    }
+}
+
+impl std::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            if first {
+                first = false;
+                if k == 0 {
+                    write!(f, "{c}")?;
+                } else {
+                    write!(f, "{c}·z^-{k}")?;
+                }
+            } else if c >= 0.0 {
+                if k == 0 {
+                    write!(f, " + {c}")?;
+                } else {
+                    write!(f, " + {c}·z^-{k}")?;
+                }
+            } else if k == 0 {
+                write!(f, " - {}", -c)?;
+            } else {
+                write!(f, " - {}·z^-{k}", -c)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_trailing_zeros() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        assert_eq!(p.degree(), Some(1));
+        assert_eq!(p, Polynomial::new(vec![1.0, 2.0]));
+    }
+
+    #[test]
+    fn zero_polynomial_properties() {
+        let z = Polynomial::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.at_one(), 0.0);
+        assert_eq!(Polynomial::new(vec![0.0, 0.0]), z);
+    }
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        // p = 1 + 2 z^-1 + 3 z^-2 at z = 2: 1 + 1 + 0.75
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        assert!((p.eval_z(2.0) - 2.75).abs() < 1e-12);
+        assert!((p.at_one() - 6.0).abs() < 1e-12);
+        assert!((p.eval_x(0.5) - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_complex_on_unit_circle() {
+        // p = z^-1 evaluated at e^{iw} must have magnitude 1
+        let p = Polynomial::delay(1);
+        let v = p.eval_z_complex(Complex::unit_circle(0.7));
+        assert!((v.abs() - 1.0).abs() < 1e-12);
+        assert!((v.arg() + 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Polynomial::new(vec![1.0, 1.0]);
+        let b = Polynomial::new(vec![1.0, -1.0]);
+        assert_eq!(a.add(&b), Polynomial::new(vec![2.0]));
+        assert_eq!(a.sub(&b), Polynomial::new(vec![0.0, 2.0]));
+        // (1 + x)(1 - x) = 1 - x^2
+        assert_eq!(a.mul(&b), Polynomial::new(vec![1.0, 0.0, -1.0]));
+        assert_eq!(a.scale(3.0), Polynomial::new(vec![3.0, 3.0]));
+    }
+
+    #[test]
+    fn shift_is_delay_multiplication() {
+        let p = Polynomial::new(vec![1.0, 2.0]);
+        assert_eq!(p.shifted(2), Polynomial::new(vec![0.0, 0.0, 1.0, 2.0]));
+        assert_eq!(p.shifted(0), p);
+        assert_eq!(Polynomial::zero().shifted(3), Polynomial::zero());
+        assert_eq!(Polynomial::delay(3).coeff(3), 1.0);
+    }
+
+    #[test]
+    fn deflate_unit_root_exact() {
+        // (1 - x)(2 + x) = 2 - x - x^2
+        let p = Polynomial::new(vec![2.0, -1.0, -1.0]);
+        let q = p.deflate_unit_root(1e-12).unwrap();
+        assert_eq!(q, Polynomial::new(vec![2.0, 1.0]));
+    }
+
+    #[test]
+    fn deflate_unit_root_rejects_nondivisible() {
+        let p = Polynomial::new(vec![1.0, 1.0]);
+        assert!(p.deflate_unit_root(1e-12).is_none());
+    }
+
+    #[test]
+    fn as_z_polynomial_reverses() {
+        let p = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.as_z_polynomial(), vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn div_rem_reconstructs() {
+        // self = q·d + r for a few hand cases
+        let p = Polynomial::new(vec![1.0, 0.0, -2.0, 3.0]);
+        let d = Polynomial::new(vec![1.0, 1.0]);
+        let (q, r) = p.div_rem(&d);
+        let back = q.mul(&d).add(&r);
+        for k in 0..4 {
+            assert!((back.coeff(k) - p.coeff(k)).abs() < 1e-12, "k={k}");
+        }
+        assert!(r.degree().is_none_or(|dr| dr < 1));
+    }
+
+    #[test]
+    fn div_rem_small_dividend() {
+        let p = Polynomial::new(vec![5.0]);
+        let d = Polynomial::new(vec![1.0, 2.0, 3.0]);
+        let (q, r) = p.div_rem(&d);
+        assert!(q.is_zero());
+        assert_eq!(r, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero polynomial")]
+    fn div_by_zero_panics() {
+        let _ = Polynomial::one().div_rem(&Polynomial::zero());
+    }
+
+    #[test]
+    fn gcd_of_shared_factor() {
+        // (1 + x)(1 - 2x) and (1 + x)(3 + x): gcd should be ~ (1 + x)
+        let shared = Polynomial::new(vec![1.0, 1.0]);
+        let a = shared.mul(&Polynomial::new(vec![1.0, -2.0]));
+        let b = shared.mul(&Polynomial::new(vec![3.0, 1.0]));
+        let g = a.gcd(&b, 1e-9);
+        // monic in x: (1 + x) scaled so leading coeff is 1 -> [1, 1]
+        assert_eq!(g.degree(), Some(1));
+        assert!((g.coeff(1) - 1.0).abs() < 1e-9);
+        assert!((g.coeff(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_constant() {
+        let a = Polynomial::new(vec![1.0, 1.0]);
+        let b = Polynomial::new(vec![1.0, -1.0]);
+        let g = a.gcd(&b, 1e-9);
+        assert_eq!(g.degree(), Some(0));
+    }
+
+    #[test]
+    fn operator_sugar() {
+        let a = Polynomial::new(vec![1.0, 2.0]);
+        let b = Polynomial::new(vec![3.0, -1.0]);
+        assert_eq!(&a + &b, a.add(&b));
+        assert_eq!(&a - &b, a.sub(&b));
+        assert_eq!(&a * &b, a.mul(&b));
+        assert_eq!(-&a, a.scale(-1.0));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let p = Polynomial::new(vec![4.0, 0.0, -2.0]);
+        assert_eq!(p.to_string(), "4 - 2·z^-2");
+        assert_eq!(Polynomial::zero().to_string(), "0");
+    }
+}

@@ -1,0 +1,279 @@
+//! Exact rational arithmetic over `i128`.
+//!
+//! Used for exact verification of filter-coefficient identities (the paper's
+//! Eq. 10, `k* = (Σ kᵢ)⁻¹`) and as the reference implementation that the
+//! integer power-of-two IIR control block is validated against.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::error::Error;
+
+/// An exact rational number `num/den` with `den > 0`, always stored in
+/// lowest terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Exact zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// Exact one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Construct `num/den` reduced to lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroRationalDenominator`] if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Result<Self, Error> {
+        if den == 0 {
+            return Err(Error::ZeroRationalDenominator);
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Ok(Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        })
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(n: i128) -> Self {
+        Rational { num: n, den: 1 }
+    }
+
+    /// The exact power of two `2^exp` (negative exponents allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|exp| >= 127`.
+    pub fn pow2(exp: i32) -> Self {
+        assert!(exp.unsigned_abs() < 127, "power-of-two exponent too large");
+        if exp >= 0 {
+            Rational {
+                num: 1i128 << exp,
+                den: 1,
+            }
+        } else {
+            Rational {
+                num: 1,
+                den: 1i128 << (-exp),
+            }
+        }
+    }
+
+    /// Numerator (after reduction; sign lives here).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroRationalDenominator`] for zero.
+    pub fn recip(&self) -> Result<Self, Error> {
+        Rational::new(self.den, self.num)
+    }
+
+    /// Nearest `f64` value.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Floor to the nearest integer toward −∞.
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    fn make(num: i128, den: i128) -> Rational {
+        Rational::new(num, den).expect("internal arithmetic keeps den nonzero")
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::make(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::make(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "rational division by zero");
+        Rational::make(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.num * other.den).cmp(&(other.num * self.den))
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(n as i128)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let r = Rational::new(6, -4).unwrap();
+        assert_eq!(r.numer(), -3);
+        assert_eq!(r.denom(), 2);
+        assert_eq!(r.to_string(), "-3/2");
+    }
+
+    #[test]
+    fn rejects_zero_denominator() {
+        assert_eq!(
+            Rational::new(1, 0),
+            Err(Error::ZeroRationalDenominator)
+        );
+    }
+
+    #[test]
+    fn pow2_positive_and_negative() {
+        assert_eq!(Rational::pow2(3), Rational::from_int(8));
+        assert_eq!(Rational::pow2(-2), Rational::new(1, 4).unwrap());
+        assert_eq!(Rational::pow2(0), Rational::ONE);
+    }
+
+    #[test]
+    fn paper_gain_identity_eq10() {
+        // k = [2, 1, 1/2, 1/4, 1/8, 1/8]; sum = 4; k* = 1/4 = 1/sum.
+        let k = [
+            Rational::from_int(2),
+            Rational::from_int(1),
+            Rational::pow2(-1),
+            Rational::pow2(-2),
+            Rational::pow2(-3),
+            Rational::pow2(-3),
+        ];
+        let sum = k.iter().copied().fold(Rational::ZERO, |a, b| a + b);
+        assert_eq!(sum, Rational::from_int(4));
+        assert_eq!(sum.recip().unwrap(), Rational::pow2(-2));
+    }
+
+    #[test]
+    fn floor_rounds_toward_negative_infinity() {
+        assert_eq!(Rational::new(-3, 2).unwrap().floor(), -2);
+        assert_eq!(Rational::new(3, 2).unwrap().floor(), 1);
+        assert_eq!(Rational::from_int(5).floor(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Rational::new(1, 3).unwrap();
+        let b = Rational::new(1, 2).unwrap();
+        assert!(a < b);
+        assert!(-a > -b);
+    }
+
+    proptest! {
+        #[test]
+        fn field_axioms(
+            an in -1000i128..1000, ad in 1i128..100,
+            bn in -1000i128..1000, bd in 1i128..100,
+        ) {
+            let a = Rational::new(an, ad).unwrap();
+            let b = Rational::new(bn, bd).unwrap();
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_eq!(a * b, b * a);
+            prop_assert_eq!((a - b) + b, a);
+            if bn != 0 {
+                prop_assert_eq!((a / b) * b, a);
+            }
+        }
+
+        #[test]
+        fn to_f64_close(an in -10_000i128..10_000, ad in 1i128..10_000) {
+            let a = Rational::new(an, ad).unwrap();
+            let expected = an as f64 / ad as f64;
+            prop_assert!((a.to_f64() - expected).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Polynomial root finding via the Durand–Kerner (Weierstrass) iteration.
+
+use crate::complex::Complex;
+
+/// All complex roots of `c₀ + c₁ z + … + cₙ zⁿ` (coefficients ascending).
+///
+/// Leading zero coefficients are trimmed; a constant (or empty) polynomial
+/// has no roots and returns an empty vector. The Durand–Kerner iteration is
+/// run to fixed tolerance with a deterministic non-real starting spread, so
+/// results are reproducible.
+///
+/// Accuracy is adequate for stability analysis (|error| ≲ 1e-8 for the
+/// well-conditioned low-degree polynomials this workspace produces); it is
+/// not a general-purpose ill-conditioned-polynomial solver.
+pub fn polynomial_roots(coeffs: &[f64]) -> Vec<Complex> {
+    // Trim leading (highest-power) zeros.
+    let mut n = coeffs.len();
+    while n > 0 && coeffs[n - 1] == 0.0 {
+        n -= 1;
+    }
+    if n <= 1 {
+        return Vec::new();
+    }
+    let deg = n - 1;
+    // Normalize to monic.
+    let lead = coeffs[n - 1];
+    let monic: Vec<f64> = coeffs[..n].iter().map(|c| c / lead).collect();
+
+    // Factor out roots at the origin (trailing zero coefficients) exactly.
+    let zeros_at_origin = monic.iter().take_while(|&&c| c == 0.0).count();
+    let reduced = &monic[zeros_at_origin..];
+    let rdeg = deg - zeros_at_origin;
+    let mut roots = vec![Complex::ZERO; zeros_at_origin];
+    if rdeg == 0 {
+        return roots;
+    }
+
+    // Initial guesses: spiral of radius based on coefficient bound.
+    let radius = 1.0
+        + reduced
+            .iter()
+            .take(rdeg)
+            .map(|c| c.abs())
+            .fold(0.0, f64::max);
+    let mut guess: Vec<Complex> = (0..rdeg)
+        .map(|k| {
+            Complex::from_polar(
+                radius * (0.5 + 0.5 * (k as f64 + 1.0) / rdeg as f64),
+                (2.0 * std::f64::consts::PI * k as f64) / rdeg as f64 + 0.4,
+            )
+        })
+        .collect();
+
+    let eval = |z: Complex| -> Complex {
+        reduced
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * z + Complex::from(c))
+    };
+
+    const MAX_ITER: usize = 500;
+    for _ in 0..MAX_ITER {
+        let mut max_step = 0.0f64;
+        for i in 0..rdeg {
+            let zi = guess[i];
+            let mut denom = Complex::ONE;
+            for (j, &zj) in guess.iter().enumerate() {
+                if j != i {
+                    denom *= zi - zj;
+                }
+            }
+            if denom.norm_sqr() == 0.0 {
+                // Perturb coincident guesses.
+                guess[i] = zi + Complex::new(1e-6, 1e-6);
+                max_step = f64::INFINITY;
+                continue;
+            }
+            let step = eval(zi) / denom;
+            guess[i] = zi - step;
+            max_step = max_step.max(step.abs());
+        }
+        if max_step < 1e-13 {
+            break;
+        }
+    }
+    roots.extend(guess);
+    roots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_by_re(mut v: Vec<Complex>) -> Vec<Complex> {
+        v.sort_by(|a, b| {
+            a.re.partial_cmp(&b.re)
+                .unwrap()
+                .then(a.im.partial_cmp(&b.im).unwrap())
+        });
+        v
+    }
+
+    #[test]
+    fn constant_and_empty_have_no_roots() {
+        assert!(polynomial_roots(&[]).is_empty());
+        assert!(polynomial_roots(&[3.0]).is_empty());
+        assert!(polynomial_roots(&[3.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn linear_root() {
+        // 2 + 4z = 0 -> z = -0.5
+        let r = polynomial_roots(&[2.0, 4.0]);
+        assert_eq!(r.len(), 1);
+        assert!((r[0] - Complex::new(-0.5, 0.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        // (z-1)(z-3) = 3 - 4z + z^2
+        let r = sort_by_re(polynomial_roots(&[3.0, -4.0, 1.0]));
+        assert!((r[0] - Complex::new(1.0, 0.0)).abs() < 1e-8);
+        assert!((r[1] - Complex::new(3.0, 0.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn quadratic_complex_pair() {
+        // z^2 + 1 -> ±i
+        let r = polynomial_roots(&[1.0, 0.0, 1.0]);
+        let mut mags: Vec<f64> = r.iter().map(|z| z.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((mags[0] - 1.0).abs() < 1e-8);
+        assert!((mags[1] - 1.0).abs() < 1e-8);
+        assert!(r.iter().any(|z| z.im > 0.9));
+        assert!(r.iter().any(|z| z.im < -0.9));
+    }
+
+    #[test]
+    fn roots_at_origin_factored_exactly() {
+        // z^2 (z - 2) = -2 z^2 + z^3
+        let r = sort_by_re(polynomial_roots(&[0.0, 0.0, -2.0, 1.0]));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], Complex::ZERO);
+        assert_eq!(r[1], Complex::ZERO);
+        assert!((r[2] - Complex::new(2.0, 0.0)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degree_five_known_roots() {
+        // (z-1)(z+1)(z-2)(z+2)(z-3) = expand:
+        // (z^2-1)(z^2-4)(z-3) = (z^4 -5z^2 +4)(z-3)
+        // = z^5 -3z^4 -5z^3 +15z^2 +4z -12
+        let r = sort_by_re(polynomial_roots(&[-12.0, 4.0, 15.0, -5.0, -3.0, 1.0]));
+        let expected = [-2.0, -1.0, 1.0, 2.0, 3.0];
+        for (root, exp) in r.iter().zip(expected) {
+            assert!((root.re - exp).abs() < 1e-7, "{root} vs {exp}");
+            assert!(root.im.abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn reconstruction_property() {
+        // product over roots of (z - r) should reproduce a monic polynomial
+        let coeffs = [0.5, -1.3, 0.7, 1.0];
+        let roots = polynomial_roots(&coeffs);
+        assert_eq!(roots.len(), 3);
+        // evaluate original at each root: should be ~0
+        for z in roots {
+            let v = coeffs
+                .iter()
+                .rev()
+                .fold(Complex::ZERO, |acc, &c| acc * z + Complex::from(c));
+            assert!(v.abs() < 1e-8, "residual {v}");
+        }
+    }
+}

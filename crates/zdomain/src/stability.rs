@@ -1,0 +1,205 @@
+//! Discrete-time stability tests.
+//!
+//! Two independent methods are provided and cross-checked in tests:
+//!
+//! * the **Jury criterion** — an algebraic test on the characteristic
+//!   polynomial, analogous to Routh–Hurwitz for continuous systems;
+//! * the **spectral radius** — the largest root magnitude obtained from the
+//!   Durand–Kerner root finder.
+//!
+//! Downstream, these determine the largest clock-distribution delay `M` for
+//! which the paper's closed loop (Eq. 4–5) remains stable — the "clock
+//! domain size" limitation discussed in the paper's conclusions.
+
+use crate::poly::Polynomial;
+use crate::roots::polynomial_roots;
+
+/// Outcome of a stability analysis of a characteristic polynomial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityReport {
+    /// Verdict from the Jury criterion.
+    pub jury_stable: bool,
+    /// Largest root magnitude (`< 1` means stable with margin `1 − radius`).
+    pub spectral_radius: f64,
+}
+
+impl StabilityReport {
+    /// Analyze a characteristic polynomial given in `z⁻¹` form
+    /// (e.g. a closed-loop denominator).
+    pub fn of(char_poly: &Polynomial) -> Self {
+        StabilityReport {
+            jury_stable: jury_stable(char_poly),
+            spectral_radius: spectral_radius(char_poly),
+        }
+    }
+
+    /// Consensus verdict (both methods agree on stable).
+    pub fn is_stable(&self) -> bool {
+        self.jury_stable && self.spectral_radius < 1.0
+    }
+}
+
+/// Largest root magnitude of a characteristic polynomial given in `z⁻¹`
+/// form. Returns `0.0` for constant polynomials (no roots).
+pub fn spectral_radius(char_poly: &Polynomial) -> f64 {
+    let ascending: Vec<f64> = char_poly.coeffs().iter().rev().copied().collect();
+    polynomial_roots(&ascending)
+        .iter()
+        .map(|z| z.abs())
+        .fold(0.0, f64::max)
+}
+
+/// Jury stability criterion.
+///
+/// Tests whether all roots of the polynomial lie strictly inside the unit
+/// circle. `char_poly` is given in `z⁻¹` form; internally it is converted to
+/// a polynomial in `z` (`a_n zⁿ + … + a₀` with `a_n` the constant `z⁰`
+/// coefficient of the input).
+///
+/// Returns `false` for degenerate (zero/constant-zero) polynomials only if
+/// they are identically zero; a nonzero constant is trivially "stable".
+pub fn jury_stable(char_poly: &Polynomial) -> bool {
+    if char_poly.is_zero() {
+        return false;
+    }
+    // In z form (descending powers): a = [a_n, ..., a_0] where the z^-1-form
+    // constant coefficient becomes the z^n coefficient.
+    let mut a: Vec<f64> = char_poly.coeffs().to_vec();
+    // Remove exact trailing zeros (roots at origin are stable; they reduce
+    // the z-polynomial degree).
+    // In z^-1 ascending form, trailing zeros were already trimmed by
+    // Polynomial::new, so `a` has a nonzero last element.
+    let n = a.len() - 1; // degree in z
+    if n == 0 {
+        return true;
+    }
+    // Normalize sign so a[0] (the z^n coefficient) is positive.
+    if a[0] < 0.0 {
+        for c in &mut a {
+            *c = -*c;
+        }
+    }
+    let eval = |coeffs: &[f64], z: f64| -> f64 {
+        // coeffs descending in z
+        coeffs.iter().fold(0.0, |acc, &c| acc * z + c)
+    };
+    // Necessary conditions.
+    let p1 = eval(&a, 1.0);
+    if p1 <= 0.0 {
+        return false;
+    }
+    let pm1 = eval(&a, -1.0);
+    let pm1_signed = if n.is_multiple_of(2) { pm1 } else { -pm1 };
+    if pm1_signed <= 0.0 {
+        return false;
+    }
+    if a[n].abs() >= a[0] {
+        return false;
+    }
+    // Jury table reduction.
+    let mut row = a;
+    let mut deg = n;
+    while deg > 2 {
+        let k = row[deg] / row[0];
+        let mut next = Vec::with_capacity(deg);
+        for i in 0..deg {
+            next.push(row[i] - k * row[deg - i]);
+        }
+        // next has degree deg-1 (descending coefficients next[0..deg])
+        if next[0] <= 0.0 {
+            return false;
+        }
+        if next[deg - 1].abs() >= next[0] {
+            return false;
+        }
+        row = next;
+        deg -= 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn poly(coeffs: &[f64]) -> Polynomial {
+        Polynomial::new(coeffs.to_vec())
+    }
+
+    #[test]
+    fn one_pole_boundary() {
+        // 1 - a z^-1: root at z = a
+        assert!(jury_stable(&poly(&[1.0, -0.5])));
+        assert!(!jury_stable(&poly(&[1.0, -1.0])));
+        assert!(!jury_stable(&poly(&[1.0, -1.5])));
+        assert!(jury_stable(&poly(&[1.0, 0.99])));
+        assert!(!jury_stable(&poly(&[1.0, 1.0])));
+    }
+
+    #[test]
+    fn constant_is_stable() {
+        assert!(jury_stable(&poly(&[1.0])));
+        assert!(!jury_stable(&Polynomial::zero()));
+    }
+
+    #[test]
+    fn second_order_known_cases() {
+        // (1 - 0.5 z^-1)(1 + 0.5 z^-1) = 1 - 0.25 z^-2: stable
+        assert!(jury_stable(&poly(&[1.0, 0.0, -0.25])));
+        // roots at ±1.2: 1 - 1.44 z^-2 in z form z^2 - 1.44 -> unstable
+        assert!(!jury_stable(&poly(&[1.0, 0.0, -1.44])));
+        // complex pair with radius 0.9: z^2 - 1.2 z + 0.81 (stable)
+        assert!(jury_stable(&poly(&[1.0, -1.2, 0.81])));
+        // complex pair with radius 1.1: z^2 - 1.4z + 1.21 (unstable)
+        assert!(!jury_stable(&poly(&[1.0, -1.4, 1.21])));
+    }
+
+    #[test]
+    fn spectral_radius_matches_construction() {
+        // roots at 0.5 and -0.25
+        let p = poly(&[1.0, -0.5]).mul(&poly(&[1.0, 0.25]));
+        assert!((spectral_radius(&p) - 0.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn report_consensus() {
+        let stable = poly(&[1.0, -0.9]);
+        let r = StabilityReport::of(&stable);
+        assert!(r.is_stable());
+        assert!(r.spectral_radius < 1.0);
+        let unstable = poly(&[1.0, -2.0]);
+        let r = StabilityReport::of(&unstable);
+        assert!(!r.is_stable());
+        assert!(r.spectral_radius > 1.0);
+    }
+
+    proptest! {
+        /// Jury and the root finder must agree away from the unit circle.
+        #[test]
+        fn jury_agrees_with_roots(
+            c1 in -1.8f64..1.8,
+            c2 in -0.95f64..0.95,
+            c3 in -0.6f64..0.6,
+        ) {
+            let p = poly(&[1.0, c1, c2, c3]);
+            let radius = spectral_radius(&p);
+            // skip near-boundary cases where numeric disagreement is fair
+            prop_assume!((radius - 1.0).abs() > 1e-3);
+            let jury = jury_stable(&p);
+            prop_assert_eq!(jury, radius < 1.0,
+                "p = {}, radius = {}", p, radius);
+        }
+
+        /// Products of stable first-order factors are always Jury-stable.
+        #[test]
+        fn stable_factors_product(
+            r1 in -0.95f64..0.95,
+            r2 in -0.95f64..0.95,
+            r3 in -0.95f64..0.95,
+        ) {
+            let p = poly(&[1.0, -r1]).mul(&poly(&[1.0, -r2])).mul(&poly(&[1.0, -r3]));
+            prop_assert!(jury_stable(&p), "p = {}", p);
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Rational transfer functions in `z⁻¹`.
+
+use crate::complex::Complex;
+use crate::error::Error;
+use crate::poly::Polynomial;
+use crate::roots::polynomial_roots;
+
+/// A causal rational transfer function `H(z) = num(z) / den(z)` with both
+/// polynomials written in `z⁻¹` and `den` having a nonzero constant term.
+///
+/// # Example
+///
+/// A one-pole low-pass and its geometric impulse response:
+///
+/// ```
+/// use zdomain::{Polynomial, TransferFunction};
+///
+/// # fn main() -> Result<(), zdomain::Error> {
+/// let h = TransferFunction::new(
+///     Polynomial::new(vec![1.0]),
+///     Polynomial::new(vec![1.0, -0.5]), // 1 − 0.5·z⁻¹
+/// )?;
+/// assert_eq!(h.impulse_response(4), vec![1.0, 0.5, 0.25, 0.125]);
+/// assert_eq!(h.dc_gain(), Some(2.0));
+/// assert!(h.is_stable());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferFunction {
+    num: Polynomial,
+    den: Polynomial,
+}
+
+impl TransferFunction {
+    /// Build `num/den`, normalizing so the denominator constant term is 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroDenominator`] for a zero denominator and
+    /// [`Error::NonCausalDenominator`] when `den` has no `z⁰` term (the
+    /// output would depend on future inputs).
+    pub fn new(num: Polynomial, den: Polynomial) -> Result<Self, Error> {
+        if den.is_zero() {
+            return Err(Error::ZeroDenominator);
+        }
+        let a0 = den.coeff(0);
+        if a0 == 0.0 {
+            return Err(Error::NonCausalDenominator);
+        }
+        Ok(TransferFunction {
+            num: num.scale(1.0 / a0),
+            den: den.scale(1.0 / a0),
+        })
+    }
+
+    /// A pure gain.
+    pub fn constant(gain: f64) -> Self {
+        TransferFunction {
+            num: Polynomial::constant(gain),
+            den: Polynomial::one(),
+        }
+    }
+
+    /// A pure delay `z⁻ᵐ`.
+    pub fn delay(m: usize) -> Self {
+        TransferFunction {
+            num: Polynomial::delay(m),
+            den: Polynomial::one(),
+        }
+    }
+
+    /// Numerator polynomial (normalized).
+    pub fn num(&self) -> &Polynomial {
+        &self.num
+    }
+
+    /// Denominator polynomial (normalized, constant term 1).
+    pub fn den(&self) -> &Polynomial {
+        &self.den
+    }
+
+    /// Evaluate `H` at a complex point `z`.
+    pub fn eval(&self, z: Complex) -> Complex {
+        self.num.eval_z_complex(z) / self.den.eval_z_complex(z)
+    }
+
+    /// Series composition `self · other`.
+    pub fn series(&self, other: &TransferFunction) -> TransferFunction {
+        TransferFunction::new(self.num.mul(&other.num), self.den.mul(&other.den))
+            .expect("product of causal denominators is causal")
+    }
+
+    /// Parallel composition `self + other`.
+    pub fn parallel(&self, other: &TransferFunction) -> TransferFunction {
+        let num = self
+            .num
+            .mul(&other.den)
+            .add(&other.num.mul(&self.den));
+        TransferFunction::new(num, self.den.mul(&other.den))
+            .expect("product of causal denominators is causal")
+    }
+
+    /// Negative-feedback closure `self / (1 + self · loop_gain)`.
+    pub fn feedback(&self, loop_gain: &TransferFunction) -> TransferFunction {
+        let num = self.num.mul(&loop_gain.den);
+        let den = self
+            .den
+            .mul(&loop_gain.den)
+            .add(&self.num.mul(&loop_gain.num));
+        TransferFunction::new(num, den).expect("feedback preserves causality")
+    }
+
+    /// First `n` samples of the impulse response, by running the difference
+    /// equation `y[k] = b·u − a·y` with `u = δ[k]`.
+    pub fn impulse_response(&self, n: usize) -> Vec<f64> {
+        self.response(n, |k| if k == 0 { 1.0 } else { 0.0 })
+    }
+
+    /// First `n` samples of the unit-step response.
+    pub fn step_response(&self, n: usize) -> Vec<f64> {
+        self.response(n, |_| 1.0)
+    }
+
+    /// First `n` samples of the response to an arbitrary input sequence
+    /// `u(k)`.
+    pub fn response(&self, n: usize, u: impl Fn(usize) -> f64) -> Vec<f64> {
+        let b = self.num.coeffs();
+        let a = self.den.coeffs();
+        let mut y = vec![0.0; n];
+        let mut uu = vec![0.0; n];
+        for k in 0..n {
+            uu[k] = u(k);
+            let mut acc = 0.0;
+            for (i, &bi) in b.iter().enumerate() {
+                if k >= i {
+                    acc += bi * uu[k - i];
+                }
+            }
+            for (i, &ai) in a.iter().enumerate().skip(1) {
+                if k >= i {
+                    acc -= ai * y[k - i];
+                }
+            }
+            y[k] = acc; // a[0] == 1 by normalization
+        }
+        y
+    }
+
+    /// DC gain `H(1)`, or `None` when `den(1) = 0` (pole at `z = 1`).
+    pub fn dc_gain(&self) -> Option<f64> {
+        let d = self.den.at_one();
+        if d.abs() < 1e-12 {
+            None
+        } else {
+            Some(self.num.at_one() / d)
+        }
+    }
+
+    /// Final value of the unit-step response by the final value theorem:
+    /// `lim_{k→∞} y[k] = lim_{z→1} (1 − z⁻¹) H(z) · 1/(1 − z⁻¹) = H(1)`.
+    ///
+    /// A simple pole of `H` at `z = 1` (integrator) makes the step response
+    /// diverge; that case returns [`Error::FinalValueUndefined`]. Poles on or
+    /// outside the unit circle elsewhere also have no final value.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::FinalValueUndefined`] as described above.
+    pub fn step_final_value(&self) -> Result<f64, Error> {
+        // Deflate all (1 - z^{-1}) factors shared by num and den.
+        let mut num = self.num.clone();
+        let mut den = self.den.clone();
+        while let (Some(n2), Some(d2)) =
+            (num.deflate_unit_root(1e-9), den.deflate_unit_root(1e-9))
+        {
+            num = n2;
+            den = d2;
+        }
+        if den.at_one().abs() < 1e-9 {
+            // Residual pole at z = 1 after cancellation: diverges.
+            return Err(Error::FinalValueUndefined);
+        }
+        // Remaining poles must be strictly inside the unit circle.
+        let reduced = TransferFunction::new(num.clone(), den.clone())?;
+        if let Some(r) = reduced.pole_radius() {
+            if r >= 1.0 - 1e-9 {
+                return Err(Error::FinalValueUndefined);
+            }
+        }
+        Ok(num.at_one() / den.at_one())
+    }
+
+    /// Cancel common numerator/denominator factors (within `tol`) via a
+    /// polynomial GCD, returning the reduced transfer function. Exact
+    /// pole-zero cancellations (like the `(1 − z⁻¹)` pair in a deadbeat
+    /// design) reduce the difference-equation order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the reduced denominator degenerates (cannot
+    /// happen for well-formed inputs; surfaced rather than panicked on).
+    pub fn simplified(&self, tol: f64) -> Result<TransferFunction, Error> {
+        if self.num.is_zero() {
+            return TransferFunction::new(Polynomial::zero(), Polynomial::one());
+        }
+        let g = self.num.gcd(&self.den, tol);
+        if g.degree().unwrap_or(0) == 0 {
+            return Ok(self.clone());
+        }
+        let (qn, _) = self.num.div_rem(&g);
+        let (qd, _) = self.den.div_rem(&g);
+        TransferFunction::new(qn, qd)
+    }
+
+    /// Poles of `H` (roots of the denominator in the `z` plane).
+    pub fn poles(&self) -> Vec<Complex> {
+        // den in z^{-1}: 1 + a1 z^{-1} + ... + ad z^{-d}
+        // multiply by z^d: z^d + a1 z^{d-1} + ... + ad  — roots are poles.
+        let z_coeffs_desc = self.den.coeffs().to_vec(); // [1, a1, .., ad] are
+                                                        // descending powers of z after clearing
+        let ascending: Vec<f64> = z_coeffs_desc.into_iter().rev().collect();
+        polynomial_roots(&ascending)
+    }
+
+    /// Zeros of `H` (roots of the numerator in the `z` plane, after
+    /// clearing the same delay power as the denominator).
+    pub fn zeros(&self) -> Vec<Complex> {
+        if self.num.is_zero() {
+            return Vec::new();
+        }
+        let ascending: Vec<f64> = self.num.coeffs().iter().rev().copied().collect();
+        polynomial_roots(&ascending)
+    }
+
+    /// Largest pole magnitude, or `None` for a polynomial (FIR) system.
+    pub fn pole_radius(&self) -> Option<f64> {
+        let poles = self.poles();
+        poles
+            .into_iter()
+            .map(|p| p.abs())
+            .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.max(r))))
+    }
+
+    /// True if every pole lies strictly inside the unit circle.
+    pub fn is_stable(&self) -> bool {
+        self.pole_radius().is_none_or(|r| r < 1.0)
+    }
+}
+
+impl std::fmt::Display for TransferFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}) / ({})", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tf(num: &[f64], den: &[f64]) -> TransferFunction {
+        TransferFunction::new(Polynomial::new(num.to_vec()), Polynomial::new(den.to_vec()))
+            .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_denominators() {
+        assert_eq!(
+            TransferFunction::new(Polynomial::one(), Polynomial::zero()),
+            Err(Error::ZeroDenominator)
+        );
+        assert_eq!(
+            TransferFunction::new(Polynomial::one(), Polynomial::delay(1)),
+            Err(Error::NonCausalDenominator)
+        );
+    }
+
+    #[test]
+    fn normalizes_leading_denominator() {
+        let h = tf(&[2.0], &[4.0, 2.0]);
+        assert_eq!(h.den().coeff(0), 1.0);
+        assert_eq!(h.num().coeff(0), 0.5);
+    }
+
+    #[test]
+    fn impulse_response_of_one_pole() {
+        // H = 1 / (1 - 0.5 z^-1): h[k] = 0.5^k
+        let h = tf(&[1.0], &[1.0, -0.5]);
+        let r = h.impulse_response(5);
+        for (k, v) in r.iter().enumerate() {
+            assert!((v - 0.5f64.powi(k as i32)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn step_response_settles_at_dc_gain() {
+        let h = tf(&[1.0], &[1.0, -0.5]);
+        let r = h.step_response(60);
+        assert!((r[59] - 2.0).abs() < 1e-12);
+        assert_eq!(h.dc_gain(), Some(2.0));
+        assert_eq!(h.step_final_value().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn integrator_has_no_final_value() {
+        // H = 1 / (1 - z^-1)
+        let h = tf(&[1.0], &[1.0, -1.0]);
+        assert_eq!(h.dc_gain(), None);
+        assert_eq!(h.step_final_value(), Err(Error::FinalValueUndefined));
+    }
+
+    #[test]
+    fn cancelled_integrator_has_final_value() {
+        // H = (1 - z^-1) / (1 - z^-1) == 1 (after cancellation)
+        let h = tf(&[1.0, -1.0], &[1.0, -1.0]);
+        assert!((h.step_final_value().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_pole_rejects_final_value() {
+        // H = 1 / (1 - 2 z^-1): pole at z = 2.
+        let h = tf(&[1.0], &[1.0, -2.0]);
+        assert_eq!(h.step_final_value(), Err(Error::FinalValueUndefined));
+        assert!(!h.is_stable());
+    }
+
+    #[test]
+    fn series_parallel_feedback_algebra() {
+        let a = tf(&[1.0], &[1.0, -0.5]);
+        let b = TransferFunction::delay(1);
+        let s = a.series(&b);
+        // impulse of series = impulse of a shifted by 1
+        let ra = a.impulse_response(6);
+        let rs = s.impulse_response(6);
+        assert!(rs[0].abs() < 1e-12);
+        for k in 1..6 {
+            assert!((rs[k] - ra[k - 1]).abs() < 1e-12);
+        }
+        let p = a.parallel(&a);
+        let rp = p.impulse_response(6);
+        for k in 0..6 {
+            assert!((rp[k] - 2.0 * ra[k]).abs() < 1e-12);
+        }
+        // unit feedback around integrator-ish plant stays causal
+        let f = a.feedback(&TransferFunction::constant(1.0));
+        assert!(f.den().coeff(0) == 1.0);
+    }
+
+    #[test]
+    fn simplified_cancels_common_factor() {
+        // H = (1 - z^-1)(1 + 0.5 z^-1) / (1 - z^-1)(1 - 0.5 z^-1)
+        let common = Polynomial::new(vec![1.0, -1.0]);
+        let num = common.mul(&Polynomial::new(vec![1.0, 0.5]));
+        let den = common.mul(&Polynomial::new(vec![1.0, -0.5]));
+        let h = TransferFunction::new(num, den).unwrap();
+        let s = h.simplified(1e-9).unwrap();
+        assert_eq!(s.den().degree(), Some(1));
+        assert_eq!(s.num().degree(), Some(1));
+        // same impulse response as the reduced system
+        let want = tf(&[1.0, 0.5], &[1.0, -0.5]).impulse_response(20);
+        let got = s.impulse_response(20);
+        for k in 0..20 {
+            assert!((got[k] - want[k]).abs() < 1e-9, "k={k}");
+        }
+        // and the unreduced one agrees too (cancellation is benign here)
+        let raw = h.impulse_response(20);
+        for k in 0..20 {
+            assert!((raw[k] - want[k]).abs() < 1e-9, "k={k}");
+        }
+    }
+
+    #[test]
+    fn simplified_noop_for_coprime() {
+        let h = tf(&[1.0, 0.3], &[1.0, -0.5]);
+        let s = h.simplified(1e-9).unwrap();
+        assert_eq!(s, h);
+        let z = TransferFunction::new(Polynomial::zero(), Polynomial::new(vec![1.0, -0.5]))
+            .unwrap();
+        let zs = z.simplified(1e-9).unwrap();
+        assert!(zs.num().is_zero());
+    }
+
+    #[test]
+    fn poles_of_known_system() {
+        // den: (1 - 0.5 z^-1)(1 + 0.25 z^-1) -> poles at 0.5 and -0.25
+        let den = Polynomial::new(vec![1.0, -0.5]).mul(&Polynomial::new(vec![1.0, 0.25]));
+        let h = TransferFunction::new(Polynomial::one(), den).unwrap();
+        let mut mags: Vec<f64> = h.poles().iter().map(|p| p.re).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((mags[0] + 0.25).abs() < 1e-8);
+        assert!((mags[1] - 0.5).abs() < 1e-8);
+        assert!(h.is_stable());
+    }
+
+    #[test]
+    fn delay_poles_at_origin() {
+        let h = TransferFunction::delay(3);
+        assert!(h.is_stable());
+        assert_eq!(h.impulse_response(5), vec![0.0, 0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn response_to_arbitrary_input_is_linear() {
+        let h = tf(&[1.0, 0.5], &[1.0, -0.3]);
+        let r1 = h.response(20, |k| (k as f64).sin());
+        let r2 = h.response(20, |k| 2.0 * (k as f64).sin());
+        for k in 0..20 {
+            assert!((r2[k] - 2.0 * r1[k]).abs() < 1e-12);
+        }
+    }
+}

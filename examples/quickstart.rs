@@ -1,0 +1,50 @@
+//! Quickstart: build the paper's IIR-controlled adaptive clock, run it
+//! under a 20 % homogeneous dynamic variation, and compare the safety
+//! margin it needs against a fixed (PLL-style) clock.
+//!
+//! Run with: `cargo run -p adaptive-clock-examples --example quickstart`
+
+use adaptive_clock::system::{Scheme, SystemBuilder};
+use adaptive_clock_examples::{report_run, sparkline};
+use variation::sources::Harmonic;
+
+fn main() -> Result<(), adaptive_clock::Error> {
+    let c = 64; // set-point: desired stages per period (the paper's value)
+    let amplitude = 0.2 * c as f64; // 20% supply/temperature swing
+    let te = 50.0 * c as f64; // perturbation period Te = 50c
+
+    println!("Adaptive clock quickstart — c = {c}, HoDV 20% with period 50c, t_clk = c\n");
+
+    let hodv = Harmonic::new(amplitude, te, 0.0);
+    for scheme in [
+        Scheme::iir_paper(),
+        Scheme::TeaTime,
+        Scheme::FreeRo { extra_length: 0 },
+        Scheme::Fixed,
+    ] {
+        let label = scheme.label();
+        let system = SystemBuilder::new(c)
+            .cdn_delay(c as f64)
+            .scheme(scheme)
+            .build()?;
+        let run = system.run(&hodv, 6000).skip(1000);
+        report_run(label, &run);
+    }
+
+    // Show the IIR loop actually tracking the variation.
+    let system = SystemBuilder::new(c)
+        .cdn_delay(c as f64)
+        .scheme(Scheme::iir_paper())
+        .build()?;
+    let run = system.run(&hodv, 4000).skip(1000);
+    let periods: Vec<f64> = run.samples().iter().map(|s| s.period).take(200).collect();
+    let errors: Vec<f64> = run.timing_errors().into_iter().take(200).collect();
+    println!("\nIIR RO generated period (200 cycles): {}", sparkline(&periods));
+    println!("IIR RO timing error τ−c  (200 cycles): {}", sparkline(&errors));
+    println!(
+        "\nThe adaptive period follows the variation, so the timing error stays small —\n\
+         that is the safety margin the paper reclaims (its §IV-A example: a 10% set-point\n\
+         reduction cuts 60% of the margin a fixed clock would add)."
+    );
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! A system-on-chip clock domain with TDC sensors disseminated over the
+//! die (the paper's §III architecture) facing *heterogeneous* variation:
+//! a temperature hotspot over a busy core, an IR-drop gradient toward the
+//! far corner, seeded within-die process randomness, and a homogeneous
+//! supply ripple on top.
+//!
+//! The free-running RO — a point sensor at the clock generator — cannot see
+//! any of the heterogeneity; the closed-loop schemes regulate against the
+//! *worst* sensor and stay safe.
+//!
+//! Run with: `cargo run -p adaptive-clock-examples --example soc_clock_domain`
+
+use adaptive_clock::system::{Scheme, SensorSpec, SystemBuilder};
+use adaptive_clock_examples::report_run;
+use variation::sources::Harmonic;
+use variation::spatial::{Position, Profile, SpatialField};
+
+fn main() -> Result<(), adaptive_clock::Error> {
+    let c = 64;
+
+    // Die-wide heterogeneous field: hotspot + gradient + WID randomness.
+    // Negative offsets = locally slower gates = lower TDC readings.
+    let field = SpatialField::new()
+        .with_profile(Profile::Hotspot {
+            center: Position::new(0.7, 0.3),
+            peak: -8.0, // the hotspot slows gates by up to 8 stages worth
+            radius: 0.15,
+        })
+        .with_profile(Profile::Gradient {
+            center_offset: 0.0,
+            slope_x: -4.0, // IR drop grows toward x = 1
+            slope_y: 0.0,
+        })
+        .with_randomness(1.0, 2024);
+
+    // Sixteen TDCs on a grid over the die.
+    let positions = Position::grid(16);
+    let offsets = field.sample_offsets(&positions);
+    println!("SoC clock domain — 16 TDC sensors, c = {c}, t_clk = c");
+    println!("sensor static mismatch offsets (stages):");
+    for (row, chunk) in offsets.chunks(4).enumerate() {
+        let cells: Vec<String> = chunk.iter().map(|o| format!("{o:6.2}")).collect();
+        println!("  row {row}: {}", cells.join("  "));
+    }
+    let worst = offsets.iter().cloned().fold(f64::MAX, f64::min);
+    println!("worst sensor offset: {worst:.2} stages\n");
+
+    let sensors: Vec<SensorSpec> = offsets.iter().map(|&o| SensorSpec::offset(o)).collect();
+    // Homogeneous ripple on top (10% of c, Te = 40c).
+    let ripple = Harmonic::new(0.1 * c as f64, 40.0 * c as f64, 0.0);
+
+    for scheme in [
+        Scheme::iir_paper(),
+        Scheme::TeaTime,
+        Scheme::FreeRo { extra_length: 0 },
+        Scheme::Fixed,
+    ] {
+        let label = scheme.label();
+        let system = SystemBuilder::new(c)
+            .cdn_delay(c as f64)
+            .scheme(scheme)
+            .sensors(sensors.clone())
+            .build()?;
+        let run = system.run(&ripple, 8000).skip(2000);
+        report_run(label, &run);
+    }
+
+    println!(
+        "\nThe free RO needs a margin ≈ |worst sensor offset| + ripple exposure, because\n\
+         its point sensing misses the hotspot entirely; the IIR loop stretches the RO\n\
+         until the worst TDC reads the set-point, leaving only the ripple-tracking\n\
+         residual — the paper's argument for disseminated sensors (its §III)."
+    );
+    Ok(())
+}

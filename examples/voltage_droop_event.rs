@@ -1,0 +1,83 @@
+//! A single fast voltage droop (the paper's "single event HoDV", a
+//! triangular dip of duration `T_ν`) hitting two clock domains: a small one
+//! with a short clock tree and a large one whose CDN delay exceeds half the
+//! droop duration.
+//!
+//! Eq. (3) of the paper predicts the boundary: a free-running RO attenuates
+//! the droop by `2·t_clk/T_ν` while `t_clk < T_ν/2`, and stops helping
+//! entirely beyond it.
+//!
+//! Run with: `cargo run -p adaptive-clock-examples --example voltage_droop_event`
+
+use adaptive_clock::system::{Scheme, SystemBuilder};
+use adaptive_clock_examples::sparkline;
+use variation::analysis;
+use variation::sources::SingleEvent;
+
+fn main() -> Result<(), adaptive_clock::Error> {
+    let c = 64;
+    let droop_amp = 0.2 * c as f64;
+    let droop_duration = 20.0 * c as f64; // Tν = 20c
+    let droop = SingleEvent::new(droop_amp, droop_duration, 100.0 * c as f64);
+
+    println!(
+        "Single-event voltage droop — amplitude 0.2c, duration Tν = 20c, free-running RO\n"
+    );
+    println!(
+        "{:>10} | {:>12} | {:>14} | {:>14}",
+        "t_clk/Tν", "margin (sim)", "Eq.3 predicts", "vs fixed clock"
+    );
+
+    let fixed_margin = {
+        let sys = SystemBuilder::new(c).scheme(Scheme::Fixed).build()?;
+        sys.run(&droop, 9000).skip(500).worst_negative_error()
+    };
+
+    for t_clk_frac in [0.05, 0.1, 0.25, 0.5, 0.75, 1.5] {
+        let t_clk = t_clk_frac * droop_duration;
+        let sys = SystemBuilder::new(c)
+            .cdn_delay(t_clk)
+            .scheme(Scheme::FreeRo { extra_length: 0 })
+            .build()?;
+        let run = sys.run(&droop, 9000).skip(500);
+        let margin = run.worst_negative_error();
+        // Eq. 3 uses the raw CDN delay; the loop pipeline adds ~1 period.
+        let predicted = analysis::single_event_worst_case(
+            droop_amp,
+            t_clk + c as f64,
+            droop_duration,
+        );
+        println!(
+            "{:>10.2} | {:>12.2} | {:>14.2} | {:>13.0}%",
+            t_clk_frac,
+            margin,
+            predicted,
+            100.0 * margin / fixed_margin
+        );
+    }
+
+    println!("\nfixed-clock margin for the same droop: {fixed_margin:.2} stages");
+
+    // Visualize the short-tree case riding through the droop.
+    let sys = SystemBuilder::new(c)
+        .cdn_delay(0.05 * droop_duration)
+        .scheme(Scheme::FreeRo { extra_length: 0 })
+        .build()?;
+    let run = sys.run(&droop, 9000).skip(500);
+    let window: Vec<f64> = run
+        .timing_errors()
+        .into_iter()
+        .skip(5800)
+        .take(240)
+        .collect();
+    println!(
+        "\nτ−c through the droop (short clock tree): {}",
+        sparkline(&window)
+    );
+    println!(
+        "\nPast t_clk = Tν/2 the RO clock arrives after the droop already hit the logic:\n\
+         the margin saturates at the full droop amplitude — \"there is no reason to use\n\
+         the adaptive system\" (paper §II-A.2). Clock-domain size bounds droop tolerance."
+    );
+    Ok(())
+}

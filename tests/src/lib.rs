@@ -1,0 +1,43 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use adaptive_clock::system::{Scheme, System, SystemBuilder};
+use adaptive_clock::RunTrace;
+use variation::sources::Waveform;
+
+/// Build a paper-parameterized system (`c = 64`, `t_clk = c`) for a scheme,
+/// with an optional static sensor mismatch.
+pub fn paper_system(scheme: Scheme, mu: f64) -> System {
+    SystemBuilder::new(64)
+        .cdn_delay(64.0)
+        .scheme(scheme)
+        .single_sensor_mu(mu)
+        .build()
+        .expect("paper parameters are valid")
+}
+
+/// Run a system long enough for steady state and drop the warm-up.
+pub fn steady_run<W: Waveform + ?Sized>(system: &System, e: &W) -> RunTrace {
+    system.run(e, 6000).skip(1500)
+}
+
+/// Assert two floats agree within `tol`, with a labelled panic message.
+///
+/// # Panics
+///
+/// Panics when the values disagree.
+pub fn assert_close(label: &str, got: f64, want: f64, tol: f64) {
+    assert!(
+        (got - want).abs() <= tol,
+        "{label}: got {got}, want {want} (tol {tol})"
+    );
+}
+
+/// The four schemes of the paper's comparison.
+pub fn all_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::iir_paper(),
+        Scheme::TeaTime,
+        Scheme::FreeRo { extra_length: 0 },
+        Scheme::Fixed,
+    ]
+}

@@ -1,0 +1,189 @@
+//! Cross-engine validation: the z-domain theory, the discrete fixed-M
+//! loop, the dtsim block diagram and the event-driven engine must tell the
+//! same story wherever their domains overlap.
+
+use adaptive_clock::controller::{FloatIir, IirConfig};
+use adaptive_clock::dtmodel::{build_fig4_model, probes};
+use adaptive_clock::loopsim::{DiscreteLoop, LoopInputs};
+use adaptive_clock::system::{Scheme, SystemBuilder};
+use adaptive_clock::tdc::Quantization;
+use integration_tests::assert_close;
+use variation::sources::NoVariation;
+use zdomain::closedloop;
+
+/// z-domain steady-state predictions (final value theorem) vs the event
+/// engine's actual settling values for a static mismatch.
+#[test]
+fn event_engine_settles_where_fvt_predicts() {
+    let c = 64i64;
+    let mu = -10.0;
+    let system = SystemBuilder::new(c)
+        .cdn_delay(c as f64)
+        .scheme(Scheme::IirFloat(IirConfig::paper()))
+        .quantization(Quantization::None)
+        .single_sensor_mu(mu)
+        .build()
+        .expect("valid");
+    let run = system.run(&NoVariation, 3000).skip(2500);
+    // FVT: δ(∞) = 0 and l_RO(∞) deviates by −μ from equilibrium — the
+    // sensor offset maps one-to-one onto the z-domain μ input (a negative
+    // offset lowers τ, so the loop stretches the RO by |μ|).
+    let h = zdomain::iir_paper_filter();
+    let dl_pred = closedloop::steady_state_length(&h, 1, 0.0, 0.0, mu).expect("stable loop");
+    // dl_pred is the deviation from equilibrium for a unit-weighted step;
+    // equilibrium is l_RO = c.
+    let want_lro = c as f64 + dl_pred;
+    let got_lro = run.samples().last().expect("samples recorded").lro;
+    assert_close("steady-state l_RO", got_lro, want_lro, 0.5);
+    let got_delta = run.samples().last().expect("samples recorded").delta;
+    assert_close("steady-state δ", got_delta, 0.0, 0.05);
+}
+
+/// The dtsim diagram, the discrete loop, and the z-domain step response
+/// agree on the full transient, not just the endpoint.
+#[test]
+fn three_way_transient_agreement() {
+    let m = 1usize;
+    let steps = 100usize;
+    // 1. z-domain
+    let h = zdomain::iir_paper_filter();
+    let hd = closedloop::error_transfer(&h, m);
+    let theory = hd.step_response(steps);
+    // 2. discrete loop
+    let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).expect("paper config");
+    let mut dl = DiscreteLoop::new(m, Box::new(ctrl), Quantization::None);
+    let one = |_: i64| 1.0;
+    let zero = |_: i64| 0.0;
+    let tr = dl.run(
+        &LoopInputs {
+            setpoint: &one,
+            homogeneous: &zero,
+            heterogeneous: &zero,
+        },
+        steps,
+    );
+    // 3. dtsim diagram
+    let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).expect("paper config");
+    let mut sim = build_fig4_model(m, Box::new(ctrl), |_| 1.0, |_| 0.0, |_| 0.0)
+        .expect("well-formed diagram");
+    sim.run(steps as u64).expect("clean run");
+    let dt_delta = sim.trace(probes::DELTA).expect("probe installed");
+
+    for (k, &want) in theory.iter().enumerate() {
+        assert_close(&format!("theory vs loop, k={k}"), tr.delta[k], want, 1e-9);
+        assert_close(
+            &format!("loop vs dtsim, k={k}"),
+            dt_delta.samples()[k],
+            tr.delta[k],
+            1e-9,
+        );
+    }
+}
+
+/// Event engine vs discrete loop: for a *static* mismatch (no waveform
+/// sampling-time skew at all), the two engines settle identically even
+/// with integer quantization on.
+#[test]
+fn event_and_discrete_settle_identically_on_static_mismatch() {
+    let c = 64i64;
+    let mu = 7.0;
+    // Event engine.
+    let system = SystemBuilder::new(c)
+        .cdn_delay(c as f64)
+        .scheme(Scheme::iir_paper())
+        .single_sensor_mu(mu)
+        .build()
+        .expect("valid");
+    let ev = system.run(&NoVariation, 2000).skip(1800);
+    let ev_lro = ev.samples().last().expect("samples").lro;
+    // Discrete loop (M = 1 since t_clk = c and T ≈ c at equilibrium).
+    let ctrl = adaptive_clock::controller::IntIirControl::new(IirConfig::paper(), c)
+        .expect("paper config");
+    let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::Floor);
+    let cs = |_: i64| c as f64;
+    let zero = |_: i64| 0.0;
+    let mus = move |_: i64| mu;
+    let tr = dl.run(
+        &LoopInputs {
+            setpoint: &cs,
+            homogeneous: &zero,
+            heterogeneous: &mus,
+        },
+        2000,
+    );
+    let dl_lro = *tr.lro.last().expect("steps recorded");
+    assert_close("event vs discrete settled l_RO", ev_lro, dl_lro, 1.0);
+    // Both must hover at c - mu (loop cancels the mismatch).
+    assert_close("settled l_RO vs c-μ", dl_lro, c as f64 - mu, 1.5);
+}
+
+/// Full circle: simulate the loop, *identify* a transfer function from the
+/// simulated error sequence alone, and recover the Eq. (5) algebra — data
+/// to theory with no analytic shortcut.
+#[test]
+fn identified_model_from_simulation_matches_eq5() {
+    let m = 1usize;
+    // Impulse in the set-point channel; record δ.
+    let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).expect("paper config");
+    let mut dl = DiscreteLoop::new(m, Box::new(ctrl), Quantization::None);
+    let impulse = |n: i64| if n == 0 { 1.0 } else { 0.0 };
+    let zero = |_: i64| 0.0;
+    let tr = dl.run(
+        &LoopInputs {
+            setpoint: &impulse,
+            homogeneous: &zero,
+            heterogeneous: &zero,
+        },
+        400,
+    );
+    // Identify from the data.
+    let h = zdomain::iir_paper_filter();
+    let hd_true = closedloop::error_transfer(&h, m);
+    let nb = hd_true.num().degree().unwrap_or(0);
+    let na = hd_true.den().degree().unwrap_or(0);
+    let fitted = zdomain::ident::fit_impulse_response(&tr.delta, nb, na)
+        .expect("identification succeeds on clean data");
+    // The identified model reproduces the analytic response and margins.
+    let want = hd_true.impulse_response(300);
+    let got = fitted.impulse_response(300);
+    for k in 0..300 {
+        assert_close(&format!("ident k={k}"), got[k], want[k], 1e-6);
+    }
+    let rad_true = hd_true.pole_radius().unwrap_or(0.0);
+    let rad_fit = fitted.pole_radius().unwrap_or(0.0);
+    assert_close("identified spectral radius", rad_fit, rad_true, 1e-3);
+}
+
+/// The closed-loop stability boundary from the Jury test matches observed
+/// divergence of the discrete simulation as CDN depth grows.
+#[test]
+fn stability_boundary_matches_simulation() {
+    let h = zdomain::iir_paper_filter();
+    let bound = closedloop::max_stable_cdn_delay(&h, 100).expect("stable at M=0");
+    let diverges = |m: usize| -> bool {
+        let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).expect("paper config");
+        let mut dl = DiscreteLoop::new(m, Box::new(ctrl), Quantization::None);
+        let one = |_: i64| 1.0;
+        let zero = |_: i64| 0.0;
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &one,
+                homogeneous: &zero,
+                heterogeneous: &zero,
+            },
+            4000,
+        );
+        let tail_worst = tr.delta[3500..]
+            .iter()
+            .fold(0.0f64, |a, d| a.max(d.abs()));
+        tail_worst > 10.0
+    };
+    assert!(
+        !diverges(bound),
+        "loop at the stability bound M={bound} must converge"
+    );
+    assert!(
+        diverges(bound + 2),
+        "loop beyond the stability bound must diverge"
+    );
+}

@@ -1,0 +1,115 @@
+//! Guards EXPERIMENTS.md against code drift: the headline numbers quoted
+//! in the document are re-measured here with tolerances. If one of these
+//! tests fails after an intentional change, update EXPERIMENTS.md in the
+//! same commit.
+
+use experiments::config::PaperParams;
+use experiments::{fig7, fig8, fig9};
+
+fn params() -> PaperParams {
+    PaperParams::default()
+}
+
+/// EXPERIMENTS.md Fig. 7 table: margins per scheme per perturbation period.
+#[test]
+fn fig7_margin_table_matches_documentation() {
+    let documented: &[(f64, &[(&str, f64)])] = &[
+        (25.0, &[("IIR RO", 7.0), ("Free RO", 7.0), ("TEAtime RO", 8.0), ("Fixed clock", 13.0)]),
+        (37.5, &[("IIR RO", 4.0), ("Free RO", 5.0), ("TEAtime RO", 5.0), ("Fixed clock", 13.0)]),
+        (50.0, &[("IIR RO", 3.0), ("Free RO", 4.0), ("TEAtime RO", 4.0), ("Fixed clock", 13.0)]),
+    ];
+    for (te, rows) in documented {
+        let panel = fig7::run_panel(&params(), *te);
+        let margins = fig7::panel_margins(&panel);
+        for (label, want) in *rows {
+            let got = margins
+                .iter()
+                .find(|(l, _)| l == label)
+                .unwrap_or_else(|| panic!("missing {label}"))
+                .1;
+            assert!(
+                (got - want).abs() <= 1.0,
+                "Te={te}c {label}: measured {got}, EXPERIMENTS.md says {want}"
+            );
+        }
+    }
+}
+
+/// EXPERIMENTS.md Fig. 8 upper rows (selected): IIR plateau ≈ 0.83 at small
+/// delay, 0.91 at t_clk = 10c; TEAtime crosses 1 near the right edge.
+#[test]
+fn fig8_upper_rows_match_documentation() {
+    let r = fig8::run_upper(&params(), 9);
+    let iir = adaptive_clock::system::Scheme::iir_paper();
+    let tea = adaptive_clock::system::Scheme::TeaTime;
+    let y_small = fig8::y_at(&r, &iir, 0.1);
+    let y_large = fig8::y_at(&r, &iir, 10.0);
+    assert!((y_small - 0.833).abs() < 0.03, "IIR @0.1c: {y_small}");
+    assert!((y_large - 0.914).abs() < 0.05, "IIR @10c: {y_large}");
+    let tea_large = fig8::y_at(&r, &tea, 10.0);
+    assert!(tea_large > 1.0, "TEAtime must cross 1 by t_clk = 10c: {tea_large}");
+}
+
+/// EXPERIMENTS.md Fig. 8 lower rows: above-1 hump near Te/c ≈ 3.65, free RO
+/// first below 1, convergence by Te/c = 1000.
+#[test]
+fn fig8_lower_rows_match_documentation() {
+    let r = fig8::run_lower(&params(), 9);
+    let iir = adaptive_clock::system::Scheme::iir_paper();
+    let free = adaptive_clock::system::Scheme::FreeRo { extra_length: 0 };
+    // the hump: somewhere in 2..8 every scheme exceeds 1
+    let hump = fig8::y_at(&r, &iir, 3.65);
+    assert!(hump > 1.05, "IIR hump: {hump}");
+    // convergence at the slow end
+    let yi = fig8::y_at(&r, &iir, 1000.0);
+    let yf = fig8::y_at(&r, &free, 1000.0);
+    assert!((yi - 0.832).abs() < 0.03, "IIR @1000c: {yi}");
+    assert!((yi - yf).abs() < 0.05, "IIR/free convergence: {yi} vs {yf}");
+}
+
+/// EXPERIMENTS.md Fig. 9 headline panel (t_clk = 0.75c, Te = 25c): the
+/// free RO undercuts the IIR exactly at strongly negative mismatch, and the
+/// quoted corner values hold.
+#[test]
+fn fig9_panel_rows_match_documentation() {
+    let panel = fig9::run_panel(&params(), 0.75, 25.0, 9);
+    let free = panel.series_named("Free RO").expect("series");
+    let iir = panel.series_named("IIR RO").expect("series");
+    let f_neg = free.nearest(-0.2).expect("point");
+    let i_neg = iir.nearest(-0.2).expect("point");
+    assert!(
+        f_neg < i_neg,
+        "at μ = -0.2c the free RO must win: {f_neg} vs {i_neg}"
+    );
+    assert!((f_neg - 0.908).abs() < 0.03, "free @-0.2: {f_neg}");
+    let f_pos = free.nearest(0.2).expect("point");
+    let i_pos = iir.nearest(0.2).expect("point");
+    assert!((f_pos - 1.277).abs() < 0.05, "free @+0.2: {f_pos}");
+    assert!(i_pos < 0.9, "IIR must stay well below 1 at μ = +0.2c: {i_pos}");
+}
+
+/// EXPERIMENTS.md constraints section: stability bound M = 10.
+#[test]
+fn stability_bound_matches_documentation() {
+    let h = zdomain::iir_paper_filter();
+    let bound = zdomain::closedloop::max_stable_cdn_delay(&h, 50).expect("stable at M=0");
+    assert_eq!(bound, 10, "EXPERIMENTS.md documents M = 10");
+}
+
+/// EXPERIMENTS.md ext-stability table values.
+#[test]
+fn stability_map_matches_documentation() {
+    let rows = experiments::ext_stability::run(300);
+    let get = |needle: &str| {
+        rows.iter()
+            .find(|r| r.label.contains(needle))
+            .unwrap_or_else(|| panic!("row {needle}"))
+    };
+    assert_eq!(get("paper").max_stable_m, Some(10));
+    assert_eq!(get("aggressive").max_stable_m, Some(3));
+    assert_eq!(get("sluggish").max_stable_m, Some(51));
+    let paper = get("paper");
+    assert!((paper.radius_at_m1 - 0.809).abs() < 0.01);
+    assert!((paper.phase_margin_deg.expect("crossing") - 70.8).abs() < 1.0);
+    assert!((paper.sensitivity_peak - 1.42).abs() < 0.02);
+}
