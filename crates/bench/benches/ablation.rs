@@ -127,9 +127,10 @@ fn bench_jitter(c: &mut Criterion) {
             "[ablation/jitter] σ={sigma}: margin {:.2} stages (unpredictable floor no loop reclaims)",
             run.worst_negative_error()
         );
-        g.bench_function(BenchmarkId::new("6k-periods", format!("sigma{sigma}")), |b| {
-            b.iter(|| black_box(system.run(&hodv, 6000)))
-        });
+        g.bench_function(
+            BenchmarkId::new("6k-periods", format!("sigma{sigma}")),
+            |b| b.iter(|| black_box(system.run(&hodv, 6000))),
+        );
     }
     g.finish();
 }

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the simulation substrates.
 
-use adaptive_clock::controller::{FloatIir, IirConfig, IntIirControl, TeaTime};
 use adaptive_clock::controller::Controller;
+use adaptive_clock::controller::{FloatIir, IirConfig, IntIirControl, TeaTime};
 use adaptive_clock::loopsim::{constant, DiscreteLoop, LoopInputs};
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use adaptive_clock::tdc::Quantization;
@@ -114,10 +114,7 @@ fn bench_controllers(c: &mut Criterion) {
 }
 
 fn bench_zdomain(c: &mut Criterion) {
-    let char_poly = zdomain::closedloop::characteristic_polynomial(
-        &zdomain::iir_paper_filter(),
-        4,
-    );
+    let char_poly = zdomain::closedloop::characteristic_polynomial(&zdomain::iir_paper_filter(), 4);
     let coeffs: Vec<f64> = char_poly.coeffs().iter().rev().copied().collect();
     let mut g = c.benchmark_group("zdomain");
     g.bench_function("roots-deg12", |b| {

@@ -1,0 +1,96 @@
+//! Telemetry overhead on the Fig. 7 workload: a disabled handle must be
+//! indistinguishable from free (<1 % on the full panel run), and even an
+//! enabled ring-buffer handle should stay cheap.
+//!
+//! Besides the criterion groups, the bench prints a direct overhead
+//! estimate (disabled vs enabled) from a paired wall-clock measurement.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use adaptive_clock::system::Scheme;
+use clock_telemetry::Telemetry;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use experiments::config::PaperParams;
+use experiments::runner::{run_scheme_observed, OperatingPoint};
+
+/// One Fig. 7 operating point: IIR scheme, `t_clk = c`, `T_e = 37.5c`.
+fn fig7_point(telemetry: &Telemetry) -> usize {
+    let params = PaperParams::default();
+    let run = run_scheme_observed(
+        &params,
+        Scheme::iir_paper(),
+        OperatingPoint::new(1.0, 37.5),
+        telemetry,
+    );
+    run.len()
+}
+
+fn bench_fig7_workload(c: &mut Criterion) {
+    let samples = fig7_point(&Telemetry::disabled()) as u64;
+    let mut g = c.benchmark_group("telemetry-fig7");
+    g.throughput(Throughput::Elements(samples));
+    g.bench_function("disabled", |b| {
+        let t = Telemetry::disabled();
+        b.iter(|| black_box(fig7_point(&t)))
+    });
+    g.bench_function("enabled-ring", |b| {
+        let t = Telemetry::enabled();
+        b.iter(|| black_box(fig7_point(&t)))
+    });
+    g.finish();
+}
+
+fn bench_hot_path_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry-primitives");
+    let disabled = Telemetry::disabled().counter("bench.counter");
+    let enabled = Telemetry::enabled().counter("bench.counter");
+    g.bench_function("counter-inc-disabled", |b| {
+        b.iter(|| black_box(&disabled).inc())
+    });
+    g.bench_function("counter-inc-enabled", |b| {
+        b.iter(|| black_box(&enabled).inc())
+    });
+    g.finish();
+}
+
+/// Paired wall-clock comparison, interleaved to cancel drift. Prints the
+/// measured overhead of the *disabled* handle against an enabled one; the
+/// disabled path must be the cheaper of the two by construction, so any
+/// positive reading is measurement noise (and must stay within 1 %).
+fn report_disabled_overhead(_c: &mut Criterion) {
+    let disabled = Telemetry::disabled();
+    let enabled = Telemetry::enabled();
+    // Warm-up.
+    fig7_point(&disabled);
+    fig7_point(&enabled);
+    let rounds = 20;
+    let (mut ns_disabled, mut ns_enabled) = (0u128, 0u128);
+    for _ in 0..rounds {
+        let t0 = Instant::now();
+        black_box(fig7_point(&disabled));
+        ns_disabled += t0.elapsed().as_nanos();
+        let t1 = Instant::now();
+        black_box(fig7_point(&enabled));
+        ns_enabled += t1.elapsed().as_nanos();
+    }
+    let overhead = (ns_disabled as f64 - ns_enabled as f64) / ns_enabled as f64 * 100.0;
+    println!(
+        "telemetry disabled-vs-enabled on fig7 point ({rounds} rounds): \
+         disabled {:.3} ms, enabled {:.3} ms, disabled overhead {overhead:+.2}%",
+        ns_disabled as f64 / rounds as f64 / 1e6,
+        ns_enabled as f64 / rounds as f64 / 1e6,
+    );
+    assert!(
+        overhead < 1.0,
+        "disabled telemetry must cost under 1% vs an enabled handle, got {overhead:.2}%"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_fig7_workload,
+    bench_hot_path_primitives,
+    report_disabled_overhead
+);
+criterion_main!(benches);

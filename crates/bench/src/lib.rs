@@ -38,8 +38,11 @@ mod tests {
     #[test]
     fn headline_does_not_panic_on_empty() {
         headline(&ExperimentResult::new("x", "y"));
-        let r = ExperimentResult::new("a", "b")
-            .with_series(Series::new("s", vec![1.0, 2.0], vec![3.0, 4.0]));
+        let r = ExperimentResult::new("a", "b").with_series(Series::new(
+            "s",
+            vec![1.0, 2.0],
+            vec![3.0, 4.0],
+        ));
         headline(&r);
     }
 }

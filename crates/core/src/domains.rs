@@ -209,7 +209,9 @@ mod tests {
                     .expect("valid"),
             )
         };
-        let md = MultiDomain::new().with(mk("hot", -8.0)).with(mk("cool", 0.0));
+        let md = MultiDomain::new()
+            .with(mk("hot", -8.0))
+            .with(mk("cool", 0.0));
         let rep = md.run(&variation::sources::NoVariation, 3000, 1500);
         // hot domain stretches its RO by ~8 stages
         let spread = rep.period_spread();

@@ -202,9 +202,9 @@ mod tests {
         let mut sim = build_fig4_model(
             m,
             Box::new(ctrl),
-            |_| 1.0,                                  // unit set-point step at n=0
-            |t| if t >= 20.0 { 0.5 } else { 0.0 },    // e step at n=20
-            |t| if t >= 40.0 { -0.25 } else { 0.0 },  // μ step at n=40
+            |_| 1.0,                                 // unit set-point step at n=0
+            |t| if t >= 20.0 { 0.5 } else { 0.0 },   // e step at n=20
+            |t| if t >= 40.0 { -0.25 } else { 0.0 }, // μ step at n=40
         )
         .unwrap();
         sim.run(steps).unwrap();
@@ -282,8 +282,7 @@ mod tests {
     #[test]
     fn fig5_diagram_matches_transfer_function() {
         let cfg = IirConfig::paper();
-        let mut sim =
-            build_fig5_iir_diagram(&cfg, |t| if t == 0.0 { 1.0 } else { 0.0 }).unwrap();
+        let mut sim = build_fig5_iir_diagram(&cfg, |t| if t == 0.0 { 1.0 } else { 0.0 }).unwrap();
         sim.run(60).unwrap();
         let got = sim.trace(probes::FIG5_OUT).unwrap().samples().to_vec();
         let want = cfg.transfer_function().impulse_response(60);
@@ -315,8 +314,7 @@ mod tests {
             k_star_exp: 0,
             tap_exps: vec![0],
         };
-        let mut sim =
-            build_fig5_iir_diagram(&cfg, |t| if t == 0.0 { 1.0 } else { 0.0 }).unwrap();
+        let mut sim = build_fig5_iir_diagram(&cfg, |t| if t == 0.0 { 1.0 } else { 0.0 }).unwrap();
         sim.run(10).unwrap();
         let got = sim.trace(probes::FIG5_OUT).unwrap().samples().to_vec();
         // H = z^-1/(1 - z^-1): a delayed accumulator; impulse -> step

@@ -22,6 +22,7 @@
 
 use std::collections::VecDeque;
 
+use clock_telemetry::{Event as TelemetryEvent, Telemetry};
 use variation::sources::Waveform;
 
 use crate::cdn::Cdn;
@@ -93,9 +94,7 @@ impl std::fmt::Debug for Generator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Generator::Ro(ro) => f.debug_tuple("Ro").field(ro).finish(),
-            Generator::Fixed { period } => {
-                f.debug_struct("Fixed").field("period", period).finish()
-            }
+            Generator::Fixed { period } => f.debug_struct("Fixed").field("period", period).finish(),
         }
     }
 }
@@ -123,6 +122,7 @@ pub struct EventLoop {
     sensors: SensorBank,
     controller: Option<Box<dyn Controller>>,
     jitter: Option<PeriodJitter>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for EventLoop {
@@ -164,6 +164,7 @@ impl EventLoop {
             sensors,
             controller,
             jitter: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -171,6 +172,14 @@ impl EventLoop {
     #[must_use]
     pub fn with_jitter(mut self, jitter: PeriodJitter) -> Self {
         self.jitter = Some(jitter);
+        self
+    }
+
+    /// Attach an instrumentation handle. A disabled handle (the default)
+    /// keeps the run path free of any recording work.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -192,6 +201,12 @@ impl EventLoop {
     /// under homogeneous variation `e`. Per-sensor heterogeneous variation
     /// lives inside the [`SensorBank`].
     pub fn run<W: Waveform + ?Sized>(&mut self, e: &W, n_samples: usize) -> Vec<Sample> {
+        let observed = self.telemetry.is_enabled();
+        let c_samples = self.telemetry.counter("core.samples");
+        let c_steps = self.telemetry.counter("core.controller_steps");
+        let c_violations = self.telemetry.counter("core.timing_violations");
+        let c_saturations = self.telemetry.counter("core.ro_saturations");
+        let c_dropouts = self.telemetry.counter("core.sensor_dropouts");
         let mut samples = Vec::with_capacity(n_samples);
         let mut meas: VecDeque<PendingMeasurement> = VecDeque::new();
         let mut updates: VecDeque<PendingUpdate> = VecDeque::new();
@@ -210,11 +225,49 @@ impl EventLoop {
                 .is_some_and(|m| m.t_meas <= t && samples.len() < n_samples)
             {
                 let m = meas.pop_front().expect("front checked");
-                let tau = self
-                    .sensors
-                    .worst(m.period, e, m.t_meas)
-                    .expect("sensor bank validated non-empty at build time");
+                let tau = if observed {
+                    // Per-sensor pass: non-finite readings are excluded
+                    // from the worst-case reduction and reported as
+                    // dropouts (`reduce(f64::min)` skips NaN the same
+                    // way, so the resulting τ is unchanged).
+                    let mut worst = f64::NAN;
+                    for (idx, s) in self.sensors.iter().enumerate() {
+                        let r = s.measure(m.period, e, m.t_meas);
+                        if r.is_finite() {
+                            worst = if worst.is_nan() { r } else { worst.min(r) };
+                        } else {
+                            c_dropouts.inc();
+                            self.telemetry.emit(
+                                m.t_meas,
+                                TelemetryEvent::SensorDropout { sensor: idx as u64 },
+                            );
+                        }
+                    }
+                    assert!(
+                        !self.sensors.is_empty(),
+                        "sensor bank validated non-empty at build time"
+                    );
+                    worst
+                } else {
+                    self.sensors
+                        .worst(m.period, e, m.t_meas)
+                        .expect("sensor bank validated non-empty at build time")
+                };
                 let delta = self.setpoint - tau;
+                c_samples.inc();
+                if delta > 0.0 {
+                    c_violations.inc();
+                    if observed && tau.is_finite() {
+                        self.telemetry.emit(
+                            m.t_meas,
+                            TelemetryEvent::TimingViolation {
+                                tau,
+                                setpoint: self.setpoint,
+                                margin: delta,
+                            },
+                        );
+                    }
+                }
                 samples.push(Sample {
                     time: m.t_meas,
                     period: m.period,
@@ -223,9 +276,34 @@ impl EventLoop {
                     lro: m.lro,
                 });
                 if let Some(ctrl) = self.controller.as_mut() {
-                    let mut next = ctrl.step(delta);
+                    let requested = ctrl.step(delta);
+                    c_steps.inc();
+                    let mut next = requested;
                     if let Some(b) = bounds {
-                        next = b.clamp(next.round() as i64) as f64;
+                        let rounded = requested.round() as i64;
+                        let clamped = b.clamp(rounded);
+                        if clamped != rounded {
+                            c_saturations.inc();
+                            if observed && requested.is_finite() {
+                                self.telemetry.emit(
+                                    m.t_meas,
+                                    TelemetryEvent::RoSaturation {
+                                        requested,
+                                        clamped: clamped as f64,
+                                    },
+                                );
+                            }
+                        }
+                        next = clamped as f64;
+                    }
+                    if observed && next != m.lro && next.is_finite() && delta.is_finite() {
+                        self.telemetry.emit(
+                            m.t_meas,
+                            TelemetryEvent::ControllerUpdate {
+                                delta,
+                                length: next,
+                            },
+                        );
                     }
                     updates.push_back(PendingUpdate {
                         effective_at: m.t_meas + m.period,
@@ -328,21 +406,12 @@ mod tests {
 
     #[test]
     fn free_ro_tracks_slow_variation() {
-        let mut el = EventLoop::new(
-            64,
-            ro(64),
-            Cdn::new(64.0).unwrap(),
-            ideal_sensors(),
-            None,
-        );
+        let mut el = EventLoop::new(64, ro(64), Cdn::new(64.0).unwrap(), ideal_sensors(), None);
         let amp = 12.8;
         // slow variation: Te = 200c
         let e = Harmonic::new(amp, 64.0 * 200.0, 0.0);
         let samples = el.run(&e, 4000);
-        let worst = samples
-            .iter()
-            .map(|s| s.delta.abs())
-            .fold(0.0f64, f64::max);
+        let worst = samples.iter().map(|s| s.delta.abs()).fold(0.0f64, f64::max);
         // Eq. 2 with t_clk/Te = 1/200 plus the ~2-period pipeline skew:
         // mismatch ≈ 2·amp·sin(π·3/200) ≈ 1.2; far below the raw amplitude.
         assert!(worst < 2.0, "worst |δ| = {worst}");
@@ -355,13 +424,7 @@ mod tests {
         let c = 64.0;
         let te = 4.0 * c; // fast variation
         let t_clk = 2.0 * c; // = Te/2
-        let mut el = EventLoop::new(
-            64,
-            ro(64),
-            Cdn::new(t_clk).unwrap(),
-            ideal_sensors(),
-            None,
-        );
+        let mut el = EventLoop::new(64, ro(64), Cdn::new(t_clk).unwrap(), ideal_sensors(), None);
         let amp = 6.4;
         let e = Harmonic::new(amp, te, 0.0);
         let samples = el.run(&e, 6000);
@@ -372,15 +435,17 @@ mod tests {
             .fold(0.0f64, f64::max);
         // Eq. 2 with the effective loop skew T + t_clk = 3c over Te = 4c:
         // 2·amp·|sin(3π/4)| ≈ 1.41·amp — well above the raw amplitude.
-        assert!(worst > 1.2 * amp, "worst |δ| = {worst}, expected ≈ {}", 1.41 * amp);
+        assert!(
+            worst > 1.2 * amp,
+            "worst |δ| = {worst}, expected ≈ {}",
+            1.41 * amp
+        );
     }
 
     #[test]
     fn iir_loop_compensates_static_mismatch() {
-        let sensors = SensorBank::new().with(Tdc::new(
-            ConstantOffset::new(-10.0),
-            Quantization::None,
-        ));
+        let sensors =
+            SensorBank::new().with(Tdc::new(ConstantOffset::new(-10.0), Quantization::None));
         let mut el = EventLoop::new(
             64,
             ro(64),
@@ -455,9 +520,7 @@ mod tests {
         // Discrete model samples e at integer periods: e[n] = e(n·c).
         // The event engine samples at slightly drifting times because the
         // period wobbles by ±0.5 stages; tolerance accounts for that.
-        let e_seq = move |n: i64| {
-            Harmonic::new(small_amp, te, 0.0).value(n as f64 * c as f64)
-        };
+        let e_seq = move |n: i64| Harmonic::new(small_amp, te, 0.0).value(n as f64 * c as f64);
         let tr = dl.run(
             &LoopInputs {
                 setpoint: &cseq,
@@ -536,7 +599,10 @@ mod tests {
         let m3 = margin_for(3.0);
         assert!(m0 < 0.01, "no jitter, no margin: {m0}");
         assert!(m1 > 2.0, "σ=1 worst-case margin should be a few σ: {m1}");
-        assert!(m3 > 2.0 * m1 * 0.8, "margin must scale with σ: {m1} -> {m3}");
+        assert!(
+            m3 > 2.0 * m1 * 0.8,
+            "margin must scale with σ: {m1} -> {m3}"
+        );
     }
 
     #[test]
@@ -547,13 +613,7 @@ mod tests {
         let mut short = EventLoop::new(c, ro(c), Cdn::new(6.4).unwrap(), ideal_sensors(), None);
         let s1 = short.run(&droop, 2000);
         let worst_short = s1.iter().map(|s| s.delta.abs()).fold(0.0f64, f64::max);
-        let mut long = EventLoop::new(
-            c,
-            ro(c),
-            Cdn::new(6400.0).unwrap(),
-            ideal_sensors(),
-            None,
-        );
+        let mut long = EventLoop::new(c, ro(c), Cdn::new(6400.0).unwrap(), ideal_sensors(), None);
         let s2 = long.run(&droop, 2000);
         let worst_long = s2.iter().map(|s| s.delta.abs()).fold(0.0f64, f64::max);
         assert!(

@@ -23,6 +23,8 @@
 //! callers can choose the pre-start history (the loop queries negative
 //! indices during the first `M+2` periods).
 
+use clock_telemetry::{Event as TelemetryEvent, Telemetry};
+
 use crate::controller::Controller;
 use crate::tdc::Quantization;
 
@@ -90,6 +92,7 @@ pub struct DiscreteLoop {
     quantization: Quantization,
     controller: Box<dyn Controller>,
     initial_length: f64,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for DiscreteLoop {
@@ -106,22 +109,31 @@ impl DiscreteLoop {
     ///
     /// `initial_length` is both the controller's resting output and the
     /// pre-start generation history (the value `l_RO[n]` for `n < 0`).
-    pub fn new(
-        m: usize,
-        controller: Box<dyn Controller>,
-        quantization: Quantization,
-    ) -> Self {
+    pub fn new(m: usize, controller: Box<dyn Controller>, quantization: Quantization) -> Self {
         let initial_length = controller.length();
         DiscreteLoop {
             m,
             quantization,
             controller,
             initial_length,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach an instrumentation handle. A disabled handle (the default)
+    /// keeps the run path free of any recording work. Event timestamps are
+    /// the discrete period index `n`.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Run `steps` periods and record the loop signals.
     pub fn run(&mut self, inputs: &LoopInputs<'_>, steps: usize) -> LoopTrace {
+        let observed = self.telemetry.is_enabled();
+        let c_steps = self.telemetry.counter("discrete.controller_steps");
+        let c_violations = self.telemetry.counter("discrete.timing_violations");
         let mm = (self.m + 2) as i64;
         let mut trace = LoopTrace {
             tau: Vec::with_capacity(steps),
@@ -145,6 +157,29 @@ impl DiscreteLoop {
             let tau = self.quantization.apply(raw);
             let delta = (inputs.setpoint)(n) - tau;
             let next = self.controller.step(delta);
+            c_steps.inc();
+            if observed {
+                if delta > 0.0 && tau.is_finite() {
+                    c_violations.inc();
+                    self.telemetry.emit(
+                        n as f64,
+                        TelemetryEvent::TimingViolation {
+                            tau,
+                            setpoint: (inputs.setpoint)(n),
+                            margin: delta,
+                        },
+                    );
+                }
+                if next != lro[n as usize] && next.is_finite() && delta.is_finite() {
+                    self.telemetry.emit(
+                        n as f64,
+                        TelemetryEvent::ControllerUpdate {
+                            delta,
+                            length: next,
+                        },
+                    );
+                }
+            }
             trace.tau.push(tau);
             trace.delta.push(delta);
             trace.lro.push(lro[n as usize]);
@@ -200,12 +235,11 @@ mod tests {
             );
             let hd = closedloop::error_transfer(&h, m);
             let want = hd.step_response(80);
-            for k in 0..80 {
+            for (k, &want_k) in want.iter().enumerate() {
                 assert!(
-                    (tr.delta[k] - want[k]).abs() < 1e-9,
-                    "M={m} k={k}: sim {} vs theory {}",
-                    tr.delta[k],
-                    want[k]
+                    (tr.delta[k] - want_k).abs() < 1e-9,
+                    "M={m} k={k}: sim {} vs theory {want_k}",
+                    tr.delta[k]
                 );
             }
         }
@@ -229,12 +263,11 @@ mod tests {
             );
             let hl = closedloop::length_transfer(&h, m);
             let want = hl.step_response(80);
-            for k in 0..80 {
+            for (k, &want_k) in want.iter().enumerate() {
                 assert!(
-                    (tr.lro[k] - want[k]).abs() < 1e-9,
-                    "M={m} k={k}: sim {} vs theory {}",
-                    tr.lro[k],
-                    want[k]
+                    (tr.lro[k] - want_k).abs() < 1e-9,
+                    "M={m} k={k}: sim {} vs theory {want_k}",
+                    tr.lro[k]
                 );
             }
         }
@@ -260,15 +293,13 @@ mod tests {
         let hd = closedloop::error_transfer(&h, m);
         let w = closedloop::input_weights(m);
         let weighted =
-            zdomain::TransferFunction::new(hd.num().mul(&w.homogeneous), hd.den().clone())
-                .unwrap();
+            zdomain::TransferFunction::new(hd.num().mul(&w.homogeneous), hd.den().clone()).unwrap();
         let want = weighted.step_response(80);
-        for k in 0..80 {
+        for (k, &want_k) in want.iter().enumerate() {
             assert!(
-                (tr.delta[k] - want[k]).abs() < 1e-9,
-                "k={k}: sim {} vs theory {}",
-                tr.delta[k],
-                want[k]
+                (tr.delta[k] - want_k).abs() < 1e-9,
+                "k={k}: sim {} vs theory {want_k}",
+                tr.delta[k]
             );
         }
     }
@@ -295,12 +326,11 @@ mod tests {
             zdomain::TransferFunction::new(hd.num().mul(&w.heterogeneous), hd.den().clone())
                 .unwrap();
         let want = weighted.step_response(80);
-        for k in 0..80 {
+        for (k, &want_k) in want.iter().enumerate() {
             assert!(
-                (tr.delta[k] - want[k]).abs() < 1e-9,
-                "k={k}: sim {} vs theory {}",
-                tr.delta[k],
-                want[k]
+                (tr.delta[k] - want_k).abs() < 1e-9,
+                "k={k}: sim {} vs theory {want_k}",
+                tr.delta[k]
             );
         }
     }
@@ -384,8 +414,7 @@ mod tests {
         // With M = 0 the RO and the TDC see (nearly) the same e: only the
         // one-period registration skew remains, so a slow e produces a tiny
         // error even for a free-running RO.
-        let mut dl =
-            DiscreteLoop::new(0, Box::new(FreeRunning::new(64)), Quantization::None);
+        let mut dl = DiscreteLoop::new(0, Box::new(FreeRunning::new(64)), Quantization::None);
         let cseq = constant(64.0);
         let zero = constant(0.0);
         let e = |n: i64| 12.8 * (std::f64::consts::TAU * n as f64 / 1000.0).sin();

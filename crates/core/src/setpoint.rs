@@ -243,10 +243,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "window must be non-empty")]
     fn zero_window_rejected() {
-        let bad = TunerConfig {
-            window: 0,
-            ..cfg()
-        };
+        let bad = TunerConfig { window: 0, ..cfg() };
         let _ = SetPointTuner::new(64, bad);
     }
 

@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use clock_telemetry::Telemetry;
 use variation::sources::Waveform;
 
 use crate::cdn::Cdn;
@@ -133,6 +134,7 @@ pub struct SystemBuilder {
     jitter: Option<PeriodJitter>,
     coupling: Coupling,
     initial_length: Option<i64>,
+    telemetry: Telemetry,
 }
 
 impl SystemBuilder {
@@ -148,7 +150,17 @@ impl SystemBuilder {
             jitter: None,
             coupling: Coupling::Additive,
             initial_length: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach an instrumentation handle; every run of the built system
+    /// reports counters and structured events through it. The default
+    /// (disabled) handle records nothing.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Clock-distribution delay `t_clk` in stage units (default: `c`, one
@@ -283,6 +295,7 @@ impl SystemBuilder {
             jitter: self.jitter,
             coupling: self.coupling,
             initial_length: self.initial_length,
+            telemetry: self.telemetry,
         })
     }
 }
@@ -299,6 +312,7 @@ pub struct System {
     jitter: Option<PeriodJitter>,
     coupling: Coupling,
     initial_length: Option<i64>,
+    telemetry: Telemetry,
 }
 
 impl System {
@@ -342,12 +356,7 @@ impl System {
         let start = self.initial_length.unwrap_or(c);
         let (generator, controller): (Generator, Option<Box<dyn crate::controller::Controller>>) =
             match &self.scheme {
-                Scheme::Fixed => (
-                    Generator::Fixed {
-                        period: c as f64,
-                    },
-                    None,
-                ),
+                Scheme::Fixed => (Generator::Fixed { period: c as f64 }, None),
                 Scheme::FreeRo { extra_length } => {
                     let len = self.bounds.clamp(c + extra_length);
                     (
@@ -390,7 +399,8 @@ impl System {
                     )),
                 ),
             };
-        let el = EventLoop::new(c, generator, self.cdn, self.sensor_bank(), controller);
+        let el = EventLoop::new(c, generator, self.cdn, self.sensor_bank(), controller)
+            .with_telemetry(self.telemetry.clone());
         match self.jitter {
             Some(j) => el.with_jitter(j),
             None => el,
@@ -530,7 +540,10 @@ mod tests {
             k_star_exp: -3,
             tap_exps: vec![1, 0],
         };
-        assert!(SystemBuilder::new(64).scheme(Scheme::Iir(bad)).build().is_err());
+        assert!(SystemBuilder::new(64)
+            .scheme(Scheme::Iir(bad))
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -558,7 +571,11 @@ mod tests {
             let run = sys.run(&NoVariation, 300);
             assert_eq!(run.len(), 300);
             // TEAtime dithers ±1 around the target; others are exact.
-            let bound = if matches!(scheme, Scheme::TeaTime) { 1.5 } else { 1e-9 };
+            let bound = if matches!(scheme, Scheme::TeaTime) {
+                1.5
+            } else {
+                1e-9
+            };
             assert!(
                 run.worst_negative_error() <= bound,
                 "{}: {}",

@@ -147,6 +147,11 @@ impl SensorBank {
         self.sensors.is_empty()
     }
 
+    /// Iterate over the sensors in the bank.
+    pub fn iter(&self) -> impl Iterator<Item = &Tdc> + '_ {
+        self.sensors.iter()
+    }
+
     /// All readings for a delivered period measured at time `t`.
     pub fn readings<W: Waveform + ?Sized>(&self, period: f64, e: &W, t: f64) -> Vec<f64> {
         self.sensors
@@ -269,7 +274,7 @@ mod tests {
         let coupling = Coupling::Multiplicative { c_ref: 64 };
         let tdc = Tdc::ideal(Quantization::None).with_coupling(coupling);
         let e = ConstantOffset::new(12.8); // 20% slower gates
-        // a 64-stage RO under the same coupling generates:
+                                           // a 64-stage RO under the same coupling generates:
         let period = coupling.period(64.0, 12.8);
         assert!((period - 76.8).abs() < 1e-12);
         // the TDC converts back to exactly 64 stages

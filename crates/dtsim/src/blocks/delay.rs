@@ -107,7 +107,8 @@ impl Block for DelayN {
     }
     fn reset(&mut self) {
         self.line.clear();
-        self.line.extend(std::iter::repeat_n(self.initial, self.depth));
+        self.line
+            .extend(std::iter::repeat_n(self.initial, self.depth));
     }
 }
 
@@ -238,7 +239,8 @@ impl Block for TappedDelayLine {
     }
     fn reset(&mut self) {
         self.line.clear();
-        self.line.extend(std::iter::repeat_n(self.initial, self.taps));
+        self.line
+            .extend(std::iter::repeat_n(self.initial, self.taps));
     }
 }
 
@@ -349,8 +351,14 @@ mod tests {
         g.connect(tdl, 2, p3, 0).unwrap();
         let mut sim = g.build().unwrap();
         sim.run(5).unwrap();
-        assert_eq!(sim.trace("p1").unwrap().samples(), &[0.0, 0.0, 1.0, 2.0, 3.0]);
-        assert_eq!(sim.trace("p3").unwrap().samples(), &[0.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(
+            sim.trace("p1").unwrap().samples(),
+            &[0.0, 0.0, 1.0, 2.0, 3.0]
+        );
+        assert_eq!(
+            sim.trace("p3").unwrap().samples(),
+            &[0.0, 0.0, 0.0, 0.0, 1.0]
+        );
     }
 
     #[test]

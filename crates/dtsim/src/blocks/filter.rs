@@ -248,10 +248,7 @@ mod tests {
         let b = vec![0.3, -0.2, 0.1];
         let a = vec![1.0, -0.6, 0.25];
         let input: Vec<f64> = (0..30).map(|k| ((k * 7 % 5) as f64) - 2.0).collect();
-        let y = drive(
-            IirFilter::new("iir", b.clone(), a.clone()),
-            input.clone(),
-        );
+        let y = drive(IirFilter::new("iir", b.clone(), a.clone()), input.clone());
         let mut want = vec![0.0; 30];
         for k in 0..30 {
             let mut acc = 0.0;
@@ -268,7 +265,12 @@ mod tests {
             want[k] = acc;
         }
         for k in 0..30 {
-            assert!((y[k] - want[k]).abs() < 1e-12, "k={k}: {} vs {}", y[k], want[k]);
+            assert!(
+                (y[k] - want[k]).abs() < 1e-12,
+                "k={k}: {} vs {}",
+                y[k],
+                want[k]
+            );
         }
     }
 

@@ -196,20 +196,12 @@ mod tests {
     #[test]
     fn subsystem_validates_port_names() {
         assert!(Subsystem::new("s", doubler(), vec!["nope".into()], vec![]).is_err());
-        assert!(Subsystem::new(
-            "s",
-            doubler(),
-            vec!["u".into()],
-            vec![("twice".into(), 3)]
-        )
-        .is_err());
-        assert!(Subsystem::new(
-            "s",
-            doubler(),
-            vec!["u".into()],
-            vec![("twice".into(), 0)]
-        )
-        .is_ok());
+        assert!(
+            Subsystem::new("s", doubler(), vec!["u".into()], vec![("twice".into(), 3)]).is_err()
+        );
+        assert!(
+            Subsystem::new("s", doubler(), vec!["u".into()], vec![("twice".into(), 0)]).is_ok()
+        );
     }
 
     #[test]
@@ -246,8 +238,7 @@ mod tests {
             g.connect(sum, 0, dly, 0).unwrap();
             g.build().unwrap()
         };
-        let sub =
-            Subsystem::new("acc", inner, vec!["u".into()], vec![("sum".into(), 0)]).unwrap();
+        let sub = Subsystem::new("acc", inner, vec!["u".into()], vec![("sum".into(), 0)]).unwrap();
         let mut g = GraphBuilder::new();
         let one = g.add(FunctionSource::new("one", |_| 1.0));
         let s = g.add(sub);
@@ -256,7 +247,10 @@ mod tests {
         let mut sim = g.build().unwrap();
         sim.run(5).unwrap();
         // sub output lags: [0, 1, 2, 3, 4]
-        assert_eq!(sim.trace("p").unwrap().samples(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            sim.trace("p").unwrap().samples(),
+            &[0.0, 1.0, 2.0, 3.0, 4.0]
+        );
     }
 
     #[test]

@@ -211,7 +211,13 @@ mod tests {
     #[test]
     fn switch_routes_on_threshold() {
         let mut g = GraphBuilder::new();
-        let ctrl = g.add(FunctionSource::new("ctrl", |t| if t < 2.0 { 1.0 } else { -1.0 }));
+        let ctrl = g.add(FunctionSource::new("ctrl", |t| {
+            if t < 2.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        }));
         let a = g.add(Constant::new("a", 10.0));
         let b = g.add(Constant::new("b", 20.0));
         let sw = g.add(Switch::new("sw", 0.0));

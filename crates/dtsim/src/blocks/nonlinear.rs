@@ -215,12 +215,18 @@ mod tests {
     #[test]
     fn rate_limiter_slews() {
         let mut g = GraphBuilder::new();
-        let src = g.add(FunctionSource::new("src", |t| if t < 1.0 { 0.0 } else { 10.0 }));
+        let src = g.add(FunctionSource::new(
+            "src",
+            |t| if t < 1.0 { 0.0 } else { 10.0 },
+        ));
         let r = g.add(RateLimiter::new("r", 2.0, 1.0, 0.0));
         let p = g.add(Probe::new("p"));
         g.chain(&[src, r, p]).unwrap();
         let mut sim = g.build().unwrap();
         sim.run(5).unwrap();
-        assert_eq!(sim.trace("p").unwrap().samples(), &[0.0, 2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(
+            sim.trace("p").unwrap().samples(),
+            &[0.0, 2.0, 4.0, 6.0, 8.0]
+        );
     }
 }

@@ -345,13 +345,19 @@ mod tests {
     #[test]
     fn step_switches_at_step_time() {
         let mut s = Step::new("s", 2.0, -1.0, 1.0);
-        assert_eq!(sample(&mut s, &[0.0, 1.9, 2.0, 3.0]), vec![-1.0, -1.0, 1.0, 1.0]);
+        assert_eq!(
+            sample(&mut s, &[0.0, 1.9, 2.0, 3.0]),
+            vec![-1.0, -1.0, 1.0, 1.0]
+        );
     }
 
     #[test]
     fn ramp_starts_at_start_time() {
         let mut r = Ramp::new("r", 2.0, 1.0);
-        assert_eq!(sample(&mut r, &[0.0, 1.0, 2.0, 3.0]), vec![0.0, 0.0, 2.0, 4.0]);
+        assert_eq!(
+            sample(&mut r, &[0.0, 1.0, 2.0, 3.0]),
+            vec![0.0, 0.0, 2.0, 4.0]
+        );
     }
 
     #[test]

@@ -267,10 +267,7 @@ mod tests {
     fn build_rejects_unconnected_input() {
         let mut g = GraphBuilder::new();
         g.add(Gain::new("g", 2.0));
-        assert!(matches!(
-            g.build(),
-            Err(Error::UnconnectedInput { .. })
-        ));
+        assert!(matches!(g.build(), Err(Error::UnconnectedInput { .. })));
     }
 
     #[test]

@@ -56,5 +56,5 @@ mod trace;
 pub use block::{Block, StepContext};
 pub use error::Error;
 pub use graph::{BlockId, GraphBuilder, PortRef};
-pub use sim::Simulation;
+pub use sim::{BlockCost, ScheduleStats, SimReport, Simulation};
 pub use trace::Trace;

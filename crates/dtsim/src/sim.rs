@@ -9,6 +9,51 @@ pub(crate) struct Connection {
     pub(crate) dst_slot: usize,
 }
 
+/// Static shape of a compiled simulation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Number of blocks in the graph.
+    pub blocks: usize,
+    /// Number of resolved signal routes.
+    pub connections: usize,
+    /// Total flattened input slots.
+    pub input_slots: usize,
+    /// Total flattened output slots.
+    pub output_slots: usize,
+}
+
+/// Wall-clock cost attributed to one block in a profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockCost {
+    /// Block name.
+    pub name: String,
+    /// Nanoseconds spent in this block's output + update phases.
+    pub ns: u64,
+    /// Fraction of the profiled blocks' total time (0 when nothing ran).
+    pub share: f64,
+}
+
+/// Execution profile of a simulation, from [`Simulation::report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Steps executed while profiling was enabled.
+    pub steps: u64,
+    /// Total wall-clock nanoseconds across those steps.
+    pub wall_ns: u64,
+    /// Steps per second (0 when no time elapsed).
+    pub steps_per_sec: f64,
+    /// Per-block costs, most expensive first.
+    pub blocks: Vec<BlockCost>,
+    /// The graph shape the profile was taken over.
+    pub schedule: ScheduleStats,
+}
+
+struct Profiler {
+    block_ns: Vec<u64>,
+    wall_ns: u64,
+    steps: u64,
+}
+
 /// An executable discrete-time model produced by
 /// [`GraphBuilder::build`](crate::GraphBuilder::build).
 ///
@@ -27,6 +72,7 @@ pub struct Simulation {
     outputs: Vec<f64>,
     ctx: StepContext,
     check_finite: bool,
+    profiler: Option<Profiler>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -72,7 +118,62 @@ impl Simulation {
             outputs: vec![0.0; n_out],
             ctx: StepContext::initial(1.0),
             check_finite: true,
+            profiler: None,
         }
+    }
+
+    /// Enable or disable per-block wall-clock profiling. Enabling resets
+    /// any previously accumulated profile; while disabled the step path
+    /// takes no timestamps at all.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler = on.then(|| Profiler {
+            block_ns: vec![0; self.blocks.len()],
+            wall_ns: 0,
+            steps: 0,
+        });
+    }
+
+    /// Static shape of the compiled graph (always available).
+    pub fn schedule_stats(&self) -> ScheduleStats {
+        ScheduleStats {
+            blocks: self.blocks.len(),
+            connections: self.fanout.iter().map(Vec::len).sum(),
+            input_slots: self.inputs.len(),
+            output_slots: self.outputs.len(),
+        }
+    }
+
+    /// The execution profile accumulated since profiling was enabled, or
+    /// `None` if profiling is off.
+    pub fn report(&self) -> Option<SimReport> {
+        let p = self.profiler.as_ref()?;
+        let total: u64 = p.block_ns.iter().sum();
+        let mut blocks: Vec<BlockCost> = p
+            .block_ns
+            .iter()
+            .enumerate()
+            .map(|(b, &ns)| BlockCost {
+                name: self.blocks[b].name().to_owned(),
+                ns,
+                share: if total > 0 {
+                    ns as f64 / total as f64
+                } else {
+                    0.0
+                },
+            })
+            .collect();
+        blocks.sort_by(|a, b| b.ns.cmp(&a.ns).then_with(|| a.name.cmp(&b.name)));
+        Some(SimReport {
+            steps: p.steps,
+            wall_ns: p.wall_ns,
+            steps_per_sec: if p.wall_ns > 0 {
+                p.steps as f64 * 1e9 / p.wall_ns as f64
+            } else {
+                0.0
+            },
+            blocks,
+            schedule: self.schedule_stats(),
+        })
     }
 
     /// Set the fixed step duration (default `1.0`).
@@ -115,6 +216,8 @@ impl Simulation {
     /// finite check is enabled.
     pub fn step_with_dt(&mut self, dt: f64) -> Result<(), Error> {
         self.ctx.dt = dt;
+        let profiling = self.profiler.is_some();
+        let step_start = profiling.then(std::time::Instant::now);
         // Output phase in feedthrough order; propagate each block's outputs
         // to downstream input slots immediately.
         for idx in 0..self.order.len() {
@@ -126,7 +229,12 @@ impl Simulation {
             // Split borrows: inputs and outputs are distinct vectors.
             let inputs = &self.inputs[in_off..in_off + n_in];
             let outputs = &mut self.outputs[out_off..out_off + n_out];
+            let t0 = profiling.then(std::time::Instant::now);
             self.blocks[b].output(&self.ctx, inputs, outputs);
+            if let Some(t0) = t0 {
+                let p = self.profiler.as_mut().expect("profiling checked");
+                p.block_ns[b] += t0.elapsed().as_nanos() as u64;
+            }
             if self.check_finite {
                 for (pi, v) in outputs.iter().enumerate() {
                     if !v.is_finite() {
@@ -148,7 +256,16 @@ impl Simulation {
             let in_off = self.input_offsets[b];
             let n_in = self.blocks[b].num_inputs();
             let inputs = &self.inputs[in_off..in_off + n_in];
+            let t0 = profiling.then(std::time::Instant::now);
             self.blocks[b].update(&self.ctx, inputs);
+            if let Some(t0) = t0 {
+                let p = self.profiler.as_mut().expect("profiling checked");
+                p.block_ns[b] += t0.elapsed().as_nanos() as u64;
+            }
+        }
+        if let (Some(t0), Some(p)) = (step_start, self.profiler.as_mut()) {
+            p.wall_ns += t0.elapsed().as_nanos() as u64;
+            p.steps += 1;
         }
         self.ctx.step += 1;
         self.ctx.time += dt;
@@ -231,7 +348,10 @@ mod tests {
         g.connect(dly, 0, p, 0).unwrap();
         let mut sim = g.build().unwrap();
         sim.run(5).unwrap();
-        assert_eq!(sim.trace("p").unwrap().samples(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(
+            sim.trace("p").unwrap().samples(),
+            &[0.0, 1.0, 2.0, 3.0, 4.0]
+        );
     }
 
     #[test]
@@ -274,6 +394,56 @@ mod tests {
         g.connect(f, 0, p, 0).unwrap();
         let mut sim = g.build().unwrap();
         assert!(sim.step().is_err());
+    }
+
+    #[test]
+    fn schedule_stats_describe_graph_shape() {
+        let mut g = GraphBuilder::new();
+        let one = g.add(Constant::new("one", 1.0));
+        let sum = g.add(Sum::new("sum", "++"));
+        let dly = g.add(UnitDelay::new("dly", 0.0));
+        let p = g.add(Probe::new("p"));
+        g.connect(one, 0, sum, 0).unwrap();
+        g.connect(dly, 0, sum, 1).unwrap();
+        g.connect(sum, 0, dly, 0).unwrap();
+        g.connect(dly, 0, p, 0).unwrap();
+        let sim = g.build().unwrap();
+        let stats = sim.schedule_stats();
+        assert_eq!(stats.blocks, 4);
+        assert_eq!(stats.connections, 4);
+        assert_eq!(stats.input_slots, 4); // sum×2, dly×1, p×1
+        assert_eq!(stats.output_slots, 3); // one, sum, dly
+    }
+
+    #[test]
+    fn profiling_reports_per_block_costs() {
+        let mut g = GraphBuilder::new();
+        let s = g.add(Sine::new("s", 1.0, 8.0, 0.0));
+        let p = g.add(Probe::new("p"));
+        g.connect(s, 0, p, 0).unwrap();
+        let mut sim = g.build().unwrap();
+        assert!(sim.report().is_none(), "no profile while disabled");
+        sim.run(5).unwrap();
+        sim.set_profiling(true);
+        sim.run(100).unwrap();
+        let report = sim.report().expect("profiling enabled");
+        assert_eq!(report.steps, 100);
+        assert!(report.wall_ns > 0);
+        assert!(report.steps_per_sec > 0.0);
+        assert_eq!(report.blocks.len(), 2);
+        let share_sum: f64 = report.blocks.iter().map(|b| b.share).sum();
+        assert!(
+            (share_sum - 1.0).abs() < 1e-9,
+            "shares sum to 1: {share_sum}"
+        );
+        // sorted most-expensive-first
+        assert!(report.blocks[0].ns >= report.blocks[1].ns);
+        // toggling off stops reporting; re-enabling resets counts
+        sim.set_profiling(false);
+        assert!(sim.report().is_none());
+        sim.set_profiling(true);
+        sim.run(3).unwrap();
+        assert_eq!(sim.report().unwrap().steps, 3);
     }
 
     #[test]

@@ -161,6 +161,47 @@ mod tests {
     }
 
     #[test]
+    fn csv_empty_trace_is_header_only() {
+        let mut buf = Vec::new();
+        Trace::new().write_csv(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), "time,value\n");
+    }
+
+    #[test]
+    fn csv_parses_back_to_the_same_trace() {
+        let t: Trace = (0..50)
+            .map(|i| (i as f64 * 0.125, (i as f64 - 25.0) * 1.75))
+            .collect();
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("time,value"));
+        let parsed: Trace = lines
+            .map(|l| {
+                let (time, value) = l.split_once(',').expect("two columns");
+                (time.parse().unwrap(), value.parse().unwrap())
+            })
+            .collect();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn csv_propagates_writer_errors() {
+        struct Failing;
+        impl std::io::Write for Failing {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let t: Trace = [(0.0, 1.0)].into_iter().collect();
+        assert!(t.write_csv(Failing).is_err());
+    }
+
+    #[test]
     fn extend_appends() {
         let mut t = Trace::new();
         t.extend([(0.0, 5.0)]);

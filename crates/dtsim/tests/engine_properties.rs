@@ -2,9 +2,7 @@
 //! whatever the topology, the engine must be deterministic, reset-clean,
 //! and loop-safe.
 
-use dtsim::blocks::{
-    Constant, DelayN, FunctionSource, Gain, Offset, Probe, Saturate, Sum,
-};
+use dtsim::blocks::{Constant, DelayN, FunctionSource, Gain, Offset, Probe, Saturate, Sum};
 use dtsim::{GraphBuilder, Simulation};
 use proptest::prelude::*;
 

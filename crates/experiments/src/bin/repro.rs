@@ -3,29 +3,113 @@
 //!
 //! ```text
 //! repro table1 | fig2 | fig7 | fig8 | fig9 | worked-examples | constraints | all
+//! repro --list                    # enumerate every experiment id
 //! repro --json <id>               # machine-readable series instead of text
 //! repro --c 128 --amp 0.1 fig8    # override the paper's c = 64 / 0.2c
+//! repro --telemetry out.jsonl fig7   # capture structured events as JSONL
+//! repro --progress fig9           # live sweep progress line on stderr
 //! ```
 
 use std::process::ExitCode;
 
+use clock_telemetry::Telemetry;
 use experiments::config::PaperParams;
+use experiments::render::Table;
 use experiments::{
-    constraints, ext_coupling, ext_lock, ext_noise, ext_sensitivity, ext_stability, ext_throughput, fig2,
-    fig7, fig8, fig9, table1, worked,
+    constraints, ext_coupling, ext_lock, ext_noise, ext_sensitivity, ext_stability, ext_throughput,
+    fig2, fig7, fig8, fig9, sweep, table1, worked,
 };
 
+/// Every dispatchable experiment id with a one-line description.
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("table1", "Table I — variability taxonomy"),
+    ("fig2", "Fig. 2 — worst-case induced mismatch vs t_clk/Tv"),
+    ("fig7", "Fig. 7 — timing-error traces for the four schemes"),
+    (
+        "fig8",
+        "Fig. 8 — relative adaptive period vs CDN delay / HoDV period",
+    ),
+    (
+        "fig9",
+        "Fig. 9 — relative adaptive period vs RO-TDC mismatch",
+    ),
+    (
+        "worked-examples",
+        "§IV worked examples (60 % / 70 % SM reduction)",
+    ),
+    ("constraints", "§III-A constraints and the stability bound"),
+    (
+        "ext-sensitivity",
+        "z-domain prediction of the adaptation error envelope",
+    ),
+    (
+        "ext-throughput",
+        "Razor-style pipeline throughput vs operated set-point",
+    ),
+    ("ext-noise", "broadband (OU + SSN burst) robustness"),
+    (
+        "ext-stability",
+        "clock-domain-size stability map across gain sets",
+    ),
+    (
+        "ext-lock",
+        "cold-start lock time vs the modal-analysis prediction",
+    ),
+    (
+        "ext-coupling",
+        "additive (paper) vs multiplicative variation coupling",
+    ),
+    ("all", "bundle: every paper artifact"),
+    ("extensions", "bundle: every extension experiment"),
+    ("everything", "bundle: all + extensions"),
+];
+
 fn usage() -> &'static str {
-    "usage: repro [--json] [--c <stages>] [--amp <frac>] <experiment>\n\
+    "usage: repro [--json] [--progress] [--telemetry <out.jsonl>] \
+     [--c <stages>] [--amp <frac>] <experiment>\n\
      paper artifacts: table1, fig2, fig7, fig8, fig9, worked-examples, constraints\n\
      extensions:      ext-sensitivity, ext-throughput, ext-noise, ext-stability, ext-lock, ext-coupling\n\
-     bundles:         all (paper artifacts), extensions, everything\n"
+     bundles:         all (paper artifacts), extensions, everything\n\
+     discovery:       --list prints every id with a description\n"
+}
+
+fn experiment_list() -> String {
+    let mut out = String::from("experiments:\n");
+    for (id, desc) in EXPERIMENTS {
+        out.push_str(&format!("  {id:<16} {desc}\n"));
+    }
+    out
 }
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        print!("{}", experiment_list());
+        return ExitCode::SUCCESS;
+    }
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    let progress = args.iter().any(|a| a == "--progress");
+    args.retain(|a| a != "--progress");
+    sweep::set_progress(progress);
+    let telemetry_path = match take_flag_value(&mut args, "--telemetry") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let telemetry = match &telemetry_path {
+        Some(path) => match Telemetry::to_jsonl(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot open telemetry sink {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Telemetry::disabled(),
+    };
     let mut params = PaperParams::default();
     if let Some(err) = apply_overrides(&mut args, &mut params) {
         eprintln!("error: {err}");
@@ -36,7 +120,22 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
-    let ok = dispatch(which, &params, json);
+    if !EXPERIMENTS.iter().any(|(id, _)| id == which) {
+        eprintln!("error: unknown experiment '{which}'");
+        eprint!("{}", experiment_list());
+        return ExitCode::FAILURE;
+    }
+    let ok = dispatch(which, &params, json, &telemetry);
+    if telemetry.is_enabled() {
+        if let Err(e) = telemetry.flush() {
+            eprintln!("error: telemetry sink: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{}", telemetry_summary(&telemetry));
+        if let Some(path) = &telemetry_path {
+            println!("telemetry events written to {path}");
+        }
+    }
     if ok {
         ExitCode::SUCCESS
     } else {
@@ -45,20 +144,27 @@ fn main() -> ExitCode {
     }
 }
 
+/// Pull `<flag> <value>` out of `args`, returning the value.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let v = args[i + 1].clone();
+            args.drain(i..=i + 1);
+            Ok(Some(v))
+        }
+        Some(_) => Err(format!("{flag} needs a value")),
+    }
+}
+
 /// Pull `--c`/`--amp` overrides out of `args`; returns an error message on
 /// malformed input.
 fn apply_overrides(args: &mut Vec<String>, params: &mut PaperParams) -> Option<String> {
     let mut take = |flag: &str| -> Result<Option<f64>, String> {
-        match args.iter().position(|a| a == flag) {
-            None => Ok(None),
-            Some(i) if i + 1 < args.len() => {
-                let v: f64 = args[i + 1]
-                    .parse()
-                    .map_err(|e| format!("{flag}: {e}"))?;
-                args.drain(i..=i + 1);
-                Ok(Some(v))
-            }
-            Some(_) => Err(format!("{flag} needs a value")),
+        match take_flag_value(args, flag) {
+            Ok(None) => Ok(None),
+            Ok(Some(raw)) => raw.parse().map(Some).map_err(|e| format!("{flag}: {e}")),
+            Err(e) => Err(e),
         }
     };
     match take("--c") {
@@ -76,7 +182,27 @@ fn apply_overrides(args: &mut Vec<String>, params: &mut PaperParams) -> Option<S
     None
 }
 
-fn dispatch(which: &str, params: &PaperParams, json: bool) -> bool {
+/// End-of-run summary of everything the telemetry handle recorded,
+/// rendered with the same ASCII tables the experiments use.
+fn telemetry_summary(telemetry: &Telemetry) -> String {
+    let snap = telemetry.snapshot();
+    let mut out = String::from("telemetry summary\n");
+    let mut counters = Table::new(vec!["counter".to_owned(), "value".to_owned()]);
+    for (name, value) in &snap.counters {
+        counters.row(vec![name.clone(), value.to_string()]);
+    }
+    out.push_str(&counters.render());
+    let mut events = Table::new(vec!["event kind".to_owned(), "count".to_owned()]);
+    for (kind, count) in &snap.events_by_kind {
+        events.row(vec![kind.clone(), count.to_string()]);
+    }
+    events.row(vec!["total".to_owned(), snap.events_total.to_string()]);
+    out.push('\n');
+    out.push_str(&events.render());
+    out
+}
+
+fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry) -> bool {
     match which {
         "table1" => {
             println!("{}", table1::render());
@@ -92,7 +218,7 @@ fn dispatch(which: &str, params: &PaperParams, json: bool) -> bool {
             true
         }
         "fig7" => {
-            for panel in fig7::run(params) {
+            for panel in fig7::run_observed(params, telemetry) {
                 if json {
                     println!("{}", panel.to_json().expect("plain data serializes"));
                 } else {
@@ -107,8 +233,8 @@ fn dispatch(which: &str, params: &PaperParams, json: bool) -> bool {
             true
         }
         "fig8" => {
-            let upper = fig8::run_upper(params, 17);
-            let lower = fig8::run_lower(params, 17);
+            let upper = fig8::run_upper_observed(params, 17, telemetry);
+            let lower = fig8::run_lower_observed(params, 17, telemetry);
             if json {
                 println!("{}", upper.to_json().expect("plain data serializes"));
                 println!("{}", lower.to_json().expect("plain data serializes"));
@@ -119,7 +245,7 @@ fn dispatch(which: &str, params: &PaperParams, json: bool) -> bool {
             true
         }
         "fig9" => {
-            for panel in fig9::run(params, 9) {
+            for panel in fig9::run_observed(params, 9, telemetry) {
                 if json {
                     println!("{}", panel.to_json().expect("plain data serializes"));
                 } else {
@@ -186,7 +312,7 @@ fn dispatch(which: &str, params: &PaperParams, json: bool) -> bool {
                 "constraints",
             ] {
                 println!("================ {id} ================\n");
-                dispatch(id, params, json);
+                dispatch(id, params, json, telemetry);
             }
             true
         }
@@ -200,12 +326,13 @@ fn dispatch(which: &str, params: &PaperParams, json: bool) -> bool {
                 "ext-coupling",
             ] {
                 println!("================ {id} ================\n");
-                dispatch(id, params, json);
+                dispatch(id, params, json, telemetry);
             }
             true
         }
         "everything" => {
-            dispatch("all", params, json) && dispatch("extensions", params, json)
+            dispatch("all", params, json, telemetry)
+                && dispatch("extensions", params, json, telemetry)
         }
         _ => false,
     }

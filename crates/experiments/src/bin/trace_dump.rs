@@ -53,9 +53,7 @@ fn parse(mut argv: Vec<String>) -> Result<Args, String> {
             .ok_or_else(|| format!("flag {flag} needs a value"))?;
         match flag.as_str() {
             "--te" => args.te_over_c = value.parse().map_err(|e| format!("--te: {e}"))?,
-            "--tclk" => {
-                args.t_clk_over_c = value.parse().map_err(|e| format!("--tclk: {e}"))?
-            }
+            "--tclk" => args.t_clk_over_c = value.parse().map_err(|e| format!("--tclk: {e}"))?,
             "--mu" => args.mu_over_c = value.parse().map_err(|e| format!("--mu: {e}"))?,
             "--n" => args.n = value.parse().map_err(|e| format!("--n: {e}"))?,
             "--jitter" => args.jitter = value.parse().map_err(|e| format!("--jitter: {e}"))?,
@@ -64,61 +62,6 @@ fn parse(mut argv: Vec<String>) -> Result<Args, String> {
         }
     }
     Ok(args)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn args(s: &str) -> Vec<String> {
-        s.split_whitespace().map(str::to_owned).collect()
-    }
-
-    #[test]
-    fn parses_defaults() {
-        let a = parse(args("iir")).unwrap();
-        assert_eq!(a.te_over_c, 37.5);
-        assert_eq!(a.t_clk_over_c, 1.0);
-        assert_eq!(a.mu_over_c, 0.0);
-        assert_eq!(a.n, 4000);
-        assert_eq!(a.jitter, 0.0);
-        assert!(a.out.is_none());
-        assert_eq!(a.scheme.label(), "IIR RO");
-    }
-
-    #[test]
-    fn parses_all_flags() {
-        let a = parse(args("fixed --te 50 --tclk 0.75 --mu -0.2 --n 100 --jitter 1.5 --out x.csv"))
-            .unwrap();
-        assert_eq!(a.scheme.label(), "Fixed clock");
-        assert_eq!(a.te_over_c, 50.0);
-        assert_eq!(a.t_clk_over_c, 0.75);
-        assert_eq!(a.mu_over_c, -0.2);
-        assert_eq!(a.n, 100);
-        assert_eq!(a.jitter, 1.5);
-        assert_eq!(a.out.as_deref(), Some("x.csv"));
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        assert!(parse(vec![]).is_err());
-        assert!(parse(args("bogus")).is_err());
-        assert!(parse(args("iir --te")).is_err());
-        assert!(parse(args("iir --te notanumber")).is_err());
-        assert!(parse(args("iir --unknown 3")).is_err());
-    }
-
-    #[test]
-    fn all_schemes_accepted() {
-        for (name, label) in [
-            ("iir", "IIR RO"),
-            ("teatime", "TEAtime RO"),
-            ("free", "Free RO"),
-            ("fixed", "Fixed clock"),
-        ] {
-            assert_eq!(parse(args(name)).unwrap().scheme.label(), label);
-        }
-    }
 }
 
 fn main() -> ExitCode {
@@ -187,6 +130,63 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let a = parse(args("iir")).unwrap();
+        assert_eq!(a.te_over_c, 37.5);
+        assert_eq!(a.t_clk_over_c, 1.0);
+        assert_eq!(a.mu_over_c, 0.0);
+        assert_eq!(a.n, 4000);
+        assert_eq!(a.jitter, 0.0);
+        assert!(a.out.is_none());
+        assert_eq!(a.scheme.label(), "IIR RO");
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(args(
+            "fixed --te 50 --tclk 0.75 --mu -0.2 --n 100 --jitter 1.5 --out x.csv",
+        ))
+        .unwrap();
+        assert_eq!(a.scheme.label(), "Fixed clock");
+        assert_eq!(a.te_over_c, 50.0);
+        assert_eq!(a.t_clk_over_c, 0.75);
+        assert_eq!(a.mu_over_c, -0.2);
+        assert_eq!(a.n, 100);
+        assert_eq!(a.jitter, 1.5);
+        assert_eq!(a.out.as_deref(), Some("x.csv"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse(vec![]).is_err());
+        assert!(parse(args("bogus")).is_err());
+        assert!(parse(args("iir --te")).is_err());
+        assert!(parse(args("iir --te notanumber")).is_err());
+        assert!(parse(args("iir --unknown 3")).is_err());
+    }
+
+    #[test]
+    fn all_schemes_accepted() {
+        for (name, label) in [
+            ("iir", "IIR RO"),
+            ("teatime", "TEAtime RO"),
+            ("free", "Free RO"),
+            ("fixed", "Fixed clock"),
+        ] {
+            assert_eq!(parse(args(name)).unwrap().scheme.label(), label);
         }
     }
 }

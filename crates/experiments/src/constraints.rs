@@ -44,10 +44,8 @@ pub fn run(max_m: usize) -> ConstraintsReport {
         n_at_one: h.num().at_one(),
         d_at_one: h.den().at_one(),
         satisfied: closedloop::satisfies_constraints(&h),
-        ss_error_setpoint: closedloop::steady_state_error(&h, 1, 1.0, 0.0, 0.0)
-            .unwrap_or(f64::NAN),
-        ss_error_mismatch: closedloop::steady_state_error(&h, 1, 0.0, 0.0, 1.0)
-            .unwrap_or(f64::NAN),
+        ss_error_setpoint: closedloop::steady_state_error(&h, 1, 1.0, 0.0, 0.0).unwrap_or(f64::NAN),
+        ss_error_mismatch: closedloop::steady_state_error(&h, 1, 0.0, 0.0, 1.0).unwrap_or(f64::NAN),
         ss_length_mismatch: closedloop::steady_state_length(&h, 1, 0.0, 0.0, 1.0)
             .unwrap_or(f64::NAN),
         radius_by_m,

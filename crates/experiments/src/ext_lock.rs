@@ -81,7 +81,12 @@ pub fn iir_modal_prediction(start: i64, band: f64) -> Option<f64> {
 
 /// Render the study.
 pub fn render(rows: &[LockRow]) -> String {
-    let mut t = Table::new(["scheme", "start length", "lock (periods)", "IIR modal prediction"]);
+    let mut t = Table::new([
+        "scheme",
+        "start length",
+        "lock (periods)",
+        "IIR modal prediction",
+    ]);
     for r in rows {
         let pred = if r.scheme == "IIR RO" {
             iir_modal_prediction(r.start, LOCK_BAND).map_or("-".into(), fmt)

@@ -25,13 +25,7 @@ use crate::sweep::parallel_map;
 pub fn broadband_profile(params: &PaperParams, seed: u64, horizon: f64) -> Composite {
     let c = params.setpoint as f64;
     Composite::new()
-        .with(OuProcess::new(
-            seed,
-            0.1 * c,
-            400.0 * c,
-            horizon,
-            c / 4.0,
-        ))
+        .with(OuProcess::new(seed, 0.1 * c, 400.0 * c, horizon, c / 4.0))
         .with(SsnBursts::new(
             seed.wrapping_add(1),
             SsnConfig {

@@ -56,12 +56,17 @@ pub fn run(params: &PaperParams, points: usize) -> ExperimentResult {
             .build()
             .expect("valid configuration");
         let hodv = Harmonic::new(amp, te * c as f64, 0.0);
-        let run = system.run(&hodv, params.samples_for(te)).skip(params.warmup);
+        let run = system
+            .run(&hodv, params.samples_for(te))
+            .skip(params.warmup);
         run.timing_errors()
             .iter()
             .fold(0.0f64, |a, e| a.max(e.abs()))
     });
-    let predicted: Vec<f64> = tes.iter().map(|&te| amp * predicted_gain(&h, 1, te)).collect();
+    let predicted: Vec<f64> = tes
+        .iter()
+        .map(|&te| amp * predicted_gain(&h, 1, te))
+        .collect();
 
     ExperimentResult::new(
         "ext-sensitivity",

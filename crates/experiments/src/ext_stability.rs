@@ -30,7 +30,10 @@ pub struct StabilityRow {
 /// The candidate gain sets (all satisfy Eq. 10).
 pub fn candidates() -> Vec<(String, IirConfig)> {
     vec![
-        ("paper k=[2,1,.5,.25,.125,.125] k*=1/4".into(), IirConfig::paper()),
+        (
+            "paper k=[2,1,.5,.25,.125,.125] k*=1/4".into(),
+            IirConfig::paper(),
+        ),
         (
             "aggressive k=[4] k*=1/4".into(),
             IirConfig {

@@ -44,7 +44,9 @@ pub fn run(x_max: f64, points: usize) -> ExperimentResult {
 
 /// Render the figure as a chart plus the zero-mismatch-island table.
 pub fn render(result: &ExperimentResult) -> String {
-    let h = result.series_named("Harmonic HoDV").expect("series present");
+    let h = result
+        .series_named("Harmonic HoDV")
+        .expect("series present");
     let s = result
         .series_named("Single event HoDV")
         .expect("series present");

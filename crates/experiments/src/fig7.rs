@@ -12,11 +12,12 @@
 //!   and the error shrinks — "reduced to a minimum value" at `T_e = 50c`.
 
 use adaptive_clock::system::Scheme;
+use clock_telemetry::{Event, Telemetry};
 
 use crate::config::PaperParams;
 use crate::render::ascii_chart;
 use crate::results::{ExperimentResult, Series};
-use crate::runner::{run_scheme, OperatingPoint};
+use crate::runner::{run_scheme_observed, OperatingPoint};
 use crate::sweep::parallel_map;
 
 /// The paper's three perturbation periods, in multiples of `c`.
@@ -38,15 +39,45 @@ fn schemes() -> Vec<Scheme> {
 /// Run one panel: timing-error series over the plotted window for each
 /// scheme.
 pub fn run_panel(params: &PaperParams, te_over_c: f64) -> ExperimentResult {
+    run_panel_observed(params, te_over_c, &Telemetry::disabled())
+}
+
+/// [`run_panel`] with instrumentation: engine counters/events flow through
+/// `telemetry`, and each scheme's needed margin is reported as one
+/// margin-search iteration at coordinate `te_over_c`.
+pub fn run_panel_observed(
+    params: &PaperParams,
+    te_over_c: f64,
+    telemetry: &Telemetry,
+) -> ExperimentResult {
     let point = OperatingPoint::new(1.0, te_over_c);
     let tasks = schemes();
     let series = parallel_map(&tasks, |scheme| {
-        let run = run_scheme(params, scheme.clone(), point);
+        let run = run_scheme_observed(params, scheme.clone(), point, telemetry);
         let window = run.window(WINDOW.0, WINDOW.1);
         let errors = window.timing_errors();
-        let x: Vec<f64> = (WINDOW.0..WINDOW.0 + errors.len()).map(|n| n as f64).collect();
+        let x: Vec<f64> = (WINDOW.0..WINDOW.0 + errors.len())
+            .map(|n| n as f64)
+            .collect();
         Series::new(scheme.label(), x, errors)
     });
+    if telemetry.is_enabled() {
+        for s in &series {
+            let worst = s.y.iter().fold(0.0f64, |a, &v| a.min(v));
+            let margin = -worst;
+            if margin.is_finite() {
+                telemetry.emit(
+                    te_over_c,
+                    Event::MarginSearchIteration {
+                        experiment: "fig7".to_owned(),
+                        scheme: s.label.clone(),
+                        x: te_over_c,
+                        value: margin,
+                    },
+                );
+            }
+        }
+    }
     let mut result = ExperimentResult::new(
         format!("fig7-te{te_over_c}c"),
         format!(
@@ -63,9 +94,14 @@ pub fn run_panel(params: &PaperParams, te_over_c: f64) -> ExperimentResult {
 
 /// Run all three panels.
 pub fn run(params: &PaperParams) -> Vec<ExperimentResult> {
+    run_observed(params, &Telemetry::disabled())
+}
+
+/// [`run`] with instrumentation attached to every panel.
+pub fn run_observed(params: &PaperParams, telemetry: &Telemetry) -> Vec<ExperimentResult> {
     PANELS
         .iter()
-        .map(|&te| run_panel(params, te))
+        .map(|&te| run_panel_observed(params, te, telemetry))
         .collect()
 }
 

@@ -16,15 +16,52 @@
 //!   for `T_e/c > 200` the IIR RO and the free RO perform the same.
 
 use adaptive_clock::system::Scheme;
+use clock_telemetry::{Event, Telemetry};
 
 use crate::config::PaperParams;
 use crate::render::{ascii_chart, fmt, Table};
 use crate::results::{ExperimentResult, Series};
-use crate::runner::{adaptive_schemes, relative_period, OperatingPoint};
+use crate::runner::{adaptive_schemes, relative_period_observed, OperatingPoint};
 use crate::sweep::{log_grid, parallel_map};
+
+/// Sweep one scheme over `xs`, reporting every grid point as a
+/// margin-search iteration on `telemetry`.
+fn sweep_scheme(
+    params: &PaperParams,
+    scheme: &Scheme,
+    experiment: &str,
+    xs: &[f64],
+    point_at: impl Fn(f64) -> OperatingPoint + Sync,
+    telemetry: &Telemetry,
+) -> Vec<f64> {
+    parallel_map(xs, |&x| {
+        let y = relative_period_observed(params, scheme.clone(), point_at(x), telemetry);
+        if telemetry.is_enabled() && y.is_finite() {
+            telemetry.emit(
+                x,
+                Event::MarginSearchIteration {
+                    experiment: experiment.to_owned(),
+                    scheme: scheme.label().to_owned(),
+                    x,
+                    value: y,
+                },
+            );
+        }
+        y
+    })
+}
 
 /// Upper panel: sweep `t_clk/c` at fixed `T_e = 100c`.
 pub fn run_upper(params: &PaperParams, points: usize) -> ExperimentResult {
+    run_upper_observed(params, points, &Telemetry::disabled())
+}
+
+/// [`run_upper`] with instrumentation.
+pub fn run_upper_observed(
+    params: &PaperParams,
+    points: usize,
+    telemetry: &Telemetry,
+) -> ExperimentResult {
     let xs = log_grid(0.1, 10.0, points);
     let mut result = ExperimentResult::new(
         "fig8-upper",
@@ -35,9 +72,14 @@ pub fn run_upper(params: &PaperParams, points: usize) -> ExperimentResult {
         ),
     );
     for scheme in adaptive_schemes() {
-        let ys = parallel_map(&xs, |&x| {
-            relative_period(params, scheme.clone(), OperatingPoint::new(x, 100.0))
-        });
+        let ys = sweep_scheme(
+            params,
+            &scheme,
+            "fig8-upper",
+            &xs,
+            |x| OperatingPoint::new(x, 100.0),
+            telemetry,
+        );
         result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
     }
     result
@@ -45,6 +87,15 @@ pub fn run_upper(params: &PaperParams, points: usize) -> ExperimentResult {
 
 /// Lower panel: sweep `T_e/c` at fixed `t_clk = c`.
 pub fn run_lower(params: &PaperParams, points: usize) -> ExperimentResult {
+    run_lower_observed(params, points, &Telemetry::disabled())
+}
+
+/// [`run_lower`] with instrumentation.
+pub fn run_lower_observed(
+    params: &PaperParams,
+    points: usize,
+    telemetry: &Telemetry,
+) -> ExperimentResult {
     let xs = log_grid(1.0, 1000.0, points);
     let mut result = ExperimentResult::new(
         "fig8-lower",
@@ -55,9 +106,14 @@ pub fn run_lower(params: &PaperParams, points: usize) -> ExperimentResult {
         ),
     );
     for scheme in adaptive_schemes() {
-        let ys = parallel_map(&xs, |&x| {
-            relative_period(params, scheme.clone(), OperatingPoint::new(1.0, x))
-        });
+        let ys = sweep_scheme(
+            params,
+            &scheme,
+            "fig8-lower",
+            &xs,
+            |x| OperatingPoint::new(1.0, x),
+            telemetry,
+        );
         result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
     }
     result
@@ -166,10 +222,7 @@ mod tests {
         let r = run_lower(&params(), 9);
         let yi = y_at(&r, &Scheme::iir_paper(), 1000.0);
         let yf = y_at(&r, &Scheme::FreeRo { extra_length: 0 }, 1000.0);
-        assert!(
-            (yi - yf).abs() < 0.05,
-            "at Te=1000c: IIR {yi} vs free {yf}"
-        );
+        assert!((yi - yf).abs() < 0.05, "at Te=1000c: IIR {yi} vs free {yf}");
     }
 
     #[test]

@@ -14,11 +14,12 @@
 //! mismatch.
 
 use clock_metrics::margin;
+use clock_telemetry::{Event, Telemetry};
 
 use crate::config::PaperParams;
 use crate::render::{fmt, Table};
 use crate::results::{ExperimentResult, Series};
-use crate::runner::{run_scheme, OperatingPoint};
+use crate::runner::{run_scheme_observed, OperatingPoint};
 use crate::sweep::{linear_grid, parallel_map};
 use adaptive_clock::system::Scheme;
 
@@ -33,6 +34,24 @@ pub fn run_panel(
     t_clk_over_c: f64,
     te_over_c: f64,
     points: usize,
+) -> ExperimentResult {
+    run_panel_observed(
+        params,
+        t_clk_over_c,
+        te_over_c,
+        points,
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run_panel`] with instrumentation: every `(scheme, μ)` grid point of
+/// the panel is reported as a margin-search iteration at coordinate `μ`.
+pub fn run_panel_observed(
+    params: &PaperParams,
+    t_clk_over_c: f64,
+    te_over_c: f64,
+    points: usize,
+    telemetry: &Telemetry,
 ) -> ExperimentResult {
     let mus = linear_grid(-0.2, 0.2, points);
     // All (scheme, μ) runs of the panel, parallel.
@@ -55,10 +74,11 @@ pub fn run_panel(
         }
     }
     let runs = parallel_map(&tasks, |t| {
-        run_scheme(
+        run_scheme_observed(
             params,
             t.scheme.clone(),
             OperatingPoint::new(t_clk_over_c, te_over_c).with_mu(t.mu),
+            telemetry,
         )
     });
     let get = |label: &str, mu: f64| {
@@ -97,6 +117,21 @@ pub fn run_panel(
                 }
             })
             .collect();
+        if telemetry.is_enabled() {
+            for (&mu, &y) in mus.iter().zip(&ys) {
+                if y.is_finite() {
+                    telemetry.emit(
+                        mu,
+                        Event::MarginSearchIteration {
+                            experiment: result.id.clone(),
+                            scheme: label.to_owned(),
+                            x: mu,
+                            value: y,
+                        },
+                    );
+                }
+            }
+        }
         result = result.with_series(Series::new(label, mus.clone(), ys));
     }
     result
@@ -104,10 +139,19 @@ pub fn run_panel(
 
 /// Run the full 3×3 grid.
 pub fn run(params: &PaperParams, points: usize) -> Vec<ExperimentResult> {
+    run_observed(params, points, &Telemetry::disabled())
+}
+
+/// [`run`] with instrumentation attached to every panel.
+pub fn run_observed(
+    params: &PaperParams,
+    points: usize,
+    telemetry: &Telemetry,
+) -> Vec<ExperimentResult> {
     let mut out = Vec::with_capacity(9);
     for &te in &TE_GRID {
         for &t_clk in &T_CLK_GRID {
-            out.push(run_panel(params, t_clk, te, points));
+            out.push(run_panel_observed(params, t_clk, te, points, telemetry));
         }
     }
     out
@@ -189,17 +233,16 @@ mod tests {
         let params = PaperParams::default();
         let r = run_panel(&params, 1.0, 50.0, 5);
         let s = r.series_named("IIR RO").unwrap();
-        let needed_spread: Vec<f64> = s
-            .x
-            .iter()
-            .zip(&s.y)
-            .map(|(&mu, &ratio)| {
-                // reconstruct the numerator (needed adaptive period)
-                let c = params.setpoint as f64;
-                let fixed_needed = c + 12.8 - mu * c; // analytic fixed baseline
-                ratio * fixed_needed
-            })
-            .collect();
+        let needed_spread: Vec<f64> =
+            s.x.iter()
+                .zip(&s.y)
+                .map(|(&mu, &ratio)| {
+                    // reconstruct the numerator (needed adaptive period)
+                    let c = params.setpoint as f64;
+                    let fixed_needed = c + 12.8 - mu * c; // analytic fixed baseline
+                    ratio * fixed_needed
+                })
+                .collect();
         let lo = needed_spread.iter().cloned().fold(f64::MAX, f64::min);
         let hi = needed_spread.iter().cloned().fold(f64::MIN, f64::max);
         // The loop holds τ at c: the needed period shifts by -μ·c (it must

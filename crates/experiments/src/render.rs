@@ -185,9 +185,7 @@ mod tests {
 
     #[test]
     fn chart_contains_series_extremes_and_legend() {
-        let ys: Vec<f64> = (0..100)
-            .map(|k| (k as f64 * 0.2).sin() * 3.0)
-            .collect();
+        let ys: Vec<f64> = (0..100).map(|k| (k as f64 * 0.2).sin() * 3.0).collect();
         let s = ascii_chart(&[("sine", &ys)], 60, 12);
         assert!(s.contains('*'));
         assert!(s.contains("sine"));

@@ -118,8 +118,11 @@ mod tests {
 
     #[test]
     fn result_roundtrips_through_json() {
-        let r = ExperimentResult::new("fig2", "mismatch curves")
-            .with_series(Series::new("harmonic", vec![0.0, 0.5], vec![0.0, 2.0]));
+        let r = ExperimentResult::new("fig2", "mismatch curves").with_series(Series::new(
+            "harmonic",
+            vec![0.0, 0.5],
+            vec![0.0, 2.0],
+        ));
         let json = r.to_json().unwrap();
         let back: ExperimentResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);

@@ -3,6 +3,7 @@
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use adaptive_clock::RunTrace;
 use clock_metrics::margin;
+use clock_telemetry::Telemetry;
 use variation::sources::Harmonic;
 
 use crate::config::PaperParams;
@@ -49,12 +50,25 @@ pub fn adaptive_schemes() -> Vec<Scheme> {
 
 /// Run `scheme` at the operating point and return the post-warm-up trace.
 pub fn run_scheme(params: &PaperParams, scheme: Scheme, point: OperatingPoint) -> RunTrace {
+    run_scheme_observed(params, scheme, point, &Telemetry::disabled())
+}
+
+/// [`run_scheme`] with an instrumentation handle: the underlying event
+/// loop reports its counters and violation/saturation/update events
+/// through `telemetry`.
+pub fn run_scheme_observed(
+    params: &PaperParams,
+    scheme: Scheme,
+    point: OperatingPoint,
+    telemetry: &Telemetry,
+) -> RunTrace {
     let c = params.setpoint;
     let hodv = Harmonic::new(params.amplitude(), point.te_over_c * c as f64, 0.0);
     let system = SystemBuilder::new(c)
         .cdn_delay(point.t_clk_over_c * c as f64)
         .scheme(scheme)
         .single_sensor_mu(point.mu_over_c * c as f64)
+        .telemetry(telemetry.clone())
         .build()
         .expect("paper operating points are valid configurations");
     let samples = params.samples_for(point.te_over_c);
@@ -65,7 +79,18 @@ pub fn run_scheme(params: &PaperParams, scheme: Scheme, point: OperatingPoint) -
 /// operating point, with the fixed-clock baseline run under the identical
 /// waveform and mismatch.
 pub fn relative_period(params: &PaperParams, scheme: Scheme, point: OperatingPoint) -> f64 {
-    let adaptive = run_scheme(params, scheme, point);
+    relative_period_observed(params, scheme, point, &Telemetry::disabled())
+}
+
+/// [`relative_period`] with instrumentation attached to the adaptive run
+/// (the fixed-clock baseline stays unobserved so events are not doubled).
+pub fn relative_period_observed(
+    params: &PaperParams,
+    scheme: Scheme,
+    point: OperatingPoint,
+    telemetry: &Telemetry,
+) -> f64 {
+    let adaptive = run_scheme_observed(params, scheme, point, telemetry);
     let fixed = run_scheme(params, Scheme::Fixed, point);
     margin::relative_adaptive_period(&adaptive, &fixed)
 }
@@ -91,11 +116,7 @@ mod tests {
     #[test]
     fn fixed_baseline_margin_equals_hodv_amplitude() {
         let params = PaperParams::default();
-        let run = run_scheme(
-            &params,
-            Scheme::Fixed,
-            OperatingPoint::new(1.0, 50.0),
-        );
+        let run = run_scheme(&params, Scheme::Fixed, OperatingPoint::new(1.0, 50.0));
         let m = clock_metrics::margin::required_margin(&run);
         // Fixed clock is fully exposed: needs the whole 0.2c = 12.8 plus
         // the TDC floor quantization (≤ 1 stage).
@@ -105,11 +126,7 @@ mod tests {
     #[test]
     fn relative_period_sane_at_friendly_point() {
         let params = PaperParams::default();
-        let r = relative_period(
-            &params,
-            Scheme::iir_paper(),
-            OperatingPoint::new(1.0, 50.0),
-        );
+        let r = relative_period(&params, Scheme::iir_paper(), OperatingPoint::new(1.0, 50.0));
         assert!(r > 0.7 && r < 1.1, "relative period {r}");
     }
 }

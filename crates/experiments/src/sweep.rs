@@ -1,6 +1,74 @@
-//! Parallel parameter sweeps over crossbeam scoped threads.
+//! Parallel parameter sweeps over std scoped threads, with an optional
+//! live progress line on stderr.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Process-wide switch for the live sweep progress line (off by default;
+/// the `repro` CLI turns it on for `--progress`).
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the live progress line printed by [`parallel_map`].
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Whether the live progress line is currently enabled.
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Format one progress line: completed points, rate and ETA after `secs`
+/// seconds of sweeping. Pure, so it is unit-testable; [`parallel_map`]
+/// prefixes it with `\r` on stderr.
+pub fn progress_line(done: usize, total: usize, secs: f64) -> String {
+    let pct = 100.0 * done as f64 / total.max(1) as f64;
+    let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+    let eta = if rate > 0.0 && done < total {
+        (total - done) as f64 / rate
+    } else {
+        0.0
+    };
+    format!("sweep {done}/{total} ({pct:.0}%) | {rate:.1} points/s | ETA {eta:.0}s")
+}
+
+/// Stderr progress reporter, rate-limited so the sweep itself stays cheap.
+struct ProgressMeter {
+    total: usize,
+    done: usize,
+    started: Instant,
+    last_print: Option<Instant>,
+}
+
+impl ProgressMeter {
+    fn new(total: usize) -> Option<Self> {
+        progress_enabled().then(|| ProgressMeter {
+            total,
+            done: 0,
+            started: Instant::now(),
+            last_print: None,
+        })
+    }
+
+    fn tick(&mut self) {
+        self.done += 1;
+        let now = Instant::now();
+        let due = self
+            .last_print
+            .is_none_or(|t| now.duration_since(t).as_millis() >= 100);
+        if due || self.done == self.total {
+            self.last_print = Some(now);
+            let secs = self.started.elapsed().as_secs_f64();
+            eprint!("\r{}", progress_line(self.done, self.total, secs));
+            if self.done == self.total {
+                eprintln!();
+            }
+            let _ = std::io::stderr().flush();
+        }
+    }
+}
 
 /// Map `f` over `items` in parallel, preserving order. Spawns at most
 /// `available_parallelism` scoped worker threads; items are handed out
@@ -20,31 +88,46 @@ where
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n);
+    let mut meter = ProgressMeter::new(n);
     if workers <= 1 {
-        return items.iter().map(&f).collect();
+        return items
+            .iter()
+            .map(|item| {
+                let r = f(item);
+                if let Some(m) = meter.as_mut() {
+                    m.tick();
+                }
+                r
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
-    crossbeam::scope(|scope| {
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                tx.send((i, f(&items[i]))).expect("receiver outlives workers");
+                tx.send((i, f(&items[i])))
+                    .expect("receiver outlives workers");
             });
         }
         drop(tx);
+        // The single collector thread also owns the progress line, so
+        // ticks are serialized without extra locking.
         for (i, r) in rx.iter() {
             out[i] = Some(r);
+            if let Some(m) = meter.as_mut() {
+                m.tick();
+            }
         }
-    })
-    .expect("sweep worker panicked");
+    });
     out.into_iter()
         .map(|r| r.expect("every index visited exactly once"))
         .collect()
@@ -127,6 +210,32 @@ mod tests {
         let r0 = g[1] / g[0];
         let r1 = g[11] / g[10];
         assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn progress_line_rate_and_eta() {
+        // 20 of 80 points in 10 s -> 2 points/s -> 30 s to go.
+        let line = progress_line(20, 80, 10.0);
+        assert_eq!(line, "sweep 20/80 (25%) | 2.0 points/s | ETA 30s");
+        // completion: no ETA left
+        assert_eq!(
+            progress_line(80, 80, 40.0),
+            "sweep 80/80 (100%) | 2.0 points/s | ETA 0s"
+        );
+        // degenerate inputs must not divide by zero
+        assert_eq!(
+            progress_line(0, 0, 0.0),
+            "sweep 0/0 (0%) | 0.0 points/s | ETA 0s"
+        );
+    }
+
+    #[test]
+    fn progress_toggle_round_trips() {
+        assert!(!progress_enabled());
+        set_progress(true);
+        assert!(progress_enabled());
+        set_progress(false);
+        assert!(!progress_enabled());
     }
 
     #[test]

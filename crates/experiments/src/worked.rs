@@ -9,8 +9,14 @@ use crate::render::{fmt, Table};
 /// Compute both paper examples.
 pub fn run() -> Vec<(WorkedExample, WorkedResult)> {
     vec![
-        (WorkedExample::hodv_paper(), WorkedExample::hodv_paper().compute()),
-        (WorkedExample::hedv_paper(), WorkedExample::hedv_paper().compute()),
+        (
+            WorkedExample::hodv_paper(),
+            WorkedExample::hodv_paper().compute(),
+        ),
+        (
+            WorkedExample::hedv_paper(),
+            WorkedExample::hedv_paper().compute(),
+        ),
     ]
 }
 

@@ -1,0 +1,156 @@
+//! End-to-end tests for the `repro` binary: discovery flags, error
+//! handling for unknown ids, and the full telemetry capture flow
+//! (`--telemetry` JSONL parse-back, `--progress`, summary table).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use clock_telemetry::{Event, EventRecord};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn tmp_jsonl(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("repro-cli-{tag}-{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn list_prints_every_id_and_succeeds() {
+    let out = repro(&["--list"]);
+    assert!(out.status.success(), "--list must exit 0");
+    let text = stdout(&out);
+    for id in [
+        "table1",
+        "fig2",
+        "fig7",
+        "fig8",
+        "fig9",
+        "worked-examples",
+        "constraints",
+        "ext-sensitivity",
+        "ext-throughput",
+        "ext-noise",
+        "ext-stability",
+        "ext-lock",
+        "ext-coupling",
+        "all",
+        "extensions",
+        "everything",
+    ] {
+        assert!(text.contains(id), "--list output missing `{id}`:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_experiment_fails_and_lists_valid_ids() {
+    let out = repro(&["frobnicate"]);
+    assert!(!out.status.success(), "unknown id must exit non-zero");
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown experiment 'frobnicate'"),
+        "stderr should name the bad id:\n{err}"
+    );
+    for id in ["fig7", "ext-lock", "everything"] {
+        assert!(
+            err.contains(id),
+            "stderr should list valid id `{id}`:\n{err}"
+        );
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = repro(&[]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage: repro"));
+}
+
+#[test]
+fn telemetry_flag_requires_a_value() {
+    let out = repro(&["fig7", "--telemetry"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--telemetry needs a value"));
+}
+
+#[test]
+fn fig7_telemetry_capture_round_trips() {
+    let path = tmp_jsonl("fig7");
+    let out = repro(&["fig7", "--telemetry", path.to_str().unwrap(), "--progress"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Live progress line on stderr and a summary table on stdout.
+    assert!(
+        stderr(&out).contains("sweep "),
+        "progress line expected on stderr"
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("telemetry summary"),
+        "missing summary:\n{text}"
+    );
+    assert!(text.contains("core.samples"));
+    assert!(text.contains("TimingViolation"));
+    assert!(text.contains("ControllerUpdate"));
+
+    // Every JSONL line parses back through serde into an EventRecord and
+    // the sink preserves the sequence order exactly.
+    let raw = std::fs::read_to_string(&path).expect("telemetry sink written");
+    std::fs::remove_file(&path).ok();
+    let records: Vec<EventRecord> = raw
+        .lines()
+        .map(|line| serde_json::from_str(line).expect("valid JSONL event record"))
+        .collect();
+    assert!(!records.is_empty(), "fig7 must emit events");
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "JSONL order must match sequence numbers");
+        assert!(r.time.is_finite(), "event timestamps are finite");
+    }
+    let has = |pred: fn(&Event) -> bool| records.iter().any(|r| pred(&r.event));
+    assert!(
+        has(|e| matches!(e, Event::TimingViolation { .. })),
+        "fig7 drives the loop through violations"
+    );
+    assert!(
+        has(|e| matches!(e, Event::ControllerUpdate { .. })),
+        "fig7 drives controller updates"
+    );
+    assert!(
+        has(|e| matches!(e, Event::MarginSearchIteration { .. })),
+        "fig7 reports per-scheme margins"
+    );
+    for r in &records {
+        if let Event::TimingViolation {
+            tau,
+            setpoint,
+            margin,
+        } = &r.event
+        {
+            assert!(tau.is_finite() && margin.is_finite());
+            assert!(*margin > 0.0, "violations only fire for positive margin");
+            assert_eq!(*setpoint, 64.0, "paper set-point");
+        }
+    }
+}
+
+#[test]
+fn json_mode_is_machine_readable() {
+    let out = repro(&["--json", "fig2"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let parsed: experiments::results::ExperimentResult =
+        serde_json::from_str(text.trim()).expect("--json emits an ExperimentResult document");
+    assert_eq!(parsed.id, "fig2");
+    assert!(!parsed.series.is_empty());
+}

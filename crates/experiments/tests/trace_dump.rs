@@ -1,0 +1,59 @@
+//! Golden-file test for the `trace_dump` binary: the deterministic
+//! `fixed` scheme must reproduce the checked-in CSV byte for byte.
+
+use std::process::{Command, Output};
+
+fn trace_dump(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_trace_dump"))
+        .args(args)
+        .output()
+        .expect("trace_dump binary runs")
+}
+
+#[test]
+fn fixed_scheme_matches_golden_csv() {
+    let out = trace_dump(&["fixed", "--n", "8"]);
+    assert!(out.status.success());
+    let got = String::from_utf8(out.stdout).expect("CSV is UTF-8");
+    let golden = include_str!("golden/trace_dump_fixed_n8.csv");
+    assert_eq!(
+        got, golden,
+        "fixed-scheme trace drifted from the golden CSV"
+    );
+}
+
+#[test]
+fn csv_header_and_row_shape() {
+    let out = trace_dump(&["iir", "--n", "16"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("time,period,tau,delta,lro"));
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), 16, "--n rows after the header");
+    for row in rows {
+        assert_eq!(row.split(',').count(), 5, "five CSV fields: {row}");
+        for field in row.split(',') {
+            assert!(field.parse::<f64>().is_ok(), "numeric field: {field}");
+        }
+    }
+}
+
+#[test]
+fn out_flag_writes_the_same_csv_to_a_file() {
+    let path = std::env::temp_dir().join(format!("trace-dump-{}.csv", std::process::id()));
+    let out = trace_dump(&["fixed", "--n", "8", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let from_file = std::fs::read_to_string(&path).expect("--out file written");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(from_file, include_str!("golden/trace_dump_fixed_n8.csv"));
+}
+
+#[test]
+fn rejects_unknown_scheme_with_usage() {
+    let out = trace_dump(&["warp"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown scheme"), "stderr: {err}");
+    assert!(err.contains("usage: trace-dump"), "stderr: {err}");
+}

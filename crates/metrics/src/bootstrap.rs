@@ -71,9 +71,8 @@ pub fn bootstrap_mean_ci(
     }
     means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
     let alpha = (1.0 - level) / 2.0;
-    let idx = |p: f64| -> usize {
-        ((p * (resamples - 1) as f64).round() as usize).min(resamples - 1)
-    };
+    let idx =
+        |p: f64| -> usize { ((p * (resamples - 1) as f64).round() as usize).min(resamples - 1) };
     ConfidenceInterval {
         mean,
         lo: means[idx(alpha)],

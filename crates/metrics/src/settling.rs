@@ -38,12 +38,7 @@ pub fn overshoot(response: &[f64], final_value: f64, step_size: f64) -> f64 {
 /// # Panics
 ///
 /// Panics unless `0 ≤ lo_frac < hi_frac ≤ 1`.
-pub fn rise_time(
-    response: &[f64],
-    final_value: f64,
-    lo_frac: f64,
-    hi_frac: f64,
-) -> Option<usize> {
+pub fn rise_time(response: &[f64], final_value: f64, lo_frac: f64, hi_frac: f64) -> Option<usize> {
     assert!(
         (0.0..1.0).contains(&lo_frac) && lo_frac < hi_frac && hi_frac <= 1.0,
         "rise-time fractions must satisfy 0 <= lo < hi <= 1"

@@ -66,8 +66,7 @@ impl WorkedExample {
     pub fn compute(&self) -> WorkedResult {
         assert!(self.variation_frac > 0.0, "no margin to reduce");
         let fixed_period_ns = self.nominal_ns * (1.0 + self.variation_frac);
-        let margined_setpoint =
-            (self.setpoint as f64 * (1.0 + self.variation_frac)).ceil() as i64;
+        let margined_setpoint = (self.setpoint as f64 * (1.0 + self.variation_frac)).ceil() as i64;
         let added_margin_ns = self.nominal_ns * self.variation_frac;
         let saving_ns = self.adaptive_saving_frac * fixed_period_ns;
         WorkedResult {

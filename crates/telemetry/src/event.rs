@@ -1,0 +1,212 @@
+//! Structured event log: typed events, sequence-stamped records, a
+//! bounded ring buffer and an optional JSONL file sink.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::io::Write;
+
+use serde::{Deserialize, Serialize};
+
+/// One structured occurrence inside a simulation or sweep. All payload
+/// floats must be finite — the JSONL sink rejects NaN/inf, and every
+/// emitting site guards for it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// The sensed critical-path delay exceeded the clock period
+    /// (τ < c in the paper's notation): the cycle would have failed.
+    TimingViolation {
+        /// Sensed worst-case slack measurement for the cycle.
+        tau: f64,
+        /// The configured setpoint (clock period in gate delays).
+        setpoint: f64,
+        /// `setpoint - tau` (positive when violating).
+        margin: f64,
+    },
+    /// The controller asked for a ring-oscillator length outside the
+    /// hardware bounds and the request was clamped.
+    RoSaturation {
+        /// Length the controller computed.
+        requested: f64,
+        /// Length actually applied after clamping.
+        clamped: f64,
+    },
+    /// The controller produced a new RO length from a slack error.
+    ControllerUpdate {
+        /// Slack error fed to the controller (`setpoint - tau`).
+        delta: f64,
+        /// New RO length (post-clamp).
+        length: f64,
+    },
+    /// A delay sensor returned a non-finite reading and was excluded
+    /// from the worst-case reduction for this cycle.
+    SensorDropout {
+        /// Index of the sensor inside the bank.
+        sensor: u64,
+    },
+    /// One evaluated point of a margin/period search grid.
+    MarginSearchIteration {
+        /// Experiment identifier (e.g. `fig8-upper`).
+        experiment: String,
+        /// Scheme label (e.g. `IIR`).
+        scheme: String,
+        /// Sweep coordinate of this point.
+        x: f64,
+        /// Measured objective at this point.
+        value: f64,
+    },
+}
+
+impl Event {
+    /// Stable kind label used for grouping and summary tables.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::TimingViolation { .. } => "TimingViolation",
+            Event::RoSaturation { .. } => "RoSaturation",
+            Event::ControllerUpdate { .. } => "ControllerUpdate",
+            Event::SensorDropout { .. } => "SensorDropout",
+            Event::MarginSearchIteration { .. } => "MarginSearchIteration",
+        }
+    }
+}
+
+/// An [`Event`] stamped with a process-unique sequence number and the
+/// domain time it occurred at. This is the JSONL line type.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Emission order, starting at 0; strictly increasing within one
+    /// [`Telemetry`](crate::Telemetry) instance, including across
+    /// threads.
+    pub seq: u64,
+    /// Domain time: simulation time for engine events, the sweep
+    /// coordinate for search events.
+    pub time: f64,
+    /// The event payload.
+    pub event: Event,
+}
+
+pub(crate) struct EventLog {
+    next_seq: u64,
+    ring: VecDeque<EventRecord>,
+    capacity: usize,
+    by_kind: BTreeMap<&'static str, u64>,
+    jsonl: Option<std::io::BufWriter<std::fs::File>>,
+    io_error: Option<std::io::Error>,
+}
+
+impl EventLog {
+    pub(crate) fn new(capacity: usize, jsonl: Option<std::io::BufWriter<std::fs::File>>) -> Self {
+        EventLog {
+            next_seq: 0,
+            ring: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            by_kind: BTreeMap::new(),
+            jsonl,
+            io_error: None,
+        }
+    }
+
+    pub(crate) fn emit(&mut self, time: f64, event: Event) {
+        *self.by_kind.entry(event.kind_name()).or_insert(0) += 1;
+        let record = EventRecord {
+            seq: self.next_seq,
+            time,
+            event,
+        };
+        self.next_seq += 1;
+        if let Some(w) = &mut self.jsonl {
+            if self.io_error.is_none() {
+                let res = serde_json::to_string(&record)
+                    .map_err(|e| std::io::Error::other(e.to_string()))
+                    .and_then(|line| writeln!(w, "{line}"));
+                if let Err(e) = res {
+                    self.io_error = Some(e);
+                }
+            }
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(record);
+    }
+
+    pub(crate) fn recent(&self) -> Vec<EventRecord> {
+        self.ring.iter().cloned().collect()
+    }
+
+    pub(crate) fn total(&self) -> u64 {
+        self.next_seq
+    }
+
+    pub(crate) fn counts_by_kind(&self) -> Vec<(String, u64)> {
+        self.by_kind
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), *v))
+            .collect()
+    }
+
+    pub(crate) fn flush(&mut self) -> std::io::Result<()> {
+        if let Some(e) = self.io_error.take() {
+            return Err(e);
+        }
+        if let Some(w) = &mut self.jsonl {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_round_trip() {
+        let original = EventRecord {
+            seq: 7,
+            time: 1250.5,
+            event: Event::MarginSearchIteration {
+                experiment: "fig8-upper".to_owned(),
+                scheme: "IIR".to_owned(),
+                x: 0.1,
+                value: -2.25,
+            },
+        };
+        let text = serde_json::to_string(&original).expect("serialize");
+        let back: EventRecord = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let events = vec![
+            Event::TimingViolation {
+                tau: 60.0,
+                setpoint: 64.0,
+                margin: 4.0,
+            },
+            Event::RoSaturation {
+                requested: 130.0,
+                clamped: 96.0,
+            },
+            Event::ControllerUpdate {
+                delta: -0.5,
+                length: 63.0,
+            },
+            Event::SensorDropout { sensor: 2 },
+            Event::MarginSearchIteration {
+                experiment: "fig9".to_owned(),
+                scheme: "TEAtime".to_owned(),
+                x: -0.2,
+                value: 0.875,
+            },
+        ];
+        for e in events {
+            let kind = e.kind_name();
+            let text = serde_json::to_string(&e).expect("serialize");
+            assert!(text.contains(kind), "{text} should name {kind}");
+            let back: Event = serde_json::from_str(&text).expect("parse");
+            assert_eq!(back.kind_name(), kind);
+            assert_eq!(back, e);
+        }
+    }
+}

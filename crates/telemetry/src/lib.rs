@@ -1,0 +1,344 @@
+//! `clock-telemetry` — workspace-wide instrumentation for the adaptive
+//! clock reproduction.
+//!
+//! One [`Telemetry`] handle is threaded through the simulation engines and
+//! experiment harnesses. It is either **disabled** (the default —
+//! every operation is a branch on a `None` and nothing is allocated,
+//! recorded, or locked) or **enabled**, in which case it carries:
+//!
+//! * a registry of named [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   [`Histogram`]s (lock-free on the hot path — handles are resolved
+//!   once and update atomics);
+//! * [`Span`] wall-clock timers that accumulate per-region time;
+//! * a structured [`Event`] log — timing violations, RO length
+//!   saturations, controller updates, sensor dropouts, margin-search
+//!   iterations — drained to a bounded in-memory ring buffer and,
+//!   optionally, to a JSONL file sink;
+//! * a [`Snapshot`] for end-of-run summaries.
+//!
+//! The handle is `Clone` (cheap `Arc` clone) and `Send + Sync`, so one
+//! telemetry instance can observe parallel sweeps.
+//!
+//! ```
+//! use clock_telemetry::{Event, Telemetry};
+//!
+//! let t = Telemetry::enabled();
+//! let violations = t.counter("core.timing_violations");
+//! violations.inc();
+//! t.emit(12.5, Event::TimingViolation { tau: 63.0, setpoint: 64.0, margin: 1.0 });
+//! let snap = t.snapshot();
+//! assert_eq!(snap.counter("core.timing_violations"), Some(1));
+//! assert_eq!(snap.events_total, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod registry;
+
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+pub use event::{Event, EventRecord};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Snapshot, Span};
+
+use event::EventLog;
+use registry::Registry;
+
+/// Default capacity of the in-memory event ring buffer.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+struct Inner {
+    registry: Registry,
+    log: Mutex<EventLog>,
+}
+
+/// The instrumentation handle. Cheap to clone and pass around; a disabled
+/// handle makes every operation a no-op.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The no-op handle (same as `Telemetry::default()`).
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with the default ring-buffer sink and no file
+    /// sink.
+    pub fn enabled() -> Self {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled handle with a ring buffer of the given capacity.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: Registry::new(),
+                log: Mutex::new(EventLog::new(capacity, None)),
+            })),
+        }
+    }
+
+    /// An enabled handle that additionally appends every event as one
+    /// JSON line to the file at `path` (truncating an existing file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error from creating the file.
+    pub fn to_jsonl(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Telemetry {
+            inner: Some(Arc::new(Inner {
+                registry: Registry::new(),
+                log: Mutex::new(EventLog::new(
+                    DEFAULT_RING_CAPACITY,
+                    Some(std::io::BufWriter::new(file)),
+                )),
+            })),
+        })
+    }
+
+    /// Whether this handle records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Resolve (creating on first use) the counter named `name`. The
+    /// returned handle updates an atomic directly — resolve once outside
+    /// hot loops.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(i) => i.registry.counter(name),
+            None => Counter::noop(),
+        }
+    }
+
+    /// Resolve (creating on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(i) => i.registry.gauge(name),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// Resolve (creating on first use) a histogram with `buckets` equal
+    /// bins spanning `[lo, hi)` plus under/overflow bins. Bounds are fixed
+    /// by the first resolution of each name.
+    pub fn histogram(&self, name: &str, lo: f64, hi: f64, buckets: usize) -> Histogram {
+        match &self.inner {
+            Some(i) => i.registry.histogram(name, lo, hi, buckets),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// Start a wall-clock span. On drop it adds the elapsed nanoseconds to
+    /// the counter `<name>.ns` and increments `<name>.calls`.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            Some(i) => Span::running(
+                i.registry.counter(&format!("{name}.ns")),
+                i.registry.counter(&format!("{name}.calls")),
+            ),
+            None => Span::noop(),
+        }
+    }
+
+    /// Record a structured event at domain time `time` (simulation time
+    /// for engine events, the sweep coordinate for search events).
+    pub fn emit(&self, time: f64, event: Event) {
+        if let Some(i) = &self.inner {
+            i.log.lock().expect("event log lock").emit(time, event);
+        }
+    }
+
+    /// The most recent events still held by the ring buffer (oldest
+    /// first).
+    pub fn recent_events(&self) -> Vec<EventRecord> {
+        match &self.inner {
+            Some(i) => i.log.lock().expect("event log lock").recent(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A point-in-time copy of every metric and the event accounting.
+    pub fn snapshot(&self) -> Snapshot {
+        match &self.inner {
+            Some(i) => {
+                let mut snap = i.registry.snapshot();
+                let log = i.log.lock().expect("event log lock");
+                snap.events_total = log.total();
+                snap.events_by_kind = log.counts_by_kind();
+                snap
+            }
+            None => Snapshot::default(),
+        }
+    }
+
+    /// Flush the JSONL sink, if any, and surface any write error that
+    /// occurred since the last flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first sticky I/O error from the JSONL sink.
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.inner {
+            Some(i) => i.log.lock().expect("event log lock").flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_enabled());
+        t.counter("x").inc();
+        t.gauge("y").set(1.5);
+        t.histogram("h", 0.0, 1.0, 4).record(0.5);
+        t.emit(0.0, Event::SensorDropout { sensor: 0 });
+        drop(t.span("s"));
+        let snap = t.snapshot();
+        assert!(snap.counters.is_empty());
+        assert_eq!(snap.events_total, 0);
+        assert!(t.recent_events().is_empty());
+        assert!(t.flush().is_ok());
+    }
+
+    #[test]
+    fn counters_accumulate_across_clones() {
+        let t = Telemetry::enabled();
+        let c1 = t.counter("steps");
+        let c2 = t.clone().counter("steps");
+        c1.add(3);
+        c2.inc();
+        assert_eq!(t.snapshot().counter("steps"), Some(4));
+    }
+
+    #[test]
+    fn gauge_keeps_last_value() {
+        let t = Telemetry::enabled();
+        let g = t.gauge("margin");
+        g.set(2.5);
+        g.set(-1.25);
+        let snap = t.snapshot();
+        let (_, v) = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "margin")
+            .expect("gauge present");
+        assert_eq!(*v, -1.25);
+    }
+
+    #[test]
+    fn histogram_buckets_and_bounds() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("delta", 0.0, 4.0, 4);
+        for v in [-1.0, 0.5, 1.5, 1.6, 3.9, 100.0] {
+            h.record(v);
+        }
+        let snap = t.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.underflow, 1);
+        assert_eq!(hs.overflow, 1);
+        assert_eq!(hs.buckets, vec![1, 2, 0, 1]);
+        assert_eq!(hs.count, 6);
+    }
+
+    #[test]
+    fn span_times_are_recorded() {
+        let t = Telemetry::enabled();
+        {
+            let _s = t.span("work");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("work.calls"), Some(1));
+        assert!(snap.counter("work.ns").expect("ns counter") > 1_000_000);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_most_recent() {
+        let t = Telemetry::with_ring_capacity(3);
+        for k in 0..5u64 {
+            t.emit(k as f64, Event::SensorDropout { sensor: k });
+        }
+        let recent = t.recent_events();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 2);
+        assert_eq!(recent[2].seq, 4);
+        assert_eq!(t.snapshot().events_total, 5);
+    }
+
+    #[test]
+    fn events_count_by_kind() {
+        let t = Telemetry::enabled();
+        t.emit(
+            0.0,
+            Event::TimingViolation {
+                tau: 63.0,
+                setpoint: 64.0,
+                margin: 1.0,
+            },
+        );
+        t.emit(
+            1.0,
+            Event::TimingViolation {
+                tau: 62.0,
+                setpoint: 64.0,
+                margin: 2.0,
+            },
+        );
+        t.emit(
+            2.0,
+            Event::ControllerUpdate {
+                delta: 1.0,
+                length: 65.0,
+            },
+        );
+        let snap = t.snapshot();
+        assert_eq!(snap.event_count("TimingViolation"), 2);
+        assert_eq!(snap.event_count("ControllerUpdate"), 1);
+        assert_eq!(snap.event_count("RoSaturation"), 0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_records() {
+        let path = std::env::temp_dir().join("clock-telemetry-test-sink.jsonl");
+        let t = Telemetry::to_jsonl(&path).expect("temp file");
+        t.emit(
+            1.0,
+            Event::RoSaturation {
+                requested: 80.2,
+                clamped: 76.0,
+            },
+        );
+        t.emit(2.0, Event::SensorDropout { sensor: 1 });
+        t.flush().expect("flush");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        let records: Vec<EventRecord> = body
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid JSONL line"))
+            .collect();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[1].seq, 1);
+        assert!(matches!(records[0].event, Event::RoSaturation { .. }));
+        let _ = std::fs::remove_file(&path);
+    }
+}

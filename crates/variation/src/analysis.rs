@@ -228,7 +228,7 @@ mod tests {
             t in 0.0f64..1000.0,
             t_clk in 0.0f64..100.0,
             period in 1.0f64..200.0,
-            phase in 0.0f64..6.28,
+            phase in 0.0f64..std::f64::consts::TAU,
         ) {
             let h = Harmonic::new(1.0, period, phase);
             let d = induced_mismatch(&h, t, t_clk).abs();

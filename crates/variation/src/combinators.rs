@@ -37,10 +37,7 @@ pub trait WaveformExt: Waveform + Sized {
 
     /// Delay the waveform in time: `w'(t) = w(t − delay)`.
     fn delayed(self, delay: f64) -> Delayed<Self> {
-        Delayed {
-            inner: self,
-            delay,
-        }
+        Delayed { inner: self, delay }
     }
 
     /// Clip the waveform into `[lo, hi]`.

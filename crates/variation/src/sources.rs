@@ -265,7 +265,11 @@ impl FilteredNoise {
             state += alpha * (white - state);
             samples.push(state);
         }
-        let peak = samples.iter().map(|s| s.abs()).fold(0.0, f64::max).max(1e-12);
+        let peak = samples
+            .iter()
+            .map(|s| s.abs())
+            .fold(0.0, f64::max)
+            .max(1e-12);
         for s in &mut samples {
             *s *= amplitude / peak;
         }

@@ -274,8 +274,7 @@ impl SpatialField {
 
     /// Static offset at a position (profiles + randomness; no dynamics).
     pub fn static_offset(&self, p: Position) -> f64 {
-        self.profiles.iter().map(|pr| pr.offset_at(p)).sum::<f64>()
-            + self.random_component(p)
+        self.profiles.iter().map(|pr| pr.offset_at(p)).sum::<f64>() + self.random_component(p)
     }
 
     /// Total variation at a position and time.

@@ -152,10 +152,7 @@ impl Waveform for OuProcess {
     }
     fn amplitude_bound(&self) -> f64 {
         // OU is unbounded in theory; report the realized path bound.
-        self.samples
-            .iter()
-            .map(|s| s.abs())
-            .fold(0.0, f64::max)
+        self.samples.iter().map(|s| s.abs()).fold(0.0, f64::max)
     }
 }
 

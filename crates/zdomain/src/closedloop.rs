@@ -227,10 +227,7 @@ mod tests {
         let h = iir_paper_filter();
         for m in 0..3 {
             let rep = stability(&h, m);
-            assert!(
-                rep.is_stable(),
-                "loop must be stable at M={m}, got {rep:?}"
-            );
+            assert!(rep.is_stable(), "loop must be stable at M={m}, got {rep:?}");
         }
     }
 

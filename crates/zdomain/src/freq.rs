@@ -59,10 +59,7 @@ impl FrequencyResponse {
 
     /// Magnitude response in decibels.
     pub fn magnitudes_db(&self) -> Vec<f64> {
-        self.values
-            .iter()
-            .map(|v| 20.0 * v.abs().log10())
-            .collect()
+        self.values.iter().map(|v| 20.0 * v.abs().log10()).collect()
     }
 
     /// Phase response in radians.
@@ -115,8 +112,7 @@ mod tests {
     use crate::poly::Polynomial;
 
     fn tf(num: &[f64], den: &[f64]) -> TransferFunction {
-        TransferFunction::new(Polynomial::new(num.to_vec()), Polynomial::new(den.to_vec()))
-            .unwrap()
+        TransferFunction::new(Polynomial::new(num.to_vec()), Polynomial::new(den.to_vec())).unwrap()
     }
 
     #[test]

@@ -72,7 +72,11 @@ pub fn loop_margins(open_loop: &TransferFunction, n: usize) -> LoopMargins {
         for k in 1..phases.len() {
             let (a, b) = (phases[k - 1] - target, phases[k] - target);
             if a == 0.0 || a * b < 0.0 || (k == phases.len() - 1 && b.abs() < 1e-6) {
-                let t = if (a - b).abs() < 1e-30 { 1.0 } else { a / (a - b) };
+                let t = if (a - b).abs() < 1e-30 {
+                    1.0
+                } else {
+                    a / (a - b)
+                };
                 let t = t.clamp(0.0, 1.0);
                 let w = omegas[k - 1] + t * (omegas[k] - omegas[k - 1]);
                 let m = mags[k - 1] + t * (mags[k] - mags[k - 1]);
@@ -223,11 +227,7 @@ mod tests {
     fn unity_loop_has_textbook_margins() {
         // L = 0.5·z⁻¹: |L| never reaches 1 -> no phase margin entry; phase
         // reaches -180° at ω = π with |L| = 0.5 -> gain margin 2.
-        let l = TransferFunction::new(
-            Polynomial::new(vec![0.0, 0.5]),
-            Polynomial::one(),
-        )
-        .unwrap();
+        let l = TransferFunction::new(Polynomial::new(vec![0.0, 0.5]), Polynomial::one()).unwrap();
         let m = loop_margins(&l, 4096);
         assert!(m.phase_margin_deg.is_none());
         let (gm, w) = m.gain_margin.expect("phase crossover at Nyquist");

@@ -206,7 +206,12 @@ mod tests {
         let want = h.impulse_response(40);
         let got = d.impulse_response(40);
         for k in 0..40 {
-            assert!((got[k] - want[k]).abs() < 1e-8, "k={k}: {} vs {}", got[k], want[k]);
+            assert!(
+                (got[k] - want[k]).abs() < 1e-8,
+                "k={k}: {} vs {}",
+                got[k],
+                want[k]
+            );
         }
     }
 

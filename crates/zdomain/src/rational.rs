@@ -209,10 +209,7 @@ mod tests {
 
     #[test]
     fn rejects_zero_denominator() {
-        assert_eq!(
-            Rational::new(1, 0),
-            Err(Error::ZeroRationalDenominator)
-        );
+        assert_eq!(Rational::new(1, 0), Err(Error::ZeroRationalDenominator));
     }
 
     #[test]

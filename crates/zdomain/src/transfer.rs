@@ -93,10 +93,7 @@ impl TransferFunction {
 
     /// Parallel composition `self + other`.
     pub fn parallel(&self, other: &TransferFunction) -> TransferFunction {
-        let num = self
-            .num
-            .mul(&other.den)
-            .add(&other.num.mul(&self.den));
+        let num = self.num.mul(&other.den).add(&other.num.mul(&self.den));
         TransferFunction::new(num, self.den.mul(&other.den))
             .expect("product of causal denominators is causal")
     }
@@ -171,8 +168,7 @@ impl TransferFunction {
         // Deflate all (1 - z^{-1}) factors shared by num and den.
         let mut num = self.num.clone();
         let mut den = self.den.clone();
-        while let (Some(n2), Some(d2)) =
-            (num.deflate_unit_root(1e-9), den.deflate_unit_root(1e-9))
+        while let (Some(n2), Some(d2)) = (num.deflate_unit_root(1e-9), den.deflate_unit_root(1e-9))
         {
             num = n2;
             den = d2;
@@ -259,8 +255,7 @@ mod tests {
     use super::*;
 
     fn tf(num: &[f64], den: &[f64]) -> TransferFunction {
-        TransferFunction::new(Polynomial::new(num.to_vec()), Polynomial::new(den.to_vec()))
-            .unwrap()
+        TransferFunction::new(Polynomial::new(num.to_vec()), Polynomial::new(den.to_vec())).unwrap()
     }
 
     #[test]
@@ -374,8 +369,8 @@ mod tests {
         let h = tf(&[1.0, 0.3], &[1.0, -0.5]);
         let s = h.simplified(1e-9).unwrap();
         assert_eq!(s, h);
-        let z = TransferFunction::new(Polynomial::zero(), Polynomial::new(vec![1.0, -0.5]))
-            .unwrap();
+        let z =
+            TransferFunction::new(Polynomial::zero(), Polynomial::new(vec![1.0, -0.5])).unwrap();
         let zs = z.simplified(1e-9).unwrap();
         assert!(zs.num().is_zero());
     }

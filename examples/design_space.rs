@@ -16,10 +16,7 @@ use zdomain::closedloop;
 
 fn candidates() -> Vec<(&'static str, IirConfig)> {
     vec![
-        (
-            "paper k=[2,1,.5,.25,.125,.125]",
-            IirConfig::paper(),
-        ),
+        ("paper k=[2,1,.5,.25,.125,.125]", IirConfig::paper()),
         (
             "aggressive k=[4], k*=1/4",
             IirConfig {

@@ -39,8 +39,14 @@ fn main() -> Result<(), adaptive_clock::Error> {
     let run = system.run(&hodv, 4000).skip(1000);
     let periods: Vec<f64> = run.samples().iter().map(|s| s.period).take(200).collect();
     let errors: Vec<f64> = run.timing_errors().into_iter().take(200).collect();
-    println!("\nIIR RO generated period (200 cycles): {}", sparkline(&periods));
-    println!("IIR RO timing error τ−c  (200 cycles): {}", sparkline(&errors));
+    println!(
+        "\nIIR RO generated period (200 cycles): {}",
+        sparkline(&periods)
+    );
+    println!(
+        "IIR RO timing error τ−c  (200 cycles): {}",
+        sparkline(&errors)
+    );
     println!(
         "\nThe adaptive period follows the variation, so the timing error stays small —\n\
          that is the safety margin the paper reclaims (its §IV-A example: a 10% set-point\n\

@@ -62,8 +62,7 @@ fn main() -> Result<(), adaptive_clock::Error> {
             }
         } else {
             for _ in 0..window {
-                if let adaptive_clock::setpoint::TunerAction::Lowered { to } =
-                    tuner.observe(false)
+                if let adaptive_clock::setpoint::TunerAction::Lowered { to } = tuner.observe(false)
                 {
                     action = format!("lower → {to}");
                 }

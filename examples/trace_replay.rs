@@ -52,10 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scheme::Fixed,
     ] {
         let label = scheme.label();
-        let system = SystemBuilder::new(64)
-            .cdn_delay(c)
-            .scheme(scheme)
-            .build()?;
+        let system = SystemBuilder::new(64).cdn_delay(c).scheme(scheme).build()?;
         let run = system.run(&replayed, 15_000).skip(1000);
         report_run(label, &run);
     }

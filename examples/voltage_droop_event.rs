@@ -20,9 +20,7 @@ fn main() -> Result<(), adaptive_clock::Error> {
     let droop_duration = 20.0 * c as f64; // Tν = 20c
     let droop = SingleEvent::new(droop_amp, droop_duration, 100.0 * c as f64);
 
-    println!(
-        "Single-event voltage droop — amplitude 0.2c, duration Tν = 20c, free-running RO\n"
-    );
+    println!("Single-event voltage droop — amplitude 0.2c, duration Tν = 20c, free-running RO\n");
     println!(
         "{:>10} | {:>12} | {:>14} | {:>14}",
         "t_clk/Tν", "margin (sim)", "Eq.3 predicts", "vs fixed clock"
@@ -42,11 +40,8 @@ fn main() -> Result<(), adaptive_clock::Error> {
         let run = sys.run(&droop, 9000).skip(500);
         let margin = run.worst_negative_error();
         // Eq. 3 uses the raw CDN delay; the loop pipeline adds ~1 period.
-        let predicted = analysis::single_event_worst_case(
-            droop_amp,
-            t_clk + c as f64,
-            droop_duration,
-        );
+        let predicted =
+            analysis::single_event_worst_case(droop_amp, t_clk + c as f64, droop_duration);
         println!(
             "{:>10.2} | {:>12.2} | {:>14.2} | {:>13.0}%",
             t_clk_frac,

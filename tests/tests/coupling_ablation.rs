@@ -32,11 +32,7 @@ fn couplings_agree_for_controlled_schemes() {
     for scheme in [Scheme::iir_paper(), Scheme::TeaTime] {
         for te in [25.0, 50.0] {
             let add = margin_with(Coupling::Additive, scheme.clone(), te);
-            let mul = margin_with(
-                Coupling::Multiplicative { c_ref: 64 },
-                scheme.clone(),
-                te,
-            );
+            let mul = margin_with(Coupling::Multiplicative { c_ref: 64 }, scheme.clone(), te);
             assert!(
                 (add - mul).abs() <= 1.5,
                 "{} Te={te}c: additive {add} vs multiplicative {mul}",

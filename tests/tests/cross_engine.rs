@@ -173,9 +173,7 @@ fn stability_boundary_matches_simulation() {
             },
             4000,
         );
-        let tail_worst = tr.delta[3500..]
-            .iter()
-            .fold(0.0f64, |a, d| a.max(d.abs()));
+        let tail_worst = tr.delta[3500..].iter().fold(0.0f64, |a, d| a.max(d.abs()));
         tail_worst > 10.0
     };
     assert!(

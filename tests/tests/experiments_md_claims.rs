@@ -14,9 +14,33 @@ fn params() -> PaperParams {
 #[test]
 fn fig7_margin_table_matches_documentation() {
     let documented: &[(f64, &[(&str, f64)])] = &[
-        (25.0, &[("IIR RO", 7.0), ("Free RO", 7.0), ("TEAtime RO", 8.0), ("Fixed clock", 13.0)]),
-        (37.5, &[("IIR RO", 4.0), ("Free RO", 5.0), ("TEAtime RO", 5.0), ("Fixed clock", 13.0)]),
-        (50.0, &[("IIR RO", 3.0), ("Free RO", 4.0), ("TEAtime RO", 4.0), ("Fixed clock", 13.0)]),
+        (
+            25.0,
+            &[
+                ("IIR RO", 7.0),
+                ("Free RO", 7.0),
+                ("TEAtime RO", 8.0),
+                ("Fixed clock", 13.0),
+            ],
+        ),
+        (
+            37.5,
+            &[
+                ("IIR RO", 4.0),
+                ("Free RO", 5.0),
+                ("TEAtime RO", 5.0),
+                ("Fixed clock", 13.0),
+            ],
+        ),
+        (
+            50.0,
+            &[
+                ("IIR RO", 3.0),
+                ("Free RO", 4.0),
+                ("TEAtime RO", 4.0),
+                ("Fixed clock", 13.0),
+            ],
+        ),
     ];
     for (te, rows) in documented {
         let panel = fig7::run_panel(&params(), *te);
@@ -47,7 +71,10 @@ fn fig8_upper_rows_match_documentation() {
     assert!((y_small - 0.833).abs() < 0.03, "IIR @0.1c: {y_small}");
     assert!((y_large - 0.914).abs() < 0.05, "IIR @10c: {y_large}");
     let tea_large = fig8::y_at(&r, &tea, 10.0);
-    assert!(tea_large > 1.0, "TEAtime must cross 1 by t_clk = 10c: {tea_large}");
+    assert!(
+        tea_large > 1.0,
+        "TEAtime must cross 1 by t_clk = 10c: {tea_large}"
+    );
 }
 
 /// EXPERIMENTS.md Fig. 8 lower rows: above-1 hump near Te/c ≈ 3.65, free RO
@@ -85,7 +112,10 @@ fn fig9_panel_rows_match_documentation() {
     let f_pos = free.nearest(0.2).expect("point");
     let i_pos = iir.nearest(0.2).expect("point");
     assert!((f_pos - 1.277).abs() < 0.05, "free @+0.2: {f_pos}");
-    assert!(i_pos < 0.9, "IIR must stay well below 1 at μ = +0.2c: {i_pos}");
+    assert!(
+        i_pos < 0.9,
+        "IIR must stay well below 1 at μ = +0.2c: {i_pos}"
+    );
 }
 
 /// EXPERIMENTS.md constraints section: stability bound M = 10.

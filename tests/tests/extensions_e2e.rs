@@ -78,7 +78,10 @@ fn jitter_floor_composes_with_tracking_residual() {
     };
     let m0 = margin(0.0);
     let m2 = margin(2.0);
-    assert!(m2 > m0 + 3.0, "σ=2 jitter must add a real floor: {m0} -> {m2}");
+    assert!(
+        m2 > m0 + 3.0,
+        "σ=2 jitter must add a real floor: {m0} -> {m2}"
+    );
     // Jitter hurts the margined *fixed* clock identically — it is not an
     // adaptive-clock weakness.
     let fixed = SystemBuilder::new(64)
@@ -88,7 +91,10 @@ fn jitter_floor_composes_with_tracking_residual() {
         .expect("valid")
         .run(&hodv, 6000)
         .skip(1000);
-    assert!(fixed.worst_negative_error() > 12.8, "fixed pays HoDV + jitter");
+    assert!(
+        fixed.worst_negative_error() > 12.8,
+        "fixed pays HoDV + jitter"
+    );
 }
 
 /// Partitioning a die into smaller adaptive domains buys droop tolerance —
@@ -177,8 +183,8 @@ fn migrating_hotspot_defeats_free_ro_but_not_iir() {
     );
     // the IIR's RO stretches and relaxes as the hotspot passes sensors
     let lro: Vec<f64> = iir.samples().iter().map(|s| s.lro).collect();
-    let lro_span = lro.iter().cloned().fold(f64::MIN, f64::max)
-        - lro.iter().cloned().fold(f64::MAX, f64::min);
+    let lro_span =
+        lro.iter().cloned().fold(f64::MIN, f64::max) - lro.iter().cloned().fold(f64::MAX, f64::min);
     assert!(lro_span > 2.0, "RO length must breathe with the hotspot");
 }
 

@@ -22,8 +22,16 @@ fn ro_length_saturates_at_design_bounds() {
         .expect("valid");
     let run = system.run(&variation::sources::NoVariation, 3000);
     for s in run.samples() {
-        assert!(s.lro <= 96.0, "RO length must respect max bound, got {}", s.lro);
-        assert!(s.lro >= 32.0, "RO length must respect min bound, got {}", s.lro);
+        assert!(
+            s.lro <= 96.0,
+            "RO length must respect max bound, got {}",
+            s.lro
+        );
+        assert!(
+            s.lro >= 32.0,
+            "RO length must respect min bound, got {}",
+            s.lro
+        );
         assert!(s.tau.is_finite() && s.period.is_finite());
     }
     // the loop cannot close the gap; a persistent negative error remains
@@ -146,7 +154,10 @@ fn loop_recovers_from_transient_sensor_glitch() {
 #[test]
 fn builder_rejects_degenerate_configs_for_every_scheme() {
     for scheme in all_schemes() {
-        assert!(SystemBuilder::new(-3).scheme(scheme.clone()).build().is_err());
+        assert!(SystemBuilder::new(-3)
+            .scheme(scheme.clone())
+            .build()
+            .is_err());
         assert!(SystemBuilder::new(64)
             .scheme(scheme.clone())
             .cdn_delay(f64::NAN)

@@ -36,7 +36,10 @@ fn adaptive_clocks_reduce_safety_margin_under_slow_hodv() {
 fn free_ro_cannot_fight_heterogeneous_variation_iir_can() {
     let mu = -12.0;
     let quiet = variation::sources::NoVariation;
-    let free = steady_run(&paper_system(Scheme::FreeRo { extra_length: 0 }, mu), &quiet);
+    let free = steady_run(
+        &paper_system(Scheme::FreeRo { extra_length: 0 }, mu),
+        &quiet,
+    );
     let iir = steady_run(&paper_system(Scheme::iir_paper(), mu), &quiet);
     assert!(
         margin::required_margin(&free) >= 11.0,

@@ -33,7 +33,7 @@ proptest! {
     #[test]
     fn fixed_clock_needed_period_is_analytic(
         mu in -10.0f64..10.0,
-        phase in 0.0f64..6.28,
+        phase in 0.0f64..std::f64::consts::TAU,
         te_over_c in 20.0f64..80.0,
     ) {
         let c = 64.0;

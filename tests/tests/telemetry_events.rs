@@ -1,0 +1,131 @@
+//! Cross-crate telemetry integration: a single-threaded system run must
+//! produce a coherent event stream — strictly increasing sequence numbers,
+//! monotone timestamps, counters consistent with the run length — and the
+//! JSONL sink must round-trip through serde.
+
+use adaptive_clock::system::{Scheme, SensorSpec, SystemBuilder};
+use clock_telemetry::{Event, EventRecord, Telemetry};
+use variation::sources::Harmonic;
+
+const C: i64 = 64;
+
+fn observed_run(telemetry: &Telemetry, n: usize) {
+    let system = SystemBuilder::new(C)
+        .cdn_delay(C as f64)
+        .scheme(Scheme::iir_paper())
+        .single_sensor_mu(0.0)
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("valid paper configuration");
+    let hodv = Harmonic::new(0.2 * C as f64, 37.5 * C as f64, 0.0);
+    system.run(&hodv, n);
+}
+
+#[test]
+fn event_stream_is_ordered_and_monotone() {
+    let telemetry = Telemetry::enabled();
+    observed_run(&telemetry, 600);
+
+    let events = telemetry.recent_events();
+    assert!(!events.is_empty(), "a 20 % HoDV must produce events");
+    for pair in events.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "sequence strictly increasing");
+        assert!(
+            pair[1].time >= pair[0].time,
+            "a serial run emits in time order: {} then {}",
+            pair[0].time,
+            pair[1].time
+        );
+    }
+
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("core.samples"), Some(600));
+    assert!(snap.counter("core.controller_steps").unwrap_or(0) > 0);
+    assert_eq!(
+        snap.counter("core.timing_violations"),
+        Some(snap.event_count("TimingViolation")),
+        "violation counter and event log must agree"
+    );
+    assert!(snap.event_count("TimingViolation") > 0);
+    assert!(snap.event_count("ControllerUpdate") > 0);
+}
+
+#[test]
+fn jsonl_sink_round_trips_through_serde() {
+    let path =
+        std::env::temp_dir().join(format!("telemetry-roundtrip-{}.jsonl", std::process::id()));
+    let telemetry = Telemetry::to_jsonl(&path).expect("sink opens");
+    observed_run(&telemetry, 600);
+    telemetry.flush().expect("sink flushes");
+
+    let raw = std::fs::read_to_string(&path).expect("sink written");
+    std::fs::remove_file(&path).ok();
+    let records: Vec<EventRecord> = raw
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("every line is a valid record"))
+        .collect();
+    assert_eq!(
+        records.len() as u64,
+        telemetry.snapshot().events_total,
+        "the file holds the complete stream"
+    );
+    for (i, r) in records.iter().enumerate() {
+        assert_eq!(r.seq, i as u64, "file order equals sequence order");
+        if i > 0 {
+            assert!(r.time >= records[i - 1].time, "timestamps monotone");
+        }
+    }
+    // The in-memory ring and the file agree on the tail of the stream.
+    let ring = telemetry.recent_events();
+    let tail = &records[records.len() - ring.len()..];
+    assert_eq!(ring, tail);
+}
+
+#[test]
+fn nan_sensor_readings_become_dropout_events() {
+    let telemetry = Telemetry::enabled();
+    let n = 200;
+    let system = SystemBuilder::new(C)
+        .cdn_delay(C as f64)
+        .scheme(Scheme::iir_paper())
+        .sensors(vec![SensorSpec::ideal(), SensorSpec::offset(f64::NAN)])
+        .telemetry(telemetry.clone())
+        .build()
+        .expect("two-sensor configuration is valid");
+    let run = system.run(&Harmonic::new(0.0, 37.5 * C as f64, 0.0), n);
+
+    // The healthy sensor keeps the loop running on finite readings.
+    assert!(run.samples().iter().all(|s| s.tau.is_finite()));
+
+    let snap = telemetry.snapshot();
+    assert_eq!(
+        snap.counter("core.sensor_dropouts"),
+        Some(n as u64),
+        "one dropout per sample from the NaN sensor"
+    );
+    assert_eq!(snap.event_count("SensorDropout"), n as u64);
+    let dropped: Vec<u64> = telemetry
+        .recent_events()
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::SensorDropout { sensor } => Some(sensor),
+            _ => None,
+        })
+        .collect();
+    assert!(!dropped.is_empty());
+    assert!(
+        dropped.iter().all(|&s| s == 1),
+        "only the second sensor (index 1) drops out"
+    );
+}
+
+#[test]
+fn disabled_telemetry_records_nothing() {
+    let telemetry = Telemetry::disabled();
+    observed_run(&telemetry, 300);
+    assert!(!telemetry.is_enabled());
+    assert!(telemetry.recent_events().is_empty());
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.events_total, 0);
+    assert!(snap.counters.is_empty());
+}

@@ -1,0 +1,234 @@
+//! Offline stub of `criterion`. Keeps the upstream API shape
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, throughput,
+//! `Bencher::iter`) but replaces the statistics machinery with a plain
+//! wall-clock loop: short warm-up, then a fixed measurement window, then
+//! one summary line per benchmark on stdout.
+//!
+//! Honouring `--bench`-style CLI filters, plotting, and saved baselines
+//! are all out of scope; benches exist here to be runnable and comparable
+//! by eye (or by parsing the `ns/iter` column).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // honour `cargo bench -- <substring>` filtering
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 0,
+        }
+    }
+
+    /// Time a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        run_one(self, &id, None, &mut f);
+        self
+    }
+}
+
+/// A named benchmark identifier (`function_name/parameter`).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub's fixed measurement
+    /// window ignores it.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Time one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let throughput = self.throughput;
+        run_one(self.criterion, &full, throughput, &mut f);
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs the timing loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    mode: Mode,
+}
+
+enum Mode {
+    Warmup,
+    Measure,
+}
+
+impl Bencher {
+    /// Time `f`, repeatedly, for the configured window.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let window = match self.mode {
+            Mode::Warmup => WARMUP,
+            Mode::Measure => MEASURE,
+        };
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            // check the clock in batches once the per-iter cost is known
+            if iters.is_power_of_two() || iters.is_multiple_of(64) {
+                let elapsed = start.elapsed();
+                if elapsed >= window {
+                    self.iters = iters;
+                    self.elapsed = elapsed;
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F>(criterion: &Criterion, id: &str, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+        mode: Mode::Warmup,
+    };
+    f(&mut b);
+    b.mode = Mode::Measure;
+    f(&mut b);
+    let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / per_iter_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 / per_iter_ns * 1e3 * 1e6 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("bench: {id:<48} {per_iter_ns:>14.1} ns/iter{rate}");
+}
+
+/// Bundle benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { filter: None };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::new("f", 1), |b| {
+            b.iter(|| std::hint::black_box(3u64.wrapping_mul(5)))
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline stub of `rand`, covering the subset this workspace uses:
+//! [`RngCore`], the [`Rng::gen_range`] extension over half-open ranges,
+//! and [`SeedableRng::seed_from_u64`].
+//!
+//! Distributional quality matches a good 64-bit mixer (the concrete
+//! generators live in the `rand_chacha` stub); stream compatibility with
+//! the real crates is explicitly **not** promised, only determinism.
+
+use std::ops::Range;
+
+/// A source of 64-bit random words.
+pub trait RngCore {
+    /// The next word in the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling helpers (blanket-implemented for every `RngCore`).
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that knows how to sample itself uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range needs a non-empty range");
+        // 53 high bits -> uniform in [0, 1)
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range needs a non-empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 so the float path sees well-mixed bits
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5..3.5);
+            assert!((-2.5..3.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_range_hits_all_values() {
+        let mut rng = Counter(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

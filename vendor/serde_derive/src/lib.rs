@@ -1,0 +1,394 @@
+//! Offline stub of `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly on `proc_macro` token
+//! streams (no `syn`/`quote` available in this container).
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields;
+//! * unit structs;
+//! * enums with unit, struct and tuple variants (serde's external
+//!   representation: `"Variant"`, `{"Variant": {..}}`, `{"Variant": v}`
+//!   or `{"Variant": [..]}`).
+//!
+//! Generic types and `#[serde(...)]` attributes are not supported; the
+//! derive panics at compile time if it meets one, so misuse is loud.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Skip any `#[...]` attribute groups and visibility modifiers at the
+/// cursor position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute: `#` followed by a bracket group
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                // optional `(crate)` / `(super)` group
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub: unexpected token {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub: expected type name, got {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub: generic types are not supported (deriving on {name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde stub: tuple structs are not supported (deriving on {name})")
+            }
+            other => panic!("serde stub: malformed struct {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde stub: malformed enum {name}: {other:?}"),
+        },
+        other => panic!("serde stub: cannot derive on `{other}` items"),
+    }
+}
+
+/// Extract the field names of a named-field body, skipping types (with
+/// angle-bracket depth tracking so `Vec<(A, B)>` does not split early;
+/// parenthesized/bracketed groups arrive pre-grouped from proc_macro).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub: expected field name, got {other}"),
+        };
+        fields.push(field);
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub: expected `:` after field, got {other}"),
+        }
+        // consume the type: everything until a comma at angle depth 0
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // optional trailing comma
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+/// Count the fields of a tuple variant (top-level commas at angle depth 0).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![\
+                             (\"{vn}\".to_string(), ::serde::Serialize::serialize_value(x0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{}\n}}\n}}\n}}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(_v: &::serde::Value) -> \
+             Result<Self, ::serde::DeError> {{ Ok({name}) }}\n}}"
+        ),
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 let obj = v.as_object().ok_or_else(|| \
+                 ::serde::DeError::custom(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{ {} }})\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::field(fields, \"{f}\")?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let fields = inner.as_object().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected object for {name}::{vn}\"))?;\n\
+                                 Ok({name}::{vn} {{ {} }})\n}}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => Ok({name}::{vn}(\
+                             ::serde::Deserialize::deserialize_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_value(&elems[{k}])?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 let elems = inner.as_array().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 if elems.len() != {n} {{ return Err(::serde::DeError::custom(\
+                                 \"wrong arity for {name}::{vn}\")); }}\n\
+                                 Ok({name}::{vn}({}))\n}}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {}\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown unit variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                 let (tag, inner) = &o[0];\n\
+                 match tag.as_str() {{\n\
+                 {}\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::custom(\"expected variant for {name}\")),\n\
+                 }}\n}}\n}}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    }
+}
