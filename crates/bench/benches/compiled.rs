@@ -1,0 +1,92 @@
+//! Head-to-head benchmarks of the compiled sweep kernels: the enum-dispatch
+//! [`dtsim::CompiledSim`] against the boxed-trait interpreter on the Fig. 7
+//! workload, and the SoA [`BatchLoop`] against one-lane-at-a-time
+//! [`DiscreteLoop`] runs. These are the criterion counterparts of the
+//! `repro bench` cases that feed the committed `BENCH_*.json` trajectory.
+
+use adaptive_clock::batch::BatchLoop;
+use adaptive_clock::loopsim::{constant, DiscreteLoop, LoopInputs};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use experiments::bench::{build_fig7_workload, lane_specs};
+use experiments::config::PaperParams;
+use std::hint::black_box;
+
+fn bench_fig7_engines(c: &mut Criterion) {
+    let params = PaperParams::default();
+    let n = 50_000u64;
+    let mut g = c.benchmark_group("fig7-engine");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("interpreted-50k", |b| {
+        b.iter(|| {
+            let mut sim = build_fig7_workload(&params);
+            sim.run(n).expect("workload stays finite");
+            black_box(sim.trace("bench_lro").map(|t| t.len()))
+        })
+    });
+    g.bench_function("compiled-50k", |b| {
+        b.iter(|| {
+            let mut sim = build_fig7_workload(&params).compile();
+            sim.run(n).expect("workload stays finite");
+            black_box(sim.trace("bench_lro").map(|t| t.len()))
+        })
+    });
+    g.bench_function("compiled-50k-no-check", |b| {
+        b.iter(|| {
+            let mut sim = build_fig7_workload(&params).compile();
+            sim.set_check_finite(false);
+            sim.run(n).expect("workload stays finite");
+            black_box(sim.trace("bench_lro").map(|t| t.len()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_loop_batching(c: &mut Criterion) {
+    let params = PaperParams::default();
+    let setpoint = params.setpoint;
+    let steps = 10_000usize;
+    let lanes = lane_specs(setpoint).len();
+    let cs = constant(setpoint as f64);
+    let zero = constant(0.0);
+    let amp = params.amplitude();
+    let e_fn = move |n: i64| amp * (std::f64::consts::TAU * n as f64 / 37.5).sin();
+
+    let mut g = c.benchmark_group("loop-batching");
+    g.throughput(Throughput::Elements((lanes * steps) as u64));
+    g.bench_function("sequential-lanes", |b| {
+        b.iter(|| {
+            for (m, ctrl, q) in lane_specs(setpoint) {
+                let mut dl = DiscreteLoop::new(m, Box::new(ctrl), q);
+                black_box(dl.run(
+                    &LoopInputs {
+                        setpoint: &cs,
+                        homogeneous: &e_fn,
+                        heterogeneous: &zero,
+                    },
+                    steps,
+                ));
+            }
+        })
+    });
+    g.bench_function("batched-lanes", |b| {
+        let mut batch = BatchLoop::new();
+        for (m, ctrl, q) in lane_specs(setpoint) {
+            batch.push(m, ctrl, q);
+        }
+        let inputs: Vec<LoopInputs<'_>> = (0..lanes)
+            .map(|_| LoopInputs {
+                setpoint: &cs,
+                homogeneous: &e_fn,
+                heterogeneous: &zero,
+            })
+            .collect();
+        b.iter(|| {
+            batch.reset();
+            black_box(batch.run(&inputs, steps))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(compiled, bench_fig7_engines, bench_loop_batching);
+criterion_main!(compiled);

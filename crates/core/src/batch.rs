@@ -1,0 +1,606 @@
+//! Batched multi-lane execution of the Fig. 4 discrete loop.
+//!
+//! [`loopsim::DiscreteLoop`] advances one operating point at a time and
+//! calls through `&dyn Fn(i64) -> f64` input closures and a boxed
+//! [`Controller`] on every period. Sweeps, however, run the *same* recurrence
+//! over many independent (seed, μ, T_e, scheme) points. [`BatchLoop`] runs
+//! `B` such lanes together in a structure-of-arrays layout:
+//!
+//! * e/μ input closures are **sampled once into a small ring buffer** of
+//!   the few sequence rows the recurrence can still read, so the hot loop
+//!   streams cache-resident rows instead of full-horizon tables;
+//! * controller state lives in a [`LaneController`] enum (no `Box<dyn>`),
+//!   replicating the exact arithmetic of the [`controller`] types —
+//!   including the arithmetic-shift flooring of the integer IIR — so every
+//!   lane is **bit-identical** to the `DiscreteLoop` it replaces (asserted
+//!   by the differential tests below);
+//! * recorded signals land in flat `[n·B + lane]` arrays
+//!   ([`BatchTrace`]), with per-lane [`LoopTrace`] views for drop-in use.
+//!
+//! [`loopsim::DiscreteLoop`]: crate::loopsim::DiscreteLoop
+//! [`controller`]: crate::controller
+
+use clock_telemetry::Telemetry;
+
+use crate::controller::{Controller, IirConfig};
+use crate::error::Error;
+use crate::loopsim::{LoopInputs, LoopTrace};
+use crate::tdc::Quantization;
+
+/// Shift an `i64` by a signed power-of-two exponent, identical to the
+/// shifter in [`crate::controller::IntIirControl`].
+fn shift(v: i64, exp: i32) -> i64 {
+    if exp >= 0 {
+        v << exp
+    } else {
+        v >> (-exp)
+    }
+}
+
+/// Enum-dispatch controller state for one lane. Each variant reproduces the
+/// arithmetic of the corresponding [`crate::controller`] type exactly.
+#[derive(Debug, Clone)]
+pub enum LaneController {
+    /// Integer IIR of Fig. 5 ([`crate::controller::IntIirControl`]).
+    IntIir {
+        /// Exponent of the input scaling gain.
+        kexp_exp: u32,
+        /// Exponent of the loop gain `k*`.
+        k_star_exp: i32,
+        /// Exponents of the feedback taps.
+        tap_exps: Vec<i32>,
+        /// Filter state, most recent first, scaled by `2^kexp`.
+        state: Vec<i64>,
+        /// Reset value of every state word.
+        initial: i64,
+    },
+    /// Exact float IIR reference ([`crate::controller::FloatIir`]).
+    FloatIir {
+        /// Tap gains `k₁ … k_N`.
+        taps: Vec<f64>,
+        /// Loop gain `k*`.
+        k_star: f64,
+        /// Filter state, most recent first.
+        state: Vec<f64>,
+        /// Reset value of every state word.
+        initial: f64,
+    },
+    /// Sign-increment TEAtime control ([`crate::controller::TeaTime`]).
+    TeaTime {
+        /// Current length.
+        length: f64,
+        /// Reset length.
+        initial: f64,
+        /// Per-period step quantum.
+        step_size: f64,
+    },
+    /// Free-running RO ([`crate::controller::FreeRunning`]): constant.
+    Free {
+        /// The fixed length.
+        length: f64,
+    },
+}
+
+impl LaneController {
+    /// Integer IIR lane from a power-of-two config, starting at
+    /// `initial_length` (mirrors `IntIirControl::new`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IirConfig::validate`] failures.
+    pub fn int_iir(config: &IirConfig, initial_length: i64) -> Result<Self, Error> {
+        config.validate()?;
+        let w0 = initial_length << config.kexp_exp;
+        Ok(LaneController::IntIir {
+            kexp_exp: config.kexp_exp,
+            k_star_exp: config.k_star_exp,
+            tap_exps: config.tap_exps.clone(),
+            state: vec![w0; config.tap_exps.len()],
+            initial: w0,
+        })
+    }
+
+    /// Float IIR lane from a config (mirrors `FloatIir::from_config`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IirConfig::validate`] failures.
+    pub fn float_iir(config: &IirConfig, initial_length: f64) -> Result<Self, Error> {
+        config.validate()?;
+        Ok(LaneController::FloatIir {
+            taps: config.taps_f64(),
+            k_star: config.k_star_f64(),
+            state: vec![initial_length; config.tap_exps.len()],
+            initial: initial_length,
+        })
+    }
+
+    /// TEAtime lane (mirrors `TeaTime::new().with_step_size(step_size)`).
+    pub fn teatime(initial_length: i64, step_size: f64) -> Self {
+        LaneController::TeaTime {
+            length: initial_length as f64,
+            initial: initial_length as f64,
+            step_size,
+        }
+    }
+
+    /// Free-running lane of the given fixed length.
+    pub fn free(length: i64) -> Self {
+        LaneController::Free {
+            length: length as f64,
+        }
+    }
+
+    /// Consume `δ[n]`; return `l_RO[n+1]`.
+    fn step(&mut self, delta: f64) -> f64 {
+        match self {
+            LaneController::IntIir {
+                kexp_exp,
+                k_star_exp,
+                tap_exps,
+                state,
+                ..
+            } => {
+                let x = delta.round() as i64;
+                let mut acc = shift(x, *kexp_exp as i32);
+                for (w, &e) in state.iter().zip(tap_exps.iter()) {
+                    acc += shift(*w, e);
+                }
+                let w_new = shift(acc, *k_star_exp);
+                state.rotate_right(1);
+                state[0] = w_new;
+                shift(state[0], -(*kexp_exp as i32)) as f64
+            }
+            LaneController::FloatIir {
+                taps,
+                k_star,
+                state,
+                ..
+            } => {
+                let mut acc = delta;
+                for (w, k) in state.iter().zip(taps.iter()) {
+                    acc += w * k;
+                }
+                let w_new = acc * *k_star;
+                state.rotate_right(1);
+                state[0] = w_new;
+                w_new
+            }
+            LaneController::TeaTime {
+                length, step_size, ..
+            } => {
+                if delta > 0.0 {
+                    *length += *step_size;
+                } else if delta < 0.0 {
+                    *length -= *step_size;
+                }
+                *length
+            }
+            LaneController::Free { length } => *length,
+        }
+    }
+
+    /// The length produced with no further error input.
+    pub fn length(&self) -> f64 {
+        match self {
+            LaneController::IntIir {
+                kexp_exp, state, ..
+            } => shift(state[0], -(*kexp_exp as i32)) as f64,
+            LaneController::FloatIir { state, .. } => state[0],
+            LaneController::TeaTime { length, .. } => *length,
+            LaneController::Free { length } => *length,
+        }
+    }
+
+    /// Restore initial state.
+    pub fn reset(&mut self) {
+        match self {
+            LaneController::IntIir { state, initial, .. } => {
+                state.iter_mut().for_each(|w| *w = *initial);
+            }
+            LaneController::FloatIir { state, initial, .. } => {
+                state.iter_mut().for_each(|w| *w = *initial);
+            }
+            LaneController::TeaTime {
+                length, initial, ..
+            } => *length = *initial,
+            LaneController::Free { .. } => {}
+        }
+    }
+}
+
+/// A lane is also a plain [`Controller`], so a single lane can drop into
+/// [`crate::loopsim::DiscreteLoop`] or [`crate::system::SystemBuilder`]
+/// unchanged — handy for differential tests and benchmarks that compare
+/// the batched engine against the sequential ones.
+impl Controller for LaneController {
+    fn step(&mut self, delta: f64) -> f64 {
+        LaneController::step(self, delta)
+    }
+    fn length(&self) -> f64 {
+        LaneController::length(self)
+    }
+    fn reset(&mut self) {
+        LaneController::reset(self)
+    }
+}
+
+/// One lane of a [`BatchLoop`]: the per-operating-point configuration of
+/// the Fig. 4 recurrence.
+#[derive(Debug, Clone)]
+struct Lane {
+    m: usize,
+    quantization: Quantization,
+    controller: LaneController,
+    initial_length: f64,
+}
+
+/// Flat recordings of a batched run, laid out `[n · lanes + lane]`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchTrace {
+    lanes: usize,
+    steps: usize,
+    /// TDC readings `τ[n]`, one slab of `lanes` values per period.
+    pub tau: Vec<f64>,
+    /// Adaptation errors `δ[n]`.
+    pub delta: Vec<f64>,
+    /// RO lengths `l_RO[n]`.
+    pub lro: Vec<f64>,
+}
+
+impl BatchTrace {
+    /// Number of lanes recorded.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of periods recorded per lane.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// De-interleave one lane into a standalone [`LoopTrace`] — identical
+    /// to what a `DiscreteLoop` run of that operating point records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane >= self.lanes()`.
+    pub fn lane(&self, lane: usize) -> LoopTrace {
+        assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
+        let pick =
+            |v: &[f64]| -> Vec<f64> { (0..self.steps).map(|n| v[n * self.lanes + lane]).collect() };
+        LoopTrace {
+            tau: pick(&self.tau),
+            delta: pick(&self.delta),
+            lro: pick(&self.lro),
+        }
+    }
+}
+
+/// A batch of independent Fig. 4 loops advanced together.
+///
+/// # Example
+///
+/// Two mismatch amplitudes of the paper loop in one batch:
+///
+/// ```
+/// use adaptive_clock::batch::{BatchLoop, LaneController};
+/// use adaptive_clock::controller::IirConfig;
+/// use adaptive_clock::loopsim::{constant, step_at, LoopInputs};
+/// use adaptive_clock::tdc::Quantization;
+///
+/// # fn main() -> Result<(), adaptive_clock::Error> {
+/// let mut batch = BatchLoop::new();
+/// for _ in 0..2 {
+///     let ctrl = LaneController::int_iir(&IirConfig::paper(), 64)?;
+///     batch.push(1, ctrl, Quantization::Floor);
+/// }
+/// let c = constant(64.0);
+/// let zero = constant(0.0);
+/// let mu_a = step_at(10, -8.0);
+/// let mu_b = step_at(10, 5.0);
+/// let inputs = [
+///     LoopInputs { setpoint: &c, homogeneous: &zero, heterogeneous: &mu_a },
+///     LoopInputs { setpoint: &c, homogeneous: &zero, heterogeneous: &mu_b },
+/// ];
+/// let tr = batch.run(&inputs, 400);
+/// assert!(tr.lane(0).delta[399].abs() <= 1.0);
+/// assert!(tr.lane(1).delta[399].abs() <= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchLoop {
+    lanes: Vec<Lane>,
+    telemetry: Telemetry,
+}
+
+impl BatchLoop {
+    /// An empty batch.
+    pub fn new() -> Self {
+        BatchLoop {
+            lanes: Vec::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach an instrumentation handle (counts controller steps across
+    /// all lanes under `batch.controller_steps`).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Append a lane with CDN delay `m` whole periods; returns its index.
+    pub fn push(
+        &mut self,
+        m: usize,
+        controller: LaneController,
+        quantization: Quantization,
+    ) -> usize {
+        let initial_length = controller.length();
+        self.lanes.push(Lane {
+            m,
+            quantization,
+            controller,
+            initial_length,
+        });
+        self.lanes.len() - 1
+    }
+
+    /// Number of lanes.
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the batch has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// Reset every lane's controller to its initial state.
+    pub fn reset(&mut self) {
+        for lane in &mut self.lanes {
+            lane.controller.reset();
+        }
+    }
+
+    /// Run `steps` periods of every lane, driving lane `i` with
+    /// `inputs[i]`. The e/μ closures are sampled into a `max_off`-row ring
+    /// buffer as the loop advances; each (row, lane) pair is sampled once.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != self.len()`.
+    pub fn run(&mut self, inputs: &[LoopInputs<'_>], steps: usize) -> BatchTrace {
+        assert_eq!(
+            inputs.len(),
+            self.lanes.len(),
+            "one LoopInputs per lane required"
+        );
+        let b = self.lanes.len();
+        if b == 0 || steps == 0 {
+            return BatchTrace {
+                lanes: b,
+                steps,
+                ..BatchTrace::default()
+            };
+        }
+        // The recurrence only ever reads e/μ at sequence rows n−mm
+        // (mm ≤ max_off) and n−1, so the input closures are sampled into a
+        // *ring* of the last `max_off` lane-interleaved rows — a few KB
+        // that stays cache-resident — instead of full-horizon tables whose
+        // allocation and write-back traffic would rival the trace itself.
+        // Each (row, lane) pair is still sampled exactly once.
+        let mm: Vec<i64> = self.lanes.iter().map(|l| (l.m + 2) as i64).collect();
+        let max_off = mm.iter().copied().max().expect("at least one lane");
+        let mut e_ring = vec![0.0f64; max_off as usize * b];
+        let mut mu_ring = vec![0.0f64; max_off as usize * b];
+        let slot = |r: i64| r.rem_euclid(max_off) as usize * b;
+        for (lane_idx, li) in inputs.iter().enumerate() {
+            // Pre-start history; row −1 is sampled by the first iteration.
+            for r in -max_off..=-2 {
+                e_ring[slot(r) + lane_idx] = (li.homogeneous)(r);
+                mu_ring[slot(r) + lane_idx] = (li.heterogeneous)(r);
+            }
+        }
+        let mut trace = BatchTrace {
+            lanes: b,
+            steps,
+            tau: Vec::with_capacity(steps * b),
+            delta: Vec::with_capacity(steps * b),
+            lro: Vec::with_capacity(steps * b),
+        };
+        // cur[lane] = l_RO[n] for the period being generated.
+        let mut cur: Vec<f64> = self.lanes.iter().map(|l| l.controller.length()).collect();
+        for n in 0..steps as i64 {
+            // Bring row n−1 into the ring. It overwrites row n−1−max_off,
+            // which no lane can read any more (the deepest read is n−max_off),
+            // and never collides with row n−mm (mm ≥ 2 keeps them apart).
+            let base_n1 = slot(n - 1);
+            for (lane_idx, li) in inputs.iter().enumerate() {
+                e_ring[base_n1 + lane_idx] = (li.homogeneous)(n - 1);
+                mu_ring[base_n1 + lane_idx] = (li.heterogeneous)(n - 1);
+            }
+            for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
+                let off = mm[lane_idx];
+                let i = n - off;
+                // l_RO[n−mm]: pre-start history below 0, else the value
+                // already recorded at slab i (i < n always since mm ≥ 2).
+                let lro_past = if i < 0 {
+                    lane.initial_length
+                } else {
+                    trace.lro[i as usize * b + lane_idx]
+                };
+                let base_nmm = slot(i);
+                let e_nmm = e_ring[base_nmm + lane_idx];
+                let e_n1 = e_ring[base_n1 + lane_idx];
+                let mu_nmm = mu_ring[base_nmm + lane_idx];
+                let raw = lro_past + e_nmm - e_n1 + mu_nmm;
+                let tau = lane.quantization.apply(raw);
+                let delta = (inputs[lane_idx].setpoint)(n) - tau;
+                let next = lane.controller.step(delta);
+                trace.tau.push(tau);
+                trace.delta.push(delta);
+                trace.lro.push(cur[lane_idx]);
+                cur[lane_idx] = next;
+            }
+        }
+        self.telemetry
+            .counter("batch.controller_steps")
+            .add((steps * b) as u64);
+        trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{FloatIir, FreeRunning, IntIirControl, TeaTime};
+    use crate::loopsim::{constant, step_at, DiscreteLoop};
+
+    fn reference(
+        m: usize,
+        controller: Box<dyn crate::controller::Controller>,
+        q: Quantization,
+        inputs: &LoopInputs<'_>,
+        steps: usize,
+    ) -> LoopTrace {
+        DiscreteLoop::new(m, controller, q).run(inputs, steps)
+    }
+
+    #[test]
+    fn single_lane_matches_discrete_loop_int_iir() {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let zero = constant(0.0);
+        let mu = step_at(20, -9.0);
+        let inputs = LoopInputs {
+            setpoint: &c,
+            homogeneous: &zero,
+            heterogeneous: &mu,
+        };
+        let want = reference(
+            1,
+            Box::new(IntIirControl::new(cfg.clone(), 64).unwrap()),
+            Quantization::Floor,
+            &inputs,
+            500,
+        );
+        let mut batch = BatchLoop::new();
+        batch.push(
+            1,
+            LaneController::int_iir(&cfg, 64).unwrap(),
+            Quantization::Floor,
+        );
+        let got = batch.run(std::slice::from_ref(&inputs), 500);
+        assert_eq!(got.lane(0), want);
+    }
+
+    #[test]
+    fn mixed_lanes_match_their_discrete_loops_bitwise() {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 6.0 * (std::f64::consts::TAU * n as f64 / 300.0).sin();
+        let mu = step_at(40, 7.0);
+        let inputs = LoopInputs {
+            setpoint: &c,
+            homogeneous: &e,
+            heterogeneous: &mu,
+        };
+        let steps = 800;
+        let cases: Vec<(
+            usize,
+            Box<dyn crate::controller::Controller>,
+            LaneController,
+            Quantization,
+        )> = vec![
+            (
+                0,
+                Box::new(IntIirControl::new(cfg.clone(), 64).unwrap()),
+                LaneController::int_iir(&cfg, 64).unwrap(),
+                Quantization::Floor,
+            ),
+            (
+                2,
+                Box::new(FloatIir::from_config(&cfg, 64.0).unwrap()),
+                LaneController::float_iir(&cfg, 64.0).unwrap(),
+                Quantization::None,
+            ),
+            (
+                1,
+                Box::new(TeaTime::new(64)),
+                LaneController::teatime(64, 1.0),
+                Quantization::Floor,
+            ),
+            (
+                3,
+                Box::new(FreeRunning::new(64)),
+                LaneController::free(64),
+                Quantization::Nearest,
+            ),
+        ];
+        let mut batch = BatchLoop::new();
+        let mut wants = Vec::new();
+        let mut lane_inputs = Vec::new();
+        for (m, boxed, lane, q) in cases {
+            wants.push(reference(m, boxed, q, &inputs, steps));
+            batch.push(m, lane, q);
+            lane_inputs.push(LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: &mu,
+            });
+        }
+        let got = batch.run(&lane_inputs, steps);
+        assert_eq!(got.lanes(), 4);
+        assert_eq!(got.steps(), steps);
+        for (k, want) in wants.iter().enumerate() {
+            assert_eq!(&got.lane(k), want, "lane {k} diverged");
+        }
+    }
+
+    #[test]
+    fn reset_reruns_identically() {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let zero = constant(0.0);
+        let mu = step_at(5, 3.0);
+        let inputs = [LoopInputs {
+            setpoint: &c,
+            homogeneous: &zero,
+            heterogeneous: &mu,
+        }];
+        let mut batch = BatchLoop::new();
+        batch.push(
+            1,
+            LaneController::int_iir(&cfg, 64).unwrap(),
+            Quantization::Floor,
+        );
+        let first = batch.run(&inputs, 200);
+        batch.reset();
+        let second = batch.run(&inputs, 200);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn telemetry_counts_lane_steps() {
+        let t = Telemetry::enabled();
+        let mut batch = BatchLoop::new().with_telemetry(t.clone());
+        for _ in 0..3 {
+            batch.push(1, LaneController::free(64), Quantization::None);
+        }
+        let c = constant(64.0);
+        let zero = constant(0.0);
+        let inputs: Vec<LoopInputs<'_>> = (0..3)
+            .map(|_| LoopInputs {
+                setpoint: &c,
+                homogeneous: &zero,
+                heterogeneous: &zero,
+            })
+            .collect();
+        let _ = batch.run(&inputs, 50);
+        assert_eq!(t.snapshot().counter("batch.controller_steps"), Some(150));
+    }
+}

@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use crate::block::{Block, StepContext};
+use crate::compiled::Lowering;
 
 /// Finite-impulse-response filter: `y[n] = Σ b_k · u[n−k]`.
 ///
@@ -58,6 +59,12 @@ impl Block for FirFilter {
     fn reset(&mut self) {
         for h in &mut self.history {
             *h = 0.0;
+        }
+    }
+    fn lower(&self) -> Lowering {
+        Lowering::Fir {
+            taps: self.taps.clone(),
+            history: self.history.iter().copied().collect(),
         }
     }
 }
@@ -142,6 +149,13 @@ impl Block for IirFilter {
             *s = 0.0;
         }
     }
+    fn lower(&self) -> Lowering {
+        Lowering::Iir {
+            b: self.b.clone(),
+            a: self.a.clone(),
+            state: self.state.clone(),
+        }
+    }
 }
 
 /// Discrete-time integrator (accumulator): `y[n] = y[n−1] + gain·u[n−1]`.
@@ -188,6 +202,13 @@ impl Block for Integrator {
     }
     fn reset(&mut self) {
         self.state = self.initial;
+    }
+    fn lower(&self) -> Lowering {
+        Lowering::Integrator {
+            gain: self.gain,
+            initial: self.initial,
+            state: self.state,
+        }
     }
 }
 

@@ -1,0 +1,1448 @@
+//! A compiling execution engine: lowers a built [`Simulation`] into an
+//! enum-opcode program executed by a match-dispatch interpreter.
+//!
+//! The interpreted engine pays a `Box<dyn Block>` virtual call per block per
+//! phase, chases a nested `Vec<Vec<Connection>>` fan-out table, and runs the
+//! non-finite check inside the per-block inner loop. [`CompiledSim`] removes
+//! all three costs:
+//!
+//! * **enum dispatch** — every built-in block lowers (via [`Block::lower`])
+//!   to one [`Lowering`] descriptor, which compiles to one opcode variant;
+//!   the hot loop is a `match` over a dense enum instead of a vtable call.
+//!   Custom blocks fall back to a boxed opcode, so *every* graph compiles.
+//! * **operand-indexed execution** — instead of pushing every produced
+//!   output along the per-block `Vec<Vec<Connection>>` fan-out into a
+//!   separate input-slot array, each instruction stores the output-slot
+//!   index of each operand's driver and *gathers* operands directly from
+//!   the output array. The builder guarantees every input port has exactly
+//!   one driver, so the gathered value is always exactly what the push
+//!   model would have propagated — and the whole propagation pass (plus
+//!   the input-slot array) disappears from the hot loop.
+//! * **gain→sum fusion** — a gain whose only consumer is a sum input is
+//!   folded into that sum's weight vector (bit-exact, because sum signs
+//!   are `±1` and IEEE multiplication is commutative and sign-symmetric),
+//!   removing the gain from the per-step loop entirely. This matches the
+//!   paper's Fig. 5 filter shape, where every tap coefficient is a gain
+//!   feeding one adder input.
+//! * **hoisted finite check** — instead of checking each block's outputs as
+//!   they are produced, one linear scan over the output slots (in program
+//!   order) runs after the output phase. Because any non-finite value is
+//!   produced before it is consumed in feedthrough order, and delayed
+//!   non-finite values would already have errored the step that produced
+//!   them, the *first* offending `(block, port, step)` reported is identical
+//!   to the interpreted engine's.
+//!
+//! Compilation consumes the `Simulation` and captures its **current**
+//! state, so compiling mid-run continues bit-for-bit where the interpreted
+//! engine left off. The differential test suite
+//! (`tests/compiled_differential.rs`) asserts bit-identical traces and
+//! errors over randomized graphs.
+
+use std::collections::VecDeque;
+
+use crate::block::{Block, StepContext};
+use crate::blocks::Rounding;
+use crate::error::Error;
+use crate::sim::{ScheduleStats, Simulation};
+use crate::trace::Trace;
+
+/// Description of a block's semantics (configuration *and* current state),
+/// produced by [`Block::lower`] and consumed by the compiler.
+///
+/// Stateful descriptors carry the live state so compilation can happen
+/// mid-run; `initial` fields are what [`CompiledSim::reset`] restores.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum Lowering {
+    /// `y = gain · u`.
+    Gain {
+        /// The multiplicative gain.
+        gain: f64,
+    },
+    /// Signed sum `y = Σ sᵢ·uᵢ` with `sᵢ ∈ {+1, −1}`.
+    Sum {
+        /// One sign per input port.
+        signs: Vec<f64>,
+    },
+    /// Product of all inputs.
+    Product,
+    /// `y = −u`.
+    Negate,
+    /// `y = u + offset`.
+    Offset {
+        /// The additive offset.
+        offset: f64,
+    },
+    /// `y = clamp(u, lo, hi)`.
+    Saturate {
+        /// Lower clamp bound.
+        lo: f64,
+        /// Upper clamp bound.
+        hi: f64,
+    },
+    /// `y = round(u / quantum) · quantum`.
+    Quantize {
+        /// The quantization step.
+        quantum: f64,
+        /// The rounding mode.
+        rounding: Rounding,
+    },
+    /// `y = |u|`.
+    Abs,
+    /// `y = signum(u) ∈ {−1, 0, 1}`.
+    Sign,
+    /// Minimum of all inputs.
+    Min,
+    /// Maximum of all inputs.
+    Max,
+    /// Dead zone of half-width `width`.
+    DeadZone {
+        /// Half-width of the zero band.
+        width: f64,
+    },
+    /// Three-input switch: `y = if u₀ ≥ threshold { u₁ } else { u₂ }`.
+    Switch {
+        /// Control threshold.
+        threshold: f64,
+    },
+    /// Comparator with hysteresis.
+    Comparator {
+        /// Hysteresis band (0 disables it).
+        hysteresis: f64,
+        /// Current latch state.
+        state_high: bool,
+    },
+    /// Hysteretic relay (Schmitt trigger).
+    Relay {
+        /// Rising threshold.
+        on_threshold: f64,
+        /// Falling threshold.
+        off_threshold: f64,
+        /// Output while on.
+        on_value: f64,
+        /// Output while off.
+        off_value: f64,
+        /// Current latch state.
+        state_on: bool,
+    },
+    /// Per-step slew-rate limiter.
+    RateLimiter {
+        /// Maximum per-step rise.
+        rise: f64,
+        /// Maximum per-step fall.
+        fall: f64,
+        /// Initial (reset) output.
+        initial: f64,
+        /// Previous limited output.
+        prev: f64,
+    },
+    /// FIR filter `y[n] = Σ bₖ·u[n−k]`.
+    Fir {
+        /// Tap coefficients `[b₀, b₁, …]`.
+        taps: Vec<f64>,
+        /// Input history, most recent first (length `taps.len() − 1`).
+        history: Vec<f64>,
+    },
+    /// IIR filter in direct form II transposed (coefficients already
+    /// normalized by `a₀`).
+    Iir {
+        /// Numerator coefficients.
+        b: Vec<f64>,
+        /// Denominator coefficients (with `a₀ = 1`).
+        a: Vec<f64>,
+        /// Transposed state registers.
+        state: Vec<f64>,
+    },
+    /// Discrete integrator `y[n] = y[n−1] + gain·u[n−1]`.
+    Integrator {
+        /// Per-step gain.
+        gain: f64,
+        /// Initial (reset) output.
+        initial: f64,
+        /// Current accumulator value.
+        state: f64,
+    },
+    /// One-step delay.
+    UnitDelay {
+        /// Initial (reset) output.
+        initial: f64,
+        /// Current latched value.
+        state: f64,
+    },
+    /// Fixed N-step delay line.
+    DelayN {
+        /// Initial (reset) tap value.
+        initial: f64,
+        /// Current line contents, oldest first.
+        line: Vec<f64>,
+    },
+    /// Variable (possibly fractional) delay with linear interpolation.
+    VariableDelay {
+        /// Initial (reset) history value.
+        initial: f64,
+        /// Maximum delay in steps.
+        max_depth: usize,
+        /// Current history, most recent first (length `max_depth + 1`).
+        history: Vec<f64>,
+    },
+    /// Delay line exposing each tap as its own output port.
+    TappedDelayLine {
+        /// Initial (reset) tap value.
+        initial: f64,
+        /// Current line contents, most recent first.
+        line: Vec<f64>,
+    },
+    /// Free-running (optionally gated) modulo counter.
+    Counter {
+        /// Wrap-around modulus.
+        modulus: u64,
+        /// Whether the input gates counting.
+        gated: bool,
+        /// Current count.
+        count: u64,
+    },
+    /// Sample-and-hold latched by a trigger input.
+    SampleHold {
+        /// Initial (reset) held value.
+        initial: f64,
+        /// Currently held value.
+        held: f64,
+    },
+    /// Constant source.
+    Constant {
+        /// The emitted value.
+        value: f64,
+    },
+    /// Step source switching at a given time.
+    StepSource {
+        /// Switch time.
+        step_time: f64,
+        /// Value before the switch.
+        initial: f64,
+        /// Value at and after the switch.
+        final_value: f64,
+    },
+    /// Ramp source `slope · max(0, t − start_time)`.
+    Ramp {
+        /// Ramp slope.
+        slope: f64,
+        /// Ramp start time.
+        start_time: f64,
+    },
+    /// Sine source `amplitude · sin(2π t / period + phase)`.
+    Sine {
+        /// Amplitude.
+        amplitude: f64,
+        /// Period in time units.
+        period: f64,
+        /// Phase in radians.
+        phase: f64,
+    },
+    /// Rectangular pulse train.
+    Pulse {
+        /// Pulse amplitude.
+        amplitude: f64,
+        /// Repetition period.
+        period: f64,
+        /// Duty cycle in `[0, 1]`.
+        duty: f64,
+        /// Phase origin.
+        start_time: f64,
+    },
+    /// Single triangular pulse.
+    TriangularPulse {
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Total duration.
+        duration: f64,
+        /// Start time.
+        start_time: f64,
+    },
+    /// Recording probe (the trace is carried across compilation).
+    Probe {
+        /// Samples recorded so far.
+        trace: Trace,
+    },
+    /// Signal sink with no effect.
+    Terminator,
+    /// No lowering available: the block stays boxed behind dynamic dispatch.
+    Opaque,
+}
+
+/// One compiled opcode. Mirrors [`Lowering`] but owns the runtime state in
+/// the representation the executor wants.
+enum Op {
+    Gain(f64),
+    /// Two-input sum, by far the most common shape in the paper's models.
+    Sum2(f64, f64),
+    /// General signed sum; signs live in the shared `signs` pool.
+    Sum {
+        sign_off: usize,
+    },
+    Product,
+    Negate,
+    Offset(f64),
+    Saturate {
+        lo: f64,
+        hi: f64,
+    },
+    Quantize {
+        quantum: f64,
+        rounding: Rounding,
+    },
+    Abs,
+    Sign,
+    Min,
+    Max,
+    DeadZone {
+        width: f64,
+    },
+    Switch {
+        threshold: f64,
+    },
+    Comparator {
+        hysteresis: f64,
+        state_high: bool,
+    },
+    Relay {
+        on_threshold: f64,
+        off_threshold: f64,
+        on_value: f64,
+        off_value: f64,
+        state_on: bool,
+    },
+    RateLimiter {
+        rise: f64,
+        fall: f64,
+        initial: f64,
+        prev: f64,
+    },
+    Fir {
+        taps: Vec<f64>,
+        history: VecDeque<f64>,
+    },
+    Iir {
+        b: Vec<f64>,
+        a: Vec<f64>,
+        state: Vec<f64>,
+    },
+    Integrator {
+        gain: f64,
+        initial: f64,
+        state: f64,
+    },
+    UnitDelay {
+        initial: f64,
+        state: f64,
+    },
+    /// Ring buffer: `pos` indexes the oldest sample (the current output);
+    /// the update overwrites it with the newest and advances.
+    DelayN {
+        initial: f64,
+        line: Vec<f64>,
+        pos: usize,
+    },
+    VariableDelay {
+        initial: f64,
+        max_depth: usize,
+        history: VecDeque<f64>,
+    },
+    /// Ring buffer: `pos` indexes the most recent sample (tap 0); taps read
+    /// forward with wrap-around.
+    TappedDelayLine {
+        initial: f64,
+        line: Vec<f64>,
+        pos: usize,
+    },
+    Counter {
+        modulus: u64,
+        gated: bool,
+        count: u64,
+    },
+    SampleHold {
+        initial: f64,
+        held: f64,
+    },
+    Constant(f64),
+    StepSource {
+        step_time: f64,
+        initial: f64,
+        final_value: f64,
+    },
+    Ramp {
+        slope: f64,
+        start_time: f64,
+    },
+    Sine {
+        amplitude: f64,
+        period: f64,
+        phase: f64,
+    },
+    Pulse {
+        amplitude: f64,
+        period: f64,
+        duty: f64,
+        start_time: f64,
+    },
+    TriangularPulse {
+        amplitude: f64,
+        duration: f64,
+        start_time: f64,
+    },
+    Probe {
+        trace: Trace,
+    },
+    Terminator,
+    /// Fallback: index into the boxed-block pool.
+    Boxed(usize),
+}
+
+impl Op {
+    /// Whether the opcode has an update phase (state to advance).
+    fn needs_update(&self) -> bool {
+        matches!(
+            self,
+            Op::Comparator { .. }
+                | Op::Relay { .. }
+                | Op::RateLimiter { .. }
+                | Op::Fir { .. }
+                | Op::Iir { .. }
+                | Op::Integrator { .. }
+                | Op::UnitDelay { .. }
+                | Op::DelayN { .. }
+                | Op::VariableDelay { .. }
+                | Op::TappedDelayLine { .. }
+                | Op::Counter { .. }
+                | Op::SampleHold { .. }
+                | Op::Probe { .. }
+                | Op::Boxed(_)
+        )
+    }
+}
+
+/// Per-instruction static metadata, kept out of [`Op`] so the executor
+/// reads it from a dense parallel array. Fields are `u32` to keep the
+/// record cache-compact; slot counts never approach that limit.
+#[derive(Debug, Clone, Copy)]
+struct InstrMeta {
+    /// Start of this instruction's operand sources in the `srcs` pool.
+    src_off: u32,
+    n_in: u32,
+    out_off: u32,
+    n_out: u32,
+    /// Index of the originating block (names, update ordering).
+    block: u32,
+}
+
+/// A [`Simulation`] lowered to an enum-opcode program.
+///
+/// Behaves identically to the interpreted engine — same two-phase
+/// semantics, same traces, same [`Error::NonFiniteSignal`] identity — but
+/// executes built-in blocks through a dense `match` instead of virtual
+/// dispatch. Obtain one with [`Simulation::compile`].
+///
+/// # Example
+///
+/// ```
+/// use dtsim::{GraphBuilder, blocks::{Constant, Sum, UnitDelay, Probe}};
+///
+/// # fn main() -> Result<(), dtsim::Error> {
+/// let mut g = GraphBuilder::new();
+/// let one = g.add(Constant::new("one", 1.0));
+/// let sum = g.add(Sum::new("sum", "++"));
+/// let dly = g.add(UnitDelay::new("dly", 0.0));
+/// let probe = g.add(Probe::new("acc"));
+/// g.connect(one, 0, sum, 0)?;
+/// g.connect(dly, 0, sum, 1)?;
+/// g.connect(sum, 0, dly, 0)?;
+/// g.connect(dly, 0, probe, 0)?;
+///
+/// let mut sim = g.build()?.compile();
+/// sim.run(4)?;
+/// assert_eq!(sim.trace("acc").unwrap().samples(), &[0.0, 1.0, 2.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CompiledSim {
+    ops: Vec<Op>,
+    meta: Vec<InstrMeta>,
+    /// Flat pool of operand sources: for each instruction, the output-slot
+    /// index driving each of its input ports (see `InstrMeta::src_off`).
+    srcs: Vec<u32>,
+    /// Shared pool of sum signs (general `Op::Sum` case).
+    signs: Vec<f64>,
+    /// Boxed fallback blocks (opaque lowerings), in first-seen order.
+    boxed: Vec<Box<dyn Block>>,
+    /// Output-phase program indices, in program order. Constants (primed
+    /// once, see `prime_constants`) and terminators are elided from the
+    /// per-step loop.
+    exec: Vec<u32>,
+    /// Program indices with an update phase, in block-index order (the
+    /// interpreted engine updates blocks in that order).
+    updates: Vec<usize>,
+    /// Per-program-index flag: this gain was fused into its consuming
+    /// sum's weights. Its output slot is never written; readback and the
+    /// non-finite scan recompute `gain · operand` on demand.
+    fused_prog: Vec<bool>,
+    /// Block names, indexed by original block index.
+    names: Vec<String>,
+    /// Gather buffer for one instruction's operands (length = max fan-in).
+    scratch: Vec<f64>,
+    outputs: Vec<f64>,
+    /// Original slot/edge counts, reported by [`CompiledSim::schedule_stats`].
+    n_input_slots: usize,
+    n_connections: usize,
+    ctx: StepContext,
+    check_finite: bool,
+}
+
+impl std::fmt::Debug for CompiledSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledSim")
+            .field("ops", &self.ops.len())
+            .field("boxed", &self.boxed.len())
+            .field("step", &self.ctx.step)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Lower this simulation into a [`CompiledSim`].
+    ///
+    /// The compiled program captures the current state (including recorded
+    /// probe traces and the step/time context), so compiling mid-run and
+    /// continuing produces the same results the interpreted engine would
+    /// have.
+    pub fn compile(self) -> CompiledSim {
+        CompiledSim::from_simulation(self)
+    }
+}
+
+impl CompiledSim {
+    fn from_simulation(sim: Simulation) -> Self {
+        let parts = sim.into_parts();
+        let names: Vec<String> = parts.blocks.iter().map(|b| b.name().to_owned()).collect();
+        let lowerings: Vec<Lowering> = parts.blocks.iter().map(|b| b.lower()).collect();
+        let shapes: Vec<(usize, usize)> = parts
+            .blocks
+            .iter()
+            .map(|b| (b.num_inputs(), b.num_outputs()))
+            .collect();
+        let mut block_slots: Vec<Option<Box<dyn Block>>> =
+            parts.blocks.into_iter().map(Some).collect();
+
+        // Invert the fan-out into a per-input-slot driver table. The
+        // builder rejects unconnected inputs, so every slot has exactly
+        // one driver.
+        let mut driver = vec![u32::MAX; parts.inputs.len()];
+        let mut n_connections = 0usize;
+        for fan in &parts.fanout {
+            for c in fan {
+                driver[c.dst_slot] = c.src_slot as u32;
+                n_connections += 1;
+            }
+        }
+        debug_assert!(driver.iter().all(|&d| d != u32::MAX));
+
+        // Slot-ownership and program-position tables for the fusion pass.
+        let mut pos_of = vec![0usize; shapes.len()];
+        for (p, &b) in parts.order.iter().enumerate() {
+            pos_of[b] = p;
+        }
+        let mut in_owner = vec![0usize; parts.inputs.len()];
+        let mut out_owner = vec![0usize; parts.outputs.len()];
+        for (b, &(n_in, n_out)) in shapes.iter().enumerate() {
+            for j in 0..n_in {
+                in_owner[parts.input_offsets[b] + j] = b;
+            }
+            for j in 0..n_out {
+                out_owner[parts.output_offsets[b] + j] = b;
+            }
+        }
+
+        // Gain→Sum fusion: a gain whose *only* consumer is a sum input
+        // folds into that sum's weight (`w = s·g`, bit-exact: `s ∈ {±1}`
+        // and IEEE multiplication is commutative and sign-symmetric), and
+        // the gain op drops out of the per-step loop. Requires the gain's
+        // operand to be *stable* between the gain's and the sum's program
+        // positions — i.e. its producer runs before the gain (or is a
+        // constant) — so gathering it at the sum's position reads the same
+        // value the gain would have read, and the cold non-finite scan can
+        // recompute the fused term exactly.
+        let mut slot_fused: Vec<Option<(f64, u32)>> = vec![None; parts.inputs.len()];
+        let mut block_fused = vec![false; shapes.len()];
+        for (b, low) in lowerings.iter().enumerate() {
+            let Lowering::Gain { gain } = low else {
+                continue;
+            };
+            let &[c] = parts.fanout[b].as_slice() else {
+                continue;
+            };
+            let consumer = in_owner[c.dst_slot];
+            if !matches!(lowerings[consumer], Lowering::Sum { .. }) {
+                continue;
+            }
+            let x_src = driver[parts.input_offsets[b]];
+            let xb = out_owner[x_src as usize];
+            let x_stable =
+                matches!(lowerings[xb], Lowering::Constant { .. }) || pos_of[xb] < pos_of[b];
+            if !x_stable {
+                continue;
+            }
+            slot_fused[c.dst_slot] = Some((*gain, x_src));
+            block_fused[b] = true;
+        }
+
+        let mut ops = Vec::with_capacity(parts.order.len());
+        let mut meta = Vec::with_capacity(parts.order.len());
+        let mut srcs = Vec::new();
+        let mut signs = Vec::new();
+        let mut boxed = Vec::new();
+        for &b in parts.order.iter() {
+            let (n_in, n_out) = shapes[b];
+            let src_off = srcs.len();
+            srcs.extend((0..n_in).map(|j| {
+                let slot = parts.input_offsets[b] + j;
+                match slot_fused[slot] {
+                    // A fused operand reads the gain's own source directly.
+                    Some((_, x_src)) => x_src,
+                    None => driver[slot],
+                }
+            }));
+            meta.push(InstrMeta {
+                src_off: src_off as u32,
+                n_in: n_in as u32,
+                out_off: parts.output_offsets[b] as u32,
+                n_out: n_out as u32,
+                block: b as u32,
+            });
+            let op = match lowerings[b].clone() {
+                Lowering::Gain { gain } => Op::Gain(gain),
+                Lowering::Sum { signs: s } => {
+                    let w: Vec<f64> = s
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &sj)| match slot_fused[parts.input_offsets[b] + j] {
+                            Some((g, _)) => sj * g,
+                            None => sj,
+                        })
+                        .collect();
+                    if w.len() == 2 {
+                        Op::Sum2(w[0], w[1])
+                    } else {
+                        let sign_off = signs.len();
+                        signs.extend_from_slice(&w);
+                        Op::Sum { sign_off }
+                    }
+                }
+                Lowering::Product => Op::Product,
+                Lowering::Negate => Op::Negate,
+                Lowering::Offset { offset } => Op::Offset(offset),
+                Lowering::Saturate { lo, hi } => Op::Saturate { lo, hi },
+                Lowering::Quantize { quantum, rounding } => Op::Quantize { quantum, rounding },
+                Lowering::Abs => Op::Abs,
+                Lowering::Sign => Op::Sign,
+                Lowering::Min => Op::Min,
+                Lowering::Max => Op::Max,
+                Lowering::DeadZone { width } => Op::DeadZone { width },
+                Lowering::Switch { threshold } => Op::Switch { threshold },
+                Lowering::Comparator {
+                    hysteresis,
+                    state_high,
+                } => Op::Comparator {
+                    hysteresis,
+                    state_high,
+                },
+                Lowering::Relay {
+                    on_threshold,
+                    off_threshold,
+                    on_value,
+                    off_value,
+                    state_on,
+                } => Op::Relay {
+                    on_threshold,
+                    off_threshold,
+                    on_value,
+                    off_value,
+                    state_on,
+                },
+                Lowering::RateLimiter {
+                    rise,
+                    fall,
+                    initial,
+                    prev,
+                } => Op::RateLimiter {
+                    rise,
+                    fall,
+                    initial,
+                    prev,
+                },
+                Lowering::Fir { taps, history } => Op::Fir {
+                    taps,
+                    history: history.into(),
+                },
+                Lowering::Iir { b: bb, a, state } => Op::Iir { b: bb, a, state },
+                Lowering::Integrator {
+                    gain,
+                    initial,
+                    state,
+                } => Op::Integrator {
+                    gain,
+                    initial,
+                    state,
+                },
+                Lowering::UnitDelay { initial, state } => Op::UnitDelay { initial, state },
+                Lowering::DelayN { initial, line } => Op::DelayN {
+                    initial,
+                    line,
+                    pos: 0,
+                },
+                Lowering::VariableDelay {
+                    initial,
+                    max_depth,
+                    history,
+                } => Op::VariableDelay {
+                    initial,
+                    max_depth,
+                    history: history.into(),
+                },
+                Lowering::TappedDelayLine { initial, line } => Op::TappedDelayLine {
+                    initial,
+                    line,
+                    pos: 0,
+                },
+                Lowering::Counter {
+                    modulus,
+                    gated,
+                    count,
+                } => Op::Counter {
+                    modulus,
+                    gated,
+                    count,
+                },
+                Lowering::SampleHold { initial, held } => Op::SampleHold { initial, held },
+                Lowering::Constant { value } => Op::Constant(value),
+                Lowering::StepSource {
+                    step_time,
+                    initial,
+                    final_value,
+                } => Op::StepSource {
+                    step_time,
+                    initial,
+                    final_value,
+                },
+                Lowering::Ramp { slope, start_time } => Op::Ramp { slope, start_time },
+                Lowering::Sine {
+                    amplitude,
+                    period,
+                    phase,
+                } => Op::Sine {
+                    amplitude,
+                    period,
+                    phase,
+                },
+                Lowering::Pulse {
+                    amplitude,
+                    period,
+                    duty,
+                    start_time,
+                } => Op::Pulse {
+                    amplitude,
+                    period,
+                    duty,
+                    start_time,
+                },
+                Lowering::TriangularPulse {
+                    amplitude,
+                    duration,
+                    start_time,
+                } => Op::TriangularPulse {
+                    amplitude,
+                    duration,
+                    start_time,
+                },
+                Lowering::Probe { trace } => Op::Probe { trace },
+                Lowering::Terminator => Op::Terminator,
+                _ => {
+                    let blk = block_slots[b]
+                        .take()
+                        .expect("each block appears once in the order");
+                    boxed.push(blk);
+                    Op::Boxed(boxed.len() - 1)
+                }
+            };
+            ops.push(op);
+        }
+        // Update in block-index order, matching the interpreted engine.
+        let mut updates: Vec<usize> = (0..ops.len()).filter(|&k| ops[k].needs_update()).collect();
+        updates.sort_by_key(|&k| meta[k].block);
+        // Constants never change, and terminators and probes do all their
+        // work outside the output phase (never, and in the update phase,
+        // respectively), so all three drop out of the per-step output loop;
+        // constants are written once instead. Fused gains execute inside
+        // their consuming sum's weights.
+        let fused_prog: Vec<bool> = parts.order.iter().map(|&b| block_fused[b]).collect();
+        let exec: Vec<u32> = (0..ops.len())
+            .filter(|&k| {
+                !fused_prog[k]
+                    && !matches!(ops[k], Op::Constant(_) | Op::Terminator | Op::Probe { .. })
+            })
+            .map(|k| k as u32)
+            .collect();
+        let scratch = vec![0.0; meta.iter().map(|m| m.n_in as usize).max().unwrap_or(0)];
+        let mut sim = CompiledSim {
+            ops,
+            meta,
+            srcs,
+            signs,
+            boxed,
+            exec,
+            updates,
+            fused_prog,
+            names,
+            scratch,
+            outputs: parts.outputs,
+            n_input_slots: parts.inputs.len(),
+            n_connections,
+            ctx: parts.ctx,
+            check_finite: parts.check_finite,
+        };
+        sim.prime_constants();
+        sim
+    }
+
+    /// Write every constant's value into its output slot once — consumers
+    /// gather it from there, so the per-step loop skips the op entirely.
+    /// The slot has no other writer, so the value stands until the next
+    /// [`CompiledSim::reset`].
+    fn prime_constants(&mut self) {
+        for (k, op) in self.ops.iter().enumerate() {
+            if let Op::Constant(v) = op {
+                self.outputs[self.meta[k].out_off as usize] = *v;
+            }
+        }
+    }
+
+    /// Number of instructions executing through enum dispatch.
+    pub fn lowered_count(&self) -> usize {
+        self.ops.len() - self.boxed.len()
+    }
+
+    /// Number of instructions falling back to boxed dynamic dispatch.
+    pub fn boxed_count(&self) -> usize {
+        self.boxed.len()
+    }
+
+    /// Static shape of the compiled program (mirrors
+    /// [`Simulation::schedule_stats`]).
+    pub fn schedule_stats(&self) -> ScheduleStats {
+        ScheduleStats {
+            blocks: self.ops.len(),
+            connections: self.n_connections,
+            input_slots: self.n_input_slots,
+            output_slots: self.outputs.len(),
+        }
+    }
+
+    /// Set the fixed step duration (default carries over from compilation).
+    pub fn set_dt(&mut self, dt: f64) {
+        self.ctx.dt = dt;
+    }
+
+    /// Disable the per-step non-finite signal check (slightly faster).
+    pub fn set_check_finite(&mut self, check: bool) {
+        self.check_finite = check;
+    }
+
+    /// Current step index (number of completed steps).
+    pub fn step_count(&self) -> u64 {
+        self.ctx.step
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.ctx.time
+    }
+
+    /// Execute one step with the configured `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFiniteSignal`] if a block outputs NaN/∞ while the
+    /// finite check is enabled.
+    pub fn step(&mut self) -> Result<(), Error> {
+        let dt = self.ctx.dt;
+        self.step_with_dt(dt)
+    }
+
+    /// Execute one step with an explicit step duration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NonFiniteSignal`] if a block outputs NaN/∞ while the
+    /// finite check is enabled.
+    pub fn step_with_dt(&mut self, dt: f64) -> Result<(), Error> {
+        self.ctx.dt = dt;
+        let ctx = self.ctx;
+        // Split borrows so the opcode match can mutate op state while
+        // gathering operands and writing output slots.
+        let CompiledSim {
+            ops,
+            meta,
+            srcs,
+            signs,
+            boxed,
+            exec,
+            updates,
+            fused_prog,
+            scratch,
+            outputs,
+            ..
+        } = self;
+        // ---- output phase (program order = feedthrough order) ----
+        for &k in exec.iter() {
+            let k = k as usize;
+            let (op, m) = (&mut ops[k], &meta[k]);
+            let n_in = m.n_in as usize;
+            let so = m.src_off as usize;
+            for (j, &s) in srcs[so..so + n_in].iter().enumerate() {
+                scratch[j] = outputs[s as usize];
+            }
+            let ins = &scratch[..n_in];
+            let oo = m.out_off as usize;
+            let outs = &mut outputs[oo..oo + m.n_out as usize];
+            match op {
+                Op::Gain(g) => outs[0] = *g * ins[0],
+                Op::Sum2(s0, s1) => outs[0] = ins[0] * *s0 + ins[1] * *s1,
+                Op::Sum { sign_off } => {
+                    outs[0] = ins
+                        .iter()
+                        .zip(&signs[*sign_off..*sign_off + n_in])
+                        .map(|(u, s)| u * s)
+                        .sum::<f64>();
+                }
+                Op::Product => outs[0] = ins.iter().product(),
+                Op::Negate => outs[0] = -ins[0],
+                Op::Offset(o) => outs[0] = ins[0] + *o,
+                Op::Saturate { lo, hi } => outs[0] = ins[0].clamp(*lo, *hi),
+                Op::Quantize { quantum, rounding } => {
+                    let scaled = ins[0] / *quantum;
+                    let q = match rounding {
+                        Rounding::Floor => scaled.floor(),
+                        Rounding::Nearest => scaled.round(),
+                        Rounding::Truncate => scaled.trunc(),
+                    };
+                    outs[0] = q * *quantum;
+                }
+                Op::Abs => outs[0] = ins[0].abs(),
+                Op::Sign => {
+                    outs[0] = if ins[0] > 0.0 {
+                        1.0
+                    } else if ins[0] < 0.0 {
+                        -1.0
+                    } else {
+                        0.0
+                    };
+                }
+                Op::Min => outs[0] = ins.iter().copied().fold(f64::INFINITY, f64::min),
+                Op::Max => outs[0] = ins.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                Op::DeadZone { width } => {
+                    let u = ins[0];
+                    outs[0] = if u > *width {
+                        u - *width
+                    } else if u < -*width {
+                        u + *width
+                    } else {
+                        0.0
+                    };
+                }
+                Op::Switch { threshold } => {
+                    outs[0] = if ins[0] >= *threshold { ins[1] } else { ins[2] };
+                }
+                Op::Comparator {
+                    hysteresis,
+                    state_high,
+                } => {
+                    let high = comparator_decide(*state_high, *hysteresis, ins[0], ins[1]);
+                    outs[0] = if high { 1.0 } else { 0.0 };
+                }
+                Op::Relay {
+                    on_threshold,
+                    off_threshold,
+                    on_value,
+                    off_value,
+                    state_on,
+                } => {
+                    let on = if *state_on {
+                        ins[0] >= *off_threshold
+                    } else {
+                        ins[0] > *on_threshold
+                    };
+                    outs[0] = if on { *on_value } else { *off_value };
+                }
+                Op::RateLimiter {
+                    rise, fall, prev, ..
+                } => {
+                    outs[0] = *prev + (ins[0] - *prev).clamp(-*fall, *rise);
+                }
+                Op::Fir { taps, history } => {
+                    let mut acc = taps[0] * ins[0];
+                    for (k, b) in taps.iter().enumerate().skip(1) {
+                        acc += b * history[k - 1];
+                    }
+                    outs[0] = acc;
+                }
+                Op::Iir { b, state, .. } => {
+                    outs[0] = iir_compute(b, state, ins[0]);
+                }
+                Op::Integrator { state, .. } => outs[0] = *state,
+                Op::UnitDelay { state, .. } => outs[0] = *state,
+                Op::DelayN { line, pos, .. } => outs[0] = line[*pos],
+                Op::VariableDelay {
+                    max_depth, history, ..
+                } => {
+                    let d = ins[1].clamp(0.0, *max_depth as f64);
+                    let lo = d.floor() as usize;
+                    let hi = (lo + 1).min(*max_depth);
+                    let frac = d - lo as f64;
+                    let a = history[lo];
+                    let b = history[hi];
+                    outs[0] = a + frac * (b - a);
+                }
+                Op::TappedDelayLine { line, pos, .. } => {
+                    let len = line.len();
+                    let mut j = *pos;
+                    for o in outs.iter_mut() {
+                        *o = line[j];
+                        j += 1;
+                        if j == len {
+                            j = 0;
+                        }
+                    }
+                }
+                Op::Counter { count, .. } => outs[0] = *count as f64,
+                Op::SampleHold { held, .. } => outs[0] = *held,
+                Op::Constant(v) => outs[0] = *v,
+                Op::StepSource {
+                    step_time,
+                    initial,
+                    final_value,
+                } => {
+                    outs[0] = if ctx.time >= *step_time {
+                        *final_value
+                    } else {
+                        *initial
+                    };
+                }
+                Op::Ramp { slope, start_time } => {
+                    outs[0] = *slope * (ctx.time - *start_time).max(0.0);
+                }
+                Op::Sine {
+                    amplitude,
+                    period,
+                    phase,
+                } => {
+                    outs[0] =
+                        *amplitude * (std::f64::consts::TAU * ctx.time / *period + *phase).sin();
+                }
+                Op::Pulse {
+                    amplitude,
+                    period,
+                    duty,
+                    start_time,
+                } => {
+                    let t = ctx.time - *start_time;
+                    let high = t >= 0.0 && (t / *period).fract() < *duty;
+                    outs[0] = if high { *amplitude } else { 0.0 };
+                }
+                Op::TriangularPulse {
+                    amplitude,
+                    duration,
+                    start_time,
+                } => {
+                    let t = ctx.time - *start_time;
+                    outs[0] = if t < 0.0 || t > *duration {
+                        0.0
+                    } else {
+                        let x = t / *duration;
+                        *amplitude * (1.0 - (2.0 * x - 1.0).abs())
+                    };
+                }
+                Op::Probe { .. } | Op::Terminator => {}
+                Op::Boxed(i) => boxed[*i].output(&ctx, ins, outs),
+            }
+        }
+        // ---- hoisted finite check ----
+        // Screen first: the sum of every output slot is non-finite iff at
+        // least one slot is (once ∞/NaN enters a running f64 sum it never
+        // becomes finite again). Only on a hit does the precise scan — in
+        // program order, reproducing the interpreted engine's first-failure
+        // semantics (see module docs) — identify the offender. The rare
+        // finite-overflow false positive of the screen just falls through
+        // the scan and continues.
+        if self.check_finite {
+            let mut acc = 0.0f64;
+            for v in outputs.iter() {
+                acc += *v;
+            }
+            if !acc.is_finite() {
+                for (k, m) in meta.iter().enumerate() {
+                    if fused_prog[k] {
+                        // Recompute the fused gain's virtual output so the
+                        // first-failure attribution still lands on the gain
+                        // block, exactly as the interpreted engine reports.
+                        let Op::Gain(g) = &ops[k] else {
+                            unreachable!("only gains fuse");
+                        };
+                        let x = outputs[srcs[m.src_off as usize] as usize];
+                        if !(*g * x).is_finite() {
+                            return Err(Error::NonFiniteSignal {
+                                block: self.names[m.block as usize].clone(),
+                                port: 0,
+                                step: ctx.step,
+                            });
+                        }
+                        continue;
+                    }
+                    for pi in 0..m.n_out as usize {
+                        if !outputs[m.out_off as usize + pi].is_finite() {
+                            return Err(Error::NonFiniteSignal {
+                                block: self.names[m.block as usize].clone(),
+                                port: pi,
+                                step: ctx.step,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // ---- update phase (block-index order) ----
+        // Operands are re-gathered here: the full output phase has run, so
+        // every driver's slot holds this step's value — exactly what the
+        // push model's input slots would hold entering the update phase.
+        for &k in updates.iter() {
+            let m = meta[k];
+            let n_in = m.n_in as usize;
+            let so = m.src_off as usize;
+            for (j, &s) in srcs[so..so + n_in].iter().enumerate() {
+                scratch[j] = outputs[s as usize];
+            }
+            let ins = &scratch[..n_in];
+            match &mut ops[k] {
+                Op::Comparator {
+                    hysteresis,
+                    state_high,
+                } => {
+                    *state_high = comparator_decide(*state_high, *hysteresis, ins[0], ins[1]);
+                }
+                Op::Relay {
+                    on_threshold,
+                    off_threshold,
+                    state_on,
+                    ..
+                } => {
+                    if *state_on {
+                        if ins[0] < *off_threshold {
+                            *state_on = false;
+                        }
+                    } else if ins[0] > *on_threshold {
+                        *state_on = true;
+                    }
+                }
+                Op::RateLimiter {
+                    rise, fall, prev, ..
+                } => {
+                    *prev += (ins[0] - *prev).clamp(-*fall, *rise);
+                }
+                Op::Fir { history, .. } => {
+                    if !history.is_empty() {
+                        history.pop_back();
+                        history.push_front(ins[0]);
+                    }
+                }
+                Op::Iir { b, a, state } => {
+                    let u = ins[0];
+                    let y = iir_compute(b, state, u);
+                    let n = state.len();
+                    for idx in 0..n {
+                        let next = if idx + 1 < n { state[idx + 1] } else { 0.0 };
+                        state[idx] = next + b[idx + 1] * u - a[idx + 1] * y;
+                    }
+                }
+                Op::Integrator { gain, state, .. } => *state += *gain * ins[0],
+                Op::UnitDelay { state, .. } => *state = ins[0],
+                Op::DelayN { line, pos, .. } => {
+                    line[*pos] = ins[0];
+                    *pos += 1;
+                    if *pos == line.len() {
+                        *pos = 0;
+                    }
+                }
+                Op::VariableDelay { history, .. } => {
+                    history.pop_back();
+                    history.push_front(ins[0]);
+                }
+                Op::TappedDelayLine { line, pos, .. } => {
+                    if !line.is_empty() {
+                        *pos = if *pos == 0 { line.len() - 1 } else { *pos - 1 };
+                        line[*pos] = ins[0];
+                    }
+                }
+                Op::Counter {
+                    modulus,
+                    gated,
+                    count,
+                } => {
+                    let enabled = !*gated || ins.first().is_some_and(|&g| g != 0.0);
+                    if enabled {
+                        *count = (*count + 1) % *modulus;
+                    }
+                }
+                Op::SampleHold { held, .. } => {
+                    if ins[1] != 0.0 {
+                        *held = ins[0];
+                    }
+                }
+                Op::Probe { trace } => trace.push(ctx.time, ins[0]),
+                Op::Boxed(i) => boxed[*i].update(&ctx, ins),
+                _ => unreachable!("needs_update filtered stateless opcodes"),
+            }
+        }
+        self.ctx.step += 1;
+        self.ctx.time += dt;
+        Ok(())
+    }
+
+    /// Run `n` steps.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first step error.
+    pub fn run(&mut self, n: u64) -> Result<(), Error> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Program index for the block named `name`, if any.
+    fn find(&self, name: &str) -> Option<usize> {
+        self.meta
+            .iter()
+            .position(|m| self.names[m.block as usize] == name)
+    }
+
+    /// Read the current value on an output port (mirrors
+    /// [`Simulation::output`]).
+    pub fn output(&self, block: &str, port: usize) -> Option<f64> {
+        let k = self.find(block)?;
+        let m = self.meta[k];
+        if port >= m.n_out as usize {
+            return None;
+        }
+        if self.fused_prog[k] {
+            // Fused gains never write their slot; recompute on demand.
+            let Op::Gain(g) = &self.ops[k] else {
+                unreachable!("only gains fuse");
+            };
+            return Some(*g * self.outputs[self.srcs[m.src_off as usize] as usize]);
+        }
+        Some(self.outputs[m.out_off as usize + port])
+    }
+
+    /// Borrow the trace recorded by the probe block named `name` (mirrors
+    /// [`Simulation::trace`]).
+    pub fn trace(&self, name: &str) -> Option<&Trace> {
+        let k = self.find(name)?;
+        match &self.ops[k] {
+            Op::Probe { trace } => Some(trace),
+            Op::Boxed(i) => self.boxed[*i].trace(),
+            _ => None,
+        }
+    }
+
+    /// Push a value into an externally-driven block by name (mirrors
+    /// [`Simulation::set_input`]). Only boxed (opaque) blocks can accept
+    /// external values; all lowered opcodes refuse.
+    pub fn set_input(&mut self, name: &str, value: f64) -> bool {
+        match self.find(name) {
+            Some(k) => match &mut self.ops[k] {
+                Op::Boxed(i) => self.boxed[*i].set_value(value),
+                _ => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Reset every opcode to its initial state and rewind time to zero
+    /// (mirrors [`Simulation::reset`]).
+    pub fn reset(&mut self) {
+        for op in &mut self.ops {
+            match op {
+                Op::Comparator { state_high, .. } => *state_high = false,
+                Op::Relay { state_on, .. } => *state_on = false,
+                Op::RateLimiter { initial, prev, .. } => *prev = *initial,
+                Op::Fir { history, .. } => history.iter_mut().for_each(|h| *h = 0.0),
+                Op::Iir { state, .. } => state.iter_mut().for_each(|s| *s = 0.0),
+                Op::Integrator { initial, state, .. } => *state = *initial,
+                Op::UnitDelay { initial, state } => *state = *initial,
+                Op::DelayN { initial, line, pos } => {
+                    line.iter_mut().for_each(|v| *v = *initial);
+                    *pos = 0;
+                }
+                Op::VariableDelay {
+                    initial, history, ..
+                } => history.iter_mut().for_each(|v| *v = *initial),
+                Op::TappedDelayLine { initial, line, pos } => {
+                    line.iter_mut().for_each(|v| *v = *initial);
+                    *pos = 0;
+                }
+                Op::Counter { count, .. } => *count = 0,
+                Op::SampleHold { initial, held } => *held = *initial,
+                Op::Probe { trace } => trace.clear(),
+                Op::Boxed(i) => self.boxed[*i].reset(),
+                _ => {}
+            }
+        }
+        self.outputs.iter_mut().for_each(|v| *v = 0.0);
+        self.prime_constants();
+        let dt = self.ctx.dt;
+        self.ctx = StepContext::initial(dt);
+    }
+}
+
+/// The comparator decision shared by its output and update phases.
+fn comparator_decide(state_high: bool, hysteresis: f64, a: f64, b: f64) -> bool {
+    if state_high {
+        a > b - hysteresis
+    } else {
+        a > b + hysteresis
+    }
+}
+
+/// DF-IIt output computation, kept branch-identical to
+/// [`crate::blocks::IirFilter`].
+fn iir_compute(b: &[f64], state: &[f64], u: f64) -> f64 {
+    if state.is_empty() {
+        b[0] * u
+    } else {
+        b[0] * u + state[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::blocks::{
+        Constant, DelayN, FnBlock, Gain, Probe, Quantizer, Rounding, Sine, Sum, TappedDelayLine,
+        UnitDelay,
+    };
+    use crate::{Error, GraphBuilder};
+
+    /// The doc example graph: accumulator in feedback.
+    fn accumulator() -> GraphBuilder {
+        let mut g = GraphBuilder::new();
+        let one = g.add(Constant::new("one", 1.0));
+        let sum = g.add(Sum::new("sum", "++"));
+        let dly = g.add(UnitDelay::new("dly", 0.0));
+        let p = g.add(Probe::new("acc"));
+        g.connect(one, 0, sum, 0).unwrap();
+        g.connect(dly, 0, sum, 1).unwrap();
+        g.connect(sum, 0, dly, 0).unwrap();
+        g.connect(dly, 0, p, 0).unwrap();
+        g
+    }
+
+    #[test]
+    fn compiled_accumulator_matches_interpreted() {
+        let mut interp = accumulator().build().unwrap();
+        let mut comp = accumulator().build().unwrap().compile();
+        interp.run(64).unwrap();
+        comp.run(64).unwrap();
+        assert_eq!(interp.trace("acc").unwrap(), comp.trace("acc").unwrap());
+        assert_eq!(comp.boxed_count(), 0, "accumulator lowers fully");
+        assert_eq!(comp.lowered_count(), 4);
+    }
+
+    #[test]
+    fn mid_run_compile_continues_bit_for_bit() {
+        let mut interp = accumulator().build().unwrap();
+        interp.run(10).unwrap();
+        let mut reference = accumulator().build().unwrap();
+        reference.run(25).unwrap();
+        let mut comp = interp.compile();
+        assert_eq!(comp.step_count(), 10);
+        comp.run(15).unwrap();
+        assert_eq!(comp.trace("acc").unwrap(), reference.trace("acc").unwrap());
+    }
+
+    #[test]
+    fn custom_blocks_fall_back_to_boxed() {
+        let mut g = GraphBuilder::new();
+        let c = g.add(Constant::new("c", 3.0));
+        let f = g.add(FnBlock::new("sq", 1, 1, |i, o| o[0] = i[0] * i[0]));
+        let p = g.add(Probe::new("p"));
+        g.chain(&[c, f, p]).unwrap();
+        let mut sim = g.build().unwrap().compile();
+        assert_eq!(sim.boxed_count(), 1);
+        sim.run(3).unwrap();
+        assert_eq!(sim.trace("p").unwrap().samples(), &[9.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn non_finite_error_identity_matches() {
+        let build = || {
+            let mut g = GraphBuilder::new();
+            let c = g.add(Constant::new("big", 1e308));
+            // Both gains overflow on the same step; the interpreted engine
+            // reports the first one in feedthrough order.
+            let g1 = g.add(Gain::new("boom_a", 10.0));
+            let g2 = g.add(Gain::new("boom_b", 10.0));
+            let t1 = g.add(crate::blocks::Terminator::new("t1"));
+            let t2 = g.add(crate::blocks::Terminator::new("t2"));
+            g.connect(c, 0, g1, 0).unwrap();
+            g.connect(c, 0, g2, 0).unwrap();
+            g.connect(g1, 0, t1, 0).unwrap();
+            g.connect(g2, 0, t2, 0).unwrap();
+            g.build().unwrap()
+        };
+        let e_interp = build().run(5).unwrap_err();
+        let e_comp = build().compile().run(5).unwrap_err();
+        assert_eq!(e_interp, e_comp);
+        assert!(matches!(e_interp, Error::NonFiniteSignal { .. }));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut g = GraphBuilder::new();
+        let s = g.add(Sine::new("s", 2.0, 16.0, 0.0));
+        let d = g.add(DelayN::new("d", 3, 0.5));
+        let tdl = g.add(TappedDelayLine::new("tdl", 2, 0.0));
+        let q = g.add(Quantizer::new("q", 0.25, Rounding::Nearest));
+        let p = g.add(Probe::new("p"));
+        g.connect(s, 0, d, 0).unwrap();
+        g.connect(d, 0, tdl, 0).unwrap();
+        g.connect(tdl, 1, q, 0).unwrap();
+        g.connect(q, 0, p, 0).unwrap();
+        let mut sim = g.build().unwrap().compile();
+        sim.run(20).unwrap();
+        let first = sim.trace("p").unwrap().samples().to_vec();
+        sim.reset();
+        assert_eq!(sim.step_count(), 0);
+        assert_eq!(sim.time(), 0.0);
+        sim.run(20).unwrap();
+        assert_eq!(sim.trace("p").unwrap().samples(), &first[..]);
+    }
+
+    #[test]
+    fn output_readback_and_schedule_stats() {
+        let g = accumulator();
+        let interp = g.build().unwrap();
+        let stats = interp.schedule_stats();
+        let mut comp = interp.compile();
+        assert_eq!(comp.schedule_stats(), stats);
+        comp.step().unwrap();
+        assert_eq!(comp.output("one", 0), Some(1.0));
+        assert_eq!(comp.output("one", 1), None);
+        assert_eq!(comp.output("nope", 0), None);
+    }
+}

@@ -48,12 +48,14 @@
 
 mod block;
 pub mod blocks;
+pub mod compiled;
 mod error;
 mod graph;
 mod sim;
 mod trace;
 
 pub use block::{Block, StepContext};
+pub use compiled::{CompiledSim, Lowering};
 pub use error::Error;
 pub use graph::{BlockId, GraphBuilder, PortRef};
 pub use sim::{BlockCost, ScheduleStats, SimReport, Simulation};

@@ -54,6 +54,21 @@ struct Profiler {
     steps: u64,
 }
 
+/// The dismantled internals of a [`Simulation`], handed to the compiling
+/// engine (`crate::compiled`). Field meanings match the `Simulation` fields
+/// they are moved out of.
+pub(crate) struct SimParts {
+    pub(crate) blocks: Vec<Box<dyn Block>>,
+    pub(crate) order: Vec<usize>,
+    pub(crate) fanout: Vec<Vec<Connection>>,
+    pub(crate) input_offsets: Vec<usize>,
+    pub(crate) output_offsets: Vec<usize>,
+    pub(crate) inputs: Vec<f64>,
+    pub(crate) outputs: Vec<f64>,
+    pub(crate) ctx: StepContext,
+    pub(crate) check_finite: bool,
+}
+
 /// An executable discrete-time model produced by
 /// [`GraphBuilder::build`](crate::GraphBuilder::build).
 ///
@@ -119,6 +134,22 @@ impl Simulation {
             ctx: StepContext::initial(1.0),
             check_finite: true,
             profiler: None,
+        }
+    }
+
+    /// Move the simulation's internals out, for lowering into a
+    /// [`crate::compiled::CompiledSim`].
+    pub(crate) fn into_parts(self) -> SimParts {
+        SimParts {
+            blocks: self.blocks,
+            order: self.order,
+            fanout: self.fanout,
+            input_offsets: self.input_offsets,
+            output_offsets: self.output_offsets,
+            inputs: self.inputs,
+            outputs: self.outputs,
+            ctx: self.ctx,
+            check_finite: self.check_finite,
         }
     }
 
@@ -215,9 +246,22 @@ impl Simulation {
     /// Returns [`Error::NonFiniteSignal`] if a block outputs NaN/∞ while the
     /// finite check is enabled.
     pub fn step_with_dt(&mut self, dt: f64) -> Result<(), Error> {
+        // Bind the profiler once for the whole step: moving it out lets the
+        // profiled path hold a plain `&mut Profiler` instead of re-looking
+        // up (and re-checking) the `Option` after every block.
+        match self.profiler.take() {
+            Some(mut p) => {
+                let r = self.step_profiled(dt, &mut p);
+                self.profiler = Some(p);
+                r
+            }
+            None => self.step_plain(dt),
+        }
+    }
+
+    /// The unprofiled step path: no timestamps taken anywhere.
+    fn step_plain(&mut self, dt: f64) -> Result<(), Error> {
         self.ctx.dt = dt;
-        let profiling = self.profiler.is_some();
-        let step_start = profiling.then(std::time::Instant::now);
         // Output phase in feedthrough order; propagate each block's outputs
         // to downstream input slots immediately.
         for idx in 0..self.order.len() {
@@ -229,12 +273,7 @@ impl Simulation {
             // Split borrows: inputs and outputs are distinct vectors.
             let inputs = &self.inputs[in_off..in_off + n_in];
             let outputs = &mut self.outputs[out_off..out_off + n_out];
-            let t0 = profiling.then(std::time::Instant::now);
             self.blocks[b].output(&self.ctx, inputs, outputs);
-            if let Some(t0) = t0 {
-                let p = self.profiler.as_mut().expect("profiling checked");
-                p.block_ns[b] += t0.elapsed().as_nanos() as u64;
-            }
             if self.check_finite {
                 for (pi, v) in outputs.iter().enumerate() {
                     if !v.is_finite() {
@@ -256,17 +295,54 @@ impl Simulation {
             let in_off = self.input_offsets[b];
             let n_in = self.blocks[b].num_inputs();
             let inputs = &self.inputs[in_off..in_off + n_in];
-            let t0 = profiling.then(std::time::Instant::now);
             self.blocks[b].update(&self.ctx, inputs);
-            if let Some(t0) = t0 {
-                let p = self.profiler.as_mut().expect("profiling checked");
-                p.block_ns[b] += t0.elapsed().as_nanos() as u64;
+        }
+        self.ctx.step += 1;
+        self.ctx.time += dt;
+        Ok(())
+    }
+
+    /// The profiled step path; `p` is the profiler moved out of `self` for
+    /// the duration of the step.
+    fn step_profiled(&mut self, dt: f64, p: &mut Profiler) -> Result<(), Error> {
+        self.ctx.dt = dt;
+        let step_start = std::time::Instant::now();
+        for idx in 0..self.order.len() {
+            let b = self.order[idx];
+            let in_off = self.input_offsets[b];
+            let out_off = self.output_offsets[b];
+            let n_in = self.blocks[b].num_inputs();
+            let n_out = self.blocks[b].num_outputs();
+            let inputs = &self.inputs[in_off..in_off + n_in];
+            let outputs = &mut self.outputs[out_off..out_off + n_out];
+            let t0 = std::time::Instant::now();
+            self.blocks[b].output(&self.ctx, inputs, outputs);
+            p.block_ns[b] += t0.elapsed().as_nanos() as u64;
+            if self.check_finite {
+                for (pi, v) in outputs.iter().enumerate() {
+                    if !v.is_finite() {
+                        return Err(Error::NonFiniteSignal {
+                            block: self.blocks[b].name().to_owned(),
+                            port: pi,
+                            step: self.ctx.step,
+                        });
+                    }
+                }
+            }
+            for c in &self.fanout[b] {
+                self.inputs[c.dst_slot] = self.outputs[c.src_slot];
             }
         }
-        if let (Some(t0), Some(p)) = (step_start, self.profiler.as_mut()) {
-            p.wall_ns += t0.elapsed().as_nanos() as u64;
-            p.steps += 1;
+        for b in 0..self.blocks.len() {
+            let in_off = self.input_offsets[b];
+            let n_in = self.blocks[b].num_inputs();
+            let inputs = &self.inputs[in_off..in_off + n_in];
+            let t0 = std::time::Instant::now();
+            self.blocks[b].update(&self.ctx, inputs);
+            p.block_ns[b] += t0.elapsed().as_nanos() as u64;
         }
+        p.wall_ns += step_start.elapsed().as_nanos() as u64;
+        p.steps += 1;
         self.ctx.step += 1;
         self.ctx.time += dt;
         Ok(())

@@ -1,0 +1,244 @@
+//! Differential tests: [`dtsim::CompiledSim`] must be **bit-for-bit**
+//! identical to the interpreted engine — same traces, same first-failure
+//! non-finite errors, same mid-run-compile continuation — on randomized
+//! layered DAGs mixing every lowerable block shape with opaque (boxed)
+//! fallbacks.
+//!
+//! The generator grows a DAG node by node; each node wires its inputs to
+//! arbitrary earlier outputs, so the graphs exercise wide fan-out, sums
+//! fed by fusable single-consumer gains, multi-output tapped delay lines,
+//! and boxed `FnBlock`s interleaved with compiled opcodes.
+
+use dtsim::blocks::{
+    Constant, DelayN, FnBlock, FunctionSource, Gain, Offset, Probe, Quantizer, Rounding, Saturate,
+    Sine, Sum, TappedDelayLine, Terminator, UnitDelay,
+};
+use dtsim::{BlockId, GraphBuilder, Simulation};
+use proptest::prelude::*;
+
+/// One generated node: what it is, and raw picks that get mapped (modulo
+/// the number of outputs available so far) onto its input wiring.
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    picks: Vec<u16>,
+}
+
+#[derive(Debug, Clone)]
+enum NodeKind {
+    Gain(f64),
+    Offset(f64),
+    Saturate(f64),
+    Quantize(f64),
+    /// Signed sum; `true` is `+`. Fan-in = signs length.
+    Sum(Vec<bool>),
+    DelayN(usize),
+    UnitDelay,
+    /// Multi-output delay line with this many taps.
+    Tapped(usize),
+    /// Stays boxed behind dynamic dispatch (no lowering).
+    Opaque,
+}
+
+#[derive(Debug, Clone)]
+struct Dag {
+    nodes: Vec<Node>,
+    /// Which nodes get a probe on their first output. Probing adds a
+    /// second consumer, so unprobed gains into sums stay fusable — both
+    /// paths must agree either way.
+    probe_mask: Vec<bool>,
+}
+
+/// The vendored proptest stub has no `any::<bool>()`; draw bits instead.
+fn bool_vec(size: std::ops::Range<usize>) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(0u8..2, size).prop_map(|v| v.into_iter().map(|b| b == 1).collect())
+}
+
+fn kind_strategy() -> impl Strategy<Value = NodeKind> {
+    prop_oneof![
+        (-2.0f64..2.0).prop_map(NodeKind::Gain),
+        (-3.0f64..3.0).prop_map(NodeKind::Offset),
+        (0.5f64..4.0).prop_map(NodeKind::Saturate),
+        (0.125f64..1.0).prop_map(NodeKind::Quantize),
+        bool_vec(2..5).prop_map(NodeKind::Sum),
+        (1usize..5).prop_map(NodeKind::DelayN),
+        Just(NodeKind::UnitDelay),
+        (2usize..4).prop_map(NodeKind::Tapped),
+        Just(NodeKind::Opaque),
+    ]
+}
+
+fn dag_strategy() -> impl Strategy<Value = Dag> {
+    (
+        proptest::collection::vec(
+            (
+                kind_strategy(),
+                proptest::collection::vec(0u16..u16::MAX, 1..5),
+            )
+                .prop_map(|(kind, picks)| Node { kind, picks }),
+            1..12,
+        ),
+        bool_vec(12..13),
+    )
+        .prop_map(|(nodes, probe_mask)| Dag { nodes, probe_mask })
+}
+
+/// Materialize a DAG. Returns the simulation plus the probe names to
+/// compare. Every input port is wired to some earlier output, so the
+/// graph always builds.
+fn build(dag: &Dag) -> (Simulation, Vec<String>) {
+    let mut g = GraphBuilder::new();
+    let mut avail: Vec<(BlockId, usize)> = Vec::new();
+    let c = g.add(Constant::new("c0", 1.3));
+    avail.push((c, 0));
+    let s = g.add(Sine::new("s0", 2.0, 23.0, 0.4));
+    avail.push((s, 0));
+    let f = g.add(FunctionSource::new("f0", |t| (0.11 * t).sin()));
+    avail.push((f, 0));
+
+    let mut probes = Vec::new();
+    for (i, node) in dag.nodes.iter().enumerate() {
+        let pick = |j: usize| avail[node.picks[j % node.picks.len()] as usize % avail.len()];
+        let (id, n_in, n_out) = match &node.kind {
+            NodeKind::Gain(k) => (g.add(Gain::new(format!("n{i}"), *k)), 1, 1),
+            NodeKind::Offset(o) => (g.add(Offset::new(format!("n{i}"), *o)), 1, 1),
+            NodeKind::Saturate(s) => (g.add(Saturate::new(format!("n{i}"), -s, *s)), 1, 1),
+            NodeKind::Quantize(q) => (
+                g.add(Quantizer::new(format!("n{i}"), *q, Rounding::Nearest)),
+                1,
+                1,
+            ),
+            NodeKind::Sum(signs) => {
+                let spec: String = signs.iter().map(|&p| if p { '+' } else { '-' }).collect();
+                (g.add(Sum::new(format!("n{i}"), &spec)), signs.len(), 1)
+            }
+            NodeKind::DelayN(d) => (g.add(DelayN::new(format!("n{i}"), *d, 0.25)), 1, 1),
+            NodeKind::UnitDelay => (g.add(UnitDelay::new(format!("n{i}"), -0.5)), 1, 1),
+            NodeKind::Tapped(t) => (g.add(TappedDelayLine::new(format!("n{i}"), *t, 0.0)), 1, *t),
+            NodeKind::Opaque => (
+                g.add(FnBlock::new(format!("n{i}"), 1, 1, |ins, outs| {
+                    outs[0] = (0.7 * ins[0]).sin()
+                })),
+                1,
+                1,
+            ),
+        };
+        for port in 0..n_in {
+            let (src, src_port) = pick(port);
+            g.connect(src, src_port, id, port).expect("ports exist");
+        }
+        if dag.probe_mask[i % dag.probe_mask.len()] {
+            let name = format!("p{i}");
+            let p = g.add(Probe::new(&name));
+            g.connect(id, 0, p, 0).expect("probe wiring");
+            probes.push(name);
+        }
+        for port in 0..n_out {
+            avail.push((id, port));
+        }
+    }
+    (g.build().expect("generated DAGs are valid"), probes)
+}
+
+/// Varying step duration exercises the explicit-`dt` stepping path.
+fn dt_at(n: u64) -> f64 {
+    1.0 + 0.5 * (n % 3) as f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Interpreted and compiled runs agree bit-for-bit on every probe,
+    /// including under per-step `dt` changes.
+    #[test]
+    fn traces_are_bit_identical(dag in dag_strategy(), steps in 1u64..300) {
+        let (mut interp, probes) = build(&dag);
+        let (comp, _) = build(&dag);
+        let mut comp = comp.compile();
+        for n in 0..steps {
+            interp.step_with_dt(dt_at(n)).expect("bounded recipes stay finite");
+            comp.step_with_dt(dt_at(n)).expect("bounded recipes stay finite");
+        }
+        for name in &probes {
+            prop_assert_eq!(
+                interp.trace(name).expect("probe"),
+                comp.trace(name).expect("probe"),
+                "probe {} diverged", name
+            );
+        }
+    }
+
+    /// Compiling mid-run continues exactly where the interpreter stopped.
+    #[test]
+    fn mid_run_compile_continues_bit_for_bit(dag in dag_strategy(), steps in 2u64..200) {
+        let (mut reference, probes) = build(&dag);
+        reference.run(steps).expect("clean run");
+        let (mut staged, _) = build(&dag);
+        staged.run(steps / 2).expect("clean run");
+        let mut comp = staged.compile();
+        comp.run(steps - steps / 2).expect("clean run");
+        for name in &probes {
+            prop_assert_eq!(
+                reference.trace(name).expect("probe"),
+                comp.trace(name).expect("probe"),
+                "probe {} diverged after mid-run compile", name
+            );
+        }
+    }
+
+    /// `CompiledSim::reset` restores the exact initial trajectory.
+    #[test]
+    fn compiled_reset_is_a_time_machine(dag in dag_strategy(), steps in 1u64..150) {
+        let (sim, probes) = build(&dag);
+        let mut comp = sim.compile();
+        comp.run(steps).expect("clean run");
+        let first: Vec<Vec<f64>> = probes
+            .iter()
+            .map(|p| comp.trace(p).expect("probe").samples().to_vec())
+            .collect();
+        comp.reset();
+        comp.run(steps).expect("clean run");
+        for (name, before) in probes.iter().zip(&first) {
+            prop_assert_eq!(
+                comp.trace(name).expect("probe").samples(),
+                &before[..],
+                "probe {} diverged after reset", name
+            );
+        }
+    }
+
+    /// A planted overflow produces the *same* `NonFiniteSignal` error —
+    /// block, port and step — on both engines, whether the overflowing
+    /// gain is fused into a sum (single consumer) or kept standalone.
+    #[test]
+    fn non_finite_errors_are_identical(
+        bomb_gain in 1.0e30f64..1.0e120,
+        fused_bit in 0u8..2,
+        fuse_delay in 1u64..40,
+    ) {
+        let fused = fused_bit == 1;
+        // A source that jumps to 1e200 at `fuse_delay` makes the gain
+        // overflow mid-run rather than on step zero.
+        let plant = |fused: bool| {
+            let mut g = GraphBuilder::new();
+            let big = g.add(Constant::new("big", 1.0e200));
+            let ramp = g.add(FunctionSource::new("ramp", move |t| {
+                if t >= fuse_delay as f64 { 1.0e200 } else { 1.0 }
+            }));
+            let boom = g.add(Gain::new("boom", bomb_gain));
+            let tail = g.add(Sum::new("tail", "++"));
+            g.connect(ramp, 0, boom, 0).expect("wiring");
+            g.connect(boom, 0, tail, 0).expect("wiring");
+            g.connect(big, 0, tail, 1).expect("wiring");
+            if !fused {
+                // A second consumer keeps the gain out of the fusion pass.
+                let t = g.add(Terminator::new("t"));
+                g.connect(boom, 0, t, 0).expect("wiring");
+            }
+            g.build().expect("bomb graph is valid")
+        };
+        let e_interp = plant(fused).run(fuse_delay + 5).expect_err("must overflow");
+        let e_comp = plant(fused).compile().run(fuse_delay + 5).expect_err("must overflow");
+        prop_assert_eq!(e_interp, e_comp);
+    }
+}

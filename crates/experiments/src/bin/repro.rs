@@ -16,67 +16,104 @@ use clock_telemetry::Telemetry;
 use experiments::config::PaperParams;
 use experiments::render::Table;
 use experiments::{
-    constraints, ext_coupling, ext_lock, ext_noise, ext_sensitivity, ext_stability, ext_throughput,
-    fig2, fig7, fig8, fig9, sweep, table1, worked,
+    bench, constraints, ext_coupling, ext_lock, ext_noise, ext_sensitivity, ext_stability,
+    ext_throughput, fig2, fig7, fig8, fig9, sweep, table1, worked,
 };
 
-/// Every dispatchable experiment id with a one-line description.
-const EXPERIMENTS: &[(&str, &str)] = &[
-    ("table1", "Table I — variability taxonomy"),
-    ("fig2", "Fig. 2 — worst-case induced mismatch vs t_clk/Tv"),
-    ("fig7", "Fig. 7 — timing-error traces for the four schemes"),
+/// Every dispatchable experiment id with a one-line description and an
+/// approximate simulated-step budget (what `--list` shows; "analytic"
+/// means no time-domain simulation at all).
+const EXPERIMENTS: &[(&str, &str, &str)] = &[
+    ("table1", "Table I — variability taxonomy", "static"),
+    (
+        "fig2",
+        "Fig. 2 — worst-case induced mismatch vs t_clk/Tv",
+        "analytic",
+    ),
+    (
+        "fig7",
+        "Fig. 7 — timing-error traces for the four schemes",
+        "~20k steps",
+    ),
     (
         "fig8",
         "Fig. 8 — relative adaptive period vs CDN delay / HoDV period",
+        "~800k steps",
     ),
     (
         "fig9",
         "Fig. 9 — relative adaptive period vs RO-TDC mismatch",
+        "~1.7M steps",
     ),
     (
         "worked-examples",
         "§IV worked examples (60 % / 70 % SM reduction)",
+        "~40k steps",
     ),
-    ("constraints", "§III-A constraints and the stability bound"),
+    (
+        "constraints",
+        "§III-A constraints and the stability bound",
+        "analytic",
+    ),
+    (
+        "bench",
+        "engine benchmarks: compiled vs interpreted dtsim, batched loops, warm fig9",
+        "~3M steps",
+    ),
     (
         "ext-sensitivity",
         "z-domain prediction of the adaptation error envelope",
+        "~200k steps",
     ),
     (
         "ext-throughput",
         "Razor-style pipeline throughput vs operated set-point",
+        "~80k steps",
     ),
-    ("ext-noise", "broadband (OU + SSN burst) robustness"),
+    (
+        "ext-noise",
+        "broadband (OU + SSN burst) robustness",
+        "~100k steps",
+    ),
     (
         "ext-stability",
         "clock-domain-size stability map across gain sets",
+        "analytic",
     ),
     (
         "ext-lock",
         "cold-start lock time vs the modal-analysis prediction",
+        "~30k steps",
     ),
     (
         "ext-coupling",
         "additive (paper) vs multiplicative variation coupling",
+        "~20k steps",
     ),
-    ("all", "bundle: every paper artifact"),
-    ("extensions", "bundle: every extension experiment"),
-    ("everything", "bundle: all + extensions"),
+    ("all", "bundle: every paper artifact", "~2.6M steps"),
+    (
+        "extensions",
+        "bundle: every extension experiment",
+        "~450k steps",
+    ),
+    ("everything", "bundle: all + extensions", "~3M steps"),
 ];
 
 fn usage() -> &'static str {
-    "usage: repro [--json] [--progress] [--telemetry <out.jsonl>] \
+    "usage: repro [--json [out.json]] [--quick] [--progress] [--telemetry <out.jsonl>] \
      [--c <stages>] [--amp <frac>] <experiment>\n\
      paper artifacts: table1, fig2, fig7, fig8, fig9, worked-examples, constraints\n\
+     benchmarks:      bench (compiled vs interpreted, batched lanes, warm-started fig9;\n\
+                      --quick shrinks the workloads, --json <file> writes the report)\n\
      extensions:      ext-sensitivity, ext-throughput, ext-noise, ext-stability, ext-lock, ext-coupling\n\
      bundles:         all (paper artifacts), extensions, everything\n\
-     discovery:       --list prints every id with a description\n"
+     discovery:       --list prints every id with a description and step budget\n"
 }
 
 fn experiment_list() -> String {
     let mut out = String::from("experiments:\n");
-    for (id, desc) in EXPERIMENTS {
-        out.push_str(&format!("  {id:<16} {desc}\n"));
+    for (id, desc, steps) in EXPERIMENTS {
+        out.push_str(&format!("  {id:<16} {steps:>12}  {desc}\n"));
     }
     out
 }
@@ -87,8 +124,19 @@ fn main() -> ExitCode {
         print!("{}", experiment_list());
         return ExitCode::SUCCESS;
     }
-    let json = args.iter().any(|a| a == "--json");
-    args.retain(|a| a != "--json");
+    let mut json = false;
+    let mut json_path: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--json") {
+        json = true;
+        // `--json` optionally takes an output path; experiment ids never
+        // end in ".json", so that suffix disambiguates.
+        if args.get(i + 1).is_some_and(|v| v.ends_with(".json")) {
+            json_path = Some(args.remove(i + 1));
+        }
+        args.remove(i);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
     let progress = args.iter().any(|a| a == "--progress");
     args.retain(|a| a != "--progress");
     sweep::set_progress(progress);
@@ -120,12 +168,16 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
-    if !EXPERIMENTS.iter().any(|(id, _)| id == which) {
+    if !EXPERIMENTS.iter().any(|(id, _, _)| id == which) {
         eprintln!("error: unknown experiment '{which}'");
         eprint!("{}", experiment_list());
         return ExitCode::FAILURE;
     }
-    let ok = dispatch(which, &params, json, &telemetry);
+    let ok = if which == "bench" {
+        run_bench(&params, quick, json, json_path.as_deref())
+    } else {
+        dispatch(which, &params, json, &telemetry)
+    };
     if telemetry.is_enabled() {
         if let Err(e) = telemetry.flush() {
             eprintln!("error: telemetry sink: {e}");
@@ -142,6 +194,26 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         ExitCode::FAILURE
     }
+}
+
+/// Run the engine benchmark suite and emit the report as a table, as JSON
+/// on stdout, or as a JSON file when `--json <out.json>` named one.
+fn run_bench(params: &PaperParams, quick: bool, json: bool, json_path: Option<&str>) -> bool {
+    let report = bench::run(params, quick);
+    if let Some(path) = json_path {
+        let payload = report.to_json().expect("plain data serializes");
+        if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("error: cannot write {path}: {e}");
+            return false;
+        }
+        println!("{}", bench::render(&report));
+        println!("bench report written to {path}");
+    } else if json {
+        println!("{}", report.to_json().expect("plain data serializes"));
+    } else {
+        println!("{}", bench::render(&report));
+    }
+    true
 }
 
 /// Pull `<flag> <value>` out of `args`, returning the value.

@@ -15,7 +15,9 @@
 //! evidence that the whole simulation tower and the paper's Eq. (4)–(5)
 //! algebra describe the same system.
 
+use adaptive_clock::batch::{BatchLoop, LaneController};
 use adaptive_clock::controller::IirConfig;
+use adaptive_clock::loopsim::{constant, LoopInputs};
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use adaptive_clock::tdc::Quantization;
 use variation::sources::Harmonic;
@@ -67,6 +69,7 @@ pub fn run(params: &PaperParams, points: usize) -> ExperimentResult {
         .iter()
         .map(|&te| amp * predicted_gain(&h, 1, te))
         .collect();
+    let batched = batched_errors(&tes, c, amp);
 
     ExperimentResult::new(
         "ext-sensitivity",
@@ -76,21 +79,80 @@ pub fn run(params: &PaperParams, points: usize) -> ExperimentResult {
         ),
     )
     .with_series(Series::new("measured", tes.clone(), measured))
+    .with_series(Series::new("discrete (batched)", tes.clone(), batched))
     .with_series(Series::new("predicted", tes, predicted))
+}
+
+/// The same error-amplitude sweep on the fixed-`M` discrete loop — the
+/// system the prediction is actually derived for — with every `T_e` lane
+/// advanced in lock-step by the SoA batch engine, so the whole sweep is a
+/// single [`BatchLoop::run`] call.
+fn batched_errors(tes: &[f64], c: i64, amp: f64) -> Vec<f64> {
+    let mut batch = BatchLoop::new();
+    for _ in tes {
+        batch.push(
+            1,
+            LaneController::float_iir(&IirConfig::paper(), c as f64)
+                .expect("paper config is valid"),
+            Quantization::None,
+        );
+    }
+    let setpoint = constant(c as f64);
+    let zero = constant(0.0);
+    let e_fns: Vec<Box<dyn Fn(i64) -> f64 + Sync>> = tes
+        .iter()
+        .map(|&te| {
+            Box::new(move |n: i64| amp * (std::f64::consts::TAU * n as f64 / te).sin())
+                as Box<dyn Fn(i64) -> f64 + Sync>
+        })
+        .collect();
+    let inputs: Vec<LoopInputs<'_>> = e_fns
+        .iter()
+        .map(|e| LoopInputs {
+            setpoint: &setpoint,
+            homogeneous: e.as_ref(),
+            heterogeneous: &zero,
+        })
+        .collect();
+    // Settle even the slowest lane, then measure over the second half.
+    let slowest = tes.iter().copied().fold(0.0f64, f64::max);
+    let steps = 2000 + (12.0 * slowest) as usize;
+    let trace = batch.run(&inputs, steps);
+    (0..tes.len())
+        .map(|lane| {
+            let lt = trace.lane(lane);
+            lt.delta[steps / 2..]
+                .iter()
+                .fold(0.0f64, |a, d| a.max(d.abs()))
+        })
+        .collect()
 }
 
 /// Render as a comparison table.
 pub fn render(result: &ExperimentResult) -> String {
     let meas = result.series_named("measured").expect("series present");
     let pred = result.series_named("predicted").expect("series present");
-    let mut t = Table::new(["Te/c", "measured |δ|max", "predicted |δ|max", "ratio"]);
+    let batched = result.series_named("discrete (batched)");
+    let mut headers = vec!["Te/c".to_owned(), "measured |δ|max".to_owned()];
+    if batched.is_some() {
+        headers.push("discrete |δ|max".to_owned());
+    }
+    headers.push("predicted |δ|max".to_owned());
+    headers.push("ratio".to_owned());
+    let mut t = Table::new(headers);
     for (i, &x) in meas.x.iter().enumerate() {
         let ratio = if pred.y[i] > 1e-9 {
             meas.y[i] / pred.y[i]
         } else {
             f64::NAN
         };
-        t.row([fmt(x), fmt(meas.y[i]), fmt(pred.y[i]), fmt(ratio)]);
+        let mut row = vec![fmt(x), fmt(meas.y[i])];
+        if let Some(b) = batched {
+            row.push(fmt(b.y[i]));
+        }
+        row.push(fmt(pred.y[i]));
+        row.push(fmt(ratio));
+        t.row(row);
     }
     format!(
         "Extension — sensitivity-function prediction of the adaptation error\n\n{}\n\
@@ -156,6 +218,24 @@ mod tests {
             assert!(
                 (m - p).abs() <= 0.35 * p + 1.3,
                 "Te/c={te}: measured {m} vs predicted {p}"
+            );
+        }
+    }
+
+    /// The batched SoA sweep is the same fixed-M discrete loop the tight
+    /// prediction holds for, so its whole series must hug the prediction.
+    #[test]
+    fn batched_series_matches_prediction_tightly() {
+        let params = PaperParams::default();
+        let r = run(&params, 7);
+        let batched = r.series_named("discrete (batched)").expect("series");
+        let pred = r.series_named("predicted").expect("series");
+        for (i, &te) in batched.x.iter().enumerate() {
+            let b = batched.y[i];
+            let p = pred.y[i];
+            assert!(
+                (b - p).abs() <= 0.05 * p + 0.1,
+                "Te/c={te}: batched {b} vs predicted {p}"
             );
         }
     }

@@ -16,26 +16,43 @@
 //!   for `T_e/c > 200` the IIR RO and the free RO perform the same.
 
 use adaptive_clock::system::Scheme;
+use adaptive_clock::RunTrace;
+use clock_metrics::margin;
 use clock_telemetry::{Event, Telemetry};
 
 use crate::config::PaperParams;
 use crate::render::{ascii_chart, fmt, Table};
 use crate::results::{ExperimentResult, Series};
-use crate::runner::{adaptive_schemes, relative_period_observed, OperatingPoint};
+use crate::runner::{adaptive_schemes, run_scheme, run_scheme_observed, OperatingPoint};
 use crate::sweep::{log_grid, parallel_map};
 
-/// Sweep one scheme over `xs`, reporting every grid point as a
-/// margin-search iteration on `telemetry`.
+/// The fixed-clock baselines of a panel, one per grid point, computed once
+/// and shared by every adaptive scheme's sweep (the baseline depends only
+/// on the operating point, not on the scheme under test).
+fn fixed_baselines(
+    params: &PaperParams,
+    xs: &[f64],
+    point_at: &(impl Fn(f64) -> OperatingPoint + Sync),
+) -> Vec<RunTrace> {
+    parallel_map(xs, |&x| run_scheme(params, Scheme::Fixed, point_at(x)))
+}
+
+/// Sweep one scheme over `xs` against pre-computed fixed baselines,
+/// reporting every grid point as a margin-search iteration on `telemetry`.
 fn sweep_scheme(
     params: &PaperParams,
     scheme: &Scheme,
     experiment: &str,
     xs: &[f64],
-    point_at: impl Fn(f64) -> OperatingPoint + Sync,
+    fixed: &[RunTrace],
+    point_at: &(impl Fn(f64) -> OperatingPoint + Sync),
     telemetry: &Telemetry,
 ) -> Vec<f64> {
-    parallel_map(xs, |&x| {
-        let y = relative_period_observed(params, scheme.clone(), point_at(x), telemetry);
+    let idx: Vec<usize> = (0..xs.len()).collect();
+    parallel_map(&idx, |&i| {
+        let x = xs[i];
+        let adaptive = run_scheme_observed(params, scheme.clone(), point_at(x), telemetry);
+        let y = margin::relative_adaptive_period(&adaptive, &fixed[i]);
         if telemetry.is_enabled() && y.is_finite() {
             telemetry.emit(
                 x,
@@ -71,13 +88,16 @@ pub fn run_upper_observed(
             params.setpoint
         ),
     );
+    let point_at = |x| OperatingPoint::new(x, 100.0);
+    let fixed = fixed_baselines(params, &xs, &point_at);
     for scheme in adaptive_schemes() {
         let ys = sweep_scheme(
             params,
             &scheme,
             "fig8-upper",
             &xs,
-            |x| OperatingPoint::new(x, 100.0),
+            &fixed,
+            &point_at,
             telemetry,
         );
         result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
@@ -105,13 +125,16 @@ pub fn run_lower_observed(
             params.setpoint
         ),
     );
+    let point_at = |x| OperatingPoint::new(1.0, x);
+    let fixed = fixed_baselines(params, &xs, &point_at);
     for scheme in adaptive_schemes() {
         let ys = sweep_scheme(
             params,
             &scheme,
             "fig8-lower",
             &xs,
-            |x| OperatingPoint::new(1.0, x),
+            &fixed,
+            &point_at,
             telemetry,
         );
         result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));

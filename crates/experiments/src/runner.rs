@@ -75,6 +75,49 @@ pub fn run_scheme_observed(
     system.run(&hodv, samples).skip(params.warmup)
 }
 
+/// [`run_scheme_observed`] with a warm start: the RO begins at
+/// `initial_length` (when given) and only `warmup` samples are discarded
+/// instead of the full `params.warmup`.
+///
+/// The measurement window keeps its classic length
+/// (`params.samples_for(…) − params.warmup`), so the statistics stay
+/// comparable with a cold run; only the discarded transient shrinks. Sweeps
+/// seed `initial_length` from [`settled_length`] of a neighbouring grid
+/// point, which puts the loop within a few stages of its operating point
+/// from sample zero.
+pub fn run_scheme_warm(
+    params: &PaperParams,
+    scheme: Scheme,
+    point: OperatingPoint,
+    initial_length: Option<i64>,
+    warmup: usize,
+    telemetry: &Telemetry,
+) -> RunTrace {
+    let c = params.setpoint;
+    let hodv = Harmonic::new(params.amplitude(), point.te_over_c * c as f64, 0.0);
+    let mut builder = SystemBuilder::new(c)
+        .cdn_delay(point.t_clk_over_c * c as f64)
+        .scheme(scheme)
+        .single_sensor_mu(point.mu_over_c * c as f64)
+        .telemetry(telemetry.clone());
+    if let Some(length) = initial_length {
+        builder = builder.initial_length(length);
+    }
+    let system = builder
+        .build()
+        .expect("paper operating points are valid configurations");
+    let window = params
+        .samples_for(point.te_over_c)
+        .saturating_sub(params.warmup);
+    system.run(&hodv, warmup + window).skip(warmup)
+}
+
+/// The RO length a run settled to, read off its last sample — the seed for
+/// warm-starting the neighbouring grid point via [`run_scheme_warm`].
+pub fn settled_length(run: &RunTrace) -> Option<i64> {
+    run.samples().last().map(|s| s.lro.round() as i64)
+}
+
 /// The relative adaptive period `⟨T_clk⟩/T_fixed` of `scheme` at the
 /// operating point, with the fixed-clock baseline run under the identical
 /// waveform and mismatch.
@@ -121,6 +164,31 @@ mod tests {
         // Fixed clock is fully exposed: needs the whole 0.2c = 12.8 plus
         // the TDC floor quantization (≤ 1 stage).
         assert!((m - 12.8).abs() < 1.2, "fixed margin {m}");
+    }
+
+    #[test]
+    fn warm_run_reproduces_cold_statistics_with_quarter_warmup() {
+        let params = PaperParams::default();
+        let point = OperatingPoint::new(1.0, 50.0);
+        let cold = run_scheme(&params, Scheme::iir_paper(), point);
+        let seed = settled_length(&cold).expect("cold run has samples");
+        let warm = run_scheme_warm(
+            &params,
+            Scheme::iir_paper(),
+            point,
+            Some(seed),
+            params.warmup / 4,
+            &Telemetry::disabled(),
+        );
+        assert_eq!(warm.len(), cold.len(), "window length must be preserved");
+        assert!(
+            (warm.mean_period() - cold.mean_period()).abs() < 0.5,
+            "warm mean {} vs cold {}",
+            warm.mean_period(),
+            cold.mean_period()
+        );
+        let dm = (margin::required_margin(&warm) - margin::required_margin(&cold)).abs();
+        assert!(dm < 1.5, "margins differ by {dm}");
     }
 
     #[test]

@@ -70,10 +70,18 @@ impl ProgressMeter {
     }
 }
 
+/// How many items a worker claims per cursor bump: enough to amortize the
+/// atomic traffic on big sweeps, small enough that a heavy chunk cannot
+/// leave the other workers idle at the tail.
+fn dispatch_chunk(n: usize, workers: usize) -> usize {
+    (n / (workers * 8)).clamp(1, 32)
+}
+
 /// Map `f` over `items` in parallel, preserving order. Spawns at most
-/// `available_parallelism` scoped worker threads; items are handed out
-/// through a shared atomic cursor, so uneven per-item cost balances
-/// automatically.
+/// `available_parallelism` scoped worker threads; items are handed out in
+/// small index chunks claimed off a shared atomic cursor
+/// ([`dispatch_chunk`] items per claim), so uneven per-item cost balances
+/// automatically while the cursor stays off the hot path.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -101,6 +109,7 @@ where
             })
             .collect();
     }
+    let chunk = dispatch_chunk(n, workers);
     let cursor = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let (tx, rx) = mpsc::channel::<(usize, R)>();
@@ -110,12 +119,14 @@ where
             let cursor = &cursor;
             let f = &f;
             scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                tx.send((i, f(&items[i])))
-                    .expect("receiver outlives workers");
+                let end = (start + chunk).min(n);
+                for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                    tx.send((i, f(item))).expect("receiver outlives workers");
+                }
             });
         }
         drop(tx);
@@ -195,6 +206,45 @@ mod tests {
         });
         for (i, (x, _)) in out.iter().enumerate() {
             assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn dispatch_chunk_bounds() {
+        // Tiny sweeps: one item per claim, never zero.
+        assert_eq!(dispatch_chunk(1, 8), 1);
+        assert_eq!(dispatch_chunk(10, 8), 1);
+        // Big sweeps amortize, but the claim size is capped.
+        assert_eq!(dispatch_chunk(1_000, 4), 31);
+        assert_eq!(dispatch_chunk(1_000_000, 4), 32);
+    }
+
+    #[test]
+    fn parallel_map_pathological_load_stress() {
+        // An adversarial cost profile across chunk boundaries: a few
+        // items are ~5 orders of magnitude heavier than the rest, placed
+        // both at the front, mid-sweep, and on the final index, plus a
+        // pseudo-random light load everywhere else. Order and completeness
+        // must survive chunked dispatch.
+        let n = 513usize;
+        let items: Vec<u64> = (0..n as u64).collect();
+        let heavy = [0u64, 1, 255, 256, 511, 512];
+        let out = parallel_map(&items, |&x| {
+            let spins = if heavy.contains(&x) {
+                400_000
+            } else {
+                // splitmix-style scramble for an uneven light tail
+                (x.wrapping_mul(0x9E3779B97F4A7C15) >> 56) + 1
+            };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        assert_eq!(out.len(), n);
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64, "index {i} out of order");
         }
     }
 

@@ -17,6 +17,11 @@
 //! `m* = max(0, max_n (c − τ[n]))`, the mean period of the margined system
 //! is `⟨T⟩ + m*`, and no per-point search is needed. The integration tests
 //! re-verify the property by actually re-running shifted systems.
+//!
+//! For sweeps that probe margins empirically (or validate the shift
+//! property point by point), [`minimal_margin`] provides a bracketing
+//! search that can be warm-started from a neighbouring grid point's
+//! result, cutting the probe count along smooth sweeps.
 
 use adaptive_clock::RunTrace;
 
@@ -24,6 +29,93 @@ use adaptive_clock::RunTrace;
 /// `max(0, max_n (c − τ[n]))`.
 pub fn required_margin(run: &RunTrace) -> f64 {
     run.worst_negative_error()
+}
+
+/// Outcome of a [`minimal_margin`] search: the smallest passing margin and
+/// the number of predicate evaluations it took to find it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarginSearch {
+    /// The smallest non-negative integer margin for which the predicate
+    /// holds.
+    pub margin: i64,
+    /// How many times the predicate was evaluated. Sweeps warm-started from
+    /// a neighbouring grid point's result report `probes` savings through
+    /// telemetry.
+    pub probes: u32,
+}
+
+/// Find the smallest non-negative integer margin `m` such that `ok(m)` is
+/// true, assuming `ok` is monotone (once true, true for every larger
+/// margin).
+///
+/// The search exponentially brackets the transition outward from
+/// `warm_start` (or from 0 when cold) and then bisects the bracket, so a
+/// warm start taken from the neighbouring point of a smooth sweep costs
+/// `O(log Δ)` probes in the distance `Δ` between the two results instead of
+/// `O(log m)` from scratch.
+///
+/// ```
+/// use clock_metrics::margin::minimal_margin;
+///
+/// let cold = minimal_margin(|m| m >= 13, None);
+/// assert_eq!(cold.margin, 13);
+/// let warm = minimal_margin(|m| m >= 13, Some(12));
+/// assert_eq!(warm.margin, 13);
+/// assert!(warm.probes < cold.probes);
+/// ```
+pub fn minimal_margin(mut ok: impl FnMut(i64) -> bool, warm_start: Option<i64>) -> MarginSearch {
+    let mut probes = 0u32;
+    let mut probe = |m: i64, probes: &mut u32| {
+        *probes += 1;
+        ok(m)
+    };
+    let start = warm_start.unwrap_or(0).max(0);
+    // Bracket the transition: end with ok(hi) true and ok(lo) false, lo < hi.
+    let mut lo;
+    let mut hi;
+    if probe(start, &mut probes) {
+        if start == 0 {
+            return MarginSearch { margin: 0, probes };
+        }
+        // Walk down in doubling steps until the predicate fails.
+        hi = start;
+        let mut step = 1i64;
+        loop {
+            let cand = (hi - step).max(0);
+            if probe(cand, &mut probes) {
+                hi = cand;
+                if cand == 0 {
+                    return MarginSearch { margin: 0, probes };
+                }
+                step = step.saturating_mul(2);
+            } else {
+                lo = cand;
+                break;
+            }
+        }
+    } else {
+        // Walk up in doubling steps until the predicate holds.
+        lo = start;
+        let mut step = 1i64;
+        loop {
+            let cand = start.saturating_add(step);
+            if probe(cand, &mut probes) {
+                hi = cand;
+                break;
+            }
+            lo = cand;
+            step = step.saturating_mul(2);
+        }
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if probe(mid, &mut probes) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    MarginSearch { margin: hi, probes }
 }
 
 /// Mean clock period of the run once operated with just enough margin to be
@@ -110,6 +202,63 @@ mod tests {
         let r = relative_adaptive_period(&adaptive, &fixed);
         assert!((r - 65.0 / 76.8).abs() < 1e-12);
         assert!(r < 1.0);
+    }
+
+    #[test]
+    fn minimal_margin_finds_threshold_cold() {
+        for threshold in [0i64, 1, 2, 7, 13, 100, 1000] {
+            let r = minimal_margin(|m| m >= threshold, None);
+            assert_eq!(r.margin, threshold, "threshold {threshold}");
+        }
+    }
+
+    #[test]
+    fn minimal_margin_warm_start_saves_probes() {
+        let cold = minimal_margin(|m| m >= 137, None);
+        assert_eq!(cold.margin, 137);
+        // A neighbouring sweep point's result is close to the answer.
+        for warm_start in [135i64, 136, 137, 138, 140] {
+            let warm = minimal_margin(|m| m >= 137, Some(warm_start));
+            assert_eq!(warm.margin, 137, "warm from {warm_start}");
+            assert!(
+                warm.probes < cold.probes,
+                "warm from {warm_start}: {} vs cold {}",
+                warm.probes,
+                cold.probes
+            );
+        }
+    }
+
+    #[test]
+    fn minimal_margin_exact_warm_start_is_cheapest() {
+        let exact = minimal_margin(|m| m >= 42, Some(42));
+        assert_eq!(exact.margin, 42);
+        // probe(42)=true, probe(41)=false: the bracket is immediate.
+        assert_eq!(exact.probes, 2);
+    }
+
+    #[test]
+    fn minimal_margin_handles_zero_and_negative_warm_start() {
+        let r = minimal_margin(|m| m >= 0, Some(-5));
+        assert_eq!(r.margin, 0);
+        assert_eq!(r.probes, 1);
+        let r = minimal_margin(|m| m >= 9, Some(0));
+        assert_eq!(r.margin, 9);
+    }
+
+    #[test]
+    fn minimal_margin_counts_runs_as_probes() {
+        // The intended use: each probe re-runs a margined system.
+        let mut runs = 0u32;
+        let r = minimal_margin(
+            |m| {
+                runs += 1;
+                m >= 5
+            },
+            None,
+        );
+        assert_eq!(r.margin, 5);
+        assert_eq!(r.probes, runs);
     }
 
     #[test]
