@@ -62,6 +62,18 @@ impl IirConfig {
         }
     }
 
+    /// A canonical, stable serialization of the exponents (consumed by
+    /// [`crate::system::Scheme::canonical_id`] for result-cache keys).
+    pub fn canonical_id(&self) -> String {
+        let taps: Vec<String> = self.tap_exps.iter().map(|e| e.to_string()).collect();
+        format!(
+            "kexp={}/kstar={}/taps={}",
+            self.kexp_exp,
+            self.k_star_exp,
+            taps.join(",")
+        )
+    }
+
     /// Check the paper's Eq. (10): `k* · Σ kᵢ = 1`, exactly.
     ///
     /// # Errors

@@ -86,3 +86,13 @@ pub mod tdc;
 
 pub use error::Error;
 pub use system::{RunTrace, Scheme, SystemBuilder};
+
+/// Numeric-behaviour revision of the simulation engines in this crate.
+///
+/// Result caches mix this into their content keys. Bump it whenever a
+/// change alters the *numbers* an identical configuration produces (loop
+/// arithmetic, quantization, equilibrium start state, warm-up semantics,
+/// …) so every previously cached result becomes a clean miss. Pure
+/// refactors, speed-ups and new APIs must NOT bump it — that would throw
+/// away a still-valid cache.
+pub const ENGINE_REV: u32 = 1;

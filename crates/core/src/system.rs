@@ -60,6 +60,21 @@ impl Scheme {
     pub fn is_ro_based(&self) -> bool {
         !matches!(self, Scheme::Fixed)
     }
+
+    /// A canonical, stable serialization of the scheme and every parameter
+    /// that affects its arithmetic. Result caches hash this string, so its
+    /// format is a compatibility contract: changing it (or the numeric
+    /// behaviour behind a given id) must invalidate old cache entries,
+    /// which is exactly what a changed string does.
+    pub fn canonical_id(&self) -> String {
+        match self {
+            Scheme::Fixed => "fixed".to_owned(),
+            Scheme::FreeRo { extra_length } => format!("free-ro/extra={extra_length}"),
+            Scheme::TeaTime => "teatime".to_owned(),
+            Scheme::Iir(cfg) => format!("iir/{}", cfg.canonical_id()),
+            Scheme::IirFloat(cfg) => format!("iir-float/{}", cfg.canonical_id()),
+        }
+    }
 }
 
 /// Per-sensor specification: a static mismatch offset `μ` plus an optional
@@ -661,5 +676,31 @@ mod tests {
         // Free RO: persistent error = |μ|. IIR: compensated after transient.
         assert!(free.worst_negative_error() > 0.9 * mu.abs());
         assert!(iir.skip(500).worst_negative_error() <= 1.0);
+    }
+
+    #[test]
+    fn canonical_ids_are_stable_and_distinct() {
+        // These strings feed result-cache keys: they must never drift for a
+        // given configuration, and distinct configurations must differ.
+        assert_eq!(Scheme::Fixed.canonical_id(), "fixed");
+        assert_eq!(
+            Scheme::FreeRo { extra_length: 13 }.canonical_id(),
+            "free-ro/extra=13"
+        );
+        assert_eq!(Scheme::TeaTime.canonical_id(), "teatime");
+        assert_eq!(
+            Scheme::iir_paper().canonical_id(),
+            "iir/kexp=3/kstar=-2/taps=1,0,-1,-2,-3,-3"
+        );
+        assert_eq!(
+            Scheme::IirFloat(IirConfig::paper()).canonical_id(),
+            "iir-float/kexp=3/kstar=-2/taps=1,0,-1,-2,-3,-3"
+        );
+        let mut other = IirConfig::paper();
+        other.tap_exps[0] = 2;
+        assert_ne!(
+            Scheme::Iir(other).canonical_id(),
+            Scheme::iir_paper().canonical_id()
+        );
     }
 }

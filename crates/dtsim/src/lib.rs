@@ -58,5 +58,13 @@ pub use block::{Block, StepContext};
 pub use compiled::{CompiledSim, Lowering};
 pub use error::Error;
 pub use graph::{BlockId, GraphBuilder, PortRef};
+
+/// Numeric-behaviour revision of this engine (both the interpreter and
+/// [`CompiledSim`], which are bit-identical by contract).
+///
+/// Result caches mix this into their content keys; bump it only when a
+/// change alters the numbers an identical graph produces, so stale cached
+/// results become misses. See `adaptive_clock::ENGINE_REV` for the policy.
+pub const ENGINE_REV: u32 = 1;
 pub use sim::{BlockCost, ScheduleStats, SimReport, Simulation};
 pub use trace::Trace;

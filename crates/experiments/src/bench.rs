@@ -13,7 +13,13 @@
 //! 3. **warm-started vs classic Fig. 9 panel** — [`fig9::run_panel`]
 //!    against the coarse-to-fine [`fig9::run_panel_fast_observed`], with
 //!    the warm-up samples saved by the warm starts read back off the
-//!    `margin_search.iterations_saved` telemetry counter.
+//!    `margin_search.iterations_saved` telemetry counter;
+//! 4. **cold vs warm result cache** — the same Fig. 9 panel through
+//!    [`fig9::run_panel_cached`] against an empty and a fully-populated
+//!    on-disk store;
+//! 5. **FIFO vs longest-job-first dispatch** — a synthetic sweep with a
+//!    few heavy items parked at the end of the grid, scheduled in submission
+//!    order versus by descending cost hint.
 //!
 //! `repro bench --json BENCH.json` writes the whole report as JSON, so CI
 //! and the committed `BENCH_*.json` trajectory files can track the numbers
@@ -33,9 +39,11 @@ use dtsim::blocks::{
 };
 use dtsim::{GraphBuilder, Simulation};
 
+use crate::cache::SweepCache;
 use crate::config::PaperParams;
 use crate::fig9;
 use crate::render::Table;
+use crate::sweep::{parallel_map, parallel_map_planned, Plan};
 
 /// One timed benchmark case.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -373,6 +381,126 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
     e.iterations_saved = Some(saved);
     entries.push(e);
 
+    // 4. The same Fig. 9 panel through the result cache: every grid point
+    // a miss (cold store, fresh dir per rep) vs every point a hit (store
+    // populated once, reopened per rep so hits pay the disk read + decode,
+    // not just the in-memory read-through).
+    let cache_root = std::env::temp_dir().join(format!("repro-bench-cache-{}", std::process::id()));
+    let off = Telemetry::disabled();
+    let mut rep = 0u32;
+    let cold_ms = best_ms(REPS, || {
+        rep += 1;
+        let dir = cache_root.join(format!("cold-{rep}"));
+        let cache = SweepCache::persistent(&dir, &off).expect("temp cache dir");
+        let ms = time_ms(|| {
+            std::hint::black_box(fig9::run_panel_cached(
+                params, t_clk, te, points, &cache, &off,
+            ));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+        ms
+    });
+    let warm_dir = cache_root.join("warm");
+    {
+        let cache = SweepCache::persistent(&warm_dir, &off).expect("temp cache dir");
+        std::hint::black_box(fig9::run_panel_cached(
+            params, t_clk, te, points, &cache, &off,
+        ));
+    }
+    let warm_ms = best_ms(REPS, || {
+        let cache = SweepCache::persistent(&warm_dir, &off).expect("temp cache dir");
+        time_ms(|| {
+            std::hint::black_box(fig9::run_panel_cached(
+                params, t_clk, te, points, &cache, &off,
+            ));
+        })
+    });
+    let _ = std::fs::remove_dir_all(&cache_root);
+    entries.push(entry(
+        "fig9-cold-cache",
+        &format!(
+            "Fig. 9 panel (t_clk = {t_clk}c, Te = {te}c, {points} mu points) \
+             against an empty result cache (every point computes + writes)"
+        ),
+        classic_steps,
+        cold_ms,
+    ));
+    let mut e = entry(
+        "fig9-warm-cache",
+        "same panel against the populated cache (every point a hit)",
+        classic_steps,
+        warm_ms,
+    );
+    e.baseline = Some("fig9-cold-cache".to_owned());
+    e.speedup = Some(cold_ms / warm_ms.max(1e-12));
+    entries.push(e);
+
+    // 5. Dispatch policy on a deliberately unbalanced sweep: a few heavy
+    // items parked at the *end* of the grid, where submission-order (FIFO)
+    // dispatch strands them on a late worker while longest-job-first
+    // starts them immediately.
+    let n_items = 48usize;
+    let heavy_iters: u64 = if quick { 1_000_000 } else { 4_000_000 };
+    let light_iters: u64 = heavy_iters / 16;
+    let costs: Vec<u64> = (0..n_items)
+        .map(|i| {
+            if i >= n_items - 4 {
+                heavy_iters
+            } else {
+                light_iters
+            }
+        })
+        .collect();
+    let spin = |iters: u64| {
+        let mut acc = 0f64;
+        for k in 0..iters {
+            acc += (k as f64).sqrt();
+        }
+        std::hint::black_box(acc)
+    };
+    let total_iters: u64 = costs.iter().sum();
+    let fifo_ms = best_ms(REPS, || {
+        // `parallel_map` gives every item a uniform cost hint, so the
+        // stable sort leaves the submission order intact: chunked FIFO.
+        time_ms(|| {
+            std::hint::black_box(parallel_map(&costs, |&it| spin(it)));
+        })
+    });
+    let ljf_ms = best_ms(REPS, || {
+        time_ms(|| {
+            std::hint::black_box(parallel_map_planned(
+                &costs,
+                |&it| Plan::<f64>::Compute(it),
+                |&it| spin(it),
+                &off,
+            ));
+        })
+    });
+    // On a single-core host both policies are bound by total work and tie;
+    // the LJF advantage appears once workers > 1, so record the pool size.
+    let workers = std::thread::available_parallelism().map_or(1, usize::from);
+    entries.push(entry(
+        "sweep-fifo",
+        &format!(
+            "{n_items}-item sweep, 4 heavy tail items ({heavy_iters} vs {light_iters} \
+             spin iterations), submission-order dispatch, {workers} workers"
+        ),
+        total_iters,
+        fifo_ms,
+    ));
+    let mut e = entry(
+        "sweep-ljf",
+        &format!(
+            "same sweep, longest-job-first dispatch from per-item cost hints, \
+             {workers} workers"
+        ),
+        total_iters,
+        ljf_ms,
+    );
+    e.baseline = Some("sweep-fifo".to_owned());
+    e.speedup = Some(fifo_ms / ljf_ms.max(1e-12));
+    entries.push(e);
+
     BenchReport {
         quick,
         setpoint: params.setpoint,
@@ -463,12 +591,18 @@ mod tests {
             "loop-batched",
             "fig9-classic-panel",
             "fig9-warm-panel",
+            "fig9-cold-cache",
+            "fig9-warm-cache",
+            "sweep-fifo",
+            "sweep-ljf",
         ] {
             let e = report.entry(name).unwrap_or_else(|| panic!("entry {name}"));
             assert!(e.steps > 0, "{name}: no steps");
             assert!(e.steps_per_sec > 0.0, "{name}: zero rate");
         }
         assert!(report.entry("dtsim-compiled").unwrap().speedup.is_some());
+        assert!(report.entry("fig9-warm-cache").unwrap().speedup.is_some());
+        assert!(report.entry("sweep-ljf").unwrap().speedup.is_some());
         assert!(
             report
                 .entry("fig9-warm-panel")

@@ -8,11 +8,17 @@
 //! repro --c 128 --amp 0.1 fig8    # override the paper's c = 64 / 0.2c
 //! repro --telemetry out.jsonl fig7   # capture structured events as JSONL
 //! repro --progress fig9           # live sweep progress line on stderr
+//! repro --cache .repro-cache fig9 # content-addressed result cache (reruns hit)
+//! repro --threads 4 fig8          # cap the sweep worker pool
 //! ```
+//!
+//! `REPRO_CACHE` and `REPRO_THREADS` provide environment defaults for
+//! `--cache` and `--threads`; `--no-cache` overrides both spellings.
 
 use std::process::ExitCode;
 
 use clock_telemetry::Telemetry;
+use experiments::cache::SweepCache;
 use experiments::config::PaperParams;
 use experiments::render::Table;
 use experiments::{
@@ -57,7 +63,7 @@ const EXPERIMENTS: &[(&str, &str, &str)] = &[
     ),
     (
         "bench",
-        "engine benchmarks: compiled vs interpreted dtsim, batched loops, warm fig9",
+        "engine benchmarks: compiled vs interpreted dtsim, batched loops, warm fig9, result cache, LJF dispatch",
         "~3M steps",
     ),
     (
@@ -101,13 +107,15 @@ const EXPERIMENTS: &[(&str, &str, &str)] = &[
 
 fn usage() -> &'static str {
     "usage: repro [--json [out.json]] [--quick] [--progress] [--telemetry <out.jsonl>] \
-     [--c <stages>] [--amp <frac>] <experiment>\n\
+     [--cache <dir> | --no-cache] [--threads <n>] [--c <stages>] [--amp <frac>] <experiment>\n\
      paper artifacts: table1, fig2, fig7, fig8, fig9, worked-examples, constraints\n\
      benchmarks:      bench (compiled vs interpreted, batched lanes, warm-started fig9;\n\
                       --quick shrinks the workloads, --json <file> writes the report)\n\
      extensions:      ext-sensitivity, ext-throughput, ext-noise, ext-stability, ext-lock, ext-coupling\n\
      bundles:         all (paper artifacts), extensions, everything\n\
-     discovery:       --list prints every id with a description and step budget\n"
+     discovery:       --list prints every id with a description and step budget\n\
+     caching:         --cache <dir> reuses grid-point results across runs (env: REPRO_CACHE;\n\
+                      --no-cache disables); --threads <n> caps the sweep workers (env: REPRO_THREADS)\n"
 }
 
 fn experiment_list() -> String {
@@ -140,6 +148,41 @@ fn main() -> ExitCode {
     let progress = args.iter().any(|a| a == "--progress");
     args.retain(|a| a != "--progress");
     sweep::set_progress(progress);
+    let threads = match take_flag_value(&mut args, "--threads") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let threads = threads.or_else(|| std::env::var("REPRO_THREADS").ok());
+    match threads.as_deref().map(str::parse::<usize>) {
+        None => sweep::set_threads(None),
+        Some(Ok(n)) if n >= 1 => sweep::set_threads(Some(n)),
+        Some(_) => {
+            eprintln!(
+                "error: --threads / REPRO_THREADS must be a positive integer, got {}",
+                threads.as_deref().unwrap_or("")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    args.retain(|a| a != "--no-cache");
+    let cache_dir = match take_flag_value(&mut args, "--cache") {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache_dir = if no_cache {
+        None
+    } else {
+        cache_dir.or_else(|| std::env::var("REPRO_CACHE").ok().filter(|v| !v.is_empty()))
+    };
     let telemetry_path = match take_flag_value(&mut args, "--telemetry") {
         Ok(p) => p,
         Err(e) => {
@@ -157,6 +200,16 @@ fn main() -> ExitCode {
             }
         },
         None => Telemetry::disabled(),
+    };
+    let cache = match &cache_dir {
+        Some(dir) => match SweepCache::persistent(dir, &telemetry) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: cannot open result cache {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => SweepCache::disabled(),
     };
     let mut params = PaperParams::default();
     if let Some(err) = apply_overrides(&mut args, &mut params) {
@@ -176,8 +229,27 @@ fn main() -> ExitCode {
     let ok = if which == "bench" {
         run_bench(&params, quick, json, json_path.as_deref())
     } else {
-        dispatch(which, &params, json, &telemetry)
+        let ctx = Context {
+            params: &params,
+            json,
+            quick,
+            telemetry: &telemetry,
+            cache: &cache,
+        };
+        dispatch(which, &ctx)
     };
+    if let Some(stats) = cache.stats() {
+        let dir = cache_dir.as_deref().unwrap_or("<memory>");
+        println!(
+            "cache: {} hits, {} misses ({:.0}% hit rate), {} bytes written, \
+             {} corrupt records skipped [{dir}]",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hit_rate(),
+            stats.bytes_written,
+            stats.corrupt_skipped,
+        );
+    }
     if telemetry.is_enabled() {
         if let Err(e) = telemetry.flush() {
             eprintln!("error: telemetry sink: {e}");
@@ -274,7 +346,37 @@ fn telemetry_summary(telemetry: &Telemetry) -> String {
     out
 }
 
-fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry) -> bool {
+/// Everything dispatch threads through to the experiments: parameters,
+/// output mode, the `--quick` grid shrink, instrumentation, and the result
+/// cache.
+struct Context<'a> {
+    params: &'a PaperParams,
+    json: bool,
+    quick: bool,
+    telemetry: &'a Telemetry,
+    cache: &'a SweepCache,
+}
+
+impl Context<'_> {
+    /// Grid size for a sweep: the classic point count, or the `--quick`
+    /// shrink.
+    fn points(&self, classic: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            classic
+        }
+    }
+}
+
+fn dispatch(which: &str, ctx: &Context<'_>) -> bool {
+    let Context {
+        params,
+        json,
+        telemetry,
+        cache,
+        ..
+    } = *ctx;
     match which {
         "table1" => {
             println!("{}", table1::render());
@@ -290,7 +392,7 @@ fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry
             true
         }
         "fig7" => {
-            for panel in fig7::run_observed(params, telemetry) {
+            for panel in fig7::run_cached(params, cache, telemetry) {
                 if json {
                     println!("{}", panel.to_json().expect("plain data serializes"));
                 } else {
@@ -305,8 +407,9 @@ fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry
             true
         }
         "fig8" => {
-            let upper = fig8::run_upper_observed(params, 17, telemetry);
-            let lower = fig8::run_lower_observed(params, 17, telemetry);
+            let points = ctx.points(17, 9);
+            let upper = fig8::run_upper_cached(params, points, cache, telemetry);
+            let lower = fig8::run_lower_cached(params, points, cache, telemetry);
             if json {
                 println!("{}", upper.to_json().expect("plain data serializes"));
                 println!("{}", lower.to_json().expect("plain data serializes"));
@@ -317,7 +420,7 @@ fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry
             true
         }
         "fig9" => {
-            for panel in fig9::run_observed(params, 9, telemetry) {
+            for panel in fig9::run_cached(params, ctx.points(9, 5), cache, telemetry) {
                 if json {
                     println!("{}", panel.to_json().expect("plain data serializes"));
                 } else {
@@ -335,7 +438,7 @@ fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry
             true
         }
         "ext-sensitivity" => {
-            let r = ext_sensitivity::run(params, 13);
+            let r = ext_sensitivity::run_cached(params, ctx.points(13, 7), cache, telemetry);
             if json {
                 println!("{}", r.to_json().expect("plain data serializes"));
             } else {
@@ -344,7 +447,7 @@ fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry
             true
         }
         "ext-throughput" => {
-            let r = ext_throughput::run(params, 8);
+            let r = ext_throughput::run_cached(params, 8, cache, telemetry);
             if json {
                 println!("{}", r.to_json().expect("plain data serializes"));
             } else {
@@ -353,7 +456,8 @@ fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry
             true
         }
         "ext-noise" => {
-            let r = ext_noise::run(params, &[1, 2, 3, 4, 5]);
+            let seeds: &[u64] = if ctx.quick { &[1, 2] } else { &[1, 2, 3, 4, 5] };
+            let r = ext_noise::run_cached(params, seeds, cache, telemetry);
             if json {
                 println!("{}", r.to_json().expect("plain data serializes"));
             } else {
@@ -370,7 +474,10 @@ fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry
             true
         }
         "ext-coupling" => {
-            println!("{}", ext_coupling::render(&ext_coupling::run(params)));
+            println!(
+                "{}",
+                ext_coupling::render(&ext_coupling::run_cached(params, cache, telemetry))
+            );
             true
         }
         "all" => {
@@ -384,7 +491,7 @@ fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry
                 "constraints",
             ] {
                 println!("================ {id} ================\n");
-                dispatch(id, params, json, telemetry);
+                dispatch(id, ctx);
             }
             true
         }
@@ -398,14 +505,11 @@ fn dispatch(which: &str, params: &PaperParams, json: bool, telemetry: &Telemetry
                 "ext-coupling",
             ] {
                 println!("================ {id} ================\n");
-                dispatch(id, params, json, telemetry);
+                dispatch(id, ctx);
             }
             true
         }
-        "everything" => {
-            dispatch("all", params, json, telemetry)
-                && dispatch("extensions", params, json, telemetry)
-        }
+        "everything" => dispatch("all", ctx) && dispatch("extensions", ctx),
         _ => false,
     }
 }

@@ -12,11 +12,13 @@
 use adaptive_clock::ro::Coupling;
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use clock_metrics::margin;
+use clock_telemetry::Telemetry;
 use variation::sources::Harmonic;
 
+use crate::cache::{CacheKeyExt as _, SweepCache};
 use crate::config::PaperParams;
 use crate::render::{fmt, Table};
-use crate::sweep::parallel_map;
+use crate::sweep::{parallel_map_planned, Plan};
 
 /// One measured operating point.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +65,16 @@ fn margin_with(
 
 /// Run the ablation over schemes × {Te} × {μ}.
 pub fn run(params: &PaperParams) -> Vec<CouplingRow> {
+    run_cached(params, &SweepCache::disabled(), &Telemetry::disabled())
+}
+
+/// [`run`] with a result cache consulted per grid point; the cached payload
+/// is the `[additive, multiplicative]` margin pair.
+pub fn run_cached(
+    params: &PaperParams,
+    cache: &SweepCache,
+    telemetry: &Telemetry,
+) -> Vec<CouplingRow> {
     struct Task {
         scheme: Scheme,
         te: f64,
@@ -84,22 +96,51 @@ pub fn run(params: &PaperParams) -> Vec<CouplingRow> {
             }
         }
     }
-    parallel_map(&tasks, |t| {
-        let c_ref = params.setpoint;
-        CouplingRow {
+    let task_key = |t: &Task| {
+        crate::cache::key("ext-coupling")
+            .params(params)
+            .scheme(&t.scheme)
+            .f64("te_over_c", t.te)
+            .f64("mu_over_c", t.mu)
+            .u64("budget.samples", params.samples_for(t.te) as u64)
+            .u64("budget.warmup", params.warmup as u64)
+            .finish()
+    };
+    let margins = parallel_map_planned(
+        &tasks,
+        |t| match cache.get_f64s(task_key(t), 2) {
+            Some(v) => Plan::Ready([v[0], v[1]]),
+            // Both couplings are simulated, so the point costs two runs.
+            None => Plan::Compute(2 * params.samples_for(t.te) as u64),
+        },
+        |t| {
+            let c_ref = params.setpoint;
+            let pair = [
+                margin_with(params, Coupling::Additive, t.scheme.clone(), t.te, t.mu),
+                margin_with(
+                    params,
+                    Coupling::Multiplicative { c_ref },
+                    t.scheme.clone(),
+                    t.te,
+                    t.mu,
+                ),
+            ];
+            cache.put_f64s(task_key(t), &pair);
+            pair
+        },
+        telemetry,
+    );
+    tasks
+        .iter()
+        .zip(margins)
+        .map(|(t, [additive, multiplicative])| CouplingRow {
             scheme: t.scheme.label().to_owned(),
             te_over_c: t.te,
             mu_over_c: t.mu,
-            additive: margin_with(params, Coupling::Additive, t.scheme.clone(), t.te, t.mu),
-            multiplicative: margin_with(
-                params,
-                Coupling::Multiplicative { c_ref },
-                t.scheme.clone(),
-                t.te,
-                t.mu,
-            ),
-        }
-    })
+            additive,
+            multiplicative,
+        })
+        .collect()
 }
 
 /// Render the ablation.

@@ -10,14 +10,16 @@
 
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use clock_metrics::margin;
+use clock_telemetry::Telemetry;
 use variation::sources::Composite;
 use variation::stochastic::{OuProcess, SsnBursts, SsnConfig};
 
+use crate::cache::{CacheKeyExt as _, SweepCache};
 use crate::config::PaperParams;
 use crate::render::{fmt, Table};
 use crate::results::{ExperimentResult, Series};
 use crate::runner::adaptive_schemes;
-use crate::sweep::parallel_map;
+use crate::sweep::{parallel_map_planned, Plan};
 
 /// Build the broadband profile for a given seed: slow OU temperature drift
 /// (σ = 0.1c, τ = 400c) + occasional SSN droops (amplitude up to 0.1c,
@@ -40,6 +42,21 @@ pub fn broadband_profile(params: &PaperParams, seed: u64, horizon: f64) -> Compo
 /// Relative adaptive period per scheme, averaged over `seeds` independent
 /// broadband profiles.
 pub fn run(params: &PaperParams, seeds: &[u64]) -> ExperimentResult {
+    run_cached(
+        params,
+        seeds,
+        &SweepCache::disabled(),
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run`] with a result cache consulted per `(scheme, seed)` grid point.
+pub fn run_cached(
+    params: &PaperParams,
+    seeds: &[u64],
+    cache: &SweepCache,
+    telemetry: &Telemetry,
+) -> ExperimentResult {
     let c = params.setpoint;
     let samples = 20_000usize;
     let horizon = (samples as f64 + 10.0) * 1.5 * c as f64;
@@ -54,23 +71,43 @@ pub fn run(params: &PaperParams, seeds: &[u64]) -> ExperimentResult {
         ),
     );
     for scheme in adaptive_schemes() {
-        let ratios = parallel_map(seeds, |&seed| {
-            let profile = broadband_profile(params, seed, horizon);
-            let adaptive = SystemBuilder::new(c)
-                .cdn_delay(c as f64)
-                .scheme(scheme.clone())
-                .build()
-                .expect("valid configuration")
-                .run(&profile, samples)
-                .skip(params.warmup);
-            let fixed = SystemBuilder::new(c)
-                .scheme(Scheme::Fixed)
-                .build()
-                .expect("valid configuration")
-                .run(&profile, samples)
-                .skip(params.warmup);
-            margin::relative_adaptive_period(&adaptive, &fixed)
-        });
+        let seed_key = |seed: u64| {
+            crate::cache::key("ext-noise")
+                .params(params)
+                .scheme(&scheme)
+                .u64("seed", seed)
+                .u64("budget.samples", samples as u64)
+                .finish()
+        };
+        let ratios = parallel_map_planned(
+            seeds,
+            |&seed| match cache.get_f64s(seed_key(seed), 1) {
+                Some(v) => Plan::Ready(v[0]),
+                // The point runs the adaptive system *and* its fixed
+                // baseline, so it costs two full simulations.
+                None => Plan::Compute(2 * samples as u64),
+            },
+            |&seed| {
+                let profile = broadband_profile(params, seed, horizon);
+                let adaptive = SystemBuilder::new(c)
+                    .cdn_delay(c as f64)
+                    .scheme(scheme.clone())
+                    .build()
+                    .expect("valid configuration")
+                    .run(&profile, samples)
+                    .skip(params.warmup);
+                let fixed = SystemBuilder::new(c)
+                    .scheme(Scheme::Fixed)
+                    .build()
+                    .expect("valid configuration")
+                    .run(&profile, samples)
+                    .skip(params.warmup);
+                let ratio = margin::relative_adaptive_period(&adaptive, &fixed);
+                cache.put_f64s(seed_key(seed), &[ratio]);
+                ratio
+            },
+            telemetry,
+        );
         let xs: Vec<f64> = seeds.iter().map(|&s| s as f64).collect();
         result = result.with_series(Series::new(scheme.label(), xs, ratios));
     }

@@ -20,13 +20,15 @@ use adaptive_clock::controller::IirConfig;
 use adaptive_clock::loopsim::{constant, LoopInputs};
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use adaptive_clock::tdc::Quantization;
+use clock_telemetry::Telemetry;
 use variation::sources::Harmonic;
 use zdomain::{closedloop, Complex, TransferFunction};
 
+use crate::cache::{CacheKeyExt as _, SweepCache};
 use crate::config::PaperParams;
 use crate::render::{fmt, Table};
 use crate::results::{ExperimentResult, Series};
-use crate::sweep::{log_grid, parallel_map};
+use crate::sweep::{log_grid, parallel_map_planned, Plan};
 
 /// Predicted error amplitude for perturbation period `te_over_c` and CDN
 /// depth `m` (whole periods), per unit perturbation amplitude.
@@ -42,6 +44,23 @@ pub fn predicted_gain(h: &TransferFunction, m: usize, te_over_c: f64) -> f64 {
 
 /// Run the sweep: measured vs predicted error amplitude across `T_e/c`.
 pub fn run(params: &PaperParams, points: usize) -> ExperimentResult {
+    run_cached(
+        params,
+        points,
+        &SweepCache::disabled(),
+        &Telemetry::disabled(),
+    )
+}
+
+/// [`run`] with a result cache consulted per measured `T_e` point (the
+/// event-driven runs dominate the sweep; the batched discrete lanes and
+/// the z-domain prediction are cheap enough to recompute every time).
+pub fn run_cached(
+    params: &PaperParams,
+    points: usize,
+    cache: &SweepCache,
+    telemetry: &Telemetry,
+) -> ExperimentResult {
     // Below Te ≈ 8 periods the loop's own period modulation makes the CDN
     // depth M[n] swing within one perturbation cycle, so the fixed-M linear
     // prediction stops being meaningful; sweep the regime it claims.
@@ -50,21 +69,42 @@ pub fn run(params: &PaperParams, points: usize) -> ExperimentResult {
     let c = params.setpoint;
     let amp = params.amplitude();
 
-    let measured = parallel_map(&tes, |&te| {
-        let system = SystemBuilder::new(c)
-            .cdn_delay(c as f64)
-            .scheme(Scheme::IirFloat(IirConfig::paper()))
-            .quantization(Quantization::None)
-            .build()
-            .expect("valid configuration");
-        let hodv = Harmonic::new(amp, te * c as f64, 0.0);
-        let run = system
-            .run(&hodv, params.samples_for(te))
-            .skip(params.warmup);
-        run.timing_errors()
-            .iter()
-            .fold(0.0f64, |a, e| a.max(e.abs()))
-    });
+    let te_key = |te: f64| {
+        crate::cache::key("ext-sensitivity-measured")
+            .params(params)
+            .scheme(&Scheme::IirFloat(IirConfig::paper()))
+            .str("quantization", "none")
+            .f64("te_over_c", te)
+            .u64("budget.samples", params.samples_for(te) as u64)
+            .u64("budget.warmup", params.warmup as u64)
+            .finish()
+    };
+    let measured = parallel_map_planned(
+        &tes,
+        |&te| match cache.get_f64s(te_key(te), 1) {
+            Some(v) => Plan::Ready(v[0]),
+            None => Plan::Compute(params.samples_for(te) as u64),
+        },
+        |&te| {
+            let system = SystemBuilder::new(c)
+                .cdn_delay(c as f64)
+                .scheme(Scheme::IirFloat(IirConfig::paper()))
+                .quantization(Quantization::None)
+                .build()
+                .expect("valid configuration");
+            let hodv = Harmonic::new(amp, te * c as f64, 0.0);
+            let run = system
+                .run(&hodv, params.samples_for(te))
+                .skip(params.warmup);
+            let y = run
+                .timing_errors()
+                .iter()
+                .fold(0.0f64, |a, e| a.max(e.abs()));
+            cache.put_f64s(te_key(te), &[y]);
+            y
+        },
+        telemetry,
+    );
     let predicted: Vec<f64> = tes
         .iter()
         .map(|&te| amp * predicted_gain(&h, 1, te))

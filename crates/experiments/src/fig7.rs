@@ -12,13 +12,15 @@
 //!   and the error shrinks — "reduced to a minimum value" at `T_e = 50c`.
 
 use adaptive_clock::system::Scheme;
+use clock_rescache::Key;
 use clock_telemetry::{Event, Telemetry};
 
+use crate::cache::{CacheKeyExt as _, SweepCache};
 use crate::config::PaperParams;
 use crate::render::ascii_chart;
 use crate::results::{ExperimentResult, Series};
 use crate::runner::{run_scheme_observed, OperatingPoint};
-use crate::sweep::parallel_map;
+use crate::sweep::{parallel_map_planned, Plan};
 
 /// The paper's three perturbation periods, in multiples of `c`.
 pub const PANELS: [f64; 3] = [25.0, 37.5, 50.0];
@@ -50,17 +52,56 @@ pub fn run_panel_observed(
     te_over_c: f64,
     telemetry: &Telemetry,
 ) -> ExperimentResult {
+    run_panel_cached(params, te_over_c, &SweepCache::disabled(), telemetry)
+}
+
+/// The content key of one scheme's windowed timing-error series.
+fn errors_key(params: &PaperParams, scheme: &Scheme, point: OperatingPoint) -> Key {
+    crate::cache::key("fig7-errors")
+        .params(params)
+        .scheme(scheme)
+        .point(point)
+        .u64("window.start", WINDOW.0 as u64)
+        .u64("window.end", WINDOW.1 as u64)
+        .u64("budget.samples", params.samples_for(point.te_over_c) as u64)
+        .u64("budget.warmup", params.warmup as u64)
+        .finish()
+}
+
+/// [`run_panel_observed`] consulting a result cache: the cached payload is
+/// the plotted window's timing-error series per scheme.
+pub fn run_panel_cached(
+    params: &PaperParams,
+    te_over_c: f64,
+    cache: &SweepCache,
+    telemetry: &Telemetry,
+) -> ExperimentResult {
     let point = OperatingPoint::new(1.0, te_over_c);
     let tasks = schemes();
-    let series = parallel_map(&tasks, |scheme| {
-        let run = run_scheme_observed(params, scheme.clone(), point, telemetry);
-        let window = run.window(WINDOW.0, WINDOW.1);
-        let errors = window.timing_errors();
-        let x: Vec<f64> = (WINDOW.0..WINDOW.0 + errors.len())
-            .map(|n| n as f64)
-            .collect();
-        Series::new(scheme.label(), x, errors)
-    });
+    let error_series = parallel_map_planned(
+        &tasks,
+        |scheme| match cache.get_f64s_any(errors_key(params, scheme, point)) {
+            Some(errors) => Plan::Ready(errors),
+            None => Plan::Compute(params.samples_for(te_over_c) as u64),
+        },
+        |scheme| {
+            let run = run_scheme_observed(params, scheme.clone(), point, telemetry);
+            let errors = run.window(WINDOW.0, WINDOW.1).timing_errors();
+            cache.put_f64s(errors_key(params, scheme, point), &errors);
+            errors
+        },
+        telemetry,
+    );
+    let series: Vec<Series> = tasks
+        .iter()
+        .zip(error_series)
+        .map(|(scheme, errors)| {
+            let x: Vec<f64> = (WINDOW.0..WINDOW.0 + errors.len())
+                .map(|n| n as f64)
+                .collect();
+            Series::new(scheme.label(), x, errors)
+        })
+        .collect();
     if telemetry.is_enabled() {
         for s in &series {
             let worst = s.y.iter().fold(0.0f64, |a, &v| a.min(v));
@@ -99,9 +140,18 @@ pub fn run(params: &PaperParams) -> Vec<ExperimentResult> {
 
 /// [`run`] with instrumentation attached to every panel.
 pub fn run_observed(params: &PaperParams, telemetry: &Telemetry) -> Vec<ExperimentResult> {
+    run_cached(params, &SweepCache::disabled(), telemetry)
+}
+
+/// All three panels with a result cache consulted per `(scheme, Te)` point.
+pub fn run_cached(
+    params: &PaperParams,
+    cache: &SweepCache,
+    telemetry: &Telemetry,
+) -> Vec<ExperimentResult> {
     PANELS
         .iter()
-        .map(|&te| run_panel_observed(params, te, telemetry))
+        .map(|&te| run_panel_cached(params, te, cache, telemetry))
         .collect()
 }
 

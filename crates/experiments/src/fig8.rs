@@ -16,56 +16,93 @@
 //!   for `T_e/c > 200` the IIR RO and the free RO perform the same.
 
 use adaptive_clock::system::Scheme;
-use adaptive_clock::RunTrace;
-use clock_metrics::margin;
 use clock_telemetry::{Event, Telemetry};
 
+use crate::cache::SweepCache;
 use crate::config::PaperParams;
 use crate::render::{ascii_chart, fmt, Table};
 use crate::results::{ExperimentResult, Series};
-use crate::runner::{adaptive_schemes, run_scheme, run_scheme_observed, OperatingPoint};
-use crate::sweep::{log_grid, parallel_map};
+use crate::runner::{adaptive_schemes, summary_compute, summary_probe, OperatingPoint, RunSummary};
+use crate::sweep::{log_grid, parallel_map_planned};
 
 /// The fixed-clock baselines of a panel, one per grid point, computed once
 /// and shared by every adaptive scheme's sweep (the baseline depends only
-/// on the operating point, not on the scheme under test).
+/// on the operating point, not on the scheme under test). The baseline runs
+/// stay unobserved (no per-run engine events) so adaptive-run telemetry is
+/// not doubled, matching the classic panels.
 fn fixed_baselines(
     params: &PaperParams,
     xs: &[f64],
     point_at: &(impl Fn(f64) -> OperatingPoint + Sync),
-) -> Vec<RunTrace> {
-    parallel_map(xs, |&x| run_scheme(params, Scheme::Fixed, point_at(x)))
+    cache: &SweepCache,
+) -> Vec<RunSummary> {
+    parallel_map_planned(
+        xs,
+        |&x| summary_probe(cache, params, &Scheme::Fixed, point_at(x)),
+        |&x| {
+            summary_compute(
+                cache,
+                params,
+                &Scheme::Fixed,
+                point_at(x),
+                &Telemetry::disabled(),
+            )
+        },
+        &Telemetry::disabled(),
+    )
+}
+
+/// The shared environment of one fig8 panel: parameters plus the cache
+/// and telemetry handles every scheme sweep consults.
+struct Panel<'a> {
+    params: &'a PaperParams,
+    cache: &'a SweepCache,
+    telemetry: &'a Telemetry,
 }
 
 /// Sweep one scheme over `xs` against pre-computed fixed baselines,
-/// reporting every grid point as a margin-search iteration on `telemetry`.
+/// reporting every grid point as a margin-search iteration on `telemetry`
+/// (cache hits report too — the iteration happened, it just cost nothing).
 fn sweep_scheme(
-    params: &PaperParams,
+    panel: &Panel<'_>,
     scheme: &Scheme,
     experiment: &str,
     xs: &[f64],
-    fixed: &[RunTrace],
+    fixed: &[RunSummary],
     point_at: &(impl Fn(f64) -> OperatingPoint + Sync),
-    telemetry: &Telemetry,
 ) -> Vec<f64> {
-    let idx: Vec<usize> = (0..xs.len()).collect();
-    parallel_map(&idx, |&i| {
-        let x = xs[i];
-        let adaptive = run_scheme_observed(params, scheme.clone(), point_at(x), telemetry);
-        let y = margin::relative_adaptive_period(&adaptive, &fixed[i]);
-        if telemetry.is_enabled() && y.is_finite() {
-            telemetry.emit(
-                x,
-                Event::MarginSearchIteration {
-                    experiment: experiment.to_owned(),
-                    scheme: scheme.label().to_owned(),
+    let Panel {
+        params,
+        cache,
+        telemetry,
+    } = *panel;
+    let summaries = parallel_map_planned(
+        xs,
+        |&x| summary_probe(cache, params, scheme, point_at(x)),
+        |&x| summary_compute(cache, params, scheme, point_at(x), telemetry),
+        telemetry,
+    );
+    let ys: Vec<f64> = summaries
+        .iter()
+        .zip(fixed)
+        .map(|(adaptive, baseline)| adaptive.relative_to(baseline))
+        .collect();
+    if telemetry.is_enabled() {
+        for (&x, &y) in xs.iter().zip(&ys) {
+            if y.is_finite() {
+                telemetry.emit(
                     x,
-                    value: y,
-                },
-            );
+                    Event::MarginSearchIteration {
+                        experiment: experiment.to_owned(),
+                        scheme: scheme.label().to_owned(),
+                        x,
+                        value: y,
+                    },
+                );
+            }
         }
-        y
-    })
+    }
+    ys
 }
 
 /// Upper panel: sweep `t_clk/c` at fixed `T_e = 100c`.
@@ -79,6 +116,16 @@ pub fn run_upper_observed(
     points: usize,
     telemetry: &Telemetry,
 ) -> ExperimentResult {
+    run_upper_cached(params, points, &SweepCache::disabled(), telemetry)
+}
+
+/// [`run_upper_observed`] consulting a result cache per grid point.
+pub fn run_upper_cached(
+    params: &PaperParams,
+    points: usize,
+    cache: &SweepCache,
+    telemetry: &Telemetry,
+) -> ExperimentResult {
     let xs = log_grid(0.1, 10.0, points);
     let mut result = ExperimentResult::new(
         "fig8-upper",
@@ -89,17 +136,14 @@ pub fn run_upper_observed(
         ),
     );
     let point_at = |x| OperatingPoint::new(x, 100.0);
-    let fixed = fixed_baselines(params, &xs, &point_at);
+    let fixed = fixed_baselines(params, &xs, &point_at, cache);
+    let panel = Panel {
+        params,
+        cache,
+        telemetry,
+    };
     for scheme in adaptive_schemes() {
-        let ys = sweep_scheme(
-            params,
-            &scheme,
-            "fig8-upper",
-            &xs,
-            &fixed,
-            &point_at,
-            telemetry,
-        );
+        let ys = sweep_scheme(&panel, &scheme, "fig8-upper", &xs, &fixed, &point_at);
         result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
     }
     result
@@ -116,6 +160,16 @@ pub fn run_lower_observed(
     points: usize,
     telemetry: &Telemetry,
 ) -> ExperimentResult {
+    run_lower_cached(params, points, &SweepCache::disabled(), telemetry)
+}
+
+/// [`run_lower_observed`] consulting a result cache per grid point.
+pub fn run_lower_cached(
+    params: &PaperParams,
+    points: usize,
+    cache: &SweepCache,
+    telemetry: &Telemetry,
+) -> ExperimentResult {
     let xs = log_grid(1.0, 1000.0, points);
     let mut result = ExperimentResult::new(
         "fig8-lower",
@@ -126,17 +180,14 @@ pub fn run_lower_observed(
         ),
     );
     let point_at = |x| OperatingPoint::new(1.0, x);
-    let fixed = fixed_baselines(params, &xs, &point_at);
+    let fixed = fixed_baselines(params, &xs, &point_at, cache);
+    let panel = Panel {
+        params,
+        cache,
+        telemetry,
+    };
     for scheme in adaptive_schemes() {
-        let ys = sweep_scheme(
-            params,
-            &scheme,
-            "fig8-lower",
-            &xs,
-            &fixed,
-            &point_at,
-            telemetry,
-        );
+        let ys = sweep_scheme(&panel, &scheme, "fig8-lower", &xs, &fixed, &point_at);
         result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
     }
     result

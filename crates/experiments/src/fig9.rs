@@ -13,16 +13,18 @@
 //! does TEAtime surpass it, and the free RO wins only at strongly negative
 //! mismatch.
 
-use clock_metrics::margin;
 use clock_telemetry::{Event, Telemetry};
 
+use crate::cache::SweepCache;
 use crate::config::PaperParams;
 use crate::render::{fmt, Table};
 use crate::results::{ExperimentResult, Series};
-use crate::runner::{run_scheme_observed, run_scheme_warm, settled_length, OperatingPoint};
-use crate::sweep::{linear_grid, parallel_map};
+use crate::runner::{
+    run_scheme_observed, run_scheme_warm, settled_length, summary_compute, summary_probe,
+    OperatingPoint, RunSummary,
+};
+use crate::sweep::{linear_grid, parallel_map, parallel_map_planned};
 use adaptive_clock::system::Scheme;
-use adaptive_clock::RunTrace;
 
 /// The grid of CDN delays, in multiples of `c`.
 pub const T_CLK_GRID: [f64; 3] = [0.75, 1.0, 1.25];
@@ -54,6 +56,29 @@ pub fn run_panel_observed(
     points: usize,
     telemetry: &Telemetry,
 ) -> ExperimentResult {
+    run_panel_cached(
+        params,
+        t_clk_over_c,
+        te_over_c,
+        points,
+        &SweepCache::disabled(),
+        telemetry,
+    )
+}
+
+/// [`run_panel_observed`] consulting a result cache per `(scheme, μ)` grid
+/// point: hits short-circuit before a worker is occupied, misses run cold
+/// and backfill the cache. With a disabled cache this *is* the classic
+/// panel — every point computes, in cost-sorted dispatch order, and the
+/// resulting series are identical.
+pub fn run_panel_cached(
+    params: &PaperParams,
+    t_clk_over_c: f64,
+    te_over_c: f64,
+    points: usize,
+    cache: &SweepCache,
+    telemetry: &Telemetry,
+) -> ExperimentResult {
     let mus = linear_grid(-0.2, 0.2, points);
     // All (scheme, μ) runs of the panel, parallel.
     struct Task {
@@ -74,18 +99,17 @@ pub fn run_panel_observed(
             });
         }
     }
-    let runs = parallel_map(&tasks, |t| {
-        run_scheme_observed(
-            params,
-            t.scheme.clone(),
-            OperatingPoint::new(t_clk_over_c, te_over_c).with_mu(t.mu),
-            telemetry,
-        )
-    });
-    let labelled: Vec<(&'static str, f64, RunTrace)> = tasks
+    let point_of = |t: &Task| OperatingPoint::new(t_clk_over_c, te_over_c).with_mu(t.mu);
+    let summaries = parallel_map_planned(
+        &tasks,
+        |t| summary_probe(cache, params, &t.scheme, point_of(t)),
+        |t| summary_compute(cache, params, &t.scheme, point_of(t), telemetry),
+        telemetry,
+    );
+    let labelled: Vec<(&'static str, f64, RunSummary)> = tasks
         .iter()
-        .zip(runs)
-        .map(|(t, r)| (t.scheme.label(), t.mu, r))
+        .zip(summaries)
+        .map(|(t, s)| (t.scheme.label(), t.mu, s))
         .collect();
     assemble_panel(params, t_clk_over_c, te_over_c, &mus, &labelled, telemetry)
 }
@@ -212,29 +236,29 @@ pub fn run_panel_fast_observed(
         .counter("margin_search.iterations_saved")
         .add(saved as u64);
 
-    let labelled: Vec<(&'static str, f64, RunTrace)> = cold_tasks
+    let labelled: Vec<(&'static str, f64, RunSummary)> = cold_tasks
         .iter()
-        .zip(cold_runs)
-        .map(|(t, r)| (t.scheme.label(), t.mu, r))
+        .zip(&cold_runs)
+        .map(|(t, r)| (t.scheme.label(), t.mu, RunSummary::of(r)))
         .chain(
             warm_tasks
                 .iter()
-                .zip(warm_runs)
-                .map(|(t, r)| (t.scheme.label(), t.mu, r)),
+                .zip(&warm_runs)
+                .map(|(t, r)| (t.scheme.label(), t.mu, RunSummary::of(r))),
         )
         .collect();
     assemble_panel(params, t_clk_over_c, te_over_c, &mus, &labelled, telemetry)
 }
 
-/// Turn a panel's complete `(scheme, μ) → run` grid into the three Fig. 9
-/// series, applying the shared free-RO design margin and emitting
+/// Turn a panel's complete `(scheme, μ) → run summary` grid into the three
+/// Fig. 9 series, applying the shared free-RO design margin and emitting
 /// margin-search telemetry.
 fn assemble_panel(
     params: &PaperParams,
     t_clk_over_c: f64,
     te_over_c: f64,
     mus: &[f64],
-    runs: &[(&'static str, f64, RunTrace)],
+    runs: &[(&'static str, f64, RunSummary)],
     telemetry: &Telemetry,
 ) -> ExperimentResult {
     let get = |label: &str, mu: f64| {
@@ -247,7 +271,7 @@ fn assemble_panel(
     // Free RO: one design margin covering the whole μ range.
     let free_margin = mus
         .iter()
-        .map(|&mu| margin::required_margin(get("Free RO", mu)))
+        .map(|&mu| get("Free RO", mu).required_margin())
         .fold(0.0, f64::max);
 
     let mut result = ExperimentResult::new(
@@ -265,9 +289,9 @@ fn assemble_panel(
                 let fixed = get("Fixed clock", mu);
                 let adaptive = get(label, mu);
                 if label == "Free RO" {
-                    margin::relative_adaptive_period_with_margin(adaptive, free_margin, fixed)
+                    adaptive.relative_with_margin(free_margin, fixed)
                 } else {
-                    margin::relative_adaptive_period(adaptive, fixed)
+                    adaptive.relative_to(fixed)
                 }
             })
             .collect();
@@ -302,10 +326,22 @@ pub fn run_observed(
     points: usize,
     telemetry: &Telemetry,
 ) -> Vec<ExperimentResult> {
+    run_cached(params, points, &SweepCache::disabled(), telemetry)
+}
+
+/// The full 3×3 grid with a result cache consulted per grid point.
+pub fn run_cached(
+    params: &PaperParams,
+    points: usize,
+    cache: &SweepCache,
+    telemetry: &Telemetry,
+) -> Vec<ExperimentResult> {
     let mut out = Vec::with_capacity(9);
     for &te in &TE_GRID {
         for &t_clk in &T_CLK_GRID {
-            out.push(run_panel_observed(params, t_clk, te, points, telemetry));
+            out.push(run_panel_cached(
+                params, t_clk, te, points, cache, telemetry,
+            ));
         }
     }
     out
@@ -440,6 +476,28 @@ mod tests {
             .unwrap_or(0);
         // 3 warm μ points × 4 schemes, each saving warmup − warmup/4 samples.
         assert!(saved > 0, "warm starts must bank saved warm-up iterations");
+    }
+
+    #[test]
+    fn cached_panel_is_bit_identical_and_hits_on_rerun() {
+        let params = PaperParams::default();
+        let cache = SweepCache::in_memory(&Telemetry::disabled());
+        let uncached = run_panel(&params, 1.0, 37.5, 5);
+        let cold = run_panel_cached(&params, 1.0, 37.5, 5, &cache, &Telemetry::disabled());
+        let warm = run_panel_cached(&params, 1.0, 37.5, 5, &cache, &Telemetry::disabled());
+        for reference in [&cold, &warm] {
+            assert_eq!(reference.series.len(), uncached.series.len());
+            for (a, b) in uncached.series.iter().zip(&reference.series) {
+                assert_eq!(a.label, b.label);
+                assert_eq!(a.x, b.x);
+                assert_eq!(a.y, b.y, "{}: cached series must be bit-identical", a.label);
+            }
+        }
+        let stats = cache.stats().expect("cache enabled");
+        // 4 schemes x 5 mu points: all misses on the cold pass, all hits on
+        // the warm pass.
+        assert_eq!(stats.misses, 20, "cold pass misses");
+        assert_eq!(stats.hits, 20, "warm pass hits");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cache;
 pub mod config;
 pub mod constraints;
 pub mod ext_coupling;

@@ -1,12 +1,17 @@
-//! Shared machinery for running scheme comparisons at one operating point.
+//! Shared machinery for running scheme comparisons at one operating point,
+//! plus the compact per-run summary the result cache stores instead of the
+//! full trace.
 
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use adaptive_clock::RunTrace;
 use clock_metrics::margin;
+use clock_rescache::Key;
 use clock_telemetry::Telemetry;
 use variation::sources::Harmonic;
 
+use crate::cache::{CacheKeyExt as _, SweepCache};
 use crate::config::PaperParams;
+use crate::sweep::Plan;
 
 /// One operating point of the paper's evaluation: CDN delay and HoDV
 /// period, both as multiples of `c`, plus a static RO↔TDC mismatch as a
@@ -116,6 +121,157 @@ pub fn run_scheme_warm(
 /// warm-starting the neighbouring grid point via [`run_scheme_warm`].
 pub fn settled_length(run: &RunTrace) -> Option<i64> {
     run.samples().last().map(|s| s.lro.round() as i64)
+}
+
+/// Everything the sweep figures read off a post-warm-up run, reduced to
+/// six floats so a grid point caches in one small record instead of a
+/// multi-thousand-sample trace. Each statistic is computed by the *same*
+/// fold as the `RunTrace` methods, so figures assembled from summaries are
+/// bit-identical to figures assembled from traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// The set-point the run used.
+    pub setpoint: f64,
+    /// Recorded (post-warm-up) sample count.
+    pub samples: u64,
+    /// Mean generated period ([`RunTrace::mean_period`]).
+    pub mean_period: f64,
+    /// Needed safety margin ([`RunTrace::worst_negative_error`]).
+    pub worst_negative_error: f64,
+    /// Performance left on the table ([`RunTrace::worst_positive_error`]).
+    pub worst_positive_error: f64,
+    /// RO length at the last sample (NaN when the run is empty) — the
+    /// warm-start seed.
+    pub last_lro: f64,
+}
+
+impl RunSummary {
+    /// Flat-record arity (the cache payload schema).
+    pub const FIELDS: usize = 6;
+
+    /// Summarize a run.
+    pub fn of(run: &RunTrace) -> Self {
+        RunSummary {
+            setpoint: run.setpoint(),
+            samples: run.len() as u64,
+            mean_period: run.mean_period(),
+            worst_negative_error: run.worst_negative_error(),
+            worst_positive_error: run.worst_positive_error(),
+            last_lro: run.samples().last().map_or(f64::NAN, |s| s.lro),
+        }
+    }
+
+    /// The summary as a flat cache record.
+    pub fn to_values(self) -> [f64; Self::FIELDS] {
+        [
+            self.setpoint,
+            self.samples as f64,
+            self.mean_period,
+            self.worst_negative_error,
+            self.worst_positive_error,
+            self.last_lro,
+        ]
+    }
+
+    /// Rebuild from [`RunSummary::to_values`]; `None` on any other arity.
+    pub fn from_values(values: &[f64]) -> Option<Self> {
+        let [setpoint, samples, mean_period, worst_negative_error, worst_positive_error, last_lro] =
+            *values
+        else {
+            return None;
+        };
+        Some(RunSummary {
+            setpoint,
+            samples: samples as u64,
+            mean_period,
+            worst_negative_error,
+            worst_positive_error,
+            last_lro,
+        })
+    }
+
+    /// The minimal error-free margin, `max(0, max_n (c − τ[n]))`.
+    pub fn required_margin(&self) -> f64 {
+        self.worst_negative_error
+    }
+
+    /// Mean period once margined: `⟨T⟩ + m*` (cf.
+    /// [`margin::adaptive_needed_period`]).
+    pub fn needed_adaptive_period(&self) -> f64 {
+        self.mean_period + self.worst_negative_error
+    }
+
+    /// Fixed-clock period needed for error-free operation (cf.
+    /// [`margin::needed_fixed_period`]).
+    pub fn needed_fixed_period(&self) -> f64 {
+        self.setpoint + self.worst_negative_error
+    }
+
+    /// The paper's figure of merit against a fixed-clock baseline run (cf.
+    /// [`margin::relative_adaptive_period`]).
+    pub fn relative_to(&self, fixed: &RunSummary) -> f64 {
+        self.needed_adaptive_period() / fixed.needed_fixed_period()
+    }
+
+    /// Figure of merit under an externally-imposed margin (the free RO's
+    /// design margin in Fig. 9).
+    pub fn relative_with_margin(&self, margin: f64, fixed: &RunSummary) -> f64 {
+        (self.mean_period + margin) / fixed.needed_fixed_period()
+    }
+
+    /// The settled RO length, when the run recorded anything.
+    pub fn settled_length(&self) -> Option<i64> {
+        self.last_lro
+            .is_finite()
+            .then(|| self.last_lro.round() as i64)
+    }
+}
+
+/// The content key of one `(params, scheme, operating point)` standard run
+/// (full warm-up, classic measurement window). The sample and warm-up
+/// budgets are hashed explicitly even though they derive from `params`, so
+/// a future budget-policy change cannot silently alias old records.
+pub fn summary_key(params: &PaperParams, scheme: &Scheme, point: OperatingPoint) -> Key {
+    crate::cache::key("run-summary")
+        .params(params)
+        .scheme(scheme)
+        .point(point)
+        .u64("budget.samples", params.samples_for(point.te_over_c) as u64)
+        .u64("budget.warmup", params.warmup as u64)
+        .finish()
+}
+
+/// Probe the cache for a standard run's summary: `Ready` on a hit,
+/// `Compute` with the point's simulated-step budget (the scheduler's cost
+/// hint) on a miss.
+pub fn summary_probe(
+    cache: &SweepCache,
+    params: &PaperParams,
+    scheme: &Scheme,
+    point: OperatingPoint,
+) -> Plan<RunSummary> {
+    let key = summary_key(params, scheme, point);
+    match cache
+        .get_f64s(key, RunSummary::FIELDS)
+        .and_then(|v| RunSummary::from_values(&v))
+    {
+        Some(summary) => Plan::Ready(summary),
+        None => Plan::Compute(params.samples_for(point.te_over_c) as u64),
+    }
+}
+
+/// Run the point for real, summarize, and backfill the cache.
+pub fn summary_compute(
+    cache: &SweepCache,
+    params: &PaperParams,
+    scheme: &Scheme,
+    point: OperatingPoint,
+    telemetry: &Telemetry,
+) -> RunSummary {
+    let run = run_scheme_observed(params, scheme.clone(), point, telemetry);
+    let summary = RunSummary::of(&run);
+    cache.put_f64s(summary_key(params, scheme, point), &summary.to_values());
+    summary
 }
 
 /// The relative adaptive period `⟨T_clk⟩/T_fixed` of `scheme` at the

@@ -1,14 +1,34 @@
-//! Parallel parameter sweeps over std scoped threads, with an optional
-//! live progress line on stderr.
+//! Parallel parameter sweeps over std scoped threads: a cost-modelled
+//! longest-job-first scheduler with cache short-circuiting, an optional
+//! live progress line on stderr, and a worker-count override.
+//!
+//! # Scheduling
+//!
+//! [`parallel_map`] hands items out in small index chunks claimed off a
+//! shared atomic cursor — fine when per-item cost is roughly uniform.
+//! [`parallel_map_planned`] generalizes it: a *probe* runs first,
+//! sequentially, over every item and either short-circuits it with a ready
+//! result (a cache hit — no worker is ever occupied by it) or returns a
+//! cost hint (the point's simulated-step budget). Pending items are then
+//! dispatched **longest-job-first**, so the heavy points start while the
+//! cheap ones fill the tail and no worker is left holding a giant job at
+//! the end of the sweep. Output order is always the input order, whatever
+//! order items complete in, and completions (ready or computed) drive the
+//! same progress line.
 
-use std::io::Write as _;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::io::{IsTerminal as _, Write as _};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
+
+use clock_telemetry::Telemetry;
 
 /// Process-wide switch for the live sweep progress line (off by default;
 /// the `repro` CLI turns it on for `--progress`).
 static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide worker-count override (0 = automatic).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Enable or disable the live progress line printed by [`parallel_map`].
 pub fn set_progress(on: bool) {
@@ -18,6 +38,32 @@ pub fn set_progress(on: bool) {
 /// Whether the live progress line is currently enabled.
 pub fn progress_enabled() -> bool {
     PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Override the sweep worker count (`repro --threads N` /
+/// `REPRO_THREADS`). `None` (or `Some(0)`) restores the automatic choice,
+/// `available_parallelism`. The effective count is always additionally
+/// clamped to the number of pending items.
+pub fn set_threads(n: Option<usize>) {
+    THREADS.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The current worker-count override, when one is set.
+pub fn thread_override() -> Option<usize> {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Workers to spawn for `pending` dispatchable items.
+fn worker_count(pending: usize) -> usize {
+    let base = thread_override().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    base.min(pending).max(1)
 }
 
 /// Format one progress line: completed points, rate and ETA after `secs`
@@ -34,10 +80,20 @@ pub fn progress_line(done: usize, total: usize, secs: f64) -> String {
     format!("sweep {done}/{total} ({pct:.0}%) | {rate:.1} points/s | ETA {eta:.0}s")
 }
 
+/// Whether the carriage-return live line may be used: only on a real
+/// terminal. Piped/redirected stderr (CI logs) would otherwise accumulate
+/// one `\r`-separated copy per update.
+pub fn live_line_allowed() -> bool {
+    std::io::stderr().is_terminal()
+}
+
 /// Stderr progress reporter, rate-limited so the sweep itself stays cheap.
+/// On a TTY it redraws one line in place; on anything else it stays silent
+/// until completion and then prints a single summary line.
 struct ProgressMeter {
     total: usize,
     done: usize,
+    live: bool,
     started: Instant,
     last_print: Option<Instant>,
 }
@@ -47,6 +103,7 @@ impl ProgressMeter {
         progress_enabled().then(|| ProgressMeter {
             total,
             done: 0,
+            live: live_line_allowed(),
             started: Instant::now(),
             last_print: None,
         })
@@ -54,15 +111,22 @@ impl ProgressMeter {
 
     fn tick(&mut self) {
         self.done += 1;
+        let finished = self.done == self.total;
+        let secs = self.started.elapsed().as_secs_f64();
+        if !self.live {
+            if finished {
+                eprintln!("{}", progress_line(self.done, self.total, secs));
+            }
+            return;
+        }
         let now = Instant::now();
         let due = self
             .last_print
             .is_none_or(|t| now.duration_since(t).as_millis() >= 100);
-        if due || self.done == self.total {
+        if due || finished {
             self.last_print = Some(now);
-            let secs = self.started.elapsed().as_secs_f64();
             eprint!("\r{}", progress_line(self.done, self.total, secs));
-            if self.done == self.total {
+            if finished {
                 eprintln!();
             }
             let _ = std::io::stderr().flush();
@@ -77,55 +141,107 @@ fn dispatch_chunk(n: usize, workers: usize) -> usize {
     (n / (workers * 8)).clamp(1, 32)
 }
 
-/// Map `f` over `items` in parallel, preserving order. Spawns at most
-/// `available_parallelism` scoped worker threads; items are handed out in
-/// small index chunks claimed off a shared atomic cursor
-/// ([`dispatch_chunk`] items per claim), so uneven per-item cost balances
-/// automatically while the cursor stays off the hot path.
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// The probe's verdict on one sweep item, before any worker is involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Plan<R> {
+    /// The result is already known (a cache hit): short-circuit it into
+    /// the output without occupying a worker.
+    Ready(R),
+    /// The item must be computed; the payload is a relative cost hint
+    /// (typically the point's simulated-step budget) driving
+    /// longest-job-first dispatch. The absolute scale is irrelevant.
+    Compute(u64),
+}
+
+/// Map `f` over `items` in parallel, preserving order, with a probe pass
+/// and cost-modelled longest-job-first dispatch (see the module docs).
+///
+/// When the sweep runs multi-worker and `telemetry` is enabled, the drain
+/// tail — wall time between the moment the last pending item is claimed
+/// and the moment every result has arrived — is accumulated onto the
+/// `sweep.tail_ms` counter. A scheduler that balances well keeps the tail
+/// close to one average item; one that strands a heavy job at the end
+/// shows it here.
+pub fn parallel_map_planned<T, R, F, P>(
+    items: &[T],
+    probe: P,
+    f: F,
+    telemetry: &Telemetry,
+) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
+    P: FnMut(&T) -> Plan<R>,
 {
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
+    let mut probe = probe;
     let mut meter = ProgressMeter::new(n);
-    if workers <= 1 {
-        return items
-            .iter()
-            .map(|item| {
-                let r = f(item);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // Probe pass: ready results land immediately, misses queue with costs.
+    let mut pending: Vec<(usize, u64)> = Vec::new();
+    for (i, item) in items.iter().enumerate() {
+        match probe(item) {
+            Plan::Ready(r) => {
+                out[i] = Some(r);
                 if let Some(m) = meter.as_mut() {
                     m.tick();
                 }
-                r
-            })
-            .collect();
+            }
+            Plan::Compute(cost) => pending.push((i, cost)),
+        }
     }
-    let chunk = dispatch_chunk(n, workers);
+    // Longest job first; the sort is stable, so equal costs keep sweep
+    // order and a uniform-cost sweep dispatches exactly like the classic
+    // chunked FIFO.
+    pending.sort_by_key(|&(_, cost)| std::cmp::Reverse(cost));
+    let order: Vec<usize> = pending.iter().map(|&(i, _)| i).collect();
+    let p = order.len();
+    if p == 0 {
+        return collect_all(out);
+    }
+    let workers = worker_count(p);
+    if workers <= 1 {
+        for &i in &order {
+            out[i] = Some(f(&items[i]));
+            if let Some(m) = meter.as_mut() {
+                m.tick();
+            }
+        }
+        return collect_all(out);
+    }
+    let chunk = dispatch_chunk(p, workers);
     let cursor = AtomicUsize::new(0);
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let started = Instant::now();
+    // Micros from `started` at which the queue drained (every item
+    // claimed); what remains after that instant is the scheduling tail.
+    let drained_at_us = AtomicU64::new(u64::MAX);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
+            let order = &order;
+            let drained_at_us = &drained_at_us;
             let f = &f;
             scope.spawn(move || loop {
                 let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= n {
+                if start >= p {
+                    let _ = drained_at_us.compare_exchange(
+                        u64::MAX,
+                        started.elapsed().as_micros() as u64,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
                     break;
                 }
-                let end = (start + chunk).min(n);
-                for (i, item) in items.iter().enumerate().take(end).skip(start) {
-                    tx.send((i, f(item))).expect("receiver outlives workers");
+                let end = (start + chunk).min(p);
+                for &i in &order[start..end] {
+                    tx.send((i, f(&items[i])))
+                        .expect("receiver outlives workers");
                 }
             });
         }
@@ -139,9 +255,33 @@ where
             }
         }
     });
+    if telemetry.is_enabled() {
+        let drained = drained_at_us.load(Ordering::Relaxed);
+        if drained != u64::MAX {
+            let total = started.elapsed().as_micros() as u64;
+            let tail_ms = total.saturating_sub(drained) / 1000;
+            telemetry.counter("sweep.tail_ms").add(tail_ms);
+        }
+    }
+    collect_all(out)
+}
+
+fn collect_all<R>(out: Vec<Option<R>>) -> Vec<R> {
     out.into_iter()
         .map(|r| r.expect("every index visited exactly once"))
         .collect()
+}
+
+/// Map `f` over `items` in parallel, preserving order — the uniform-cost
+/// special case of [`parallel_map_planned`] (no cache probe, chunked
+/// dispatch in sweep order).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_planned(items, |_| Plan::Compute(1), f, &Telemetry::disabled())
 }
 
 /// A logarithmically spaced grid of `n` points from `lo` to `hi`
@@ -175,6 +315,8 @@ pub fn linear_grid(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
 
     #[test]
     fn parallel_map_preserves_order() {
@@ -249,6 +391,143 @@ mod tests {
     }
 
     #[test]
+    fn planned_preserves_order_under_uneven_costs() {
+        // Heavy items scattered through the sweep with honest cost hints:
+        // LJF reorders execution, the output must still be input-ordered.
+        let n = 257usize;
+        let items: Vec<u64> = (0..n as u64).collect();
+        let cost_of = |x: u64| {
+            if x.is_multiple_of(17) {
+                300_000u64
+            } else {
+                50 + x % 7
+            }
+        };
+        let out = parallel_map_planned(
+            &items,
+            |&x| Plan::Compute(cost_of(x)),
+            |&x| {
+                let mut acc = x;
+                for _ in 0..cost_of(x) {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                (x, acc)
+            },
+            &Telemetry::disabled(),
+        );
+        assert_eq!(out.len(), n);
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64, "index {i} out of order under LJF");
+        }
+    }
+
+    #[test]
+    fn planned_ready_items_never_reach_a_worker() {
+        let items: Vec<u64> = (0..100).collect();
+        let computed = AtomicUsize::new(0);
+        let out = parallel_map_planned(
+            &items,
+            |&x| {
+                if x % 2 == 0 {
+                    Plan::Ready(x * 10) // "cache hit"
+                } else {
+                    Plan::Compute(1)
+                }
+            },
+            |&x| {
+                computed.fetch_add(1, Ordering::Relaxed);
+                x * 10
+            },
+            &Telemetry::disabled(),
+        );
+        assert_eq!(computed.load(Ordering::Relaxed), 50);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn planned_all_ready_completes_without_workers() {
+        let items: Vec<u64> = (0..10).collect();
+        let out = parallel_map_planned(
+            &items,
+            |&x| Plan::Ready(x + 1),
+            |_| unreachable!("no pending items"),
+            &Telemetry::disabled(),
+        );
+        assert_eq!(out, (1..=10).collect::<Vec<u64>>());
+    }
+
+    /// Tests that touch the process-global worker override take this lock
+    /// so they cannot observe each other's settings.
+    static THREAD_OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn planned_dispatches_heaviest_first() {
+        let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        // Record execution order with a single worker: with LJF, the
+        // highest-cost item must run first and the lowest last.
+        set_threads(Some(1));
+        let items: Vec<u64> = (0..8).collect();
+        let log = Mutex::new(Vec::new());
+        let _ = parallel_map_planned(
+            &items,
+            |&x| Plan::Compute(x + 1),
+            |&x| {
+                log.lock().unwrap().push(x);
+                x
+            },
+            &Telemetry::disabled(),
+        );
+        set_threads(None);
+        let ran = log.into_inner().unwrap();
+        let expected: Vec<u64> = (0..8).rev().collect();
+        assert_eq!(ran, expected, "single worker must run jobs longest-first");
+    }
+
+    #[test]
+    fn thread_override_round_trips_and_sweeps_stay_correct() {
+        let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        assert_eq!(thread_override(), None);
+        set_threads(Some(2));
+        assert_eq!(thread_override(), Some(2));
+        let items: Vec<u64> = (0..50).collect();
+        let out = parallel_map(&items, |&x| x + 7);
+        set_threads(None);
+        assert_eq!(thread_override(), None);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as u64 + 7);
+        }
+    }
+
+    #[test]
+    fn tail_telemetry_recorded_on_parallel_sweeps() {
+        let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+        // Force at least 2 workers so the parallel path runs.
+        set_threads(Some(2));
+        let telemetry = Telemetry::enabled();
+        let items: Vec<u64> = (0..64).collect();
+        let _ = parallel_map_planned(
+            &items,
+            |_| Plan::Compute(1),
+            |&x| {
+                let mut acc = x;
+                for _ in 0..10_000 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+                acc
+            },
+            &telemetry,
+        );
+        set_threads(None);
+        // The counter exists (possibly 0 ms on a fast machine).
+        assert!(
+            telemetry.snapshot().counter("sweep.tail_ms").is_some(),
+            "parallel sweeps must record their drain tail"
+        );
+    }
+
+    #[test]
     fn log_grid_endpoints_and_monotonicity() {
         let g = log_grid(0.1, 10.0, 21);
         assert!((g[0] - 0.1).abs() < 1e-12);
@@ -286,6 +565,13 @@ mod tests {
         assert!(progress_enabled());
         set_progress(false);
         assert!(!progress_enabled());
+    }
+
+    #[test]
+    fn live_line_denied_off_terminal() {
+        // Test harnesses pipe stderr, so the carriage-return line must be
+        // off here — exactly the CI situation the suppression targets.
+        assert!(!live_line_allowed());
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Golden stability tests for the result cache's canonical key encoding.
+//!
+//! The on-disk cache is only sound if the canonical serialization of
+//! `(PaperParams, Scheme, OperatingPoint, budgets)` never drifts silently:
+//! a drifted encoding would split the cache into incompatible generations
+//! (stale results never found) or, worse, alias distinct configurations.
+//! These tests pin one fully-specified tuple to its exact digest under a
+//! *fixed* namespace, so any change to the field encodings, tag order, or
+//! hash function fails here and must be made deliberately (with an
+//! `ENGINE_REV` bump or a new record kind).
+
+use adaptive_clock::system::Scheme;
+use clock_rescache::KeyHasher;
+use experiments::cache::{engine_fingerprint, CacheKeyExt as _};
+use experiments::config::PaperParams;
+use experiments::runner::{summary_key, OperatingPoint};
+
+/// The digest of the reference tuple under the frozen `golden/v1`
+/// namespace. This value is the contract: if it changes, previously
+/// written cache records are unreachable. Do not update it casually —
+/// an intentional encoding change must also retire old caches by bumping
+/// an `ENGINE_REV`.
+const GOLDEN_DIGEST: &str = "b9c77bb099e3fbc0574517b9543cc0e9";
+
+fn golden_key() -> String {
+    let params = PaperParams::default();
+    KeyHasher::new("golden/v1")
+        .str("kind", "run-summary")
+        .params(&params)
+        .scheme(&Scheme::iir_paper())
+        .point(OperatingPoint::new(1.0, 50.0).with_mu(-0.2))
+        .u64("budget.samples", 4000)
+        .u64("budget.warmup", 1000)
+        .finish()
+        .to_hex()
+}
+
+#[test]
+fn canonical_key_digest_is_pinned() {
+    assert_eq!(
+        golden_key(),
+        GOLDEN_DIGEST,
+        "canonical cache-key encoding drifted; see the module docs before updating"
+    );
+}
+
+#[test]
+fn digest_is_reproducible_across_calls() {
+    assert_eq!(golden_key(), golden_key());
+}
+
+#[test]
+fn live_summary_keys_are_namespaced_by_the_engine_fingerprint() {
+    // The live key builder must use the engine fingerprint (so an
+    // ENGINE_REV bump retires every record), and the fingerprint must name
+    // both engines.
+    let fp = engine_fingerprint();
+    assert!(
+        fp.contains("core-r") && fp.contains("dtsim-r"),
+        "fingerprint must name both engine revisions: {fp}"
+    );
+    let params = PaperParams::default();
+    let a = summary_key(
+        &params,
+        &Scheme::iir_paper(),
+        OperatingPoint::new(1.0, 50.0),
+    );
+    let b = summary_key(
+        &params,
+        &Scheme::iir_paper(),
+        OperatingPoint::new(1.0, 50.0),
+    );
+    assert_eq!(a, b, "summary keys must be deterministic");
+    assert_eq!(a.to_hex().len(), 32, "128-bit hex digest");
+}

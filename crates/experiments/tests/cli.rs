@@ -145,6 +145,78 @@ fn fig7_telemetry_capture_round_trips() {
 }
 
 #[test]
+fn threads_flag_rejects_non_positive_values() {
+    for bad in ["0", "bogus"] {
+        let out = repro(&["--threads", bad, "fig2"]);
+        assert!(!out.status.success(), "--threads {bad} must fail");
+        assert!(
+            stderr(&out).contains("positive integer"),
+            "stderr should explain --threads {bad}:\n{}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn threads_flag_accepts_explicit_worker_count() {
+    let out = repro(&["--threads", "2", "fig2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+}
+
+/// Strip the run-dependent cache summary line, leaving the figure output.
+fn without_cache_line(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.starts_with("cache:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn cache_round_trip_hits_fully_and_reproduces_output() {
+    let dir = std::env::temp_dir().join(format!("repro-cli-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_str().unwrap();
+
+    let cold = repro(&["--quick", "--cache", dir_s, "fig9"]);
+    assert!(cold.status.success(), "stderr: {}", stderr(&cold));
+    let cold_text = stdout(&cold);
+    assert!(
+        cold_text.contains("cache: 0 hits"),
+        "cold run must miss everything:\n{cold_text}"
+    );
+
+    let warm = repro(&["--quick", "--cache", dir_s, "fig9"]);
+    assert!(warm.status.success(), "stderr: {}", stderr(&warm));
+    let warm_text = stdout(&warm);
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        warm_text.contains("0 misses (100% hit rate)"),
+        "warm run must hit everything:\n{warm_text}"
+    );
+    assert_eq!(
+        without_cache_line(&cold_text),
+        without_cache_line(&warm_text),
+        "warm figures must be bit-identical to cold"
+    );
+}
+
+#[test]
+fn no_cache_flag_overrides_the_environment_default() {
+    let dir = std::env::temp_dir().join(format!("repro-cli-nocache-{}", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--quick", "--no-cache", "fig9"])
+        .env("REPRO_CACHE", &dir)
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        !stdout(&out).contains("cache:"),
+        "--no-cache must print no cache summary"
+    );
+    assert!(!dir.exists(), "--no-cache must not create the cache dir");
+}
+
+#[test]
 fn json_mode_is_machine_readable() {
     let out = repro(&["--json", "fig2"]);
     assert!(out.status.success());

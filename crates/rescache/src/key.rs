@@ -1,0 +1,253 @@
+//! Content-addressed cache keys: a canonical field encoding fed through a
+//! 128-bit FNV-1a hash.
+//!
+//! The hash is implemented in-repo (the container has no registry access)
+//! and is *part of the on-disk format*: two builds that produce the same
+//! canonical field stream must produce the same [`Key`], across platforms
+//! and across time. That is why every field write is tagged, length-framed
+//! and little-endian — no `Hash`-derive, no pointer-width dependence, no
+//! float formatting. A golden test in the experiments crate pins one known
+//! tuple to its hex digest so silent drift fails CI.
+
+use std::fmt;
+
+/// FNV-1a 128 offset basis (per the published FNV reference parameters).
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128 prime.
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// A 128-bit content hash identifying one cached computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Key(pub u128);
+
+impl Key {
+    /// The key as 16 little-endian bytes (the on-disk record header form).
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Rebuild a key from its [`Key::to_bytes`] form.
+    pub fn from_bytes(bytes: [u8; 16]) -> Self {
+        Key(u128::from_le_bytes(bytes))
+    }
+
+    /// Lower-case 32-char hex digest (stable across platforms).
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse a [`Key::to_hex`] digest back.
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(hex, 16).ok().map(Key)
+    }
+
+    /// The shard directory name (first two hex chars) and file stem (the
+    /// remaining 30) of this key's on-disk location.
+    pub fn shard_parts(self) -> (String, String) {
+        let hex = self.to_hex();
+        (hex[..2].to_owned(), hex[2..].to_owned())
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Field-type tags mixed into the stream ahead of each value, so that e.g.
+/// the string "1" and the integer 1 can never collide byte-for-byte.
+#[repr(u8)]
+enum Tag {
+    Str = 1,
+    U64 = 2,
+    I64 = 3,
+    F64 = 4,
+    Bool = 5,
+    Bytes = 6,
+}
+
+/// Canonical streaming hasher: call the typed `field` methods in a fixed
+/// order and [`KeyHasher::finish`] to obtain the [`Key`].
+///
+/// ```
+/// use clock_rescache::KeyHasher;
+///
+/// let a = KeyHasher::new("demo/v1").str("scheme", "iir").f64("mu", 0.5).finish();
+/// let b = KeyHasher::new("demo/v1").str("scheme", "iir").f64("mu", 0.5).finish();
+/// let c = KeyHasher::new("demo/v1").str("scheme", "iir").f64("mu", 0.25).finish();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KeyHasher {
+    state: u128,
+}
+
+impl KeyHasher {
+    /// A hasher seeded with a namespace string (the engine fingerprint:
+    /// bump it whenever engine semantics change and every old entry
+    /// silently becomes a miss).
+    pub fn new(namespace: &str) -> Self {
+        let mut h = KeyHasher {
+            state: FNV128_OFFSET,
+        };
+        h.write_framed(Tag::Str as u8, namespace.as_bytes());
+        h
+    }
+
+    fn write_byte(&mut self, b: u8) {
+        self.state ^= b as u128;
+        self.state = self.state.wrapping_mul(FNV128_PRIME);
+    }
+
+    fn write_raw(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_byte(b);
+        }
+    }
+
+    /// One length-framed, tagged value: `tag | len(u64 le) | bytes`.
+    fn write_framed(&mut self, tag: u8, bytes: &[u8]) {
+        self.write_byte(tag);
+        self.write_raw(&(bytes.len() as u64).to_le_bytes());
+        self.write_raw(bytes);
+    }
+
+    fn field(&mut self, name: &str, tag: Tag, value: &[u8]) {
+        self.write_framed(Tag::Str as u8, name.as_bytes());
+        self.write_framed(tag as u8, value);
+    }
+
+    /// Add a string field.
+    #[must_use]
+    pub fn str(mut self, name: &str, value: &str) -> Self {
+        self.field(name, Tag::Str, value.as_bytes());
+        self
+    }
+
+    /// Add an unsigned integer field (usize values go through this, as
+    /// `u64`, so 32- and 64-bit builds hash identically).
+    #[must_use]
+    pub fn u64(mut self, name: &str, value: u64) -> Self {
+        self.field(name, Tag::U64, &value.to_le_bytes());
+        self
+    }
+
+    /// Add a signed integer field.
+    #[must_use]
+    pub fn i64(mut self, name: &str, value: i64) -> Self {
+        self.field(name, Tag::I64, &value.to_le_bytes());
+        self
+    }
+
+    /// Add a float field, hashed by bit pattern (`-0.0` and `0.0` are
+    /// distinct keys; all NaN payloads are distinct — callers should not
+    /// put NaN in a key).
+    #[must_use]
+    pub fn f64(mut self, name: &str, value: f64) -> Self {
+        self.field(name, Tag::F64, &value.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Add a boolean field.
+    #[must_use]
+    pub fn bool(mut self, name: &str, value: bool) -> Self {
+        self.field(name, Tag::Bool, &[value as u8]);
+        self
+    }
+
+    /// Add a raw byte-string field.
+    #[must_use]
+    pub fn bytes(mut self, name: &str, value: &[u8]) -> Self {
+        self.field(name, Tag::Bytes, value);
+        self
+    }
+
+    /// Finalize into the content key.
+    pub fn finish(self) -> Key {
+        Key(self.state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_streams_agree_and_order_matters() {
+        let a = KeyHasher::new("ns").u64("x", 1).u64("y", 2).finish();
+        let b = KeyHasher::new("ns").u64("x", 1).u64("y", 2).finish();
+        let swapped = KeyHasher::new("ns").u64("y", 2).u64("x", 1).finish();
+        assert_eq!(a, b);
+        assert_ne!(a, swapped);
+    }
+
+    #[test]
+    fn namespace_separates_generations() {
+        let v1 = KeyHasher::new("engine/1").u64("x", 1).finish();
+        let v2 = KeyHasher::new("engine/2").u64("x", 1).finish();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn types_do_not_collide() {
+        let s = KeyHasher::new("ns").str("v", "1").finish();
+        let u = KeyHasher::new("ns").u64("v", 1).finish();
+        let i = KeyHasher::new("ns").i64("v", 1).finish();
+        let f = KeyHasher::new("ns").f64("v", 1.0).finish();
+        let all = [s, u, i, f];
+        for (a, x) in all.iter().enumerate() {
+            for (b, y) in all.iter().enumerate() {
+                assert_eq!(a == b, x == y, "tags {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn framing_prevents_concatenation_collisions() {
+        let a = KeyHasher::new("ns").str("v", "ab").str("w", "c").finish();
+        let b = KeyHasher::new("ns").str("v", "a").str("w", "bc").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn float_bit_pattern_is_the_identity() {
+        let pos = KeyHasher::new("ns").f64("v", 0.0).finish();
+        let neg = KeyHasher::new("ns").f64("v", -0.0).finish();
+        assert_ne!(pos, neg);
+    }
+
+    #[test]
+    fn hex_round_trip_and_sharding() {
+        let k = KeyHasher::new("ns").str("v", "x").finish();
+        let hex = k.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(Key::from_hex(&hex), Some(k));
+        assert_eq!(Key::from_hex("zz"), None);
+        let (shard, stem) = k.shard_parts();
+        assert_eq!(shard.len(), 2);
+        assert_eq!(stem.len(), 30);
+        assert_eq!(format!("{shard}{stem}"), hex);
+        assert_eq!(Key::from_bytes(k.to_bytes()), k);
+    }
+
+    #[test]
+    fn fnv128_reference_vector() {
+        // FNV-1a 128 of the empty input is the offset basis; of "a" it is
+        // offset ^ 'a' then * prime. Spot-check the arithmetic directly.
+        let empty = KeyHasher {
+            state: FNV128_OFFSET,
+        }
+        .finish();
+        assert_eq!(empty.0, FNV128_OFFSET);
+        let mut h = KeyHasher {
+            state: FNV128_OFFSET,
+        };
+        h.write_byte(b'a');
+        assert_eq!(h.state, (FNV128_OFFSET ^ 0x61).wrapping_mul(FNV128_PRIME));
+    }
+}

@@ -1,0 +1,92 @@
+//! `clock-rescache` — a persistent, content-addressed experiment result
+//! cache.
+//!
+//! Sweep experiments are pure functions of their inputs: the same engine,
+//! parameters, scheme and operating point always produce the same numbers.
+//! This crate memoizes those results across process runs:
+//!
+//! * [`KeyHasher`] builds a canonical, platform-stable 128-bit [`Key`]
+//!   from typed fields (engine fingerprint, parameters, scheme, operating
+//!   point, sample budgets). The hash (FNV-1a 128) is implemented in-repo;
+//!   there is no dependency on `std::hash` internals, pointer width or a
+//!   registry crate.
+//! * [`record`] frames payloads in a versioned, checksummed envelope, so
+//!   any damaged or foreign file decodes to a typed error instead of bad
+//!   data.
+//! * [`Store`] shards records two-hex-chars deep under a root directory,
+//!   writes atomically (temp file + rename), reads through an in-memory
+//!   layer, and **never aborts a sweep**: corrupt records are skipped,
+//!   counted and deleted; failed writes are counted and dropped.
+//!
+//! Payloads are raw bytes; the [`payload`] module gives the one codec the
+//! experiments need (a flat `Vec<f64>`). Higher-level typing (what the
+//! floats mean per experiment) lives with the caller, next to the code
+//! that computes them.
+//!
+//! ```
+//! use clock_rescache::{payload, KeyHasher, Store};
+//!
+//! let store = Store::in_memory();
+//! let key = KeyHasher::new("engine/1").str("experiment", "demo").f64("mu", 0.1).finish();
+//! assert!(store.get(key).is_none());
+//! store.put(key, &payload::encode_f64s(&[1.0, 2.5]));
+//! let back = payload::decode_f64s(&store.get(key).unwrap()).unwrap();
+//! assert_eq!(back, vec![1.0, 2.5]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod key;
+pub mod record;
+pub mod store;
+
+pub use key::{Key, KeyHasher};
+pub use record::RecordError;
+pub use store::{Store, StoreStats};
+
+/// Payload codecs for the flat numeric records the experiments cache.
+pub mod payload {
+    /// Encode a float vector as little-endian IEEE-754 bit patterns.
+    pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode [`encode_f64s`] bytes; `None` when the length is not a
+    /// multiple of 8 (a foreign or damaged payload).
+    pub fn decode_f64s(bytes: &[u8]) -> Option<Vec<f64>> {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        Some(
+            bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                .collect(),
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn f64_round_trip_is_bit_exact() {
+            let values = [0.0, -0.0, 1.5, f64::MIN_POSITIVE, -123.456e300, f64::NAN];
+            let back = decode_f64s(&encode_f64s(&values)).unwrap();
+            for (a, b) in values.iter().zip(&back) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        #[test]
+        fn ragged_length_rejected() {
+            assert_eq!(decode_f64s(&[1, 2, 3]), None);
+            assert_eq!(decode_f64s(&[]), Some(Vec::new()));
+        }
+    }
+}

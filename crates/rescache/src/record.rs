@@ -1,0 +1,217 @@
+//! The versioned on-disk record: a self-validating envelope around one
+//! cached payload.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"RCR1"
+//! 4       4     format version (bump on incompatible layout changes)
+//! 8       16    key (the content hash the payload belongs to)
+//! 24      8     payload length
+//! 32      8     payload checksum (FNV-1a 64 of the payload bytes)
+//! 40      n     payload
+//! ```
+//!
+//! Decoding is *total*: any malformed input — truncation, a stray file, a
+//! partially-flushed write that survived a crash, bit rot flipping payload
+//! bytes — comes back as a typed [`RecordError`], never a panic, so the
+//! store can treat it as a miss and a sweep never aborts on a bad cache.
+
+use crate::key::Key;
+
+/// Record magic bytes.
+pub const MAGIC: [u8; 4] = *b"RCR1";
+/// Current record format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Header length in bytes (everything before the payload).
+pub const HEADER_LEN: usize = 40;
+
+/// Why a record failed to decode. Every variant is recoverable: the store
+/// counts it and reports a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// Shorter than a full header.
+    Truncated,
+    /// Magic bytes are not `RCR1` (not a cache record at all).
+    BadMagic,
+    /// Written by an incompatible format version.
+    VersionMismatch {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The header names a different key than the one looked up (a rename
+    /// collision or a corrupted header).
+    KeyMismatch,
+    /// Payload shorter or longer than the header promises.
+    LengthMismatch {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        found: u64,
+    },
+    /// Payload bytes fail their checksum.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Truncated => write!(f, "record truncated before the header ends"),
+            RecordError::BadMagic => write!(f, "not a cache record (bad magic)"),
+            RecordError::VersionMismatch { found } => {
+                write!(f, "record format v{found}, expected v{FORMAT_VERSION}")
+            }
+            RecordError::KeyMismatch => write!(f, "record belongs to a different key"),
+            RecordError::LengthMismatch { expected, found } => {
+                write!(f, "payload length {found}, header promised {expected}")
+            }
+            RecordError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// FNV-1a 64 over `bytes` (payload checksum).
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Encode one record: header plus payload, ready for an atomic write.
+pub fn encode(key: Key, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&key.to_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decode and validate a record read for `expected_key`, returning the
+/// payload bytes.
+///
+/// # Errors
+///
+/// A [`RecordError`] naming the first validation step that failed.
+pub fn decode(expected_key: Key, bytes: &[u8]) -> Result<Vec<u8>, RecordError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(if bytes.len() >= 4 && bytes[..4] != MAGIC {
+            RecordError::BadMagic
+        } else {
+            RecordError::Truncated
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(RecordError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(RecordError::VersionMismatch { found: version });
+    }
+    let key = Key::from_bytes(bytes[8..24].try_into().expect("16 bytes"));
+    if key != expected_key {
+        return Err(RecordError::KeyMismatch);
+    }
+    let expected = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    let sum = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != expected {
+        return Err(RecordError::LengthMismatch {
+            expected,
+            found: payload.len() as u64,
+        });
+    }
+    if checksum(payload) != sum {
+        return Err(RecordError::ChecksumMismatch);
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyHasher;
+
+    fn key() -> Key {
+        KeyHasher::new("test").u64("k", 7).finish()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let payload = b"hello cache".to_vec();
+        let rec = encode(key(), &payload);
+        assert_eq!(decode(key(), &rec), Ok(payload));
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let rec = encode(key(), &[]);
+        assert_eq!(decode(key(), &rec), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_detected() {
+        let rec = encode(key(), b"0123456789");
+        for cut in 0..rec.len() {
+            let res = decode(key(), &rec[..cut]);
+            assert!(res.is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let mut rec = encode(key(), b"x");
+        rec[0] ^= 0xFF;
+        assert_eq!(decode(key(), &rec), Err(RecordError::BadMagic));
+    }
+
+    #[test]
+    fn version_mismatch_detected() {
+        let mut rec = encode(key(), b"x");
+        rec[4] = 99;
+        assert_eq!(
+            decode(key(), &rec),
+            Err(RecordError::VersionMismatch { found: 99 })
+        );
+    }
+
+    #[test]
+    fn wrong_key_detected() {
+        let other = KeyHasher::new("test").u64("k", 8).finish();
+        let rec = encode(other, b"x");
+        assert_eq!(decode(key(), &rec), Err(RecordError::KeyMismatch));
+    }
+
+    #[test]
+    fn payload_bit_flip_detected() {
+        let mut rec = encode(key(), b"sensitive");
+        let last = rec.len() - 1;
+        rec[last] ^= 0x01;
+        assert_eq!(decode(key(), &rec), Err(RecordError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut rec = encode(key(), b"x");
+        rec.push(0);
+        assert!(matches!(
+            decode(key(), &rec),
+            Err(RecordError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checksum_is_fnv1a64() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(checksum(b""), 0xcbf29ce484222325);
+        assert_eq!(checksum(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}
