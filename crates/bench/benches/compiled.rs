@@ -56,7 +56,7 @@ fn bench_loop_batching(c: &mut Criterion) {
     g.bench_function("sequential-lanes", |b| {
         b.iter(|| {
             for (m, ctrl, q) in lane_specs(setpoint) {
-                let mut dl = DiscreteLoop::new(m, Box::new(ctrl), q);
+                let mut dl = DiscreteLoop::new(m, ctrl, q);
                 black_box(dl.run(
                     &LoopInputs {
                         setpoint: &cs,

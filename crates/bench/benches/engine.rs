@@ -1,6 +1,5 @@
 //! Microbenchmarks of the simulation substrates.
 
-use adaptive_clock::controller::Controller;
 use adaptive_clock::controller::{FloatIir, IirConfig, IntIirControl, TeaTime};
 use adaptive_clock::loopsim::{constant, DiscreteLoop, LoopInputs};
 use adaptive_clock::system::{Scheme, SystemBuilder};
@@ -42,7 +41,7 @@ fn bench_discrete_loop(c: &mut Criterion) {
     g.bench_function("int-iir-10k", |b| {
         b.iter(|| {
             let ctrl = IntIirControl::new(IirConfig::paper(), 64).expect("paper config");
-            let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::Floor);
+            let mut dl = DiscreteLoop::new(1, ctrl, Quantization::Floor);
             let cs = constant(64.0);
             let zero = constant(0.0);
             let e = |k: i64| 12.8 * (k as f64 * 0.01).sin();

@@ -4,6 +4,7 @@
 use adaptive_clock_bench::headline;
 use criterion::{criterion_group, criterion_main, Criterion};
 use experiments::config::PaperParams;
+use experiments::runner::RunCtx;
 use experiments::{constraints, fig2, fig7, fig8, fig9, table1, worked};
 use std::hint::black_box;
 
@@ -20,9 +21,9 @@ fn bench_fig2(c: &mut Criterion) {
 }
 
 fn bench_fig7(c: &mut Criterion) {
-    let params = PaperParams::default();
+    let ctx = RunCtx::new(PaperParams::default());
     for te in fig7::PANELS {
-        let r = fig7::run_panel(&params, te);
+        let r = fig7::run_panel(&ctx, te);
         headline(&r);
         for (label, m) in fig7::panel_margins(&r) {
             println!("    margin[{label}] = {m:.2} stages");
@@ -31,33 +32,33 @@ fn bench_fig7(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7");
     g.sample_size(10);
     g.bench_function("panel-te37.5c", |b| {
-        b.iter(|| black_box(fig7::run_panel(&params, 37.5)))
+        b.iter(|| black_box(fig7::run_panel(&ctx, 37.5)))
     });
     g.finish();
 }
 
 fn bench_fig8(c: &mut Criterion) {
-    let params = PaperParams::default();
-    headline(&fig8::run_upper(&params, 9));
-    headline(&fig8::run_lower(&params, 9));
+    let ctx = RunCtx::new(PaperParams::default());
+    headline(&fig8::run_upper(&ctx, 9));
+    headline(&fig8::run_lower(&ctx, 9));
     let mut g = c.benchmark_group("fig8");
     g.sample_size(10);
     g.bench_function("upper-9pts", |b| {
-        b.iter(|| black_box(fig8::run_upper(&params, 9)))
+        b.iter(|| black_box(fig8::run_upper(&ctx, 9)))
     });
     g.bench_function("lower-9pts", |b| {
-        b.iter(|| black_box(fig8::run_lower(&params, 9)))
+        b.iter(|| black_box(fig8::run_lower(&ctx, 9)))
     });
     g.finish();
 }
 
 fn bench_fig9(c: &mut Criterion) {
-    let params = PaperParams::default();
-    headline(&fig9::run_panel(&params, 1.0, 37.5, 9));
+    let ctx = RunCtx::new(PaperParams::default());
+    headline(&fig9::run_panel(&ctx, 1.0, 37.5, 9));
     let mut g = c.benchmark_group("fig9");
     g.sample_size(10);
     g.bench_function("panel-tclk1c-te37.5c-9mu", |b| {
-        b.iter(|| black_box(fig9::run_panel(&params, 1.0, 37.5, 9)))
+        b.iter(|| black_box(fig9::run_panel(&ctx, 1.0, 37.5, 9)))
     });
     g.finish();
 }

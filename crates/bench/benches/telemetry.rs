@@ -12,17 +12,12 @@ use adaptive_clock::system::Scheme;
 use clock_telemetry::Telemetry;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use experiments::config::PaperParams;
-use experiments::runner::{run_scheme_observed, OperatingPoint};
+use experiments::runner::{run_scheme, OperatingPoint, RunCtx};
 
 /// One Fig. 7 operating point: IIR scheme, `t_clk = c`, `T_e = 37.5c`.
 fn fig7_point(telemetry: &Telemetry) -> usize {
-    let params = PaperParams::default();
-    let run = run_scheme_observed(
-        &params,
-        Scheme::iir_paper(),
-        OperatingPoint::new(1.0, 37.5),
-        telemetry,
-    );
+    let ctx = RunCtx::new(PaperParams::default()).with_telemetry(telemetry.clone());
+    let run = run_scheme(&ctx, Scheme::iir_paper(), OperatingPoint::new(1.0, 37.5));
     run.len()
 }
 

@@ -1,229 +1,34 @@
 //! Batched multi-lane execution of the Fig. 4 discrete loop.
 //!
 //! [`loopsim::DiscreteLoop`] advances one operating point at a time and
-//! calls through `&dyn Fn(i64) -> f64` input closures and a boxed
-//! [`Controller`] on every period. Sweeps, however, run the *same* recurrence
-//! over many independent (seed, μ, T_e, scheme) points. [`BatchLoop`] runs
-//! `B` such lanes together in a structure-of-arrays layout:
+//! calls through `&dyn Fn(i64) -> f64` input closures on every period.
+//! Sweeps, however, run the *same* recurrence over many independent
+//! (seed, μ, T_e, scheme) points. [`BatchLoop`] runs `B` such lanes
+//! together in a structure-of-arrays layout:
 //!
 //! * e/μ input closures are **sampled once into a small ring buffer** of
 //!   the few sequence rows the recurrence can still read, so the hot loop
 //!   streams cache-resident rows instead of full-horizon tables;
-//! * controller state lives in a [`LaneController`] enum (no `Box<dyn>`),
-//!   replicating the exact arithmetic of the [`controller`] types —
-//!   including the arithmetic-shift flooring of the integer IIR — so every
-//!   lane is **bit-identical** to the `DiscreteLoop` it replaces (asserted
+//! * controller state is the same enum-dispatch
+//!   [`Controller`](crate::controller::Controller) the scalar engines hold
+//!   (no `Box<dyn>`), so every lane runs the *identical* kernel arithmetic
+//!   and is **bit-identical** to the `DiscreteLoop` it replaces (asserted
 //!   by the differential tests below);
 //! * recorded signals land in flat `[n·B + lane]` arrays
 //!   ([`BatchTrace`]), with per-lane [`LoopTrace`] views for drop-in use.
 //!
 //! [`loopsim::DiscreteLoop`]: crate::loopsim::DiscreteLoop
-//! [`controller`]: crate::controller
 
 use clock_telemetry::Telemetry;
 
-use crate::controller::{Controller, IirConfig};
-use crate::error::Error;
 use crate::loopsim::{LoopInputs, LoopTrace};
 use crate::tdc::Quantization;
 
-/// Shift an `i64` by a signed power-of-two exponent, identical to the
-/// shifter in [`crate::controller::IntIirControl`].
-fn shift(v: i64, exp: i32) -> i64 {
-    if exp >= 0 {
-        v << exp
-    } else {
-        v >> (-exp)
-    }
-}
-
-/// Enum-dispatch controller state for one lane. Each variant reproduces the
-/// arithmetic of the corresponding [`crate::controller`] type exactly.
-#[derive(Debug, Clone)]
-pub enum LaneController {
-    /// Integer IIR of Fig. 5 ([`crate::controller::IntIirControl`]).
-    IntIir {
-        /// Exponent of the input scaling gain.
-        kexp_exp: u32,
-        /// Exponent of the loop gain `k*`.
-        k_star_exp: i32,
-        /// Exponents of the feedback taps.
-        tap_exps: Vec<i32>,
-        /// Filter state, most recent first, scaled by `2^kexp`.
-        state: Vec<i64>,
-        /// Reset value of every state word.
-        initial: i64,
-    },
-    /// Exact float IIR reference ([`crate::controller::FloatIir`]).
-    FloatIir {
-        /// Tap gains `k₁ … k_N`.
-        taps: Vec<f64>,
-        /// Loop gain `k*`.
-        k_star: f64,
-        /// Filter state, most recent first.
-        state: Vec<f64>,
-        /// Reset value of every state word.
-        initial: f64,
-    },
-    /// Sign-increment TEAtime control ([`crate::controller::TeaTime`]).
-    TeaTime {
-        /// Current length.
-        length: f64,
-        /// Reset length.
-        initial: f64,
-        /// Per-period step quantum.
-        step_size: f64,
-    },
-    /// Free-running RO ([`crate::controller::FreeRunning`]): constant.
-    Free {
-        /// The fixed length.
-        length: f64,
-    },
-}
-
-impl LaneController {
-    /// Integer IIR lane from a power-of-two config, starting at
-    /// `initial_length` (mirrors `IntIirControl::new`).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`IirConfig::validate`] failures.
-    pub fn int_iir(config: &IirConfig, initial_length: i64) -> Result<Self, Error> {
-        config.validate()?;
-        let w0 = initial_length << config.kexp_exp;
-        Ok(LaneController::IntIir {
-            kexp_exp: config.kexp_exp,
-            k_star_exp: config.k_star_exp,
-            tap_exps: config.tap_exps.clone(),
-            state: vec![w0; config.tap_exps.len()],
-            initial: w0,
-        })
-    }
-
-    /// Float IIR lane from a config (mirrors `FloatIir::from_config`).
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`IirConfig::validate`] failures.
-    pub fn float_iir(config: &IirConfig, initial_length: f64) -> Result<Self, Error> {
-        config.validate()?;
-        Ok(LaneController::FloatIir {
-            taps: config.taps_f64(),
-            k_star: config.k_star_f64(),
-            state: vec![initial_length; config.tap_exps.len()],
-            initial: initial_length,
-        })
-    }
-
-    /// TEAtime lane (mirrors `TeaTime::new().with_step_size(step_size)`).
-    pub fn teatime(initial_length: i64, step_size: f64) -> Self {
-        LaneController::TeaTime {
-            length: initial_length as f64,
-            initial: initial_length as f64,
-            step_size,
-        }
-    }
-
-    /// Free-running lane of the given fixed length.
-    pub fn free(length: i64) -> Self {
-        LaneController::Free {
-            length: length as f64,
-        }
-    }
-
-    /// Consume `δ[n]`; return `l_RO[n+1]`.
-    fn step(&mut self, delta: f64) -> f64 {
-        match self {
-            LaneController::IntIir {
-                kexp_exp,
-                k_star_exp,
-                tap_exps,
-                state,
-                ..
-            } => {
-                let x = delta.round() as i64;
-                let mut acc = shift(x, *kexp_exp as i32);
-                for (w, &e) in state.iter().zip(tap_exps.iter()) {
-                    acc += shift(*w, e);
-                }
-                let w_new = shift(acc, *k_star_exp);
-                state.rotate_right(1);
-                state[0] = w_new;
-                shift(state[0], -(*kexp_exp as i32)) as f64
-            }
-            LaneController::FloatIir {
-                taps,
-                k_star,
-                state,
-                ..
-            } => {
-                let mut acc = delta;
-                for (w, k) in state.iter().zip(taps.iter()) {
-                    acc += w * k;
-                }
-                let w_new = acc * *k_star;
-                state.rotate_right(1);
-                state[0] = w_new;
-                w_new
-            }
-            LaneController::TeaTime {
-                length, step_size, ..
-            } => {
-                if delta > 0.0 {
-                    *length += *step_size;
-                } else if delta < 0.0 {
-                    *length -= *step_size;
-                }
-                *length
-            }
-            LaneController::Free { length } => *length,
-        }
-    }
-
-    /// The length produced with no further error input.
-    pub fn length(&self) -> f64 {
-        match self {
-            LaneController::IntIir {
-                kexp_exp, state, ..
-            } => shift(state[0], -(*kexp_exp as i32)) as f64,
-            LaneController::FloatIir { state, .. } => state[0],
-            LaneController::TeaTime { length, .. } => *length,
-            LaneController::Free { length } => *length,
-        }
-    }
-
-    /// Restore initial state.
-    pub fn reset(&mut self) {
-        match self {
-            LaneController::IntIir { state, initial, .. } => {
-                state.iter_mut().for_each(|w| *w = *initial);
-            }
-            LaneController::FloatIir { state, initial, .. } => {
-                state.iter_mut().for_each(|w| *w = *initial);
-            }
-            LaneController::TeaTime {
-                length, initial, ..
-            } => *length = *initial,
-            LaneController::Free { .. } => {}
-        }
-    }
-}
-
-/// A lane is also a plain [`Controller`], so a single lane can drop into
-/// [`crate::loopsim::DiscreteLoop`] or [`crate::system::SystemBuilder`]
-/// unchanged — handy for differential tests and benchmarks that compare
-/// the batched engine against the sequential ones.
-impl Controller for LaneController {
-    fn step(&mut self, delta: f64) -> f64 {
-        LaneController::step(self, delta)
-    }
-    fn length(&self) -> f64 {
-        LaneController::length(self)
-    }
-    fn reset(&mut self) {
-        LaneController::reset(self)
-    }
-}
+/// Per-lane controller state: exactly the shared kernel
+/// [`Controller`](crate::controller::Controller) enum. The alias survives
+/// from when the batched engine carried its own copy of the arithmetic;
+/// batch-facing code and the sweep layers keep reading naturally.
+pub use crate::controller::Controller as LaneController;
 
 /// One lane of a [`BatchLoop`]: the per-operating-point configuration of
 /// the Fig. 4 recurrence.
@@ -457,12 +262,12 @@ impl BatchLoop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::{FloatIir, FreeRunning, IntIirControl, TeaTime};
+    use crate::controller::{FloatIir, FreeRunning, IirConfig, IntIirControl, TeaTime};
     use crate::loopsim::{constant, step_at, DiscreteLoop};
 
     fn reference(
         m: usize,
-        controller: Box<dyn crate::controller::Controller>,
+        controller: crate::controller::Controller,
         q: Quantization,
         inputs: &LoopInputs<'_>,
         steps: usize,
@@ -483,7 +288,7 @@ mod tests {
         };
         let want = reference(
             1,
-            Box::new(IntIirControl::new(cfg.clone(), 64).unwrap()),
+            IntIirControl::new(cfg.clone(), 64).unwrap().into(),
             Quantization::Floor,
             &inputs,
             500,
@@ -512,31 +317,31 @@ mod tests {
         let steps = 800;
         let cases: Vec<(
             usize,
-            Box<dyn crate::controller::Controller>,
+            crate::controller::Controller,
             LaneController,
             Quantization,
         )> = vec![
             (
                 0,
-                Box::new(IntIirControl::new(cfg.clone(), 64).unwrap()),
+                IntIirControl::new(cfg.clone(), 64).unwrap().into(),
                 LaneController::int_iir(&cfg, 64).unwrap(),
                 Quantization::Floor,
             ),
             (
                 2,
-                Box::new(FloatIir::from_config(&cfg, 64.0).unwrap()),
+                FloatIir::from_config(&cfg, 64.0).unwrap().into(),
                 LaneController::float_iir(&cfg, 64.0).unwrap(),
                 Quantization::None,
             ),
             (
                 1,
-                Box::new(TeaTime::new(64)),
+                TeaTime::new(64).into(),
                 LaneController::teatime(64, 1.0),
                 Quantization::Floor,
             ),
             (
                 3,
-                Box::new(FreeRunning::new(64)),
+                FreeRunning::new(64).into(),
                 LaneController::free(64),
                 Quantization::Nearest,
             ),
@@ -544,8 +349,8 @@ mod tests {
         let mut batch = BatchLoop::new();
         let mut wants = Vec::new();
         let mut lane_inputs = Vec::new();
-        for (m, boxed, lane, q) in cases {
-            wants.push(reference(m, boxed, q, &inputs, steps));
+        for (m, scalar, lane, q) in cases {
+            wants.push(reference(m, scalar, q, &inputs, steps));
             batch.push(m, lane, q);
             lane_inputs.push(LoopInputs {
                 setpoint: &c,

@@ -1,123 +1,17 @@
-//! Control blocks driving the ring-oscillator length.
+//! The single home of the control-law arithmetic.
 //!
-//! The paper proposes two closed-loop control blocks (its §III-B) plus the
-//! free-running RO as the uncontrolled baseline:
+//! Every step/length/reset implementation for the four laws lives here and
+//! nowhere else: the scalar engines ([`crate::loopsim::DiscreteLoop`],
+//! [`crate::event::EventLoop`], [`crate::dtmodel`]) and the batched SoA
+//! engine ([`crate::batch::BatchLoop`]) all hold the same enum-dispatch
+//! [`Controller`] and call the same four `step` bodies, so a change to the
+//! recursion cannot fork the engines apart.
 //!
-//! * [`IntIirControl`] — the integer IIR filter of Fig. 5 / Eq. (9), with
-//!   every gain a power of two so multiplications reduce to shifts and with
-//!   the internal signal scaled by `2^kexp` to bound rounding error;
-//! * [`FloatIir`] — the same filter in exact `f64` arithmetic, used as the
-//!   linear reference the integer block is validated against (and by the
-//!   z-domain cross-checks, which require linearity);
-//! * [`TeaTime`] — the sign-increment controller of Fig. 6;
-//! * [`FreeRunning`] — a constant length.
-//!
-//! All control blocks consume the adaptation error `δ[n] = c − τ[n]` and
-//! produce the RO length to use for the *next* period (`l_RO[n+1]`); the
-//! one-period latency of the paper's `z⁻¹` blocks is therefore built into
-//! the calling convention.
+//! [`Controller`] is a plain enum, not a trait object: dispatch is a match,
+//! the value is `Clone`, and lanes of a batch can store it by value.
 
-use serde::{Deserialize, Serialize};
-use zdomain::{Polynomial, Rational, TransferFunction};
-
+use super::IirConfig;
 use crate::error::Error;
-
-/// A control block: maps the adaptation error to the next RO length.
-pub trait Controller: Send {
-    /// Consume `δ[n] = c − τ[n]`; return the (unclamped) `l_RO[n+1]`.
-    fn step(&mut self, delta: f64) -> f64;
-
-    /// The length that would be produced with no further error input.
-    fn length(&self) -> f64;
-
-    /// Restore initial state.
-    fn reset(&mut self);
-}
-
-/// Configuration of the paper's IIR control block (Fig. 5).
-///
-/// All gains are powers of two, stored as exponents: the filter taps are
-/// `kᵢ = 2^tap_exps[i-1]`, the scaling gain is `2^kexp`, and
-/// `k* = 2^k_star_exp`. The paper's Eq. (10) requires
-/// `k* = (Σ kᵢ)⁻¹`, which [`IirConfig::validate`] checks exactly using
-/// rational arithmetic.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct IirConfig {
-    /// Exponent of the input scaling gain (`kexp = 2^kexp_exp`).
-    pub kexp_exp: u32,
-    /// Exponent of the loop gain `k*`.
-    pub k_star_exp: i32,
-    /// Exponents of the feedback taps `k₁ … k_N`.
-    pub tap_exps: Vec<i32>,
-}
-
-impl IirConfig {
-    /// The exact parameters used in the paper's §IV simulations:
-    /// `kexp = 8`, `k* = 1/4`, `k = [2, 1, 1/2, 1/4, 1/8, 1/8]`.
-    pub fn paper() -> Self {
-        IirConfig {
-            kexp_exp: 3,
-            k_star_exp: -2,
-            tap_exps: vec![1, 0, -1, -2, -3, -3],
-        }
-    }
-
-    /// A canonical, stable serialization of the exponents (consumed by
-    /// [`crate::system::Scheme::canonical_id`] for result-cache keys).
-    pub fn canonical_id(&self) -> String {
-        let taps: Vec<String> = self.tap_exps.iter().map(|e| e.to_string()).collect();
-        format!(
-            "kexp={}/kstar={}/taps={}",
-            self.kexp_exp,
-            self.k_star_exp,
-            taps.join(",")
-        )
-    }
-
-    /// Check the paper's Eq. (10): `k* · Σ kᵢ = 1`, exactly.
-    ///
-    /// # Errors
-    ///
-    /// [`Error::EmptyTaps`] when no taps are given;
-    /// [`Error::ConstraintViolation`] when the identity fails.
-    pub fn validate(&self) -> Result<(), Error> {
-        if self.tap_exps.is_empty() {
-            return Err(Error::EmptyTaps);
-        }
-        let sum = self
-            .tap_exps
-            .iter()
-            .map(|&e| Rational::pow2(e))
-            .fold(Rational::ZERO, |a, b| a + b);
-        let k_star = Rational::pow2(self.k_star_exp);
-        if sum * k_star != Rational::ONE {
-            return Err(Error::ConstraintViolation {
-                gain_sum: sum.to_f64(),
-                k_star_inv: k_star.recip().map(|r| r.to_f64()).unwrap_or(f64::NAN),
-            });
-        }
-        Ok(())
-    }
-
-    /// The filter's tap gains as floats `[k₁, …, k_N]`.
-    pub fn taps_f64(&self) -> Vec<f64> {
-        self.tap_exps.iter().map(|&e| 2f64.powi(e)).collect()
-    }
-
-    /// `k*` as a float.
-    pub fn k_star_f64(&self) -> f64 {
-        2f64.powi(self.k_star_exp)
-    }
-
-    /// The transfer function `H(z) = z⁻¹ (1/k* − Σ kᵢ z⁻ⁱ)⁻¹` (Eq. 9).
-    pub fn transfer_function(&self) -> TransferFunction {
-        let num = Polynomial::delay(1);
-        let mut den = vec![1.0 / self.k_star_f64()];
-        den.extend(self.taps_f64().iter().map(|k| -k));
-        TransferFunction::new(num, Polynomial::new(den))
-            .expect("IIR denominator has nonzero 1/k* constant term")
-    }
-}
 
 /// Shift an `i64` by a signed power-of-two exponent (arithmetic shift right
 /// for negative exponents — i.e. floor division, exactly what a hardware
@@ -171,10 +65,9 @@ impl IntIirControl {
     pub fn config(&self) -> &IirConfig {
         &self.config
     }
-}
 
-impl Controller for IntIirControl {
-    fn step(&mut self, delta: f64) -> f64 {
+    /// Consume `δ[n] = c − τ[n]`; return the (unclamped) `l_RO[n+1]`.
+    pub fn step(&mut self, delta: f64) -> f64 {
         // δ is an integer in the real system; round defensively in case the
         // caller disabled TDC quantization.
         let x = delta.round() as i64;
@@ -188,11 +81,13 @@ impl Controller for IntIirControl {
         self.length()
     }
 
-    fn length(&self) -> f64 {
+    /// The length that would be produced with no further error input.
+    pub fn length(&self) -> f64 {
         shift(self.state[0], -(self.config.kexp_exp as i32)) as f64
     }
 
-    fn reset(&mut self) {
+    /// Restore initial state.
+    pub fn reset(&mut self) {
         for w in &mut self.state {
             *w = self.initial;
         }
@@ -247,10 +142,9 @@ impl FloatIir {
         config.validate()?;
         FloatIir::new(config.taps_f64(), config.k_star_f64(), initial_length)
     }
-}
 
-impl Controller for FloatIir {
-    fn step(&mut self, delta: f64) -> f64 {
+    /// Consume `δ[n] = c − τ[n]`; return the (unclamped) `l_RO[n+1]`.
+    pub fn step(&mut self, delta: f64) -> f64 {
         let mut acc = delta;
         for (w, k) in self.state.iter().zip(&self.taps) {
             acc += w * k;
@@ -261,11 +155,13 @@ impl Controller for FloatIir {
         w_new
     }
 
-    fn length(&self) -> f64 {
+    /// The length that would be produced with no further error input.
+    pub fn length(&self) -> f64 {
         self.state[0]
     }
 
-    fn reset(&mut self) {
+    /// Restore initial state.
+    pub fn reset(&mut self) {
         for w in &mut self.state {
             *w = self.initial;
         }
@@ -297,10 +193,9 @@ impl TeaTime {
         self.step_size = step_size;
         self
     }
-}
 
-impl Controller for TeaTime {
-    fn step(&mut self, delta: f64) -> f64 {
+    /// Consume `δ[n] = c − τ[n]`; return the (unclamped) `l_RO[n+1]`.
+    pub fn step(&mut self, delta: f64) -> f64 {
         if delta > 0.0 {
             self.length += self.step_size;
         } else if delta < 0.0 {
@@ -309,11 +204,13 @@ impl Controller for TeaTime {
         self.length
     }
 
-    fn length(&self) -> f64 {
+    /// The length that would be produced with no further error input.
+    pub fn length(&self) -> f64 {
         self.length
     }
 
-    fn reset(&mut self) {
+    /// Restore initial state.
+    pub fn reset(&mut self) {
         self.length = self.initial;
     }
 }
@@ -331,59 +228,132 @@ impl FreeRunning {
             length: length as f64,
         }
     }
+
+    /// Consume `δ[n] = c − τ[n]`; return the (unchanged) length.
+    pub fn step(&mut self, _delta: f64) -> f64 {
+        self.length
+    }
+
+    /// The length that would be produced with no further error input.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Restore initial state (a no-op: the length never moved).
+    pub fn reset(&mut self) {}
 }
 
-impl Controller for FreeRunning {
-    fn step(&mut self, _delta: f64) -> f64 {
-        self.length
+/// A control block: maps the adaptation error to the next RO length.
+///
+/// One enum covers the four laws of the paper so every engine — scalar or
+/// batched — dispatches into the same arithmetic with a plain `match`
+/// (no trait objects, no boxing, `Clone` by value).
+#[derive(Debug, Clone)]
+pub enum Controller {
+    /// The integer IIR control block of Fig. 5 / Eq. (9).
+    IntIir(IntIirControl),
+    /// The exact floating-point IIR reference.
+    FloatIir(FloatIir),
+    /// The sign-increment TEAtime controller of Fig. 6.
+    TeaTime(TeaTime),
+    /// A free-running (constant-length) RO.
+    Free(FreeRunning),
+}
+
+impl Controller {
+    /// An integer-IIR controller lane (paper Fig. 5) from a config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IirConfig::validate`] failures.
+    pub fn int_iir(config: &IirConfig, initial_length: i64) -> Result<Self, Error> {
+        Ok(Controller::IntIir(IntIirControl::new(
+            config.clone(),
+            initial_length,
+        )?))
     }
 
-    fn length(&self) -> f64 {
-        self.length
+    /// A float-IIR controller lane from a config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IirConfig::validate`] failures.
+    pub fn float_iir(config: &IirConfig, initial_length: f64) -> Result<Self, Error> {
+        Ok(Controller::FloatIir(FloatIir::from_config(
+            config,
+            initial_length,
+        )?))
     }
 
-    fn reset(&mut self) {}
+    /// A TEAtime controller with an explicit step quantum.
+    pub fn teatime(initial_length: i64, step_size: f64) -> Self {
+        Controller::TeaTime(TeaTime::new(initial_length).with_step_size(step_size))
+    }
+
+    /// A free-running (constant-length) lane.
+    pub fn free(length: i64) -> Self {
+        Controller::Free(FreeRunning::new(length))
+    }
+
+    /// Consume `δ[n] = c − τ[n]`; return the (unclamped) `l_RO[n+1]`.
+    pub fn step(&mut self, delta: f64) -> f64 {
+        match self {
+            Controller::IntIir(c) => c.step(delta),
+            Controller::FloatIir(c) => c.step(delta),
+            Controller::TeaTime(c) => c.step(delta),
+            Controller::Free(c) => c.step(delta),
+        }
+    }
+
+    /// The length that would be produced with no further error input.
+    pub fn length(&self) -> f64 {
+        match self {
+            Controller::IntIir(c) => c.length(),
+            Controller::FloatIir(c) => c.length(),
+            Controller::TeaTime(c) => c.length(),
+            Controller::Free(c) => c.length(),
+        }
+    }
+
+    /// Restore initial state.
+    pub fn reset(&mut self) {
+        match self {
+            Controller::IntIir(c) => c.reset(),
+            Controller::FloatIir(c) => c.reset(),
+            Controller::TeaTime(c) => c.reset(),
+            Controller::Free(c) => c.reset(),
+        }
+    }
+}
+
+impl From<IntIirControl> for Controller {
+    fn from(c: IntIirControl) -> Self {
+        Controller::IntIir(c)
+    }
+}
+
+impl From<FloatIir> for Controller {
+    fn from(c: FloatIir) -> Self {
+        Controller::FloatIir(c)
+    }
+}
+
+impl From<TeaTime> for Controller {
+    fn from(c: TeaTime) -> Self {
+        Controller::TeaTime(c)
+    }
+}
+
+impl From<FreeRunning> for Controller {
+    fn from(c: FreeRunning) -> Self {
+        Controller::Free(c)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
-
-    #[test]
-    fn paper_config_is_valid() {
-        let cfg = IirConfig::paper();
-        cfg.validate().unwrap();
-        assert_eq!(cfg.taps_f64(), vec![2.0, 1.0, 0.5, 0.25, 0.125, 0.125]);
-        assert_eq!(cfg.k_star_f64(), 0.25);
-    }
-
-    #[test]
-    fn bad_configs_rejected() {
-        let empty = IirConfig {
-            kexp_exp: 3,
-            k_star_exp: -2,
-            tap_exps: vec![],
-        };
-        assert_eq!(empty.validate(), Err(Error::EmptyTaps));
-        let wrong = IirConfig {
-            kexp_exp: 3,
-            k_star_exp: -3, // 1/8, but taps sum to 4
-            tap_exps: vec![1, 0, -1, -2, -3, -3],
-        };
-        assert!(matches!(
-            wrong.validate(),
-            Err(Error::ConstraintViolation { .. })
-        ));
-    }
-
-    #[test]
-    fn config_transfer_function_matches_library() {
-        let tf = IirConfig::paper().transfer_function();
-        let lib = zdomain::iir_paper_filter();
-        assert_eq!(tf.num(), lib.num());
-        assert_eq!(tf.den(), lib.den());
-    }
 
     #[test]
     fn int_iir_holds_fixed_point_with_zero_error() {
@@ -483,6 +453,38 @@ mod tests {
         assert_eq!(shift(5, -1), 2);
         assert_eq!(shift(-5, -1), -3); // arithmetic shift floors
         assert_eq!(shift(7, 0), 7);
+    }
+
+    #[test]
+    fn enum_dispatch_matches_inner_law() {
+        // The enum wrapper must be a pure forwarder: same deltas, same
+        // lengths, bit for bit, for each of the four laws.
+        let cfg = IirConfig::paper();
+        let deltas = [3.0, -2.0, 0.0, 7.0, -7.0, 1.0];
+        let cases: Vec<(Controller, Controller)> = vec![
+            (
+                Controller::int_iir(&cfg, 64).unwrap(),
+                IntIirControl::new(cfg.clone(), 64).unwrap().into(),
+            ),
+            (
+                Controller::float_iir(&cfg, 64.0).unwrap(),
+                FloatIir::from_config(&cfg, 64.0).unwrap().into(),
+            ),
+            (
+                Controller::teatime(64, 0.5),
+                TeaTime::new(64).with_step_size(0.5).into(),
+            ),
+            (Controller::free(70), FreeRunning::new(70).into()),
+        ];
+        for (mut a, mut b) in cases {
+            assert_eq!(a.length().to_bits(), b.length().to_bits());
+            for &d in &deltas {
+                assert_eq!(a.step(d).to_bits(), b.step(d).to_bits());
+            }
+            a.reset();
+            b.reset();
+            assert_eq!(a.length().to_bits(), b.length().to_bits());
+        }
     }
 
     proptest! {

@@ -1,0 +1,158 @@
+//! Control blocks driving the ring-oscillator length.
+//!
+//! The paper proposes two closed-loop control blocks (its §III-B) plus the
+//! free-running RO as the uncontrolled baseline:
+//!
+//! * [`IntIirControl`] — the integer IIR filter of Fig. 5 / Eq. (9), with
+//!   every gain a power of two so multiplications reduce to shifts and with
+//!   the internal signal scaled by `2^kexp` to bound rounding error;
+//! * [`FloatIir`] — the same filter in exact `f64` arithmetic, used as the
+//!   linear reference the integer block is validated against (and by the
+//!   z-domain cross-checks, which require linearity);
+//! * [`TeaTime`] — the sign-increment controller of Fig. 6;
+//! * [`FreeRunning`] — a constant length.
+//!
+//! All control blocks consume the adaptation error `δ[n] = c − τ[n]` and
+//! produce the RO length to use for the *next* period (`l_RO[n+1]`); the
+//! one-period latency of the paper's `z⁻¹` blocks is therefore built into
+//! the calling convention.
+//!
+//! The step/length/reset arithmetic of all four laws lives exactly once, in
+//! [`kernel`]; the enum-dispatch [`Controller`] wrapper defined there is
+//! what every engine — the scalar [`crate::loopsim`], [`crate::event`] and
+//! [`crate::dtmodel`] loops as much as the batched
+//! [`crate::batch::BatchLoop`] — holds and steps.
+
+use serde::{Deserialize, Serialize};
+use zdomain::{Polynomial, Rational, TransferFunction};
+
+use crate::error::Error;
+
+pub mod kernel;
+
+pub use kernel::{Controller, FloatIir, FreeRunning, IntIirControl, TeaTime};
+
+/// Configuration of the paper's IIR control block (Fig. 5).
+///
+/// All gains are powers of two, stored as exponents: the filter taps are
+/// `kᵢ = 2^tap_exps[i-1]`, the scaling gain is `2^kexp`, and
+/// `k* = 2^k_star_exp`. The paper's Eq. (10) requires
+/// `k* = (Σ kᵢ)⁻¹`, which [`IirConfig::validate`] checks exactly using
+/// rational arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IirConfig {
+    /// Exponent of the input scaling gain (`kexp = 2^kexp_exp`).
+    pub kexp_exp: u32,
+    /// Exponent of the loop gain `k*`.
+    pub k_star_exp: i32,
+    /// Exponents of the feedback taps `k₁ … k_N`.
+    pub tap_exps: Vec<i32>,
+}
+
+impl IirConfig {
+    /// The exact parameters used in the paper's §IV simulations:
+    /// `kexp = 8`, `k* = 1/4`, `k = [2, 1, 1/2, 1/4, 1/8, 1/8]`.
+    pub fn paper() -> Self {
+        IirConfig {
+            kexp_exp: 3,
+            k_star_exp: -2,
+            tap_exps: vec![1, 0, -1, -2, -3, -3],
+        }
+    }
+
+    /// A canonical, stable serialization of the exponents (consumed by
+    /// [`crate::system::Scheme::canonical_id`] for result-cache keys).
+    pub fn canonical_id(&self) -> String {
+        let taps: Vec<String> = self.tap_exps.iter().map(|e| e.to_string()).collect();
+        format!(
+            "kexp={}/kstar={}/taps={}",
+            self.kexp_exp,
+            self.k_star_exp,
+            taps.join(",")
+        )
+    }
+
+    /// Check the paper's Eq. (10): `k* · Σ kᵢ = 1`, exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyTaps`] when no taps are given;
+    /// [`Error::ConstraintViolation`] when the identity fails.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.tap_exps.is_empty() {
+            return Err(Error::EmptyTaps);
+        }
+        let sum = self
+            .tap_exps
+            .iter()
+            .map(|&e| Rational::pow2(e))
+            .fold(Rational::ZERO, |a, b| a + b);
+        let k_star = Rational::pow2(self.k_star_exp);
+        if sum * k_star != Rational::ONE {
+            return Err(Error::ConstraintViolation {
+                gain_sum: sum.to_f64(),
+                k_star_inv: k_star.recip().map(|r| r.to_f64()).unwrap_or(f64::NAN),
+            });
+        }
+        Ok(())
+    }
+
+    /// The filter's tap gains as floats `[k₁, …, k_N]`.
+    pub fn taps_f64(&self) -> Vec<f64> {
+        self.tap_exps.iter().map(|&e| 2f64.powi(e)).collect()
+    }
+
+    /// `k*` as a float.
+    pub fn k_star_f64(&self) -> f64 {
+        2f64.powi(self.k_star_exp)
+    }
+
+    /// The transfer function `H(z) = z⁻¹ (1/k* − Σ kᵢ z⁻ⁱ)⁻¹` (Eq. 9).
+    pub fn transfer_function(&self) -> TransferFunction {
+        let num = Polynomial::delay(1);
+        let mut den = vec![1.0 / self.k_star_f64()];
+        den.extend(self.taps_f64().iter().map(|k| -k));
+        TransferFunction::new(num, Polynomial::new(den))
+            .expect("IIR denominator has nonzero 1/k* constant term")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        let cfg = IirConfig::paper();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.taps_f64(), vec![2.0, 1.0, 0.5, 0.25, 0.125, 0.125]);
+        assert_eq!(cfg.k_star_f64(), 0.25);
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let empty = IirConfig {
+            kexp_exp: 3,
+            k_star_exp: -2,
+            tap_exps: vec![],
+        };
+        assert_eq!(empty.validate(), Err(Error::EmptyTaps));
+        let wrong = IirConfig {
+            kexp_exp: 3,
+            k_star_exp: -3, // 1/8, but taps sum to 4
+            tap_exps: vec![1, 0, -1, -2, -3, -3],
+        };
+        assert!(matches!(
+            wrong.validate(),
+            Err(Error::ConstraintViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn config_transfer_function_matches_library() {
+        let tf = IirConfig::paper().transfer_function();
+        let lib = zdomain::iir_paper_filter();
+        assert_eq!(tf.num(), lib.num());
+        assert_eq!(tf.den(), lib.den());
+    }
+}

@@ -54,11 +54,12 @@ pub mod probes {
 /// in this module rather than bad user input).
 pub fn build_fig4_model(
     m: usize,
-    controller: Box<dyn Controller>,
+    controller: impl Into<Controller>,
     setpoint: impl Fn(f64) -> f64 + 'static,
     homogeneous: impl Fn(f64) -> f64 + 'static,
     heterogeneous: impl Fn(f64) -> f64 + 'static,
 ) -> Result<Simulation, dtsim::Error> {
+    let controller = controller.into();
     let mut g = GraphBuilder::new();
     let depth = m + 2;
     let initial_len = controller.length();
@@ -77,9 +78,8 @@ pub fn build_fig4_model(
             1,
             false,
             controller,
-            #[allow(clippy::borrowed_box)] // the state type IS Box<dyn Controller>
-            |s: &Box<dyn Controller>, _in, out| out[0] = s.length(),
-            |s: &mut Box<dyn Controller>, inputs| {
+            |s: &Controller, _in, out| out[0] = s.length(),
+            |s: &mut Controller, inputs| {
                 s.step(inputs[0]);
             },
         )
@@ -201,7 +201,7 @@ mod tests {
         let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).unwrap();
         let mut sim = build_fig4_model(
             m,
-            Box::new(ctrl),
+            ctrl,
             |_| 1.0,                                 // unit set-point step at n=0
             |t| if t >= 20.0 { 0.5 } else { 0.0 },   // e step at n=20
             |t| if t >= 40.0 { -0.25 } else { 0.0 }, // μ step at n=40
@@ -222,7 +222,7 @@ mod tests {
         for m in [0usize, 1, 2] {
             let (dt_tau, dt_delta, dt_lro) = run_dt(m, 120);
             let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).unwrap();
-            let mut dl = DiscreteLoop::new(m, Box::new(ctrl), Quantization::None);
+            let mut dl = DiscreteLoop::new(m, ctrl, Quantization::None);
             let c = |_n: i64| 1.0;
             let e = |n: i64| if n >= 20 { 0.5 } else { 0.0 };
             let mu = |n: i64| if n >= 40 { -0.25 } else { 0.0 };
@@ -327,7 +327,7 @@ mod tests {
     #[test]
     fn model_rejects_nothing_but_runs_clean() {
         let ctrl = FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap();
-        let mut sim = build_fig4_model(1, Box::new(ctrl), |_| 64.0, |_| 0.0, |_| 0.0).unwrap();
+        let mut sim = build_fig4_model(1, ctrl, |_| 64.0, |_| 0.0, |_| 0.0).unwrap();
         sim.run(50).unwrap();
         let delta = sim.trace(probes::DELTA).unwrap();
         for (_, d) in delta.iter() {

@@ -120,7 +120,7 @@ pub struct EventLoop {
     generator: Generator,
     cdn: Cdn,
     sensors: SensorBank,
-    controller: Option<Box<dyn Controller>>,
+    controller: Option<Controller>,
     jitter: Option<PeriodJitter>,
     telemetry: Telemetry,
 }
@@ -155,7 +155,7 @@ impl EventLoop {
         generator: Generator,
         cdn: Cdn,
         sensors: SensorBank,
-        controller: Option<Box<dyn Controller>>,
+        controller: Option<Controller>,
     ) -> Self {
         EventLoop {
             setpoint: setpoint as f64,
@@ -370,9 +370,11 @@ mod tests {
             ro(64),
             Cdn::new(64.0).unwrap(),
             ideal_sensors(),
-            Some(Box::new(
-                FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap(),
-            )),
+            Some(
+                FloatIir::from_config(&IirConfig::paper(), 64.0)
+                    .unwrap()
+                    .into(),
+            ),
         );
         let samples = el.run(&NoVariation, 200);
         assert_eq!(samples.len(), 200);
@@ -451,9 +453,11 @@ mod tests {
             ro(64),
             Cdn::new(64.0).unwrap(),
             sensors,
-            Some(Box::new(
-                FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap(),
-            )),
+            Some(
+                FloatIir::from_config(&IirConfig::paper(), 64.0)
+                    .unwrap()
+                    .into(),
+            ),
         );
         let samples = el.run(&NoVariation, 1500);
         let tail = &samples[1200..];
@@ -479,9 +483,11 @@ mod tests {
             ro(64),
             Cdn::new(32.0).unwrap(),
             sensors,
-            Some(Box::new(
-                FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap(),
-            )),
+            Some(
+                FloatIir::from_config(&IirConfig::paper(), 64.0)
+                    .unwrap()
+                    .into(),
+            ),
         );
         let samples = el.run(&NoVariation, 1500);
         // Loop nulls the WORST sensor: lro -> 70 so that τ_worst = 64.
@@ -512,7 +518,7 @@ mod tests {
 
         let mut dl = DiscreteLoop::new(
             m,
-            Box::new(crate::controller::FreeRunning::new(c)),
+            crate::controller::FreeRunning::new(c),
             Quantization::None,
         );
         let cseq = constant(c as f64);
@@ -582,9 +588,11 @@ mod tests {
                 ro(64),
                 Cdn::new(64.0).unwrap(),
                 ideal_sensors(),
-                Some(Box::new(
-                    FloatIir::from_config(&IirConfig::paper(), 64.0).unwrap(),
-                )),
+                Some(
+                    FloatIir::from_config(&IirConfig::paper(), 64.0)
+                        .unwrap()
+                        .into(),
+                ),
             )
             .with_jitter(PeriodJitter::new(sigma, 7));
             let samples = el.run(&NoVariation, 4000);

@@ -75,7 +75,7 @@ pub struct LoopTrace {
 ///
 /// # fn main() -> Result<(), adaptive_clock::Error> {
 /// let ctrl = IntIirControl::new(IirConfig::paper(), 64)?;
-/// let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::Floor);
+/// let mut dl = DiscreteLoop::new(1, ctrl, Quantization::Floor);
 /// let c = constant(64.0);
 /// let zero = constant(0.0);
 /// let mu = step_at(10, -8.0);
@@ -90,7 +90,7 @@ pub struct LoopTrace {
 pub struct DiscreteLoop {
     m: usize,
     quantization: Quantization,
-    controller: Box<dyn Controller>,
+    controller: Controller,
     initial_length: f64,
     telemetry: Telemetry,
 }
@@ -109,7 +109,8 @@ impl DiscreteLoop {
     ///
     /// `initial_length` is both the controller's resting output and the
     /// pre-start generation history (the value `l_RO[n]` for `n < 0`).
-    pub fn new(m: usize, controller: Box<dyn Controller>, quantization: Quantization) -> Self {
+    pub fn new(m: usize, controller: impl Into<Controller>, quantization: Quantization) -> Self {
+        let controller = controller.into();
         let initial_length = controller.length();
         DiscreteLoop {
             m,
@@ -212,7 +213,7 @@ mod tests {
 
     fn paper_float_loop(m: usize) -> DiscreteLoop {
         let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).unwrap();
-        DiscreteLoop::new(m, Box::new(ctrl), Quantization::None)
+        DiscreteLoop::new(m, ctrl, Quantization::None)
     }
 
     /// The central cross-validation: the time-domain loop from rest must
@@ -341,7 +342,7 @@ mod tests {
     fn integer_loop_cancels_static_mismatch() {
         let c = 64.0;
         let ctrl = IntIirControl::new(IirConfig::paper(), 64).unwrap();
-        let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::Floor);
+        let mut dl = DiscreteLoop::new(1, ctrl, Quantization::Floor);
         let cseq = constant(c);
         let zero = constant(0.0);
         let mu = step_at(50, 12.0); // 0.1875c mismatch kicks in at period 50
@@ -372,7 +373,7 @@ mod tests {
     #[test]
     fn teatime_loop_cancels_static_mismatch_with_limit_cycle() {
         let c = 64.0;
-        let mut dl = DiscreteLoop::new(1, Box::new(TeaTime::new(64)), Quantization::Floor);
+        let mut dl = DiscreteLoop::new(1, TeaTime::new(64), Quantization::Floor);
         let cseq = constant(c);
         let zero = constant(0.0);
         let mu = step_at(10, -10.0);
@@ -392,7 +393,7 @@ mod tests {
 
     #[test]
     fn free_running_ignores_mismatch() {
-        let mut dl = DiscreteLoop::new(1, Box::new(FreeRunning::new(64)), Quantization::None);
+        let mut dl = DiscreteLoop::new(1, FreeRunning::new(64), Quantization::None);
         let cseq = constant(64.0);
         let zero = constant(0.0);
         let mu = constant(-8.0);
@@ -414,7 +415,7 @@ mod tests {
         // With M = 0 the RO and the TDC see (nearly) the same e: only the
         // one-period registration skew remains, so a slow e produces a tiny
         // error even for a free-running RO.
-        let mut dl = DiscreteLoop::new(0, Box::new(FreeRunning::new(64)), Quantization::None);
+        let mut dl = DiscreteLoop::new(0, FreeRunning::new(64), Quantization::None);
         let cseq = constant(64.0);
         let zero = constant(0.0);
         let e = |n: i64| 12.8 * (std::f64::consts::TAU * n as f64 / 1000.0).sin();
@@ -434,7 +435,7 @@ mod tests {
     #[test]
     fn reset_restores_equilibrium() {
         let ctrl = IntIirControl::new(IirConfig::paper(), 64).unwrap();
-        let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::Floor);
+        let mut dl = DiscreteLoop::new(1, ctrl, Quantization::Floor);
         let cseq = constant(64.0);
         let zero = constant(0.0);
         let mu = constant(5.0);

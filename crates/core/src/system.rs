@@ -369,7 +369,7 @@ impl System {
     fn event_loop(&self) -> EventLoop {
         let c = self.setpoint;
         let start = self.initial_length.unwrap_or(c);
-        let (generator, controller): (Generator, Option<Box<dyn crate::controller::Controller>>) =
+        let (generator, controller): (Generator, Option<crate::controller::Controller>) =
             match &self.scheme {
                 Scheme::Fixed => (Generator::Fixed { period: c as f64 }, None),
                 Scheme::FreeRo { extra_length } => {
@@ -380,7 +380,7 @@ impl System {
                                 .expect("bounds validated at build time")
                                 .with_coupling(self.coupling),
                         ),
-                        Some(Box::new(FreeRunning::new(len))),
+                        Some(FreeRunning::new(len).into()),
                     )
                 }
                 Scheme::TeaTime => (
@@ -389,7 +389,7 @@ impl System {
                             .expect("bounds validated at build time")
                             .with_coupling(self.coupling),
                     ),
-                    Some(Box::new(TeaTime::new(start))),
+                    Some(TeaTime::new(start).into()),
                 ),
                 Scheme::Iir(cfg) => (
                     Generator::Ro(
@@ -397,10 +397,11 @@ impl System {
                             .expect("bounds validated at build time")
                             .with_coupling(self.coupling),
                     ),
-                    Some(Box::new(
+                    Some(
                         IntIirControl::new(cfg.clone(), start)
-                            .expect("config validated at build time"),
-                    )),
+                            .expect("config validated at build time")
+                            .into(),
+                    ),
                 ),
                 Scheme::IirFloat(cfg) => (
                     Generator::Ro(
@@ -408,10 +409,11 @@ impl System {
                             .expect("bounds validated at build time")
                             .with_coupling(self.coupling),
                     ),
-                    Some(Box::new(
+                    Some(
                         FloatIir::from_config(cfg, start as f64)
-                            .expect("config validated at build time"),
-                    )),
+                            .expect("config validated at build time")
+                            .into(),
+                    ),
                 ),
             };
         let el = EventLoop::new(c, generator, self.cdn, self.sensor_bank(), controller)

@@ -1,6 +1,6 @@
 //! Time-to-digital converter (TDC) sensor model.
 //!
-//! Following Drake et al. (the paper's ref. [7]), a TDC outputs, every clock
+//! Following Drake et al. (the paper's ref. \[7\]), a TDC outputs, every clock
 //! cycle, the number of gate stages an alternating signal crossed during the
 //! last delivered period. In the additive stage-unit model a local delay
 //! variation of `v` stages (positive = slower gates) reduces the reading:

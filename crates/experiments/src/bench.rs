@@ -11,12 +11,12 @@
 //!    recurrences advanced one [`DiscreteLoop`] at a time versus all lanes
 //!    in lock-step through the SoA [`BatchLoop`] engine;
 //! 3. **warm-started vs classic Fig. 9 panel** — [`fig9::run_panel`]
-//!    against the coarse-to-fine [`fig9::run_panel_fast_observed`], with
-//!    the warm-up samples saved by the warm starts read back off the
+//!    against the coarse-to-fine [`fig9::run_panel_fast`], with the
+//!    warm-up samples saved by the warm starts read back off the
 //!    `margin_search.iterations_saved` telemetry counter;
 //! 4. **cold vs warm result cache** — the same Fig. 9 panel through
-//!    [`fig9::run_panel_cached`] against an empty and a fully-populated
-//!    on-disk store;
+//!    [`fig9::run_panel`] with a [`RunCtx`] cache attached, against an
+//!    empty and a fully-populated on-disk store;
 //! 5. **FIFO vs longest-job-first dispatch** — a synthetic sweep with a
 //!    few heavy items parked at the end of the grid, scheduled in submission
 //!    order versus by descending cost hint.
@@ -43,6 +43,7 @@ use crate::cache::SweepCache;
 use crate::config::PaperParams;
 use crate::fig9;
 use crate::render::Table;
+use crate::runner::RunCtx;
 use crate::sweep::{parallel_map, parallel_map_planned, Plan};
 
 /// One timed benchmark case.
@@ -287,7 +288,7 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
     let seq_ms = best_ms(REPS, || {
         time_ms(|| {
             for (m, ctrl, q) in lane_specs(c) {
-                let mut dl = DiscreteLoop::new(m, Box::new(ctrl), q);
+                let mut dl = DiscreteLoop::new(m, ctrl, q);
                 std::hint::black_box(dl.run(
                     &LoopInputs {
                         setpoint: &cs,
@@ -338,9 +339,10 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
     let (t_clk, te) = (1.0, 37.5);
     let samples = params.samples_for(te) as u64;
     let classic_steps = 4 * points as u64 * samples;
+    let bare_ctx = RunCtx::new(*params);
     let classic_ms = best_ms(REPS, || {
         time_ms(|| {
-            std::hint::black_box(fig9::run_panel(params, t_clk, te, points));
+            std::hint::black_box(fig9::run_panel(&bare_ctx, t_clk, te, points));
         })
     });
     // Both panels are *timed* with telemetry disabled so the comparison is
@@ -348,13 +350,12 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
     // counter comes from one untimed observed run afterwards.
     let fast_ms = best_ms(REPS, || {
         time_ms(|| {
-            std::hint::black_box(fig9::run_panel_fast(params, t_clk, te, points));
+            std::hint::black_box(fig9::run_panel_fast(&bare_ctx, t_clk, te, points));
         })
     });
     let telemetry = Telemetry::enabled();
-    std::hint::black_box(fig9::run_panel_fast_observed(
-        params, t_clk, te, points, &telemetry,
-    ));
+    let observed_ctx = RunCtx::new(*params).with_telemetry(telemetry.clone());
+    std::hint::black_box(fig9::run_panel_fast(&observed_ctx, t_clk, te, points));
     let saved = telemetry
         .snapshot()
         .counter("margin_search.iterations_saved")
@@ -392,10 +393,9 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
         rep += 1;
         let dir = cache_root.join(format!("cold-{rep}"));
         let cache = SweepCache::persistent(&dir, &off).expect("temp cache dir");
+        let ctx = RunCtx::new(*params).with_cache(cache);
         let ms = time_ms(|| {
-            std::hint::black_box(fig9::run_panel_cached(
-                params, t_clk, te, points, &cache, &off,
-            ));
+            std::hint::black_box(fig9::run_panel(&ctx, t_clk, te, points));
         });
         let _ = std::fs::remove_dir_all(&dir);
         ms
@@ -403,16 +403,14 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
     let warm_dir = cache_root.join("warm");
     {
         let cache = SweepCache::persistent(&warm_dir, &off).expect("temp cache dir");
-        std::hint::black_box(fig9::run_panel_cached(
-            params, t_clk, te, points, &cache, &off,
-        ));
+        let ctx = RunCtx::new(*params).with_cache(cache);
+        std::hint::black_box(fig9::run_panel(&ctx, t_clk, te, points));
     }
     let warm_ms = best_ms(REPS, || {
         let cache = SweepCache::persistent(&warm_dir, &off).expect("temp cache dir");
+        let ctx = RunCtx::new(*params).with_cache(cache);
         time_ms(|| {
-            std::hint::black_box(fig9::run_panel_cached(
-                params, t_clk, te, points, &cache, &off,
-            ));
+            std::hint::black_box(fig9::run_panel(&ctx, t_clk, te, points));
         })
     });
     let _ = std::fs::remove_dir_all(&cache_root);

@@ -14,96 +14,21 @@
 //!
 //! `REPRO_CACHE` and `REPRO_THREADS` provide environment defaults for
 //! `--cache` and `--threads`; `--no-cache` overrides both spellings.
+//!
+//! The binary owns only flag parsing and the shared-handle plumbing; the
+//! experiment ids, descriptions and dispatch all live in
+//! [`experiments::registry`], so `--list`, id validation and the bundles
+//! can never drift apart.
 
 use std::process::ExitCode;
 
 use clock_telemetry::Telemetry;
 use experiments::cache::SweepCache;
 use experiments::config::PaperParams;
+use experiments::registry::{self, Invocation};
 use experiments::render::Table;
-use experiments::{
-    bench, constraints, ext_coupling, ext_lock, ext_noise, ext_sensitivity, ext_stability,
-    ext_throughput, fig2, fig7, fig8, fig9, sweep, table1, worked,
-};
-
-/// Every dispatchable experiment id with a one-line description and an
-/// approximate simulated-step budget (what `--list` shows; "analytic"
-/// means no time-domain simulation at all).
-const EXPERIMENTS: &[(&str, &str, &str)] = &[
-    ("table1", "Table I — variability taxonomy", "static"),
-    (
-        "fig2",
-        "Fig. 2 — worst-case induced mismatch vs t_clk/Tv",
-        "analytic",
-    ),
-    (
-        "fig7",
-        "Fig. 7 — timing-error traces for the four schemes",
-        "~20k steps",
-    ),
-    (
-        "fig8",
-        "Fig. 8 — relative adaptive period vs CDN delay / HoDV period",
-        "~800k steps",
-    ),
-    (
-        "fig9",
-        "Fig. 9 — relative adaptive period vs RO-TDC mismatch",
-        "~1.7M steps",
-    ),
-    (
-        "worked-examples",
-        "§IV worked examples (60 % / 70 % SM reduction)",
-        "~40k steps",
-    ),
-    (
-        "constraints",
-        "§III-A constraints and the stability bound",
-        "analytic",
-    ),
-    (
-        "bench",
-        "engine benchmarks: compiled vs interpreted dtsim, batched loops, warm fig9, result cache, LJF dispatch",
-        "~3M steps",
-    ),
-    (
-        "ext-sensitivity",
-        "z-domain prediction of the adaptation error envelope",
-        "~200k steps",
-    ),
-    (
-        "ext-throughput",
-        "Razor-style pipeline throughput vs operated set-point",
-        "~80k steps",
-    ),
-    (
-        "ext-noise",
-        "broadband (OU + SSN burst) robustness",
-        "~100k steps",
-    ),
-    (
-        "ext-stability",
-        "clock-domain-size stability map across gain sets",
-        "analytic",
-    ),
-    (
-        "ext-lock",
-        "cold-start lock time vs the modal-analysis prediction",
-        "~30k steps",
-    ),
-    (
-        "ext-coupling",
-        "additive (paper) vs multiplicative variation coupling",
-        "~20k steps",
-    ),
-    ("all", "bundle: every paper artifact", "~2.6M steps"),
-    (
-        "extensions",
-        "bundle: every extension experiment",
-        "~450k steps",
-    ),
-    ("everything", "bundle: all + extensions", "~3M steps"),
-];
+use experiments::runner::RunCtx;
+use experiments::sweep;
 
 fn usage() -> &'static str {
     "usage: repro [--json [out.json]] [--quick] [--progress] [--telemetry <out.jsonl>] \
@@ -120,10 +45,21 @@ fn usage() -> &'static str {
 
 fn experiment_list() -> String {
     let mut out = String::from("experiments:\n");
-    for (id, desc, steps) in EXPERIMENTS {
-        out.push_str(&format!("  {id:<16} {steps:>12}  {desc}\n"));
+    for def in registry::REGISTRY {
+        out.push_str(&format!(
+            "  {:<16} {:>12}  {}\n",
+            def.id, def.steps, def.description
+        ));
     }
     out
+}
+
+/// Consume a boolean switch: report whether `flag` appears in `args`, and
+/// strip every occurrence.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    let present = args.iter().any(|a| a == flag);
+    args.retain(|a| a != flag);
+    present
 }
 
 fn main() -> ExitCode {
@@ -143,10 +79,8 @@ fn main() -> ExitCode {
         }
         args.remove(i);
     }
-    let quick = args.iter().any(|a| a == "--quick");
-    args.retain(|a| a != "--quick");
-    let progress = args.iter().any(|a| a == "--progress");
-    args.retain(|a| a != "--progress");
+    let quick = take_switch(&mut args, "--quick");
+    let progress = take_switch(&mut args, "--progress");
     sweep::set_progress(progress);
     let threads = match take_flag_value(&mut args, "--threads") {
         Ok(v) => v,
@@ -168,8 +102,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let no_cache = args.iter().any(|a| a == "--no-cache");
-    args.retain(|a| a != "--no-cache");
+    let no_cache = take_switch(&mut args, "--no-cache");
     let cache_dir = match take_flag_value(&mut args, "--cache") {
         Ok(v) => v,
         Err(e) => {
@@ -221,23 +154,21 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         return ExitCode::FAILURE;
     };
-    if !EXPERIMENTS.iter().any(|(id, _, _)| id == which) {
+    if registry::find(which).is_none() {
         eprintln!("error: unknown experiment '{which}'");
         eprint!("{}", experiment_list());
         return ExitCode::FAILURE;
     }
-    let ok = if which == "bench" {
-        run_bench(&params, quick, json, json_path.as_deref())
-    } else {
-        let ctx = Context {
-            params: &params,
-            json,
-            quick,
-            telemetry: &telemetry,
-            cache: &cache,
-        };
-        dispatch(which, &ctx)
+    let ctx = RunCtx::new(params)
+        .with_cache(cache.clone())
+        .with_telemetry(telemetry.clone());
+    let inv = Invocation {
+        ctx: &ctx,
+        quick,
+        json,
+        json_path: json_path.as_deref(),
     };
+    let ok = registry::run(which, &inv);
     if let Some(stats) = cache.stats() {
         let dir = cache_dir.as_deref().unwrap_or("<memory>");
         println!(
@@ -266,26 +197,6 @@ fn main() -> ExitCode {
         eprint!("{}", usage());
         ExitCode::FAILURE
     }
-}
-
-/// Run the engine benchmark suite and emit the report as a table, as JSON
-/// on stdout, or as a JSON file when `--json <out.json>` named one.
-fn run_bench(params: &PaperParams, quick: bool, json: bool, json_path: Option<&str>) -> bool {
-    let report = bench::run(params, quick);
-    if let Some(path) = json_path {
-        let payload = report.to_json().expect("plain data serializes");
-        if let Err(e) = std::fs::write(path, payload) {
-            eprintln!("error: cannot write {path}: {e}");
-            return false;
-        }
-        println!("{}", bench::render(&report));
-        println!("bench report written to {path}");
-    } else if json {
-        println!("{}", report.to_json().expect("plain data serializes"));
-    } else {
-        println!("{}", bench::render(&report));
-    }
-    true
 }
 
 /// Pull `<flag> <value>` out of `args`, returning the value.
@@ -344,172 +255,4 @@ fn telemetry_summary(telemetry: &Telemetry) -> String {
     out.push('\n');
     out.push_str(&events.render());
     out
-}
-
-/// Everything dispatch threads through to the experiments: parameters,
-/// output mode, the `--quick` grid shrink, instrumentation, and the result
-/// cache.
-struct Context<'a> {
-    params: &'a PaperParams,
-    json: bool,
-    quick: bool,
-    telemetry: &'a Telemetry,
-    cache: &'a SweepCache,
-}
-
-impl Context<'_> {
-    /// Grid size for a sweep: the classic point count, or the `--quick`
-    /// shrink.
-    fn points(&self, classic: usize, quick: usize) -> usize {
-        if self.quick {
-            quick
-        } else {
-            classic
-        }
-    }
-}
-
-fn dispatch(which: &str, ctx: &Context<'_>) -> bool {
-    let Context {
-        params,
-        json,
-        telemetry,
-        cache,
-        ..
-    } = *ctx;
-    match which {
-        "table1" => {
-            println!("{}", table1::render());
-            true
-        }
-        "fig2" => {
-            let r = fig2::run(4.0, 401);
-            if json {
-                println!("{}", r.to_json().expect("plain data serializes"));
-            } else {
-                println!("{}", fig2::render(&r));
-            }
-            true
-        }
-        "fig7" => {
-            for panel in fig7::run_cached(params, cache, telemetry) {
-                if json {
-                    println!("{}", panel.to_json().expect("plain data serializes"));
-                } else {
-                    println!("{}", fig7::render(&panel));
-                    println!("needed safety margins (stages):");
-                    for (label, m) in fig7::panel_margins(&panel) {
-                        println!("  {label:<12} {m:.2}");
-                    }
-                    println!();
-                }
-            }
-            true
-        }
-        "fig8" => {
-            let points = ctx.points(17, 9);
-            let upper = fig8::run_upper_cached(params, points, cache, telemetry);
-            let lower = fig8::run_lower_cached(params, points, cache, telemetry);
-            if json {
-                println!("{}", upper.to_json().expect("plain data serializes"));
-                println!("{}", lower.to_json().expect("plain data serializes"));
-            } else {
-                println!("{}", fig8::render(&upper, "t_clk/c"));
-                println!("{}", fig8::render(&lower, "Te/c"));
-            }
-            true
-        }
-        "fig9" => {
-            for panel in fig9::run_cached(params, ctx.points(9, 5), cache, telemetry) {
-                if json {
-                    println!("{}", panel.to_json().expect("plain data serializes"));
-                } else {
-                    println!("{}", fig9::render(&panel));
-                }
-            }
-            true
-        }
-        "worked-examples" => {
-            println!("{}", worked::render(&worked::run()));
-            true
-        }
-        "constraints" => {
-            println!("{}", constraints::render(&constraints::run(30)));
-            true
-        }
-        "ext-sensitivity" => {
-            let r = ext_sensitivity::run_cached(params, ctx.points(13, 7), cache, telemetry);
-            if json {
-                println!("{}", r.to_json().expect("plain data serializes"));
-            } else {
-                println!("{}", ext_sensitivity::render(&r));
-            }
-            true
-        }
-        "ext-throughput" => {
-            let r = ext_throughput::run_cached(params, 8, cache, telemetry);
-            if json {
-                println!("{}", r.to_json().expect("plain data serializes"));
-            } else {
-                println!("{}", ext_throughput::render(&r));
-            }
-            true
-        }
-        "ext-noise" => {
-            let seeds: &[u64] = if ctx.quick { &[1, 2] } else { &[1, 2, 3, 4, 5] };
-            let r = ext_noise::run_cached(params, seeds, cache, telemetry);
-            if json {
-                println!("{}", r.to_json().expect("plain data serializes"));
-            } else {
-                println!("{}", ext_noise::render(&r));
-            }
-            true
-        }
-        "ext-stability" => {
-            println!("{}", ext_stability::render(&ext_stability::run(300)));
-            true
-        }
-        "ext-lock" => {
-            println!("{}", ext_lock::render(&ext_lock::run()));
-            true
-        }
-        "ext-coupling" => {
-            println!(
-                "{}",
-                ext_coupling::render(&ext_coupling::run_cached(params, cache, telemetry))
-            );
-            true
-        }
-        "all" => {
-            for id in [
-                "table1",
-                "fig2",
-                "fig7",
-                "fig8",
-                "fig9",
-                "worked-examples",
-                "constraints",
-            ] {
-                println!("================ {id} ================\n");
-                dispatch(id, ctx);
-            }
-            true
-        }
-        "extensions" => {
-            for id in [
-                "ext-sensitivity",
-                "ext-throughput",
-                "ext-noise",
-                "ext-stability",
-                "ext-lock",
-                "ext-coupling",
-            ] {
-                println!("================ {id} ================\n");
-                dispatch(id, ctx);
-            }
-            true
-        }
-        "everything" => dispatch("all", ctx) && dispatch("extensions", ctx),
-        _ => false,
-    }
 }

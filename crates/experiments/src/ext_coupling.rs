@@ -12,12 +12,12 @@
 use adaptive_clock::ro::Coupling;
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use clock_metrics::margin;
-use clock_telemetry::Telemetry;
 use variation::sources::Harmonic;
 
-use crate::cache::{CacheKeyExt as _, SweepCache};
+use crate::cache::CacheKeyExt as _;
 use crate::config::PaperParams;
 use crate::render::{fmt, Table};
+use crate::runner::RunCtx;
 use crate::sweep::{parallel_map_planned, Plan};
 
 /// One measured operating point.
@@ -63,18 +63,11 @@ fn margin_with(
     margin::required_margin(&run)
 }
 
-/// Run the ablation over schemes × {Te} × {μ}.
-pub fn run(params: &PaperParams) -> Vec<CouplingRow> {
-    run_cached(params, &SweepCache::disabled(), &Telemetry::disabled())
-}
-
-/// [`run`] with a result cache consulted per grid point; the cached payload
-/// is the `[additive, multiplicative]` margin pair.
-pub fn run_cached(
-    params: &PaperParams,
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> Vec<CouplingRow> {
+/// Run the ablation over schemes × {Te} × {μ}. The result cache is
+/// consulted per grid point; the cached payload is the
+/// `[additive, multiplicative]` margin pair.
+pub fn run(ctx: &RunCtx) -> Vec<CouplingRow> {
+    let params = &ctx.params;
     struct Task {
         scheme: Scheme,
         te: f64,
@@ -108,7 +101,7 @@ pub fn run_cached(
     };
     let margins = parallel_map_planned(
         &tasks,
-        |t| match cache.get_f64s(task_key(t), 2) {
+        |t| match ctx.cache.get_f64s(task_key(t), 2) {
             Some(v) => Plan::Ready([v[0], v[1]]),
             // Both couplings are simulated, so the point costs two runs.
             None => Plan::Compute(2 * params.samples_for(t.te) as u64),
@@ -125,10 +118,10 @@ pub fn run_cached(
                     t.mu,
                 ),
             ];
-            cache.put_f64s(task_key(t), &pair);
+            ctx.cache.put_f64s(task_key(t), &pair);
             pair
         },
-        telemetry,
+        &ctx.telemetry,
     );
     tasks
         .iter()
@@ -180,7 +173,7 @@ mod tests {
     #[test]
     fn models_agree_within_second_order() {
         let params = PaperParams::default();
-        for row in run(&params) {
+        for row in run(&RunCtx::new(params)) {
             // second-order bound: |μ/c_ref|·amplitude + quantization slack
             let bound = row.mu_over_c.abs() * params.amplitude() + 2.0;
             assert!(
@@ -197,7 +190,7 @@ mod tests {
 
     #[test]
     fn all_twelve_points_measured() {
-        let rows = run(&PaperParams::default());
+        let rows = run(&RunCtx::new(PaperParams::default()));
         assert_eq!(rows.len(), 12);
         let text = render(&rows);
         assert!(text.contains("Worst disagreement"));

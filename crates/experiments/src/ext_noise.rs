@@ -10,15 +10,14 @@
 
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use clock_metrics::margin;
-use clock_telemetry::Telemetry;
 use variation::sources::Composite;
 use variation::stochastic::{OuProcess, SsnBursts, SsnConfig};
 
-use crate::cache::{CacheKeyExt as _, SweepCache};
+use crate::cache::CacheKeyExt as _;
 use crate::config::PaperParams;
 use crate::render::{fmt, Table};
 use crate::results::{ExperimentResult, Series};
-use crate::runner::adaptive_schemes;
+use crate::runner::{adaptive_schemes, RunCtx};
 use crate::sweep::{parallel_map_planned, Plan};
 
 /// Build the broadband profile for a given seed: slow OU temperature drift
@@ -40,23 +39,10 @@ pub fn broadband_profile(params: &PaperParams, seed: u64, horizon: f64) -> Compo
 }
 
 /// Relative adaptive period per scheme, averaged over `seeds` independent
-/// broadband profiles.
-pub fn run(params: &PaperParams, seeds: &[u64]) -> ExperimentResult {
-    run_cached(
-        params,
-        seeds,
-        &SweepCache::disabled(),
-        &Telemetry::disabled(),
-    )
-}
-
-/// [`run`] with a result cache consulted per `(scheme, seed)` grid point.
-pub fn run_cached(
-    params: &PaperParams,
-    seeds: &[u64],
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
+/// broadband profiles. The result cache is consulted per `(scheme, seed)`
+/// grid point.
+pub fn run(ctx: &RunCtx, seeds: &[u64]) -> ExperimentResult {
+    let params = &ctx.params;
     let c = params.setpoint;
     let samples = 20_000usize;
     let horizon = (samples as f64 + 10.0) * 1.5 * c as f64;
@@ -81,7 +67,7 @@ pub fn run_cached(
         };
         let ratios = parallel_map_planned(
             seeds,
-            |&seed| match cache.get_f64s(seed_key(seed), 1) {
+            |&seed| match ctx.cache.get_f64s(seed_key(seed), 1) {
                 Some(v) => Plan::Ready(v[0]),
                 // The point runs the adaptive system *and* its fixed
                 // baseline, so it costs two full simulations.
@@ -103,10 +89,10 @@ pub fn run_cached(
                     .run(&profile, samples)
                     .skip(params.warmup);
                 let ratio = margin::relative_adaptive_period(&adaptive, &fixed);
-                cache.put_f64s(seed_key(seed), &[ratio]);
+                ctx.cache.put_f64s(seed_key(seed), &[ratio]);
                 ratio
             },
-            telemetry,
+            &ctx.telemetry,
         );
         let xs: Vec<f64> = seeds.iter().map(|&s| s as f64).collect();
         result = result.with_series(Series::new(scheme.label(), xs, ratios));
@@ -147,8 +133,8 @@ mod tests {
 
     #[test]
     fn adaptive_schemes_beat_fixed_under_broadband_variation() {
-        let params = PaperParams::default();
-        let r = run(&params, &[11, 22]);
+        let ctx = RunCtx::new(PaperParams::default());
+        let r = run(&ctx, &[11, 22]);
         for s in &r.series {
             for (seed, ratio) in s.x.iter().zip(&s.y) {
                 assert!(
@@ -174,8 +160,8 @@ mod tests {
 
     #[test]
     fn render_reports_means_with_confidence_intervals() {
-        let params = PaperParams::default();
-        let r = run(&params, &[3, 4]);
+        let ctx = RunCtx::new(PaperParams::default());
+        let r = run(&ctx, &[3, 4]);
         let text = render(&r);
         assert!(text.contains("mean ratio for IIR RO"));
         assert!(text.contains("95% bootstrap CI"));

@@ -20,14 +20,13 @@ use adaptive_clock::controller::IirConfig;
 use adaptive_clock::loopsim::{constant, LoopInputs};
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use adaptive_clock::tdc::Quantization;
-use clock_telemetry::Telemetry;
 use variation::sources::Harmonic;
 use zdomain::{closedloop, Complex, TransferFunction};
 
-use crate::cache::{CacheKeyExt as _, SweepCache};
-use crate::config::PaperParams;
+use crate::cache::CacheKeyExt as _;
 use crate::render::{fmt, Table};
 use crate::results::{ExperimentResult, Series};
+use crate::runner::RunCtx;
 use crate::sweep::{log_grid, parallel_map_planned, Plan};
 
 /// Predicted error amplitude for perturbation period `te_over_c` and CDN
@@ -43,24 +42,11 @@ pub fn predicted_gain(h: &TransferFunction, m: usize, te_over_c: f64) -> f64 {
 }
 
 /// Run the sweep: measured vs predicted error amplitude across `T_e/c`.
-pub fn run(params: &PaperParams, points: usize) -> ExperimentResult {
-    run_cached(
-        params,
-        points,
-        &SweepCache::disabled(),
-        &Telemetry::disabled(),
-    )
-}
-
-/// [`run`] with a result cache consulted per measured `T_e` point (the
+/// The result cache is consulted per measured `T_e` point (the
 /// event-driven runs dominate the sweep; the batched discrete lanes and
 /// the z-domain prediction are cheap enough to recompute every time).
-pub fn run_cached(
-    params: &PaperParams,
-    points: usize,
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
+pub fn run(ctx: &RunCtx, points: usize) -> ExperimentResult {
+    let params = &ctx.params;
     // Below Te ≈ 8 periods the loop's own period modulation makes the CDN
     // depth M[n] swing within one perturbation cycle, so the fixed-M linear
     // prediction stops being meaningful; sweep the regime it claims.
@@ -81,7 +67,7 @@ pub fn run_cached(
     };
     let measured = parallel_map_planned(
         &tes,
-        |&te| match cache.get_f64s(te_key(te), 1) {
+        |&te| match ctx.cache.get_f64s(te_key(te), 1) {
             Some(v) => Plan::Ready(v[0]),
             None => Plan::Compute(params.samples_for(te) as u64),
         },
@@ -100,10 +86,10 @@ pub fn run_cached(
                 .timing_errors()
                 .iter()
                 .fold(0.0f64, |a, e| a.max(e.abs()));
-            cache.put_f64s(te_key(te), &[y]);
+            ctx.cache.put_f64s(te_key(te), &[y]);
             y
         },
-        telemetry,
+        &ctx.telemetry,
     );
     let predicted: Vec<f64> = tes
         .iter()
@@ -209,6 +195,7 @@ pub fn render(result: &ExperimentResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PaperParams;
     use adaptive_clock::controller::FloatIir;
     use adaptive_clock::loopsim::{constant, DiscreteLoop, LoopInputs};
 
@@ -220,7 +207,7 @@ mod tests {
         let amp = 12.8;
         for te in [10.0f64, 25.0, 50.0, 100.0, 400.0] {
             let ctrl = FloatIir::from_config(&IirConfig::paper(), 64.0).expect("paper");
-            let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::None);
+            let mut dl = DiscreteLoop::new(1, ctrl, Quantization::None);
             let cs = constant(64.0);
             let zero = constant(0.0);
             let e = move |n: i64| amp * (std::f64::consts::TAU * n as f64 / te).sin();
@@ -248,8 +235,7 @@ mod tests {
     /// adds real second-order error the linear model cannot see.
     #[test]
     fn prediction_tracks_event_engine_loosely() {
-        let params = PaperParams::default();
-        let r = run(&params, 7);
+        let r = run(&RunCtx::new(PaperParams::default()), 7);
         let meas = r.series_named("measured").unwrap();
         let pred = r.series_named("predicted").unwrap();
         for (i, &te) in meas.x.iter().enumerate() {
@@ -266,8 +252,7 @@ mod tests {
     /// prediction holds for, so its whole series must hug the prediction.
     #[test]
     fn batched_series_matches_prediction_tightly() {
-        let params = PaperParams::default();
-        let r = run(&params, 7);
+        let r = run(&RunCtx::new(PaperParams::default()), 7);
         let batched = r.series_named("discrete (batched)").expect("series");
         let pred = r.series_named("predicted").expect("series");
         for (i, &te) in batched.x.iter().enumerate() {
@@ -291,8 +276,7 @@ mod tests {
 
     #[test]
     fn render_lists_every_point() {
-        let params = PaperParams::default();
-        let r = run(&params, 5);
+        let r = run(&RunCtx::new(PaperParams::default()), 5);
         let text = render(&r);
         assert!(text.contains("predicted"));
         assert!(text.matches('\n').count() > 8);

@@ -10,13 +10,12 @@
 
 use adaptive_clock::pipeline::PipelineModel;
 use adaptive_clock::system::{Scheme, SystemBuilder};
-use clock_telemetry::Telemetry;
 use variation::sources::Harmonic;
 
-use crate::cache::{CacheKeyExt as _, SweepCache};
-use crate::config::PaperParams;
+use crate::cache::CacheKeyExt as _;
 use crate::render::{fmt, Table};
 use crate::results::{ExperimentResult, Series};
+use crate::runner::RunCtx;
 use crate::sweep::{parallel_map_planned, Plan};
 
 /// The run budget of one throughput point: samples and discarded warm-up.
@@ -25,32 +24,15 @@ const WARMUP: usize = 1000;
 
 /// Sweep the operated set-point for one scheme; return normalized
 /// throughput per set-point (1.0 = an ideal violation-free clock running
-/// exactly at `c_req`).
+/// exactly at `c_req`). The result cache is consulted per operated
+/// set-point.
 pub fn throughput_curve(
-    params: &PaperParams,
+    ctx: &RunCtx,
     scheme: Scheme,
     replay_penalty: usize,
     setpoints: &[i64],
 ) -> Vec<f64> {
-    throughput_curve_cached(
-        params,
-        scheme,
-        replay_penalty,
-        setpoints,
-        &SweepCache::disabled(),
-        &Telemetry::disabled(),
-    )
-}
-
-/// [`throughput_curve`] consulting a result cache per operated set-point.
-pub fn throughput_curve_cached(
-    params: &PaperParams,
-    scheme: Scheme,
-    replay_penalty: usize,
-    setpoints: &[i64],
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> Vec<f64> {
+    let params = &ctx.params;
     let c_req = params.setpoint;
     let model = PipelineModel::new(c_req as f64, replay_penalty);
     let hodv = Harmonic::new(params.amplitude(), 50.0 * c_req as f64, 0.0);
@@ -66,7 +48,7 @@ pub fn throughput_curve_cached(
     };
     parallel_map_planned(
         setpoints,
-        |&c_ctrl| match cache.get_f64s(point_key(c_ctrl), 1) {
+        |&c_ctrl| match ctx.cache.get_f64s(point_key(c_ctrl), 1) {
             Some(v) => Plan::Ready(v[0]),
             None => Plan::Compute(SAMPLES as u64),
         },
@@ -78,49 +60,20 @@ pub fn throughput_curve_cached(
                 .expect("valid configuration");
             let run = system.run(&hodv, SAMPLES).skip(WARMUP);
             let y = model.evaluate(&run).relative_throughput(c_req as f64);
-            cache.put_f64s(point_key(c_ctrl), &[y]);
+            ctx.cache.put_f64s(point_key(c_ctrl), &[y]);
             y
         },
-        telemetry,
+        &ctx.telemetry,
     )
 }
 
 /// Run the experiment for the IIR RO and the fixed clock.
-pub fn run(params: &PaperParams, replay_penalty: usize) -> ExperimentResult {
-    run_cached(
-        params,
-        replay_penalty,
-        &SweepCache::disabled(),
-        &Telemetry::disabled(),
-    )
-}
-
-/// [`run`] with a result cache consulted per grid point.
-pub fn run_cached(
-    params: &PaperParams,
-    replay_penalty: usize,
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
-    let c_req = params.setpoint;
+pub fn run(ctx: &RunCtx, replay_penalty: usize) -> ExperimentResult {
+    let c_req = ctx.params.setpoint;
     let setpoints: Vec<i64> = (c_req - 2..=c_req + 16).collect();
     let xs: Vec<f64> = setpoints.iter().map(|&c| c as f64).collect();
-    let iir = throughput_curve_cached(
-        params,
-        Scheme::iir_paper(),
-        replay_penalty,
-        &setpoints,
-        cache,
-        telemetry,
-    );
-    let fixed = throughput_curve_cached(
-        params,
-        Scheme::Fixed,
-        replay_penalty,
-        &setpoints,
-        cache,
-        telemetry,
-    );
+    let iir = throughput_curve(ctx, Scheme::iir_paper(), replay_penalty, &setpoints);
+    let fixed = throughput_curve(ctx, Scheme::Fixed, replay_penalty, &setpoints);
     ExperimentResult::new(
         "ext-throughput",
         format!(
@@ -169,9 +122,10 @@ pub fn render(result: &ExperimentResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PaperParams;
 
     fn result() -> ExperimentResult {
-        run(&PaperParams::default(), 8)
+        run(&RunCtx::new(PaperParams::default()), 8)
     }
 
     #[test]

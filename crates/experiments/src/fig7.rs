@@ -13,13 +13,13 @@
 
 use adaptive_clock::system::Scheme;
 use clock_rescache::Key;
-use clock_telemetry::{Event, Telemetry};
+use clock_telemetry::Event;
 
-use crate::cache::{CacheKeyExt as _, SweepCache};
+use crate::cache::CacheKeyExt as _;
 use crate::config::PaperParams;
 use crate::render::ascii_chart;
 use crate::results::{ExperimentResult, Series};
-use crate::runner::{run_scheme_observed, OperatingPoint};
+use crate::runner::{run_scheme, OperatingPoint, RunCtx};
 use crate::sweep::{parallel_map_planned, Plan};
 
 /// The paper's three perturbation periods, in multiples of `c`.
@@ -38,23 +38,6 @@ fn schemes() -> Vec<Scheme> {
     ]
 }
 
-/// Run one panel: timing-error series over the plotted window for each
-/// scheme.
-pub fn run_panel(params: &PaperParams, te_over_c: f64) -> ExperimentResult {
-    run_panel_observed(params, te_over_c, &Telemetry::disabled())
-}
-
-/// [`run_panel`] with instrumentation: engine counters/events flow through
-/// `telemetry`, and each scheme's needed margin is reported as one
-/// margin-search iteration at coordinate `te_over_c`.
-pub fn run_panel_observed(
-    params: &PaperParams,
-    te_over_c: f64,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
-    run_panel_cached(params, te_over_c, &SweepCache::disabled(), telemetry)
-}
-
 /// The content key of one scheme's windowed timing-error series.
 fn errors_key(params: &PaperParams, scheme: &Scheme, point: OperatingPoint) -> Key {
     crate::cache::key("fig7-errors")
@@ -68,29 +51,30 @@ fn errors_key(params: &PaperParams, scheme: &Scheme, point: OperatingPoint) -> K
         .finish()
 }
 
-/// [`run_panel_observed`] consulting a result cache: the cached payload is
-/// the plotted window's timing-error series per scheme.
-pub fn run_panel_cached(
-    params: &PaperParams,
-    te_over_c: f64,
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
+/// Run one panel: timing-error series over the plotted window for each
+/// scheme. The result cache is consulted per `(scheme, Te)` point (the
+/// cached payload is the plotted window's timing-error series); engine
+/// counters/events flow through `ctx.telemetry`, and each scheme's needed
+/// margin is reported as one margin-search iteration at coordinate
+/// `te_over_c`.
+pub fn run_panel(ctx: &RunCtx, te_over_c: f64) -> ExperimentResult {
+    let params = &ctx.params;
     let point = OperatingPoint::new(1.0, te_over_c);
     let tasks = schemes();
     let error_series = parallel_map_planned(
         &tasks,
-        |scheme| match cache.get_f64s_any(errors_key(params, scheme, point)) {
+        |scheme| match ctx.cache.get_f64s_any(errors_key(params, scheme, point)) {
             Some(errors) => Plan::Ready(errors),
             None => Plan::Compute(params.samples_for(te_over_c) as u64),
         },
         |scheme| {
-            let run = run_scheme_observed(params, scheme.clone(), point, telemetry);
+            let run = run_scheme(ctx, scheme.clone(), point);
             let errors = run.window(WINDOW.0, WINDOW.1).timing_errors();
-            cache.put_f64s(errors_key(params, scheme, point), &errors);
+            ctx.cache
+                .put_f64s(errors_key(params, scheme, point), &errors);
             errors
         },
-        telemetry,
+        &ctx.telemetry,
     );
     let series: Vec<Series> = tasks
         .iter()
@@ -102,12 +86,12 @@ pub fn run_panel_cached(
             Series::new(scheme.label(), x, errors)
         })
         .collect();
-    if telemetry.is_enabled() {
+    if ctx.telemetry.is_enabled() {
         for s in &series {
             let worst = s.y.iter().fold(0.0f64, |a, &v| a.min(v));
             let margin = -worst;
             if margin.is_finite() {
-                telemetry.emit(
+                ctx.telemetry.emit(
                     te_over_c,
                     Event::MarginSearchIteration {
                         experiment: "fig7".to_owned(),
@@ -134,25 +118,8 @@ pub fn run_panel_cached(
 }
 
 /// Run all three panels.
-pub fn run(params: &PaperParams) -> Vec<ExperimentResult> {
-    run_observed(params, &Telemetry::disabled())
-}
-
-/// [`run`] with instrumentation attached to every panel.
-pub fn run_observed(params: &PaperParams, telemetry: &Telemetry) -> Vec<ExperimentResult> {
-    run_cached(params, &SweepCache::disabled(), telemetry)
-}
-
-/// All three panels with a result cache consulted per `(scheme, Te)` point.
-pub fn run_cached(
-    params: &PaperParams,
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> Vec<ExperimentResult> {
-    PANELS
-        .iter()
-        .map(|&te| run_panel_cached(params, te, cache, telemetry))
-        .collect()
+pub fn run(ctx: &RunCtx) -> Vec<ExperimentResult> {
+    PANELS.iter().map(|&te| run_panel(ctx, te)).collect()
 }
 
 /// Render one panel as an ASCII chart.
@@ -185,9 +152,12 @@ pub fn panel_margins(result: &ExperimentResult) -> Vec<(String, f64)> {
 mod tests {
     use super::*;
 
+    fn ctx() -> RunCtx {
+        RunCtx::new(PaperParams::default())
+    }
+
     fn margins_of(te: f64) -> Vec<(String, f64)> {
-        let params = PaperParams::default();
-        panel_margins(&run_panel(&params, te))
+        panel_margins(&run_panel(&ctx(), te))
     }
 
     fn margin(ms: &[(String, f64)], label: &str) -> f64 {
@@ -199,8 +169,7 @@ mod tests {
 
     #[test]
     fn all_four_series_present_and_window_sized() {
-        let params = PaperParams::default();
-        let r = run_panel(&params, 25.0);
+        let r = run_panel(&ctx(), 25.0);
         assert_eq!(r.series.len(), 4);
         for s in &r.series {
             assert_eq!(s.len(), WINDOW.1 - WINDOW.0, "{}", s.label);
@@ -255,8 +224,7 @@ mod tests {
         // Paper (upper plot): "the negative timing error … is quite close
         // to the margin that would need a fixed clock …, nevertheless the
         // τ−c amplitude is reduced."
-        let params = PaperParams::default();
-        let r = run_panel(&params, 25.0);
+        let r = run_panel(&ctx(), 25.0);
         let amp = |label: &str| -> f64 {
             let s = r.series_named(label).unwrap();
             let max = s.y.iter().fold(f64::MIN, |a, &v| a.max(v));
@@ -277,8 +245,7 @@ mod tests {
 
     #[test]
     fn render_has_legend() {
-        let params = PaperParams::default();
-        let text = render(&run_panel(&params, 37.5));
+        let text = render(&run_panel(&ctx(), 37.5));
         for label in ["IIR RO", "Free RO", "TEAtime RO", "Fixed clock"] {
             assert!(text.contains(label));
         }

@@ -6,6 +6,11 @@
 //! delay is fixed at `t_clk = c` while the perturbation period sweeps
 //! `T_e/c ∈ [1, 1000]` (log axis).
 //!
+//! Both panels are declarative [`SweepSpec`]s run through the shared
+//! [`run_sweep`] pipeline: grid, scheme line-up, and operating-point map —
+//! the fixed-baseline accounting, cache probing, and margin-search
+//! telemetry all live in the pipeline.
+//!
 //! Paper observations the tests assert:
 //!
 //! * upper: for `t_clk/c` up to ≈ 5 the IIR RO is the best option (ratio
@@ -16,181 +21,46 @@
 //!   for `T_e/c > 200` the IIR RO and the free RO perform the same.
 
 use adaptive_clock::system::Scheme;
-use clock_telemetry::{Event, Telemetry};
 
-use crate::cache::SweepCache;
-use crate::config::PaperParams;
 use crate::render::{ascii_chart, fmt, Table};
-use crate::results::{ExperimentResult, Series};
-use crate::runner::{adaptive_schemes, summary_compute, summary_probe, OperatingPoint, RunSummary};
-use crate::sweep::{log_grid, parallel_map_planned};
+use crate::results::ExperimentResult;
+use crate::runner::{adaptive_schemes, run_sweep, OperatingPoint, RunCtx, SweepSpec};
+use crate::sweep::log_grid;
 
-/// The fixed-clock baselines of a panel, one per grid point, computed once
-/// and shared by every adaptive scheme's sweep (the baseline depends only
-/// on the operating point, not on the scheme under test). The baseline runs
-/// stay unobserved (no per-run engine events) so adaptive-run telemetry is
-/// not doubled, matching the classic panels.
-fn fixed_baselines(
-    params: &PaperParams,
-    xs: &[f64],
-    point_at: &(impl Fn(f64) -> OperatingPoint + Sync),
-    cache: &SweepCache,
-) -> Vec<RunSummary> {
-    parallel_map_planned(
-        xs,
-        |&x| summary_probe(cache, params, &Scheme::Fixed, point_at(x)),
-        |&x| {
-            summary_compute(
-                cache,
-                params,
-                &Scheme::Fixed,
-                point_at(x),
-                &Telemetry::disabled(),
-            )
+/// Upper panel: sweep `t_clk/c` at fixed `T_e = 100c`.
+pub fn run_upper(ctx: &RunCtx, points: usize) -> ExperimentResult {
+    run_sweep(
+        ctx,
+        &SweepSpec {
+            id: "fig8-upper",
+            description: format!(
+                "Relative adaptive period vs t_clk/c at Te = 100c \
+                 (c = {}, HoDV amplitude 0.2c)",
+                ctx.params.setpoint
+            ),
+            grid: log_grid(0.1, 10.0, points),
+            schemes: adaptive_schemes(),
+            point_at: |x| OperatingPoint::new(x, 100.0),
         },
-        &Telemetry::disabled(),
     )
 }
 
-/// The shared environment of one fig8 panel: parameters plus the cache
-/// and telemetry handles every scheme sweep consults.
-struct Panel<'a> {
-    params: &'a PaperParams,
-    cache: &'a SweepCache,
-    telemetry: &'a Telemetry,
-}
-
-/// Sweep one scheme over `xs` against pre-computed fixed baselines,
-/// reporting every grid point as a margin-search iteration on `telemetry`
-/// (cache hits report too — the iteration happened, it just cost nothing).
-fn sweep_scheme(
-    panel: &Panel<'_>,
-    scheme: &Scheme,
-    experiment: &str,
-    xs: &[f64],
-    fixed: &[RunSummary],
-    point_at: &(impl Fn(f64) -> OperatingPoint + Sync),
-) -> Vec<f64> {
-    let Panel {
-        params,
-        cache,
-        telemetry,
-    } = *panel;
-    let summaries = parallel_map_planned(
-        xs,
-        |&x| summary_probe(cache, params, scheme, point_at(x)),
-        |&x| summary_compute(cache, params, scheme, point_at(x), telemetry),
-        telemetry,
-    );
-    let ys: Vec<f64> = summaries
-        .iter()
-        .zip(fixed)
-        .map(|(adaptive, baseline)| adaptive.relative_to(baseline))
-        .collect();
-    if telemetry.is_enabled() {
-        for (&x, &y) in xs.iter().zip(&ys) {
-            if y.is_finite() {
-                telemetry.emit(
-                    x,
-                    Event::MarginSearchIteration {
-                        experiment: experiment.to_owned(),
-                        scheme: scheme.label().to_owned(),
-                        x,
-                        value: y,
-                    },
-                );
-            }
-        }
-    }
-    ys
-}
-
-/// Upper panel: sweep `t_clk/c` at fixed `T_e = 100c`.
-pub fn run_upper(params: &PaperParams, points: usize) -> ExperimentResult {
-    run_upper_observed(params, points, &Telemetry::disabled())
-}
-
-/// [`run_upper`] with instrumentation.
-pub fn run_upper_observed(
-    params: &PaperParams,
-    points: usize,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
-    run_upper_cached(params, points, &SweepCache::disabled(), telemetry)
-}
-
-/// [`run_upper_observed`] consulting a result cache per grid point.
-pub fn run_upper_cached(
-    params: &PaperParams,
-    points: usize,
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
-    let xs = log_grid(0.1, 10.0, points);
-    let mut result = ExperimentResult::new(
-        "fig8-upper",
-        format!(
-            "Relative adaptive period vs t_clk/c at Te = 100c \
-             (c = {}, HoDV amplitude 0.2c)",
-            params.setpoint
-        ),
-    );
-    let point_at = |x| OperatingPoint::new(x, 100.0);
-    let fixed = fixed_baselines(params, &xs, &point_at, cache);
-    let panel = Panel {
-        params,
-        cache,
-        telemetry,
-    };
-    for scheme in adaptive_schemes() {
-        let ys = sweep_scheme(&panel, &scheme, "fig8-upper", &xs, &fixed, &point_at);
-        result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
-    }
-    result
-}
-
 /// Lower panel: sweep `T_e/c` at fixed `t_clk = c`.
-pub fn run_lower(params: &PaperParams, points: usize) -> ExperimentResult {
-    run_lower_observed(params, points, &Telemetry::disabled())
-}
-
-/// [`run_lower`] with instrumentation.
-pub fn run_lower_observed(
-    params: &PaperParams,
-    points: usize,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
-    run_lower_cached(params, points, &SweepCache::disabled(), telemetry)
-}
-
-/// [`run_lower_observed`] consulting a result cache per grid point.
-pub fn run_lower_cached(
-    params: &PaperParams,
-    points: usize,
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
-    let xs = log_grid(1.0, 1000.0, points);
-    let mut result = ExperimentResult::new(
-        "fig8-lower",
-        format!(
-            "Relative adaptive period vs Te/c at t_clk = c \
-             (c = {}, HoDV amplitude 0.2c)",
-            params.setpoint
-        ),
-    );
-    let point_at = |x| OperatingPoint::new(1.0, x);
-    let fixed = fixed_baselines(params, &xs, &point_at, cache);
-    let panel = Panel {
-        params,
-        cache,
-        telemetry,
-    };
-    for scheme in adaptive_schemes() {
-        let ys = sweep_scheme(&panel, &scheme, "fig8-lower", &xs, &fixed, &point_at);
-        result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
-    }
-    result
+pub fn run_lower(ctx: &RunCtx, points: usize) -> ExperimentResult {
+    run_sweep(
+        ctx,
+        &SweepSpec {
+            id: "fig8-lower",
+            description: format!(
+                "Relative adaptive period vs Te/c at t_clk = c \
+                 (c = {}, HoDV amplitude 0.2c)",
+                ctx.params.setpoint
+            ),
+            grid: log_grid(1.0, 1000.0, points),
+            schemes: adaptive_schemes(),
+            point_at: |x| OperatingPoint::new(1.0, x),
+        },
+    )
 }
 
 /// Render a panel as chart plus table.
@@ -228,14 +98,15 @@ pub fn y_at(result: &ExperimentResult, scheme: &Scheme, x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PaperParams;
 
-    fn params() -> PaperParams {
-        PaperParams::default()
+    fn ctx() -> RunCtx {
+        RunCtx::new(PaperParams::default())
     }
 
     #[test]
     fn upper_iir_wins_at_small_delay_and_degrades() {
-        let r = run_upper(&params(), 9);
+        let r = run_upper(&ctx(), 9);
         let iir = Scheme::iir_paper();
         let at_small = y_at(&r, &iir, 0.1);
         let at_large = y_at(&r, &iir, 10.0);
@@ -250,7 +121,7 @@ mod tests {
     fn upper_iir_at_least_ties_free_ro_for_small_delays() {
         // Paper: "for the whole range until t_clk/c = 5 the IIR RO shows
         // the best performance, slightly better than the free RO".
-        let r = run_upper(&params(), 9);
+        let r = run_upper(&ctx(), 9);
         let iir = Scheme::iir_paper();
         let free = Scheme::FreeRo { extra_length: 0 };
         for x in [0.1, 0.32, 1.0, 3.2] {
@@ -265,7 +136,7 @@ mod tests {
 
     #[test]
     fn lower_no_benefit_at_very_fast_perturbation() {
-        let r = run_lower(&params(), 9);
+        let r = run_lower(&ctx(), 9);
         for scheme in adaptive_schemes() {
             let y = y_at(&r, &scheme, 1.0);
             assert!(
@@ -278,7 +149,7 @@ mod tests {
 
     #[test]
     fn lower_all_adaptive_win_at_slow_perturbation() {
-        let r = run_lower(&params(), 9);
+        let r = run_lower(&ctx(), 9);
         for scheme in adaptive_schemes() {
             let y = y_at(&r, &scheme, 1000.0);
             assert!(
@@ -293,7 +164,7 @@ mod tests {
     fn lower_iir_and_free_converge_at_very_slow_perturbation() {
         // Paper: "For Te/c > 200 IIR RO and free RO show the same
         // performance."
-        let r = run_lower(&params(), 9);
+        let r = run_lower(&ctx(), 9);
         let yi = y_at(&r, &Scheme::iir_paper(), 1000.0);
         let yf = y_at(&r, &Scheme::FreeRo { extra_length: 0 }, 1000.0);
         assert!((yi - yf).abs() < 0.05, "at Te=1000c: IIR {yi} vs free {yf}");
@@ -301,7 +172,7 @@ mod tests {
 
     #[test]
     fn render_contains_all_series_and_axis() {
-        let r = run_lower(&params(), 5);
+        let r = run_lower(&ctx(), 5);
         let text = render(&r, "Te/c");
         assert!(text.contains("Te/c"));
         assert!(text.contains("IIR RO"));

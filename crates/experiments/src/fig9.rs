@@ -13,15 +13,13 @@
 //! does TEAtime surpass it, and the free RO wins only at strongly negative
 //! mismatch.
 
-use clock_telemetry::{Event, Telemetry};
+use clock_telemetry::Event;
 
-use crate::cache::SweepCache;
-use crate::config::PaperParams;
 use crate::render::{fmt, Table};
 use crate::results::{ExperimentResult, Series};
 use crate::runner::{
-    run_scheme_observed, run_scheme_warm, settled_length, summary_compute, summary_probe,
-    OperatingPoint, RunSummary,
+    run_scheme, run_scheme_warm, settled_length, summary_compute, summary_probe, OperatingPoint,
+    RunCtx, RunSummary,
 };
 use crate::sweep::{linear_grid, parallel_map, parallel_map_planned};
 use adaptive_clock::system::Scheme;
@@ -32,52 +30,18 @@ pub const T_CLK_GRID: [f64; 3] = [0.75, 1.0, 1.25];
 pub const TE_GRID: [f64; 3] = [25.0, 37.5, 50.0];
 
 /// Run one panel `(t_clk/c, T_e/c)` over a μ sweep of `points` values.
+///
+/// The result cache is consulted per `(scheme, μ)` grid point: hits
+/// short-circuit before a worker is occupied, misses run cold and backfill
+/// the cache. With a disabled cache this *is* the classic panel — every
+/// point computes, in cost-sorted dispatch order, and the resulting series
+/// are identical. Every grid point of the panel is reported as a
+/// margin-search iteration at coordinate `μ` on `ctx.telemetry`.
 pub fn run_panel(
-    params: &PaperParams,
+    ctx: &RunCtx,
     t_clk_over_c: f64,
     te_over_c: f64,
     points: usize,
-) -> ExperimentResult {
-    run_panel_observed(
-        params,
-        t_clk_over_c,
-        te_over_c,
-        points,
-        &Telemetry::disabled(),
-    )
-}
-
-/// [`run_panel`] with instrumentation: every `(scheme, μ)` grid point of
-/// the panel is reported as a margin-search iteration at coordinate `μ`.
-pub fn run_panel_observed(
-    params: &PaperParams,
-    t_clk_over_c: f64,
-    te_over_c: f64,
-    points: usize,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
-    run_panel_cached(
-        params,
-        t_clk_over_c,
-        te_over_c,
-        points,
-        &SweepCache::disabled(),
-        telemetry,
-    )
-}
-
-/// [`run_panel_observed`] consulting a result cache per `(scheme, μ)` grid
-/// point: hits short-circuit before a worker is occupied, misses run cold
-/// and backfill the cache. With a disabled cache this *is* the classic
-/// panel — every point computes, in cost-sorted dispatch order, and the
-/// resulting series are identical.
-pub fn run_panel_cached(
-    params: &PaperParams,
-    t_clk_over_c: f64,
-    te_over_c: f64,
-    points: usize,
-    cache: &SweepCache,
-    telemetry: &Telemetry,
 ) -> ExperimentResult {
     let mus = linear_grid(-0.2, 0.2, points);
     // All (scheme, μ) runs of the panel, parallel.
@@ -102,17 +66,21 @@ pub fn run_panel_cached(
     let point_of = |t: &Task| OperatingPoint::new(t_clk_over_c, te_over_c).with_mu(t.mu);
     let summaries = parallel_map_planned(
         &tasks,
-        |t| summary_probe(cache, params, &t.scheme, point_of(t)),
-        |t| summary_compute(cache, params, &t.scheme, point_of(t), telemetry),
-        telemetry,
+        |t| summary_probe(ctx, &t.scheme, point_of(t)),
+        |t| summary_compute(ctx, &t.scheme, point_of(t)),
+        &ctx.telemetry,
     );
     let labelled: Vec<(&'static str, f64, RunSummary)> = tasks
         .iter()
         .zip(summaries)
         .map(|(t, s)| (t.scheme.label(), t.mu, s))
         .collect();
-    assemble_panel(params, t_clk_over_c, te_over_c, &mus, &labelled, telemetry)
+    assemble_panel(ctx, t_clk_over_c, te_over_c, &mus, &labelled)
 }
+
+/// Every `COARSE_STRIDE`-th μ point of a fast panel is run cold; the
+/// points in between are warm-started from their nearest cold neighbour.
+pub const COARSE_STRIDE: usize = 4;
 
 /// Warm-started variant of [`run_panel`]: coarse-to-fine over the μ grid.
 ///
@@ -123,35 +91,15 @@ pub fn run_panel_cached(
 /// within a few stages of its operating point. The measurement window
 /// keeps its classic length, so the produced curves match [`run_panel`] to
 /// well under a percent while simulating substantially fewer samples.
+/// Warm-up samples saved by the warm starts accumulate on the
+/// `margin_search.iterations_saved` counter of `ctx.telemetry`.
 pub fn run_panel_fast(
-    params: &PaperParams,
+    ctx: &RunCtx,
     t_clk_over_c: f64,
     te_over_c: f64,
     points: usize,
 ) -> ExperimentResult {
-    run_panel_fast_observed(
-        params,
-        t_clk_over_c,
-        te_over_c,
-        points,
-        &Telemetry::disabled(),
-    )
-}
-
-/// Every `COARSE_STRIDE`-th μ point of a fast panel is run cold; the
-/// points in between are warm-started from their nearest cold neighbour.
-pub const COARSE_STRIDE: usize = 4;
-
-/// [`run_panel_fast`] with instrumentation: warm-up samples saved by the
-/// warm starts accumulate on the `margin_search.iterations_saved` counter,
-/// and every grid point is reported as a margin-search iteration.
-pub fn run_panel_fast_observed(
-    params: &PaperParams,
-    t_clk_over_c: f64,
-    te_over_c: f64,
-    points: usize,
-    telemetry: &Telemetry,
-) -> ExperimentResult {
+    let params = &ctx.params;
     let mus = linear_grid(-0.2, 0.2, points);
     let warmup_fast = (params.warmup / 4).max(64).min(params.warmup);
     let schemes = [
@@ -180,11 +128,10 @@ pub fn run_panel_fast_observed(
         }
     }
     let cold_runs = parallel_map(&cold_tasks, |t| {
-        run_scheme_observed(
-            params,
+        run_scheme(
+            ctx,
             t.scheme.clone(),
             OperatingPoint::new(t_clk_over_c, te_over_c).with_mu(t.mu),
-            telemetry,
         )
     });
 
@@ -223,16 +170,15 @@ pub fn run_panel_fast_observed(
     }
     let warm_runs = parallel_map(&warm_tasks, |t| {
         run_scheme_warm(
-            params,
+            ctx,
             t.scheme.clone(),
             OperatingPoint::new(t_clk_over_c, te_over_c).with_mu(t.mu),
             t.init,
             warmup_fast,
-            telemetry,
         )
     });
     let saved = params.warmup.saturating_sub(warmup_fast) * warm_tasks.len();
-    telemetry
+    ctx.telemetry
         .counter("margin_search.iterations_saved")
         .add(saved as u64);
 
@@ -247,19 +193,18 @@ pub fn run_panel_fast_observed(
                 .map(|(t, r)| (t.scheme.label(), t.mu, RunSummary::of(r))),
         )
         .collect();
-    assemble_panel(params, t_clk_over_c, te_over_c, &mus, &labelled, telemetry)
+    assemble_panel(ctx, t_clk_over_c, te_over_c, &mus, &labelled)
 }
 
 /// Turn a panel's complete `(scheme, μ) → run summary` grid into the three
 /// Fig. 9 series, applying the shared free-RO design margin and emitting
 /// margin-search telemetry.
 fn assemble_panel(
-    params: &PaperParams,
+    ctx: &RunCtx,
     t_clk_over_c: f64,
     te_over_c: f64,
     mus: &[f64],
     runs: &[(&'static str, f64, RunSummary)],
-    telemetry: &Telemetry,
 ) -> ExperimentResult {
     let get = |label: &str, mu: f64| {
         runs.iter()
@@ -279,7 +224,7 @@ fn assemble_panel(
         format!(
             "Relative adaptive period vs μ/c at t_clk = {t_clk_over_c}c, Te = {te_over_c}c \
              (c = {}, HoDV amplitude 0.2c; free-RO margin fixed over the μ range)",
-            params.setpoint
+            ctx.params.setpoint
         ),
     );
     for label in ["Free RO", "TEAtime RO", "IIR RO"] {
@@ -295,10 +240,10 @@ fn assemble_panel(
                 }
             })
             .collect();
-        if telemetry.is_enabled() {
+        if ctx.telemetry.is_enabled() {
             for (&mu, &y) in mus.iter().zip(&ys) {
                 if y.is_finite() {
-                    telemetry.emit(
+                    ctx.telemetry.emit(
                         mu,
                         Event::MarginSearchIteration {
                             experiment: result.id.clone(),
@@ -316,32 +261,11 @@ fn assemble_panel(
 }
 
 /// Run the full 3×3 grid.
-pub fn run(params: &PaperParams, points: usize) -> Vec<ExperimentResult> {
-    run_observed(params, points, &Telemetry::disabled())
-}
-
-/// [`run`] with instrumentation attached to every panel.
-pub fn run_observed(
-    params: &PaperParams,
-    points: usize,
-    telemetry: &Telemetry,
-) -> Vec<ExperimentResult> {
-    run_cached(params, points, &SweepCache::disabled(), telemetry)
-}
-
-/// The full 3×3 grid with a result cache consulted per grid point.
-pub fn run_cached(
-    params: &PaperParams,
-    points: usize,
-    cache: &SweepCache,
-    telemetry: &Telemetry,
-) -> Vec<ExperimentResult> {
+pub fn run(ctx: &RunCtx, points: usize) -> Vec<ExperimentResult> {
     let mut out = Vec::with_capacity(9);
     for &te in &TE_GRID {
         for &t_clk in &T_CLK_GRID {
-            out.push(run_panel_cached(
-                params, t_clk, te, points, cache, telemetry,
-            ));
+            out.push(run_panel(ctx, t_clk, te, points));
         }
     }
     out
@@ -365,6 +289,13 @@ pub fn render(result: &ExperimentResult) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::SweepCache;
+    use crate::config::PaperParams;
+    use clock_telemetry::Telemetry;
+
+    fn ctx() -> RunCtx {
+        RunCtx::new(PaperParams::default())
+    }
 
     fn mean_of(result: &ExperimentResult, label: &str) -> f64 {
         let s = result.series_named(label).unwrap();
@@ -373,8 +304,7 @@ mod tests {
 
     #[test]
     fn panel_has_three_series_over_mu_range() {
-        let params = PaperParams::default();
-        let r = run_panel(&params, 1.0, 37.5, 5);
+        let r = run_panel(&ctx(), 1.0, 37.5, 5);
         assert_eq!(r.series.len(), 3);
         for s in &r.series {
             assert_eq!(s.len(), 5);
@@ -386,9 +316,8 @@ mod tests {
     #[test]
     fn iir_beats_free_ro_on_average_at_mid_frequency() {
         // Paper: "On almost any situation the IIR RO is the best option."
-        let params = PaperParams::default();
         for &t_clk in &T_CLK_GRID {
-            let r = run_panel(&params, t_clk, 50.0, 5);
+            let r = run_panel(&ctx(), t_clk, 50.0, 5);
             let iir = mean_of(&r, "IIR RO");
             let free = mean_of(&r, "Free RO");
             assert!(
@@ -404,8 +333,7 @@ mod tests {
         // while the fixed-clock denominator grows as μ/c → −0.2, so its
         // curve must fall toward negative mismatch (why the paper sees the
         // free RO win for μ/c < −0.1 at high frequency).
-        let params = PaperParams::default();
-        let r = run_panel(&params, 1.0, 25.0, 5);
+        let r = run_panel(&ctx(), 1.0, 25.0, 5);
         let s = r.series_named("Free RO").unwrap();
         let at_neg = s.nearest(-0.2).unwrap();
         let at_pos = s.nearest(0.2).unwrap();
@@ -421,7 +349,7 @@ mod tests {
         // depends on μ; the residual slope comes from the fixed-clock
         // denominator.
         let params = PaperParams::default();
-        let r = run_panel(&params, 1.0, 50.0, 5);
+        let r = run_panel(&RunCtx::new(params), 1.0, 50.0, 5);
         let s = r.series_named("IIR RO").unwrap();
         let needed_spread: Vec<f64> =
             s.x.iter()
@@ -454,10 +382,9 @@ mod tests {
 
     #[test]
     fn fast_panel_matches_classic_and_banks_saved_iterations() {
-        let params = PaperParams::default();
         let telemetry = Telemetry::enabled();
-        let classic = run_panel(&params, 1.0, 37.5, 5);
-        let fast = run_panel_fast_observed(&params, 1.0, 37.5, 5, &telemetry);
+        let classic = run_panel(&ctx(), 1.0, 37.5, 5);
+        let fast = run_panel_fast(&ctx().with_telemetry(telemetry.clone()), 1.0, 37.5, 5);
         assert_eq!(fast.series.len(), classic.series.len());
         for s in &classic.series {
             let f = fast.series_named(&s.label).expect("same series line-up");
@@ -480,11 +407,11 @@ mod tests {
 
     #[test]
     fn cached_panel_is_bit_identical_and_hits_on_rerun() {
-        let params = PaperParams::default();
         let cache = SweepCache::in_memory(&Telemetry::disabled());
-        let uncached = run_panel(&params, 1.0, 37.5, 5);
-        let cold = run_panel_cached(&params, 1.0, 37.5, 5, &cache, &Telemetry::disabled());
-        let warm = run_panel_cached(&params, 1.0, 37.5, 5, &cache, &Telemetry::disabled());
+        let cached_ctx = ctx().with_cache(cache.clone());
+        let uncached = run_panel(&ctx(), 1.0, 37.5, 5);
+        let cold = run_panel(&cached_ctx, 1.0, 37.5, 5);
+        let warm = run_panel(&cached_ctx, 1.0, 37.5, 5);
         for reference in [&cold, &warm] {
             assert_eq!(reference.series.len(), uncached.series.len());
             for (a, b) in uncached.series.iter().zip(&reference.series) {
@@ -502,8 +429,7 @@ mod tests {
 
     #[test]
     fn render_tables_all_mu_rows() {
-        let params = PaperParams::default();
-        let r = run_panel(&params, 0.75, 25.0, 5);
+        let r = run_panel(&ctx(), 0.75, 25.0, 5);
         let text = render(&r);
         assert!(text.contains("μ/c"));
         assert!(text.contains("-0.2"));

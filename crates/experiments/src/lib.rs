@@ -50,6 +50,7 @@ pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod registry;
 pub mod render;
 pub mod results;
 pub mod runner;

@@ -1,17 +1,73 @@
-//! Shared machinery for running scheme comparisons at one operating point,
-//! plus the compact per-run summary the result cache stores instead of the
-//! full trace.
+//! Shared machinery for running scheme comparisons at one operating point:
+//! the [`RunCtx`] every experiment threads through its pipeline, the
+//! compact per-run summary the result cache stores instead of the full
+//! trace, and the declarative [`SweepSpec`] pipeline Fig.-8-style panels
+//! are built from.
 
 use adaptive_clock::system::{Scheme, SystemBuilder};
 use adaptive_clock::RunTrace;
 use clock_metrics::margin;
 use clock_rescache::Key;
-use clock_telemetry::Telemetry;
+use clock_telemetry::{Event, Telemetry};
 use variation::sources::Harmonic;
 
 use crate::cache::{CacheKeyExt as _, SweepCache};
 use crate::config::PaperParams;
-use crate::sweep::Plan;
+use crate::results::{ExperimentResult, Series};
+use crate::sweep::{parallel_map_planned, Plan};
+
+/// The shared context one experiment invocation threads through the whole
+/// pipeline: the paper parameters plus the cache and telemetry handles
+/// every grid point consults. One `RunCtx` replaces the
+/// `(params, cache, telemetry)` triplet the per-experiment
+/// `*_observed`/`*_cached` entry-point ladders used to thread separately —
+/// a plain [`RunCtx::new`] context *is* the classic uninstrumented,
+/// uncached run.
+#[derive(Debug, Clone, Default)]
+pub struct RunCtx {
+    /// Paper parameters of the run.
+    pub params: PaperParams,
+    /// Result cache consulted per grid point (disabled by default).
+    pub cache: SweepCache,
+    /// Instrumentation handle (disabled by default).
+    pub telemetry: Telemetry,
+}
+
+impl RunCtx {
+    /// A context with the given parameters and no cache or instrumentation.
+    pub fn new(params: PaperParams) -> Self {
+        RunCtx {
+            params,
+            cache: SweepCache::disabled(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attach a result cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: SweepCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Attach an instrumentation handle.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The same context with instrumentation stripped — for fixed-clock
+    /// baseline runs, whose engine events must not be doubled into the
+    /// adaptive runs' stream. The cache stays attached.
+    #[must_use]
+    pub fn unobserved(&self) -> RunCtx {
+        RunCtx {
+            telemetry: Telemetry::disabled(),
+            ..self.clone()
+        }
+    }
+}
 
 /// One operating point of the paper's evaluation: CDN delay and HoDV
 /// period, both as multiples of `c`, plus a static RO↔TDC mismatch as a
@@ -54,35 +110,25 @@ pub fn adaptive_schemes() -> Vec<Scheme> {
 }
 
 /// Run `scheme` at the operating point and return the post-warm-up trace.
-pub fn run_scheme(params: &PaperParams, scheme: Scheme, point: OperatingPoint) -> RunTrace {
-    run_scheme_observed(params, scheme, point, &Telemetry::disabled())
-}
-
-/// [`run_scheme`] with an instrumentation handle: the underlying event
-/// loop reports its counters and violation/saturation/update events
-/// through `telemetry`.
-pub fn run_scheme_observed(
-    params: &PaperParams,
-    scheme: Scheme,
-    point: OperatingPoint,
-    telemetry: &Telemetry,
-) -> RunTrace {
-    let c = params.setpoint;
-    let hodv = Harmonic::new(params.amplitude(), point.te_over_c * c as f64, 0.0);
+/// The underlying event loop reports its counters and
+/// violation/saturation/update events through `ctx.telemetry`.
+pub fn run_scheme(ctx: &RunCtx, scheme: Scheme, point: OperatingPoint) -> RunTrace {
+    let c = ctx.params.setpoint;
+    let hodv = Harmonic::new(ctx.params.amplitude(), point.te_over_c * c as f64, 0.0);
     let system = SystemBuilder::new(c)
         .cdn_delay(point.t_clk_over_c * c as f64)
         .scheme(scheme)
         .single_sensor_mu(point.mu_over_c * c as f64)
-        .telemetry(telemetry.clone())
+        .telemetry(ctx.telemetry.clone())
         .build()
         .expect("paper operating points are valid configurations");
-    let samples = params.samples_for(point.te_over_c);
-    system.run(&hodv, samples).skip(params.warmup)
+    let samples = ctx.params.samples_for(point.te_over_c);
+    system.run(&hodv, samples).skip(ctx.params.warmup)
 }
 
-/// [`run_scheme_observed`] with a warm start: the RO begins at
-/// `initial_length` (when given) and only `warmup` samples are discarded
-/// instead of the full `params.warmup`.
+/// [`run_scheme`] with a warm start: the RO begins at `initial_length`
+/// (when given) and only `warmup` samples are discarded instead of the
+/// full `ctx.params.warmup`.
 ///
 /// The measurement window keeps its classic length
 /// (`params.samples_for(…) − params.warmup`), so the statistics stay
@@ -91,29 +137,29 @@ pub fn run_scheme_observed(
 /// point, which puts the loop within a few stages of its operating point
 /// from sample zero.
 pub fn run_scheme_warm(
-    params: &PaperParams,
+    ctx: &RunCtx,
     scheme: Scheme,
     point: OperatingPoint,
     initial_length: Option<i64>,
     warmup: usize,
-    telemetry: &Telemetry,
 ) -> RunTrace {
-    let c = params.setpoint;
-    let hodv = Harmonic::new(params.amplitude(), point.te_over_c * c as f64, 0.0);
+    let c = ctx.params.setpoint;
+    let hodv = Harmonic::new(ctx.params.amplitude(), point.te_over_c * c as f64, 0.0);
     let mut builder = SystemBuilder::new(c)
         .cdn_delay(point.t_clk_over_c * c as f64)
         .scheme(scheme)
         .single_sensor_mu(point.mu_over_c * c as f64)
-        .telemetry(telemetry.clone());
+        .telemetry(ctx.telemetry.clone());
     if let Some(length) = initial_length {
         builder = builder.initial_length(length);
     }
     let system = builder
         .build()
         .expect("paper operating points are valid configurations");
-    let window = params
+    let window = ctx
+        .params
         .samples_for(point.te_over_c)
-        .saturating_sub(params.warmup);
+        .saturating_sub(ctx.params.warmup);
     system.run(&hodv, warmup + window).skip(warmup)
 }
 
@@ -241,57 +287,111 @@ pub fn summary_key(params: &PaperParams, scheme: &Scheme, point: OperatingPoint)
         .finish()
 }
 
-/// Probe the cache for a standard run's summary: `Ready` on a hit,
+/// Probe `ctx.cache` for a standard run's summary: `Ready` on a hit,
 /// `Compute` with the point's simulated-step budget (the scheduler's cost
 /// hint) on a miss.
-pub fn summary_probe(
-    cache: &SweepCache,
-    params: &PaperParams,
-    scheme: &Scheme,
-    point: OperatingPoint,
-) -> Plan<RunSummary> {
-    let key = summary_key(params, scheme, point);
-    match cache
+pub fn summary_probe(ctx: &RunCtx, scheme: &Scheme, point: OperatingPoint) -> Plan<RunSummary> {
+    let key = summary_key(&ctx.params, scheme, point);
+    match ctx
+        .cache
         .get_f64s(key, RunSummary::FIELDS)
         .and_then(|v| RunSummary::from_values(&v))
     {
         Some(summary) => Plan::Ready(summary),
-        None => Plan::Compute(params.samples_for(point.te_over_c) as u64),
+        None => Plan::Compute(ctx.params.samples_for(point.te_over_c) as u64),
     }
 }
 
 /// Run the point for real, summarize, and backfill the cache.
-pub fn summary_compute(
-    cache: &SweepCache,
-    params: &PaperParams,
-    scheme: &Scheme,
-    point: OperatingPoint,
-    telemetry: &Telemetry,
-) -> RunSummary {
-    let run = run_scheme_observed(params, scheme.clone(), point, telemetry);
+pub fn summary_compute(ctx: &RunCtx, scheme: &Scheme, point: OperatingPoint) -> RunSummary {
+    let run = run_scheme(ctx, scheme.clone(), point);
     let summary = RunSummary::of(&run);
-    cache.put_f64s(summary_key(params, scheme, point), &summary.to_values());
+    ctx.cache.put_f64s(
+        summary_key(&ctx.params, scheme, point),
+        &summary.to_values(),
+    );
     summary
 }
 
 /// The relative adaptive period `⟨T_clk⟩/T_fixed` of `scheme` at the
 /// operating point, with the fixed-clock baseline run under the identical
-/// waveform and mismatch.
-pub fn relative_period(params: &PaperParams, scheme: Scheme, point: OperatingPoint) -> f64 {
-    relative_period_observed(params, scheme, point, &Telemetry::disabled())
+/// waveform and mismatch. Instrumentation is attached to the adaptive run
+/// only (the baseline stays unobserved so events are not doubled).
+pub fn relative_period(ctx: &RunCtx, scheme: Scheme, point: OperatingPoint) -> f64 {
+    let adaptive = run_scheme(ctx, scheme, point);
+    let fixed = run_scheme(&ctx.unobserved(), Scheme::Fixed, point);
+    margin::relative_adaptive_period(&adaptive, &fixed)
 }
 
-/// [`relative_period`] with instrumentation attached to the adaptive run
-/// (the fixed-clock baseline stays unobserved so events are not doubled).
-pub fn relative_period_observed(
-    params: &PaperParams,
-    scheme: Scheme,
-    point: OperatingPoint,
-    telemetry: &Telemetry,
-) -> f64 {
-    let adaptive = run_scheme_observed(params, scheme, point, telemetry);
-    let fixed = run_scheme(params, Scheme::Fixed, point);
-    margin::relative_adaptive_period(&adaptive, &fixed)
+/// The declarative description of one Fig.-8-style sweep panel: a grid of
+/// x values, the adaptive scheme line-up, and the operating point each x
+/// maps to. [`run_sweep`] turns a spec into an [`ExperimentResult`] with
+/// one series per scheme, each y the relative adaptive period against the
+/// shared per-point fixed-clock baseline.
+pub struct SweepSpec<'a, F: Fn(f64) -> OperatingPoint + Sync> {
+    /// Result id — also the `experiment` field of the margin-search events
+    /// the sweep emits.
+    pub id: &'a str,
+    /// Human-readable result description.
+    pub description: String,
+    /// The sweep grid (the produced series' x values).
+    pub grid: Vec<f64>,
+    /// The adaptive schemes swept, in legend order.
+    pub schemes: Vec<Scheme>,
+    /// The operating point a grid value maps to.
+    pub point_at: F,
+}
+
+/// Run a declarative sweep: the fixed-clock baselines first (one per grid
+/// point, shared by every scheme — the baseline depends only on the
+/// operating point, not on the scheme under test; they run unobserved so
+/// adaptive-run telemetry is not doubled), then each scheme in line-up
+/// order, reporting every grid point as a margin-search iteration on
+/// `ctx.telemetry` (cache hits report too — the iteration happened, it
+/// just cost nothing).
+pub fn run_sweep<F>(ctx: &RunCtx, spec: &SweepSpec<'_, F>) -> ExperimentResult
+where
+    F: Fn(f64) -> OperatingPoint + Sync,
+{
+    let xs = &spec.grid;
+    let baseline_ctx = ctx.unobserved();
+    let fixed: Vec<RunSummary> = parallel_map_planned(
+        xs,
+        |&x| summary_probe(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x)),
+        |&x| summary_compute(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x)),
+        &baseline_ctx.telemetry,
+    );
+    let mut result = ExperimentResult::new(spec.id, spec.description.clone());
+    for scheme in &spec.schemes {
+        let summaries = parallel_map_planned(
+            xs,
+            |&x| summary_probe(ctx, scheme, (spec.point_at)(x)),
+            |&x| summary_compute(ctx, scheme, (spec.point_at)(x)),
+            &ctx.telemetry,
+        );
+        let ys: Vec<f64> = summaries
+            .iter()
+            .zip(&fixed)
+            .map(|(adaptive, baseline)| adaptive.relative_to(baseline))
+            .collect();
+        if ctx.telemetry.is_enabled() {
+            for (&x, &y) in xs.iter().zip(&ys) {
+                if y.is_finite() {
+                    ctx.telemetry.emit(
+                        x,
+                        Event::MarginSearchIteration {
+                            experiment: spec.id.to_owned(),
+                            scheme: scheme.label().to_owned(),
+                            x,
+                            value: y,
+                        },
+                    );
+                }
+            }
+        }
+        result = result.with_series(Series::new(scheme.label(), xs.clone(), ys));
+    }
+    result
 }
 
 #[cfg(test)]
@@ -313,9 +413,21 @@ mod tests {
     }
 
     #[test]
+    fn ctx_builders_attach_handles_and_unobserved_strips_telemetry() {
+        let ctx = RunCtx::new(PaperParams::default())
+            .with_cache(SweepCache::in_memory(&Telemetry::disabled()))
+            .with_telemetry(Telemetry::enabled());
+        assert!(ctx.cache.is_enabled());
+        assert!(ctx.telemetry.is_enabled());
+        let baseline = ctx.unobserved();
+        assert!(baseline.cache.is_enabled(), "cache must stay attached");
+        assert!(!baseline.telemetry.is_enabled());
+    }
+
+    #[test]
     fn fixed_baseline_margin_equals_hodv_amplitude() {
-        let params = PaperParams::default();
-        let run = run_scheme(&params, Scheme::Fixed, OperatingPoint::new(1.0, 50.0));
+        let ctx = RunCtx::new(PaperParams::default());
+        let run = run_scheme(&ctx, Scheme::Fixed, OperatingPoint::new(1.0, 50.0));
         let m = clock_metrics::margin::required_margin(&run);
         // Fixed clock is fully exposed: needs the whole 0.2c = 12.8 plus
         // the TDC floor quantization (≤ 1 stage).
@@ -324,17 +436,16 @@ mod tests {
 
     #[test]
     fn warm_run_reproduces_cold_statistics_with_quarter_warmup() {
-        let params = PaperParams::default();
+        let ctx = RunCtx::new(PaperParams::default());
         let point = OperatingPoint::new(1.0, 50.0);
-        let cold = run_scheme(&params, Scheme::iir_paper(), point);
+        let cold = run_scheme(&ctx, Scheme::iir_paper(), point);
         let seed = settled_length(&cold).expect("cold run has samples");
         let warm = run_scheme_warm(
-            &params,
+            &ctx,
             Scheme::iir_paper(),
             point,
             Some(seed),
-            params.warmup / 4,
-            &Telemetry::disabled(),
+            ctx.params.warmup / 4,
         );
         assert_eq!(warm.len(), cold.len(), "window length must be preserved");
         assert!(
@@ -349,8 +460,8 @@ mod tests {
 
     #[test]
     fn relative_period_sane_at_friendly_point() {
-        let params = PaperParams::default();
-        let r = relative_period(&params, Scheme::iir_paper(), OperatingPoint::new(1.0, 50.0));
+        let ctx = RunCtx::new(PaperParams::default());
+        let r = relative_period(&ctx, Scheme::iir_paper(), OperatingPoint::new(1.0, 50.0));
         assert!(r > 0.7 && r < 1.1, "relative period {r}");
     }
 }

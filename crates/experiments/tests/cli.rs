@@ -53,6 +53,31 @@ fn list_prints_every_id_and_succeeds() {
     }
 }
 
+/// The ids `--list` advertises and the ids the registry can dispatch are
+/// the same set — the table cannot drift from the dispatcher because both
+/// read [`experiments::registry::REGISTRY`], and this test pins the CLI
+/// surface to it.
+#[test]
+fn list_ids_equal_dispatchable_ids() {
+    let out = repro(&["--list"]);
+    assert!(out.status.success(), "--list must exit 0");
+    let text = stdout(&out);
+    let listed: std::collections::BTreeSet<String> = text
+        .lines()
+        .skip(1) // "experiments:" header
+        .filter_map(|l| l.split_whitespace().next())
+        .map(str::to_owned)
+        .collect();
+    let dispatchable: std::collections::BTreeSet<String> = experiments::registry::REGISTRY
+        .iter()
+        .map(|def| def.id.to_owned())
+        .collect();
+    assert_eq!(
+        listed, dispatchable,
+        "--list ids and registry ids must be identical"
+    );
+}
+
 #[test]
 fn unknown_experiment_fails_and_lists_valid_ids() {
     let out = repro(&["frobnicate"]);

@@ -51,7 +51,7 @@ fn three_way_transient_agreement() {
     let theory = hd.step_response(steps);
     // 2. discrete loop
     let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).expect("paper config");
-    let mut dl = DiscreteLoop::new(m, Box::new(ctrl), Quantization::None);
+    let mut dl = DiscreteLoop::new(m, ctrl, Quantization::None);
     let one = |_: i64| 1.0;
     let zero = |_: i64| 0.0;
     let tr = dl.run(
@@ -64,8 +64,8 @@ fn three_way_transient_agreement() {
     );
     // 3. dtsim diagram
     let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).expect("paper config");
-    let mut sim = build_fig4_model(m, Box::new(ctrl), |_| 1.0, |_| 0.0, |_| 0.0)
-        .expect("well-formed diagram");
+    let mut sim =
+        build_fig4_model(m, ctrl, |_| 1.0, |_| 0.0, |_| 0.0).expect("well-formed diagram");
     sim.run(steps as u64).expect("clean run");
     let dt_delta = sim.trace(probes::DELTA).expect("probe installed");
 
@@ -99,7 +99,7 @@ fn event_and_discrete_settle_identically_on_static_mismatch() {
     // Discrete loop (M = 1 since t_clk = c and T ≈ c at equilibrium).
     let ctrl = adaptive_clock::controller::IntIirControl::new(IirConfig::paper(), c)
         .expect("paper config");
-    let mut dl = DiscreteLoop::new(1, Box::new(ctrl), Quantization::Floor);
+    let mut dl = DiscreteLoop::new(1, ctrl, Quantization::Floor);
     let cs = |_: i64| c as f64;
     let zero = |_: i64| 0.0;
     let mus = move |_: i64| mu;
@@ -125,7 +125,7 @@ fn identified_model_from_simulation_matches_eq5() {
     let m = 1usize;
     // Impulse in the set-point channel; record δ.
     let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).expect("paper config");
-    let mut dl = DiscreteLoop::new(m, Box::new(ctrl), Quantization::None);
+    let mut dl = DiscreteLoop::new(m, ctrl, Quantization::None);
     let impulse = |n: i64| if n == 0 { 1.0 } else { 0.0 };
     let zero = |_: i64| 0.0;
     let tr = dl.run(
@@ -162,7 +162,7 @@ fn stability_boundary_matches_simulation() {
     let bound = closedloop::max_stable_cdn_delay(&h, 100).expect("stable at M=0");
     let diverges = |m: usize| -> bool {
         let ctrl = FloatIir::from_config(&IirConfig::paper(), 0.0).expect("paper config");
-        let mut dl = DiscreteLoop::new(m, Box::new(ctrl), Quantization::None);
+        let mut dl = DiscreteLoop::new(m, ctrl, Quantization::None);
         let one = |_: i64| 1.0;
         let zero = |_: i64| 0.0;
         let tr = dl.run(

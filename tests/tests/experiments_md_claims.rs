@@ -4,10 +4,11 @@
 //! same commit.
 
 use experiments::config::PaperParams;
+use experiments::runner::RunCtx;
 use experiments::{fig7, fig8, fig9};
 
-fn params() -> PaperParams {
-    PaperParams::default()
+fn ctx() -> RunCtx {
+    RunCtx::new(PaperParams::default())
 }
 
 /// EXPERIMENTS.md Fig. 7 table: margins per scheme per perturbation period.
@@ -43,7 +44,7 @@ fn fig7_margin_table_matches_documentation() {
         ),
     ];
     for (te, rows) in documented {
-        let panel = fig7::run_panel(&params(), *te);
+        let panel = fig7::run_panel(&ctx(), *te);
         let margins = fig7::panel_margins(&panel);
         for (label, want) in *rows {
             let got = margins
@@ -63,7 +64,7 @@ fn fig7_margin_table_matches_documentation() {
 /// delay, 0.91 at t_clk = 10c; TEAtime crosses 1 near the right edge.
 #[test]
 fn fig8_upper_rows_match_documentation() {
-    let r = fig8::run_upper(&params(), 9);
+    let r = fig8::run_upper(&ctx(), 9);
     let iir = adaptive_clock::system::Scheme::iir_paper();
     let tea = adaptive_clock::system::Scheme::TeaTime;
     let y_small = fig8::y_at(&r, &iir, 0.1);
@@ -81,7 +82,7 @@ fn fig8_upper_rows_match_documentation() {
 /// first below 1, convergence by Te/c = 1000.
 #[test]
 fn fig8_lower_rows_match_documentation() {
-    let r = fig8::run_lower(&params(), 9);
+    let r = fig8::run_lower(&ctx(), 9);
     let iir = adaptive_clock::system::Scheme::iir_paper();
     let free = adaptive_clock::system::Scheme::FreeRo { extra_length: 0 };
     // the hump: somewhere in 2..8 every scheme exceeds 1
@@ -99,7 +100,7 @@ fn fig8_lower_rows_match_documentation() {
 /// quoted corner values hold.
 #[test]
 fn fig9_panel_rows_match_documentation() {
-    let panel = fig9::run_panel(&params(), 0.75, 25.0, 9);
+    let panel = fig9::run_panel(&ctx(), 0.75, 25.0, 9);
     let free = panel.series_named("Free RO").expect("series");
     let iir = panel.series_named("IIR RO").expect("series");
     let f_neg = free.nearest(-0.2).expect("point");

@@ -195,8 +195,8 @@ fn migrating_hotspot_defeats_free_ro_but_not_iir() {
 fn throughput_optimum_is_real() {
     use experiments::config::PaperParams;
     use experiments::ext_throughput;
-    let params = PaperParams::default();
-    let r = ext_throughput::run(&params, 8);
+    use experiments::runner::RunCtx;
+    let r = ext_throughput::run(&RunCtx::new(PaperParams::default()), 8);
     let iir = r.series_named("IIR RO").expect("series");
     let fixed = r.series_named("Fixed clock").expect("series");
     let (iir_c, iir_t) = ext_throughput::optimum(iir);
