@@ -19,9 +19,11 @@
 //!
 //! [`loopsim::DiscreteLoop`]: crate::loopsim::DiscreteLoop
 
+use clock_faults::FaultSchedule;
 use clock_telemetry::Telemetry;
 
 use crate::loopsim::{LoopInputs, LoopTrace};
+use crate::resilience::{FaultPath, Resilience};
 use crate::tdc::Quantization;
 
 /// Per-lane controller state: exactly the shared kernel
@@ -38,6 +40,8 @@ struct Lane {
     quantization: Quantization,
     controller: LaneController,
     initial_length: f64,
+    faults: FaultSchedule,
+    resilience: Resilience,
 }
 
 /// Flat recordings of a batched run, laid out `[n · lanes + lane]`.
@@ -144,12 +148,35 @@ impl BatchLoop {
         controller: LaneController,
         quantization: Quantization,
     ) -> usize {
+        self.push_with(
+            m,
+            controller,
+            quantization,
+            FaultSchedule::default(),
+            Resilience::default(),
+        )
+    }
+
+    /// Append a lane with a fault schedule and hardening configuration.
+    /// An empty schedule plus [`Resilience::default`] keeps the lane on
+    /// the engine's original (fault-free) arithmetic, exactly like
+    /// [`push`](Self::push).
+    pub fn push_with(
+        &mut self,
+        m: usize,
+        controller: LaneController,
+        quantization: Quantization,
+        faults: FaultSchedule,
+        resilience: Resilience,
+    ) -> usize {
         let initial_length = controller.length();
         self.lanes.push(Lane {
             m,
             quantization,
             controller,
             initial_length,
+            faults,
+            resilience,
         });
         self.lanes.len() - 1
     }
@@ -219,6 +246,22 @@ impl BatchLoop {
         };
         // cur[lane] = l_RO[n] for the period being generated.
         let mut cur: Vec<f64> = self.lanes.iter().map(|l| l.controller.length()).collect();
+        // Per-lane fault paths, rebuilt per run (they hold run state).
+        // `None` keeps a lane on the original arithmetic below — and bit-
+        // identical to the faulted scalar loop when `Some`, because both
+        // engines drive the same `FaultPath` methods in the same order.
+        let mut paths: Vec<Option<FaultPath>> = self
+            .lanes
+            .iter()
+            .map(|l| {
+                let p = FaultPath::new(
+                    l.faults.clone(),
+                    l.resilience,
+                    l.quantization.apply(l.initial_length),
+                );
+                (!p.is_inert()).then_some(p)
+            })
+            .collect();
         for n in 0..steps as i64 {
             // Bring row n−1 into the ring. It overwrites row n−1−max_off,
             // which no lane can read any more (the deepest read is n−max_off),
@@ -242,10 +285,24 @@ impl BatchLoop {
                 let e_nmm = e_ring[base_nmm + lane_idx];
                 let e_n1 = e_ring[base_n1 + lane_idx];
                 let mu_nmm = mu_ring[base_nmm + lane_idx];
-                let raw = lro_past + e_nmm - e_n1 + mu_nmm;
-                let tau = lane.quantization.apply(raw);
-                let delta = (inputs[lane_idx].setpoint)(n) - tau;
-                let next = lane.controller.step(delta);
+                let (tau, delta, next) = if let Some(fp) = paths[lane_idx].as_mut() {
+                    let raw = fp.raw(n, i, lro_past, e_nmm, e_n1, mu_nmm);
+                    let (tau, valid) = fp.measure(n, raw, lane.quantization);
+                    let (delta, next) = fp.control(
+                        n,
+                        (inputs[lane_idx].setpoint)(n),
+                        tau,
+                        valid,
+                        &mut lane.controller,
+                    );
+                    (tau, delta, next)
+                } else {
+                    let raw = lro_past + e_nmm - e_n1 + mu_nmm;
+                    let tau = lane.quantization.apply(raw);
+                    let delta = (inputs[lane_idx].setpoint)(n) - tau;
+                    let next = lane.controller.step(delta);
+                    (tau, delta, next)
+                };
                 trace.tau.push(tau);
                 trace.delta.push(delta);
                 trace.lro.push(cur[lane_idx]);
@@ -255,6 +312,18 @@ impl BatchLoop {
         self.telemetry
             .counter("batch.controller_steps")
             .add((steps * b) as u64);
+        let (injected, relocks) = paths.iter().flatten().fold((0u64, 0u64), |(i, r), fp| {
+            (
+                i + fp.schedule().injected_before(steps as u64),
+                r + fp.relocks(),
+            )
+        });
+        if injected > 0 {
+            self.telemetry.counter("faults.injected").add(injected);
+        }
+        if relocks > 0 {
+            self.telemetry.counter("controller.relocks").add(relocks);
+        }
         trace
     }
 }
@@ -387,6 +456,95 @@ mod tests {
         batch.reset();
         let second = batch.run(&inputs, 200);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn faulted_lanes_match_faulted_discrete_loops_bitwise() {
+        use crate::resilience::Resilience;
+        use clock_faults::{FaultClass, FaultSchedule};
+
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 8.0 * (std::f64::consts::TAU * n as f64 / 200.0).sin();
+        let zero = constant(0.0);
+        let steps = 3000;
+        for class in FaultClass::ALL {
+            let schedule = FaultSchedule::random(41, class, 4.0, steps as u64, 3);
+            assert!(!schedule.is_empty(), "{}", class.label());
+            for resilience in [Resilience::default(), Resilience::hardened(64.0)] {
+                let inputs = LoopInputs {
+                    setpoint: &c,
+                    homogeneous: &e,
+                    heterogeneous: &zero,
+                };
+                let want = DiscreteLoop::new(
+                    1,
+                    IntIirControl::new(cfg.clone(), 64).unwrap(),
+                    Quantization::Floor,
+                )
+                .with_faults(schedule.clone())
+                .with_resilience(resilience)
+                .run(&inputs, steps);
+                let mut batch = BatchLoop::new();
+                batch.push_with(
+                    1,
+                    LaneController::int_iir(&cfg, 64).unwrap(),
+                    Quantization::Floor,
+                    schedule.clone(),
+                    resilience,
+                );
+                let got = batch.run(std::slice::from_ref(&inputs), steps);
+                let got = got.lane(0);
+                for k in 0..steps {
+                    assert_eq!(
+                        got.tau[k].to_bits(),
+                        want.tau[k].to_bits(),
+                        "{} res={} k={k}",
+                        class.label(),
+                        resilience.canonical_id()
+                    );
+                    assert_eq!(got.lro[k].to_bits(), want.lro[k].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_schedule_and_default_resilience_stay_bit_identical_to_plain_push() {
+        use crate::resilience::Resilience;
+        use clock_faults::FaultSchedule;
+
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 5.0 * (std::f64::consts::TAU * n as f64 / 120.0).sin();
+        let mu = step_at(30, -6.0);
+        let inputs = [
+            LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: &mu,
+            },
+            LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: &mu,
+            },
+        ];
+        let mut batch = BatchLoop::new();
+        batch.push(
+            1,
+            LaneController::int_iir(&cfg, 64).unwrap(),
+            Quantization::Floor,
+        );
+        batch.push_with(
+            1,
+            LaneController::int_iir(&cfg, 64).unwrap(),
+            Quantization::Floor,
+            FaultSchedule::new(3),
+            Resilience::default(),
+        );
+        let tr = batch.run(&inputs, 600);
+        assert_eq!(tr.lane(0), tr.lane(1));
     }
 
     #[test]

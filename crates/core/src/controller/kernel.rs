@@ -13,6 +13,12 @@
 use super::IirConfig;
 use crate::error::Error;
 
+/// Bit indices handed to [`Controller::flip_state_bit`] are taken modulo
+/// this span: wide enough that an upset can hit any plausible register
+/// bit, narrow enough that the resulting state stays far from `i64`
+/// overflow in the integer law's shift arithmetic.
+const STATE_BIT_SPAN: u32 = 41;
+
 /// Shift an `i64` by a signed power-of-two exponent (arithmetic shift right
 /// for negative exponents — i.e. floor division, exactly what a hardware
 /// shifter does).
@@ -92,6 +98,23 @@ impl IntIirControl {
             *w = self.initial;
         }
     }
+
+    /// Flip one bit of the most recent state word (an SEU strike on the
+    /// filter register). The corruption persists until feedback washes it
+    /// out.
+    pub fn flip_state_bit(&mut self, bit: u32) {
+        self.state[0] ^= 1i64 << (bit % STATE_BIT_SPAN);
+    }
+
+    /// Force the filter to the fixed point producing `length` (anti-windup
+    /// write-back: a saturating output stage feeds the clamped value into
+    /// every tap so the integrator cannot stay wound up beyond the clamp).
+    pub fn set_length(&mut self, length: f64) {
+        let w = shift(length.round() as i64, self.config.kexp_exp as i32);
+        for s in &mut self.state {
+            *s = w;
+        }
+    }
 }
 
 /// Exact floating-point IIR reference, same recursion as [`IntIirControl`]
@@ -166,6 +189,22 @@ impl FloatIir {
             *w = self.initial;
         }
     }
+
+    /// Flip one bit of the most recent state word, modeled on a fixed-point
+    /// register with 8 fractional bits (mirroring the integer law's
+    /// `kexp = 8` scaling).
+    pub fn flip_state_bit(&mut self, bit: u32) {
+        let word = (self.state[0] * 256.0).round() as i64;
+        self.state[0] = (word ^ (1i64 << (bit % STATE_BIT_SPAN))) as f64 / 256.0;
+    }
+
+    /// Force the filter to the fixed point producing `length` (anti-windup
+    /// write-back, as in [`IntIirControl::set_length`]).
+    pub fn set_length(&mut self, length: f64) {
+        for s in &mut self.state {
+            *s = length;
+        }
+    }
 }
 
 /// TEAtime control block (paper Fig. 6, after Uht): the RO length moves by
@@ -213,6 +252,17 @@ impl TeaTime {
     pub fn reset(&mut self) {
         self.length = self.initial;
     }
+
+    /// Flip one bit of the length register (TEAtime's only state).
+    pub fn flip_state_bit(&mut self, bit: u32) {
+        let word = self.length.round() as i64;
+        self.length = (word ^ (1i64 << (bit % STATE_BIT_SPAN))) as f64;
+    }
+
+    /// Overwrite the length register (anti-windup write-back).
+    pub fn set_length(&mut self, length: f64) {
+        self.length = length;
+    }
 }
 
 /// Free-running RO: the length was fixed at design time and never moves.
@@ -241,6 +291,13 @@ impl FreeRunning {
 
     /// Restore initial state (a no-op: the length never moved).
     pub fn reset(&mut self) {}
+
+    /// SEUs have nothing to strike: a free-running RO's length is wired at
+    /// design time, not held in a register. No-op.
+    pub fn flip_state_bit(&mut self, _bit: u32) {}
+
+    /// The wired length cannot be rewritten at run time. No-op.
+    pub fn set_length(&mut self, _length: f64) {}
 }
 
 /// A control block: maps the adaptation error to the next RO length.
@@ -322,6 +379,30 @@ impl Controller {
             Controller::FloatIir(c) => c.reset(),
             Controller::TeaTime(c) => c.reset(),
             Controller::Free(c) => c.reset(),
+        }
+    }
+
+    /// Strike an SEU: flip one bit of the law's state register (a no-op
+    /// for the stateless free-running law). Bit indices wrap modulo the
+    /// modeled register span, so any `u32` is safe.
+    pub fn flip_state_bit(&mut self, bit: u32) {
+        match self {
+            Controller::IntIir(c) => c.flip_state_bit(bit),
+            Controller::FloatIir(c) => c.flip_state_bit(bit),
+            Controller::TeaTime(c) => c.flip_state_bit(bit),
+            Controller::Free(c) => c.flip_state_bit(bit),
+        }
+    }
+
+    /// Force the law's state to the fixed point producing `length`
+    /// (anti-windup write-back after a saturating output stage; a no-op
+    /// for the wired free-running law).
+    pub fn set_length(&mut self, length: f64) {
+        match self {
+            Controller::IntIir(c) => c.set_length(length),
+            Controller::FloatIir(c) => c.set_length(length),
+            Controller::TeaTime(c) => c.set_length(length),
+            Controller::Free(c) => c.set_length(length),
         }
     }
 }
@@ -445,6 +526,32 @@ mod tests {
         assert_eq!(f.step(100.0), 70.0);
         assert_eq!(f.step(-100.0), 70.0);
         assert_eq!(f.length(), 70.0);
+    }
+
+    #[test]
+    fn flip_state_bit_strikes_every_stateful_law() {
+        let mut c = Controller::int_iir(&IirConfig::paper(), 64).unwrap();
+        c.flip_state_bit(12); // a 0→1 flip raises the scaled state word
+        assert!(c.length() > 64.0);
+        c.flip_state_bit(12); // flipping back restores exactly
+        assert_eq!(c.length(), 64.0);
+
+        let mut f = Controller::float_iir(&IirConfig::paper(), 64.0).unwrap();
+        f.flip_state_bit(12);
+        assert_eq!(f.length(), 64.0 + 16.0);
+
+        let mut t = Controller::teatime(64, 1.0);
+        t.flip_state_bit(3);
+        assert_eq!(t.length(), (64 ^ 8) as f64);
+
+        let mut free = Controller::free(64);
+        free.flip_state_bit(30);
+        assert_eq!(free.length(), 64.0, "free-running has no register");
+
+        // indices wrap modulo the modeled span instead of panicking
+        let mut c = Controller::int_iir(&IirConfig::paper(), 64).unwrap();
+        c.flip_state_bit(u32::MAX);
+        assert!(c.length().is_finite());
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub enum Error {
         /// Which signal went non-finite.
         what: &'static str,
     },
+    /// A noise / jitter standard deviation was negative or non-finite.
+    InvalidNoise {
+        /// The offending sigma.
+        sigma: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -72,6 +77,9 @@ impl fmt::Display for Error {
                 write!(f, "gain {value} is not a power of two")
             }
             Error::NonFinite { what } => write!(f, "non-finite value in {what}"),
+            Error::InvalidNoise { sigma } => {
+                write!(f, "noise sigma must be finite and non-negative, got {sigma}")
+            }
         }
     }
 }

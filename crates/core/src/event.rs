@@ -27,6 +27,7 @@ use variation::sources::Waveform;
 
 use crate::cdn::Cdn;
 use crate::controller::Controller;
+use crate::error::Error;
 use crate::ro::{RingOscillator, RoBounds};
 use crate::tdc::SensorBank;
 
@@ -47,12 +48,14 @@ pub struct PeriodJitter {
 impl PeriodJitter {
     /// Jitter with the given sigma and seed.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sigma < 0`.
-    pub fn new(sigma: f64, seed: u64) -> Self {
-        assert!(sigma >= 0.0, "jitter sigma must be non-negative");
-        PeriodJitter { sigma, seed }
+    /// [`Error::InvalidNoise`] if `sigma` is negative or non-finite.
+    pub fn new(sigma: f64, seed: u64) -> Result<Self, Error> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error::InvalidNoise { sigma });
+        }
+        Ok(PeriodJitter { sigma, seed })
     }
 
     /// The jitter sample for generation edge `k` (zero-mean, ≈ Gaussian,
@@ -548,9 +551,9 @@ mod tests {
 
     #[test]
     fn jitter_samples_are_deterministic_and_calibrated() {
-        let j = PeriodJitter::new(2.0, 99);
-        let j2 = PeriodJitter::new(2.0, 99);
-        let other = PeriodJitter::new(2.0, 100);
+        let j = PeriodJitter::new(2.0, 99).unwrap();
+        let j2 = PeriodJitter::new(2.0, 99).unwrap();
+        let other = PeriodJitter::new(2.0, 100).unwrap();
         let n = 20_000u64;
         let mut sum = 0.0;
         let mut sum2 = 0.0;
@@ -569,13 +572,17 @@ mod tests {
         let std = (sum2 / n as f64 - mean * mean).sqrt();
         assert!(mean.abs() < 0.05, "jitter mean {mean}");
         assert!((std - 2.0).abs() < 0.1, "jitter std {std}");
-        assert_eq!(PeriodJitter::new(0.0, 1).sample(123), 0.0);
+        assert_eq!(PeriodJitter::new(0.0, 1).unwrap().sample(123), 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "non-negative")]
-    fn jitter_rejects_negative_sigma() {
-        let _ = PeriodJitter::new(-1.0, 0);
+    fn jitter_rejects_bad_sigma() {
+        for sigma in [-1.0, f64::NAN, f64::NEG_INFINITY] {
+            assert!(
+                PeriodJitter::new(sigma, 0).is_err(),
+                "sigma {sigma} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -594,7 +601,7 @@ mod tests {
                         .into(),
                 ),
             )
-            .with_jitter(PeriodJitter::new(sigma, 7));
+            .with_jitter(PeriodJitter::new(sigma, 7).unwrap());
             let samples = el.run(&NoVariation, 4000);
             samples
                 .iter()

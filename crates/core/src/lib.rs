@@ -79,6 +79,7 @@ pub mod event;
 pub mod loopsim;
 pub mod noise;
 pub mod pipeline;
+pub mod resilience;
 pub mod ro;
 pub mod setpoint;
 pub mod system;

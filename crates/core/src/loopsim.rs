@@ -23,9 +23,11 @@
 //! callers can choose the pre-start history (the loop queries negative
 //! indices during the first `M+2` periods).
 
+use clock_faults::FaultSchedule;
 use clock_telemetry::{Event as TelemetryEvent, Telemetry};
 
 use crate::controller::Controller;
+use crate::resilience::{FaultPath, Resilience};
 use crate::tdc::Quantization;
 
 /// Input sequences of the discrete loop. Functions are queried with signed
@@ -93,6 +95,8 @@ pub struct DiscreteLoop {
     controller: Controller,
     initial_length: f64,
     telemetry: Telemetry,
+    faults: FaultSchedule,
+    resilience: Resilience,
 }
 
 impl std::fmt::Debug for DiscreteLoop {
@@ -118,6 +122,8 @@ impl DiscreteLoop {
             controller,
             initial_length,
             telemetry: Telemetry::disabled(),
+            faults: FaultSchedule::default(),
+            resilience: Resilience::default(),
         }
     }
 
@@ -130,12 +136,39 @@ impl DiscreteLoop {
         self
     }
 
+    /// Inject the given fault schedule into every subsequent run. An empty
+    /// schedule (the default) leaves the run path untouched — clean runs
+    /// stay bit-identical to a loop built without faults.
+    #[must_use]
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = schedule;
+        self
+    }
+
+    /// Harden the controller with the given [`Resilience`] guards.
+    /// [`Resilience::default`] (all guards off) keeps the run path
+    /// untouched.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: Resilience) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
     /// Run `steps` periods and record the loop signals.
     pub fn run(&mut self, inputs: &LoopInputs<'_>, steps: usize) -> LoopTrace {
         let observed = self.telemetry.is_enabled();
         let c_steps = self.telemetry.counter("discrete.controller_steps");
         let c_violations = self.telemetry.counter("discrete.timing_violations");
         let mm = (self.m + 2) as i64;
+        // The fault path is rebuilt per run (its sensor registers and
+        // watchdog are run state); `None` — the default — keeps the loop
+        // body below on the engine's original arithmetic.
+        let path = FaultPath::new(
+            self.faults.clone(),
+            self.resilience,
+            self.quantization.apply(self.initial_length),
+        );
+        let mut path = (!path.is_inert()).then_some(path);
         let mut trace = LoopTrace {
             tau: Vec::with_capacity(steps),
             delta: Vec::with_capacity(steps),
@@ -154,10 +187,20 @@ impl DiscreteLoop {
             };
             let e = |i: i64| (inputs.homogeneous)(i);
             let mu = |i: i64| (inputs.heterogeneous)(i);
-            let raw = lro_at(n - mm) + e(n - mm) - e(n - 1) + mu(n - mm);
-            let tau = self.quantization.apply(raw);
-            let delta = (inputs.setpoint)(n) - tau;
-            let next = self.controller.step(delta);
+            let (tau, delta, next) = if let Some(fp) = path.as_mut() {
+                let gen = n - mm;
+                let raw = fp.raw(n, gen, lro_at(gen), e(gen), e(n - 1), mu(gen));
+                let (tau, valid) = fp.measure(n, raw, self.quantization);
+                let (delta, next) =
+                    fp.control(n, (inputs.setpoint)(n), tau, valid, &mut self.controller);
+                (tau, delta, next)
+            } else {
+                let raw = lro_at(n - mm) + e(n - mm) - e(n - 1) + mu(n - mm);
+                let tau = self.quantization.apply(raw);
+                let delta = (inputs.setpoint)(n) - tau;
+                let next = self.controller.step(delta);
+                (tau, delta, next)
+            };
             c_steps.inc();
             if observed {
                 if delta > 0.0 && tau.is_finite() {
@@ -185,6 +228,14 @@ impl DiscreteLoop {
             trace.delta.push(delta);
             trace.lro.push(lro[n as usize]);
             lro.push(next);
+        }
+        if let Some(fp) = path {
+            self.telemetry
+                .counter("faults.injected")
+                .add(fp.schedule().injected_before(steps as u64));
+            self.telemetry
+                .counter("controller.relocks")
+                .add(fp.relocks());
         }
         trace
     }
@@ -430,6 +481,93 @@ mod tests {
         let worst = tr.delta.iter().cloned().fold(0.0f64, |a, d| a.max(d.abs()));
         // e[n-2] - e[n-1] for a slow sinusoid is ~ 2π·12.8/1000 ≈ 0.08
         assert!(worst < 0.1, "worst |δ| = {worst}");
+    }
+
+    #[test]
+    fn empty_faults_and_default_resilience_change_nothing() {
+        use crate::resilience::Resilience;
+        use clock_faults::FaultSchedule;
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let zero = constant(0.0);
+        let e = |n: i64| 9.0 * (std::f64::consts::TAU * n as f64 / 77.0).sin();
+        let inputs = LoopInputs {
+            setpoint: &c,
+            homogeneous: &e,
+            heterogeneous: &zero,
+        };
+        let plain = DiscreteLoop::new(
+            1,
+            IntIirControl::new(cfg.clone(), 64).unwrap(),
+            Quantization::Floor,
+        )
+        .run(&inputs, 500);
+        let dressed =
+            DiscreteLoop::new(1, IntIirControl::new(cfg, 64).unwrap(), Quantization::Floor)
+                .with_faults(FaultSchedule::new(3))
+                .with_resilience(Resilience::default())
+                .run(&inputs, 500);
+        assert_eq!(plain, dressed);
+    }
+
+    #[test]
+    fn seu_perturbs_and_loop_relocks_with_fault_telemetry() {
+        use clock_faults::{FaultEvent, FaultKind, FaultSchedule};
+        let t = clock_telemetry::Telemetry::enabled();
+        let schedule = FaultSchedule::new(1).with(FaultEvent {
+            at: 100,
+            duration: 1,
+            kind: FaultKind::SeuLroWord { bit: 5 },
+        });
+        let ctrl = IntIirControl::new(IirConfig::paper(), 64).unwrap();
+        let mut dl = DiscreteLoop::new(1, ctrl, Quantization::Floor)
+            .with_faults(schedule)
+            .with_telemetry(t.clone());
+        let c = constant(64.0);
+        let zero = constant(0.0);
+        let tr = dl.run(
+            &LoopInputs {
+                setpoint: &c,
+                homogeneous: &zero,
+                heterogeneous: &zero,
+            },
+            800,
+        );
+        // before the strike: equilibrium
+        assert_eq!(tr.delta[50], 0.0);
+        // the strike shows up (l_RO[101] carries the flipped word)
+        assert_eq!(tr.lro[101], (64 ^ 32) as f64);
+        // and the loop pulls back to lock
+        assert!(tr.delta[799].abs() <= 1.0, "δ end = {}", tr.delta[799]);
+        assert_eq!(t.snapshot().counter("faults.injected"), Some(1));
+    }
+
+    #[test]
+    fn watchdog_relock_is_counted() {
+        use crate::resilience::Resilience;
+        use clock_faults::{FaultEvent, FaultKind, FaultSchedule};
+        let t = clock_telemetry::Telemetry::enabled();
+        let schedule = FaultSchedule::new(1).with(FaultEvent {
+            at: 60,
+            duration: 40,
+            kind: FaultKind::TdcDropout { sensor: 0 },
+        });
+        let ctrl = IntIirControl::new(IirConfig::paper(), 64).unwrap();
+        let mut dl = DiscreteLoop::new(1, ctrl, Quantization::Floor)
+            .with_faults(schedule)
+            .with_resilience(Resilience::hardened(64.0))
+            .with_telemetry(t.clone());
+        let c = constant(64.0);
+        let zero = constant(0.0);
+        let _ = dl.run(
+            &LoopInputs {
+                setpoint: &c,
+                homogeneous: &zero,
+                heterogeneous: &zero,
+            },
+            400,
+        );
+        assert_eq!(t.snapshot().counter("controller.relocks"), Some(1));
     }
 
     #[test]

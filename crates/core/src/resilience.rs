@@ -1,0 +1,521 @@
+//! Fault application and controller hardening for the loop engines.
+//!
+//! [`FaultPath`] is the single definition of how a
+//! [`clock_faults::FaultSchedule`] perturbs the Fig. 4 recurrence and how a
+//! hardened controller defends itself. Both the scalar
+//! [`DiscreteLoop`](crate::loopsim::DiscreteLoop) and the SoA
+//! [`BatchLoop`](crate::batch::BatchLoop) drive the same three methods —
+//! [`FaultPath::raw`], [`FaultPath::measure`], [`FaultPath::control`] — in
+//! the same order, so a faulted batch lane stays bit-identical to the
+//! faulted scalar loop it models (the differential tests assert this).
+//!
+//! The hardening knobs live in [`Resilience`]; the default configuration is
+//! **inert** — every guard off — and engines skip the fault path entirely
+//! when no faults are scheduled either, keeping clean runs bit-identical to
+//! the pre-fault engine (the golden `everything-quick` fixture pins this).
+
+use clock_faults::{FaultSchedule, SensorFault};
+
+use crate::controller::Controller;
+use crate::tdc::Quantization;
+
+/// Controller hardening configuration.
+///
+/// Each guard is independent; [`Resilience::default`] disables all of them
+/// (the stock paper controller), [`Resilience::hardened`] enables the full
+/// set with paper-plausible bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Resilience {
+    /// Vote the sensor bank by median of the *valid* replicas instead of
+    /// the paper's worst-reading (minimum) reduction. Outvotes a single
+    /// stuck or spiking TDC when three or more replicas exist.
+    pub median_vote: bool,
+    /// Saturate the commanded RO length to `[lo, hi]` stages. Bounds the
+    /// excursion an SEU or a lying sensor can command.
+    pub clamp: Option<(f64, f64)>,
+    /// Stale-sample watchdog: when no sensor delivers a valid reading,
+    /// degrade gracefully to free-run (hold the current length) instead of
+    /// integrating stale data, and re-lock when readings return.
+    pub watchdog: bool,
+}
+
+impl Resilience {
+    /// The full guard set for a set-point of `setpoint` stages: median
+    /// vote, length clamp to `[setpoint − 4, 2·setpoint]`, stale watchdog.
+    ///
+    /// The clamp is deliberately asymmetric. A too-*short* edge is the one
+    /// failure that breaks the timing contract (Fig. 7: only negative
+    /// excursions eat safety margin), so the floor sits just under the
+    /// set-point — below anything the loop commands when locked, above
+    /// anything that would violate a typical deployed margin. Too-*long*
+    /// edges only cost throughput, so the ceiling is a loose 2·setpoint.
+    pub fn hardened(setpoint: f64) -> Self {
+        Resilience {
+            median_vote: true,
+            clamp: Some((setpoint - 4.0, setpoint * 2.0)),
+            watchdog: true,
+        }
+    }
+
+    /// Whether every guard is off (the stock controller).
+    pub fn is_inert(&self) -> bool {
+        !self.median_vote && self.clamp.is_none() && !self.watchdog
+    }
+
+    /// Stable textual encoding for cache keys and table labels.
+    pub fn canonical_id(&self) -> String {
+        if self.is_inert() {
+            return "off".to_owned();
+        }
+        let mut parts = Vec::new();
+        if self.median_vote {
+            parts.push("median".to_owned());
+        }
+        if let Some((lo, hi)) = self.clamp {
+            parts.push(format!("clamp({lo:.6},{hi:.6})"));
+        }
+        if self.watchdog {
+            parts.push("watchdog".to_owned());
+        }
+        parts.join("+")
+    }
+}
+
+/// Runtime state of fault application for one simulated loop (one scalar
+/// run, or one lane of a batch).
+///
+/// Per period `n` the engine calls, in order:
+///
+/// 1. [`raw`](FaultPath::raw) — the physical delivered-period arithmetic
+///    with RO stage loss and clock glitches applied;
+/// 2. [`measure`](FaultPath::measure) — the sensor bank with TDC faults
+///    applied and the configured vote reduction;
+/// 3. [`control`](FaultPath::control) — the guarded controller update with
+///    SEUs struck after the step.
+#[derive(Debug, Clone)]
+pub struct FaultPath {
+    schedule: FaultSchedule,
+    resilience: Resilience,
+    /// Last register value per sensor replica (what a dropped-out TDC
+    /// keeps presenting downstream).
+    held: Vec<f64>,
+    /// Last voted reading (the hardened fallback when every replica is
+    /// invalid at once).
+    last_tau: f64,
+    /// Whether the watchdog currently has the controller in free-run.
+    frozen: bool,
+    relocks: u64,
+    scratch: Vec<(f64, bool)>,
+}
+
+impl FaultPath {
+    /// A fault path over `schedule` with hardening `resilience`.
+    /// `initial_reading` seeds the sensor registers and the vote fallback
+    /// (engines pass the quantized initial RO length).
+    pub fn new(schedule: FaultSchedule, resilience: Resilience, initial_reading: f64) -> Self {
+        let sensors = schedule.sensors();
+        FaultPath {
+            schedule,
+            resilience,
+            held: vec![initial_reading; sensors],
+            last_tau: initial_reading,
+            frozen: false,
+            relocks: 0,
+            scratch: Vec::with_capacity(sensors),
+        }
+    }
+
+    /// Whether this path can alter the loop at all. Engines take their
+    /// original (pre-fault) arithmetic when true.
+    pub fn is_inert(&self) -> bool {
+        self.schedule.is_empty() && self.resilience.is_inert()
+    }
+
+    /// The schedule being applied.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// The hardening configuration.
+    pub fn resilience(&self) -> &Resilience {
+        &self.resilience
+    }
+
+    /// Watchdog re-lock events so far (free-run episodes that ended with
+    /// valid readings returning).
+    pub fn relocks(&self) -> u64 {
+        self.relocks
+    }
+
+    /// Restore run-start state (sensor registers, watchdog, counters).
+    pub fn reset(&mut self, initial_reading: f64) {
+        for h in &mut self.held {
+            *h = initial_reading;
+        }
+        self.last_tau = initial_reading;
+        self.frozen = false;
+        self.relocks = 0;
+    }
+
+    /// The raw (pre-quantization) reading for measurement period `n`:
+    /// the clean recurrence `l_RO[n−mm] + e[n−mm] − e[n−1] + μ[n−mm]` with
+    /// permanent RO stage loss applied at the *generation* period
+    /// `gen = n − mm` and any clock glitch shortening the delivered edge
+    /// at `n`. With nothing scheduled this is exactly the clean value.
+    pub fn raw(&self, n: i64, gen: i64, lro_past: f64, e_nmm: f64, e_n1: f64, mu_nmm: f64) -> f64 {
+        let mut lro = lro_past;
+        if gen >= 0 {
+            let loss = self.schedule.ro_stage_loss(gen as u64);
+            if loss != 0.0 {
+                lro -= loss;
+            }
+        }
+        let mut raw = lro + e_nmm - e_n1 + mu_nmm;
+        if n >= 0 {
+            let glitch = self.schedule.glitch(n as u64);
+            if glitch != 0.0 {
+                raw -= glitch;
+            }
+        }
+        raw
+    }
+
+    /// Run the sensor bank on `raw` at period `n`: apply per-replica TDC
+    /// faults, update the stale registers, reduce by the configured vote.
+    /// Returns `(tau, valid)`; `valid` is false only when *no* replica
+    /// delivered a fresh sample this period.
+    pub fn measure(&mut self, n: i64, raw: f64, quantization: Quantization) -> (f64, bool) {
+        if !self.schedule.has_sensor_faults() {
+            // Every replica reads the same clean value; min and median
+            // coincide with it, so skip the per-sensor loop. This branch
+            // also keeps sensor-fault-free runs at the engines' original
+            // arithmetic.
+            let tau = quantization.apply(raw);
+            self.last_tau = tau;
+            return (tau, true);
+        }
+        self.scratch.clear();
+        for sensor in 0..self.held.len() {
+            let (reading, valid) = match self.schedule.sensor_fault(n.max(0) as u64, sensor) {
+                None => (quantization.apply(raw), true),
+                // a stuck TDC still asserts a valid strobe — it just lies
+                Some(SensorFault::StuckAt(value)) => (value, true),
+                Some(SensorFault::Dropout) => (self.held[sensor], false),
+                Some(SensorFault::Outlier(offset)) => (quantization.apply(raw + offset), true),
+            };
+            if valid {
+                self.held[sensor] = reading;
+            }
+            self.scratch.push((reading, valid));
+        }
+        let any_valid = self.scratch.iter().any(|&(_, v)| v);
+        let tau = if self.resilience.median_vote {
+            if any_valid {
+                median(self.scratch.iter().filter(|&&(_, v)| v).map(|&(r, _)| r))
+            } else {
+                self.last_tau
+            }
+        } else {
+            // the paper's worst-reading reduction, stale registers included
+            // (unhardened hardware cannot tell a stale register apart)
+            self.scratch
+                .iter()
+                .map(|&(r, _)| r)
+                .fold(f64::INFINITY, f64::min)
+        };
+        if any_valid {
+            self.last_tau = tau;
+        }
+        (tau, any_valid)
+    }
+
+    /// The guarded controller update for period `n`. Computes
+    /// `δ = c − τ`, steps (or free-runs, when the watchdog holds) the
+    /// controller, strikes any scheduled SEUs, and saturates the commanded
+    /// length. Returns `(delta, next_length)`.
+    ///
+    /// The clamp models a range limiter in the controller datapath *with
+    /// anti-windup write-back*: when the controller's own command (which an
+    /// SEU in the filter register may have blown up) saturates, the clamped
+    /// value is written back into the law's state, so the integrator cannot
+    /// stay wound up beyond the clamp and re-locks at the loop's natural
+    /// rate. SEUs in the latched `l_RO` word strike *downstream* of the
+    /// controller; a final combinational limiter in front of the RO catches
+    /// those without touching the (uncorrupted) controller state.
+    pub fn control(
+        &mut self,
+        n: i64,
+        setpoint: f64,
+        tau: f64,
+        valid: bool,
+        controller: &mut Controller,
+    ) -> (f64, f64) {
+        let delta = setpoint - tau;
+        let mut next = if self.resilience.watchdog && !valid {
+            // stale-sample watchdog: degrade to free-run instead of
+            // integrating a reading that never arrived
+            self.frozen = true;
+            controller.length()
+        } else {
+            if self.frozen {
+                self.frozen = false;
+                self.relocks += 1;
+            }
+            controller.step(delta)
+        };
+        if n >= 0 {
+            let mut struck = false;
+            for bit in self.schedule.seu_control_bits(n as u64) {
+                controller.flip_state_bit(bit);
+                struck = true;
+            }
+            if struck {
+                next = controller.length();
+            }
+        }
+        // min/max (not `clamp`) so inverted bounds and NaN both resolve
+        // instead of panicking
+        let bounds = self
+            .resilience
+            .clamp
+            .map(|(lo, hi)| (lo.min(hi), lo.max(hi)));
+        if let Some((lo, hi)) = bounds {
+            let clamped = next.max(lo).min(hi);
+            if clamped != next {
+                // anti-windup: drag the wound-up state back to the clamp
+                controller.set_length(clamped);
+            }
+            next = clamped;
+        }
+        if n >= 0 {
+            for bit in self.schedule.seu_lro_bits(n as u64) {
+                next = flip_length_word(next, bit);
+            }
+        }
+        if let Some((lo, hi)) = bounds {
+            next = next.max(lo).min(hi);
+        }
+        (delta, next)
+    }
+}
+
+/// Flip one bit of a commanded length, modeling an SEU in the latched
+/// `l_RO` register (transient: the controller rewrites the latch next
+/// period). The word is the rounded integer length, as in the hardware.
+fn flip_length_word(length: f64, bit: u32) -> f64 {
+    let word = length.round() as i64; // saturating f64→i64 cast
+    (word ^ (1i64 << (bit % clock_faults::SEU_BIT_SPAN))) as f64
+}
+
+/// Median of a non-empty value stream (upper median for even counts).
+/// NaNs order as equal, keeping the reduction total and panic-free.
+fn median(values: impl Iterator<Item = f64>) -> f64 {
+    let mut v: Vec<f64> = values.collect();
+    debug_assert!(!v.is_empty(), "median of an empty replica set");
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    v[v.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clock_faults::{FaultEvent, FaultKind};
+
+    fn sched(sensors: usize, events: &[FaultEvent]) -> FaultSchedule {
+        let mut s = FaultSchedule::new(sensors);
+        for &e in events {
+            s.push(e);
+        }
+        s
+    }
+
+    #[test]
+    fn default_resilience_is_inert_and_canonical() {
+        assert!(Resilience::default().is_inert());
+        assert_eq!(Resilience::default().canonical_id(), "off");
+        let h = Resilience::hardened(64.0);
+        assert!(!h.is_inert());
+        assert_eq!(
+            h.canonical_id(),
+            "median+clamp(60.000000,128.000000)+watchdog"
+        );
+    }
+
+    #[test]
+    fn clean_path_reproduces_engine_arithmetic() {
+        let fp = FaultPath::new(FaultSchedule::new(3), Resilience::default(), 64.0);
+        assert!(fp.is_inert());
+        let raw = fp.raw(10, 7, 64.0, 1.5, -0.25, 3.0);
+        assert_eq!(raw.to_bits(), (64.0f64 + 1.5 - (-0.25) + 3.0).to_bits());
+        let mut fp = fp;
+        let (tau, valid) = fp.measure(10, raw, Quantization::Floor);
+        assert!(valid);
+        assert_eq!(tau.to_bits(), raw.floor().to_bits());
+    }
+
+    #[test]
+    fn min_vote_consumes_stuck_reading_median_outvotes_it() {
+        let s = sched(
+            3,
+            &[FaultEvent {
+                at: 0,
+                duration: 10,
+                kind: FaultKind::TdcStuckAt {
+                    sensor: 1,
+                    value: -20.0,
+                },
+            }],
+        );
+        let mut plain = FaultPath::new(s.clone(), Resilience::default(), 64.0);
+        let (tau, valid) = plain.measure(5, 64.0, Quantization::Floor);
+        assert_eq!(tau, -20.0, "worst-reading vote swallows the lie");
+        assert!(valid);
+        let mut hard = FaultPath::new(s, Resilience::hardened(64.0), 64.0);
+        let (tau, valid) = hard.measure(5, 64.0, Quantization::Floor);
+        assert_eq!(tau, 64.0, "median outvotes one stuck replica");
+        assert!(valid);
+    }
+
+    #[test]
+    fn full_dropout_invalidates_and_watchdog_relocks() {
+        let mut events = Vec::new();
+        for sensor in 0..3 {
+            events.push(FaultEvent {
+                at: 4,
+                duration: 3,
+                kind: FaultKind::TdcDropout { sensor },
+            });
+        }
+        let s = sched(3, &events);
+        let mut fp = FaultPath::new(s, Resilience::hardened(64.0), 63.0);
+        let mut ctrl = Controller::teatime(64, 1.0);
+        // before the dropout: normal stepping
+        let (tau, valid) = fp.measure(0, 60.0, Quantization::Floor);
+        assert!(valid);
+        let (_, next) = fp.control(0, 64.0, tau, valid, &mut ctrl);
+        assert_eq!(next, 65.0);
+        // during: every replica stale → invalid → free-run hold
+        for n in 4..7 {
+            let (tau, valid) = fp.measure(n, 60.0, Quantization::Floor);
+            assert!(!valid);
+            assert_eq!(tau, 60.0, "vote falls back to the last valid reading");
+            let (_, next) = fp.control(n, 64.0, tau, valid, &mut ctrl);
+            assert_eq!(next, 65.0, "watchdog holds the length");
+        }
+        assert_eq!(fp.relocks(), 0);
+        // after: readings return, controller resumes, one re-lock counted
+        let (tau, valid) = fp.measure(7, 60.0, Quantization::Floor);
+        assert!(valid);
+        let (_, next) = fp.control(7, 64.0, tau, valid, &mut ctrl);
+        assert_eq!(next, 66.0);
+        assert_eq!(fp.relocks(), 1);
+    }
+
+    #[test]
+    fn dropout_without_watchdog_keeps_integrating_stale_data() {
+        let s = sched(
+            1,
+            &[FaultEvent {
+                at: 0,
+                duration: 5,
+                kind: FaultKind::TdcDropout { sensor: 0 },
+            }],
+        );
+        let mut fp = FaultPath::new(s, Resilience::default(), 60.0);
+        let mut ctrl = Controller::teatime(64, 1.0);
+        let (tau, valid) = fp.measure(0, 99.0, Quantization::Floor);
+        assert_eq!(tau, 60.0, "stale register presented as truth");
+        let (_, next) = fp.control(0, 64.0, tau, valid, &mut ctrl);
+        assert_eq!(next, 65.0, "unhardened controller steps on stale data");
+    }
+
+    #[test]
+    fn seu_strikes_state_and_lro_word() {
+        let s = sched(
+            1,
+            &[
+                FaultEvent {
+                    at: 2,
+                    duration: 1,
+                    kind: FaultKind::SeuLroWord { bit: 4 },
+                },
+                FaultEvent {
+                    at: 5,
+                    duration: 1,
+                    kind: FaultKind::SeuControlState { bit: 3 },
+                },
+            ],
+        );
+        let mut fp = FaultPath::new(s, Resilience::default(), 64.0);
+        let mut ctrl = Controller::teatime(64, 1.0);
+        let (_, next) = fp.control(2, 64.0, 64.0, true, &mut ctrl);
+        // δ = 0 leaves the length at 64; the latch flip XORs bit 4
+        assert_eq!(next, (64 ^ 16) as f64);
+        // latch corruption is transient: the controller state is untouched
+        let (_, next) = fp.control(3, 64.0, 64.0, true, &mut ctrl);
+        assert_eq!(next, 64.0);
+        // state corruption persists
+        let (_, next) = fp.control(5, 64.0, 64.0, true, &mut ctrl);
+        assert_eq!(next, (64 ^ 8) as f64);
+        let (_, next) = fp.control(6, 64.0, 64.0, true, &mut ctrl);
+        assert_eq!(next, (64 ^ 8) as f64, "flipped state persists");
+    }
+
+    #[test]
+    fn clamp_bounds_the_commanded_length() {
+        let s = sched(
+            1,
+            &[FaultEvent {
+                at: 0,
+                duration: 1,
+                kind: FaultKind::SeuLroWord { bit: 20 },
+            }],
+        );
+        let res = Resilience {
+            clamp: Some((32.0, 128.0)),
+            ..Resilience::default()
+        };
+        let mut fp = FaultPath::new(s, res, 64.0);
+        let mut ctrl = Controller::free(64);
+        let (_, next) = fp.control(0, 64.0, 64.0, true, &mut ctrl);
+        assert_eq!(next, 128.0, "SEU excursion saturates at the clamp");
+    }
+
+    #[test]
+    fn glitch_and_stage_loss_shorten_raw() {
+        let s = sched(
+            1,
+            &[
+                FaultEvent {
+                    at: 10,
+                    duration: 1,
+                    kind: FaultKind::ClockGlitch { stages: 7.0 },
+                },
+                FaultEvent {
+                    at: 20,
+                    duration: 1,
+                    kind: FaultKind::RoStageFailure { stages: 4.0 },
+                },
+            ],
+        );
+        let fp = FaultPath::new(s, Resilience::default(), 64.0);
+        assert_eq!(fp.raw(10, 7, 64.0, 0.0, 0.0, 0.0), 57.0);
+        assert_eq!(fp.raw(11, 8, 64.0, 0.0, 0.0, 0.0), 64.0);
+        // loss keyed on the generation period, permanent afterwards
+        assert_eq!(fp.raw(22, 19, 64.0, 0.0, 0.0, 0.0), 64.0);
+        assert_eq!(fp.raw(23, 20, 64.0, 0.0, 0.0, 0.0), 60.0);
+        assert_eq!(fp.raw(400, 397, 64.0, 0.0, 0.0, 0.0), 60.0);
+    }
+
+    #[test]
+    fn median_helper_orders_and_survives_nan() {
+        assert_eq!(median([3.0, 1.0, 2.0].into_iter()), 2.0);
+        assert_eq!(median([4.0, 1.0].into_iter()), 4.0, "upper median");
+        assert_eq!(median([5.0].into_iter()), 5.0);
+        let m = median([f64::NAN, 1.0, 1.0].into_iter());
+        assert!(m == 1.0 || m.is_nan(), "total order, no panic");
+    }
+}

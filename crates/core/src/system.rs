@@ -146,7 +146,7 @@ pub struct SystemBuilder {
     bounds: Option<RoBounds>,
     quantization: Quantization,
     sensors: Vec<SensorSpec>,
-    jitter: Option<PeriodJitter>,
+    jitter: Option<(f64, u64)>,
     coupling: Coupling,
     initial_length: Option<i64>,
     telemetry: Telemetry,
@@ -239,14 +239,11 @@ impl SystemBuilder {
     }
 
     /// Add cycle-to-cycle generator period jitter (RO phase noise) of the
-    /// given standard deviation, seeded for reproducibility.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sigma < 0`.
+    /// given standard deviation, seeded for reproducibility. The sigma is
+    /// validated in [`build`](Self::build).
     #[must_use]
     pub fn jitter(mut self, sigma: f64, seed: u64) -> Self {
-        self.jitter = Some(PeriodJitter::new(sigma, seed));
+        self.jitter = Some((sigma, seed));
         self
     }
 
@@ -255,8 +252,8 @@ impl SystemBuilder {
     /// # Errors
     ///
     /// Returns [`Error::InvalidSetPoint`], [`Error::InvalidCdnDelay`],
-    /// [`Error::InvalidRoBounds`], [`Error::NoSensors`], or an IIR
-    /// configuration error.
+    /// [`Error::InvalidRoBounds`], [`Error::NoSensors`],
+    /// [`Error::InvalidNoise`], or an IIR configuration error.
     pub fn build(self) -> Result<System, Error> {
         if self.setpoint <= 0 {
             return Err(Error::InvalidSetPoint {
@@ -300,6 +297,19 @@ impl SystemBuilder {
                 });
             }
         }
+        // Every noise sigma is validated here, once, so the run path can
+        // construct sensors infallibly.
+        let jitter = match self.jitter {
+            Some((sigma, seed)) => Some(PeriodJitter::new(sigma, seed)?),
+            None => None,
+        };
+        for spec in &self.sensors {
+            if let Some((sigma, _)) = spec.noise {
+                if !sigma.is_finite() || sigma < 0.0 {
+                    return Err(Error::InvalidNoise { sigma });
+                }
+            }
+        }
         Ok(System {
             setpoint: self.setpoint,
             cdn,
@@ -307,7 +317,7 @@ impl SystemBuilder {
             bounds,
             quantization: self.quantization,
             sensors: self.sensors,
-            jitter: self.jitter,
+            jitter,
             coupling: self.coupling,
             initial_length: self.initial_length,
             telemetry: self.telemetry,
@@ -359,7 +369,9 @@ impl System {
                 )
                 .with_coupling(self.coupling);
                 match s.noise {
-                    Some((sigma, seed)) => tdc.with_noise(sigma, seed),
+                    Some((sigma, seed)) => tdc
+                        .with_noise(sigma, seed)
+                        .expect("sigma validated in SystemBuilder::build"),
                     None => tdc,
                 }
             })
@@ -546,6 +558,16 @@ mod tests {
         assert!(matches!(
             SystemBuilder::new(64).sensors(vec![]).build(),
             Err(Error::NoSensors)
+        ));
+        assert!(matches!(
+            SystemBuilder::new(64).jitter(-0.5, 1).build(),
+            Err(Error::InvalidNoise { .. })
+        ));
+        assert!(matches!(
+            SystemBuilder::new(64)
+                .sensors(vec![SensorSpec::ideal().with_noise(f64::NAN, 1)])
+                .build(),
+            Err(Error::InvalidNoise { .. })
         ));
         assert!(SystemBuilder::new(64).build().is_ok());
     }

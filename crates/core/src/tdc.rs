@@ -18,6 +18,7 @@
 
 use variation::sources::Waveform;
 
+use crate::error::Error;
 use crate::noise::{hash_gauss, time_key};
 use crate::ro::Coupling;
 
@@ -76,14 +77,15 @@ impl Tdc {
     /// (stage units), seeded for reproducibility. Models TDC sampling
     /// uncertainty beyond the count quantization.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sigma < 0`.
-    #[must_use]
-    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Self {
-        assert!(sigma >= 0.0, "noise sigma must be non-negative");
+    /// [`Error::InvalidNoise`] if `sigma` is negative or non-finite.
+    pub fn with_noise(mut self, sigma: f64, seed: u64) -> Result<Self, Error> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error::InvalidNoise { sigma });
+        }
         self.noise = Some((sigma, seed));
-        self
+        Ok(self)
     }
 
     /// Use a different variation coupling (default: additive, matching the
@@ -247,9 +249,9 @@ mod tests {
 
     #[test]
     fn measurement_noise_is_deterministic_and_scaled() {
-        let a = Tdc::ideal(Quantization::None).with_noise(2.0, 5);
-        let b = Tdc::ideal(Quantization::None).with_noise(2.0, 5);
-        let c = Tdc::ideal(Quantization::None).with_noise(2.0, 6);
+        let a = Tdc::ideal(Quantization::None).with_noise(2.0, 5).unwrap();
+        let b = Tdc::ideal(Quantization::None).with_noise(2.0, 5).unwrap();
+        let c = Tdc::ideal(Quantization::None).with_noise(2.0, 6).unwrap();
         let mut spread = 0.0f64;
         let mut differs = false;
         for k in 0..500 {
@@ -264,8 +266,16 @@ mod tests {
         assert!(differs, "seeds must decorrelate");
         assert!(spread > 3.0 && spread < 13.0, "spread {spread} vs σ=2");
         // zero sigma is a no-op
-        let z = Tdc::ideal(Quantization::None).with_noise(0.0, 5);
+        let z = Tdc::ideal(Quantization::None).with_noise(0.0, 5).unwrap();
         assert_eq!(z.measure(64.0, &NoVariation, 1.0), 64.0);
+    }
+
+    #[test]
+    fn invalid_noise_sigma_is_a_typed_error() {
+        for sigma in [-1.0, f64::NAN, f64::INFINITY] {
+            let err = Tdc::ideal(Quantization::None).with_noise(sigma, 0);
+            assert!(err.is_err(), "sigma {sigma} must be rejected");
+        }
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! Fault injection on a signal line.
+
+use clock_faults::{FaultSchedule, SensorFault};
+
+use crate::block::{Block, StepContext};
+
+/// Injects a [`FaultSchedule`] into a scalar signal line.
+///
+/// The block treats its input as one sensor's reading and applies, per
+/// simulation step `n` (the discrete period index):
+///
+/// * TDC faults targeting the configured sensor index — stuck-at replaces
+///   the signal, dropout holds the block's last delivered value (a stale
+///   register), outliers add their offset;
+/// * clock glitches — the delivered value shrinks by the glitch stages;
+/// * permanent RO stage failures — the value shrinks by the cumulative
+///   stage loss;
+/// * `l_RO`-word SEUs — the rounded signal word has the scheduled bit
+///   flipped for that one step.
+///
+/// Controller-state SEUs are not a signal-line phenomenon and are ignored
+/// here (the loop engines strike those on the controller itself). With an
+/// empty schedule the block is an exact pass-through.
+///
+/// The block is direct-feedthrough; the dropout register latches in
+/// `update`, so `output` stays idempotent within a step.
+#[derive(Debug, Clone)]
+pub struct FaultPort {
+    name: String,
+    schedule: FaultSchedule,
+    sensor: usize,
+    initial: f64,
+    held: f64,
+}
+
+impl FaultPort {
+    /// A fault port applying `schedule` as seen by sensor index `sensor`.
+    /// `initial` seeds the dropout hold register (use the signal's rest
+    /// value).
+    pub fn new(
+        name: impl Into<String>,
+        schedule: FaultSchedule,
+        sensor: usize,
+        initial: f64,
+    ) -> Self {
+        FaultPort {
+            name: name.into(),
+            schedule,
+            sensor,
+            initial,
+            held: initial,
+        }
+    }
+
+    fn faulted(&self, n: u64, input: f64) -> f64 {
+        let mut value = match self.schedule.sensor_fault(n, self.sensor) {
+            None => input,
+            Some(SensorFault::StuckAt(v)) => v,
+            Some(SensorFault::Dropout) => self.held,
+            Some(SensorFault::Outlier(offset)) => input + offset,
+        };
+        let loss = self.schedule.ro_stage_loss(n);
+        if loss != 0.0 {
+            value -= loss;
+        }
+        let glitch = self.schedule.glitch(n);
+        if glitch != 0.0 {
+            value -= glitch;
+        }
+        for bit in self.schedule.seu_lro_bits(n) {
+            let word = value.round() as i64;
+            value = (word ^ (1i64 << (bit % clock_faults::SEU_BIT_SPAN))) as f64;
+        }
+        value
+    }
+}
+
+impl Block for FaultPort {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn num_inputs(&self) -> usize {
+        1
+    }
+    fn num_outputs(&self) -> usize {
+        1
+    }
+    fn output(&mut self, ctx: &StepContext, inputs: &[f64], outputs: &mut [f64]) {
+        outputs[0] = self.faulted(ctx.step, inputs[0]);
+    }
+    fn update(&mut self, ctx: &StepContext, inputs: &[f64]) {
+        let delivered = self.faulted(ctx.step, inputs[0]);
+        // the hold register tracks what the line last carried while the
+        // sensor was alive
+        if !matches!(
+            self.schedule.sensor_fault(ctx.step, self.sensor),
+            Some(SensorFault::Dropout)
+        ) {
+            self.held = delivered;
+        }
+    }
+    fn reset(&mut self) {
+        self.held = self.initial;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{FunctionSource, Probe};
+    use crate::GraphBuilder;
+    use clock_faults::{FaultEvent, FaultKind};
+
+    #[test]
+    fn empty_schedule_is_exact_passthrough() {
+        let mut g = GraphBuilder::new();
+        let src = g.add(FunctionSource::new("src", |t| 64.0 + (t * 0.7).sin()));
+        let f = g.add(FaultPort::new("f", FaultSchedule::new(1), 0, 64.0));
+        let p = g.add(Probe::new("p"));
+        g.chain(&[src, f, p]).unwrap();
+        let mut sim = g.build().unwrap();
+        sim.run(16).unwrap();
+        for (k, &y) in sim.trace("p").unwrap().samples().iter().enumerate() {
+            let want = 64.0 + (k as f64 * 0.7).sin();
+            assert_eq!(y.to_bits(), want.to_bits(), "step {k}");
+        }
+    }
+
+    #[test]
+    fn dropout_holds_last_live_value_then_recovers() {
+        let schedule = FaultSchedule::new(1).with(FaultEvent {
+            at: 3,
+            duration: 2,
+            kind: FaultKind::TdcDropout { sensor: 0 },
+        });
+        let mut g = GraphBuilder::new();
+        let src = g.add(FunctionSource::new("src", |t| 10.0 + t));
+        let f = g.add(FaultPort::new("f", schedule, 0, 10.0));
+        let p = g.add(Probe::new("p"));
+        g.chain(&[src, f, p]).unwrap();
+        let mut sim = g.build().unwrap();
+        sim.run(7).unwrap();
+        assert_eq!(
+            sim.trace("p").unwrap().samples(),
+            &[10.0, 11.0, 12.0, 12.0, 12.0, 15.0, 16.0]
+        );
+    }
+
+    #[test]
+    fn stuck_glitch_and_seu_strike_the_line() {
+        let schedule = FaultSchedule::new(2)
+            .with(FaultEvent {
+                at: 1,
+                duration: 1,
+                kind: FaultKind::TdcStuckAt {
+                    sensor: 0,
+                    value: -5.0,
+                },
+            })
+            .with(FaultEvent {
+                at: 2,
+                duration: 1,
+                kind: FaultKind::ClockGlitch { stages: 7.0 },
+            })
+            .with(FaultEvent {
+                at: 3,
+                duration: 1,
+                kind: FaultKind::SeuLroWord { bit: 4 },
+            })
+            // targets the other sensor: must not touch this line
+            .with(FaultEvent {
+                at: 4,
+                duration: 1,
+                kind: FaultKind::TdcStuckAt {
+                    sensor: 1,
+                    value: 0.0,
+                },
+            });
+        let mut g = GraphBuilder::new();
+        let src = g.add(FunctionSource::new("src", |_| 64.0));
+        let f = g.add(FaultPort::new("f", schedule, 0, 64.0));
+        let p = g.add(Probe::new("p"));
+        g.chain(&[src, f, p]).unwrap();
+        let mut sim = g.build().unwrap();
+        sim.run(5).unwrap();
+        assert_eq!(
+            sim.trace("p").unwrap().samples(),
+            &[64.0, -5.0, 57.0, (64 ^ 16) as f64, 64.0]
+        );
+    }
+
+    #[test]
+    fn reset_restores_the_hold_register() {
+        let schedule = FaultSchedule::new(1).with(FaultEvent {
+            at: 0,
+            duration: 1,
+            kind: FaultKind::TdcDropout { sensor: 0 },
+        });
+        let mut f = FaultPort::new("f", schedule, 0, 42.0);
+        let ctx = StepContext::initial(1.0);
+        let mut out = [0.0];
+        f.output(&ctx, &[99.0], &mut out);
+        assert_eq!(out[0], 42.0, "dropped at step 0 → initial hold");
+        f.update(&ctx, &[99.0]);
+        f.reset();
+        f.output(&ctx, &[99.0], &mut out);
+        assert_eq!(out[0], 42.0);
+    }
+}

@@ -37,6 +37,7 @@ fn usage() -> &'static str {
      benchmarks:      bench (compiled vs interpreted, batched lanes, warm-started fig9;\n\
                       --quick shrinks the workloads, --json <file> writes the report)\n\
      extensions:      ext-sensitivity, ext-throughput, ext-noise, ext-stability, ext-lock, ext-coupling\n\
+     chaos:           ext-faults (fault class × rate × scheme; standalone — not part of the bundles)\n\
      bundles:         all (paper artifacts), extensions, everything\n\
      discovery:       --list prints every id with a description and step budget\n\
      caching:         --cache <dir> reuses grid-point results across runs (env: REPRO_CACHE;\n\
@@ -135,13 +136,9 @@ fn main() -> ExitCode {
         None => Telemetry::disabled(),
     };
     let cache = match &cache_dir {
-        Some(dir) => match SweepCache::persistent(dir, &telemetry) {
-            Ok(c) => c,
-            Err(e) => {
-                eprintln!("error: cannot open result cache {dir}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
+        // degrade to no-cache on open failure: caching accelerates a run,
+        // it must never abort one
+        Some(dir) => SweepCache::persistent_or_disabled(dir, &telemetry),
         None => SweepCache::disabled(),
     };
     let mut params = PaperParams::default();

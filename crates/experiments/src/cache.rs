@@ -122,6 +122,28 @@ impl SweepCache {
         })
     }
 
+    /// [`persistent`](Self::persistent), degraded to no-cache on failure.
+    ///
+    /// A result cache is an accelerator, not a correctness dependency: a
+    /// read-only filesystem or a bad path should cost cache reuse, never
+    /// the run. Open failures are reported on stderr and counted under the
+    /// `cache.open_failures` telemetry counter, and the returned handle
+    /// turns every lookup into a compute.
+    pub fn persistent_or_disabled(dir: impl AsRef<Path>, telemetry: &Telemetry) -> Self {
+        let dir = dir.as_ref();
+        match SweepCache::persistent(dir, telemetry) {
+            Ok(cache) => cache,
+            Err(e) => {
+                telemetry.counter("cache.open_failures").inc();
+                eprintln!(
+                    "warning: cannot open result cache {}: {e}; continuing without a cache",
+                    dir.display()
+                );
+                SweepCache::disabled()
+            }
+        }
+    }
+
     /// A memory-only cache (deduplicates repeated points within one
     /// process; nothing survives it).
     pub fn in_memory(telemetry: &Telemetry) -> Self {
@@ -218,6 +240,24 @@ mod tests {
         assert_eq!(snap.counter("cache.hits"), Some(1));
         assert_eq!(snap.counter("cache.misses"), Some(1));
         assert!(snap.counter("cache.bytes_written").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn unopenable_store_degrades_to_no_cache_and_counts() {
+        let telemetry = Telemetry::enabled();
+        // a path *under a regular file* can never become a directory
+        let file = std::env::temp_dir().join(format!("cache-degrade-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        let cache = SweepCache::persistent_or_disabled(file.join("store"), &telemetry);
+        assert!(
+            !cache.is_enabled(),
+            "open failure must yield a no-op handle"
+        );
+        let k = key("test").u64("x", 9).finish();
+        cache.put_f64s(k, &[1.0]);
+        assert!(cache.get_f64s(k, 1).is_none(), "disabled handle never hits");
+        assert_eq!(telemetry.snapshot().counter("cache.open_failures"), Some(1));
+        std::fs::remove_file(&file).unwrap();
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`ext_stability`] | clock-domain-size stability map across gain sets |
 //! | [`ext_lock`] | cold-start lock time vs the modal-analysis prediction |
 //! | [`ext_coupling`] | additive (paper) vs multiplicative variation coupling |
+//! | [`ext_faults`] | chaos sweep: fault class × rate × scheme violation/MTTR table |
 //!
 //! The `repro` binary dispatches on experiment id:
 //! `cargo run -p experiments --bin repro -- fig8`.
@@ -41,6 +42,7 @@ pub mod cache;
 pub mod config;
 pub mod constraints;
 pub mod ext_coupling;
+pub mod ext_faults;
 pub mod ext_lock;
 pub mod ext_noise;
 pub mod ext_sensitivity;

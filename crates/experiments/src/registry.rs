@@ -10,8 +10,8 @@
 
 use crate::runner::RunCtx;
 use crate::{
-    bench, constraints, ext_coupling, ext_lock, ext_noise, ext_sensitivity, ext_stability,
-    ext_throughput, fig2, fig7, fig8, fig9, table1, worked,
+    bench, constraints, ext_coupling, ext_faults, ext_lock, ext_noise, ext_sensitivity,
+    ext_stability, ext_throughput, fig2, fig7, fig8, fig9, table1, worked,
 };
 
 /// Everything one dispatch threads through to an experiment: the shared
@@ -172,6 +172,12 @@ pub static REGISTRY: &[ExperimentDef] = &[
         description: "additive (paper) vs multiplicative variation coupling",
         steps: "~20k steps",
         runner: Runner::Leaf(run_ext_coupling),
+    },
+    ExperimentDef {
+        id: "ext-faults",
+        description: "chaos sweep: fault class × rate × scheme violation/MTTR table",
+        steps: "~670k steps",
+        runner: Runner::Leaf(run_ext_faults),
     },
     ExperimentDef {
         id: "all",
@@ -356,6 +362,14 @@ fn run_ext_coupling(inv: &Invocation<'_>) -> bool {
     true
 }
 
+fn run_ext_faults(inv: &Invocation<'_>) -> bool {
+    println!(
+        "{}",
+        ext_faults::render(&ext_faults::run(inv.ctx, inv.quick))
+    );
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,7 +399,9 @@ mod tests {
     }
 
     /// `everything` must transitively reach every leaf except `bench`
-    /// (which is a benchmark, not a paper artifact or extension).
+    /// (which is a benchmark, not a paper artifact or extension) and
+    /// `ext-faults` (the chaos sweep is opt-in so the `everything`
+    /// golden fixture stays fault-free and byte-stable).
     #[test]
     fn everything_covers_every_leaf_but_bench() {
         fn expand(id: &str, into: &mut BTreeSet<&'static str>) {
@@ -404,7 +420,9 @@ mod tests {
         expand("everything", &mut reached);
         let leaves: BTreeSet<&str> = REGISTRY
             .iter()
-            .filter(|d| matches!(d.runner, Runner::Leaf(_)) && d.id != "bench")
+            .filter(|d| {
+                matches!(d.runner, Runner::Leaf(_)) && d.id != "bench" && d.id != "ext-faults"
+            })
             .map(|d| d.id)
             .collect();
         assert_eq!(reached, leaves);

@@ -45,6 +45,7 @@ fn list_prints_every_id_and_succeeds() {
         "ext-stability",
         "ext-lock",
         "ext-coupling",
+        "ext-faults",
         "all",
         "extensions",
         "everything",

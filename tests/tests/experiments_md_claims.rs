@@ -144,3 +144,41 @@ fn stability_map_matches_documentation() {
     assert!((paper.phase_margin_deg.expect("crossing") - 70.8).abs() < 1.0);
     assert!((paper.sensitivity_peak - 1.42).abs() < 0.02);
 }
+
+/// EXPERIMENTS.md ext-faults headline numbers (the `--quick` chaos grid
+/// is fully deterministic, so these are exact).
+#[test]
+fn ext_faults_headlines_match_documentation() {
+    let cells = experiments::ext_faults::run(&ctx(), true);
+    let injected: u64 = cells.iter().map(|c| c.injected).sum();
+    assert_eq!(injected, 28, "EXPERIMENTS.md documents 28 strikes");
+    let lane = |cell: &experiments::ext_faults::FaultCell, scheme: &str| {
+        cell.lanes
+            .iter()
+            .find(|l| l.scheme == scheme)
+            .unwrap_or_else(|| panic!("lane {scheme}"))
+            .report
+    };
+    let cell = |label: &str| {
+        cells
+            .iter()
+            .find(|c| c.class.label() == label)
+            .unwrap_or_else(|| panic!("cell {label}"))
+    };
+    // the median vote erases a stuck-at sensor: 642 violations -> 0
+    let stuck = cell("tdc-stuck-at");
+    assert_eq!(lane(stuck, "IIR RO").violations, 642);
+    assert_eq!(lane(stuck, "IIR+res RO").violations, 0);
+    // hardened IIR survives SEUs with zero violations, one re-lock per strike
+    for label in ["seu-ctl-state", "seu-lro-word"] {
+        let seu = cell(label);
+        let hardened = lane(seu, "IIR+res RO");
+        assert_eq!(hardened.violations, 0, "{label}");
+        assert_eq!(hardened.relock_events as u64, seu.injected, "{label}");
+        assert!(lane(seu, "IIR RO").violations > 0, "{label}");
+    }
+    // a dying RO stage is fatal only without feedback
+    let ro = cell("ro-stage-fail");
+    assert_eq!(lane(ro, "Free RO").violations, 3148);
+    assert!(lane(ro, "IIR RO").violations <= 4);
+}
