@@ -206,6 +206,9 @@ impl BatchLoop {
     ///
     /// Panics when `inputs.len() != self.len()`.
     pub fn run(&mut self, inputs: &[LoopInputs<'_>], steps: usize) -> BatchTrace {
+        let mut run_scope = self.telemetry.scope("engine.batch");
+        run_scope.attr("steps", steps);
+        run_scope.attr("lanes", self.lanes.len());
         assert_eq!(
             inputs.len(),
             self.lanes.len(),

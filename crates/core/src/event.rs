@@ -204,6 +204,8 @@ impl EventLoop {
     /// under homogeneous variation `e`. Per-sensor heterogeneous variation
     /// lives inside the [`SensorBank`].
     pub fn run<W: Waveform + ?Sized>(&mut self, e: &W, n_samples: usize) -> Vec<Sample> {
+        let mut run_scope = self.telemetry.scope("engine.core");
+        run_scope.attr("samples", n_samples);
         let observed = self.telemetry.is_enabled();
         let c_samples = self.telemetry.counter("core.samples");
         let c_steps = self.telemetry.counter("core.controller_steps");

@@ -156,6 +156,8 @@ impl DiscreteLoop {
 
     /// Run `steps` periods and record the loop signals.
     pub fn run(&mut self, inputs: &LoopInputs<'_>, steps: usize) -> LoopTrace {
+        let mut run_scope = self.telemetry.scope("engine.discrete");
+        run_scope.attr("steps", steps);
         let observed = self.telemetry.is_enabled();
         let c_steps = self.telemetry.counter("discrete.controller_steps");
         let c_violations = self.telemetry.counter("discrete.timing_violations");

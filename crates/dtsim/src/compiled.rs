@@ -494,6 +494,7 @@ pub struct CompiledSim {
     n_connections: usize,
     ctx: StepContext,
     check_finite: bool,
+    telemetry: clock_telemetry::Telemetry,
 }
 
 impl std::fmt::Debug for CompiledSim {
@@ -806,9 +807,17 @@ impl CompiledSim {
             n_connections,
             ctx: parts.ctx,
             check_finite: parts.check_finite,
+            telemetry: parts.telemetry,
         };
         sim.prime_constants();
         sim
+    }
+
+    /// Attach an instrumentation handle; [`CompiledSim::run`] opens an
+    /// `engine.compiled` trace span per call on it. Compiling preserves
+    /// the handle attached via [`Simulation::set_telemetry`].
+    pub fn set_telemetry(&mut self, telemetry: clock_telemetry::Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Write every constant's value into its output slot once — consumers
@@ -1219,6 +1228,8 @@ impl CompiledSim {
     ///
     /// Stops at and returns the first step error.
     pub fn run(&mut self, n: u64) -> Result<(), Error> {
+        let mut run_scope = self.telemetry.scope("engine.compiled");
+        run_scope.attr("steps", n);
         for _ in 0..n {
             self.step()?;
         }

@@ -1,3 +1,5 @@
+use clock_telemetry::Telemetry;
+
 use crate::block::{Block, StepContext};
 use crate::error::Error;
 use crate::trace::Trace;
@@ -67,6 +69,7 @@ pub(crate) struct SimParts {
     pub(crate) outputs: Vec<f64>,
     pub(crate) ctx: StepContext,
     pub(crate) check_finite: bool,
+    pub(crate) telemetry: Telemetry,
 }
 
 /// An executable discrete-time model produced by
@@ -88,6 +91,7 @@ pub struct Simulation {
     ctx: StepContext,
     check_finite: bool,
     profiler: Option<Profiler>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -134,7 +138,15 @@ impl Simulation {
             ctx: StepContext::initial(1.0),
             check_finite: true,
             profiler: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attach an instrumentation handle; [`Simulation::run`] opens an
+    /// `engine.interp` trace span per call on it. A disabled handle (the
+    /// default) keeps the engine span-free.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Move the simulation's internals out, for lowering into a
@@ -150,6 +162,7 @@ impl Simulation {
             outputs: self.outputs,
             ctx: self.ctx,
             check_finite: self.check_finite,
+            telemetry: self.telemetry,
         }
     }
 
@@ -354,6 +367,8 @@ impl Simulation {
     ///
     /// Stops at and returns the first step error.
     pub fn run(&mut self, n: u64) -> Result<(), Error> {
+        let mut run_scope = self.telemetry.scope("engine.interp");
+        run_scope.attr("steps", n);
         for _ in 0..n {
             self.step()?;
         }

@@ -68,15 +68,44 @@ pub struct BenchEntry {
     pub iterations_saved: Option<u64>,
 }
 
-/// A full benchmark run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A full benchmark run. The `workers`/`engine_rev`/`git_rev` fields make
+/// a written `BENCH_*.json` self-describing for [`compare`]: a baseline
+/// taken on different hardware or a different engine generation is still
+/// loadable, and the header shows what it was taken against.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct BenchReport {
     /// True when the reduced `--quick` workloads were used (CI smoke mode).
     pub quick: bool,
     /// Set-point the workloads were built for.
     pub setpoint: i64,
+    /// Sweep worker pool size when the report was taken (0 when unknown —
+    /// pre-observability baselines).
+    pub workers: u64,
+    /// The engine fingerprint (crate version + `ENGINE_REV`s) the numbers
+    /// belong to (empty when unknown).
+    pub engine_rev: String,
+    /// Short git revision of the working tree, when git was available.
+    pub git_rev: Option<String>,
     /// The timed cases.
     pub entries: Vec<BenchEntry>,
+}
+
+// Hand-written so baselines written before the self-description fields
+// existed still load (`field_or_default`); the derive would reject them.
+impl serde::Deserialize for BenchReport {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::DeError::custom("BenchReport: expected object"))?;
+        Ok(BenchReport {
+            quick: serde::field(obj, "quick")?,
+            setpoint: serde::field(obj, "setpoint")?,
+            workers: serde::field_or_default(obj, "workers")?,
+            engine_rev: serde::field_or_default(obj, "engine_rev")?,
+            git_rev: serde::field_or_default(obj, "git_rev")?,
+            entries: serde::field(obj, "entries")?,
+        })
+    }
 }
 
 impl BenchReport {
@@ -94,6 +123,41 @@ impl BenchReport {
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string_pretty(self)
     }
+
+    /// Parse a report back from [`BenchReport::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/shape error message.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Load a report from a JSON file (a committed `BENCH_*.json`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a readable message for an unreadable file or a bad payload.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+    }
+}
+
+/// Short git revision of the working tree, when a git binary and repo are
+/// reachable from the current directory.
+pub fn git_revision() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(out.stdout).ok()?.trim().to_owned();
+    (!rev.is_empty()).then_some(rev)
 }
 
 /// Build the Fig. 7 workload as a fully-primitive `dtsim` graph: the
@@ -502,8 +566,133 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
     BenchReport {
         quick,
         setpoint: params.setpoint,
+        workers: workers as u64,
+        engine_rev: crate::cache::engine_fingerprint(),
+        git_rev: git_revision(),
         entries,
     }
+}
+
+/// One benchmark case matched between a current run and a stored baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareEntry {
+    /// Case name (`BenchEntry::name`).
+    pub name: String,
+    /// Speedup recorded in the baseline report.
+    pub baseline_speedup: f64,
+    /// Speedup measured now.
+    pub current_speedup: f64,
+    /// Relative change: `(current - baseline) / baseline`. Negative means
+    /// the optimisation bought less than it used to.
+    pub delta_frac: f64,
+    /// True when the loss exceeds the noise threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of [`compare`]: per-entry deltas plus bookkeeping on cases that
+/// could not be matched up.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompareReport {
+    /// Noise threshold the verdicts were computed with.
+    pub noise: f64,
+    /// Matched cases, in baseline order.
+    pub entries: Vec<CompareEntry>,
+    /// Baseline cases with a speedup that the current run does not have.
+    pub missing: Vec<String>,
+}
+
+impl CompareReport {
+    /// True when any matched entry regressed or a baseline case vanished.
+    pub fn regressed(&self) -> bool {
+        !self.missing.is_empty() || self.entries.iter().any(|e| e.regressed)
+    }
+}
+
+/// Default relative-loss threshold below which a speedup change is treated
+/// as timer noise. Calibrated against quick-vs-full runs of the committed
+/// workloads, whose speedup ratios wander by roughly ±8%; 25% keeps a wide
+/// guard band on loaded CI machines while still catching a pairing whose
+/// optimisation genuinely stopped working.
+pub const DEFAULT_COMPARE_NOISE: f64 = 0.25;
+
+/// Compare the optimisation speedups of `current` against a stored
+/// `baseline`. Raw wall times are deliberately ignored — they track host
+/// speed, not code quality — so only the dimensionless optimised-vs-naive
+/// ratios are held to account. An entry regresses when its speedup drops
+/// by more than `noise` relative to the baseline.
+pub fn compare(current: &BenchReport, baseline: &BenchReport, noise: f64) -> CompareReport {
+    let mut entries = Vec::new();
+    let mut missing = Vec::new();
+    for base in &baseline.entries {
+        let Some(baseline_speedup) = base.speedup else {
+            continue;
+        };
+        match current.entry(&base.name).and_then(|e| e.speedup) {
+            Some(current_speedup) => {
+                let delta_frac = (current_speedup - baseline_speedup) / baseline_speedup;
+                entries.push(CompareEntry {
+                    name: base.name.clone(),
+                    baseline_speedup,
+                    current_speedup,
+                    delta_frac,
+                    regressed: delta_frac < -noise,
+                });
+            }
+            None => missing.push(base.name.clone()),
+        }
+    }
+    CompareReport {
+        noise,
+        entries,
+        missing,
+    }
+}
+
+/// Render a [`CompareReport`] as an ASCII table with a verdict line.
+pub fn render_compare(report: &CompareReport, baseline: &BenchReport) -> String {
+    let mut out = String::new();
+    let base_rev = if baseline.engine_rev.is_empty() {
+        "unknown engine".to_owned()
+    } else {
+        baseline.engine_rev.clone()
+    };
+    let git = baseline.git_rev.as_deref().unwrap_or("?");
+    out.push_str(&format!(
+        "baseline: {base_rev} @ git {git}, {} workers\n",
+        baseline.workers
+    ));
+    let mut t = Table::new(vec![
+        "case".to_owned(),
+        "baseline x".to_owned(),
+        "current x".to_owned(),
+        "delta".to_owned(),
+        "verdict".to_owned(),
+    ]);
+    for e in &report.entries {
+        t.row(vec![
+            e.name.clone(),
+            format!("{:.2}", e.baseline_speedup),
+            format!("{:.2}", e.current_speedup),
+            format!("{:+.1}%", e.delta_frac * 100.0),
+            if e.regressed { "REGRESSED" } else { "ok" }.to_owned(),
+        ]);
+    }
+    out.push_str(&t.render());
+    for name in &report.missing {
+        out.push_str(&format!(
+            "missing: baseline case `{name}` not in current run\n"
+        ));
+    }
+    out.push_str(&format!(
+        "verdict: {} (noise threshold {:.0}%)\n",
+        if report.regressed() {
+            "REGRESSION"
+        } else {
+            "no regression"
+        },
+        report.noise * 100.0
+    ));
+    out
 }
 
 /// Render a report as an ASCII table.
@@ -616,5 +805,82 @@ mod tests {
         let text = render(&report);
         assert!(text.contains("dtsim-compiled"));
         assert!(text.contains("fig9-warm-panel"));
+        assert_eq!(report.engine_rev, crate::cache::engine_fingerprint());
+        assert!(report.workers >= 1, "worker pool size must be recorded");
+    }
+
+    /// Baselines committed before the self-description fields existed must
+    /// still load, with the new fields at their defaults.
+    #[test]
+    fn pre_observability_baseline_still_loads() {
+        let old = r#"{
+            "quick": false,
+            "setpoint": 40,
+            "entries": [{
+                "name": "dtsim-compiled",
+                "detail": "x",
+                "steps": 10,
+                "wall_ms": 1.0,
+                "steps_per_sec": 10000.0,
+                "baseline": "dtsim-interpreted",
+                "speedup": 2.0,
+                "iterations_saved": null
+            }]
+        }"#;
+        let report = BenchReport::from_json(old).expect("old schema loads");
+        assert_eq!(report.workers, 0);
+        assert_eq!(report.engine_rev, "");
+        assert_eq!(report.git_rev, None);
+        assert_eq!(report.entry("dtsim-compiled").unwrap().speedup, Some(2.0));
+    }
+
+    fn speedup_report(pairs: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            quick: false,
+            setpoint: 40,
+            workers: 4,
+            engine_rev: "test-engine".to_owned(),
+            git_rev: None,
+            entries: pairs
+                .iter()
+                .map(|&(name, speedup)| BenchEntry {
+                    name: name.to_owned(),
+                    detail: String::new(),
+                    steps: 1,
+                    wall_ms: 1.0,
+                    steps_per_sec: 1000.0,
+                    baseline: Some("base".to_owned()),
+                    speedup: Some(speedup),
+                    iterations_saved: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn compare_flags_only_losses_beyond_noise() {
+        let baseline = speedup_report(&[("a", 2.0), ("b", 3.0), ("c", 1.5)]);
+        // a: tiny wobble, b: catastrophic loss, c: improvement.
+        let current = speedup_report(&[("a", 1.9), ("b", 1.0), ("c", 2.0)]);
+        let cmp = compare(&current, &baseline, DEFAULT_COMPARE_NOISE);
+        assert!(cmp.regressed());
+        let by_name = |n: &str| cmp.entries.iter().find(|e| e.name == n).unwrap();
+        assert!(!by_name("a").regressed, "5% wobble is noise");
+        assert!(by_name("b").regressed, "3.0x -> 1.0x is a regression");
+        assert!(!by_name("c").regressed, "improvements never regress");
+        let text = render_compare(&cmp, &baseline);
+        assert!(text.contains("REGRESSION"));
+        assert!(text.contains("test-engine"));
+    }
+
+    #[test]
+    fn compare_passes_identical_reports_and_catches_missing_cases() {
+        let baseline = speedup_report(&[("a", 2.0), ("b", 3.0)]);
+        let same = compare(&baseline, &baseline, DEFAULT_COMPARE_NOISE);
+        assert!(!same.regressed(), "a report never regresses against itself");
+        let current = speedup_report(&[("a", 2.0)]);
+        let cmp = compare(&current, &baseline, DEFAULT_COMPARE_NOISE);
+        assert_eq!(cmp.missing, vec!["b".to_owned()]);
+        assert!(cmp.regressed(), "a vanished case counts as a regression");
     }
 }

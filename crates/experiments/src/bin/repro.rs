@@ -10,6 +10,10 @@
 //! repro --progress fig9           # live sweep progress line on stderr
 //! repro --cache .repro-cache fig9 # content-addressed result cache (reruns hit)
 //! repro --threads 4 fig8          # cap the sweep worker pool
+//! repro fig9 --quick --profile    # wall-time attribution tree after the run
+//! repro fig9 --trace t.json       # Chrome-trace-format span export
+//! repro bench --compare BENCH_3.json  # fail on benchmark speedup regression
+//! repro metrics fig7              # Prometheus-style exposition after the run
 //! ```
 //!
 //! `REPRO_CACHE` and `REPRO_THREADS` provide environment defaults for
@@ -22,7 +26,7 @@
 
 use std::process::ExitCode;
 
-use clock_telemetry::Telemetry;
+use clock_telemetry::{build_profile, prometheus_text, render_profile, Telemetry};
 use experiments::cache::SweepCache;
 use experiments::config::PaperParams;
 use experiments::registry::{self, Invocation};
@@ -32,16 +36,22 @@ use experiments::sweep;
 
 fn usage() -> &'static str {
     "usage: repro [--json [out.json]] [--quick] [--progress] [--telemetry <out.jsonl>] \
-     [--cache <dir> | --no-cache] [--threads <n>] [--c <stages>] [--amp <frac>] <experiment>\n\
+     [--cache <dir> | --no-cache] [--threads <n>] [--c <stages>] [--amp <frac>] \
+     [--profile] [--trace <out.json>] [metrics] <experiment>\n\
      paper artifacts: table1, fig2, fig7, fig8, fig9, worked-examples, constraints\n\
      benchmarks:      bench (compiled vs interpreted, batched lanes, warm-started fig9;\n\
-                      --quick shrinks the workloads, --json <file> writes the report)\n\
+                      --quick shrinks the workloads, --json <file> writes the report,\n\
+                      --compare <baseline.json> fails on speedup regression, --noise <frac>\n\
+                      widens/narrows the regression threshold)\n\
      extensions:      ext-sensitivity, ext-throughput, ext-noise, ext-stability, ext-lock, ext-coupling\n\
      chaos:           ext-faults (fault class × rate × scheme; standalone — not part of the bundles)\n\
      bundles:         all (paper artifacts), extensions, everything\n\
      discovery:       --list prints every id with a description and step budget\n\
      caching:         --cache <dir> reuses grid-point results across runs (env: REPRO_CACHE;\n\
-                      --no-cache disables); --threads <n> caps the sweep workers (env: REPRO_THREADS)\n"
+                      --no-cache disables); --threads <n> caps the sweep workers (env: REPRO_THREADS)\n\
+     observability:   --profile prints a wall-time attribution tree with p50/p90/p99 per span;\n\
+                      --trace <out.json> writes Chrome-trace-format spans (chrome://tracing, Perfetto);\n\
+                      `repro metrics <id>` appends a Prometheus-style metrics exposition\n"
 }
 
 fn experiment_list() -> String {
@@ -125,16 +135,64 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let telemetry = match &telemetry_path {
-        Some(path) => match Telemetry::to_jsonl(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("error: cannot open telemetry sink {path}: {e}");
+    let profile = take_switch(&mut args, "--profile");
+    let trace_path = match take_flag_value(&mut args, "--trace") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let compare_path = match take_flag_value(&mut args, "--compare") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let noise = match take_flag_value(&mut args, "--noise") {
+        Ok(None) => experiments::bench::DEFAULT_COMPARE_NOISE,
+        Ok(Some(raw)) => match raw.parse::<f64>() {
+            Ok(n) if (0.0..1.0).contains(&n) => n,
+            _ => {
+                eprintln!("error: --noise must be a fraction in [0, 1), got {raw}");
                 return ExitCode::FAILURE;
             }
         },
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    // `repro metrics <id>` is a mode prefix, not a flag: run the experiment,
+    // then print the Prometheus-style exposition of everything it recorded.
+    let metrics = args.first().is_some_and(|a| a == "metrics");
+    if metrics {
+        args.remove(0);
+    }
+    // A sink-open failure degrades to in-memory telemetry (observability
+    // must never abort the run it observes); the degrade is visible both
+    // here and in the `telemetry.open_failures` counter.
+    let telemetry = match &telemetry_path {
+        Some(path) => {
+            let t = Telemetry::to_jsonl_or_degraded(path);
+            if !t.has_file_sink() {
+                eprintln!(
+                    "warning: cannot open telemetry sink {path}; \
+                     continuing with in-memory telemetry only"
+                );
+            }
+            t
+        }
+        None if profile || trace_path.is_some() || metrics => Telemetry::enabled(),
         None => Telemetry::disabled(),
     };
+    if profile || trace_path.is_some() {
+        telemetry.enable_tracing();
+    }
     let cache = match &cache_dir {
         // degrade to no-cache on open failure: caching accelerates a run,
         // it must never abort one
@@ -164,8 +222,16 @@ fn main() -> ExitCode {
         quick,
         json,
         json_path: json_path.as_deref(),
+        compare: compare_path.as_deref(),
+        noise,
     };
+    // The root span covers the whole dispatch, so the attribution tree's
+    // totals are measured against the same clock as `wall_ms`.
+    let run_start = std::time::Instant::now();
+    let root_scope = telemetry.scope(which);
     let ok = registry::run(which, &inv);
+    drop(root_scope);
+    let wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
     if let Some(stats) = cache.stats() {
         let dir = cache_dir.as_deref().unwrap_or("<memory>");
         println!(
@@ -178,20 +244,43 @@ fn main() -> ExitCode {
             stats.corrupt_skipped,
         );
     }
+    if profile {
+        let spans = telemetry.trace_spans();
+        let tree = build_profile(&spans);
+        println!("{}", render_profile(&tree, wall_ms));
+    }
+    if let Some(path) = &trace_path {
+        match telemetry.write_chrome_trace(path) {
+            Ok(()) => println!("chrome trace written to {path} (chrome://tracing, Perfetto)"),
+            Err(e) => {
+                eprintln!("error: cannot write trace {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if telemetry.is_enabled() {
         if let Err(e) = telemetry.flush() {
             eprintln!("error: telemetry sink: {e}");
             return ExitCode::FAILURE;
         }
-        println!("{}", telemetry_summary(&telemetry));
-        if let Some(path) = &telemetry_path {
-            println!("telemetry events written to {path}");
+        if telemetry_path.is_some() {
+            println!("{}", telemetry_summary(&telemetry));
         }
+        if telemetry.has_file_sink() {
+            if let Some(path) = &telemetry_path {
+                println!("telemetry events written to {path}");
+            }
+        }
+    }
+    if metrics {
+        print!("{}", prometheus_text(&telemetry.snapshot()));
     }
     if ok {
         ExitCode::SUCCESS
     } else {
-        eprint!("{}", usage());
+        // The failing leaf already printed a specific error; repeating the
+        // whole usage text would bury it (and `--compare` regressions rely
+        // on a clean non-zero exit).
         ExitCode::FAILURE
     }
 }

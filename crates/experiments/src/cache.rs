@@ -163,6 +163,7 @@ impl SweepCache {
     /// as a miss and will be overwritten by the recompute.
     pub fn get_f64s(&self, key: Key, expect_len: usize) -> Option<Vec<f64>> {
         let store = self.store.as_ref()?;
+        let _scope = self.telemetry.scope("cache.get");
         let decoded = store
             .get(key)
             .and_then(|bytes| payload::decode_f64s(&bytes))
@@ -178,6 +179,7 @@ impl SweepCache {
     /// trace series); the caller owns schema validation.
     pub fn get_f64s_any(&self, key: Key) -> Option<Vec<f64>> {
         let store = self.store.as_ref()?;
+        let _scope = self.telemetry.scope("cache.get");
         let decoded = store
             .get(key)
             .and_then(|bytes| payload::decode_f64s(&bytes));
@@ -193,6 +195,7 @@ impl SweepCache {
         let Some(store) = self.store.as_ref() else {
             return;
         };
+        let _scope = self.telemetry.scope("cache.put");
         let bytes = payload::encode_f64s(values);
         self.telemetry
             .counter("cache.bytes_written")

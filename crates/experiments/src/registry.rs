@@ -28,6 +28,12 @@ pub struct Invocation<'a> {
     /// `--json <out.json>`: write the payload to a file instead of stdout
     /// (honoured by `bench`).
     pub json_path: Option<&'a str>,
+    /// `bench --compare <baseline.json>`: check the fresh report against a
+    /// committed baseline and fail on regression.
+    pub compare: Option<&'a str>,
+    /// Relative speedup loss treated as timer noise by `--compare`
+    /// (`--noise`, default [`bench::DEFAULT_COMPARE_NOISE`]).
+    pub noise: f64,
 }
 
 impl Invocation<'_> {
@@ -297,7 +303,9 @@ fn run_constraints(_inv: &Invocation<'_>) -> bool {
 }
 
 /// Run the engine benchmark suite and emit the report as a table, as JSON
-/// on stdout, or as a JSON file when `--json <out.json>` named one.
+/// on stdout, or as a JSON file when `--json <out.json>` named one. With
+/// `--compare <baseline.json>` the fresh speedups are then checked against
+/// the stored baseline, and a regression fails the run.
 fn run_bench(inv: &Invocation<'_>) -> bool {
     let report = bench::run(&inv.ctx.params, inv.quick);
     if let Some(path) = inv.json_path {
@@ -312,6 +320,21 @@ fn run_bench(inv: &Invocation<'_>) -> bool {
         println!("{}", report.to_json().expect("plain data serializes"));
     } else {
         println!("{}", bench::render(&report));
+    }
+    if let Some(path) = inv.compare {
+        let baseline = match bench::BenchReport::load(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return false;
+            }
+        };
+        let cmp = bench::compare(&report, &baseline, inv.noise);
+        println!("{}", bench::render_compare(&cmp, &baseline));
+        if cmp.regressed() {
+            eprintln!("error: benchmark speedups regressed against {path}");
+            return false;
+        }
     }
     true
 }

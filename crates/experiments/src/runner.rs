@@ -353,22 +353,37 @@ pub fn run_sweep<F>(ctx: &RunCtx, spec: &SweepSpec<'_, F>) -> ExperimentResult
 where
     F: Fn(f64) -> OperatingPoint + Sync,
 {
+    let mut sweep_scope = ctx.telemetry.scope("sweep");
+    sweep_scope.attr("experiment", spec.id);
+    sweep_scope.attr("points", spec.grid.len());
     let xs = &spec.grid;
-    let baseline_ctx = ctx.unobserved();
-    let fixed: Vec<RunSummary> = parallel_map_planned(
-        xs,
-        |&x| summary_probe(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x)),
-        |&x| summary_compute(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x)),
-        &baseline_ctx.telemetry,
-    );
+    // The baseline stage runs on the unobserved context, so its stage
+    // span (like its per-point instrumentation) goes to the *observed*
+    // handle explicitly — the stage's wall time is real even though its
+    // engine events are intentionally dropped.
+    let fixed: Vec<RunSummary> = {
+        let mut stage_scope = ctx.telemetry.scope("sweep.stage");
+        stage_scope.attr("scheme", "Fixed");
+        let baseline_ctx = ctx.unobserved();
+        parallel_map_planned(
+            xs,
+            |&x| summary_probe(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x)),
+            |&x| summary_compute(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x)),
+            &ctx.telemetry,
+        )
+    };
     let mut result = ExperimentResult::new(spec.id, spec.description.clone());
     for scheme in &spec.schemes {
-        let summaries = parallel_map_planned(
-            xs,
-            |&x| summary_probe(ctx, scheme, (spec.point_at)(x)),
-            |&x| summary_compute(ctx, scheme, (spec.point_at)(x)),
-            &ctx.telemetry,
-        );
+        let summaries = {
+            let mut stage_scope = ctx.telemetry.scope("sweep.stage");
+            stage_scope.attr("scheme", scheme.label());
+            parallel_map_planned(
+                xs,
+                |&x| summary_probe(ctx, scheme, (spec.point_at)(x)),
+                |&x| summary_compute(ctx, scheme, (spec.point_at)(x)),
+                &ctx.telemetry,
+            )
+        };
         let ys: Vec<f64> = summaries
             .iter()
             .zip(&fixed)

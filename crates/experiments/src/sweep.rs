@@ -183,22 +183,30 @@ where
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
     // Probe pass: ready results land immediately, misses queue with costs.
     let mut pending: Vec<(usize, u64)> = Vec::new();
-    for (i, item) in items.iter().enumerate() {
-        match probe(item) {
-            Plan::Ready(r) => {
-                out[i] = Some(r);
-                if let Some(m) = meter.as_mut() {
-                    m.tick();
+    {
+        let mut probe_scope = telemetry.scope("sweep.probe");
+        for (i, item) in items.iter().enumerate() {
+            match probe(item) {
+                Plan::Ready(r) => {
+                    out[i] = Some(r);
+                    if let Some(m) = meter.as_mut() {
+                        m.tick();
+                    }
                 }
+                Plan::Compute(cost) => pending.push((i, cost)),
             }
-            Plan::Compute(cost) => pending.push((i, cost)),
         }
+        probe_scope.attr("items", n);
+        probe_scope.attr("ready", n - pending.len());
     }
     // Longest job first; the sort is stable, so equal costs keep sweep
     // order and a uniform-cost sweep dispatches exactly like the classic
     // chunked FIFO.
-    pending.sort_by_key(|&(_, cost)| std::cmp::Reverse(cost));
-    let order: Vec<usize> = pending.iter().map(|&(i, _)| i).collect();
+    let order: Vec<usize> = {
+        let _schedule_scope = telemetry.scope("sweep.schedule");
+        pending.sort_by_key(|&(_, cost)| std::cmp::Reverse(cost));
+        pending.iter().map(|&(i, _)| i).collect()
+    };
     let p = order.len();
     if p == 0 {
         return collect_all(out);
@@ -219,30 +227,42 @@ where
     // Micros from `started` at which the queue drained (every item
     // claimed); what remains after that instant is the scheduling tail.
     let drained_at_us = AtomicU64::new(u64::MAX);
+    // Workers run on their own threads, so the thread-local span nesting
+    // breaks there: capture the enclosing span here and parent each
+    // worker's span explicitly.
+    let dispatch_parent = telemetry.current_span();
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             let order = &order;
             let drained_at_us = &drained_at_us;
             let f = &f;
-            scope.spawn(move || loop {
-                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                if start >= p {
-                    let _ = drained_at_us.compare_exchange(
-                        u64::MAX,
-                        started.elapsed().as_micros() as u64,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    );
-                    break;
+            let telemetry = &telemetry;
+            scope.spawn(move || {
+                let mut worker_scope = telemetry.scope_under(dispatch_parent, "sweep.worker");
+                worker_scope.attr("worker", w);
+                let mut claimed = 0usize;
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= p {
+                        let _ = drained_at_us.compare_exchange(
+                            u64::MAX,
+                            started.elapsed().as_micros() as u64,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        );
+                        break;
+                    }
+                    let end = (start + chunk).min(p);
+                    claimed += end - start;
+                    for &i in &order[start..end] {
+                        tx.send((i, f(&items[i])))
+                            .expect("receiver outlives workers");
+                    }
                 }
-                let end = (start + chunk).min(p);
-                for &i in &order[start..end] {
-                    tx.send((i, f(&items[i])))
-                        .expect("receiver outlives workers");
-                }
+                worker_scope.attr("items", claimed);
             });
         }
         drop(tx);

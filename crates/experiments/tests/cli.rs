@@ -252,3 +252,168 @@ fn json_mode_is_machine_readable() {
     assert_eq!(parsed.id, "fig2");
     assert!(!parsed.series.is_empty());
 }
+
+/// An unopenable `--telemetry` sink must degrade to in-memory telemetry —
+/// warn, count the failure, and still run the experiment to success —
+/// instead of aborting the run it was meant to observe.
+#[test]
+fn unopenable_telemetry_sink_degrades_not_aborts() {
+    let out = repro(&["fig2", "--telemetry", "/nonexistent-dir/deeper/sink.jsonl"]);
+    assert!(
+        out.status.success(),
+        "a bad sink must not abort the run; stderr: {}",
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("in-memory telemetry only"),
+        "the degrade must be announced:\n{}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(
+        text.contains("telemetry.open_failures"),
+        "the failure counter must appear in the summary:\n{text}"
+    );
+    assert!(
+        !text.contains("telemetry events written to"),
+        "no sink file was written:\n{text}"
+    );
+}
+
+/// `--profile` must print an attribution tree whose span totals account
+/// for (almost) the whole measured wall time — the acceptance bar is 95%.
+#[test]
+fn profile_attribution_covers_the_wall_clock() {
+    let out = repro(&["fig9", "--quick", "--profile"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let header = text
+        .lines()
+        .find(|l| l.starts_with("profile: wall"))
+        .unwrap_or_else(|| panic!("profile header missing:\n{text}"));
+    // "profile: wall 166.05 ms, attributed 166.04 ms (100.0%)"
+    let pct: f64 = header
+        .rsplit_once('(')
+        .and_then(|(_, tail)| tail.strip_suffix("%)"))
+        .and_then(|p| p.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable profile header: {header}"));
+    assert!(
+        pct >= 95.0,
+        "attributed self time must cover >= 95% of wall, got {pct}%: {header}"
+    );
+    assert!(text.contains("engine.core"), "engine spans in the tree");
+    assert!(
+        text.contains("p50") && text.contains("p99"),
+        "quantile columns present:\n{text}"
+    );
+}
+
+/// `--trace` must write a Chrome-trace-format document that a JSON parser
+/// accepts, with complete (`ph == "X"`) events.
+#[test]
+fn trace_flag_writes_chrome_trace_json() {
+    let path = std::env::temp_dir().join(format!("repro-cli-trace-{}.json", std::process::id()));
+    let out = repro(&["fig2", "--trace", path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("chrome trace written to"),
+        "trace destination must be announced"
+    );
+    let raw = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    let doc: serde::Value = serde_json::from_str(&raw).expect("trace is valid JSON");
+    let events = doc
+        .as_object()
+        .and_then(|o| o.iter().find(|(k, _)| k == "traceEvents"))
+        .and_then(|(_, v)| v.as_array())
+        .expect("traceEvents array present");
+    assert!(!events.is_empty(), "the root span is always recorded");
+    for ev in events {
+        let ph = ev
+            .as_object()
+            .and_then(|f| f.iter().find(|(k, _)| k == "ph"))
+            .map(|(_, v)| v.clone());
+        assert_eq!(
+            ph,
+            Some(serde::Value::Str("X".to_owned())),
+            "complete events only:\n{raw}"
+        );
+    }
+}
+
+/// `repro metrics <id>` appends a Prometheus-style exposition of the
+/// run's counters and histograms.
+#[test]
+fn metrics_mode_appends_prometheus_exposition() {
+    let out = repro(&["metrics", "fig2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("telemetry_events_total"),
+        "exposition missing:\n{text}"
+    );
+}
+
+/// The whole regression gate end to end, with deterministic verdicts:
+/// one bench run seeds a report, which is then doctored two ways — every
+/// speedup quartered (the current run clears any such baseline by a wide
+/// margin, so the compare must pass) and one speedup inflated ×50
+/// (equivalent to this revision having synthetically slowed that case,
+/// so the compare must fail with a non-zero exit). Doctoring, rather
+/// than comparing two live timings, keeps the test immune to load swings
+/// on a busy test host; the committed `BENCH_3.json` is covered by CI's
+/// release-mode `bench-compare` job and by the compare unit tests.
+#[test]
+fn bench_compare_gates_on_speedup_regressions() {
+    let fresh = std::env::temp_dir().join(format!("repro-cli-bench-{}.json", std::process::id()));
+    let fresh_s = fresh.to_str().unwrap();
+
+    let seed = repro(&["bench", "--quick", "--json", fresh_s]);
+    assert!(seed.status.success(), "stderr: {}", stderr(&seed));
+
+    // The written report is self-describing.
+    let report = experiments::bench::BenchReport::load(&fresh).expect("fresh report loads");
+    std::fs::remove_file(&fresh).ok();
+    assert!(report.workers >= 1);
+    assert!(report.engine_rev.contains("core-r"));
+
+    let tmp_baseline = |tag: &str, doctored: &experiments::bench::BenchReport| {
+        let path =
+            std::env::temp_dir().join(format!("repro-cli-{tag}-{}.json", std::process::id()));
+        std::fs::write(&path, doctored.to_json().expect("serializes")).expect("written");
+        path
+    };
+
+    let mut easy = report.clone();
+    for e in &mut easy.entries {
+        e.speedup = e.speedup.map(|s| s * 0.25);
+    }
+    let easy_path = tmp_baseline("easy", &easy);
+    let ok = repro(&["bench", "--quick", "--compare", easy_path.to_str().unwrap()]);
+    std::fs::remove_file(&easy_path).ok();
+    assert!(
+        ok.status.success(),
+        "a clearly-beaten baseline must pass; stdout: {}\nstderr: {}",
+        stdout(&ok),
+        stderr(&ok)
+    );
+    assert!(stdout(&ok).contains("verdict: no regression"));
+
+    let mut bad_baseline = report;
+    let entry = bad_baseline
+        .entries
+        .iter_mut()
+        .find(|e| e.name == "dtsim-compiled")
+        .expect("compiled entry present");
+    entry.speedup = Some(entry.speedup.unwrap_or(1.0) * 50.0);
+    let bad_path = tmp_baseline("doctored", &bad_baseline);
+    let bad = repro(&["bench", "--quick", "--compare", bad_path.to_str().unwrap()]);
+    std::fs::remove_file(&bad_path).ok();
+    assert!(
+        !bad.status.success(),
+        "a regressed speedup must exit non-zero; stdout: {}",
+        stdout(&bad)
+    );
+    assert!(stdout(&bad).contains("REGRESSED"));
+    assert!(stderr(&bad).contains("regressed"));
+}

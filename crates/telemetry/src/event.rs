@@ -43,6 +43,22 @@ pub enum Event {
         /// Index of the sensor inside the bank.
         sensor: u64,
     },
+    /// A finished trace span (hierarchical timing region). Emitted when
+    /// a [`TraceScope`](crate::TraceScope) closes, so the JSONL stream
+    /// carries the span tree inline: children appear before their
+    /// parents (a scope can only close after everything inside it).
+    Span {
+        /// Process-unique span id (never 0).
+        id: u64,
+        /// Enclosing span id, or 0 for a root span.
+        parent: u64,
+        /// Region name, e.g. `engine.batch` or `sweep.worker`.
+        name: String,
+        /// Start, microseconds since tracing was enabled (monotonic).
+        start_us: u64,
+        /// End, microseconds since tracing was enabled (monotonic).
+        end_us: u64,
+    },
     /// One evaluated point of a margin/period search grid.
     MarginSearchIteration {
         /// Experiment identifier (e.g. `fig8-upper`).
@@ -64,6 +80,7 @@ impl Event {
             Event::RoSaturation { .. } => "RoSaturation",
             Event::ControllerUpdate { .. } => "ControllerUpdate",
             Event::SensorDropout { .. } => "SensorDropout",
+            Event::Span { .. } => "Span",
             Event::MarginSearchIteration { .. } => "MarginSearchIteration",
         }
     }
@@ -127,6 +144,10 @@ impl EventLog {
             self.ring.pop_front();
         }
         self.ring.push_back(record);
+    }
+
+    pub(crate) fn has_sink(&self) -> bool {
+        self.jsonl.is_some()
     }
 
     pub(crate) fn recent(&self) -> Vec<EventRecord> {
@@ -193,6 +214,13 @@ mod tests {
                 length: 63.0,
             },
             Event::SensorDropout { sensor: 2 },
+            Event::Span {
+                id: 3,
+                parent: 1,
+                name: "engine.batch".to_owned(),
+                start_us: 120,
+                end_us: 480,
+            },
             Event::MarginSearchIteration {
                 experiment: "fig9".to_owned(),
                 scheme: "TEAtime".to_owned(),

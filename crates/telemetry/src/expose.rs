@@ -1,0 +1,114 @@
+//! Prometheus-style text exposition of a metrics [`Snapshot`]: one
+//! `name value` line per sample, suitable for `grep`/`awk` scripting or
+//! scraping out of a CI log.
+//!
+//! Metric names are sanitised to the Prometheus charset (`[a-zA-Z0-9_:]`,
+//! so `sweep.cache_hits` becomes `sweep_cache_hits`). Histograms are
+//! exposed as summaries: `_count`, `_underflow`, `_overflow`, `_dropped`
+//! plus `{quantile="…"}` sample lines from the embedded quantile sketch.
+
+use crate::Snapshot;
+
+/// Sanitise one metric name to the Prometheus charset.
+fn metric_name(raw: &str) -> String {
+    let mut out: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Format a float sample the way Prometheus expects (plain decimal,
+/// `NaN`/`+Inf`/`-Inf` for non-finite values).
+fn sample(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the snapshot as Prometheus text exposition lines.
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("{} {}\n", metric_name(name), v));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("{} {}\n", metric_name(name), sample(*v)));
+    }
+    for h in &snap.histograms {
+        let base = metric_name(&h.name);
+        out.push_str(&format!("{base}_count {}\n", h.count));
+        out.push_str(&format!("{base}_underflow {}\n", h.underflow));
+        out.push_str(&format!("{base}_overflow {}\n", h.overflow));
+        out.push_str(&format!("{base}_dropped {}\n", h.dropped));
+        for (q, v) in [
+            ("0.5", h.p50),
+            ("0.9", h.p90),
+            ("0.99", h.p99),
+            ("1", h.max),
+        ] {
+            if let Some(v) = v {
+                out.push_str(&format!("{base}{{quantile=\"{q}\"}} {}\n", sample(v)));
+            }
+        }
+    }
+    out.push_str(&format!("telemetry_events_total {}\n", snap.events_total));
+    for (kind, n) in &snap.events_by_kind {
+        out.push_str(&format!("telemetry_events{{kind=\"{kind}\"}} {n}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, Telemetry};
+
+    #[test]
+    fn exposition_lists_counters_gauges_histograms_and_events() {
+        let t = Telemetry::enabled();
+        t.counter("sweep.cache_hits").add(7);
+        t.gauge("core.margin").set(-1.5);
+        let h = t.histogram("loop.delta", 0.0, 10.0, 5);
+        for v in [1.0, 2.0, 3.0, f64::NAN] {
+            h.record(v);
+        }
+        t.emit(0.0, Event::SensorDropout { sensor: 1 });
+        let text = prometheus_text(&t.snapshot());
+        assert!(text.contains("sweep_cache_hits 7\n"), "{text}");
+        assert!(text.contains("core_margin -1.5\n"), "{text}");
+        assert!(text.contains("loop_delta_count 3\n"), "{text}");
+        assert!(text.contains("loop_delta_dropped 1\n"), "{text}");
+        assert!(text.contains("loop_delta{quantile=\"0.5\"} 2\n"), "{text}");
+        assert!(text.contains("loop_delta{quantile=\"1\"} 3\n"), "{text}");
+        assert!(text.contains("telemetry_events_total 1\n"), "{text}");
+        assert!(text.contains("telemetry_events{kind=\"SensorDropout\"} 1\n"));
+        // Every line is `name value` or `name{labels} value`.
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            assert!(parts.next().is_some() && parts.next().is_some(), "{line}");
+            assert!(parts.next().is_none(), "{line}");
+        }
+    }
+
+    #[test]
+    fn names_are_sanitised() {
+        assert_eq!(metric_name("sweep.tail-ms"), "sweep_tail_ms");
+        assert_eq!(metric_name("9lives"), "_9lives");
+    }
+}

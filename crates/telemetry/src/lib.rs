@@ -35,16 +35,25 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod expose;
+pub mod profile;
 pub mod registry;
+pub mod sketch;
+pub mod trace;
 
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 pub use event::{Event, EventRecord};
+pub use expose::prometheus_text;
+pub use profile::{build_profile, render_profile, Profile, ProfileNode};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Snapshot, Span};
+pub use sketch::QuantileSketch;
+pub use trace::{SpanRecord, TraceScope, NO_PARENT};
 
 use event::EventLog;
 use registry::Registry;
+use trace::TraceBuf;
 
 /// Default capacity of the in-memory event ring buffer.
 pub const DEFAULT_RING_CAPACITY: usize = 4096;
@@ -52,6 +61,7 @@ pub const DEFAULT_RING_CAPACITY: usize = 4096;
 struct Inner {
     registry: Registry,
     log: Mutex<EventLog>,
+    trace: OnceLock<TraceBuf>,
 }
 
 /// The instrumentation handle. Cheap to clone and pass around; a disabled
@@ -87,6 +97,7 @@ impl Telemetry {
             inner: Some(Arc::new(Inner {
                 registry: Registry::new(),
                 log: Mutex::new(EventLog::new(capacity, None)),
+                trace: OnceLock::new(),
             })),
         }
     }
@@ -106,8 +117,33 @@ impl Telemetry {
                     DEFAULT_RING_CAPACITY,
                     Some(std::io::BufWriter::new(file)),
                 )),
+                trace: OnceLock::new(),
             })),
         })
+    }
+
+    /// Like [`Telemetry::to_jsonl`], but an unopenable sink **degrades**
+    /// instead of failing: the handle comes back enabled with the ring
+    /// buffer only, and the `telemetry.open_failures` counter records
+    /// the degradation (mirroring the result cache's
+    /// `persistent_or_disabled`). The run proceeds either way.
+    pub fn to_jsonl_or_degraded(path: impl AsRef<Path>) -> Self {
+        match Self::to_jsonl(path) {
+            Ok(t) => t,
+            Err(_) => {
+                let t = Self::enabled();
+                t.counter("telemetry.open_failures").inc();
+                t
+            }
+        }
+    }
+
+    /// Whether events are being mirrored to a JSONL file sink.
+    pub fn has_file_sink(&self) -> bool {
+        match &self.inner {
+            Some(i) => i.log.lock().expect("event log lock").has_sink(),
+            None => false,
+        }
     }
 
     /// Whether this handle records anything at all.
@@ -153,6 +189,78 @@ impl Telemetry {
             ),
             None => Span::noop(),
         }
+    }
+
+    /// Turn on hierarchical span tracing for this handle (idempotent;
+    /// the first call fixes the trace epoch). Until this is called,
+    /// [`Telemetry::scope`] hands out inert guards, so instrumentation
+    /// in hot paths costs one branch when profiling is off.
+    pub fn enable_tracing(&self) {
+        if let Some(i) = &self.inner {
+            let _ = i.trace.get_or_init(TraceBuf::new);
+        }
+    }
+
+    /// Whether [`enable_tracing`](Telemetry::enable_tracing) has been
+    /// called on an enabled handle.
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace_buf().is_some()
+    }
+
+    pub(crate) fn trace_buf(&self) -> Option<&TraceBuf> {
+        self.inner.as_ref().and_then(|i| i.trace.get())
+    }
+
+    /// Open a trace span named `name`. Its parent is the innermost span
+    /// of this handle still live **on this thread** (spans opened on
+    /// other threads need [`Telemetry::scope_under`]). The span ends —
+    /// and is recorded + emitted as an [`Event::Span`] — when the guard
+    /// drops.
+    pub fn scope(&self, name: &str) -> TraceScope {
+        if self.tracing_enabled() {
+            TraceScope::open(self, name, None)
+        } else {
+            TraceScope::noop()
+        }
+    }
+
+    /// Open a trace span with an explicit parent id — the cross-thread
+    /// variant: capture [`Telemetry::current_span`] (or
+    /// [`TraceScope::id`]) before spawning and pass it here from the
+    /// worker thread.
+    pub fn scope_under(&self, parent: u64, name: &str) -> TraceScope {
+        if self.tracing_enabled() {
+            TraceScope::open(self, name, Some(parent))
+        } else {
+            TraceScope::noop()
+        }
+    }
+
+    /// Id of the innermost live span on this thread ([`NO_PARENT`] when
+    /// none, or when tracing is off).
+    pub fn current_span(&self) -> u64 {
+        self.trace_buf().map_or(NO_PARENT, trace::current_on_thread)
+    }
+
+    /// Every finished span so far, sorted by start time (empty when
+    /// tracing is off).
+    pub fn trace_spans(&self) -> Vec<SpanRecord> {
+        self.trace_buf().map_or_else(Vec::new, TraceBuf::finished)
+    }
+
+    /// The finished spans rendered as a Chrome trace-event JSON document
+    /// (load in `chrome://tracing` or Perfetto).
+    pub fn chrome_trace_json(&self) -> String {
+        trace::chrome_trace_json(&self.trace_spans())
+    }
+
+    /// Write the Chrome trace-event document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-write error.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace_json())
     }
 
     /// Record a structured event at domain time `time` (simulation time
@@ -258,6 +366,73 @@ mod tests {
         assert_eq!(hs.overflow, 1);
         assert_eq!(hs.buckets, vec![1, 2, 0, 1]);
         assert_eq!(hs.count, 6);
+    }
+
+    #[test]
+    fn histogram_drops_non_finite_samples() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("delta", 0.0, 4.0, 4);
+        h.record(1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        let snap = t.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.dropped, 3, "NaN and both infinities are dropped");
+        assert_eq!(hs.count, 1, "dropped samples never reach the bins");
+        assert_eq!(hs.underflow, 0, "-inf must not clamp into underflow");
+        assert_eq!(hs.overflow, 0, "+inf must not clamp into overflow");
+        assert_eq!(hs.max, Some(1.0), "quantiles see only finite samples");
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range_to_edge_bins() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("delta", 0.0, 4.0, 4);
+        h.record(-1e18);
+        h.record(-0.001);
+        h.record(4.0); // hi itself is exclusive
+        h.record(1e18);
+        let snap = t.snapshot();
+        let hs = &snap.histograms[0];
+        assert_eq!(hs.underflow, 2);
+        assert_eq!(hs.overflow, 2);
+        assert_eq!(hs.buckets, vec![0, 0, 0, 0]);
+        assert_eq!(hs.count, 4, "clamped samples still count");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn histogram_rejects_zero_buckets() {
+        let t = Telemetry::enabled();
+        let _ = t.histogram("bad", 0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_stream() {
+        let t = Telemetry::enabled();
+        let h = t.histogram("lat", 0.0, 200.0, 10);
+        for k in 1..=100 {
+            h.record(f64::from(k));
+        }
+        let snap = t.snapshot();
+        let hs = &snap.histograms[0];
+        let p50 = hs.p50.expect("non-empty stream has a median");
+        let p99 = hs.p99.expect("non-empty stream has a p99");
+        assert!((45.0..=55.0).contains(&p50), "p50 ≈ 50, got {p50}");
+        assert!(p99 >= 95.0, "p99 near the top, got {p99}");
+        assert_eq!(hs.max, Some(100.0), "max is exact");
+    }
+
+    #[test]
+    fn unopenable_sink_degrades_instead_of_failing() {
+        let t = Telemetry::to_jsonl_or_degraded("/nonexistent-dir/deeper/sink.jsonl");
+        assert!(t.is_enabled(), "degraded handle still records metrics");
+        assert!(!t.has_file_sink());
+        t.counter("work").inc();
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("telemetry.open_failures"), Some(1));
+        assert_eq!(snap.counter("work"), Some(1));
     }
 
     #[test]

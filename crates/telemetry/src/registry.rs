@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::sketch::QuantileSketch;
+
 /// A monotonically increasing `u64` metric.
 #[derive(Clone, Default)]
 pub struct Counter {
@@ -83,11 +85,16 @@ struct HistogramCore {
     buckets: Vec<AtomicU64>,
     underflow: AtomicU64,
     overflow: AtomicU64,
+    dropped: AtomicU64,
+    sketch: Mutex<QuantileSketch>,
 }
 
 /// A fixed-bucket histogram: `buckets` equal bins over `[lo, hi)` plus
-/// explicit underflow/overflow bins. Non-finite samples land in
-/// overflow.
+/// explicit underflow/overflow edge bins, backed by a
+/// [`QuantileSketch`] for p50/p90/p99/max. Out-of-range samples clamp to
+/// the edge bins; non-finite samples (NaN/±inf) are **dropped** — they
+/// count under [`HistogramSnapshot::dropped`] and never contaminate the
+/// bins or the quantiles.
 #[derive(Clone, Default)]
 pub struct Histogram {
     core: Option<Arc<HistogramCore>>,
@@ -102,7 +109,11 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: f64) {
         let Some(core) = &self.core else { return };
-        if !v.is_finite() || v >= core.hi {
+        if !v.is_finite() {
+            core.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if v >= core.hi {
             core.overflow.fetch_add(1, Ordering::Relaxed);
         } else if v < core.lo {
             core.underflow.fetch_add(1, Ordering::Relaxed);
@@ -111,6 +122,7 @@ impl Histogram {
             let idx = ((frac * core.buckets.len() as f64) as usize).min(core.buckets.len() - 1);
             core.buckets[idx].fetch_add(1, Ordering::Relaxed);
         }
+        core.sketch.lock().expect("histogram sketch lock").record(v);
     }
 }
 
@@ -151,19 +163,29 @@ impl Drop for Span {
     }
 }
 
-/// Point-in-time copy of a histogram's bins.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Point-in-time copy of a histogram's bins and quantiles.
+#[derive(Clone, Debug, PartialEq)]
 pub struct HistogramSnapshot {
     /// Metric name.
     pub name: String,
     /// Per-bin sample counts (equal bins over the configured range).
     pub buckets: Vec<u64>,
-    /// Samples below the range.
+    /// Samples below the range (clamped to the lower edge bin).
     pub underflow: u64,
-    /// Samples at/above the range (and non-finite samples).
+    /// Samples at/above the range (clamped to the upper edge bin).
     pub overflow: u64,
-    /// Total samples recorded.
+    /// Finite samples recorded (bins + underflow + overflow).
     pub count: u64,
+    /// Non-finite samples dropped (excluded from `count` and quantiles).
+    pub dropped: u64,
+    /// Median from the quantile sketch (`None` while empty).
+    pub p50: Option<f64>,
+    /// 90th percentile from the quantile sketch.
+    pub p90: Option<f64>,
+    /// 99th percentile from the quantile sketch.
+    pub p99: Option<f64>,
+    /// Exact maximum of the stream.
+    pub max: Option<f64>,
 }
 
 /// Point-in-time copy of every metric plus event-log accounting, filled
@@ -245,6 +267,8 @@ impl Registry {
                 buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
                 underflow: AtomicU64::new(0),
                 overflow: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+                sketch: Mutex::new(QuantileSketch::new()),
             })
         });
         Histogram {
@@ -281,12 +305,18 @@ impl Registry {
                 let underflow = core.underflow.load(Ordering::Relaxed);
                 let overflow = core.overflow.load(Ordering::Relaxed);
                 let count = buckets.iter().sum::<u64>() + underflow + overflow;
+                let sketch = core.sketch.lock().expect("histogram sketch lock");
                 HistogramSnapshot {
                     name: n.clone(),
                     buckets,
                     underflow,
                     overflow,
                     count,
+                    dropped: core.dropped.load(Ordering::Relaxed),
+                    p50: sketch.quantile(0.5),
+                    p90: sketch.quantile(0.9),
+                    p99: sketch.quantile(0.99),
+                    max: sketch.max(),
                 }
             })
             .collect();

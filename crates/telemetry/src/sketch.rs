@@ -1,0 +1,211 @@
+//! Streaming quantile sketch: deterministic, bounded-memory quantile
+//! estimation for latency-style streams.
+//!
+//! The sketch keeps up to a fixed number of samples. While the stream
+//! fits, quantiles are **exact**. Once the buffer fills, it compacts:
+//! the kept samples are sorted and every other one is retained (which
+//! preserves the shape of the empirical distribution), and from then on
+//! only every `stride`-th incoming sample is recorded, with the stride
+//! doubling at each compaction. The whole process is deterministic — no
+//! randomness, no wall clock — so two identical streams always produce
+//! identical sketches. `min`, `max` and the sample count stay exact
+//! forever.
+
+/// Default number of retained samples ([`QuantileSketch::new`]).
+pub const DEFAULT_SKETCH_CAPACITY: usize = 4096;
+
+/// A deterministic compacting quantile sketch (see the module docs).
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    cap: usize,
+    keep: Vec<f64>,
+    /// Record every `stride`-th sample once compaction has begun.
+    stride: u64,
+    /// Finite samples seen (recorded or skipped).
+    count: u64,
+    /// Non-finite samples dropped.
+    dropped: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QuantileSketch {
+    /// A sketch with the default retention capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_SKETCH_CAPACITY)
+    }
+
+    /// A sketch retaining at most `cap` samples (floored at 16 so
+    /// compaction always leaves something to interpolate over).
+    pub fn with_capacity(cap: usize) -> Self {
+        QuantileSketch {
+            cap: cap.max(16),
+            keep: Vec::new(),
+            stride: 1,
+            count: 0,
+            dropped: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample. Non-finite samples are dropped (counted under
+    /// [`dropped`](Self::dropped), never mixed into the quantiles).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.dropped += 1;
+            return;
+        }
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        let take = self.count.is_multiple_of(self.stride);
+        self.count += 1;
+        if !take {
+            return;
+        }
+        self.keep.push(v);
+        if self.keep.len() >= self.cap {
+            self.compact();
+        }
+    }
+
+    /// Sorted-halving compaction: keep every other sample *in sorted
+    /// order* (preserving the distribution shape), double the stride.
+    fn compact(&mut self) {
+        self.keep.sort_by(f64::total_cmp);
+        let mut i = 0;
+        self.keep.retain(|_| {
+            let keep = i % 2 == 1;
+            i += 1;
+            keep
+        });
+        self.stride = self.stride.saturating_mul(2);
+    }
+
+    /// Finite samples observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Non-finite samples dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Exact minimum of the stream, `None` while empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum of the stream, `None` while empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) of the retained
+    /// samples — exact while the stream has not yet compacted, the
+    /// nearest retained sample afterwards. `None` while empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.keep.is_empty() {
+            // count > 0 with an empty buffer is impossible (the first
+            // sample is always recorded), so empty buffer == empty stream.
+            return None;
+        }
+        let mut sorted = self.keep.clone();
+        sorted.sort_by(f64::total_cmp);
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank on the retained population; the exact extremes
+        // override the edges so compaction can never lose min/max.
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
+        let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+        Some(sorted[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_quantiles_before_compaction() {
+        let mut s = QuantileSketch::with_capacity(1024);
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.quantile(0.5), Some(50.0));
+        assert_eq!(s.quantile(0.9), Some(90.0));
+        assert_eq!(s.quantile(0.99), Some(99.0));
+        assert_eq!(s.max(), Some(100.0));
+        assert_eq!(s.min(), Some(1.0));
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let mut s = QuantileSketch::new();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(f64::NEG_INFINITY);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.quantile(0.5), None);
+        s.record(2.0);
+        assert_eq!(s.quantile(0.5), Some(2.0));
+        assert_eq!(s.dropped(), 3);
+    }
+
+    #[test]
+    fn compaction_keeps_quantiles_close_and_extremes_exact() {
+        let mut s = QuantileSketch::with_capacity(64);
+        let n = 10_000u64;
+        for v in 0..n {
+            s.record(v as f64);
+        }
+        assert_eq!(s.count(), n);
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some((n - 1) as f64));
+        let p50 = s.quantile(0.5).unwrap();
+        let p90 = s.quantile(0.9).unwrap();
+        // Uniform ramp: the true quantiles are q*n. Compacted resolution
+        // is ~n/32 here; allow a few buckets of slack.
+        assert!((p50 - 5_000.0).abs() < 1_500.0, "p50 {p50}");
+        assert!((p90 - 9_000.0).abs() < 1_500.0, "p90 {p90}");
+        assert!(p90 > p50, "quantiles stay ordered");
+    }
+
+    #[test]
+    fn deterministic_across_identical_streams() {
+        let run = || {
+            let mut s = QuantileSketch::with_capacity(32);
+            for v in 0..5_000u64 {
+                s.record(((v * 2_654_435_761) % 1_000) as f64);
+            }
+            (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99), s.max())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let mut s = QuantileSketch::new();
+        s.record(7.25);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(7.25), "q={q}");
+        }
+    }
+}

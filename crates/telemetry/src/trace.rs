@@ -1,0 +1,413 @@
+//! Hierarchical trace spans: parent/child span ids, monotonic
+//! microsecond timestamps, per-span attributes, and a Chrome
+//! trace-event exporter.
+//!
+//! Tracing is **opt-in on top of an enabled handle**
+//! ([`Telemetry::enable_tracing`](crate::Telemetry::enable_tracing)):
+//! a handle without tracing hands out no-op [`TraceScope`]s, so
+//! instrumented hot paths cost one branch when profiling is off.
+//!
+//! Parent/child structure is tracked automatically per thread: a scope
+//! opened while another scope of the same handle is live on the same
+//! thread becomes its child. Crossing threads (sweep workers) is
+//! explicit — capture [`Telemetry::current_span`](crate::Telemetry::current_span)
+//! before spawning and open the worker scope with
+//! [`Telemetry::scope_under`](crate::Telemetry::scope_under).
+//!
+//! Every finished span is appended to an in-memory buffer (drained by
+//! [`Telemetry::trace_spans`](crate::Telemetry::trace_spans) for the
+//! profiler) and emitted as an [`Event::Span`] on
+//! the structured event log, so a `--telemetry` JSONL capture carries
+//! the span tree inline with the engine events. The whole trace exports
+//! to the Chrome trace-event format (`chrome://tracing`, Perfetto) via
+//! [`Telemetry::chrome_trace_json`](crate::Telemetry::chrome_trace_json).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::{Event, Telemetry};
+
+/// The parent id of a root span.
+pub const NO_PARENT: u64 = 0;
+
+/// One finished span: ids, name, thread, microsecond window and
+/// attributes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span, or [`NO_PARENT`] for a root.
+    pub parent: u64,
+    /// Span name (the profiler aggregates by name path).
+    pub name: String,
+    /// Small stable per-thread index (0 = first tracing thread seen).
+    pub tid: u64,
+    /// Start, in microseconds since tracing was enabled (monotonic).
+    pub start_us: u64,
+    /// End, in microseconds since tracing was enabled (monotonic).
+    pub end_us: u64,
+    /// Free-form `key=value` attributes attached via [`TraceScope::attr`].
+    pub attrs: Vec<(String, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// The per-handle trace state: epoch, id allocator and the finished-span
+/// buffer.
+pub(crate) struct TraceBuf {
+    epoch: Instant,
+    next_id: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl TraceBuf {
+    pub(crate) fn new() -> Self {
+        TraceBuf {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    fn token(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    pub(crate) fn finished(&self) -> Vec<SpanRecord> {
+        let mut spans = self.spans.lock().expect("trace span buffer lock").clone();
+        spans.sort_by_key(|s| (s.start_us, s.id));
+        spans
+    }
+}
+
+// Process-wide small thread indices, stable for the thread's lifetime.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    /// The stack of live spans on this thread: `(handle token, span id)`.
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+fn thread_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// The id of the innermost live span of `buf` on this thread.
+pub(crate) fn current_on_thread(buf: &TraceBuf) -> u64 {
+    let token = buf.token();
+    SPAN_STACK.with(|s| {
+        s.borrow()
+            .iter()
+            .rev()
+            .find(|(t, _)| *t == token)
+            .map_or(NO_PARENT, |(_, id)| *id)
+    })
+}
+
+/// A live span guard. Ends (and records) the span on drop. Obtained from
+/// [`Telemetry::scope`](crate::Telemetry::scope) /
+/// [`Telemetry::scope_under`](crate::Telemetry::scope_under); a handle
+/// without tracing returns an inert guard.
+pub struct TraceScope {
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    telemetry: Telemetry,
+    id: u64,
+    parent: u64,
+    name: String,
+    tid: u64,
+    start_us: u64,
+    attrs: Vec<(String, String)>,
+}
+
+impl TraceScope {
+    pub(crate) fn noop() -> Self {
+        TraceScope { live: None }
+    }
+
+    pub(crate) fn open(telemetry: &Telemetry, name: &str, parent: Option<u64>) -> Self {
+        let Some(buf) = telemetry.trace_buf() else {
+            return TraceScope::noop();
+        };
+        let parent = parent.unwrap_or_else(|| current_on_thread(buf));
+        let id = buf.next_id.fetch_add(1, Ordering::Relaxed);
+        let start_us = buf.now_us();
+        let token = buf.token();
+        SPAN_STACK.with(|s| s.borrow_mut().push((token, id)));
+        TraceScope {
+            live: Some(LiveSpan {
+                telemetry: telemetry.clone(),
+                id,
+                parent,
+                name: name.to_owned(),
+                tid: thread_tid(),
+                start_us,
+                attrs: Vec::new(),
+            }),
+        }
+    }
+
+    /// Whether this guard records anything on drop.
+    pub fn is_recording(&self) -> bool {
+        self.live.is_some()
+    }
+
+    /// The span id (0 for an inert guard) — the value to hand to
+    /// [`Telemetry::scope_under`](crate::Telemetry::scope_under) on
+    /// another thread.
+    pub fn id(&self) -> u64 {
+        self.live.as_ref().map_or(NO_PARENT, |l| l.id)
+    }
+
+    /// Attach a `key=value` attribute (no-op on an inert guard).
+    pub fn attr(&mut self, key: &str, value: impl std::fmt::Display) {
+        if let Some(l) = self.live.as_mut() {
+            l.attrs.push((key.to_owned(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let Some(buf) = live.telemetry.trace_buf() else {
+            return;
+        };
+        let end_us = buf.now_us();
+        let token = buf.token();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|e| *e == (token, live.id)) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            tid: live.tid,
+            start_us: live.start_us,
+            end_us,
+            attrs: live.attrs,
+        };
+        live.telemetry.emit(
+            record.start_us as f64,
+            Event::Span {
+                id: record.id,
+                parent: record.parent,
+                name: record.name.clone(),
+                start_us: record.start_us,
+                end_us: record.end_us,
+            },
+        );
+        buf.spans
+            .lock()
+            .expect("trace span buffer lock")
+            .push(record);
+    }
+}
+
+/// Render spans as a Chrome trace-event JSON document (the
+/// `chrome://tracing` / Perfetto "JSON Array Format" with the standard
+/// `traceEvents` wrapper). Every span becomes one complete (`"ph":"X"`)
+/// event; ids, parent links and attributes ride in `args`.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    use serde::Value;
+    let events: Vec<Value> = spans
+        .iter()
+        .map(|s| {
+            let mut args = vec![
+                ("id".to_owned(), Value::Str(s.id.to_string())),
+                ("parent".to_owned(), Value::Str(s.parent.to_string())),
+            ];
+            for (k, v) in &s.attrs {
+                args.push((k.clone(), Value::Str(v.clone())));
+            }
+            Value::Object(vec![
+                ("name".to_owned(), Value::Str(s.name.clone())),
+                ("cat".to_owned(), Value::Str("repro".to_owned())),
+                ("ph".to_owned(), Value::Str("X".to_owned())),
+                ("ts".to_owned(), Value::UInt(s.start_us)),
+                ("dur".to_owned(), Value::UInt(s.dur_us())),
+                ("pid".to_owned(), Value::UInt(1)),
+                ("tid".to_owned(), Value::UInt(s.tid)),
+                ("args".to_owned(), Value::Object(args)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("traceEvents".to_owned(), Value::Array(events)),
+        ("displayTimeUnit".to_owned(), Value::Str("ms".to_owned())),
+    ]);
+    serde_json::to_string(&doc).expect("chrome trace document serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced() -> Telemetry {
+        let t = Telemetry::enabled();
+        t.enable_tracing();
+        t
+    }
+
+    #[test]
+    fn disabled_and_untraced_handles_hand_out_inert_scopes() {
+        let off = Telemetry::disabled();
+        let mut s = off.scope("x");
+        assert!(!s.is_recording());
+        s.attr("k", 1);
+        drop(s);
+        assert!(off.trace_spans().is_empty());
+
+        let untraced = Telemetry::enabled();
+        assert!(!untraced.tracing_enabled());
+        assert!(!untraced.scope("x").is_recording());
+        assert!(untraced.trace_spans().is_empty());
+    }
+
+    #[test]
+    fn nesting_links_parent_and_child() {
+        let t = traced();
+        {
+            let outer = t.scope("outer");
+            let outer_id = outer.id();
+            {
+                let inner = t.scope("inner");
+                assert_ne!(inner.id(), outer_id);
+            }
+            assert_eq!(t.current_span(), outer_id);
+        }
+        assert_eq!(t.current_span(), NO_PARENT);
+        let spans = t.trace_spans();
+        assert_eq!(spans.len(), 2);
+        let outer = spans.iter().find(|s| s.name == "outer").expect("outer");
+        let inner = spans.iter().find(|s| s.name == "inner").expect("inner");
+        assert_eq!(outer.parent, NO_PARENT);
+        assert_eq!(inner.parent, outer.id);
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.end_us <= outer.end_us);
+    }
+
+    #[test]
+    fn siblings_share_a_parent() {
+        let t = traced();
+        {
+            let _root = t.scope("root");
+            drop(t.scope("a"));
+            drop(t.scope("b"));
+        }
+        let spans = t.trace_spans();
+        let root = spans.iter().find(|s| s.name == "root").expect("root");
+        for name in ["a", "b"] {
+            let s = spans.iter().find(|s| s.name == name).expect(name);
+            assert_eq!(s.parent, root.id, "{name} must attach to root");
+        }
+    }
+
+    #[test]
+    fn cross_thread_parenting_via_scope_under() {
+        let t = traced();
+        {
+            let root = t.scope("root");
+            let root_id = root.id();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let mut w = t.scope_under(root_id, "worker");
+                    w.attr("index", 3);
+                    drop(t.scope("job"));
+                });
+            });
+        }
+        let spans = t.trace_spans();
+        let root = spans.iter().find(|s| s.name == "root").expect("root");
+        let worker = spans.iter().find(|s| s.name == "worker").expect("worker");
+        let job = spans.iter().find(|s| s.name == "job").expect("job");
+        assert_eq!(worker.parent, root.id);
+        assert_eq!(job.parent, worker.id, "thread-local nesting under worker");
+        assert_ne!(worker.tid, root.tid, "worker ran on another thread");
+        assert_eq!(worker.attrs, vec![("index".to_owned(), "3".to_owned())]);
+    }
+
+    #[test]
+    fn two_handles_do_not_cross_parent() {
+        let a = traced();
+        let b = traced();
+        let _ra = a.scope("root-a");
+        let sb = b.scope("root-b");
+        // b's scope must not adopt a's live span as parent.
+        drop(sb);
+        let spans = b.trace_spans();
+        assert_eq!(spans[0].parent, NO_PARENT);
+    }
+
+    #[test]
+    fn spans_are_emitted_to_the_event_log_children_first() {
+        let t = traced();
+        {
+            let _outer = t.scope("outer");
+            let _inner = t.scope("inner");
+        }
+        let kinds: Vec<String> = t
+            .recent_events()
+            .iter()
+            .map(|r| r.event.kind_name().to_owned())
+            .collect();
+        assert_eq!(kinds, vec!["Span", "Span"]);
+        let names: Vec<String> = t
+            .recent_events()
+            .iter()
+            .filter_map(|r| match &r.event {
+                Event::Span { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec!["inner", "outer"],
+            "a child span finishes (and logs) before its parent"
+        );
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_one_event_per_span() {
+        let t = traced();
+        {
+            let mut s = t.scope("root");
+            s.attr("grid", 9);
+            drop(t.scope("child"));
+        }
+        let json = t.chrome_trace_json();
+        let doc: serde::Value = serde_json::from_str(&json).expect("valid JSON");
+        let obj = doc.as_object().expect("top-level object");
+        let events = obj
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .and_then(|(_, v)| v.as_array())
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            let fields = ev.as_object().expect("event object");
+            for key in ["name", "cat", "ph", "ts", "dur", "pid", "tid", "args"] {
+                assert!(fields.iter().any(|(k, _)| k == key), "missing {key}");
+            }
+        }
+    }
+}

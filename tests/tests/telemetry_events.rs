@@ -119,6 +119,119 @@ fn nan_sensor_readings_become_dropout_events() {
     );
 }
 
+/// Nested [`TraceScope`]s must reach the JSONL sink as `Span` events in
+/// completion order — children before parents, each carrying the parent
+/// id that reassembles the tree.
+#[test]
+fn span_events_reach_jsonl_children_first() {
+    let path = std::env::temp_dir().join(format!("telemetry-spans-{}.jsonl", std::process::id()));
+    let telemetry = Telemetry::to_jsonl(&path).expect("sink opens");
+    telemetry.enable_tracing();
+    {
+        let outer = telemetry.scope("outer");
+        assert!(outer.is_recording());
+        {
+            let _inner = telemetry.scope("inner");
+            observed_run(&telemetry, 100);
+        }
+    }
+    telemetry.flush().expect("sink flushes");
+    let raw = std::fs::read_to_string(&path).expect("sink written");
+    std::fs::remove_file(&path).ok();
+
+    let spans: Vec<(u64, u64, String)> = raw
+        .lines()
+        .map(|l| serde_json::from_str::<EventRecord>(l).expect("valid record"))
+        .filter_map(|r| match r.event {
+            Event::Span {
+                id, parent, name, ..
+            } => Some((id, parent, name)),
+            _ => None,
+        })
+        .collect();
+    // The engine opens its own `engine.core` span inside `inner`, so the
+    // completion (= emission) order is engine.core, inner, outer.
+    assert_eq!(spans.len(), 3, "all scopes closed");
+    let (engine_id, engine_parent, engine_name) = &spans[0];
+    let (inner_id, inner_parent, inner_name) = &spans[1];
+    let (outer_id, outer_parent, outer_name) = &spans[2];
+    assert_eq!(engine_name, "engine.core", "deepest span emits first");
+    assert_eq!(inner_name, "inner");
+    assert_eq!(outer_name, "outer", "the root span emits last");
+    assert_eq!(engine_parent, inner_id, "the engine nests under `inner`");
+    assert_eq!(inner_parent, outer_id, "`inner` nests under `outer`");
+    assert_eq!(*outer_parent, 0, "the outer span is a root");
+    assert_ne!(engine_id, inner_id);
+    assert_ne!(inner_id, outer_id);
+
+    // The sorted span view reassembles the same tree, parents first.
+    let tree = telemetry.trace_spans();
+    assert_eq!(tree.len(), 3);
+    assert_eq!(tree[0].name, "outer", "sorted by start time");
+    assert_eq!(tree[1].parent, tree[0].id);
+    assert_eq!(tree[2].parent, tree[1].id);
+    assert!(tree[0].dur_us() >= tree[1].dur_us());
+}
+
+/// The Chrome-trace export must be a valid JSON document of complete
+/// (`ph == "X"`) events that a JSON parser round-trips, with the span
+/// tree recoverable from the `args.id` / `args.parent` fields.
+#[test]
+fn chrome_trace_export_round_trips_as_json() {
+    let telemetry = Telemetry::enabled();
+    telemetry.enable_tracing();
+    {
+        let mut outer = telemetry.scope("panel");
+        outer.attr("points", 5);
+        // `observed_run` adds the engine's own `engine.core` span under it.
+        observed_run(&telemetry, 100);
+    }
+    let doc = telemetry.chrome_trace_json();
+    let value: serde::Value = serde_json::from_str(&doc).expect("export is valid JSON");
+    let obj = value.as_object().expect("top level is an object");
+    let events = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v.as_array().expect("traceEvents is an array"))
+        .expect("traceEvents present");
+    assert_eq!(events.len(), 2);
+    for ev in events {
+        let fields = ev.as_object().expect("event is an object");
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("event field {name}"))
+        };
+        assert_eq!(get("ph"), serde::Value::Str("X".to_owned()));
+        assert!(matches!(
+            get("ts"),
+            serde::Value::UInt(_) | serde::Value::Int(_)
+        ));
+        assert!(matches!(
+            get("dur"),
+            serde::Value::UInt(_) | serde::Value::Int(_)
+        ));
+        get("name");
+        get("tid");
+        get("args");
+    }
+    let names: Vec<String> = events
+        .iter()
+        .filter_map(|e| {
+            e.as_object()
+                .and_then(|f| f.iter().find(|(k, _)| k == "name"))
+                .and_then(|(_, v)| match v {
+                    serde::Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+        })
+        .collect();
+    assert!(names.contains(&"panel".to_owned()));
+    assert!(names.contains(&"engine.core".to_owned()));
+}
+
 #[test]
 fn disabled_telemetry_records_nothing() {
     let telemetry = Telemetry::disabled();

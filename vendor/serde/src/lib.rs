@@ -97,6 +97,35 @@ pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, D
     }
 }
 
+/// Like [`field`], but a missing key yields `T::default()` instead of an
+/// error — for hand-written `Deserialize` impls that must stay readable
+/// over records written before a field existed (schema evolution).
+///
+/// # Errors
+///
+/// Returns [`DeError`] only when the field is present but malformed.
+pub fn field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize_value(v),
+        None => Ok(T::default()),
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 macro_rules! impl_signed {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
