@@ -7,7 +7,7 @@
 use adaptive_clock::batch::BatchLoop;
 use adaptive_clock::loopsim::{constant, DiscreteLoop, LoopInputs};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use experiments::bench::{build_fig7_workload, lane_specs};
+use experiments::bench::{build_fig7_workload, lane_specs, scaling_specs};
 use experiments::config::PaperParams;
 use std::hint::black_box;
 
@@ -88,5 +88,52 @@ fn bench_loop_batching(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(compiled, bench_fig7_engines, bench_loop_batching);
+fn bench_lane_blocks(c: &mut Criterion) {
+    let params = PaperParams::default();
+    let setpoint = params.setpoint;
+    let steps = 2_000usize;
+    let lanes = 64usize;
+    let cs = constant(setpoint as f64);
+    let zero = constant(0.0);
+    let amp = params.amplitude();
+    let e_fn = move |n: i64| amp * (std::f64::consts::TAU * n as f64 / 37.5).sin();
+    let inputs: Vec<LoopInputs<'_>> = (0..lanes)
+        .map(|_| LoopInputs {
+            setpoint: &cs,
+            homogeneous: &e_fn,
+            heterogeneous: &zero,
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("lane-blocks");
+    g.throughput(Throughput::Elements((lanes * steps) as u64));
+    g.bench_function("scalar-soa-64", |b| {
+        let mut soa = BatchLoop::new();
+        for (m, ctrl, q) in scaling_specs(setpoint, 0..lanes) {
+            soa.push(m, ctrl, q);
+        }
+        b.iter(|| {
+            soa.reset();
+            black_box(soa.run_scalar(&inputs, steps))
+        })
+    });
+    g.bench_function("blocked-64", |b| {
+        let mut blk = BatchLoop::new();
+        for (m, ctrl, q) in scaling_specs(setpoint, 0..lanes) {
+            blk.push(m, ctrl, q);
+        }
+        b.iter(|| {
+            blk.reset();
+            black_box(blk.run(&inputs, steps))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    compiled,
+    bench_fig7_engines,
+    bench_loop_batching,
+    bench_lane_blocks
+);
 criterion_main!(compiled);

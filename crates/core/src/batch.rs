@@ -6,14 +6,18 @@
 //! (seed, μ, T_e, scheme) points. [`BatchLoop`] runs `B` such lanes
 //! together in a structure-of-arrays layout:
 //!
-//! * e/μ input closures are **sampled once into a small ring buffer** of
-//!   the few sequence rows the recurrence can still read, so the hot loop
-//!   streams cache-resident rows instead of full-horizon tables;
-//! * controller state is the same enum-dispatch
-//!   [`Controller`](crate::controller::Controller) the scalar engines hold
-//!   (no `Box<dyn>`), so every lane runs the *identical* kernel arithmetic
-//!   and is **bit-identical** to the `DiscreteLoop` it replaces (asserted
-//!   by the differential tests below);
+//! * e/μ input closures are **deduplicated by identity and sampled once
+//!   into a small ring buffer** of the few sequence rows the recurrence
+//!   can still read, so a sweep whose lanes share a variation source pays
+//!   for each closure row once, not once per lane;
+//! * clean lanes are packed into fixed-width **lane blocks** of
+//!   [`BLOCK_WIDTH`] and stepped by straight-line SoA kernels (the
+//!   private `blocked` submodule) that mirror the shared
+//!   [`Controller`](crate::controller::Controller) arithmetic bit for bit;
+//!   faulted/hardened lanes and block tails stay on the per-lane scalar
+//!   path, so every lane — blocked or not — is **bit-identical** to the
+//!   `DiscreteLoop` it replaces (asserted by the differential tests below
+//!   and by the `batch_blocked_differential` proptest suite);
 //! * recorded signals land in flat `[n·B + lane]` arrays
 //!   ([`BatchTrace`]), with per-lane [`LoopTrace`] views for drop-in use.
 //!
@@ -25,6 +29,10 @@ use clock_telemetry::Telemetry;
 use crate::loopsim::{LoopInputs, LoopTrace};
 use crate::resilience::{FaultPath, Resilience};
 use crate::tdc::Quantization;
+
+mod blocked;
+
+pub use blocked::BLOCK_WIDTH;
 
 /// Per-lane controller state: exactly the shared kernel
 /// [`Controller`](crate::controller::Controller) enum. The alias survives
@@ -71,18 +79,62 @@ impl BatchTrace {
     /// De-interleave one lane into a standalone [`LoopTrace`] — identical
     /// to what a `DiscreteLoop` run of that operating point records.
     ///
+    /// All three signals are gathered in a single pass over the step rows
+    /// (one strided walk instead of one closure-driven pass per signal),
+    /// so exporting every lane of a large batch reads each trace row once.
+    ///
     /// # Panics
     ///
     /// Panics when `lane >= self.lanes()`.
     pub fn lane(&self, lane: usize) -> LoopTrace {
         assert!(lane < self.lanes, "lane {lane} out of {}", self.lanes);
-        let pick =
-            |v: &[f64]| -> Vec<f64> { (0..self.steps).map(|n| v[n * self.lanes + lane]).collect() };
-        LoopTrace {
-            tau: pick(&self.tau),
-            delta: pick(&self.delta),
-            lro: pick(&self.lro),
+        let mut tau = Vec::with_capacity(self.steps);
+        let mut delta = Vec::with_capacity(self.steps);
+        let mut lro = Vec::with_capacity(self.steps);
+        for n in 0..self.steps {
+            let k = n * self.lanes + lane;
+            tau.push(self.tau[k]);
+            delta.push(self.delta[k]);
+            lro.push(self.lro[k]);
         }
+        LoopTrace { tau, delta, lro }
+    }
+
+    /// Recombine lane-chunk traces into one trace whose lane order is the
+    /// concatenation of the parts' lanes — the deterministic merge the
+    /// multi-threaded lane-chunk dispatcher relies on: because every lane
+    /// of a batch is independent, running `[0..k)` and `[k..B)` in
+    /// separate [`BatchLoop`]s and concatenating is bit-identical to one
+    /// `B`-lane run.
+    ///
+    /// Parts with zero lanes are allowed and contribute nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parts disagree on the step count.
+    pub fn concat(parts: &[BatchTrace]) -> BatchTrace {
+        let steps = parts.iter().find(|p| p.lanes > 0).map_or(0, |p| p.steps);
+        assert!(
+            parts.iter().all(|p| p.lanes == 0 || p.steps == steps),
+            "lane-chunk traces disagree on step count"
+        );
+        let lanes: usize = parts.iter().map(|p| p.lanes).sum();
+        let mut out = BatchTrace {
+            lanes,
+            steps,
+            tau: Vec::with_capacity(steps * lanes),
+            delta: Vec::with_capacity(steps * lanes),
+            lro: Vec::with_capacity(steps * lanes),
+        };
+        for n in 0..steps {
+            for p in parts {
+                let row = n * p.lanes;
+                out.tau.extend_from_slice(&p.tau[row..row + p.lanes]);
+                out.delta.extend_from_slice(&p.delta[row..row + p.lanes]);
+                out.lro.extend_from_slice(&p.lro[row..row + p.lanes]);
+            }
+        }
+        out
     }
 }
 
@@ -134,7 +186,8 @@ impl BatchLoop {
     }
 
     /// Attach an instrumentation handle (counts controller steps across
-    /// all lanes under `batch.controller_steps`).
+    /// all lanes under `batch.controller_steps`, plus the block-engine
+    /// shape under `batch.blocks` / `batch.scalar_tail_lanes`).
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
@@ -199,14 +252,66 @@ impl BatchLoop {
     }
 
     /// Run `steps` periods of every lane, driving lane `i` with
-    /// `inputs[i]`. The e/μ closures are sampled into a `max_off`-row ring
-    /// buffer as the loop advances; each (row, lane) pair is sampled once.
+    /// `inputs[i]`, through the lane-block engine: clean lanes advance in
+    /// [`BLOCK_WIDTH`]-wide SoA blocks, faulted/hardened lanes and block
+    /// tails on the per-lane scalar path, every lane bit-identical to its
+    /// scalar [`DiscreteLoop`](crate::loopsim::DiscreteLoop) twin.
+    ///
+    /// The input closures are deduplicated by reference identity and
+    /// sampled once per unique closure per sequence row (into a
+    /// cache-resident ring of the rows the recurrence can still read), so
+    /// they must be pure functions of the row index — how many times and
+    /// in which order a closure is invoked is unspecified. Every closure
+    /// the engines accept already satisfies this; the scalar loop relies
+    /// on it too (it re-samples rows freely).
     ///
     /// # Panics
     ///
     /// Panics when `inputs.len() != self.len()`.
     pub fn run(&mut self, inputs: &[LoopInputs<'_>], steps: usize) -> BatchTrace {
-        let mut run_scope = self.telemetry.scope("engine.batch");
+        self.run_recycled(inputs, steps, BatchTrace::default())
+    }
+
+    /// [`run`](Self::run), reusing a previous trace's allocations.
+    ///
+    /// A full-length multi-lane trace is tens of megabytes — above the
+    /// allocator's mmap threshold — so repeated `run` calls pay the whole
+    /// page-fault + zeroing + unmap cycle per run even though the engine
+    /// overwrites every element anyway. Feeding the previous trace back
+    /// in (`trace = batch.run_recycled(inputs, steps, trace)`) makes
+    /// repeated runs steady-state: `spare`'s buffers are cleared, grown
+    /// only if too small, and filled in place. The returned trace is
+    /// bit-identical to a fresh [`run`](Self::run); `spare`'s contents
+    /// are irrelevant (any trace, or `BatchTrace::default()`, which is
+    /// exactly what `run` passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != self.len()`.
+    pub fn run_recycled(
+        &mut self,
+        inputs: &[LoopInputs<'_>],
+        steps: usize,
+        spare: BatchTrace,
+    ) -> BatchTrace {
+        assert_eq!(
+            inputs.len(),
+            self.lanes.len(),
+            "one LoopInputs per lane required"
+        );
+        blocked::run(self, inputs, steps, spare)
+    }
+
+    /// Run `steps` periods of every lane through the pre-block scalar SoA
+    /// loop: one lane at a time per step, each (row, lane) input pair
+    /// sampled exactly once. Kept as the in-tree reference the blocked
+    /// engine is benchmarked and differentially tested against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != self.len()`.
+    pub fn run_scalar(&mut self, inputs: &[LoopInputs<'_>], steps: usize) -> BatchTrace {
+        let mut run_scope = self.telemetry.scope("engine.batch.scalar");
         run_scope.attr("steps", steps);
         run_scope.attr("lanes", self.lanes.len());
         assert_eq!(
@@ -438,6 +543,112 @@ mod tests {
         }
     }
 
+    /// `run_recycled` must return the same bits as a fresh `run` no
+    /// matter what the spare trace held, and must actually reuse a
+    /// big-enough donor allocation instead of reallocating.
+    #[test]
+    fn recycled_run_is_bit_identical_and_reuses_buffers() {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 4.0 * (std::f64::consts::TAU * n as f64 / 55.0).sin();
+        let zero = constant(0.0);
+        let mut batch = BatchLoop::new();
+        for m in 0..5 {
+            batch.push(
+                m % 3,
+                LaneController::int_iir(&cfg, 64).unwrap(),
+                Quantization::Floor,
+            );
+        }
+        let inputs: Vec<LoopInputs<'_>> = (0..5)
+            .map(|_| LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: &zero,
+            })
+            .collect();
+        let fresh = batch.run(&inputs, 300);
+
+        // Donor larger than needed: buffers must be reused in place.
+        batch.reset();
+        let big = BatchTrace {
+            tau: vec![f64::NAN; 4000],
+            delta: vec![f64::NAN; 4000],
+            lro: vec![f64::NAN; 4000],
+            ..BatchTrace::default()
+        };
+        let big_ptr = big.tau.as_ptr();
+        let recycled = batch.run_recycled(&inputs, 300, big);
+        assert_eq!(recycled, fresh, "recycled run diverged from fresh run");
+        assert_eq!(
+            recycled.tau.as_ptr(),
+            big_ptr,
+            "large donor buffer was not reused"
+        );
+
+        // Donor smaller than needed: must grow, still identical.
+        batch.reset();
+        let small = batch.run_recycled(&inputs, 10, BatchTrace::default());
+        batch.reset();
+        let regrown = batch.run_recycled(&inputs, 300, small);
+        assert_eq!(regrown, fresh);
+    }
+
+    /// Enough same-scheme lanes to fill whole blocks *and* leave a tail:
+    /// every one must match its scalar twin and the scalar-SoA engine.
+    #[test]
+    fn full_blocks_and_tail_match_scalar_engines_bitwise() {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 5.5 * (std::f64::consts::TAU * n as f64 / 90.0).sin();
+        let steps = 600;
+        // 2 full int-IIR blocks + 3-lane tail, plus a teatime block tail.
+        let lanes = 2 * BLOCK_WIDTH + 3;
+        let mut batch = BatchLoop::new();
+        let mut scalar = BatchLoop::new();
+        let mut mus: Vec<Box<dyn Fn(i64) -> f64>> = Vec::new();
+        for k in 0..lanes {
+            let m = k % 3;
+            batch.push(
+                m,
+                LaneController::int_iir(&cfg, 64).unwrap(),
+                Quantization::Floor,
+            );
+            scalar.push(
+                m,
+                LaneController::int_iir(&cfg, 64).unwrap(),
+                Quantization::Floor,
+            );
+            mus.push(Box::new(step_at(10 + k as i64, k as f64 - 6.0)));
+        }
+        for k in 0..3 {
+            batch.push(1, LaneController::teatime(64, 1.0), Quantization::Floor);
+            scalar.push(1, LaneController::teatime(64, 1.0), Quantization::Floor);
+            mus.push(Box::new(step_at(15, 2.0 * k as f64)));
+        }
+        let inputs: Vec<LoopInputs<'_>> = mus
+            .iter()
+            .map(|mu| LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: mu.as_ref(),
+            })
+            .collect();
+        let got = batch.run(&inputs, steps);
+        let want = scalar.run_scalar(&inputs, steps);
+        assert_eq!(got, want, "blocked vs scalar-SoA full-trace");
+        for (k, input) in inputs.iter().enumerate() {
+            let m = if k < lanes { k % 3 } else { 1 };
+            let ctrl = if k < lanes {
+                IntIirControl::new(cfg.clone(), 64).unwrap().into()
+            } else {
+                crate::controller::Controller::teatime(64, 1.0)
+            };
+            let twin = reference(m, ctrl, Quantization::Floor, input, steps);
+            assert_eq!(got.lane(k), twin, "lane {k} diverged from its twin");
+        }
+    }
+
     #[test]
     fn reset_reruns_identically() {
         let cfg = IirConfig::paper();
@@ -459,6 +670,45 @@ mod tests {
         batch.reset();
         let second = batch.run(&inputs, 200);
         assert_eq!(first, second);
+    }
+
+    /// Back-to-back runs without a reset must continue from the blocked
+    /// engine's written-back controller state exactly like the scalar
+    /// engine does from its in-place state.
+    #[test]
+    fn controller_state_write_back_chains_runs() {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 4.0 * (std::f64::consts::TAU * n as f64 / 70.0).sin();
+        let zero = constant(0.0);
+        let lanes = BLOCK_WIDTH + 1;
+        let mut batch = BatchLoop::new();
+        let mut scalar = BatchLoop::new();
+        for _ in 0..lanes {
+            batch.push(
+                1,
+                LaneController::float_iir(&cfg, 64.0).unwrap(),
+                Quantization::None,
+            );
+            scalar.push(
+                1,
+                LaneController::float_iir(&cfg, 64.0).unwrap(),
+                Quantization::None,
+            );
+        }
+        let inputs: Vec<LoopInputs<'_>> = (0..lanes)
+            .map(|_| LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: &zero,
+            })
+            .collect();
+        let _ = batch.run(&inputs, 150);
+        let _ = scalar.run_scalar(&inputs, 150);
+        // Second leg: must pick up where the first left off, bit for bit.
+        let got = batch.run(&inputs, 150);
+        let want = scalar.run_scalar(&inputs, 150);
+        assert_eq!(got, want);
     }
 
     #[test]
@@ -512,6 +762,73 @@ mod tests {
         }
     }
 
+    /// A faulted lane sandwiched between clean blockable lanes must not
+    /// perturb them (and vice versa): the blocked engine pulls it onto the
+    /// scalar path while the neighbours stay blocked.
+    #[test]
+    fn faulted_lane_between_blocked_lanes_stays_isolated() {
+        use crate::resilience::Resilience;
+        use clock_faults::{FaultClass, FaultSchedule};
+
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 7.0 * (std::f64::consts::TAU * n as f64 / 130.0).sin();
+        let zero = constant(0.0);
+        let steps = 1200;
+        let schedule = FaultSchedule::random(9, FaultClass::ClockGlitch, 6.0, steps as u64, 3);
+        let mut batch = BatchLoop::new();
+        let total = BLOCK_WIDTH + 3;
+        let faulted_at = BLOCK_WIDTH / 2;
+        for k in 0..total {
+            if k == faulted_at {
+                batch.push_with(
+                    1,
+                    LaneController::int_iir(&cfg, 64).unwrap(),
+                    Quantization::Floor,
+                    schedule.clone(),
+                    Resilience::hardened(64.0),
+                );
+            } else {
+                batch.push(
+                    1,
+                    LaneController::int_iir(&cfg, 64).unwrap(),
+                    Quantization::Floor,
+                );
+            }
+        }
+        let inputs: Vec<LoopInputs<'_>> = (0..total)
+            .map(|_| LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: &zero,
+            })
+            .collect();
+        let got = batch.run(&inputs, steps);
+        let clean_twin = reference(
+            1,
+            IntIirControl::new(cfg.clone(), 64).unwrap().into(),
+            Quantization::Floor,
+            &inputs[0],
+            steps,
+        );
+        let faulted_twin = DiscreteLoop::new(
+            1,
+            IntIirControl::new(cfg.clone(), 64).unwrap(),
+            Quantization::Floor,
+        )
+        .with_faults(schedule)
+        .with_resilience(Resilience::hardened(64.0))
+        .run(&inputs[faulted_at], steps);
+        for k in 0..total {
+            let want = if k == faulted_at {
+                &faulted_twin
+            } else {
+                &clean_twin
+            };
+            assert_eq!(&got.lane(k), want, "lane {k} diverged");
+        }
+    }
+
     #[test]
     fn empty_schedule_and_default_resilience_stay_bit_identical_to_plain_push() {
         use crate::resilience::Resilience;
@@ -551,15 +868,51 @@ mod tests {
     }
 
     #[test]
-    fn telemetry_counts_lane_steps() {
+    fn concat_recombines_lane_chunks_exactly() {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 3.0 * (std::f64::consts::TAU * n as f64 / 55.0).sin();
+        let steps = 300;
+        let total = 11usize;
+        let build = |range: std::ops::Range<usize>| {
+            let mut b = BatchLoop::new();
+            let mus: Vec<Box<dyn Fn(i64) -> f64>> = range
+                .clone()
+                .map(|k| Box::new(step_at(8, k as f64)) as Box<dyn Fn(i64) -> f64>)
+                .collect();
+            for k in range {
+                let (m, q) = (k % 3, Quantization::Floor);
+                b.push(m, LaneController::int_iir(&cfg, 64).unwrap(), q);
+            }
+            let inputs: Vec<LoopInputs<'_>> = mus
+                .iter()
+                .map(|mu| LoopInputs {
+                    setpoint: &c,
+                    homogeneous: &e,
+                    heterogeneous: mu.as_ref(),
+                })
+                .collect();
+            b.run(&inputs, steps)
+        };
+        let whole = build(0..total);
+        let parts = [build(0..4), build(4..9), build(9..total)];
+        let merged = BatchTrace::concat(&parts);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.lanes(), total);
+        assert_eq!(merged.steps(), steps);
+    }
+
+    #[test]
+    fn telemetry_counts_lane_steps_and_block_shape() {
         let t = Telemetry::enabled();
         let mut batch = BatchLoop::new().with_telemetry(t.clone());
-        for _ in 0..3 {
+        // One full free-running block + a 3-lane tail.
+        for _ in 0..BLOCK_WIDTH + 3 {
             batch.push(1, LaneController::free(64), Quantization::None);
         }
         let c = constant(64.0);
         let zero = constant(0.0);
-        let inputs: Vec<LoopInputs<'_>> = (0..3)
+        let inputs: Vec<LoopInputs<'_>> = (0..BLOCK_WIDTH + 3)
             .map(|_| LoopInputs {
                 setpoint: &c,
                 homogeneous: &zero,
@@ -567,6 +920,12 @@ mod tests {
             })
             .collect();
         let _ = batch.run(&inputs, 50);
-        assert_eq!(t.snapshot().counter("batch.controller_steps"), Some(150));
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.counter("batch.controller_steps"),
+            Some(((BLOCK_WIDTH + 3) * 50) as u64)
+        );
+        assert_eq!(snap.counter("batch.blocks"), Some(1));
+        assert_eq!(snap.counter("batch.scalar_tail_lanes"), Some(3));
     }
 }

@@ -1,0 +1,701 @@
+//! The fixed-width lane-block engine behind [`BatchLoop::run`].
+//!
+//! Clean lanes of a batch are grouped by control scheme and packed into
+//! [`BLOCK_WIDTH`]-wide structure-of-arrays blocks (`[f64; W]` /
+//! `[i64; W]` columns). Each period then advances a block with
+//! straight-line kernels — TDC sample, error computation, controller
+//! update, period write-back — whose per-lane arithmetic is a verbatim
+//! transcription of the shared [`Controller`] step bodies, so a blocked
+//! lane produces the same bit pattern as its scalar
+//! [`DiscreteLoop`](crate::loopsim::DiscreteLoop) twin:
+//!
+//! * integer shifts ([`shift`]) are exact, so the Fig. 5 integer IIR
+//!   cannot diverge;
+//! * the float IIR accumulates `δ + Σ wᵢ·kᵢ` in the same tap order per
+//!   lane, and f64 addition/multiplication give one correctly-rounded
+//!   result regardless of which lanes sit alongside in the block;
+//! * TEAtime keeps the exact two-sided sign branch (which LLVM
+//!   if-converts inside the fixed-width loop) rather than an add-of-zero
+//!   select, so `±0.0`/NaN payloads cannot leak in;
+//! * the IIR delay lines are stepped by head rotation over the same
+//!   window the scalar `rotate_right(1)` maintains.
+//!
+//! Divergent control flow is handled by *exclusion*, not by masking
+//! inside the block: lanes with a live fault schedule or hardening
+//! config, and group tails that do not fill a block, run on the per-lane
+//! scalar path (the same `FaultPath` call sequence as the scalar
+//! engines). What remains inside a block is branch-free except for
+//! if-converted selects, which is what lets the kernels autovectorize on
+//! a stable toolchain without `std::simd`.
+//!
+//! Input closures are deduplicated by reference identity
+//! ([`std::ptr::eq`] on the fat pointer: same closure object *and* same
+//! vtable) and sampled once per unique closure per sequence row. Sweeps
+//! whose lanes share a variation source — the common case — pay for each
+//! `sin` row once instead of once per lane; closures that merely look
+//! alike are conservatively kept separate.
+
+use crate::controller::kernel::shift;
+use crate::controller::Controller;
+use crate::loopsim::LoopInputs;
+use crate::resilience::FaultPath;
+use crate::tdc::Quantization;
+
+use super::{BatchLoop, BatchTrace};
+
+/// Lane-block width `W`: how many lanes one SoA block advances per
+/// period. Four f64 columns are two 128-bit register rows at the SSE2
+/// baseline (one row with AVX), and a width of four lets the common
+/// mixed-scheme banks — which split `B` lanes into four same-scheme
+/// groups of `B/4` — form full blocks from 16 lanes up; tails shorter
+/// than `W` fall back to the scalar path rather than stepping masked-off
+/// ghost lanes.
+pub const BLOCK_WIDTH: usize = 4;
+
+const W: usize = BLOCK_WIDTH;
+
+/// Scheme key for grouping blockable lanes: lanes in one block must share
+/// a kernel shape (same law, same delay-line length) and TDC quantization
+/// so the block body is uniform straight-line code.
+#[derive(PartialEq, Eq)]
+enum GroupKey {
+    IntIir { taps: usize },
+    FloatIir { taps: usize },
+    TeaTime,
+    Free,
+}
+
+fn group_key(c: &Controller) -> GroupKey {
+    match c {
+        Controller::IntIir(k) => GroupKey::IntIir {
+            taps: k.state().len(),
+        },
+        Controller::FloatIir(k) => GroupKey::FloatIir {
+            taps: k.state().len(),
+        },
+        Controller::TeaTime(_) => GroupKey::TeaTime,
+        Controller::Free(_) => GroupKey::Free,
+    }
+}
+
+/// SoA controller state of one block: the `Controller` arithmetic with
+/// the lane index innermost. `state[t][j]` is delay word `t` of lane
+/// column `j`, most recent first relative to `head` — `head` rotation
+/// replaces the scalar `rotate_right(1)` (the scalar window
+/// `s[0..T]` is always `state[(head+t) % T]` here, so stepping
+/// `head ← head−1; state[head] ← w_new` is the same delay line without
+/// moving `T·W` words every period).
+enum Kernel {
+    IntIir {
+        kexp: [i32; W],
+        kstar: [i32; W],
+        taps: Vec<[i32; W]>,
+        state: Vec<[i64; W]>,
+        head: usize,
+    },
+    FloatIir {
+        kstar: [f64; W],
+        taps: Vec<[f64; W]>,
+        state: Vec<[f64; W]>,
+        head: usize,
+    },
+    TeaTime {
+        step: [f64; W],
+        length: [f64; W],
+    },
+    Free {
+        length: [f64; W],
+    },
+}
+
+/// `(head + t) mod t_len` for `head < t_len` and `t < t_len`: the sum is
+/// below `2·t_len`, so one conditional subtract replaces the `%` — which
+/// would otherwise be a hardware divide by a runtime divisor in the
+/// innermost kernel loop, several times per block per period.
+#[inline]
+fn wrap(sum: usize, t_len: usize) -> usize {
+    if sum >= t_len {
+        sum - t_len
+    } else {
+        sum
+    }
+}
+
+impl Kernel {
+    /// Advance every lane column one period: consume `δ[n]` per lane,
+    /// produce the unclamped `l_RO[n+1]`. Each arm mirrors the matching
+    /// [`Controller::step`] body bit for bit.
+    #[inline]
+    fn step(&mut self, delta: &[f64; W], next: &mut [f64; W]) {
+        match self {
+            Kernel::IntIir {
+                kexp,
+                kstar,
+                taps,
+                state,
+                head,
+            } => {
+                let t_len = state.len();
+                let mut acc = [0i64; W];
+                for j in 0..W {
+                    acc[j] = shift(delta[j].round() as i64, kexp[j]);
+                }
+                for (t, te) in taps.iter().enumerate() {
+                    let row = &state[wrap(*head + t, t_len)];
+                    for j in 0..W {
+                        acc[j] += shift(row[j], te[j]);
+                    }
+                }
+                *head = wrap(*head + t_len - 1, t_len);
+                let row = &mut state[*head];
+                for j in 0..W {
+                    let w_new = shift(acc[j], kstar[j]);
+                    row[j] = w_new;
+                    next[j] = shift(w_new, -kexp[j]) as f64;
+                }
+            }
+            Kernel::FloatIir {
+                kstar,
+                taps,
+                state,
+                head,
+            } => {
+                let t_len = state.len();
+                let mut acc = *delta;
+                for (t, te) in taps.iter().enumerate() {
+                    let row = &state[wrap(*head + t, t_len)];
+                    for j in 0..W {
+                        acc[j] += row[j] * te[j];
+                    }
+                }
+                *head = wrap(*head + t_len - 1, t_len);
+                let row = &mut state[*head];
+                for j in 0..W {
+                    let w_new = acc[j] * kstar[j];
+                    row[j] = w_new;
+                    next[j] = w_new;
+                }
+            }
+            Kernel::TeaTime { step, length } => {
+                for j in 0..W {
+                    // Exact scalar branch form (not `length += select`):
+                    // adding a signed zero could alter the sign of a ±0.0
+                    // length and addition with a NaN δ must leave the
+                    // length word untouched, exactly as the branch does.
+                    if delta[j] > 0.0 {
+                        length[j] += step[j];
+                    } else if delta[j] < 0.0 {
+                        length[j] -= step[j];
+                    }
+                    next[j] = length[j];
+                }
+            }
+            Kernel::Free { length } => {
+                next.copy_from_slice(length);
+            }
+        }
+    }
+}
+
+/// One packed block: `W` same-scheme lanes with their per-lane loop
+/// parameters in column order.
+struct Block {
+    /// Batch lane index per column (scatter target in the flat trace).
+    lane: [usize; W],
+    /// Loop delay `mm = m + 2` per column.
+    mm: [i64; W],
+    /// Unique-closure index per column, per input role.
+    h_idx: [usize; W],
+    mu_idx: [usize; W],
+    sp_idx: [usize; W],
+    /// TDC quantization, uniform across the block (part of the group key).
+    quant: Quantization,
+    /// `l_RO[n]` of the period being generated, per column.
+    cur: [f64; W],
+    /// Block-local `l_RO` history ring: row `n mod hist.len()` holds
+    /// `l_RO[n]`. The gather reads `hist[(n − mm) & mask]` instead of the
+    /// flat trace — a few cache-hot rows instead of a streamed megabyte
+    /// vector, no pre-start branch (every row is prefilled with the lane's
+    /// initial length, which is exactly what `l_RO[i]`, `i < 0`, means).
+    /// `hist.len()` is the power-of-two global ring depth ≥ every `mm`, and
+    /// each period gathers before it writes, so row `n` can never clobber a
+    /// row the block still reads.
+    hist: Vec<[f64; W]>,
+    kernel: Kernel,
+}
+
+impl Block {
+    /// Pack `W` lanes (indices `members`, all sharing a group key) into
+    /// column order, lifting each lane's controller state into the SoA
+    /// kernel.
+    fn pack(
+        batch: &BatchLoop,
+        members: &[usize],
+        h_idx: &[usize],
+        mu_idx: &[usize],
+        sp_idx: &[usize],
+        hist_rows: usize,
+    ) -> Block {
+        debug_assert_eq!(members.len(), W);
+        let mut lane = [0usize; W];
+        let mut mm = [0i64; W];
+        let mut init = [0.0f64; W];
+        let mut h = [0usize; W];
+        let mut mu = [0usize; W];
+        let mut sp = [0usize; W];
+        let mut cur = [0.0f64; W];
+        for (j, &k) in members.iter().enumerate() {
+            let l = &batch.lanes[k];
+            lane[j] = k;
+            mm[j] = (l.m + 2) as i64;
+            init[j] = l.initial_length;
+            h[j] = h_idx[k];
+            mu[j] = mu_idx[k];
+            sp[j] = sp_idx[k];
+            cur[j] = l.controller.length();
+        }
+        let kernel = match &batch.lanes[members[0]].controller {
+            Controller::IntIir(c0) => {
+                let t_len = c0.state().len();
+                let mut kexp = [0i32; W];
+                let mut kstar = [0i32; W];
+                let mut taps = vec![[0i32; W]; t_len];
+                let mut state = vec![[0i64; W]; t_len];
+                for (j, &k) in members.iter().enumerate() {
+                    let Controller::IntIir(c) = &batch.lanes[k].controller else {
+                        unreachable!("group key guarantees a uniform scheme");
+                    };
+                    kexp[j] = c.config().kexp_exp as i32;
+                    kstar[j] = c.config().k_star_exp;
+                    for t in 0..t_len {
+                        taps[t][j] = c.config().tap_exps[t];
+                        state[t][j] = c.state()[t];
+                    }
+                }
+                Kernel::IntIir {
+                    kexp,
+                    kstar,
+                    taps,
+                    state,
+                    head: 0,
+                }
+            }
+            Controller::FloatIir(c0) => {
+                let t_len = c0.state().len();
+                let mut kstar = [0.0f64; W];
+                let mut taps = vec![[0.0f64; W]; t_len];
+                let mut state = vec![[0.0f64; W]; t_len];
+                for (j, &k) in members.iter().enumerate() {
+                    let Controller::FloatIir(c) = &batch.lanes[k].controller else {
+                        unreachable!("group key guarantees a uniform scheme");
+                    };
+                    kstar[j] = c.k_star();
+                    for t in 0..t_len {
+                        taps[t][j] = c.taps()[t];
+                        state[t][j] = c.state()[t];
+                    }
+                }
+                Kernel::FloatIir {
+                    kstar,
+                    taps,
+                    state,
+                    head: 0,
+                }
+            }
+            Controller::TeaTime(_) => {
+                let mut step = [0.0f64; W];
+                let mut length = [0.0f64; W];
+                for (j, &k) in members.iter().enumerate() {
+                    let Controller::TeaTime(c) = &batch.lanes[k].controller else {
+                        unreachable!("group key guarantees a uniform scheme");
+                    };
+                    step[j] = c.step_size();
+                    length[j] = c.length();
+                }
+                Kernel::TeaTime { step, length }
+            }
+            Controller::Free(_) => {
+                let mut length = [0.0f64; W];
+                for (j, &k) in members.iter().enumerate() {
+                    length[j] = batch.lanes[k].controller.length();
+                }
+                Kernel::Free { length }
+            }
+        };
+        Block {
+            lane,
+            mm,
+            h_idx: h,
+            mu_idx: mu,
+            sp_idx: sp,
+            quant: batch.lanes[members[0]].quantization,
+            cur,
+            hist: vec![init; hist_rows],
+            kernel,
+        }
+    }
+
+    /// Write column `j`'s kernel state back into the lane's controller so
+    /// `BatchLoop` state after a blocked run is indistinguishable from a
+    /// scalar run (chained runs, `length()` queries, later resets).
+    fn store_lane(&self, j: usize, ctrl: &mut Controller) {
+        match (&self.kernel, ctrl) {
+            (Kernel::IntIir { state, head, .. }, Controller::IntIir(c)) => {
+                let t_len = state.len();
+                for (t, s) in c.state_mut().iter_mut().enumerate() {
+                    *s = state[(*head + t) % t_len][j];
+                }
+            }
+            (Kernel::FloatIir { state, head, .. }, Controller::FloatIir(c)) => {
+                let t_len = state.len();
+                for (t, s) in c.state_mut().iter_mut().enumerate() {
+                    *s = state[(*head + t) % t_len][j];
+                }
+            }
+            (Kernel::TeaTime { length, .. }, Controller::TeaTime(c)) => {
+                c.set_length(length[j]);
+            }
+            (Kernel::Free { .. }, Controller::Free(_)) => {}
+            _ => unreachable!("block kernel / lane controller scheme mismatch"),
+        }
+    }
+}
+
+/// Append `row` onto `v` (capacity already reserved for the whole run),
+/// with non-temporal stores when `stream` is set.
+///
+/// The trace is written exactly once and read back only after the run,
+/// but a normal store still *reads* each fresh cache line first
+/// (read-for-ownership) — so a cacheable trace costs double its size in
+/// DRAM traffic and evicts the hot kernel state on its way through the
+/// hierarchy. `_mm_stream_pd` writes around the cache through
+/// write-combining buffers instead; the appends are perfectly
+/// sequential, so consecutive rows merge into full-line bursts. Stores
+/// move bit patterns verbatim, so the trace is bit-identical either
+/// way. Off x86-64, or when the row geometry breaks 16-byte store
+/// alignment, this is a plain `extend_from_slice`.
+#[allow(unsafe_code)]
+#[inline]
+fn append_row(v: &mut Vec<f64>, row: &[f64], stream: bool) {
+    #[cfg(target_arch = "x86_64")]
+    if stream {
+        // SAFETY: capacity for the full run was reserved up front (debug
+        // assert below); `stream` implies an even row length and a
+        // 16-byte-aligned destination (base alignment checked by the
+        // caller, preserved because every row is an even number of f64s).
+        unsafe {
+            use core::arch::x86_64::{_mm_loadu_pd, _mm_stream_pd};
+            let len = v.len();
+            debug_assert!(len + row.len() <= v.capacity());
+            let dst = v.as_mut_ptr().add(len);
+            debug_assert_eq!(dst as usize % 16, 0);
+            let mut i = 0;
+            while i + 2 <= row.len() {
+                _mm_stream_pd(dst.add(i), _mm_loadu_pd(row.as_ptr().add(i)));
+                i += 2;
+            }
+            v.set_len(len + row.len());
+        }
+        return;
+    }
+    let _ = stream;
+    v.extend_from_slice(row);
+}
+
+/// Deduplicate input closures by fat-pointer identity. Returns the unique
+/// closures in first-seen order plus a per-lane index into them.
+///
+/// [`std::ptr::eq`] compares data pointer *and* vtable: two references to
+/// the same closure object always dedup, while a false positive would
+/// require the same address and the same vtable — i.e. behaviorally the
+/// same function. A missed match (e.g. the same generic closure
+/// instantiated twice) merely forfeits sharing; correctness never depends
+/// on deduplication because unique closures are sampled identically.
+fn dedup<'a>(
+    fns: impl Iterator<Item = &'a dyn Fn(i64) -> f64>,
+) -> (Vec<&'a dyn Fn(i64) -> f64>, Vec<usize>) {
+    let mut uniq: Vec<&'a dyn Fn(i64) -> f64> = Vec::new();
+    let mut idx = Vec::new();
+    for f in fns {
+        match uniq.iter().position(|&u| std::ptr::eq(u, f)) {
+            Some(p) => idx.push(p),
+            None => {
+                idx.push(uniq.len());
+                uniq.push(f);
+            }
+        }
+    }
+    (uniq, idx)
+}
+
+/// The blocked engine: body of [`BatchLoop::run`] /
+/// [`BatchLoop::run_recycled`]. `spare` donates its buffers.
+pub(super) fn run(
+    batch: &mut BatchLoop,
+    inputs: &[LoopInputs<'_>],
+    steps: usize,
+    spare: BatchTrace,
+) -> BatchTrace {
+    let b = batch.lanes.len();
+    let mut run_scope = batch.telemetry.scope("engine.batch");
+    run_scope.attr("steps", steps);
+    run_scope.attr("lanes", b);
+    if b == 0 || steps == 0 {
+        return BatchTrace {
+            lanes: b,
+            steps,
+            ..BatchTrace::default()
+        };
+    }
+
+    // --- Input plumbing: dedup closures, then ring-buffer their rows. ---
+    let (h_uniq, h_idx) = dedup(inputs.iter().map(|li| li.homogeneous));
+    let (mu_uniq, mu_idx) = dedup(inputs.iter().map(|li| li.heterogeneous));
+    let (sp_uniq, sp_idx) = dedup(inputs.iter().map(|li| li.setpoint));
+    let (nh, nmu, nsp) = (h_uniq.len(), mu_uniq.len(), sp_uniq.len());
+
+    let mm: Vec<i64> = batch.lanes.iter().map(|l| (l.m + 2) as i64).collect();
+    let max_off = mm.iter().copied().max().expect("at least one lane");
+    // Rows are unique-closure-interleaved: the recurrence only reads rows
+    // n−mm (mm ≤ max_off) and n−1, so a handful of rows stay
+    // cache-resident. Row n−1 overwrites row n−1−ring_rows, which nothing
+    // can read any more, and mm ≥ 2 keeps it clear of every lane's n−mm
+    // row. The row count is rounded up to a power of two so the slot
+    // computation — two of them per lane per period — is a mask, not a
+    // division (`r & (2^k − 1)` equals `r.rem_euclid(2^k)` for any sign).
+    let ring_rows = (max_off as usize).next_power_of_two() as i64;
+    let mut e_ring = vec![0.0f64; ring_rows as usize * nh];
+    let mut mu_ring = vec![0.0f64; ring_rows as usize * nmu];
+    let hslot = move |r: i64| (r & (ring_rows - 1)) as usize * nh;
+    let mslot = move |r: i64| (r & (ring_rows - 1)) as usize * nmu;
+    for r in -max_off..=-2 {
+        for (u, f) in h_uniq.iter().enumerate() {
+            e_ring[hslot(r) + u] = f(r);
+        }
+        for (u, f) in mu_uniq.iter().enumerate() {
+            mu_ring[mslot(r) + u] = f(r);
+        }
+    }
+    let mut sp_vals = vec![0.0f64; nsp];
+
+    // --- Partition lanes: faulted/hardened → scalar path; clean lanes
+    // grouped by scheme into W-wide blocks, remainders → scalar path. ---
+    let mut paths: Vec<Option<FaultPath>> = batch
+        .lanes
+        .iter()
+        .map(|l| {
+            let p = FaultPath::new(
+                l.faults.clone(),
+                l.resilience,
+                l.quantization.apply(l.initial_length),
+            );
+            (!p.is_inert()).then_some(p)
+        })
+        .collect();
+    let mut scalar: Vec<usize> = Vec::new();
+    let mut groups: Vec<((GroupKey, Quantization), Vec<usize>)> = Vec::new();
+    for (k, lane) in batch.lanes.iter().enumerate() {
+        if paths[k].is_some() {
+            scalar.push(k);
+            continue;
+        }
+        let key = (group_key(&lane.controller), lane.quantization);
+        match groups.iter_mut().find(|(g, _)| *g == key) {
+            Some((_, members)) => members.push(k),
+            None => groups.push((key, vec![k])),
+        }
+    }
+    let mut blocks: Vec<Block> = Vec::new();
+    for (_, members) in &groups {
+        let mut chunks = members.chunks_exact(W);
+        for chunk in &mut chunks {
+            blocks.push(Block::pack(
+                batch,
+                chunk,
+                &h_idx,
+                &mu_idx,
+                &sp_idx,
+                ring_rows as usize,
+            ));
+        }
+        scalar.extend_from_slice(chunks.remainder());
+    }
+    // Scalar lanes in batch order. Lanes are independent, so any order
+    // would produce the same bits — keeping batch order just makes the
+    // fallback path read like the scalar engine it reproduces.
+    scalar.sort_unstable();
+
+    let mut block_scope = batch.telemetry.scope("engine.batch.blocked");
+    block_scope.attr("blocks", blocks.len());
+    block_scope.attr("scalar_lanes", scalar.len());
+
+    // The trace is appended one row per period from small staging buffers:
+    // blocks scatter by lane index into the cache-resident row, and the
+    // row is then memcpy'd onto the flat arrays. Appending instead of
+    // preallocating `vec![0.0; steps·b]` skips a full zero-init pass over
+    // a trace that every lane overwrites anyway — at long horizons that
+    // pass alone streams megabytes through the cache hierarchy twice.
+    // `spare`'s buffers are recycled: cleared (length 0, capacity kept)
+    // and grown only if a previous run was smaller. Steady-state repeated
+    // runs then write into already-faulted pages instead of paying the
+    // page-fault + zero + unmap cycle of a fresh tens-of-megabytes
+    // allocation on every run.
+    let BatchTrace {
+        tau: mut t_tau,
+        delta: mut t_delta,
+        lro: mut t_lro,
+        ..
+    } = spare;
+    t_tau.clear();
+    t_delta.clear();
+    t_lro.clear();
+    t_tau.reserve(steps * b);
+    t_delta.reserve(steps * b);
+    t_lro.reserve(steps * b);
+    let mut trace = BatchTrace {
+        lanes: b,
+        steps,
+        tau: t_tau,
+        delta: t_delta,
+        lro: t_lro,
+    };
+    let mut row_tau = vec![0.0f64; b];
+    let mut row_delta = vec![0.0f64; b];
+    let mut row_lro = vec![0.0f64; b];
+    // Streaming eligibility: an even lane count keeps every row start on
+    // a 16-byte boundary once the base is aligned. `lro` is the one array
+    // re-read *during* the run — scalar-path lanes gather `l_RO[n−mm]`
+    // from it — so it only streams when no scalar lanes exist; streamed
+    // rows would otherwise bounce those gathers off DRAM every period.
+    let stream_ok = cfg!(target_arch = "x86_64")
+        && b.is_multiple_of(2)
+        && (trace.tau.as_ptr() as usize).is_multiple_of(16)
+        && (trace.delta.as_ptr() as usize).is_multiple_of(16)
+        && (trace.lro.as_ptr() as usize).is_multiple_of(16);
+    let stream_lro = stream_ok && scalar.is_empty();
+    let mut cur: Vec<f64> = batch.lanes.iter().map(|l| l.controller.length()).collect();
+
+    for n in 0..steps as i64 {
+        let base_n1_h = hslot(n - 1);
+        let base_n1_mu = mslot(n - 1);
+        for (u, f) in h_uniq.iter().enumerate() {
+            e_ring[base_n1_h + u] = f(n - 1);
+        }
+        for (u, f) in mu_uniq.iter().enumerate() {
+            mu_ring[base_n1_mu + u] = f(n - 1);
+        }
+        for (u, f) in sp_uniq.iter().enumerate() {
+            sp_vals[u] = f(n);
+        }
+        for blk in &mut blocks {
+            // Gather: l_RO[n−mm] from the block-local history ring
+            // (pre-start rows are prefilled with the initial length).
+            let mut raw = [0.0f64; W];
+            let hist_mask = blk.hist.len() - 1;
+            for j in 0..W {
+                let i = n - blk.mm[j];
+                let lro_past = blk.hist[(i & hist_mask as i64) as usize][j];
+                // Same association order as the scalar engines:
+                // ((l_RO + e[n−mm]) − e[n−1]) + μ[n−mm].
+                raw[j] = lro_past + e_ring[hslot(i) + blk.h_idx[j]]
+                    - e_ring[base_n1_h + blk.h_idx[j]]
+                    + mu_ring[mslot(i) + blk.mu_idx[j]];
+            }
+            let quant = blk.quant;
+            let mut tau = [0.0f64; W];
+            let mut delta = [0.0f64; W];
+            for j in 0..W {
+                tau[j] = quant.apply(raw[j]);
+                delta[j] = sp_vals[blk.sp_idx[j]] - tau[j];
+            }
+            let mut next = [0.0f64; W];
+            blk.kernel.step(&delta, &mut next);
+            // Scatter into the staging row, record l_RO[n] in the history
+            // ring, and roll the period forward.
+            blk.hist[(n & hist_mask as i64) as usize] = blk.cur;
+            for j in 0..W {
+                let k = blk.lane[j];
+                row_tau[k] = tau[j];
+                row_delta[k] = delta[j];
+                row_lro[k] = blk.cur[j];
+                blk.cur[j] = next[j];
+            }
+        }
+
+        for &k in &scalar {
+            let lane = &mut batch.lanes[k];
+            let i = n - mm[k];
+            let lro_past = if i < 0 {
+                lane.initial_length
+            } else {
+                trace.lro[i as usize * b + k]
+            };
+            let e_nmm = e_ring[hslot(i) + h_idx[k]];
+            let e_n1 = e_ring[base_n1_h + h_idx[k]];
+            let mu_nmm = mu_ring[mslot(i) + mu_idx[k]];
+            let sp = sp_vals[sp_idx[k]];
+            let (tau, delta, next) = if let Some(fp) = paths[k].as_mut() {
+                let raw = fp.raw(n, i, lro_past, e_nmm, e_n1, mu_nmm);
+                let (tau, valid) = fp.measure(n, raw, lane.quantization);
+                let (delta, next) = fp.control(n, sp, tau, valid, &mut lane.controller);
+                (tau, delta, next)
+            } else {
+                let raw = lro_past + e_nmm - e_n1 + mu_nmm;
+                let tau = lane.quantization.apply(raw);
+                let delta = sp - tau;
+                let next = lane.controller.step(delta);
+                (tau, delta, next)
+            };
+            row_tau[k] = tau;
+            row_delta[k] = delta;
+            row_lro[k] = cur[k];
+            cur[k] = next;
+        }
+
+        append_row(&mut trace.tau, &row_tau, stream_ok);
+        append_row(&mut trace.delta, &row_delta, stream_ok);
+        append_row(&mut trace.lro, &row_lro, stream_lro);
+    }
+    // Non-temporal stores are weakly ordered: fence once so the trace is
+    // globally visible before it can cross a thread boundary (the lane
+    // dispatcher hands chunk traces to a recombining thread).
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    if stream_ok {
+        // SAFETY: `sfence` is available on every x86-64 CPU.
+        unsafe { core::arch::x86_64::_mm_sfence() }
+    }
+
+    // Write the block kernels' final state back into the lane controllers.
+    for blk in &blocks {
+        for j in 0..W {
+            blk.store_lane(j, &mut batch.lanes[blk.lane[j]].controller);
+        }
+    }
+
+    batch
+        .telemetry
+        .counter("batch.controller_steps")
+        .add((steps * b) as u64);
+    batch
+        .telemetry
+        .counter("batch.blocks")
+        .add(blocks.len() as u64);
+    batch
+        .telemetry
+        .counter("batch.scalar_tail_lanes")
+        .add(scalar.len() as u64);
+    let (injected, relocks) = paths.iter().flatten().fold((0u64, 0u64), |(i, r), fp| {
+        (
+            i + fp.schedule().injected_before(steps as u64),
+            r + fp.relocks(),
+        )
+    });
+    if injected > 0 {
+        batch.telemetry.counter("faults.injected").add(injected);
+    }
+    if relocks > 0 {
+        batch.telemetry.counter("controller.relocks").add(relocks);
+    }
+    trace
+}

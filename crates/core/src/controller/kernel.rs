@@ -21,8 +21,10 @@ const STATE_BIT_SPAN: u32 = 41;
 
 /// Shift an `i64` by a signed power-of-two exponent (arithmetic shift right
 /// for negative exponents — i.e. floor division, exactly what a hardware
-/// shifter does).
-fn shift(v: i64, exp: i32) -> i64 {
+/// shifter does). Shared with the lane-block kernels in
+/// [`crate::batch`], which must reproduce this flooring bit for bit.
+#[inline]
+pub(crate) fn shift(v: i64, exp: i32) -> i64 {
     if exp >= 0 {
         v << exp
     } else {
@@ -70,6 +72,19 @@ impl IntIirControl {
     /// The configuration in use.
     pub fn config(&self) -> &IirConfig {
         &self.config
+    }
+
+    /// The filter state words, most recent first (`w[n], w[n−1], …`),
+    /// scaled by `2^kexp`. Read by the lane-block engine when packing a
+    /// lane into SoA block state.
+    pub(crate) fn state(&self) -> &[i64] {
+        &self.state
+    }
+
+    /// Mutable view of the state words, for the lane-block engine's
+    /// write-back at the end of a batched run.
+    pub(crate) fn state_mut(&mut self) -> &mut [i64] {
+        &mut self.state
     }
 
     /// Consume `δ[n] = c − τ[n]`; return the (unclamped) `l_RO[n+1]`.
@@ -166,6 +181,26 @@ impl FloatIir {
         FloatIir::new(config.taps_f64(), config.k_star_f64(), initial_length)
     }
 
+    /// The tap gains `[k₁, …, k_N]` (lane-block packing).
+    pub(crate) fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// The loop gain `k*` (lane-block packing).
+    pub(crate) fn k_star(&self) -> f64 {
+        self.k_star
+    }
+
+    /// The filter state, most recent first (lane-block packing).
+    pub(crate) fn state(&self) -> &[f64] {
+        &self.state
+    }
+
+    /// Mutable state view for the lane-block engine's write-back.
+    pub(crate) fn state_mut(&mut self) -> &mut [f64] {
+        &mut self.state
+    }
+
     /// Consume `δ[n] = c − τ[n]`; return the (unclamped) `l_RO[n+1]`.
     pub fn step(&mut self, delta: f64) -> f64 {
         let mut acc = delta;
@@ -231,6 +266,11 @@ impl TeaTime {
     pub fn with_step_size(mut self, step_size: f64) -> Self {
         self.step_size = step_size;
         self
+    }
+
+    /// The per-period step quantum (lane-block packing).
+    pub(crate) fn step_size(&self) -> f64 {
+        self.step_size
     }
 
     /// Consume `δ[n] = c − τ[n]`; return the (unclamped) `l_RO[n+1]`.

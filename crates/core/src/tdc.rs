@@ -37,6 +37,7 @@ pub enum Quantization {
 
 impl Quantization {
     /// Apply the quantization to a raw reading.
+    #[inline]
     pub fn apply(self, raw: f64) -> f64 {
         match self {
             Quantization::Floor => raw.floor(),

@@ -1,0 +1,213 @@
+//! Differential proptest suite for the lane-block batch engine: for
+//! arbitrary lane counts (including non-multiples of the block width),
+//! mixed control schemes, random fault schedules and resilience configs,
+//! every lane of a [`BatchLoop::run`] must be **bit-identical** to its
+//! scalar [`DiscreteLoop`] twin — and the whole trace bit-identical to the
+//! pre-block scalar SoA engine (`run_scalar`).
+//!
+//! Lane configurations are derived from a single proptest-drawn seed via
+//! splitmix64, so each case is reproducible from `(lanes, seed)` alone and
+//! the generator stays in lock-step between the batch under test and the
+//! scalar twins.
+
+use adaptive_clock::batch::{BatchLoop, BatchTrace, LaneController, BLOCK_WIDTH};
+use adaptive_clock::controller::IirConfig;
+use adaptive_clock::loopsim::{constant, step_at, DiscreteLoop, LoopInputs, LoopTrace};
+use adaptive_clock::resilience::Resilience;
+use adaptive_clock::tdc::Quantization;
+use clock_faults::{FaultClass, FaultSchedule};
+use proptest::prelude::*;
+
+const STEPS: usize = 400;
+const SETPOINT: i64 = 64;
+
+type MuFn = Box<dyn Fn(i64) -> f64>;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Everything that defines one lane, derived deterministically from the
+/// per-lane mix word so the batch lane and its scalar twin are built from
+/// the same recipe.
+struct LaneSpec {
+    m: usize,
+    quant: Quantization,
+    scheme: usize,
+    faults: FaultSchedule,
+    resilience: Resilience,
+    /// `None` = the shared zero closure (exercises closure dedup);
+    /// `Some(k)` = a private `step_at` mismatch step of height `k`.
+    mu_step: Option<f64>,
+}
+
+impl LaneSpec {
+    fn derive(seed: u64, lane: usize) -> LaneSpec {
+        let mut s = seed ^ (lane as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        let mix = splitmix(&mut s);
+        let scheme = (mix % 4) as usize;
+        let m = ((mix >> 8) % 3) as usize;
+        let quant = match (mix >> 16) % 3 {
+            0 => Quantization::Floor,
+            1 => Quantization::Nearest,
+            _ => Quantization::None,
+        };
+        // Roughly a quarter of the lanes carry live fault schedules, so
+        // most cases mix blocked and scalar-fallback lanes.
+        let faulted = (mix >> 24).is_multiple_of(4);
+        let faults = if faulted {
+            let class = FaultClass::ALL[((mix >> 32) % FaultClass::ALL.len() as u64) as usize];
+            FaultSchedule::random(splitmix(&mut s), class, 30.0, STEPS as u64, 3)
+        } else {
+            FaultSchedule::default()
+        };
+        let resilience = if (mix >> 40) & 1 == 1 {
+            Resilience::hardened(SETPOINT as f64)
+        } else {
+            Resilience::default()
+        };
+        let mu_step = ((mix >> 48) & 1 == 1).then_some(((mix >> 50) % 13) as f64 - 6.0);
+        LaneSpec {
+            m,
+            quant,
+            scheme,
+            faults,
+            resilience,
+            mu_step,
+        }
+    }
+
+    fn controller(&self) -> LaneController {
+        let cfg = IirConfig::paper();
+        match self.scheme {
+            0 => LaneController::int_iir(&cfg, SETPOINT).expect("paper config"),
+            1 => LaneController::float_iir(&cfg, SETPOINT as f64).expect("paper config"),
+            2 => LaneController::teatime(SETPOINT, 1.0),
+            _ => LaneController::free(SETPOINT),
+        }
+    }
+}
+
+/// Run the whole batch through both batch engines and collect per-lane
+/// scalar `DiscreteLoop` twins, all from the same derived specs.
+fn run_all(lanes: usize, seed: u64) -> (BatchTrace, BatchTrace, Vec<LoopTrace>) {
+    let specs: Vec<LaneSpec> = (0..lanes).map(|k| LaneSpec::derive(seed, k)).collect();
+    let sp = constant(SETPOINT as f64);
+    let e = |n: i64| 7.3 * (std::f64::consts::TAU * n as f64 / 41.0).sin();
+    let zero = constant(0.0);
+    let mus: Vec<Option<MuFn>> = specs
+        .iter()
+        .map(|spec| spec.mu_step.map(|amp| Box::new(step_at(25, amp)) as MuFn))
+        .collect();
+    let inputs: Vec<LoopInputs<'_>> = mus
+        .iter()
+        .map(|mu| LoopInputs {
+            setpoint: &sp,
+            homogeneous: &e,
+            heterogeneous: mu.as_deref().unwrap_or(&zero),
+        })
+        .collect();
+
+    let mut blocked = BatchLoop::new();
+    let mut scalar_soa = BatchLoop::new();
+    for spec in &specs {
+        blocked.push_with(
+            spec.m,
+            spec.controller(),
+            spec.quant,
+            spec.faults.clone(),
+            spec.resilience,
+        );
+        scalar_soa.push_with(
+            spec.m,
+            spec.controller(),
+            spec.quant,
+            spec.faults.clone(),
+            spec.resilience,
+        );
+    }
+    let got = blocked.run(&inputs, STEPS);
+    let want_soa = scalar_soa.run_scalar(&inputs, STEPS);
+    let twins: Vec<LoopTrace> = specs
+        .iter()
+        .zip(&inputs)
+        .map(|(spec, input)| {
+            DiscreteLoop::new(spec.m, spec.controller(), spec.quant)
+                .with_faults(spec.faults.clone())
+                .with_resilience(spec.resilience)
+                .run(input, STEPS)
+        })
+        .collect();
+    (got, want_soa, twins)
+}
+
+fn assert_lane_bits(got: &LoopTrace, want: &LoopTrace, lane: usize) {
+    for n in 0..STEPS {
+        assert_eq!(
+            got.tau[n].to_bits(),
+            want.tau[n].to_bits(),
+            "lane {lane} tau[{n}]: {} vs {}",
+            got.tau[n],
+            want.tau[n]
+        );
+        assert_eq!(
+            got.delta[n].to_bits(),
+            want.delta[n].to_bits(),
+            "lane {lane} delta[{n}]"
+        );
+        assert_eq!(
+            got.lro[n].to_bits(),
+            want.lro[n].to_bits(),
+            "lane {lane} lro[{n}]"
+        );
+    }
+}
+
+proptest! {
+    /// Arbitrary lane counts and seeds: the blocked engine's every lane is
+    /// bit-identical to its scalar `DiscreteLoop` twin and the whole trace
+    /// equals the scalar SoA engine's.
+    #[test]
+    fn blocked_lanes_bit_identical_to_scalar_twins(
+        lanes in 1usize..21,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (got, want_soa, twins) = run_all(lanes, seed);
+        prop_assert_eq!(&got, &want_soa, "blocked vs scalar-SoA full trace");
+        for (lane, twin) in twins.iter().enumerate() {
+            assert_lane_bits(&got.lane(lane), twin, lane);
+        }
+    }
+
+    /// Lane counts straddling multiples of the block width, with uniform
+    /// schemes to maximize how many full blocks form: tails of every
+    /// length against their twins.
+    #[test]
+    fn block_tails_of_every_length_stay_exact(
+        extra in 0usize..(BLOCK_WIDTH + 1),
+        seed in 0u64..u64::MAX,
+    ) {
+        let lanes = 2 * BLOCK_WIDTH + extra;
+        let (got, want_soa, twins) = run_all(lanes, seed);
+        prop_assert_eq!(&got, &want_soa);
+        for (lane, twin) in twins.iter().enumerate() {
+            assert_lane_bits(&got.lane(lane), twin, lane);
+        }
+    }
+}
+
+/// One deterministic heavy case beyond the proptest horizon: every scheme,
+/// every quantization, every fault class, both resilience configs, at a
+/// lane count that forms several full blocks per scheme plus tails.
+#[test]
+fn kitchen_sink_case_is_bit_exact() {
+    let (got, want_soa, twins) = run_all(41, 0xDEAD_BEEF_CAFE_F00D);
+    assert_eq!(got, want_soa);
+    for (lane, twin) in twins.iter().enumerate() {
+        assert_lane_bits(&got.lane(lane), twin, lane);
+    }
+}

@@ -19,7 +19,11 @@
 //!    empty and a fully-populated on-disk store;
 //! 5. **FIFO vs longest-job-first dispatch** — a synthetic sweep with a
 //!    few heavy items parked at the end of the grid, scheduled in submission
-//!    order versus by descending cost hint.
+//!    order versus by descending cost hint;
+//! 6. **lane-count scaling** — the mixed-scheme lane bank at
+//!    B ∈ {4, 16, 64, 256}: sequential `DiscreteLoop` runs vs the scalar
+//!    SoA loop (`run_scalar`) vs the blocked lane-block engine (`run`),
+//!    plus the multi-threaded lane-chunk dispatcher at 64+ lanes.
 //!
 //! `repro bench --json BENCH.json` writes the whole report as JSON, so CI
 //! and the committed `BENCH_*.json` trajectory files can track the numbers
@@ -29,7 +33,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use adaptive_clock::batch::{BatchLoop, LaneController};
+use adaptive_clock::batch::{BatchLoop, BatchTrace, LaneController};
 use adaptive_clock::controller::IirConfig;
 use adaptive_clock::loopsim::{constant, DiscreteLoop, LoopInputs};
 use adaptive_clock::tdc::Quantization;
@@ -39,6 +43,7 @@ use dtsim::blocks::{
 };
 use dtsim::{GraphBuilder, Simulation};
 
+use crate::batchrun::run_lane_chunks;
 use crate::cache::SweepCache;
 use crate::config::PaperParams;
 use crate::fig9;
@@ -269,6 +274,35 @@ pub fn lane_specs(c: i64) -> Vec<(usize, LaneController, Quantization)> {
     lanes
 }
 
+/// Lane specs for the scaling section and the lane-chunk dispatcher: the
+/// same four-scheme × CDN-depth pattern as [`lane_specs`], cycled over an
+/// arbitrary half-open lane range so a dispatcher chunk can rebuild
+/// exactly its share of the bank.
+pub fn scaling_specs(
+    c: i64,
+    lanes: std::ops::Range<usize>,
+) -> Vec<(usize, LaneController, Quantization)> {
+    lanes
+        .map(|i| {
+            let m = i % 3;
+            match i % 4 {
+                0 => (
+                    m,
+                    LaneController::int_iir(&IirConfig::paper(), c).expect("paper config"),
+                    Quantization::Floor,
+                ),
+                1 => (
+                    m,
+                    LaneController::float_iir(&IirConfig::paper(), c as f64).expect("paper config"),
+                    Quantization::None,
+                ),
+                2 => (m, LaneController::teatime(c, 1.0), Quantization::Floor),
+                _ => (m, LaneController::free(c), Quantization::Floor),
+            }
+        })
+        .collect()
+}
+
 fn time_ms(f: impl FnOnce()) -> f64 {
     let t0 = Instant::now();
     f();
@@ -278,9 +312,12 @@ fn time_ms(f: impl FnOnce()) -> f64 {
 /// Repetitions per timed case: wall-clock noise on a shared box easily
 /// exceeds the engine differences, so every case is timed `REPS` times and
 /// the minimum (the least-disturbed run) is reported. Best-of-3 was
-/// measured to still invert orderings on this hardware; best-of-7 is
-/// stable.
-const REPS: usize = 7;
+/// measured to still invert orderings on this hardware, and best-of-7 is
+/// stable for compute-bound cases — but the memory-heavy long-horizon
+/// cases show a right-skewed per-rep distribution (a measured 15-rep
+/// spread of 33–85 ms for the same workload) whose minimum best-of-7
+/// frequently misses. Best-of-15 pins the minima of both kinds.
+const REPS: usize = 15;
 
 fn best_ms(reps: usize, mut run_once: impl FnMut() -> f64) -> f64 {
     (0..reps).map(|_| run_once()).fold(f64::INFINITY, f64::min)
@@ -375,11 +412,21 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
             heterogeneous: &zero,
         })
         .collect();
+    // Steady-state protocol: the trace is recycled between reps
+    // (`run_recycled`), matching the sequential baseline whose per-lane
+    // sub-threshold allocations the heap already reuses across reps. A
+    // fresh 3 × 25 MB trace per rep would otherwise re-measure the
+    // allocator's page-fault + zeroing cycle, not the engine.
+    let mut spare = BatchTrace::default();
     let batch_ms = best_ms(REPS, || {
         batch.reset();
-        time_ms(|| {
-            std::hint::black_box(batch.run(&inputs, loop_steps));
-        })
+        let mut out = BatchTrace::default();
+        let ms = time_ms(|| {
+            out = batch.run_recycled(&inputs, loop_steps, std::mem::take(&mut spare));
+            std::hint::black_box(&out);
+        });
+        spare = out;
+        ms
     });
     let lane_steps = (n_lanes * loop_steps) as u64;
     entries.push(entry(
@@ -562,6 +609,124 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
     e.baseline = Some("sweep-fifo".to_owned());
     e.speedup = Some(fifo_ms / ljf_ms.max(1e-12));
     entries.push(e);
+
+    // 6. Lane-count scaling: the mixed-scheme bank at B lanes through
+    // three engines — one DiscreteLoop at a time, the scalar SoA loop,
+    // and the blocked lane-block engine — plus the multi-threaded
+    // lane-chunk dispatcher at 64+ lanes. All lanes share the setpoint
+    // and HoDV closures, as sweep workloads do, so the blocked engine's
+    // closure deduplication is exercised at every width.
+    let scale_steps: usize = if quick { 2_000 } else { 25_000 };
+    for b_lanes in [4usize, 16, 64, 256] {
+        let label = format!("lanes-{b_lanes:03}");
+        let lane_steps = (b_lanes * scale_steps) as u64;
+        let seq_ms = best_ms(REPS, || {
+            time_ms(|| {
+                for (m, ctrl, q) in scaling_specs(c, 0..b_lanes) {
+                    let mut dl = DiscreteLoop::new(m, ctrl, q);
+                    std::hint::black_box(dl.run(
+                        &LoopInputs {
+                            setpoint: &cs,
+                            homogeneous: &e_fn,
+                            heterogeneous: &zero,
+                        },
+                        scale_steps,
+                    ));
+                }
+            })
+        });
+        let scale_inputs: Vec<LoopInputs<'_>> = (0..b_lanes)
+            .map(|_| LoopInputs {
+                setpoint: &cs,
+                homogeneous: &e_fn,
+                heterogeneous: &zero,
+            })
+            .collect();
+        let mut soa = BatchLoop::new();
+        for (m, ctrl, q) in scaling_specs(c, 0..b_lanes) {
+            soa.push(m, ctrl, q);
+        }
+        let soa_ms = best_ms(REPS, || {
+            soa.reset();
+            time_ms(|| {
+                std::hint::black_box(soa.run_scalar(&scale_inputs, scale_steps));
+            })
+        });
+        let mut blk = BatchLoop::new();
+        for (m, ctrl, q) in scaling_specs(c, 0..b_lanes) {
+            blk.push(m, ctrl, q);
+        }
+        // Same steady-state trace recycling as loop-batched above.
+        let mut blk_spare = BatchTrace::default();
+        let blk_ms = best_ms(REPS, || {
+            blk.reset();
+            let mut out = BatchTrace::default();
+            let ms = time_ms(|| {
+                out = blk.run_recycled(&scale_inputs, scale_steps, std::mem::take(&mut blk_spare));
+                std::hint::black_box(&out);
+            });
+            blk_spare = out;
+            ms
+        });
+        entries.push(entry(
+            &format!("{label}-sequential"),
+            &format!(
+                "{b_lanes} mixed-scheme lanes x {scale_steps} periods, one DiscreteLoop at a time"
+            ),
+            lane_steps,
+            seq_ms,
+        ));
+        entries.push(entry(
+            &format!("{label}-soa"),
+            &format!("{b_lanes} lanes x {scale_steps} periods on the scalar SoA loop (run_scalar)"),
+            lane_steps,
+            soa_ms,
+        ));
+        let mut e = entry(
+            &format!("{label}-blocked"),
+            &format!("{b_lanes} lanes x {scale_steps} periods on the blocked lane-block engine"),
+            lane_steps,
+            blk_ms,
+        );
+        e.baseline = Some(format!("{label}-sequential"));
+        e.speedup = Some(seq_ms / blk_ms.max(1e-12));
+        entries.push(e);
+        if b_lanes >= 64 {
+            // The dispatcher splits the same bank into 16-lane chunks over
+            // the sweep worker pool. No speedup field on purpose: the
+            // ratio against the single-thread engine depends on the host's
+            // core count, which would make the CI regression gate compare
+            // machines instead of code.
+            let chunk = 16usize;
+            let disp_ms = best_ms(REPS, || {
+                time_ms(|| {
+                    std::hint::black_box(run_lane_chunks(b_lanes, chunk, &off, |range| {
+                        let mut part = BatchLoop::new();
+                        for (m, ctrl, q) in scaling_specs(c, range.clone()) {
+                            part.push(m, ctrl, q);
+                        }
+                        let part_inputs: Vec<LoopInputs<'_>> = range
+                            .map(|_| LoopInputs {
+                                setpoint: &cs,
+                                homogeneous: &e_fn,
+                                heterogeneous: &zero,
+                            })
+                            .collect();
+                        part.run(&part_inputs, scale_steps)
+                    }));
+                })
+            });
+            entries.push(entry(
+                &format!("{label}-dispatch"),
+                &format!(
+                    "{b_lanes} lanes x {scale_steps} periods, blocked engine in \
+                     {chunk}-lane chunks across {workers} workers"
+                ),
+                lane_steps,
+                disp_ms,
+            ));
+        }
+    }
 
     BenchReport {
         quick,
@@ -782,6 +947,20 @@ mod tests {
             "fig9-warm-cache",
             "sweep-fifo",
             "sweep-ljf",
+            "lanes-004-sequential",
+            "lanes-004-soa",
+            "lanes-004-blocked",
+            "lanes-016-sequential",
+            "lanes-016-soa",
+            "lanes-016-blocked",
+            "lanes-064-sequential",
+            "lanes-064-soa",
+            "lanes-064-blocked",
+            "lanes-064-dispatch",
+            "lanes-256-sequential",
+            "lanes-256-soa",
+            "lanes-256-blocked",
+            "lanes-256-dispatch",
         ] {
             let e = report.entry(name).unwrap_or_else(|| panic!("entry {name}"));
             assert!(e.steps > 0, "{name}: no steps");
@@ -790,6 +969,26 @@ mod tests {
         assert!(report.entry("dtsim-compiled").unwrap().speedup.is_some());
         assert!(report.entry("fig9-warm-cache").unwrap().speedup.is_some());
         assert!(report.entry("sweep-ljf").unwrap().speedup.is_some());
+        for lanes in ["004", "016", "064", "256"] {
+            let blocked = report.entry(&format!("lanes-{lanes}-blocked")).unwrap();
+            assert_eq!(
+                blocked.baseline.as_deref(),
+                Some(format!("lanes-{lanes}-sequential").as_str())
+            );
+            assert!(blocked.speedup.is_some(), "blocked {lanes} must be gated");
+        }
+        // Dispatch timings deliberately carry no speedup: the ratio would
+        // compare host core counts, not code (see the section 6 comment).
+        assert!(report
+            .entry("lanes-064-dispatch")
+            .unwrap()
+            .speedup
+            .is_none());
+        assert!(report
+            .entry("lanes-256-dispatch")
+            .unwrap()
+            .speedup
+            .is_none());
         assert!(
             report
                 .entry("fig9-warm-panel")

@@ -95,7 +95,7 @@ pub fn run(ctx: &RunCtx, points: usize) -> ExperimentResult {
         .iter()
         .map(|&te| amp * predicted_gain(&h, 1, te))
         .collect();
-    let batched = batched_errors(&tes, c, amp);
+    let batched = batched_errors(&tes, c, amp, &ctx.telemetry);
 
     ExperimentResult::new(
         "ext-sensitivity",
@@ -111,39 +111,49 @@ pub fn run(ctx: &RunCtx, points: usize) -> ExperimentResult {
 
 /// The same error-amplitude sweep on the fixed-`M` discrete loop — the
 /// system the prediction is actually derived for — with every `T_e` lane
-/// advanced in lock-step by the SoA batch engine, so the whole sweep is a
-/// single [`BatchLoop::run`] call.
-fn batched_errors(tes: &[f64], c: i64, amp: f64) -> Vec<f64> {
-    let mut batch = BatchLoop::new();
-    for _ in tes {
-        batch.push(
-            1,
-            LaneController::float_iir(&IirConfig::paper(), c as f64)
-                .expect("paper config is valid"),
-            Quantization::None,
-        );
-    }
-    let setpoint = constant(c as f64);
-    let zero = constant(0.0);
-    let e_fns: Vec<Box<dyn Fn(i64) -> f64 + Sync>> = tes
-        .iter()
-        .map(|&te| {
-            Box::new(move |n: i64| amp * (std::f64::consts::TAU * n as f64 / te).sin())
-                as Box<dyn Fn(i64) -> f64 + Sync>
-        })
-        .collect();
-    let inputs: Vec<LoopInputs<'_>> = e_fns
-        .iter()
-        .map(|e| LoopInputs {
-            setpoint: &setpoint,
-            homogeneous: e.as_ref(),
-            heterogeneous: &zero,
-        })
-        .collect();
+/// advanced in lock-step by the blocked SoA batch engine and the lanes
+/// spread over the sweep worker pool by the lane-chunk dispatcher. Lane
+/// independence makes the recombined trace bit-identical to one
+/// whole-batch [`BatchLoop::run`] call for any worker count, which is
+/// what keeps the golden `everything` fixture stable across machines.
+fn batched_errors(
+    tes: &[f64],
+    c: i64,
+    amp: f64,
+    telemetry: &clock_telemetry::Telemetry,
+) -> Vec<f64> {
     // Settle even the slowest lane, then measure over the second half.
     let slowest = tes.iter().copied().fold(0.0f64, f64::max);
     let steps = 2000 + (12.0 * slowest) as usize;
-    let trace = batch.run(&inputs, steps);
+    let trace = crate::batchrun::run_lane_chunks(tes.len(), 8, telemetry, |range| {
+        let mut batch = BatchLoop::new();
+        for _ in range.clone() {
+            batch.push(
+                1,
+                LaneController::float_iir(&IirConfig::paper(), c as f64)
+                    .expect("paper config is valid"),
+                Quantization::None,
+            );
+        }
+        let setpoint = constant(c as f64);
+        let zero = constant(0.0);
+        let e_fns: Vec<Box<dyn Fn(i64) -> f64 + Sync>> = range
+            .map(|lane| {
+                let te = tes[lane];
+                Box::new(move |n: i64| amp * (std::f64::consts::TAU * n as f64 / te).sin())
+                    as Box<dyn Fn(i64) -> f64 + Sync>
+            })
+            .collect();
+        let inputs: Vec<LoopInputs<'_>> = e_fns
+            .iter()
+            .map(|e| LoopInputs {
+                setpoint: &setpoint,
+                homogeneous: e.as_ref(),
+                heterogeneous: &zero,
+            })
+            .collect();
+        batch.run(&inputs, steps)
+    });
     (0..tes.len())
         .map(|lane| {
             let lt = trace.lane(lane);
