@@ -19,7 +19,12 @@
 //!   `DiscreteLoop` it replaces (asserted by the differential tests below
 //!   and by the `batch_blocked_differential` proptest suite);
 //! * recorded signals land in flat `[n·B + lane]` arrays
-//!   ([`BatchTrace`]), with per-lane [`LoopTrace`] views for drop-in use.
+//!   ([`BatchTrace`]), with per-lane [`LoopTrace`] views for drop-in use;
+//! * summary consumers (margin sweeps, Monte Carlo panels) can skip the
+//!   trace entirely: [`BatchLoop::run_summaries`] streams the same block
+//!   loop into per-lane [`LaneSummary`] statistics, bit-identical to
+//!   summarizing a materialized trace but without the trace-store
+//!   bandwidth or allocation.
 //!
 //! [`loopsim::DiscreteLoop`]: crate::loopsim::DiscreteLoop
 
@@ -135,6 +140,112 @@ impl BatchTrace {
             }
         }
         out
+    }
+
+    /// Fold every lane into its [`LaneSummary`] — the trace-then-summarize
+    /// reference implementation for [`BatchLoop::run_summaries`].
+    ///
+    /// `δ[n] = c[n] − τ[n]` is already recorded, so the worst negative
+    /// error folds `δ` and the worst positive error folds `−δ` directly;
+    /// the mean period sums `l_RO[n]` in step order. The traceless path
+    /// performs these exact operations inline per period, which is what
+    /// makes the two bit-identical.
+    pub fn summarize(&self) -> Vec<LaneSummary> {
+        self.summarize_after(0)
+    }
+
+    /// Like [`summarize`](Self::summarize), but fold only the periods
+    /// from `warmup` on — the post-lock window a margin study scores
+    /// (cold-start transients excluded), mirroring
+    /// [`BatchLoop::run_summaries_after`] on the traceless path.
+    /// `last_lro` still reports the final period regardless of the
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `warmup >= steps` on a non-empty trace (an empty
+    /// measurement window has no statistics).
+    pub fn summarize_after(&self, warmup: usize) -> Vec<LaneSummary> {
+        if self.steps == 0 {
+            return vec![LaneSummary::EMPTY; self.lanes];
+        }
+        assert!(
+            warmup < self.steps,
+            "warmup ({warmup}) must leave at least one measured period of {}",
+            self.steps
+        );
+        let samples = self.steps - warmup;
+        (0..self.lanes)
+            .map(|lane| {
+                let mut wne = 0.0f64;
+                let mut wpe = 0.0f64;
+                let mut sum = 0.0f64;
+                for n in warmup..self.steps {
+                    let k = n * self.lanes + lane;
+                    let delta = self.delta[k];
+                    wne = wne.max(delta);
+                    wpe = wpe.max(-delta);
+                    sum += self.lro[k];
+                }
+                LaneSummary {
+                    samples: samples as u64,
+                    mean_period: sum / samples as f64,
+                    worst_negative_error: wne,
+                    worst_positive_error: wpe,
+                    last_lro: self.lro[(self.steps - 1) * self.lanes + lane],
+                }
+            })
+            .collect()
+    }
+}
+
+/// Streaming per-lane margin statistics of a batched run: the handful of
+/// numbers a sweep or Monte Carlo consumer actually reads off a lane's
+/// trace, computed inline by [`BatchLoop::run_summaries`] without ever
+/// materializing the trace, or after the fact by
+/// [`BatchTrace::summarize`]. The two paths perform the identical
+/// floating-point operations in the identical order, so their results are
+/// bit-identical (pinned by the differential suite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneSummary {
+    /// Periods summarized.
+    pub samples: u64,
+    /// Mean generated period `Σ l_RO[n] / samples`, summed in step order
+    /// (`0.0` when no steps were run).
+    pub mean_period: f64,
+    /// Worst negative timing error `max(0, max_n (c[n] − τ[n]))` — in the
+    /// paper's words, "equal, in absolute value, to the needed safety
+    /// margin". Folded over `δ[n] = c[n] − τ[n]` exactly as recorded.
+    pub worst_negative_error: f64,
+    /// Worst positive timing error `max(0, max_n (τ[n] − c[n]))` —
+    /// performance left on the table. Folded over `−δ[n]` (negation is
+    /// exact, so this matches folding `τ − c` up to the sign of zero).
+    pub worst_positive_error: f64,
+    /// `l_RO` of the final generated period (NaN when no steps were run).
+    pub last_lro: f64,
+}
+
+impl LaneSummary {
+    /// The zero-step summary (NaN `last_lro`, everything else zero).
+    pub(crate) const EMPTY: LaneSummary = LaneSummary {
+        samples: 0,
+        mean_period: 0.0,
+        worst_negative_error: 0.0,
+        worst_positive_error: 0.0,
+        last_lro: f64::NAN,
+    };
+
+    /// The minimal safety margin for error-free operation — the worst
+    /// negative excursion, matching `clock_metrics::margin::required_margin`
+    /// on the equivalent `RunTrace`.
+    pub fn required_margin(&self) -> f64 {
+        self.worst_negative_error
+    }
+
+    /// Mean period once operated with just enough margin to be error-free:
+    /// `⟨T⟩ + m*`.
+    pub fn needed_adaptive_period(&self) -> f64 {
+        self.mean_period + self.required_margin()
     }
 }
 
@@ -279,11 +390,22 @@ impl BatchLoop {
     /// page-fault + zeroing + unmap cycle per run even though the engine
     /// overwrites every element anyway. Feeding the previous trace back
     /// in (`trace = batch.run_recycled(inputs, steps, trace)`) makes
-    /// repeated runs steady-state: `spare`'s buffers are cleared, grown
-    /// only if too small, and filled in place. The returned trace is
-    /// bit-identical to a fresh [`run`](Self::run); `spare`'s contents
-    /// are irrelevant (any trace, or `BatchTrace::default()`, which is
-    /// exactly what `run` passes).
+    /// repeated runs steady-state.
+    ///
+    /// The reuse contract, precisely: each of `spare`'s three buffers is
+    /// cleared (length 0, **capacity kept**) and written in place
+    /// whenever its capacity already covers the run's `steps · lanes`
+    /// elements — equal-size reruns never touch the allocator, which
+    /// debug builds assert. A buffer only reallocates when a previous run
+    /// was smaller than this one. `spare`'s *contents* and its recorded
+    /// lane/step counts are irrelevant (any trace works, including
+    /// `BatchTrace::default()`, which is exactly what `run` passes); the
+    /// returned trace is bit-identical to a fresh [`run`](Self::run)
+    /// either way.
+    ///
+    /// Callers that only need per-lane statistics should prefer
+    /// [`run_summaries`](Self::run_summaries), which skips the trace —
+    /// and with it this whole recycling dance — entirely.
     ///
     /// # Panics
     ///
@@ -300,6 +422,111 @@ impl BatchLoop {
             "one LoopInputs per lane required"
         );
         blocked::run(self, inputs, steps, spare)
+    }
+
+    /// Run `steps` periods of every lane like [`run`](Self::run), but
+    /// stream per-lane margin statistics instead of materializing a
+    /// [`BatchTrace`]: no trace allocation, no ~24 B per lane-step of
+    /// store bandwidth — the compulsory cost floor of the traced path for
+    /// consumers that only read a handful of numbers per lane (margin
+    /// sweeps, Monte Carlo sample panels).
+    ///
+    /// The blocked engine runs the *same* gather/kernel/scatter loop as
+    /// [`run`](Self::run) (they share one generic body); only the
+    /// destination of each period's staging rows differs. The returned
+    /// summaries are therefore **bit-identical** to
+    /// `self.run(inputs, steps).summarize()` for every lane — blocked,
+    /// scalar-tail, faulted or hardened — and the controller state
+    /// advances exactly as a traced run would leave it.
+    ///
+    /// Telemetry: the run lands under an `engine.batch.summaries` span;
+    /// lane-step and block-shape counters are shared with the traced path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != self.len()`.
+    pub fn run_summaries(&mut self, inputs: &[LoopInputs<'_>], steps: usize) -> Vec<LaneSummary> {
+        self.run_summaries_after(inputs, steps, 0)
+    }
+
+    /// Like [`run_summaries`](Self::run_summaries), but fold only the
+    /// periods from `warmup` on: every lane is still stepped from period
+    /// 0 (the controller must live through its lock-in transient), while
+    /// the margin statistics cover the post-warmup window — the paper's
+    /// measurement methodology, and bit-identical to
+    /// `self.run(inputs, steps).summarize_after(warmup)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != self.len()`, or when
+    /// `warmup >= steps` on a non-empty batch.
+    pub fn run_summaries_after(
+        &mut self,
+        inputs: &[LoopInputs<'_>],
+        steps: usize,
+        warmup: usize,
+    ) -> Vec<LaneSummary> {
+        assert_eq!(
+            inputs.len(),
+            self.lanes.len(),
+            "one LoopInputs per lane required"
+        );
+        assert!(
+            steps == 0 || warmup < steps,
+            "warmup ({warmup}) must leave at least one measured period of {steps}"
+        );
+        blocked::run_summaries(self, inputs, None, steps, warmup)
+    }
+
+    /// [`run_summaries_after`](Self::run_summaries_after) specialized to
+    /// the Monte Carlo panel shape: every lane shares one `setpoint` and
+    /// one `homogeneous` closure, and lane `k`'s heterogeneous mismatch
+    /// is the **step-invariant** constant `mu[k]` (a sampled process
+    /// offset), passed as data instead of a closure.
+    ///
+    /// Equivalent per-lane `constant(mu[k])` closures produce the same
+    /// bits — the engine adds the identical f64 in the identical
+    /// association order — but cost one indirect call plus one ring
+    /// store per lane per period on the general path, because per-lane
+    /// closures are all distinct and cannot deduplicate. For a
+    /// thousands-of-lanes sample panel that overhead is the difference
+    /// the `mc-panel-*` benchmark pair tracks; this entry point deletes
+    /// it. Bit-identity with the closure form (and hence with
+    /// trace-then-summarize) is pinned by the unit tests below and the
+    /// differential suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `mu.len() != self.len()`, or when `warmup >= steps`
+    /// on a non-empty batch.
+    pub fn run_summaries_static(
+        &mut self,
+        setpoint: &(dyn Fn(i64) -> f64 + '_),
+        homogeneous: &(dyn Fn(i64) -> f64 + '_),
+        mu: &[f64],
+        steps: usize,
+        warmup: usize,
+    ) -> Vec<LaneSummary> {
+        assert_eq!(
+            mu.len(),
+            self.lanes.len(),
+            "one static mu per lane required"
+        );
+        assert!(
+            steps == 0 || warmup < steps,
+            "warmup ({warmup}) must leave at least one measured period of {steps}"
+        );
+        // The heterogeneous slot is filled with the shared homogeneous
+        // closure purely to satisfy the struct shape; with a static μ the
+        // engine never samples it.
+        let inputs: Vec<LoopInputs<'_>> = (0..self.lanes.len())
+            .map(|_| LoopInputs {
+                setpoint,
+                homogeneous,
+                heterogeneous: homogeneous,
+            })
+            .collect();
+        blocked::run_summaries(self, &inputs, Some(mu), steps, warmup)
     }
 
     /// Run `steps` periods of every lane through the pre-block scalar SoA
@@ -592,6 +819,277 @@ mod tests {
         batch.reset();
         let regrown = batch.run_recycled(&inputs, 300, small);
         assert_eq!(regrown, fresh);
+    }
+
+    /// Equal-size rerun recycling the previous output: none of the three
+    /// buffers may silently reallocate (the steady-state contract the
+    /// docs promise and debug builds assert).
+    #[test]
+    fn equal_size_recycled_rerun_reuses_every_buffer() {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 4.0 * (std::f64::consts::TAU * n as f64 / 55.0).sin();
+        let zero = constant(0.0);
+        let mut batch = BatchLoop::new();
+        for m in 0..6 {
+            batch.push(
+                m % 3,
+                LaneController::int_iir(&cfg, 64).unwrap(),
+                Quantization::Floor,
+            );
+        }
+        let inputs: Vec<LoopInputs<'_>> = (0..6)
+            .map(|_| LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: &zero,
+            })
+            .collect();
+        let first = batch.run(&inputs, 250);
+        let ptrs = [
+            first.tau.as_ptr() as usize,
+            first.delta.as_ptr() as usize,
+            first.lro.as_ptr() as usize,
+        ];
+        batch.reset();
+        let second = batch.run_recycled(&inputs, 250, first);
+        assert_eq!(
+            [
+                second.tau.as_ptr() as usize,
+                second.delta.as_ptr() as usize,
+                second.lro.as_ptr() as usize,
+            ],
+            ptrs,
+            "equal-size rerun reallocated a recycled buffer"
+        );
+        batch.reset();
+        assert_eq!(second, batch.run(&inputs, 250));
+    }
+
+    /// The traceless path must produce the same bits as running the
+    /// traced engine and summarizing after the fact — across blocked
+    /// lanes, scalar tails, faulted and hardened lanes.
+    #[test]
+    fn traceless_summaries_match_trace_then_summarize_bitwise() {
+        use crate::resilience::Resilience;
+        use clock_faults::{FaultClass, FaultSchedule};
+
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 6.5 * (std::f64::consts::TAU * n as f64 / 110.0).sin();
+        let steps = 900;
+        let schedule = FaultSchedule::random(17, FaultClass::TdcDropout, 5.0, steps as u64, 3);
+        let build = || {
+            let mut b = BatchLoop::new();
+            for k in 0..2 * BLOCK_WIDTH + 1 {
+                b.push(
+                    k % 3,
+                    LaneController::int_iir(&cfg, 64).unwrap(),
+                    Quantization::Floor,
+                );
+            }
+            b.push(1, LaneController::teatime(64, 1.0), Quantization::Floor);
+            b.push_with(
+                1,
+                LaneController::int_iir(&cfg, 64).unwrap(),
+                Quantization::Floor,
+                schedule.clone(),
+                Resilience::hardened(64.0),
+            );
+            b
+        };
+        let mut traced = build();
+        let mut traceless = build();
+        let lanes = traced.len();
+        let mus: Vec<Box<dyn Fn(i64) -> f64>> = (0..lanes)
+            .map(|k| Box::new(step_at(20 + k as i64, k as f64 - 4.0)) as Box<dyn Fn(i64) -> f64>)
+            .collect();
+        let inputs: Vec<LoopInputs<'_>> = mus
+            .iter()
+            .map(|mu| LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: mu.as_ref(),
+            })
+            .collect();
+        let want = traced.run(&inputs, steps).summarize();
+        let got = traceless.run_summaries(&inputs, steps);
+        assert_eq!(got.len(), lanes);
+        for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.samples, w.samples, "lane {k} samples");
+            assert_eq!(
+                g.mean_period.to_bits(),
+                w.mean_period.to_bits(),
+                "lane {k} mean_period: {} vs {}",
+                g.mean_period,
+                w.mean_period
+            );
+            assert_eq!(
+                g.worst_negative_error.to_bits(),
+                w.worst_negative_error.to_bits(),
+                "lane {k} worst_negative_error"
+            );
+            assert_eq!(
+                g.worst_positive_error.to_bits(),
+                w.worst_positive_error.to_bits(),
+                "lane {k} worst_positive_error"
+            );
+            assert_eq!(
+                g.last_lro.to_bits(),
+                w.last_lro.to_bits(),
+                "lane {k} last_lro"
+            );
+        }
+        // Controller state advanced identically: a second leg agrees too.
+        let want2 = traced.run(&inputs, steps).summarize();
+        let got2 = traceless.run_summaries(&inputs, steps);
+        assert_eq!(got2, want2, "second leg diverged");
+    }
+
+    /// The static-μ entry point must produce the same bits as per-lane
+    /// `constant(μ)` closures through the general path — across blocked
+    /// lanes, scalar tails, a faulted lane, and a warmup window.
+    #[test]
+    fn static_mu_summaries_match_constant_closures_bitwise() {
+        use crate::resilience::Resilience;
+        use clock_faults::{FaultClass, FaultSchedule};
+
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 9.0 * (std::f64::consts::TAU * n as f64 / 140.0).sin();
+        let steps = 700;
+        let schedule = FaultSchedule::random(23, FaultClass::TdcDropout, 4.0, steps as u64, 2);
+        let build = || {
+            let mut b = BatchLoop::new();
+            for k in 0..2 * BLOCK_WIDTH + 1 {
+                b.push(
+                    k % 3,
+                    LaneController::int_iir(&cfg, 64).unwrap(),
+                    Quantization::Floor,
+                );
+            }
+            b.push(1, LaneController::teatime(64, 1.0), Quantization::Floor);
+            b.push(2, LaneController::free(64), Quantization::Floor);
+            b.push_with(
+                1,
+                LaneController::int_iir(&cfg, 64).unwrap(),
+                Quantization::Floor,
+                schedule.clone(),
+                Resilience::hardened(64.0),
+            );
+            b
+        };
+        let mut closures = build();
+        let mut statics = build();
+        let lanes = closures.len();
+        let mus: Vec<f64> = (0..lanes).map(|k| 0.37 * k as f64 - 5.1).collect();
+        let mu_fns: Vec<Box<dyn Fn(i64) -> f64>> = mus
+            .iter()
+            .map(|&m| Box::new(constant(m)) as Box<dyn Fn(i64) -> f64>)
+            .collect();
+        let inputs: Vec<LoopInputs<'_>> = mu_fns
+            .iter()
+            .map(|mu| LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: mu.as_ref(),
+            })
+            .collect();
+        for warmup in [0usize, 150] {
+            closures.reset();
+            statics.reset();
+            let want = closures.run_summaries_after(&inputs, steps, warmup);
+            let got = statics.run_summaries_static(&c, &e, &mus, steps, warmup);
+            assert_eq!(got.len(), lanes);
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.samples, w.samples, "warmup {warmup} lane {k} samples");
+                for (ga, wa, what) in [
+                    (g.mean_period, w.mean_period, "mean_period"),
+                    (
+                        g.worst_negative_error,
+                        w.worst_negative_error,
+                        "worst_negative_error",
+                    ),
+                    (
+                        g.worst_positive_error,
+                        w.worst_positive_error,
+                        "worst_positive_error",
+                    ),
+                    (g.last_lro, w.last_lro, "last_lro"),
+                ] {
+                    assert_eq!(
+                        ga.to_bits(),
+                        wa.to_bits(),
+                        "warmup {warmup} lane {k} {what}: {ga} vs {wa}"
+                    );
+                }
+            }
+        }
+        // Zero steps and the lane-count panic contract.
+        let mut b = build();
+        let s = b.run_summaries_static(&c, &e, &vec![0.0; lanes], 0, 0);
+        assert_eq!(s.len(), lanes);
+        assert!(s.iter().all(|x| x.samples == 0 && x.last_lro.is_nan()));
+    }
+
+    #[test]
+    fn summaries_of_empty_batches_and_zero_steps() {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let zero = constant(0.0);
+        let mut empty = BatchLoop::new();
+        assert!(empty.run_summaries(&[], 100).is_empty());
+        let mut batch = BatchLoop::new();
+        batch.push(
+            1,
+            LaneController::int_iir(&cfg, 64).unwrap(),
+            Quantization::Floor,
+        );
+        let inputs = [LoopInputs {
+            setpoint: &c,
+            homogeneous: &zero,
+            heterogeneous: &zero,
+        }];
+        let s = batch.run_summaries(&inputs, 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].samples, 0);
+        assert_eq!(s[0].mean_period, 0.0);
+        assert_eq!(s[0].required_margin(), 0.0);
+        assert!(s[0].last_lro.is_nan());
+        // Matches the trace-then-summarize reference on zero steps too.
+        let t = batch.run(&inputs, 0).summarize();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].samples, 0);
+        assert!(t[0].last_lro.is_nan());
+    }
+
+    #[test]
+    fn summaries_run_lands_on_its_own_span_and_shares_lane_counters() {
+        let t = Telemetry::enabled();
+        t.enable_tracing();
+        let mut batch = BatchLoop::new().with_telemetry(t.clone());
+        for _ in 0..BLOCK_WIDTH + 1 {
+            batch.push(1, LaneController::free(64), Quantization::None);
+        }
+        let c = constant(64.0);
+        let zero = constant(0.0);
+        let inputs: Vec<LoopInputs<'_>> = (0..BLOCK_WIDTH + 1)
+            .map(|_| LoopInputs {
+                setpoint: &c,
+                homogeneous: &zero,
+                heterogeneous: &zero,
+            })
+            .collect();
+        let _ = batch.run_summaries(&inputs, 40);
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.counter("batch.controller_steps"),
+            Some(((BLOCK_WIDTH + 1) * 40) as u64)
+        );
+        assert!(t
+            .trace_spans()
+            .iter()
+            .any(|s| s.name == "engine.batch.summaries"));
     }
 
     /// Enough same-scheme lanes to fill whole blocks *and* leave a tail:

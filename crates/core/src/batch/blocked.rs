@@ -41,7 +41,7 @@ use crate::loopsim::LoopInputs;
 use crate::resilience::FaultPath;
 use crate::tdc::Quantization;
 
-use super::{BatchLoop, BatchTrace};
+use super::{BatchLoop, BatchTrace, LaneSummary};
 
 /// Lane-block width `W`: how many lanes one SoA block advances per
 /// period. Four f64 columns are two 128-bit register rows at the SSE2
@@ -92,6 +92,13 @@ enum Kernel {
         taps: Vec<[i32; W]>,
         state: Vec<[i64; W]>,
         head: usize,
+        /// All columns share one `(kexp, k*, taps)` exponent set — the
+        /// shape of every Monte Carlo panel and of any batch built from a
+        /// single config. When set, `step` reads each exponent once per
+        /// tap row instead of per column, so the shift direction check
+        /// hoists out of the inner loops and the tap accumulation runs
+        /// branch-free. Same `shift` arithmetic, bit-identical output.
+        uniform: bool,
     },
     FloatIir {
         kstar: [f64; W],
@@ -134,24 +141,66 @@ impl Kernel {
                 taps,
                 state,
                 head,
+                uniform,
             } => {
                 let t_len = state.len();
                 let mut acc = [0i64; W];
-                for j in 0..W {
-                    acc[j] = shift(delta[j].round() as i64, kexp[j]);
-                }
-                for (t, te) in taps.iter().enumerate() {
-                    let row = &state[wrap(*head + t, t_len)];
+                if *uniform {
+                    // One exponent set for the whole block: every shift
+                    // direction is decided once per tap row, not once per
+                    // column, and the inner loops are straight shift+add.
+                    let ke = kexp[0];
                     for j in 0..W {
-                        acc[j] += shift(row[j], te[j]);
+                        acc[j] = (delta[j].round() as i64) << ke;
                     }
-                }
-                *head = wrap(*head + t_len - 1, t_len);
-                let row = &mut state[*head];
-                for j in 0..W {
-                    let w_new = shift(acc[j], kstar[j]);
-                    row[j] = w_new;
-                    next[j] = shift(w_new, -kexp[j]) as f64;
+                    for (t, te) in taps.iter().enumerate() {
+                        let row = &state[wrap(*head + t, t_len)];
+                        let e = te[0];
+                        if e >= 0 {
+                            for j in 0..W {
+                                acc[j] += row[j] << e;
+                            }
+                        } else {
+                            let s = -e;
+                            for j in 0..W {
+                                acc[j] += row[j] >> s;
+                            }
+                        }
+                    }
+                    *head = wrap(*head + t_len - 1, t_len);
+                    let row = &mut state[*head];
+                    let ks = kstar[0];
+                    if ks >= 0 {
+                        for j in 0..W {
+                            let w_new = acc[j] << ks;
+                            row[j] = w_new;
+                            next[j] = (w_new >> ke) as f64;
+                        }
+                    } else {
+                        let s = -ks;
+                        for j in 0..W {
+                            let w_new = acc[j] >> s;
+                            row[j] = w_new;
+                            next[j] = (w_new >> ke) as f64;
+                        }
+                    }
+                } else {
+                    for j in 0..W {
+                        acc[j] = shift(delta[j].round() as i64, kexp[j]);
+                    }
+                    for (t, te) in taps.iter().enumerate() {
+                        let row = &state[wrap(*head + t, t_len)];
+                        for j in 0..W {
+                            acc[j] += shift(row[j], te[j]);
+                        }
+                    }
+                    *head = wrap(*head + t_len - 1, t_len);
+                    let row = &mut state[*head];
+                    for j in 0..W {
+                        let w_new = shift(acc[j], kstar[j]);
+                        row[j] = w_new;
+                        next[j] = shift(w_new, -kexp[j]) as f64;
+                    }
                 }
             }
             Kernel::FloatIir {
@@ -208,6 +257,9 @@ struct Block {
     h_idx: [usize; W],
     mu_idx: [usize; W],
     sp_idx: [usize; W],
+    /// Static per-column heterogeneous offset (the `static_mu` mode);
+    /// zeros — and never read — in closure mode.
+    mu_c: [f64; W],
     /// TDC quantization, uniform across the block (part of the group key).
     quant: Quantization,
     /// `l_RO[n]` of the period being generated, per column.
@@ -234,6 +286,7 @@ impl Block {
         h_idx: &[usize],
         mu_idx: &[usize],
         sp_idx: &[usize],
+        static_mu: Option<&[f64]>,
         hist_rows: usize,
     ) -> Block {
         debug_assert_eq!(members.len(), W);
@@ -243,6 +296,7 @@ impl Block {
         let mut h = [0usize; W];
         let mut mu = [0usize; W];
         let mut sp = [0usize; W];
+        let mut mu_c = [0.0f64; W];
         let mut cur = [0.0f64; W];
         for (j, &k) in members.iter().enumerate() {
             let l = &batch.lanes[k];
@@ -252,6 +306,9 @@ impl Block {
             h[j] = h_idx[k];
             mu[j] = mu_idx[k];
             sp[j] = sp_idx[k];
+            if let Some(ms) = static_mu {
+                mu_c[j] = ms[k];
+            }
             cur[j] = l.controller.length();
         }
         let kernel = match &batch.lanes[members[0]].controller {
@@ -272,12 +329,16 @@ impl Block {
                         state[t][j] = c.state()[t];
                     }
                 }
+                let uniform = kexp.iter().all(|&e| e == kexp[0])
+                    && kstar.iter().all(|&e| e == kstar[0])
+                    && taps.iter().all(|row| row.iter().all(|&e| e == row[0]));
                 Kernel::IntIir {
                     kexp,
                     kstar,
                     taps,
                     state,
                     head: 0,
+                    uniform,
                 }
             }
             Controller::FloatIir(c0) => {
@@ -328,6 +389,7 @@ impl Block {
             h_idx: h,
             mu_idx: mu,
             sp_idx: sp,
+            mu_c,
             quant: batch.lanes[members[0]].quantization,
             cur,
             hist: vec![init; hist_rows],
@@ -428,6 +490,171 @@ fn dedup<'a>(
     (uniq, idx)
 }
 
+/// Where each period's completed staging rows go. The engine body
+/// ([`run_impl`]) is generic over this sink, so the traced and traceless
+/// modes share one gather/kernel/scatter code path — the per-lane
+/// arithmetic, and therefore every recorded or summarized bit, is common
+/// by construction; only the destination of the rows differs.
+trait StepSink {
+    /// Whether the sink reads the `tau` staging row. When `false`
+    /// (the summary sink — `LaneSummary` has no τ statistic), the engine
+    /// body skips the per-lane τ scatter stores entirely; the `tau` slice
+    /// the sink receives then holds stale rows and must not be read.
+    const NEEDS_TAU: bool;
+
+    /// Whether the sink consumes whole lane-indexed staging rows via
+    /// [`row`](StepSink::row). When `false` the engine never writes the
+    /// staging rows at all: blocks hand their `W` columns straight to
+    /// [`block`](StepSink::block) and scalar lanes to
+    /// [`lane`](StepSink::lane), saving one scattered store plus one
+    /// re-load per lane per period. Per-lane fold results are unchanged
+    /// either way — every lane is still visited exactly once per period,
+    /// in period order, and the folds are per-lane accumulators.
+    const PER_ROW: bool;
+
+    /// Consume period `n`'s staging rows (lane-indexed, length `B`).
+    /// Called only when [`PER_ROW`](StepSink::PER_ROW) is `true`.
+    fn row(&mut self, n: usize, steps: usize, tau: &[f64], delta: &[f64], lro: &[f64]);
+
+    /// Consume one block's columns for period `n` (`lane[j]` maps column
+    /// `j` to its batch lane index). Called only when `PER_ROW` is
+    /// `false`.
+    fn block(
+        &mut self,
+        n: usize,
+        steps: usize,
+        lane: &[usize; W],
+        delta: &[f64; W],
+        lro: &[f64; W],
+    ) {
+        let _ = (n, steps, lane, delta, lro);
+    }
+
+    /// Consume one scalar-path lane's period-`n` sample. Called only
+    /// when `PER_ROW` is `false`.
+    fn lane(&mut self, n: usize, steps: usize, k: usize, delta: f64, lro: f64) {
+        let _ = (n, steps, k, delta, lro);
+    }
+}
+
+/// The traced sink: appends rows onto the flat [`BatchTrace`] arrays,
+/// with non-temporal stores when the row geometry allows.
+struct TraceSink {
+    trace: BatchTrace,
+    stream: bool,
+}
+
+impl StepSink for TraceSink {
+    const NEEDS_TAU: bool = true;
+    const PER_ROW: bool = true;
+
+    #[inline]
+    fn row(&mut self, _n: usize, _steps: usize, tau: &[f64], delta: &[f64], lro: &[f64]) {
+        append_row(&mut self.trace.tau, tau, self.stream);
+        append_row(&mut self.trace.delta, delta, self.stream);
+        append_row(&mut self.trace.lro, lro, self.stream);
+    }
+}
+
+/// The traceless sink: folds each row into per-lane margin accumulators
+/// and drops it. The folds run in the exact operation order
+/// [`BatchTrace::summarize`] uses on a materialized trace — per lane,
+/// `max` over `δ` (worst negative error), `max` over `−δ` (worst
+/// positive), a step-ordered sum of `l_RO` — so the resulting summaries
+/// are bit-identical to trace-then-summarize, as the differential suite
+/// pins. Rows before `skip` are stepped but not folded (the warmup
+/// window of [`BatchLoop::run_summaries_after`]), matching
+/// [`BatchTrace::summarize_after`] on a materialized trace.
+struct SummarySink {
+    skip: usize,
+    wne: Vec<f64>,
+    wpe: Vec<f64>,
+    sum: Vec<f64>,
+    last: Vec<f64>,
+}
+
+impl SummarySink {
+    fn new(b: usize, skip: usize) -> SummarySink {
+        SummarySink {
+            skip,
+            wne: vec![0.0; b],
+            wpe: vec![0.0; b],
+            sum: vec![0.0; b],
+            last: vec![f64::NAN; b],
+        }
+    }
+
+    fn finish(self, steps: usize) -> Vec<LaneSummary> {
+        let SummarySink {
+            skip,
+            wne,
+            wpe,
+            sum,
+            last,
+        } = self;
+        let samples = steps - skip;
+        wne.into_iter()
+            .zip(wpe)
+            .zip(sum.into_iter().zip(last))
+            .map(|((wne, wpe), (sum, last))| LaneSummary {
+                samples: samples as u64,
+                mean_period: sum / samples as f64,
+                worst_negative_error: wne,
+                worst_positive_error: wpe,
+                last_lro: last,
+            })
+            .collect()
+    }
+}
+
+impl StepSink for SummarySink {
+    const NEEDS_TAU: bool = false;
+    const PER_ROW: bool = false;
+
+    /// Never called (`PER_ROW` is `false`); the folds run straight off
+    /// the block registers in [`block`](StepSink::block) /
+    /// [`lane`](StepSink::lane) without a staging-row round trip.
+    fn row(&mut self, _n: usize, _steps: usize, _tau: &[f64], _delta: &[f64], _lro: &[f64]) {
+        unreachable!("summary sink consumes blocks directly");
+    }
+
+    #[inline]
+    fn block(
+        &mut self,
+        n: usize,
+        steps: usize,
+        lane: &[usize; W],
+        delta: &[f64; W],
+        lro: &[f64; W],
+    ) {
+        if n >= self.skip {
+            for j in 0..W {
+                let k = lane[j];
+                self.wne[k] = self.wne[k].max(delta[j]);
+                self.wpe[k] = self.wpe[k].max(-delta[j]);
+                self.sum[k] += lro[j];
+            }
+        }
+        if n + 1 == steps {
+            for j in 0..W {
+                self.last[lane[j]] = lro[j];
+            }
+        }
+    }
+
+    #[inline]
+    fn lane(&mut self, n: usize, steps: usize, k: usize, delta: f64, lro: f64) {
+        if n >= self.skip {
+            self.wne[k] = self.wne[k].max(delta);
+            self.wpe[k] = self.wpe[k].max(-delta);
+            self.sum[k] += lro;
+        }
+        if n + 1 == steps {
+            self.last[k] = lro;
+        }
+    }
+}
+
 /// The blocked engine: body of [`BatchLoop::run`] /
 /// [`BatchLoop::run_recycled`]. `spare` donates its buffers.
 pub(super) fn run(
@@ -448,9 +675,148 @@ pub(super) fn run(
         };
     }
 
+    // The trace is appended one row per period from small staging buffers
+    // (see `run_impl`): blocks scatter by lane index into the
+    // cache-resident row, and the row is then memcpy'd onto the flat
+    // arrays. Appending instead of preallocating `vec![0.0; steps·b]`
+    // skips a full zero-init pass over a trace that every lane overwrites
+    // anyway — at long horizons that pass alone streams megabytes through
+    // the cache hierarchy twice. `spare`'s buffers are recycled: cleared
+    // (length 0, capacity kept) and grown only if a previous run was
+    // smaller. Steady-state repeated runs then write into already-faulted
+    // pages instead of paying the page-fault + zero + unmap cycle of a
+    // fresh tens-of-megabytes allocation on every run.
+    let BatchTrace {
+        tau: mut t_tau,
+        delta: mut t_delta,
+        lro: mut t_lro,
+        ..
+    } = spare;
+    t_tau.clear();
+    t_delta.clear();
+    t_lro.clear();
+    #[cfg(debug_assertions)]
+    let donors = [
+        (t_tau.capacity(), t_tau.as_ptr() as usize),
+        (t_delta.capacity(), t_delta.as_ptr() as usize),
+        (t_lro.capacity(), t_lro.as_ptr() as usize),
+    ];
+    t_tau.reserve(steps * b);
+    t_delta.reserve(steps * b);
+    t_lro.reserve(steps * b);
+    // The contract `run_recycled` documents: a donor buffer whose
+    // capacity already covers the run is written in place, never
+    // reallocated (equal-size reruns must not touch the allocator).
+    #[cfg(debug_assertions)]
+    for ((cap, before), after) in donors.into_iter().zip([
+        t_tau.as_ptr() as usize,
+        t_delta.as_ptr() as usize,
+        t_lro.as_ptr() as usize,
+    ]) {
+        debug_assert!(
+            cap < steps * b || before == after,
+            "recycled trace buffer with sufficient capacity ({cap} >= {}) was reallocated",
+            steps * b
+        );
+    }
+    let trace = BatchTrace {
+        lanes: b,
+        steps,
+        tau: t_tau,
+        delta: t_delta,
+        lro: t_lro,
+    };
+    // Streaming eligibility: an even lane count keeps every row start on
+    // a 16-byte boundary once the base is aligned. Nothing reads the
+    // trace back during the run — scalar-path lanes gather `l_RO[n−mm]`
+    // from their own history ring in `run_impl` — so all three arrays
+    // stream.
+    let stream = cfg!(target_arch = "x86_64")
+        && b.is_multiple_of(2)
+        && (trace.tau.as_ptr() as usize).is_multiple_of(16)
+        && (trace.delta.as_ptr() as usize).is_multiple_of(16)
+        && (trace.lro.as_ptr() as usize).is_multiple_of(16);
+    let mut sink = TraceSink { trace, stream };
+    run_impl(batch, inputs, None, steps, &mut sink);
+    // Non-temporal stores are weakly ordered: fence once so the trace is
+    // globally visible before it can cross a thread boundary (the lane
+    // dispatcher hands chunk traces to a recombining thread).
+    #[cfg(target_arch = "x86_64")]
+    #[allow(unsafe_code)]
+    if stream {
+        // SAFETY: `sfence` is available on every x86-64 CPU.
+        unsafe { core::arch::x86_64::_mm_sfence() }
+    }
+    sink.trace
+}
+
+/// The traceless engine: body of [`BatchLoop::run_summaries`] and
+/// [`BatchLoop::run_summaries_static`]. Shares [`run_impl`] with the
+/// traced path; the staging rows are folded into per-lane
+/// [`LaneSummary`] accumulators instead of being appended to a
+/// [`BatchTrace`] — no trace allocation, no trace-store bandwidth.
+///
+/// `static_mu`, when set, carries one step-invariant heterogeneous
+/// offset per lane and the `heterogeneous` closures in `inputs` are
+/// never sampled (see [`run_impl`]).
+pub(super) fn run_summaries(
+    batch: &mut BatchLoop,
+    inputs: &[LoopInputs<'_>],
+    static_mu: Option<&[f64]>,
+    steps: usize,
+    warmup: usize,
+) -> Vec<LaneSummary> {
+    let b = batch.lanes.len();
+    let mut run_scope = batch.telemetry.scope("engine.batch.summaries");
+    run_scope.attr("steps", steps);
+    run_scope.attr("lanes", b);
+    if b == 0 {
+        return Vec::new();
+    }
+    if steps == 0 {
+        return vec![LaneSummary::EMPTY; b];
+    }
+    let mut sink = SummarySink::new(b, warmup);
+    run_impl(batch, inputs, static_mu, steps, &mut sink);
+    sink.finish(steps)
+}
+
+/// The shared engine body: input dedup and ring-buffering, lane
+/// partition, the per-period gather → kernel → scatter loop, controller
+/// state write-back and telemetry — generic over the [`StepSink`]
+/// receiving each period's staging rows.
+///
+/// `static_mu`, when set, holds one **step-invariant** heterogeneous
+/// offset per lane: the μ closures in `inputs` are never sampled, no μ
+/// ring is kept, and the gather adds the per-lane constant directly —
+/// deleting one indirect call and one ring store per lane per period
+/// for workloads (Monte Carlo sample panels) whose per-lane mismatch is
+/// a sampled constant. Because `μ[n − mm] = μ` for every row, adding
+/// the same f64 the equivalent `constant(μ)` closure would have
+/// produced, in the same association order, keeps the run bit-identical
+/// to the closure form.
+fn run_impl<S: StepSink>(
+    batch: &mut BatchLoop,
+    inputs: &[LoopInputs<'_>],
+    static_mu: Option<&[f64]>,
+    steps: usize,
+    sink: &mut S,
+) {
+    let b = batch.lanes.len();
+    debug_assert!(b > 0 && steps > 0, "empty cases are handled by the callers");
+
     // --- Input plumbing: dedup closures, then ring-buffer their rows. ---
     let (h_uniq, h_idx) = dedup(inputs.iter().map(|li| li.homogeneous));
-    let (mu_uniq, mu_idx) = dedup(inputs.iter().map(|li| li.heterogeneous));
+    let (mu_uniq, mu_idx) = match static_mu {
+        // Static μ: no closures to dedup or ring-buffer. The per-lane
+        // index vector still exists (blocks capture it) but indexes into
+        // nothing; the gather reads the block-resident constants instead.
+        Some(mu) => {
+            debug_assert_eq!(mu.len(), b, "one static mu per lane required");
+            (Vec::new(), vec![0usize; b])
+        }
+        None => dedup(inputs.iter().map(|li| li.heterogeneous)),
+    };
     let (sp_uniq, sp_idx) = dedup(inputs.iter().map(|li| li.setpoint));
     let (nh, nmu, nsp) = (h_uniq.len(), mu_uniq.len(), sp_uniq.len());
 
@@ -515,6 +881,7 @@ pub(super) fn run(
                 &h_idx,
                 &mu_idx,
                 &sp_idx,
+                static_mu,
                 ring_rows as usize,
             ));
         }
@@ -529,50 +896,28 @@ pub(super) fn run(
     block_scope.attr("blocks", blocks.len());
     block_scope.attr("scalar_lanes", scalar.len());
 
-    // The trace is appended one row per period from small staging buffers:
-    // blocks scatter by lane index into the cache-resident row, and the
-    // row is then memcpy'd onto the flat arrays. Appending instead of
-    // preallocating `vec![0.0; steps·b]` skips a full zero-init pass over
-    // a trace that every lane overwrites anyway — at long horizons that
-    // pass alone streams megabytes through the cache hierarchy twice.
-    // `spare`'s buffers are recycled: cleared (length 0, capacity kept)
-    // and grown only if a previous run was smaller. Steady-state repeated
-    // runs then write into already-faulted pages instead of paying the
-    // page-fault + zero + unmap cycle of a fresh tens-of-megabytes
-    // allocation on every run.
-    let BatchTrace {
-        tau: mut t_tau,
-        delta: mut t_delta,
-        lro: mut t_lro,
-        ..
-    } = spare;
-    t_tau.clear();
-    t_delta.clear();
-    t_lro.clear();
-    t_tau.reserve(steps * b);
-    t_delta.reserve(steps * b);
-    t_lro.reserve(steps * b);
-    let mut trace = BatchTrace {
-        lanes: b,
-        steps,
-        tau: t_tau,
-        delta: t_delta,
-        lro: t_lro,
-    };
+    // Scalar-path lanes keep their own `l_RO` history ring — one column
+    // per scalar lane, mirroring the block-local rings: row
+    // `n mod ring_rows` holds `l_RO[n]`, every row is prefilled with the
+    // lane's initial length (which is exactly what `l_RO[i]`, `i < 0`,
+    // means), and each period gathers its `n − mm` row before writing row
+    // `n`, so a row is never clobbered while still readable. This is what
+    // frees the engine from reading the trace back during a run: the
+    // summary sink has no trace at all, and the traced sink can stream
+    // all three arrays around the cache.
+    let ns = scalar.len();
+    let mut sring = vec![0.0f64; ring_rows as usize * ns];
+    for (s_pos, &k) in scalar.iter().enumerate() {
+        let init = batch.lanes[k].initial_length;
+        for row in 0..ring_rows as usize {
+            sring[row * ns + s_pos] = init;
+        }
+    }
+    let sslot = move |r: i64| (r & (ring_rows - 1)) as usize * ns;
+
     let mut row_tau = vec![0.0f64; b];
     let mut row_delta = vec![0.0f64; b];
     let mut row_lro = vec![0.0f64; b];
-    // Streaming eligibility: an even lane count keeps every row start on
-    // a 16-byte boundary once the base is aligned. `lro` is the one array
-    // re-read *during* the run — scalar-path lanes gather `l_RO[n−mm]`
-    // from it — so it only streams when no scalar lanes exist; streamed
-    // rows would otherwise bounce those gathers off DRAM every period.
-    let stream_ok = cfg!(target_arch = "x86_64")
-        && b.is_multiple_of(2)
-        && (trace.tau.as_ptr() as usize).is_multiple_of(16)
-        && (trace.delta.as_ptr() as usize).is_multiple_of(16)
-        && (trace.lro.as_ptr() as usize).is_multiple_of(16);
-    let stream_lro = stream_ok && scalar.is_empty();
     let mut cur: Vec<f64> = batch.lanes.iter().map(|l| l.controller.length()).collect();
 
     for n in 0..steps as i64 {
@@ -590,16 +935,26 @@ pub(super) fn run(
         for blk in &mut blocks {
             // Gather: l_RO[n−mm] from the block-local history ring
             // (pre-start rows are prefilled with the initial length).
+            // Split into the shared part and the μ add so the static-μ
+            // mode branches once per block, not per lane — the
+            // association order ((l_RO + e[n−mm]) − e[n−1]) + μ[n−mm] is
+            // the scalar engines', identical in both arms.
             let mut raw = [0.0f64; W];
             let hist_mask = blk.hist.len() - 1;
             for j in 0..W {
                 let i = n - blk.mm[j];
                 let lro_past = blk.hist[(i & hist_mask as i64) as usize][j];
-                // Same association order as the scalar engines:
-                // ((l_RO + e[n−mm]) − e[n−1]) + μ[n−mm].
-                raw[j] = lro_past + e_ring[hslot(i) + blk.h_idx[j]]
-                    - e_ring[base_n1_h + blk.h_idx[j]]
-                    + mu_ring[mslot(i) + blk.mu_idx[j]];
+                raw[j] =
+                    lro_past + e_ring[hslot(i) + blk.h_idx[j]] - e_ring[base_n1_h + blk.h_idx[j]];
+            }
+            if static_mu.is_some() {
+                for (r, m) in raw.iter_mut().zip(&blk.mu_c) {
+                    *r += m;
+                }
+            } else {
+                for j in 0..W {
+                    raw[j] += mu_ring[mslot(n - blk.mm[j]) + blk.mu_idx[j]];
+                }
             }
             let quant = blk.quant;
             let mut tau = [0.0f64; W];
@@ -610,29 +965,37 @@ pub(super) fn run(
             }
             let mut next = [0.0f64; W];
             blk.kernel.step(&delta, &mut next);
-            // Scatter into the staging row, record l_RO[n] in the history
-            // ring, and roll the period forward.
-            blk.hist[(n & hist_mask as i64) as usize] = blk.cur;
-            for j in 0..W {
-                let k = blk.lane[j];
-                row_tau[k] = tau[j];
-                row_delta[k] = delta[j];
-                row_lro[k] = blk.cur[j];
-                blk.cur[j] = next[j];
+            // Record l_RO[n] in the history ring, hand the period's
+            // columns to the sink, and roll the period forward. Row sinks
+            // get a lane-indexed staging scatter; direct sinks fold off
+            // the block registers with no staging round trip.
+            let lro = blk.cur;
+            blk.hist[(n & hist_mask as i64) as usize] = lro;
+            blk.cur = next;
+            if S::PER_ROW {
+                for j in 0..W {
+                    let k = blk.lane[j];
+                    if S::NEEDS_TAU {
+                        row_tau[k] = tau[j];
+                    }
+                    row_delta[k] = delta[j];
+                    row_lro[k] = lro[j];
+                }
+            } else {
+                sink.block(n as usize, steps, &blk.lane, &delta, &lro);
             }
         }
 
-        for &k in &scalar {
+        for (s_pos, &k) in scalar.iter().enumerate() {
             let lane = &mut batch.lanes[k];
             let i = n - mm[k];
-            let lro_past = if i < 0 {
-                lane.initial_length
-            } else {
-                trace.lro[i as usize * b + k]
-            };
+            let lro_past = sring[sslot(i) + s_pos];
             let e_nmm = e_ring[hslot(i) + h_idx[k]];
             let e_n1 = e_ring[base_n1_h + h_idx[k]];
-            let mu_nmm = mu_ring[mslot(i) + mu_idx[k]];
+            let mu_nmm = match static_mu {
+                Some(ms) => ms[k],
+                None => mu_ring[mslot(i) + mu_idx[k]],
+            };
             let sp = sp_vals[sp_idx[k]];
             let (tau, delta, next) = if let Some(fp) = paths[k].as_mut() {
                 let raw = fp.raw(n, i, lro_past, e_nmm, e_n1, mu_nmm);
@@ -646,24 +1009,22 @@ pub(super) fn run(
                 let next = lane.controller.step(delta);
                 (tau, delta, next)
             };
-            row_tau[k] = tau;
-            row_delta[k] = delta;
-            row_lro[k] = cur[k];
+            if S::PER_ROW {
+                if S::NEEDS_TAU {
+                    row_tau[k] = tau;
+                }
+                row_delta[k] = delta;
+                row_lro[k] = cur[k];
+            } else {
+                sink.lane(n as usize, steps, k, delta, cur[k]);
+            }
+            sring[sslot(n) + s_pos] = cur[k];
             cur[k] = next;
         }
 
-        append_row(&mut trace.tau, &row_tau, stream_ok);
-        append_row(&mut trace.delta, &row_delta, stream_ok);
-        append_row(&mut trace.lro, &row_lro, stream_lro);
-    }
-    // Non-temporal stores are weakly ordered: fence once so the trace is
-    // globally visible before it can cross a thread boundary (the lane
-    // dispatcher hands chunk traces to a recombining thread).
-    #[cfg(target_arch = "x86_64")]
-    #[allow(unsafe_code)]
-    if stream_ok {
-        // SAFETY: `sfence` is available on every x86-64 CPU.
-        unsafe { core::arch::x86_64::_mm_sfence() }
+        if S::PER_ROW {
+            sink.row(n as usize, steps, &row_tau, &row_delta, &row_lro);
+        }
     }
 
     // Write the block kernels' final state back into the lane controllers.
@@ -697,5 +1058,4 @@ pub(super) fn run(
     if relocks > 0 {
         batch.telemetry.counter("controller.relocks").add(relocks);
     }
-    trace
 }

@@ -10,7 +10,7 @@
 //! the generator stays in lock-step between the batch under test and the
 //! scalar twins.
 
-use adaptive_clock::batch::{BatchLoop, BatchTrace, LaneController, BLOCK_WIDTH};
+use adaptive_clock::batch::{BatchLoop, BatchTrace, LaneController, LaneSummary, BLOCK_WIDTH};
 use adaptive_clock::controller::IirConfig;
 use adaptive_clock::loopsim::{constant, step_at, DiscreteLoop, LoopInputs, LoopTrace};
 use adaptive_clock::resilience::Resilience;
@@ -167,6 +167,75 @@ fn assert_lane_bits(got: &LoopTrace, want: &LoopTrace, lane: usize) {
     }
 }
 
+/// Run the same derived batch through the traceless summary path,
+/// folding only periods `warmup..STEPS`.
+fn run_all_summaries(lanes: usize, seed: u64, warmup: usize) -> Vec<LaneSummary> {
+    let specs: Vec<LaneSpec> = (0..lanes).map(|k| LaneSpec::derive(seed, k)).collect();
+    let sp = constant(SETPOINT as f64);
+    let e = |n: i64| 7.3 * (std::f64::consts::TAU * n as f64 / 41.0).sin();
+    let zero = constant(0.0);
+    let mus: Vec<Option<MuFn>> = specs
+        .iter()
+        .map(|spec| spec.mu_step.map(|amp| Box::new(step_at(25, amp)) as MuFn))
+        .collect();
+    let inputs: Vec<LoopInputs<'_>> = mus
+        .iter()
+        .map(|mu| LoopInputs {
+            setpoint: &sp,
+            homogeneous: &e,
+            heterogeneous: mu.as_deref().unwrap_or(&zero),
+        })
+        .collect();
+    let mut batch = BatchLoop::new();
+    for spec in &specs {
+        batch.push_with(
+            spec.m,
+            spec.controller(),
+            spec.quant,
+            spec.faults.clone(),
+            spec.resilience,
+        );
+    }
+    batch.run_summaries_after(&inputs, STEPS, warmup)
+}
+
+/// Assert that a traceless lane summary carries the same bits as the
+/// `metrics::margin` arithmetic computed from the lane's full trace: the
+/// required margin is the `fold(0.0, max)` of `c − τ` (which the trace
+/// records as `δ`), the worst positive error the fold of `−δ`, and the
+/// mean period the step-ordered sum of `l_RO` divided by the step count.
+fn assert_summary_matches_trace(got: &LaneSummary, trace: &BatchTrace, lane: usize) {
+    let view = trace.lane(lane);
+    let margin = view.delta.iter().fold(0.0, |acc: f64, &d| acc.max(d));
+    let wpe = view.delta.iter().fold(0.0, |acc: f64, &d| acc.max(-d));
+    let mean = view.lro.iter().sum::<f64>() / STEPS as f64;
+    assert_eq!(got.samples, STEPS as u64, "lane {lane} samples");
+    assert_eq!(
+        got.required_margin().to_bits(),
+        margin.to_bits(),
+        "lane {lane} required margin: {} vs {}",
+        got.required_margin(),
+        margin
+    );
+    assert_eq!(
+        got.worst_positive_error.to_bits(),
+        wpe.to_bits(),
+        "lane {lane} worst positive error"
+    );
+    assert_eq!(
+        got.mean_period.to_bits(),
+        mean.to_bits(),
+        "lane {lane} mean period: {} vs {}",
+        got.mean_period,
+        mean
+    );
+    assert_eq!(
+        got.last_lro.to_bits(),
+        view.lro[STEPS - 1].to_bits(),
+        "lane {lane} last l_RO"
+    );
+}
+
 proptest! {
     /// Arbitrary lane counts and seeds: the blocked engine's every lane is
     /// bit-identical to its scalar `DiscreteLoop` twin and the whole trace
@@ -181,6 +250,38 @@ proptest! {
         for (lane, twin) in twins.iter().enumerate() {
             assert_lane_bits(&got.lane(lane), twin, lane);
         }
+    }
+
+    /// Traceless summaries: for arbitrary lane counts, schemes, and fault
+    /// schedules, `run_summaries` is bit-identical both to the engine's
+    /// own trace-then-summarize fold (`BatchTrace::summarize`) and to the
+    /// `metrics::margin` arithmetic recomputed from the full trace.
+    #[test]
+    fn traceless_summaries_bit_identical_to_margin_from_trace(
+        lanes in 1usize..21,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (trace, _, _) = run_all(lanes, seed);
+        let got = run_all_summaries(lanes, seed, 0);
+        prop_assert_eq!(&got, &trace.summarize(), "run_summaries vs BatchTrace::summarize");
+        for (lane, summary) in got.iter().enumerate() {
+            assert_summary_matches_trace(summary, &trace, lane);
+        }
+    }
+
+    /// The warmup window: folding only periods `warmup..STEPS` on the
+    /// traceless path is bit-identical to `summarize_after` on the full
+    /// trace, for arbitrary warmup lengths.
+    #[test]
+    fn warmup_skipping_summaries_match_trace_fold(
+        lanes in 1usize..13,
+        warmup in 0usize..STEPS,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (trace, _, _) = run_all(lanes, seed);
+        let got = run_all_summaries(lanes, seed, warmup);
+        prop_assert_eq!(&got, &trace.summarize_after(warmup),
+            "run_summaries_after vs BatchTrace::summarize_after (warmup {})", warmup);
     }
 
     /// Lane counts straddling multiples of the block width, with uniform
@@ -210,4 +311,14 @@ fn kitchen_sink_case_is_bit_exact() {
     for (lane, twin) in twins.iter().enumerate() {
         assert_lane_bits(&got.lane(lane), twin, lane);
     }
+    // The same kitchen sink through the traceless path: every summary
+    // bit-identical to the margin arithmetic over the full trace.
+    let summaries = run_all_summaries(41, 0xDEAD_BEEF_CAFE_F00D, 0);
+    assert_eq!(summaries, got.summarize());
+    for (lane, summary) in summaries.iter().enumerate() {
+        assert_summary_matches_trace(summary, &got, lane);
+    }
+    // And once more with a warmup window.
+    let warm = run_all_summaries(41, 0xDEAD_BEEF_CAFE_F00D, 100);
+    assert_eq!(warm, got.summarize_after(100));
 }

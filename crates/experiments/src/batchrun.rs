@@ -21,7 +21,7 @@
 
 use std::ops::Range;
 
-use adaptive_clock::batch::BatchTrace;
+use adaptive_clock::batch::{BatchTrace, LaneSummary};
 use clock_telemetry::Telemetry;
 
 use crate::sweep::{parallel_map_planned, Plan};
@@ -70,6 +70,60 @@ where
     };
     let _scope = telemetry.scope("batch.recombine");
     BatchTrace::concat(&parts)
+}
+
+/// The traceless twin of [`run_lane_chunks`]: split `lanes` lanes into
+/// `chunk`-sized ranges, run every range through `run_chunk` on the sweep
+/// worker pool, and concatenate the per-chunk
+/// [`LaneSummary`] vectors in lane order.
+///
+/// `run_chunk(r)` must return exactly `r.len()` summaries — the usual
+/// shape is "build a `BatchLoop` and its inputs for lanes `r`, call
+/// [`run_summaries`](adaptive_clock::batch::BatchLoop::run_summaries)".
+/// Because lanes never interact, the result is bit-identical to a single
+/// `lanes`-wide `run_summaries` for any chunk size and worker count —
+/// this is the dispatch layer Monte Carlo panels ride on, where the
+/// whole point is that no chunk ever materializes a trace.
+///
+/// # Panics
+///
+/// Panics when `chunk == 0` or a chunk returns the wrong number of
+/// summaries.
+pub fn run_summary_chunks<F>(
+    lanes: usize,
+    chunk: usize,
+    telemetry: &Telemetry,
+    run_chunk: F,
+) -> Vec<LaneSummary>
+where
+    F: Fn(Range<usize>) -> Vec<LaneSummary> + Sync,
+{
+    assert!(chunk > 0, "chunk width must be positive");
+    let ranges: Vec<Range<usize>> = (0..lanes)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(lanes))
+        .collect();
+    let parts = {
+        let mut scope = telemetry.scope("batch.dispatch");
+        scope.attr("lanes", lanes);
+        scope.attr("chunks", ranges.len());
+        parallel_map_planned(
+            &ranges,
+            |r| Plan::Compute(r.len() as u64),
+            |r| {
+                let part = run_chunk(r.clone());
+                assert_eq!(
+                    part.len(),
+                    r.len(),
+                    "chunk {r:?} returned a wrong lane count"
+                );
+                part
+            },
+            telemetry,
+        )
+    };
+    let _scope = telemetry.scope("batch.recombine");
+    parts.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -145,6 +199,62 @@ mod tests {
         let spans = telemetry.trace_spans();
         assert!(spans.iter().any(|s| s.name == "batch.dispatch"));
         assert!(spans.iter().any(|s| s.name == "batch.recombine"));
+    }
+
+    /// The summary twin of [`run_range`]: same workload, traceless path.
+    fn run_range_summaries(r: Range<usize>, steps: usize) -> Vec<LaneSummary> {
+        let cfg = IirConfig::paper();
+        let c = constant(64.0);
+        let e = |n: i64| 6.0 * (std::f64::consts::TAU * n as f64 / 80.0).sin();
+        let mut batch = BatchLoop::new();
+        let mus: Vec<Box<dyn Fn(i64) -> f64>> = r
+            .clone()
+            .map(|k| Box::new(step_at(12, k as f64 - 5.0)) as Box<dyn Fn(i64) -> f64>)
+            .collect();
+        for k in r {
+            match k % 3 {
+                0 => batch.push(
+                    k % 2,
+                    LaneController::int_iir(&cfg, 64).unwrap(),
+                    Quantization::Floor,
+                ),
+                1 => batch.push(
+                    1,
+                    LaneController::float_iir(&cfg, 64.0).unwrap(),
+                    Quantization::None,
+                ),
+                _ => batch.push(0, LaneController::teatime(64, 1.0), Quantization::Floor),
+            };
+        }
+        let inputs: Vec<LoopInputs<'_>> = mus
+            .iter()
+            .map(|mu| LoopInputs {
+                setpoint: &c,
+                homogeneous: &e,
+                heterogeneous: mu.as_ref(),
+            })
+            .collect();
+        batch.run_summaries(&inputs, steps)
+    }
+
+    #[test]
+    fn summary_dispatch_is_bit_identical_for_any_chunking_and_worker_count() {
+        let (lanes, steps) = (23usize, 250usize);
+        let whole = run_range_summaries(0..lanes, steps);
+        assert_eq!(whole, run_range(0..lanes, steps).summarize());
+        let telemetry = Telemetry::disabled();
+        for chunk in [1, 4, 7, 23, 64] {
+            for workers in [None, Some(1), Some(3)] {
+                set_threads(workers);
+                let got =
+                    run_summary_chunks(lanes, chunk, &telemetry, |r| run_range_summaries(r, steps));
+                set_threads(None);
+                assert_eq!(
+                    got, whole,
+                    "chunk={chunk} workers={workers:?} diverged from the single run"
+                );
+            }
+        }
     }
 
     #[test]

@@ -23,7 +23,13 @@
 //! 6. **lane-count scaling** — the mixed-scheme lane bank at
 //!    B ∈ {4, 16, 64, 256}: sequential `DiscreteLoop` runs vs the scalar
 //!    SoA loop (`run_scalar`) vs the blocked lane-block engine (`run`),
-//!    plus the multi-threaded lane-chunk dispatcher at 64+ lanes.
+//!    plus the multi-threaded lane-chunk dispatcher at 64+ lanes;
+//! 7. **traceless summaries & Monte Carlo** — the summary-only block
+//!    path ([`BatchLoop::run_summaries`]) against the traced blocked
+//!    engine on the same bank, and the traceless
+//!    [`McPanel`] against the per-instance
+//!    pre-batch harness (one `System` event-loop run per sampled
+//!    instance, the `runner::run_scheme` shape).
 //!
 //! `repro bench --json BENCH.json` writes the whole report as JSON, so CI
 //! and the committed `BENCH_*.json` trajectory files can track the numbers
@@ -36,19 +42,23 @@ use serde::{Deserialize, Serialize};
 use adaptive_clock::batch::{BatchLoop, BatchTrace, LaneController};
 use adaptive_clock::controller::IirConfig;
 use adaptive_clock::loopsim::{constant, DiscreteLoop, LoopInputs};
+use adaptive_clock::system::{Scheme as SystemScheme, SystemBuilder};
 use adaptive_clock::tdc::Quantization;
 use clock_telemetry::Telemetry;
 use dtsim::blocks::{
     Constant, DelayN, Gain, Probe, Quantizer, Rounding, Sine, Sum, TappedDelayLine, UnitDelay,
 };
 use dtsim::{GraphBuilder, Simulation};
+use variation::process::ProcessSpec;
+use variation::sources::Harmonic;
 
 use crate::batchrun::run_lane_chunks;
 use crate::cache::SweepCache;
 use crate::config::PaperParams;
 use crate::fig9;
+use crate::montecarlo::{McPanel, Scheme as McScheme};
 use crate::render::Table;
-use crate::runner::RunCtx;
+use crate::runner::{RunCtx, RunSummary};
 use crate::sweep::{parallel_map, parallel_map_planned, Plan};
 
 /// One timed benchmark case.
@@ -728,6 +738,144 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
         }
     }
 
+    // 7. Summary path & Monte Carlo: the traceless summary engine
+    // against the traced blocked path on the same mixed bank, and the
+    // traceless Monte Carlo panel against the per-instance pre-batch
+    // harness (one full `System` event-loop run per sampled instance —
+    // how `runner::run_scheme` runs every per-point experiment, and how
+    // a panel had to be run before the batch engine existed).
+    // Quick keeps the horizon long enough that the traced side's trace
+    // still streams past cache; a short trace would sit cache-resident
+    // and compress the measured ratio away from the full-run baseline.
+    let sum_steps: usize = if quick { 6_000 } else { 12_000 };
+    let sum_lanes = 256usize;
+    let sum_inputs: Vec<LoopInputs<'_>> = (0..sum_lanes)
+        .map(|_| LoopInputs {
+            setpoint: &cs,
+            homogeneous: &e_fn,
+            heterogeneous: &zero,
+        })
+        .collect();
+    let mut traced = BatchLoop::new();
+    for (m, ctrl, q) in scaling_specs(c, 0..sum_lanes) {
+        traced.push(m, ctrl, q);
+    }
+    // Steady-state trace recycling, as in section 2: the traced side is
+    // charged for stepping + summarizing, not for first-touch faults on
+    // a fresh trace allocation.
+    let mut traced_spare = BatchTrace::default();
+    let traced_ms = best_ms(REPS, || {
+        traced.reset();
+        let mut out = BatchTrace::default();
+        let ms = time_ms(|| {
+            out = traced.run_recycled(&sum_inputs, sum_steps, std::mem::take(&mut traced_spare));
+            std::hint::black_box(out.summarize());
+        });
+        traced_spare = out;
+        ms
+    });
+    let mut traceless = BatchLoop::new();
+    for (m, ctrl, q) in scaling_specs(c, 0..sum_lanes) {
+        traceless.push(m, ctrl, q);
+    }
+    let traceless_ms = best_ms(REPS, || {
+        traceless.reset();
+        time_ms(|| {
+            std::hint::black_box(traceless.run_summaries(&sum_inputs, sum_steps));
+        })
+    });
+    let sum_lane_steps = (sum_lanes * sum_steps) as u64;
+    entries.push(entry(
+        "summaries-traced",
+        &format!(
+            "{sum_lanes} mixed-scheme lanes x {sum_steps} periods through the \
+             blocked engine, trace recycled between reps, then summarized"
+        ),
+        sum_lane_steps,
+        traced_ms,
+    ));
+    let mut e = entry(
+        "summaries-traceless",
+        "same bank through run_summaries: blocks fold straight into 6-word \
+         lane summaries, no trace ever materialized",
+        sum_lane_steps,
+        traceless_ms,
+    );
+    e.baseline = Some("summaries-traced".to_owned());
+    e.speedup = Some(traced_ms / traceless_ms.max(1e-12));
+    entries.push(e);
+
+    // The Monte Carlo panel: the classic open-loop statistical-timing
+    // shape — sampled process instances, margins folded over the
+    // post-lock-in window. The adaptive-scheme panels (IIR, TEAtime) run
+    // the same path; the free-running panel is the headline because the
+    // controller arithmetic there is negligible on *both* sides, so the
+    // ratio isolates the engine, not the filter.
+    // Quick mode trims instances, not steps: per-run setup (system
+    // build, event-loop allocations, block packing) amortizes over the
+    // horizon, so shortening runs would shift the measured ratio away
+    // from the committed full-panel baseline instead of just its noise.
+    let (mc_instances, mc_steps, mc_warmup) = if quick {
+        (256, 2_000, 500)
+    } else {
+        (1024, 2_000, 500)
+    };
+    let panel = McPanel {
+        spec: ProcessSpec::paper(),
+        seed: 0x0BE5_0BE5,
+        instances: mc_instances,
+        steps: mc_steps,
+        warmup: mc_warmup,
+        chunk: 128,
+        sensors: 4,
+        setpoint: c,
+        m: 1,
+        amplitude: params.amplitude(),
+        te_periods: 200.0,
+    };
+    let mc_offsets = panel.sensed_offsets();
+    let wave = Harmonic::new(panel.amplitude, panel.te_periods * c as f64, 0.0);
+    let mc_naive_ms = best_ms(REPS, || {
+        time_ms(|| {
+            for &o in &mc_offsets {
+                let system = SystemBuilder::new(c)
+                    .cdn_delay(c as f64)
+                    .scheme(SystemScheme::FreeRo { extra_length: 0 })
+                    .single_sensor_mu(o)
+                    .build()
+                    .expect("bench system configuration is valid");
+                let run = system.run(&wave, panel.steps).skip(panel.warmup);
+                std::hint::black_box(RunSummary::of(&run));
+            }
+        })
+    });
+    let mc_traceless_ms = best_ms(REPS, || {
+        time_ms(|| {
+            std::hint::black_box(panel.summaries(McScheme::Free, &off));
+        })
+    });
+    let mc_lane_steps = (panel.instances * panel.steps) as u64;
+    entries.push(entry(
+        "mc-panel-naive",
+        &format!(
+            "{mc_instances}-instance Monte Carlo margin panel x {mc_steps} periods, \
+             one scalar System event-loop run per instance (the pre-batch \
+             per-point harness), trace materialized then summarized"
+        ),
+        mc_lane_steps,
+        mc_naive_ms,
+    ));
+    let mut e = entry(
+        "mc-panel-traceless",
+        "same panel through McPanel::summaries: instances batched into \
+         128-lane chunks on the traceless static-mu block path",
+        mc_lane_steps,
+        mc_traceless_ms,
+    );
+    e.baseline = Some("mc-panel-naive".to_owned());
+    e.speedup = Some(mc_naive_ms / mc_traceless_ms.max(1e-12));
+    entries.push(e);
+
     BenchReport {
         quick,
         setpoint: params.setpoint,
@@ -961,6 +1109,10 @@ mod tests {
             "lanes-256-soa",
             "lanes-256-blocked",
             "lanes-256-dispatch",
+            "summaries-traced",
+            "summaries-traceless",
+            "mc-panel-naive",
+            "mc-panel-traceless",
         ] {
             let e = report.entry(name).unwrap_or_else(|| panic!("entry {name}"));
             assert!(e.steps > 0, "{name}: no steps");
@@ -969,6 +1121,14 @@ mod tests {
         assert!(report.entry("dtsim-compiled").unwrap().speedup.is_some());
         assert!(report.entry("fig9-warm-cache").unwrap().speedup.is_some());
         assert!(report.entry("sweep-ljf").unwrap().speedup.is_some());
+        for (fast, base) in [
+            ("summaries-traceless", "summaries-traced"),
+            ("mc-panel-traceless", "mc-panel-naive"),
+        ] {
+            let e = report.entry(fast).unwrap();
+            assert_eq!(e.baseline.as_deref(), Some(base), "{fast} baseline");
+            assert!(e.speedup.is_some(), "{fast} must be gated");
+        }
         for lanes in ["004", "016", "064", "256"] {
             let blocked = report.entry(&format!("lanes-{lanes}-blocked")).unwrap();
             assert_eq!(

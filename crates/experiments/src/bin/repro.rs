@@ -45,6 +45,8 @@ fn usage() -> &'static str {
                       widens/narrows the regression threshold)\n\
      extensions:      ext-sensitivity, ext-throughput, ext-noise, ext-stability, ext-lock, ext-coupling\n\
      chaos:           ext-faults (fault class × rate × scheme; standalone — not part of the bundles)\n\
+     monte carlo:     ext-yield (seeded process panels -> margin quantiles + timing yield vs deployed\n\
+                      margin, per scheme; standalone — not part of the bundles)\n\
      bundles:         all (paper artifacts), extensions, everything\n\
      discovery:       --list prints every id with a description and step budget\n\
      caching:         --cache <dir> reuses grid-point results across runs (env: REPRO_CACHE;\n\

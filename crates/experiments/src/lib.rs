@@ -26,6 +26,7 @@
 //! | [`ext_lock`] | cold-start lock time vs the modal-analysis prediction |
 //! | [`ext_coupling`] | additive (paper) vs multiplicative variation coupling |
 //! | [`ext_faults`] | chaos sweep: fault class × rate × scheme violation/MTTR table |
+//! | [`ext_yield`] | Monte Carlo timing-yield vs safety-margin surfaces per scheme |
 //!
 //! The `repro` binary dispatches on experiment id:
 //! `cargo run -p experiments --bin repro -- fig8`.
@@ -49,10 +50,12 @@ pub mod ext_noise;
 pub mod ext_sensitivity;
 pub mod ext_stability;
 pub mod ext_throughput;
+pub mod ext_yield;
 pub mod fig2;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod montecarlo;
 pub mod registry;
 pub mod render;
 pub mod results;

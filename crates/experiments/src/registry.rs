@@ -11,7 +11,7 @@
 use crate::runner::RunCtx;
 use crate::{
     bench, constraints, ext_coupling, ext_faults, ext_lock, ext_noise, ext_sensitivity,
-    ext_stability, ext_throughput, fig2, fig7, fig8, fig9, table1, worked,
+    ext_stability, ext_throughput, ext_yield, fig2, fig7, fig8, fig9, table1, worked,
 };
 
 /// Everything one dispatch threads through to an experiment: the shared
@@ -184,6 +184,12 @@ pub static REGISTRY: &[ExperimentDef] = &[
         description: "chaos sweep: fault class × rate × scheme violation/MTTR table",
         steps: "~670k steps",
         runner: Runner::Leaf(run_ext_faults),
+    },
+    ExperimentDef {
+        id: "ext-yield",
+        description: "Monte Carlo timing yield vs safety margin on the traceless batch path",
+        steps: "~1M steps",
+        runner: Runner::Leaf(run_ext_yield),
     },
     ExperimentDef {
         id: "all",
@@ -393,6 +399,11 @@ fn run_ext_faults(inv: &Invocation<'_>) -> bool {
     true
 }
 
+fn run_ext_yield(inv: &Invocation<'_>) -> bool {
+    println!("{}", ext_yield::render(&ext_yield::run(inv.ctx, inv.quick)));
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,9 +433,11 @@ mod tests {
     }
 
     /// `everything` must transitively reach every leaf except `bench`
-    /// (which is a benchmark, not a paper artifact or extension) and
+    /// (which is a benchmark, not a paper artifact or extension),
     /// `ext-faults` (the chaos sweep is opt-in so the `everything`
-    /// golden fixture stays fault-free and byte-stable).
+    /// golden fixture stays fault-free and byte-stable) and `ext-yield`
+    /// (the Monte Carlo panel is opt-in for the same reason — the MC
+    /// path stays inert unless explicitly invoked).
     #[test]
     fn everything_covers_every_leaf_but_bench() {
         fn expand(id: &str, into: &mut BTreeSet<&'static str>) {
@@ -444,7 +457,10 @@ mod tests {
         let leaves: BTreeSet<&str> = REGISTRY
             .iter()
             .filter(|d| {
-                matches!(d.runner, Runner::Leaf(_)) && d.id != "bench" && d.id != "ext-faults"
+                matches!(d.runner, Runner::Leaf(_))
+                    && d.id != "bench"
+                    && d.id != "ext-faults"
+                    && d.id != "ext-yield"
             })
             .map(|d| d.id)
             .collect();

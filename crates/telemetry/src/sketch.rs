@@ -92,6 +92,46 @@ impl QuantileSketch {
         self.stride = self.stride.saturating_mul(2);
     }
 
+    /// Merge another sketch into this one — the deterministic
+    /// recombination step for sketches built on parallel chunks of one
+    /// logical stream.
+    ///
+    /// The retained samples become the **sorted multiset union** of both
+    /// sides' buffers, counts and dropped totals add, `min`/`max` stay
+    /// exact, and the recording stride becomes the larger of the two.
+    /// No compaction happens during the merge itself: multiset union is
+    /// commutative and associative, so merging any number of sketches in
+    /// *any order* yields identical retained samples — and therefore
+    /// identical quantiles — which is what makes parallel chunk
+    /// recombination reproducible run-to-run regardless of worker
+    /// scheduling. (Compacting inside `merge` would break this: the
+    /// halving would depend on how the merge tree groups.)
+    ///
+    /// The retained buffer may temporarily exceed the capacity bound
+    /// after a merge — by at most the sum of the parts, e.g. merging `K`
+    /// full sketches retains up to `K·cap` samples until the next
+    /// [`record`](Self::record) triggers an ordinary compaction. Chunks
+    /// of similar size carry similar strides, so their union weights the
+    /// pooled distribution evenly; merging sketches whose strides differ
+    /// wildly over-weights the finer-grained side's retained samples
+    /// (min/max/count stay exact either way).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        self.count += other.count;
+        self.dropped += other.dropped;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+        self.stride = self.stride.max(other.stride);
+        self.cap = self.cap.max(other.cap);
+        self.keep.extend_from_slice(&other.keep);
+        self.keep.sort_by(f64::total_cmp);
+    }
+
     /// Finite samples observed.
     pub fn count(&self) -> u64 {
         self.count
@@ -198,6 +238,106 @@ mod tests {
             (s.quantile(0.5), s.quantile(0.9), s.quantile(0.99), s.max())
         };
         assert_eq!(run(), run());
+    }
+
+    /// Build one chunk sketch from a seeded splitmix64 stream, as a
+    /// parallel worker over chunk `c` of a fixed logical stream would.
+    fn chunk_sketch(seed: u64, c: u64, len: u64, cap: usize) -> QuantileSketch {
+        let mut s = QuantileSketch::with_capacity(cap);
+        let mut state = seed ^ c.wrapping_mul(0xA076_1D64_78BD_642F);
+        for _ in 0..len {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            s.record(((z ^ (z >> 31)) % 100_000) as f64 / 100.0);
+        }
+        s
+    }
+
+    fn fingerprint(s: &QuantileSketch) -> (u64, u64, [u64; 5]) {
+        let qs = [0.0, 0.5, 0.9, 0.99, 1.0].map(|q| s.quantile(q).unwrap().to_bits());
+        (s.count(), s.dropped(), qs)
+    }
+
+    #[test]
+    fn merge_is_invariant_under_merge_order() {
+        const CHUNKS: u64 = 8;
+        let parts: Vec<QuantileSketch> = (0..CHUNKS)
+            .map(|c| chunk_sketch(0x000C_1A05, c, 3_000, 64))
+            .collect();
+
+        // Sequential, reversed, and pairwise-tree merge orders.
+        let mut seq = parts[0].clone();
+        for p in &parts[1..] {
+            seq.merge(p);
+        }
+        let mut rev = parts[CHUNKS as usize - 1].clone();
+        for p in parts[..CHUNKS as usize - 1].iter().rev() {
+            rev.merge(p);
+        }
+        let mut level: Vec<QuantileSketch> = parts.clone();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    let mut left = pair[0].clone();
+                    if let Some(right) = pair.get(1) {
+                        left.merge(right);
+                    }
+                    left
+                })
+                .collect();
+        }
+        let tree = level.pop().unwrap();
+
+        assert_eq!(seq.count(), CHUNKS * 3_000);
+        assert_eq!(
+            fingerprint(&seq),
+            fingerprint(&rev),
+            "sequential vs reversed"
+        );
+        assert_eq!(fingerprint(&seq), fingerprint(&tree), "sequential vs tree");
+    }
+
+    #[test]
+    fn merged_chunks_answer_like_one_sketch_while_exact() {
+        // Below capacity nothing compacts, so chunked-then-merged must
+        // equal one sketch over the concatenated stream *exactly*.
+        let mut whole = QuantileSketch::with_capacity(4096);
+        let mut merged = QuantileSketch::with_capacity(4096);
+        for c in 0..4u64 {
+            let part = chunk_sketch(42, c, 200, 4096);
+            merged.merge(&part);
+            let mut state = 42u64 ^ c.wrapping_mul(0xA076_1D64_78BD_642F);
+            for _ in 0..200 {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                whole.record(((z ^ (z >> 31)) % 100_000) as f64 / 100.0);
+            }
+        }
+        assert_eq!(fingerprint(&merged), fingerprint(&whole));
+    }
+
+    #[test]
+    fn merge_carries_extremes_counts_and_drops() {
+        let mut a = QuantileSketch::with_capacity(32);
+        a.record(5.0);
+        a.record(f64::NAN);
+        let mut b = QuantileSketch::with_capacity(32);
+        b.record(-3.0);
+        b.record(11.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.dropped(), 1);
+        assert_eq!(a.min(), Some(-3.0));
+        assert_eq!(a.max(), Some(11.0));
+        // Merging an empty sketch changes nothing.
+        let before = fingerprint(&a);
+        a.merge(&QuantileSketch::new());
+        assert_eq!(fingerprint(&a), before);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   path under a homogeneous dynamic variation, in closed form and
 //!   empirically;
 //! * [`spatial`] — per-sensor heterogeneous variation fields (gradients,
-//!   hotspots, seeded within-die randomness).
+//!   hotspots, seeded within-die randomness);
+//! * [`process`] — per-instance Gaussian process distributions
+//!   (die-to-die, spatially-correlated, local) sampled by a pure seeded
+//!   function for Monte Carlo statistical timing.
 //!
 //! All delays and amplitudes follow the paper's convention of being
 //! expressed in *number of stages* (one unit = one nominal gate delay).
@@ -39,6 +42,7 @@
 
 pub mod analysis;
 pub mod combinators;
+pub mod process;
 pub mod recorded;
 pub mod sources;
 pub mod spatial;
