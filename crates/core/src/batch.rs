@@ -31,8 +31,9 @@
 use clock_faults::FaultSchedule;
 use clock_telemetry::Telemetry;
 
+use crate::bank::DomainBank;
 use crate::loopsim::{LoopInputs, LoopTrace};
-use crate::resilience::{FaultPath, Resilience};
+use crate::resilience::Resilience;
 use crate::tdc::Quantization;
 
 mod blocked;
@@ -44,18 +45,6 @@ pub use blocked::BLOCK_WIDTH;
 /// from when the batched engine carried its own copy of the arithmetic;
 /// batch-facing code and the sweep layers keep reading naturally.
 pub use crate::controller::Controller as LaneController;
-
-/// One lane of a [`BatchLoop`]: the per-operating-point configuration of
-/// the Fig. 4 recurrence.
-#[derive(Debug, Clone)]
-struct Lane {
-    m: usize,
-    quantization: Quantization,
-    controller: LaneController,
-    initial_length: f64,
-    faults: FaultSchedule,
-    resilience: Resilience,
-}
 
 /// Flat recordings of a batched run, laid out `[n · lanes + lane]`.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -283,7 +272,7 @@ impl LaneSummary {
 /// ```
 #[derive(Debug, Default)]
 pub struct BatchLoop {
-    lanes: Vec<Lane>,
+    pub(crate) bank: DomainBank,
     telemetry: Telemetry,
 }
 
@@ -291,7 +280,16 @@ impl BatchLoop {
     /// An empty batch.
     pub fn new() -> Self {
         BatchLoop {
-            lanes: Vec::new(),
+            bank: DomainBank::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// A batch over an existing [`DomainBank`] — the bank's domains
+    /// become the batch's lanes, in index order.
+    pub fn from_bank(bank: DomainBank) -> Self {
+        BatchLoop {
+            bank,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -305,6 +303,21 @@ impl BatchLoop {
         self
     }
 
+    /// The underlying domain bank.
+    pub fn bank(&self) -> &DomainBank {
+        &self.bank
+    }
+
+    /// Mutable access to the underlying domain bank.
+    pub fn bank_mut(&mut self) -> &mut DomainBank {
+        &mut self.bank
+    }
+
+    /// Recover the domain bank, dropping the batch wrapper.
+    pub fn into_bank(self) -> DomainBank {
+        self.bank
+    }
+
     /// Append a lane with CDN delay `m` whole periods; returns its index.
     pub fn push(
         &mut self,
@@ -312,13 +325,7 @@ impl BatchLoop {
         controller: LaneController,
         quantization: Quantization,
     ) -> usize {
-        self.push_with(
-            m,
-            controller,
-            quantization,
-            FaultSchedule::default(),
-            Resilience::default(),
-        )
+        self.bank.push(m, controller, quantization)
     }
 
     /// Append a lane with a fault schedule and hardening configuration.
@@ -333,33 +340,23 @@ impl BatchLoop {
         faults: FaultSchedule,
         resilience: Resilience,
     ) -> usize {
-        let initial_length = controller.length();
-        self.lanes.push(Lane {
-            m,
-            quantization,
-            controller,
-            initial_length,
-            faults,
-            resilience,
-        });
-        self.lanes.len() - 1
+        self.bank
+            .push_with(m, controller, quantization, faults, resilience)
     }
 
     /// Number of lanes.
     pub fn len(&self) -> usize {
-        self.lanes.len()
+        self.bank.len()
     }
 
     /// Whether the batch has no lanes.
     pub fn is_empty(&self) -> bool {
-        self.lanes.is_empty()
+        self.bank.is_empty()
     }
 
     /// Reset every lane's controller to its initial state.
     pub fn reset(&mut self) {
-        for lane in &mut self.lanes {
-            lane.controller.reset();
-        }
+        self.bank.reset();
     }
 
     /// Run `steps` periods of every lane, driving lane `i` with
@@ -418,7 +415,7 @@ impl BatchLoop {
     ) -> BatchTrace {
         assert_eq!(
             inputs.len(),
-            self.lanes.len(),
+            self.bank.len(),
             "one LoopInputs per lane required"
         );
         blocked::run(self, inputs, steps, spare)
@@ -468,7 +465,7 @@ impl BatchLoop {
     ) -> Vec<LaneSummary> {
         assert_eq!(
             inputs.len(),
-            self.lanes.len(),
+            self.bank.len(),
             "one LoopInputs per lane required"
         );
         assert!(
@@ -507,11 +504,7 @@ impl BatchLoop {
         steps: usize,
         warmup: usize,
     ) -> Vec<LaneSummary> {
-        assert_eq!(
-            mu.len(),
-            self.lanes.len(),
-            "one static mu per lane required"
-        );
+        assert_eq!(mu.len(), self.bank.len(), "one static mu per lane required");
         assert!(
             steps == 0 || warmup < steps,
             "warmup ({warmup}) must leave at least one measured period of {steps}"
@@ -519,7 +512,7 @@ impl BatchLoop {
         // The heterogeneous slot is filled with the shared homogeneous
         // closure purely to satisfy the struct shape; with a static μ the
         // engine never samples it.
-        let inputs: Vec<LoopInputs<'_>> = (0..self.lanes.len())
+        let inputs: Vec<LoopInputs<'_>> = (0..self.bank.len())
             .map(|_| LoopInputs {
                 setpoint,
                 homogeneous,
@@ -540,13 +533,13 @@ impl BatchLoop {
     pub fn run_scalar(&mut self, inputs: &[LoopInputs<'_>], steps: usize) -> BatchTrace {
         let mut run_scope = self.telemetry.scope("engine.batch.scalar");
         run_scope.attr("steps", steps);
-        run_scope.attr("lanes", self.lanes.len());
+        run_scope.attr("lanes", self.bank.len());
         assert_eq!(
             inputs.len(),
-            self.lanes.len(),
+            self.bank.len(),
             "one LoopInputs per lane required"
         );
-        let b = self.lanes.len();
+        let b = self.bank.len();
         if b == 0 || steps == 0 {
             return BatchTrace {
                 lanes: b,
@@ -560,7 +553,7 @@ impl BatchLoop {
         // that stays cache-resident — instead of full-horizon tables whose
         // allocation and write-back traffic would rival the trace itself.
         // Each (row, lane) pair is still sampled exactly once.
-        let mm: Vec<i64> = self.lanes.iter().map(|l| (l.m + 2) as i64).collect();
+        let mm: Vec<i64> = self.bank.domains.iter().map(|l| (l.m + 2) as i64).collect();
         let max_off = mm.iter().copied().max().expect("at least one lane");
         let mut e_ring = vec![0.0f64; max_off as usize * b];
         let mut mu_ring = vec![0.0f64; max_off as usize * b];
@@ -580,22 +573,21 @@ impl BatchLoop {
             lro: Vec::with_capacity(steps * b),
         };
         // cur[lane] = l_RO[n] for the period being generated.
-        let mut cur: Vec<f64> = self.lanes.iter().map(|l| l.controller.length()).collect();
+        let mut cur: Vec<f64> = self
+            .bank
+            .domains
+            .iter()
+            .map(|l| l.controller.length())
+            .collect();
         // Per-lane fault paths, rebuilt per run (they hold run state).
         // `None` keeps a lane on the original arithmetic below — and bit-
         // identical to the faulted scalar loop when `Some`, because both
         // engines drive the same `FaultPath` methods in the same order.
-        let mut paths: Vec<Option<FaultPath>> = self
-            .lanes
+        let mut paths: Vec<Option<crate::resilience::FaultPath>> = self
+            .bank
+            .domains
             .iter()
-            .map(|l| {
-                let p = FaultPath::new(
-                    l.faults.clone(),
-                    l.resilience,
-                    l.quantization.apply(l.initial_length),
-                );
-                (!p.is_inert()).then_some(p)
-            })
+            .map(crate::bank::fault_path)
             .collect();
         for n in 0..steps as i64 {
             // Bring row n−1 into the ring. It overwrites row n−1−max_off,
@@ -606,7 +598,7 @@ impl BatchLoop {
                 e_ring[base_n1 + lane_idx] = (li.homogeneous)(n - 1);
                 mu_ring[base_n1 + lane_idx] = (li.heterogeneous)(n - 1);
             }
-            for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
+            for (lane_idx, lane) in self.bank.domains.iter_mut().enumerate() {
                 let off = mm[lane_idx];
                 let i = n - off;
                 // l_RO[n−mm]: pre-start history below 0, else the value
@@ -617,33 +609,25 @@ impl BatchLoop {
                     trace.lro[i as usize * b + lane_idx]
                 };
                 let base_nmm = slot(i);
-                let e_nmm = e_ring[base_nmm + lane_idx];
-                let e_n1 = e_ring[base_n1 + lane_idx];
-                let mu_nmm = mu_ring[base_nmm + lane_idx];
-                let (tau, delta, next) = if let Some(fp) = paths[lane_idx].as_mut() {
-                    let raw = fp.raw(n, i, lro_past, e_nmm, e_n1, mu_nmm);
-                    let (tau, valid) = fp.measure(n, raw, lane.quantization);
-                    let (delta, next) = fp.control(
-                        n,
-                        (inputs[lane_idx].setpoint)(n),
-                        tau,
-                        valid,
-                        &mut lane.controller,
-                    );
-                    (tau, delta, next)
-                } else {
-                    let raw = lro_past + e_nmm - e_n1 + mu_nmm;
-                    let tau = lane.quantization.apply(raw);
-                    let delta = (inputs[lane_idx].setpoint)(n) - tau;
-                    let next = lane.controller.step(delta);
-                    (tau, delta, next)
-                };
+                let (tau, delta, next) = crate::bank::step_domain(
+                    lane.quantization,
+                    &mut lane.controller,
+                    paths[lane_idx].as_mut(),
+                    n,
+                    i,
+                    lro_past,
+                    e_ring[base_nmm + lane_idx],
+                    e_ring[base_n1 + lane_idx],
+                    mu_ring[base_nmm + lane_idx],
+                    (inputs[lane_idx].setpoint)(n),
+                );
                 trace.tau.push(tau);
                 trace.delta.push(delta);
                 trace.lro.push(cur[lane_idx]);
                 cur[lane_idx] = next;
             }
         }
+        self.bank.note_steps(steps as u64);
         self.telemetry
             .counter("batch.controller_steps")
             .add((steps * b) as u64);

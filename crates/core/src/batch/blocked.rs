@@ -299,7 +299,7 @@ impl Block {
         let mut mu_c = [0.0f64; W];
         let mut cur = [0.0f64; W];
         for (j, &k) in members.iter().enumerate() {
-            let l = &batch.lanes[k];
+            let l = &batch.bank.domains[k];
             lane[j] = k;
             mm[j] = (l.m + 2) as i64;
             init[j] = l.initial_length;
@@ -311,7 +311,7 @@ impl Block {
             }
             cur[j] = l.controller.length();
         }
-        let kernel = match &batch.lanes[members[0]].controller {
+        let kernel = match &batch.bank.domains[members[0]].controller {
             Controller::IntIir(c0) => {
                 let t_len = c0.state().len();
                 let mut kexp = [0i32; W];
@@ -319,7 +319,7 @@ impl Block {
                 let mut taps = vec![[0i32; W]; t_len];
                 let mut state = vec![[0i64; W]; t_len];
                 for (j, &k) in members.iter().enumerate() {
-                    let Controller::IntIir(c) = &batch.lanes[k].controller else {
+                    let Controller::IntIir(c) = &batch.bank.domains[k].controller else {
                         unreachable!("group key guarantees a uniform scheme");
                     };
                     kexp[j] = c.config().kexp_exp as i32;
@@ -347,7 +347,7 @@ impl Block {
                 let mut taps = vec![[0.0f64; W]; t_len];
                 let mut state = vec![[0.0f64; W]; t_len];
                 for (j, &k) in members.iter().enumerate() {
-                    let Controller::FloatIir(c) = &batch.lanes[k].controller else {
+                    let Controller::FloatIir(c) = &batch.bank.domains[k].controller else {
                         unreachable!("group key guarantees a uniform scheme");
                     };
                     kstar[j] = c.k_star();
@@ -367,7 +367,7 @@ impl Block {
                 let mut step = [0.0f64; W];
                 let mut length = [0.0f64; W];
                 for (j, &k) in members.iter().enumerate() {
-                    let Controller::TeaTime(c) = &batch.lanes[k].controller else {
+                    let Controller::TeaTime(c) = &batch.bank.domains[k].controller else {
                         unreachable!("group key guarantees a uniform scheme");
                     };
                     step[j] = c.step_size();
@@ -378,7 +378,7 @@ impl Block {
             Controller::Free(_) => {
                 let mut length = [0.0f64; W];
                 for (j, &k) in members.iter().enumerate() {
-                    length[j] = batch.lanes[k].controller.length();
+                    length[j] = batch.bank.domains[k].controller.length();
                 }
                 Kernel::Free { length }
             }
@@ -390,7 +390,7 @@ impl Block {
             mu_idx: mu,
             sp_idx: sp,
             mu_c,
-            quant: batch.lanes[members[0]].quantization,
+            quant: batch.bank.domains[members[0]].quantization,
             cur,
             hist: vec![init; hist_rows],
             kernel,
@@ -663,7 +663,7 @@ pub(super) fn run(
     steps: usize,
     spare: BatchTrace,
 ) -> BatchTrace {
-    let b = batch.lanes.len();
+    let b = batch.bank.domains.len();
     let mut run_scope = batch.telemetry.scope("engine.batch");
     run_scope.attr("steps", steps);
     run_scope.attr("lanes", b);
@@ -766,7 +766,7 @@ pub(super) fn run_summaries(
     steps: usize,
     warmup: usize,
 ) -> Vec<LaneSummary> {
-    let b = batch.lanes.len();
+    let b = batch.bank.domains.len();
     let mut run_scope = batch.telemetry.scope("engine.batch.summaries");
     run_scope.attr("steps", steps);
     run_scope.attr("lanes", b);
@@ -802,7 +802,7 @@ fn run_impl<S: StepSink>(
     steps: usize,
     sink: &mut S,
 ) {
-    let b = batch.lanes.len();
+    let b = batch.bank.domains.len();
     debug_assert!(b > 0 && steps > 0, "empty cases are handled by the callers");
 
     // --- Input plumbing: dedup closures, then ring-buffer their rows. ---
@@ -820,7 +820,12 @@ fn run_impl<S: StepSink>(
     let (sp_uniq, sp_idx) = dedup(inputs.iter().map(|li| li.setpoint));
     let (nh, nmu, nsp) = (h_uniq.len(), mu_uniq.len(), sp_uniq.len());
 
-    let mm: Vec<i64> = batch.lanes.iter().map(|l| (l.m + 2) as i64).collect();
+    let mm: Vec<i64> = batch
+        .bank
+        .domains
+        .iter()
+        .map(|l| (l.m + 2) as i64)
+        .collect();
     let max_off = mm.iter().copied().max().expect("at least one lane");
     // Rows are unique-closure-interleaved: the recurrence only reads rows
     // n−mm (mm ≤ max_off) and n−1, so a handful of rows stay
@@ -847,20 +852,14 @@ fn run_impl<S: StepSink>(
     // --- Partition lanes: faulted/hardened → scalar path; clean lanes
     // grouped by scheme into W-wide blocks, remainders → scalar path. ---
     let mut paths: Vec<Option<FaultPath>> = batch
-        .lanes
+        .bank
+        .domains
         .iter()
-        .map(|l| {
-            let p = FaultPath::new(
-                l.faults.clone(),
-                l.resilience,
-                l.quantization.apply(l.initial_length),
-            );
-            (!p.is_inert()).then_some(p)
-        })
+        .map(crate::bank::fault_path)
         .collect();
     let mut scalar: Vec<usize> = Vec::new();
     let mut groups: Vec<((GroupKey, Quantization), Vec<usize>)> = Vec::new();
-    for (k, lane) in batch.lanes.iter().enumerate() {
+    for (k, lane) in batch.bank.domains.iter().enumerate() {
         if paths[k].is_some() {
             scalar.push(k);
             continue;
@@ -908,7 +907,7 @@ fn run_impl<S: StepSink>(
     let ns = scalar.len();
     let mut sring = vec![0.0f64; ring_rows as usize * ns];
     for (s_pos, &k) in scalar.iter().enumerate() {
-        let init = batch.lanes[k].initial_length;
+        let init = batch.bank.domains[k].initial_length;
         for row in 0..ring_rows as usize {
             sring[row * ns + s_pos] = init;
         }
@@ -918,7 +917,12 @@ fn run_impl<S: StepSink>(
     let mut row_tau = vec![0.0f64; b];
     let mut row_delta = vec![0.0f64; b];
     let mut row_lro = vec![0.0f64; b];
-    let mut cur: Vec<f64> = batch.lanes.iter().map(|l| l.controller.length()).collect();
+    let mut cur: Vec<f64> = batch
+        .bank
+        .domains
+        .iter()
+        .map(|l| l.controller.length())
+        .collect();
 
     for n in 0..steps as i64 {
         let base_n1_h = hslot(n - 1);
@@ -987,7 +991,7 @@ fn run_impl<S: StepSink>(
         }
 
         for (s_pos, &k) in scalar.iter().enumerate() {
-            let lane = &mut batch.lanes[k];
+            let lane = &mut batch.bank.domains[k];
             let i = n - mm[k];
             let lro_past = sring[sslot(i) + s_pos];
             let e_nmm = e_ring[hslot(i) + h_idx[k]];
@@ -997,18 +1001,18 @@ fn run_impl<S: StepSink>(
                 None => mu_ring[mslot(i) + mu_idx[k]],
             };
             let sp = sp_vals[sp_idx[k]];
-            let (tau, delta, next) = if let Some(fp) = paths[k].as_mut() {
-                let raw = fp.raw(n, i, lro_past, e_nmm, e_n1, mu_nmm);
-                let (tau, valid) = fp.measure(n, raw, lane.quantization);
-                let (delta, next) = fp.control(n, sp, tau, valid, &mut lane.controller);
-                (tau, delta, next)
-            } else {
-                let raw = lro_past + e_nmm - e_n1 + mu_nmm;
-                let tau = lane.quantization.apply(raw);
-                let delta = sp - tau;
-                let next = lane.controller.step(delta);
-                (tau, delta, next)
-            };
+            let (tau, delta, next) = crate::bank::step_domain(
+                lane.quantization,
+                &mut lane.controller,
+                paths[k].as_mut(),
+                n,
+                i,
+                lro_past,
+                e_nmm,
+                e_n1,
+                mu_nmm,
+                sp,
+            );
             if S::PER_ROW {
                 if S::NEEDS_TAU {
                     row_tau[k] = tau;
@@ -1030,10 +1034,11 @@ fn run_impl<S: StepSink>(
     // Write the block kernels' final state back into the lane controllers.
     for blk in &blocks {
         for j in 0..W {
-            blk.store_lane(j, &mut batch.lanes[blk.lane[j]].controller);
+            blk.store_lane(j, &mut batch.bank.domains[blk.lane[j]].controller);
         }
     }
 
+    batch.bank.note_steps(steps as u64);
     batch
         .telemetry
         .counter("batch.controller_steps")

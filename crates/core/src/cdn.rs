@@ -96,4 +96,40 @@ mod tests {
     fn zero_period_rejected() {
         let _ = Cdn::new(64.0).unwrap().periods_at(0.0);
     }
+
+    /// A zero-delay CDN is a legal degenerate link: edges arrive the
+    /// instant they are generated and the discrete delay is `M = 0` at
+    /// every period — the mesh uses this for abutting domains.
+    #[test]
+    fn zero_delay_link_is_immediate() {
+        let cdn = Cdn::new(0.0).unwrap();
+        assert_eq!(cdn.delay(), 0.0);
+        assert_eq!(cdn.delivery_time(123.5), 123.5);
+        assert_eq!(cdn.periods_at(64.0), 0.0);
+        assert_eq!(cdn.whole_periods_at(1.0), 0);
+    }
+
+    /// Forward and reverse directions of a boundary are independent CDNs:
+    /// nothing forces them symmetric, and each converts to periods on its
+    /// own (the mesh models asymmetric boundaries as two directed links).
+    #[test]
+    fn asymmetric_directions_stay_independent() {
+        let fwd = Cdn::new(96.0).unwrap();
+        let rev = Cdn::new(32.0).unwrap();
+        assert_ne!(fwd, rev);
+        assert_eq!(fwd.whole_periods_at(64.0), 2);
+        assert_eq!(rev.whole_periods_at(64.0), 1);
+        // Round-trip skew is the sum of the directed delays.
+        assert_eq!(rev.delivery_time(fwd.delivery_time(0.0)), 128.0);
+    }
+
+    /// `whole_periods_at` rounds to nearest — the half-period boundary
+    /// rounds up, just below it rounds down.
+    #[test]
+    fn whole_periods_round_to_nearest() {
+        let cdn = Cdn::new(96.0).unwrap();
+        assert_eq!(cdn.whole_periods_at(64.0), 2); // 1.5 rounds up
+        assert_eq!(cdn.whole_periods_at(65.0), 1); // ~1.477 rounds down
+        assert_eq!(Cdn::new(31.0).unwrap().whole_periods_at(64.0), 0);
+    }
 }

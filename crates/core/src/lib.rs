@@ -31,6 +31,14 @@
 //!
 //! # The engines
 //!
+//! Per-domain loop state (controller, CDN depth, faults, hardening,
+//! variation) lives in one place — the [`bank::DomainBank`] — and the
+//! engines are stepping strategies over it: the scalar [`loopsim`] loop
+//! and the mesh drive a one-period-at-a-time [`bank::BankRunner`], while
+//! the [`batch`] engine advances a whole bank per period with SoA lane
+//! blocks as its internal layout. All strategies share one step body, so
+//! they are bit-identical on the same domain.
+//!
 //! * [`loopsim`] — the paper-faithful discrete-time loop of its Fig. 4 with
 //!   a *fixed* integer CDN delay `M`; its responses match the z-domain
 //!   transfer functions of Eq. (4)–(5) sample-for-sample (see the
@@ -74,6 +82,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod batch;
 pub mod cdn;
 pub mod controller;

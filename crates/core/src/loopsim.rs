@@ -26,8 +26,9 @@
 use clock_faults::FaultSchedule;
 use clock_telemetry::{Event as TelemetryEvent, Telemetry};
 
+use crate::bank::DomainBank;
 use crate::controller::Controller;
-use crate::resilience::{FaultPath, Resilience};
+use crate::resilience::Resilience;
 use crate::tdc::Quantization;
 
 /// Input sequences of the discrete loop. Functions are queried with signed
@@ -90,20 +91,17 @@ pub struct LoopTrace {
 /// # }
 /// ```
 pub struct DiscreteLoop {
-    m: usize,
-    quantization: Quantization,
-    controller: Controller,
-    initial_length: f64,
+    /// A one-domain [`DomainBank`]: the scalar loop is the bank's
+    /// simplest stepping strategy.
+    bank: DomainBank,
     telemetry: Telemetry,
-    faults: FaultSchedule,
-    resilience: Resilience,
 }
 
 impl std::fmt::Debug for DiscreteLoop {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DiscreteLoop")
-            .field("m", &self.m)
-            .field("quantization", &self.quantization)
+            .field("m", &self.bank.m(0))
+            .field("quantization", &self.bank.domains[0].quantization)
             .finish_non_exhaustive()
     }
 }
@@ -111,19 +109,14 @@ impl std::fmt::Debug for DiscreteLoop {
 impl DiscreteLoop {
     /// A loop with CDN delay of `m` whole periods driving `controller`.
     ///
-    /// `initial_length` is both the controller's resting output and the
-    /// pre-start generation history (the value `l_RO[n]` for `n < 0`).
+    /// The controller's resting output doubles as the pre-start generation
+    /// history (the value `l_RO[n]` for `n < 0`).
     pub fn new(m: usize, controller: impl Into<Controller>, quantization: Quantization) -> Self {
-        let controller = controller.into();
-        let initial_length = controller.length();
+        let mut bank = DomainBank::new();
+        bank.push(m, controller, quantization);
         DiscreteLoop {
-            m,
-            quantization,
-            controller,
-            initial_length,
+            bank,
             telemetry: Telemetry::disabled(),
-            faults: FaultSchedule::default(),
-            resilience: Resilience::default(),
         }
     }
 
@@ -141,7 +134,7 @@ impl DiscreteLoop {
     /// stay bit-identical to a loop built without faults.
     #[must_use]
     pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
-        self.faults = schedule;
+        self.bank.set_faults(0, schedule);
         self
     }
 
@@ -150,7 +143,7 @@ impl DiscreteLoop {
     /// untouched.
     #[must_use]
     pub fn with_resilience(mut self, resilience: Resilience) -> Self {
-        self.resilience = resilience;
+        self.bank.set_resilience(0, resilience);
         self
     }
 
@@ -161,90 +154,67 @@ impl DiscreteLoop {
         let observed = self.telemetry.is_enabled();
         let c_steps = self.telemetry.counter("discrete.controller_steps");
         let c_violations = self.telemetry.counter("discrete.timing_violations");
-        let mm = (self.m + 2) as i64;
-        // The fault path is rebuilt per run (its sensor registers and
-        // watchdog are run state); `None` — the default — keeps the loop
-        // body below on the engine's original arithmetic.
-        let path = FaultPath::new(
-            self.faults.clone(),
-            self.resilience,
-            self.quantization.apply(self.initial_length),
-        );
-        let mut path = (!path.is_inert()).then_some(path);
+        let mm = (self.bank.m(0) + 2) as i64;
         let mut trace = LoopTrace {
             tau: Vec::with_capacity(steps),
             delta: Vec::with_capacity(steps),
             lro: Vec::with_capacity(steps),
         };
-        // lro[k] for k = 0.. ; lro[0] is the controller's initial output.
-        let mut lro: Vec<f64> = Vec::with_capacity(steps + 1);
-        lro.push(self.controller.length());
+        // The runner holds the per-run state (fault path, l_RO history);
+        // this loop samples the input sequences and forwards telemetry.
+        let mut runner = self.bank.runner();
         for n in 0..steps as i64 {
-            let lro_at = |i: i64| -> f64 {
-                if i < 0 {
-                    self.initial_length
-                } else {
-                    lro[i as usize]
-                }
-            };
-            let e = |i: i64| (inputs.homogeneous)(i);
-            let mu = |i: i64| (inputs.heterogeneous)(i);
-            let (tau, delta, next) = if let Some(fp) = path.as_mut() {
-                let gen = n - mm;
-                let raw = fp.raw(n, gen, lro_at(gen), e(gen), e(n - 1), mu(gen));
-                let (tau, valid) = fp.measure(n, raw, self.quantization);
-                let (delta, next) =
-                    fp.control(n, (inputs.setpoint)(n), tau, valid, &mut self.controller);
-                (tau, delta, next)
-            } else {
-                let raw = lro_at(n - mm) + e(n - mm) - e(n - 1) + mu(n - mm);
-                let tau = self.quantization.apply(raw);
-                let delta = (inputs.setpoint)(n) - tau;
-                let next = self.controller.step(delta);
-                (tau, delta, next)
-            };
+            let gen = n - mm;
+            let c_n = (inputs.setpoint)(n);
+            let out = runner.step(
+                0,
+                n,
+                c_n,
+                (inputs.homogeneous)(gen),
+                (inputs.homogeneous)(n - 1),
+                (inputs.heterogeneous)(gen),
+            );
             c_steps.inc();
             if observed {
-                if delta > 0.0 && tau.is_finite() {
+                if out.delta > 0.0 && out.tau.is_finite() {
                     c_violations.inc();
                     self.telemetry.emit(
                         n as f64,
                         TelemetryEvent::TimingViolation {
-                            tau,
-                            setpoint: (inputs.setpoint)(n),
-                            margin: delta,
+                            tau: out.tau,
+                            setpoint: c_n,
+                            margin: out.delta,
                         },
                     );
                 }
-                if next != lro[n as usize] && next.is_finite() && delta.is_finite() {
+                if out.next != out.lro && out.next.is_finite() && out.delta.is_finite() {
                     self.telemetry.emit(
                         n as f64,
                         TelemetryEvent::ControllerUpdate {
-                            delta,
-                            length: next,
+                            delta: out.delta,
+                            length: out.next,
                         },
                     );
                 }
             }
-            trace.tau.push(tau);
-            trace.delta.push(delta);
-            trace.lro.push(lro[n as usize]);
-            lro.push(next);
+            trace.tau.push(out.tau);
+            trace.delta.push(out.delta);
+            trace.lro.push(out.lro);
         }
-        if let Some(fp) = path {
+        if runner.is_faulted() {
             self.telemetry
                 .counter("faults.injected")
-                .add(fp.schedule().injected_before(steps as u64));
+                .add(runner.injected_before(steps as u64));
             self.telemetry
                 .counter("controller.relocks")
-                .add(fp.relocks());
+                .add(runner.relocks());
         }
         trace
     }
 
     /// Reset the control block to its initial state.
     pub fn reset(&mut self) {
-        self.controller.reset();
+        self.bank.reset();
     }
 }
 

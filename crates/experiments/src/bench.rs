@@ -29,7 +29,12 @@
 //!    engine on the same bank, and the traceless
 //!    [`McPanel`] against the per-instance
 //!    pre-batch harness (one `System` event-loop run per sampled
-//!    instance, the `runner::run_scheme` shape).
+//!    instance, the `runner::run_scheme` shape);
+//! 8. **domain-bank scaling** — N uniform IIR clock domains at
+//!    N ∈ {16, 64, 256}: one `DiscreteLoop` object per domain (the
+//!    pre-bank ownership shape) versus the same domains as a single
+//!    [`DomainBank`](adaptive_clock::bank::DomainBank) behind the
+//!    traceless summary path — the shape the mesh and yield layers run.
 //!
 //! `repro bench --json BENCH.json` writes the whole report as JSON, so CI
 //! and the committed `BENCH_*.json` trajectory files can track the numbers
@@ -876,6 +881,81 @@ pub fn run(params: &PaperParams, quick: bool) -> BenchReport {
     e.speedup = Some(mc_naive_ms / mc_traceless_ms.max(1e-12));
     entries.push(e);
 
+    // 8. Domain-bank scaling: N independent clock domains advanced as N
+    // sequential DiscreteLoops (the pre-refactor ownership shape: one
+    // loop object per domain, each materializing its own trace) versus
+    // the same N domains held in one DomainBank and folded through the
+    // traceless summary path. Uniform IIR domains so the blocked engine
+    // sees full lane blocks, and shared input closures so deduplication
+    // is exercised — both match how the mesh and yield layers build banks.
+    let dom_steps: usize = if quick { 2_000 } else { 25_000 };
+    for n_domains in [16usize, 64, 256] {
+        let label = format!("domains-{n_domains:03}");
+        let dom_lane_steps = (n_domains * dom_steps) as u64;
+        let perloop_ms = best_ms(REPS, || {
+            time_ms(|| {
+                for _ in 0..n_domains {
+                    let mut dl = DiscreteLoop::new(
+                        1,
+                        LaneController::int_iir(&IirConfig::paper(), c).expect("paper config"),
+                        Quantization::Floor,
+                    );
+                    std::hint::black_box(dl.run(
+                        &LoopInputs {
+                            setpoint: &cs,
+                            homogeneous: &e_fn,
+                            heterogeneous: &zero,
+                        },
+                        dom_steps,
+                    ));
+                }
+            })
+        });
+        let dom_inputs: Vec<LoopInputs<'_>> = (0..n_domains)
+            .map(|_| LoopInputs {
+                setpoint: &cs,
+                homogeneous: &e_fn,
+                heterogeneous: &zero,
+            })
+            .collect();
+        let mut dom_bank = adaptive_clock::bank::DomainBank::new();
+        for _ in 0..n_domains {
+            dom_bank.push(
+                1,
+                LaneController::int_iir(&IirConfig::paper(), c).expect("paper config"),
+                Quantization::Floor,
+            );
+        }
+        let mut bank_loop = BatchLoop::from_bank(dom_bank);
+        let bank_ms = best_ms(REPS, || {
+            bank_loop.reset();
+            time_ms(|| {
+                std::hint::black_box(bank_loop.run_summaries(&dom_inputs, dom_steps));
+            })
+        });
+        entries.push(entry(
+            &format!("{label}-perloop"),
+            &format!(
+                "{n_domains} uniform IIR domains x {dom_steps} periods, one DiscreteLoop \
+                 object per domain, each trace materialized"
+            ),
+            dom_lane_steps,
+            perloop_ms,
+        ));
+        let mut e = entry(
+            &format!("{label}-bank"),
+            &format!(
+                "{n_domains} domains x {dom_steps} periods as one DomainBank through \
+                 the traceless summary path"
+            ),
+            dom_lane_steps,
+            bank_ms,
+        );
+        e.baseline = Some(format!("{label}-perloop"));
+        e.speedup = Some(perloop_ms / bank_ms.max(1e-12));
+        entries.push(e);
+    }
+
     BenchReport {
         quick,
         setpoint: params.setpoint,
@@ -1113,6 +1193,12 @@ mod tests {
             "summaries-traceless",
             "mc-panel-naive",
             "mc-panel-traceless",
+            "domains-016-perloop",
+            "domains-016-bank",
+            "domains-064-perloop",
+            "domains-064-bank",
+            "domains-256-perloop",
+            "domains-256-bank",
         ] {
             let e = report.entry(name).unwrap_or_else(|| panic!("entry {name}"));
             assert!(e.steps > 0, "{name}: no steps");
@@ -1136,6 +1222,14 @@ mod tests {
                 Some(format!("lanes-{lanes}-sequential").as_str())
             );
             assert!(blocked.speedup.is_some(), "blocked {lanes} must be gated");
+        }
+        for domains in ["016", "064", "256"] {
+            let bank = report.entry(&format!("domains-{domains}-bank")).unwrap();
+            assert_eq!(
+                bank.baseline.as_deref(),
+                Some(format!("domains-{domains}-perloop").as_str())
+            );
+            assert!(bank.speedup.is_some(), "bank {domains} must be gated");
         }
         // Dispatch timings deliberately carry no speedup: the ratio would
         // compare host core counts, not code (see the section 6 comment).

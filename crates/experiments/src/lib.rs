@@ -27,6 +27,7 @@
 //! | [`ext_coupling`] | additive (paper) vs multiplicative variation coupling |
 //! | [`ext_faults`] | chaos sweep: fault class × rate × scheme violation/MTTR table |
 //! | [`ext_yield`] | Monte Carlo timing-yield vs safety-margin surfaces per scheme |
+//! | [`ext_mesh`] | GALS clock-mesh scenarios: domain failure, Byzantine neighbour, power event |
 //!
 //! The `repro` binary dispatches on experiment id:
 //! `cargo run -p experiments --bin repro -- fig8`.
@@ -46,6 +47,7 @@ pub mod constraints;
 pub mod ext_coupling;
 pub mod ext_faults;
 pub mod ext_lock;
+pub mod ext_mesh;
 pub mod ext_noise;
 pub mod ext_sensitivity;
 pub mod ext_stability;

@@ -10,7 +10,7 @@
 
 use crate::runner::RunCtx;
 use crate::{
-    bench, constraints, ext_coupling, ext_faults, ext_lock, ext_noise, ext_sensitivity,
+    bench, constraints, ext_coupling, ext_faults, ext_lock, ext_mesh, ext_noise, ext_sensitivity,
     ext_stability, ext_throughput, ext_yield, fig2, fig7, fig8, fig9, table1, worked,
 };
 
@@ -190,6 +190,12 @@ pub static REGISTRY: &[ExperimentDef] = &[
         description: "Monte Carlo timing yield vs safety margin on the traceless batch path",
         steps: "~1M steps",
         runner: Runner::Leaf(run_ext_yield),
+    },
+    ExperimentDef {
+        id: "ext-mesh",
+        description: "GALS clock-mesh scenarios: domain failure, Byzantine neighbour, power event",
+        steps: "~280k steps",
+        runner: Runner::Leaf(run_ext_mesh),
     },
     ExperimentDef {
         id: "all",
@@ -399,6 +405,11 @@ fn run_ext_faults(inv: &Invocation<'_>) -> bool {
     true
 }
 
+fn run_ext_mesh(inv: &Invocation<'_>) -> bool {
+    println!("{}", ext_mesh::render(&ext_mesh::run(inv.ctx, inv.quick)));
+    true
+}
+
 fn run_ext_yield(inv: &Invocation<'_>) -> bool {
     println!("{}", ext_yield::render(&ext_yield::run(inv.ctx, inv.quick)));
     true
@@ -435,9 +446,11 @@ mod tests {
     /// `everything` must transitively reach every leaf except `bench`
     /// (which is a benchmark, not a paper artifact or extension),
     /// `ext-faults` (the chaos sweep is opt-in so the `everything`
-    /// golden fixture stays fault-free and byte-stable) and `ext-yield`
+    /// golden fixture stays fault-free and byte-stable), `ext-yield`
     /// (the Monte Carlo panel is opt-in for the same reason — the MC
-    /// path stays inert unless explicitly invoked).
+    /// path stays inert unless explicitly invoked) and `ext-mesh` (the
+    /// clock-mesh scenarios run standalone so the golden fixture never
+    /// depends on the mesh layer).
     #[test]
     fn everything_covers_every_leaf_but_bench() {
         fn expand(id: &str, into: &mut BTreeSet<&'static str>) {
@@ -461,6 +474,7 @@ mod tests {
                     && d.id != "bench"
                     && d.id != "ext-faults"
                     && d.id != "ext-yield"
+                    && d.id != "ext-mesh"
             })
             .map(|d| d.id)
             .collect();

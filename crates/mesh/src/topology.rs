@@ -1,0 +1,209 @@
+//! Mesh topologies: directed inter-domain links with per-boundary CDNs.
+//!
+//! A topology is a directed multigraph over `N` clock domains. Each link
+//! is one *directed* clock boundary: the producer's delivered edges reach
+//! the consumer's synchronizer through the link's own
+//! [`Cdn`]. Asymmetric boundaries are simply
+//! two links with different delays; a zero-delay CDN models abutting
+//! domains. Self-loops are rejected at construction — see
+//! [`MeshError::SelfLoop`].
+
+use adaptive_clock::cdn::Cdn;
+
+use crate::MeshError;
+
+/// One directed inter-domain link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Producer domain (the boundary listens to its clock).
+    pub from: usize,
+    /// Consumer domain (the boundary's synchronizer lives here).
+    pub to: usize,
+    /// The boundary's clock distribution delay.
+    pub cdn: Cdn,
+}
+
+/// A directed link graph over `N` clock domains.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    domains: usize,
+    links: Vec<Link>,
+}
+
+impl Topology {
+    /// An unconnected topology of `domains` domains.
+    pub fn new(domains: usize) -> Self {
+        Topology {
+            domains,
+            links: Vec::new(),
+        }
+    }
+
+    /// Add a directed link `from → to` through `cdn`; returns its index.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::SelfLoop`] when `from == to`, and
+    /// [`MeshError::DomainOutOfRange`] when either endpoint does not
+    /// exist.
+    pub fn connect(&mut self, from: usize, to: usize, cdn: Cdn) -> Result<usize, MeshError> {
+        if from == to {
+            return Err(MeshError::SelfLoop { domain: from });
+        }
+        for d in [from, to] {
+            if d >= self.domains {
+                return Err(MeshError::DomainOutOfRange {
+                    domain: d,
+                    domains: self.domains,
+                });
+            }
+        }
+        self.links.push(Link { from, to, cdn });
+        Ok(self.links.len() - 1)
+    }
+
+    /// A bidirectional ring: every domain is coupled both ways with each
+    /// neighbour through the same boundary CDN. One or zero domains yield
+    /// no links.
+    pub fn ring(domains: usize, cdn: Cdn) -> Self {
+        let mut t = Topology::new(domains);
+        if domains >= 2 {
+            // For two domains the "ring" is the single shared edge.
+            let edges = if domains == 2 { 1 } else { domains };
+            for i in 0..edges {
+                let j = (i + 1) % domains;
+                t.connect(i, j, cdn).expect("ring edges are well-formed");
+                t.connect(j, i, cdn).expect("ring edges are well-formed");
+            }
+        }
+        t
+    }
+
+    /// A `cols × rows` 4-neighbour grid, every edge bidirectional.
+    /// Domain `(x, y)` has index `y·cols + x`.
+    pub fn grid(cols: usize, rows: usize, cdn: Cdn) -> Self {
+        let mut t = Topology::new(cols * rows);
+        for y in 0..rows {
+            for x in 0..cols {
+                let d = y * cols + x;
+                if x + 1 < cols {
+                    t.connect(d, d + 1, cdn)
+                        .expect("grid edges are well-formed");
+                    t.connect(d + 1, d, cdn)
+                        .expect("grid edges are well-formed");
+                }
+                if y + 1 < rows {
+                    let below = d + cols;
+                    t.connect(d, below, cdn)
+                        .expect("grid edges are well-formed");
+                    t.connect(below, d, cdn)
+                        .expect("grid edges are well-formed");
+                }
+            }
+        }
+        t
+    }
+
+    /// A rooted tree (an H-tree-style distribution spine): domain `i > 0`
+    /// hangs off parent `(i − 1) / fanout`, every edge bidirectional.
+    /// `fanout` is clamped to at least 1.
+    pub fn tree(domains: usize, fanout: usize, cdn: Cdn) -> Self {
+        let fanout = fanout.max(1);
+        let mut t = Topology::new(domains);
+        for i in 1..domains {
+            let parent = (i - 1) / fanout;
+            t.connect(parent, i, cdn)
+                .expect("tree edges are well-formed");
+            t.connect(i, parent, cdn)
+                .expect("tree edges are well-formed");
+        }
+        t
+    }
+
+    /// Number of domains.
+    pub fn domains(&self) -> usize {
+        self.domains
+    }
+
+    /// The directed links, in insertion order (link indices are stable).
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of links whose consumer is `d` — the domain's in-degree.
+    pub fn in_degree(&self, d: usize) -> usize {
+        self.links.iter().filter(|l| l.to == d).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cdn(t: f64) -> Cdn {
+        Cdn::new(t).unwrap()
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        let mut t = Topology::new(3);
+        assert_eq!(
+            t.connect(1, 1, cdn(64.0)),
+            Err(MeshError::SelfLoop { domain: 1 })
+        );
+        assert!(t.links().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_endpoints_are_rejected() {
+        let mut t = Topology::new(2);
+        assert_eq!(
+            t.connect(0, 5, cdn(64.0)),
+            Err(MeshError::DomainOutOfRange {
+                domain: 5,
+                domains: 2
+            })
+        );
+    }
+
+    #[test]
+    fn asymmetric_and_zero_delay_links_coexist() {
+        let mut t = Topology::new(2);
+        t.connect(0, 1, cdn(96.0)).unwrap();
+        t.connect(1, 0, cdn(0.0)).unwrap();
+        assert_eq!(t.links()[0].cdn.delay(), 96.0);
+        assert_eq!(t.links()[1].cdn.delay(), 0.0);
+        assert_eq!(t.in_degree(0), 1);
+        assert_eq!(t.in_degree(1), 1);
+    }
+
+    #[test]
+    fn ring_degrees() {
+        assert!(Topology::ring(1, cdn(64.0)).links().is_empty());
+        let two = Topology::ring(2, cdn(64.0));
+        assert_eq!(two.links().len(), 2, "two domains share one edge");
+        let t = Topology::ring(8, cdn(64.0));
+        assert_eq!(t.links().len(), 16);
+        for d in 0..8 {
+            assert_eq!(t.in_degree(d), 2);
+        }
+    }
+
+    #[test]
+    fn grid_degrees() {
+        let t = Topology::grid(3, 3, cdn(64.0));
+        assert_eq!(t.domains(), 9);
+        // 12 undirected grid edges, both directions
+        assert_eq!(t.links().len(), 24);
+        assert_eq!(t.in_degree(4), 4, "centre cell has 4 neighbours");
+        assert_eq!(t.in_degree(0), 2, "corner has 2");
+    }
+
+    #[test]
+    fn tree_degrees() {
+        let t = Topology::tree(7, 2, cdn(64.0));
+        assert_eq!(t.links().len(), 12);
+        assert_eq!(t.in_degree(0), 2, "root hears its two children");
+        assert_eq!(t.in_degree(6), 1, "leaf hears its parent");
+    }
+}
