@@ -14,6 +14,10 @@
 //! repro fig9 --trace t.json       # Chrome-trace-format span export
 //! repro bench --compare BENCH_3.json  # fail on benchmark speedup regression
 //! repro metrics fig7              # Prometheus-style exposition after the run
+//! repro serve --addr 127.0.0.1:7077  # long-running experiment service
+//! repro submit fig8 --quick --watch  # submit a job, stream its events
+//! repro jobs                      # job table of the running service
+//! repro cancel 3                  # cancel a queued/running job
 //! ```
 //!
 //! `REPRO_CACHE` and `REPRO_THREADS` provide environment defaults for
@@ -25,13 +29,16 @@
 //! can never drift apart.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use clock_serve::{client, install_termination_handler, JobRecord, Server, ServerConfig};
 use clock_telemetry::{build_profile, prometheus_text, render_profile, Telemetry};
 use experiments::cache::SweepCache;
 use experiments::config::PaperParams;
 use experiments::registry::{self, Invocation};
 use experiments::render::Table;
 use experiments::runner::RunCtx;
+use experiments::service::RegistryExecutor;
 use experiments::sweep;
 
 fn usage() -> &'static str {
@@ -53,7 +60,12 @@ fn usage() -> &'static str {
                       --no-cache disables); --threads <n> caps the sweep workers (env: REPRO_THREADS)\n\
      observability:   --profile prints a wall-time attribution tree with p50/p90/p99 per span;\n\
                       --trace <out.json> writes Chrome-trace-format spans (chrome://tracing, Perfetto);\n\
-                      `repro metrics <id>` appends a Prometheus-style metrics exposition\n"
+                      `repro metrics <id>` appends a Prometheus-style metrics exposition\n\
+     service:         `repro serve [--addr a:p] [--serve-dir d] [--workers n] [--queue n]\n\
+                      [--timeout-ms n] [--drain-ms n]` runs the experiment service;\n\
+                      `repro submit <id> [--quick] [--timeout-ms n] [--watch]`,\n\
+                      `repro jobs`, `repro cancel <job-id>` talk to it (addr:\n\
+                      --addr or REPRO_SERVE_ADDR, default 127.0.0.1:7077)\n"
 }
 
 fn experiment_list() -> String {
@@ -80,6 +92,14 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--list") {
         print!("{}", experiment_list());
         return ExitCode::SUCCESS;
+    }
+    // Service subcommands are mode prefixes with their own flag sets.
+    match args.first().map(String::as_str) {
+        Some("serve") => return serve_main(args.split_off(1)),
+        Some("submit") => return submit_main(args.split_off(1)),
+        Some("jobs") => return jobs_main(args.split_off(1)),
+        Some("cancel") => return cancel_main(args.split_off(1)),
+        _ => {}
     }
     let mut json = false;
     let mut json_path: Option<String> = None;
@@ -285,6 +305,222 @@ fn main() -> ExitCode {
         // on a clean non-zero exit).
         ExitCode::FAILURE
     }
+}
+
+/// The service address `submit`/`jobs`/`cancel` talk to: `--addr`, then
+/// `REPRO_SERVE_ADDR`, then the default port.
+fn client_addr(args: &mut Vec<String>) -> Result<String, String> {
+    Ok(take_flag_value(args, "--addr")?
+        .or_else(|| {
+            std::env::var("REPRO_SERVE_ADDR")
+                .ok()
+                .filter(|v| !v.is_empty())
+        })
+        .unwrap_or_else(|| "127.0.0.1:7077".to_owned()))
+}
+
+/// `repro serve`: run the experiment service until SIGTERM/SIGINT or
+/// `POST /shutdown`, then drain.
+fn serve_main(mut args: Vec<String>) -> ExitCode {
+    let parse = |v: Option<String>, what: &str| -> Result<Option<u64>, String> {
+        match v {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("{what} must be a non-negative integer, got {raw}")),
+        }
+    };
+    let result = (|| -> Result<(ServerConfig, PaperParams, Option<String>), String> {
+        let mut config = ServerConfig::default();
+        if let Some(addr) = take_flag_value(&mut args, "--addr")? {
+            config.addr = addr;
+        }
+        if let Some(dir) = take_flag_value(&mut args, "--serve-dir")? {
+            config.data_dir = dir.into();
+        }
+        if let Some(n) = parse(take_flag_value(&mut args, "--workers")?, "--workers")? {
+            config.workers = (n as usize).max(1);
+        }
+        if let Some(n) = parse(take_flag_value(&mut args, "--queue")?, "--queue")? {
+            config.queue_capacity = (n as usize).max(1);
+        }
+        if let Some(n) = parse(take_flag_value(&mut args, "--timeout-ms")?, "--timeout-ms")? {
+            config.default_timeout_ms = n;
+        }
+        if let Some(n) = parse(take_flag_value(&mut args, "--drain-ms")?, "--drain-ms")? {
+            config.drain_grace_ms = n;
+        }
+        let no_cache = take_switch(&mut args, "--no-cache");
+        let cache_dir = take_flag_value(&mut args, "--cache")?;
+        let mut params = PaperParams::default();
+        if let Some(err) = apply_overrides(&mut args, &mut params) {
+            return Err(err);
+        }
+        if let Some(stray) = args.first() {
+            return Err(format!("serve does not take '{stray}'"));
+        }
+        let cache_dir =
+            if no_cache {
+                None
+            } else {
+                // The service's whole point is cross-submission reuse, so the
+                // cache defaults to persistent under the data dir.
+                Some(cache_dir.unwrap_or_else(|| {
+                    config.data_dir.join("cache").to_string_lossy().into_owned()
+                }))
+            };
+        Ok((config, params, cache_dir))
+    })();
+    let (config, params, cache_dir) = match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Always-on telemetry: the service exposes it at GET /metrics.
+    let telemetry = Telemetry::enabled();
+    let cache = match &cache_dir {
+        Some(dir) => SweepCache::persistent_or_disabled(dir, &telemetry),
+        None => SweepCache::disabled(),
+    };
+    let executor = Arc::new(RegistryExecutor::new(params, cache));
+    let server = match Server::bind(config, executor, telemetry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start service: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_termination_handler(server.shutdown_flag());
+    experiments::sweep::install_quiet_cancel_hook();
+    // The parseable line tests and scripts discover the bound port from.
+    println!("serve: listening on http://{}", server.local_addr());
+    let report = server.run();
+    println!(
+        "serve: drained={} cancelled_queued={}",
+        report.drained, report.cancelled_queued
+    );
+    if report.drained {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `repro submit <id>`: submit a job (with retry/backoff against
+/// backpressure), optionally tail its event stream.
+fn submit_main(mut args: Vec<String>) -> ExitCode {
+    let run = (|| -> Result<ExitCode, String> {
+        let addr = client_addr(&mut args)?;
+        let quick = take_switch(&mut args, "--quick");
+        let watch = take_switch(&mut args, "--watch");
+        let timeout_ms = match take_flag_value(&mut args, "--timeout-ms")? {
+            None => 0u64,
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--timeout-ms must be an integer, got {raw}"))?,
+        };
+        let Some(experiment) = args.first().cloned() else {
+            return Err("submit needs an experiment id".to_owned());
+        };
+        let body = format!(
+            "{{\"experiment\":\"{experiment}\",\"quick\":{quick},\"timeout_ms\":{timeout_ms}}}"
+        );
+        let resp =
+            client::submit_with_retry(&addr, &body, 5, std::time::Duration::from_millis(200))?;
+        if resp.status >= 400 {
+            return Err(format!(
+                "submit rejected ({}): {}",
+                resp.status,
+                resp.body.trim()
+            ));
+        }
+        print!("{}", resp.body);
+        if watch {
+            let job_id = resp
+                .body
+                .split("\"job\":")
+                .nth(1)
+                .and_then(|s| s.split(&[',', '}'][..]).next())
+                .and_then(|s| s.trim().parse::<u64>().ok())
+                .ok_or_else(|| format!("cannot find job id in {}", resp.body.trim()))?;
+            let events = client::request(&addr, "GET", &format!("/jobs/{job_id}/events"), None)?;
+            print!("{}", events.body);
+        }
+        Ok(ExitCode::SUCCESS)
+    })();
+    run.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `repro jobs`: the service's job table.
+fn jobs_main(mut args: Vec<String>) -> ExitCode {
+    let run = (|| -> Result<ExitCode, String> {
+        let addr = client_addr(&mut args)?;
+        let resp = client::request(&addr, "GET", "/jobs", None)?;
+        if resp.status != 200 {
+            return Err(format!(
+                "jobs failed ({}): {}",
+                resp.status,
+                resp.body.trim()
+            ));
+        }
+        let jobs: Vec<JobRecord> =
+            serde_json::from_str(&resp.body).map_err(|e| format!("bad /jobs payload: {e}"))?;
+        let mut table = Table::new(vec![
+            "job".to_owned(),
+            "experiment".to_owned(),
+            "state".to_owned(),
+            "detail".to_owned(),
+        ]);
+        for j in &jobs {
+            let mut experiment = j.spec.experiment.clone();
+            if j.spec.quick {
+                experiment.push_str(" (quick)");
+            }
+            table.row(vec![
+                j.id.to_string(),
+                experiment,
+                j.state.label().to_owned(),
+                j.detail.clone(),
+            ]);
+        }
+        print!("{}", table.render());
+        Ok(ExitCode::SUCCESS)
+    })();
+    run.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+/// `repro cancel <job-id>`.
+fn cancel_main(mut args: Vec<String>) -> ExitCode {
+    let run = (|| -> Result<ExitCode, String> {
+        let addr = client_addr(&mut args)?;
+        let Some(id) = args.first() else {
+            return Err("cancel needs a job id".to_owned());
+        };
+        let resp = client::request(&addr, "POST", &format!("/jobs/{id}/cancel"), None)?;
+        if resp.status != 200 {
+            return Err(format!(
+                "cancel failed ({}): {}",
+                resp.status,
+                resp.body.trim()
+            ));
+        }
+        print!("{}", resp.body);
+        Ok(ExitCode::SUCCESS)
+    })();
+    run.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        ExitCode::FAILURE
+    })
 }
 
 /// Pull `<flag> <value>` out of `args`, returning the value.

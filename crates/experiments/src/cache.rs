@@ -158,6 +158,17 @@ impl SweepCache {
         self.store.is_some()
     }
 
+    /// The same underlying store with a different telemetry handle — how
+    /// the experiment service gives every job its own hit/miss counters
+    /// while all jobs share one persistent cache.
+    #[must_use]
+    pub fn rebind_telemetry(&self, telemetry: &Telemetry) -> SweepCache {
+        SweepCache {
+            store: self.store.clone(),
+            telemetry: telemetry.clone(),
+        }
+    }
+
     /// Look up a flat float record. `expect_len` guards the payload schema:
     /// a record of any other arity (a stale or foreign payload) is treated
     /// as a miss and will be overwritten by the recompute.

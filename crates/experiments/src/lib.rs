@@ -30,7 +30,11 @@
 //! | [`ext_mesh`] | GALS clock-mesh scenarios: domain failure, Byzantine neighbour, power event |
 //!
 //! The `repro` binary dispatches on experiment id:
-//! `cargo run -p experiments --bin repro -- fig8`.
+//! `cargo run -p experiments --bin repro -- fig8`. It can also run as a
+//! resident experiment service (`repro serve` / `submit` / `jobs` /
+//! `cancel`): the [`service`] module plugs the registry into
+//! `clock-serve`'s supervised job runtime, sharing one persistent result
+//! cache across submissions.
 //!
 //! Results are returned as structured [`results`] values (serializable) and
 //! rendered to text with [`render`], so EXPERIMENTS.md entries can be
@@ -62,6 +66,7 @@ pub mod registry;
 pub mod render;
 pub mod results;
 pub mod runner;
+pub mod service;
 pub mod sweep;
 pub mod table1;
 pub mod worked;

@@ -198,6 +198,18 @@ pub static REGISTRY: &[ExperimentDef] = &[
         runner: Runner::Leaf(run_ext_mesh),
     },
     ExperimentDef {
+        id: "selftest-panic",
+        description: "service selftest: panics on purpose (supervision demo; not in bundles)",
+        steps: "instant",
+        runner: Runner::Leaf(run_selftest_panic),
+    },
+    ExperimentDef {
+        id: "selftest-slow",
+        description: "service selftest: ~20 s (quick: ~2 s) cancellable idle loop (not in bundles)",
+        steps: "wall-clock",
+        runner: Runner::Leaf(run_selftest_slow),
+    },
+    ExperimentDef {
         id: "all",
         description: "bundle: every paper artifact",
         steps: "~2.6M steps",
@@ -415,6 +427,14 @@ fn run_ext_yield(inv: &Invocation<'_>) -> bool {
     true
 }
 
+fn run_selftest_panic(_inv: &Invocation<'_>) -> bool {
+    crate::service::selftest_panic()
+}
+
+fn run_selftest_slow(inv: &Invocation<'_>) -> bool {
+    crate::service::selftest_slow(inv.ctx, inv.quick)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,9 +468,11 @@ mod tests {
     /// `ext-faults` (the chaos sweep is opt-in so the `everything`
     /// golden fixture stays fault-free and byte-stable), `ext-yield`
     /// (the Monte Carlo panel is opt-in for the same reason — the MC
-    /// path stays inert unless explicitly invoked) and `ext-mesh` (the
+    /// path stays inert unless explicitly invoked), `ext-mesh` (the
     /// clock-mesh scenarios run standalone so the golden fixture never
-    /// depends on the mesh layer).
+    /// depends on the mesh layer) and the `selftest-*` ids (service
+    /// supervision probes: one panics on purpose, one idles for seconds —
+    /// neither belongs in a bundle).
     #[test]
     fn everything_covers_every_leaf_but_bench() {
         fn expand(id: &str, into: &mut BTreeSet<&'static str>) {
@@ -475,6 +497,7 @@ mod tests {
                     && d.id != "ext-faults"
                     && d.id != "ext-yield"
                     && d.id != "ext-mesh"
+                    && !d.id.starts_with("selftest-")
             })
             .map(|d| d.id)
             .collect();

@@ -14,7 +14,7 @@ use variation::sources::Harmonic;
 use crate::cache::{CacheKeyExt as _, SweepCache};
 use crate::config::PaperParams;
 use crate::results::{ExperimentResult, Series};
-use crate::sweep::{parallel_map_planned, Plan};
+use crate::sweep::{parallel_map_planned, CancelToken, Plan};
 
 /// The shared context one experiment invocation threads through the whole
 /// pipeline: the paper parameters plus the cache and telemetry handles
@@ -31,6 +31,10 @@ pub struct RunCtx {
     pub cache: SweepCache,
     /// Instrumentation handle (disabled by default).
     pub telemetry: Telemetry,
+    /// Cooperative cancellation token consulted once per grid point
+    /// (never fires by default). The experiment service arms this with
+    /// the job's cancel flag and wall-clock deadline.
+    pub cancel: CancelToken,
 }
 
 impl RunCtx {
@@ -40,6 +44,7 @@ impl RunCtx {
             params,
             cache: SweepCache::disabled(),
             telemetry: Telemetry::disabled(),
+            cancel: CancelToken::never(),
         }
     }
 
@@ -54,6 +59,15 @@ impl RunCtx {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attach a cancellation token. Sweeps consult it at every grid
+    /// point (probe and compute), so a fired token stops an experiment
+    /// within one point's wall time.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -367,8 +381,14 @@ where
         let baseline_ctx = ctx.unobserved();
         parallel_map_planned(
             xs,
-            |&x| summary_probe(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x)),
-            |&x| summary_compute(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x)),
+            |&x| {
+                ctx.cancel.check();
+                summary_probe(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x))
+            },
+            |&x| {
+                ctx.cancel.check();
+                summary_compute(&baseline_ctx, &Scheme::Fixed, (spec.point_at)(x))
+            },
             &ctx.telemetry,
         )
     };
@@ -379,8 +399,14 @@ where
             stage_scope.attr("scheme", scheme.label());
             parallel_map_planned(
                 xs,
-                |&x| summary_probe(ctx, scheme, (spec.point_at)(x)),
-                |&x| summary_compute(ctx, scheme, (spec.point_at)(x)),
+                |&x| {
+                    ctx.cancel.check();
+                    summary_probe(ctx, scheme, (spec.point_at)(x))
+                },
+                |&x| {
+                    ctx.cancel.check();
+                    summary_compute(ctx, scheme, (spec.point_at)(x))
+                },
                 &ctx.telemetry,
             )
         };

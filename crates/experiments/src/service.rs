@@ -1,0 +1,252 @@
+//! The experiments-side [`JobExecutor`]: registry dispatch under the
+//! service's supervision contract.
+//!
+//! Every job gets its own JSONL telemetry sink (the event spool the
+//! server's `/jobs/<id>/events` endpoint tails) and its own view of the
+//! shared persistent result cache ([`SweepCache::rebind_telemetry`]), so
+//! per-job cache hit/miss counters land in that job's event stream while
+//! the underlying store is shared by every job the server ever runs — a
+//! resubmitted experiment short-circuits through cache hits instead of
+//! recomputing.
+//!
+//! Cancellation and deadlines arrive as the job handle's cancel flag and
+//! deadline, converted here into the [`CancelToken`] threaded through
+//! [`RunCtx`]; a fired token unwinds with [`SweepCancelled`], which this
+//! executor downcasts back into `Cancelled`/`TimedOut` outcomes. Any
+//! other unwind — including a [`crate::sweep::SweepPanics`] aggregate from a contained
+//! sweep — becomes a `Failed` outcome with the message preserved.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use clock_serve::{JobExecutor, JobHandle, JobOutcome, JobSpec};
+use clock_telemetry::Telemetry;
+
+use crate::cache::{self, CacheKeyExt as _, SweepCache};
+use crate::config::PaperParams;
+use crate::registry::{self, Invocation, Runner};
+use crate::runner::RunCtx;
+use crate::sweep::{panic_message, CancelReason, CancelToken, SweepCancelled};
+
+/// Runs registry experiment ids as supervised service jobs.
+pub struct RegistryExecutor {
+    params: PaperParams,
+    cache: SweepCache,
+}
+
+impl RegistryExecutor {
+    /// An executor over the given paper parameters and shared result
+    /// cache (pass a persistent cache so jobs short-circuit across
+    /// submissions and server restarts).
+    pub fn new(params: PaperParams, cache: SweepCache) -> Self {
+        RegistryExecutor { params, cache }
+    }
+}
+
+impl JobExecutor for RegistryExecutor {
+    fn validate(&self, spec: &JobSpec) -> Result<(), String> {
+        match registry::find(&spec.experiment) {
+            Some(_) => Ok(()),
+            None => Err(format!(
+                "unknown experiment '{}' (see repro --list)",
+                spec.experiment
+            )),
+        }
+    }
+
+    fn dedupe_key(&self, spec: &JobSpec) -> String {
+        // The content identity of a job: engine fingerprint + paper
+        // params (both via cache::key) + what is being run. timeout_ms is
+        // deliberately excluded — a deadline changes patience, not work.
+        cache::key("serve-job")
+            .params(&self.params)
+            .str("experiment", &spec.experiment)
+            .bool("quick", spec.quick)
+            .finish()
+            .to_hex()
+    }
+
+    fn run(&self, spec: &JobSpec, handle: &JobHandle) -> JobOutcome {
+        let telemetry = Telemetry::to_jsonl_or_degraded(&handle.events_path);
+        let cancel = CancelToken::new(handle.cancel_flag(), handle.deadline());
+        let ctx = RunCtx::new(self.params)
+            .with_cache(self.cache.rebind_telemetry(&telemetry))
+            .with_telemetry(telemetry.clone())
+            .with_cancel(cancel.clone());
+        let inv = Invocation {
+            ctx: &ctx,
+            quick: spec.quick,
+            json: false,
+            json_path: None,
+            compare: None,
+            noise: crate::bench::DEFAULT_COMPARE_NOISE,
+        };
+        let experiment = spec.experiment.clone();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut scope = telemetry.scope("serve.job");
+            scope.attr("experiment", experiment.as_str());
+            registry::run(&experiment, &inv)
+        }));
+        let _ = telemetry.flush();
+        match result {
+            Ok(true) => {
+                let snap = telemetry.snapshot();
+                let hits = snap.counter("cache.hits").unwrap_or(0);
+                let misses = snap.counter("cache.misses").unwrap_or(0);
+                JobOutcome::Completed {
+                    detail: format!("ok; cache {hits} hits / {misses} misses"),
+                }
+            }
+            Ok(false) => JobOutcome::Failed {
+                error: format!("experiment '{}' reported failure", spec.experiment),
+            },
+            Err(payload) => {
+                // A cooperative unwind is an outcome, not a crash. The
+                // token is re-consulted for the reason: the sweep may
+                // have unwound on the flag before noticing the deadline.
+                if payload.is::<SweepCancelled>() {
+                    match cancel.cancelled() {
+                        Some(CancelReason::DeadlineExceeded) => JobOutcome::TimedOut,
+                        _ => JobOutcome::Cancelled,
+                    }
+                } else {
+                    JobOutcome::Failed {
+                        error: panic_message(&*payload),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Leaf body of the `selftest-panic` registry id: panic on purpose, so
+/// supervision (per-job `failed` containment) can be exercised end to end.
+pub fn selftest_panic() -> ! {
+    panic!("selftest-panic: intentional panic for supervisor testing")
+}
+
+/// Leaf body of the `selftest-slow` registry id: spin in small sleeps,
+/// consulting the cancel token between them, for cancel/deadline tests.
+/// Runs ~20 s (quick: ~2 s) when nobody cancels it.
+pub fn selftest_slow(ctx: &RunCtx, quick: bool) -> bool {
+    let total = std::time::Duration::from_millis(if quick { 2_000 } else { 20_000 });
+    let started = std::time::Instant::now();
+    while started.elapsed() < total {
+        ctx.cancel.check();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    println!("selftest-slow: idled {} ms uncancelled", total.as_millis());
+    true
+}
+
+/// Sanity helper for tests: whether an id resolves to a leaf runner.
+pub fn is_leaf(id: &str) -> bool {
+    matches!(registry::find(id).map(|d| d.runner), Some(Runner::Leaf(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    fn executor() -> RegistryExecutor {
+        RegistryExecutor::new(
+            PaperParams::default(),
+            SweepCache::in_memory(&Telemetry::disabled()),
+        )
+    }
+
+    fn handle(id: u64, tag: &str) -> JobHandle {
+        let dir = std::env::temp_dir().join(format!("serve-exec-{tag}-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        JobHandle::new(
+            id,
+            Arc::new(AtomicBool::new(false)),
+            None,
+            dir.join(format!("job-{id}.jsonl")),
+        )
+    }
+
+    fn spec(experiment: &str) -> JobSpec {
+        JobSpec {
+            experiment: experiment.to_owned(),
+            quick: true,
+            timeout_ms: 0,
+        }
+    }
+
+    #[test]
+    fn validate_knows_registry_ids() {
+        let e = executor();
+        assert!(e.validate(&spec("fig2")).is_ok());
+        assert!(e.validate(&spec("selftest-slow")).is_ok());
+        assert!(e.validate(&spec("no-such-thing")).is_err());
+    }
+
+    #[test]
+    fn dedupe_key_separates_specs_and_is_stable() {
+        let e = executor();
+        let a = e.dedupe_key(&spec("fig2"));
+        assert_eq!(a, e.dedupe_key(&spec("fig2")), "same spec, same key");
+        assert_ne!(a, e.dedupe_key(&spec("table1")), "different experiment");
+        let mut slow = spec("fig2");
+        slow.quick = false;
+        assert_ne!(a, e.dedupe_key(&slow), "quick changes the work");
+        let mut patient = spec("fig2");
+        patient.timeout_ms = 9_999;
+        assert_eq!(a, e.dedupe_key(&patient), "timeout is not identity");
+    }
+
+    #[test]
+    fn panicking_experiment_becomes_failed_outcome() {
+        let e = executor();
+        let outcome = e.run(&spec("selftest-panic"), &handle(1, "panic"));
+        let JobOutcome::Failed { error } = outcome else {
+            panic!("expected Failed, got {outcome:?}");
+        };
+        assert!(error.contains("selftest-panic"), "{error}");
+    }
+
+    #[test]
+    fn cancelled_experiment_becomes_cancelled_outcome() {
+        let e = executor();
+        let h = handle(2, "cancel");
+        let flag = h.cancel_flag();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            flag.store(true, Ordering::SeqCst);
+        });
+        let started = Instant::now();
+        let outcome = e.run(&spec("selftest-slow"), &h);
+        t.join().expect("canceller joins");
+        assert_eq!(outcome, JobOutcome::Cancelled);
+        assert!(
+            started.elapsed() < Duration::from_millis(1_900),
+            "cancel must cut the 2 s selftest short"
+        );
+    }
+
+    #[test]
+    fn deadline_becomes_timed_out_outcome() {
+        let e = executor();
+        let h = JobHandle::new(
+            3,
+            Arc::new(AtomicBool::new(false)),
+            Some(Instant::now() + Duration::from_millis(150)),
+            std::env::temp_dir().join(format!("serve-exec-deadline-{}.jsonl", std::process::id())),
+        );
+        let outcome = e.run(&spec("selftest-slow"), &h);
+        assert_eq!(outcome, JobOutcome::TimedOut);
+    }
+
+    #[test]
+    fn quick_experiment_completes_with_cache_traffic_summary() {
+        let e = executor();
+        let outcome = e.run(&spec("fig2"), &handle(4, "ok"));
+        let JobOutcome::Completed { detail } = outcome else {
+            panic!("expected Completed, got {outcome:?}");
+        };
+        assert!(detail.contains("cache"), "{detail}");
+    }
+}

@@ -15,10 +15,28 @@
 //! the end of the sweep. Output order is always the input order, whatever
 //! order items complete in, and completions (ready or computed) drive the
 //! same progress line.
+//!
+//! # Panic containment
+//!
+//! A panic inside one grid point's compute no longer aborts the whole
+//! sweep: each item runs under `catch_unwind`, every *other* pending item
+//! still completes (and backfills the cache), and only then does the sweep
+//! re-panic with a [`SweepPanics`] payload naming every failed item. The
+//! `repro serve` job supervisor catches that payload and marks the one job
+//! failed while the server keeps serving.
+//!
+//! # Cooperative cancellation
+//!
+//! A [`CancelToken`] (threaded through `RunCtx`) makes long sweeps
+//! abandonable: call sites check the token between grid points, and a
+//! fired token unwinds with a [`SweepCancelled`] payload that the sweep
+//! propagates immediately (no further items are claimed) and the job
+//! supervisor maps to a `cancelled`/`timeout` terminal state.
 
 use std::io::{IsTerminal as _, Write as _};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 use clock_telemetry::Telemetry;
@@ -141,6 +159,143 @@ fn dispatch_chunk(n: usize, workers: usize) -> usize {
     (n / (workers * 8)).clamp(1, 32)
 }
 
+/// Why a [`CancelToken`] fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// An explicit cancellation request (client cancel, shutdown drain).
+    Cancelled,
+    /// The job's wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+/// A cooperative cancellation token. The default token never fires, and
+/// checking it is a single `Option` branch, so it can be threaded through
+/// every run context at zero cost. A live token fires when its shared flag
+/// is raised (client cancellation) or its wall-clock deadline passes
+/// (per-job timeout); [`CancelToken::check`] then unwinds with a
+/// [`SweepCancelled`] payload that `parallel_map_planned` propagates
+/// immediately and a job supervisor downcasts back to the reason.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<CancelInner>>,
+}
+
+impl CancelToken {
+    /// The inert token (same as `CancelToken::default()`): never fires.
+    pub fn never() -> Self {
+        CancelToken::default()
+    }
+
+    /// A live token observing `flag`, with an optional wall-clock
+    /// deadline. The flag is shared: raising it from any thread cancels
+    /// every holder of this token.
+    pub fn new(flag: Arc<AtomicBool>, deadline: Option<Instant>) -> Self {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner { flag, deadline })),
+        }
+    }
+
+    /// Why the token has fired, if it has.
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        let inner = self.inner.as_ref()?;
+        if inner.flag.load(Ordering::Relaxed) {
+            return Some(CancelReason::Cancelled);
+        }
+        if inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Some(CancelReason::DeadlineExceeded);
+        }
+        None
+    }
+
+    /// Unwind with a [`SweepCancelled`] payload when the token has fired.
+    /// Call between units of work (grid points, iterations); the panic is
+    /// the cooperative exit path, caught by the job supervisor.
+    pub fn check(&self) {
+        if let Some(reason) = self.cancelled() {
+            std::panic::panic_any(SweepCancelled(reason));
+        }
+    }
+}
+
+/// The panic payload of a cooperative cancellation — downcast it from
+/// `catch_unwind` to distinguish "cancelled/timed out" from a real crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCancelled(pub CancelReason);
+
+impl std::fmt::Display for SweepCancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            CancelReason::Cancelled => write!(f, "sweep cancelled"),
+            CancelReason::DeadlineExceeded => write!(f, "sweep deadline exceeded"),
+        }
+    }
+}
+
+/// The panic payload a contained sweep re-raises after every surviving
+/// item has completed: one `(input index, panic message)` pair per failed
+/// item, input-ordered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepPanics {
+    /// `(item index, panic message)` for every item whose probe or
+    /// compute panicked.
+    pub items: Vec<(usize, String)>,
+}
+
+impl std::fmt::Display for SweepPanics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} sweep item(s) panicked:", self.items.len())?;
+        for (i, msg) in &self.items {
+            write!(f, " [{i}] {msg};")?;
+        }
+        Ok(())
+    }
+}
+
+/// Render a caught panic payload as a message (panics carry `String` or
+/// `&str` in practice; anything else gets a stable placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(c) = payload.downcast_ref::<SweepCancelled>() {
+        c.to_string()
+    } else if let Some(p) = payload.downcast_ref::<SweepPanics>() {
+        p.to_string()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn is_cancel(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<SweepCancelled>()
+}
+
+/// Silence the default panic hook for cooperative [`SweepCancelled`]
+/// unwinds. Cancellation is routine control flow for long-lived hosts
+/// (the experiment service cancels jobs on request and on deadline);
+/// without this, every cancel spews a backtrace to stderr. All other
+/// panics still reach the previously installed hook. Idempotent enough
+/// for practice: installs once per process.
+pub fn install_quiet_cancel_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<SweepCancelled>() {
+                previous(info);
+            }
+        }));
+    });
+}
+
 /// The probe's verdict on one sweep item, before any worker is involved.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Plan<R> {
@@ -162,6 +317,15 @@ pub enum Plan<R> {
 /// `sweep.tail_ms` counter. A scheduler that balances well keeps the tail
 /// close to one average item; one that strands a heavy job at the end
 /// shows it here.
+///
+/// # Panics
+///
+/// A panic inside `probe` or `f` is contained per item: every other
+/// pending item still runs to completion (so cache backfills survive),
+/// and the sweep then re-panics with a [`SweepPanics`] payload listing
+/// `(index, message)` for each failed item. A [`SweepCancelled`] payload
+/// (a fired [`CancelToken`]) is special: it aborts the dispatch promptly —
+/// no further items are claimed — and propagates unchanged.
 pub fn parallel_map_planned<T, R, F, P>(
     items: &[T],
     probe: P,
@@ -181,19 +345,23 @@ where
     let mut probe = probe;
     let mut meter = ProgressMeter::new(n);
     let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // Per-item panics collected across the probe pass and the dispatch.
+    let mut errors: Vec<(usize, String)> = Vec::new();
     // Probe pass: ready results land immediately, misses queue with costs.
     let mut pending: Vec<(usize, u64)> = Vec::new();
     {
         let mut probe_scope = telemetry.scope("sweep.probe");
         for (i, item) in items.iter().enumerate() {
-            match probe(item) {
-                Plan::Ready(r) => {
+            match catch_unwind(AssertUnwindSafe(|| probe(item))) {
+                Ok(Plan::Ready(r)) => {
                     out[i] = Some(r);
                     if let Some(m) = meter.as_mut() {
                         m.tick();
                     }
                 }
-                Plan::Compute(cost) => pending.push((i, cost)),
+                Ok(Plan::Compute(cost)) => pending.push((i, cost)),
+                Err(payload) if is_cancel(&*payload) => resume_unwind(payload),
+                Err(payload) => errors.push((i, panic_message(&*payload))),
             }
         }
         probe_scope.attr("items", n);
@@ -209,17 +377,25 @@ where
     };
     let p = order.len();
     if p == 0 {
-        return collect_all(out);
+        return finish_sweep(out, errors, None);
     }
     let workers = worker_count(p);
     if workers <= 1 {
+        let mut cancel_payload = None;
         for &i in &order {
-            out[i] = Some(f(&items[i]));
+            match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                Ok(r) => out[i] = Some(r),
+                Err(payload) if is_cancel(&*payload) => {
+                    cancel_payload = Some(payload);
+                    break;
+                }
+                Err(payload) => errors.push((i, panic_message(&*payload))),
+            }
             if let Some(m) = meter.as_mut() {
                 m.tick();
             }
         }
-        return collect_all(out);
+        return finish_sweep(out, errors, cancel_payload);
     }
     let chunk = dispatch_chunk(p, workers);
     let cursor = AtomicUsize::new(0);
@@ -227,24 +403,33 @@ where
     // Micros from `started` at which the queue drained (every item
     // claimed); what remains after that instant is the scheduling tail.
     let drained_at_us = AtomicU64::new(u64::MAX);
+    // Raised when a worker catches a cancellation: no further chunks are
+    // claimed, and the payload (stashed once) propagates after the scope.
+    let abort = AtomicBool::new(false);
+    let cancel_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     // Workers run on their own threads, so the thread-local span nesting
     // breaks there: capture the enclosing span here and parent each
     // worker's span explicitly.
     let dispatch_parent = telemetry.current_span();
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, String>)>();
     std::thread::scope(|scope| {
         for w in 0..workers {
             let tx = tx.clone();
             let cursor = &cursor;
             let order = &order;
             let drained_at_us = &drained_at_us;
+            let abort = &abort;
+            let cancel_slot = &cancel_slot;
             let f = &f;
             let telemetry = &telemetry;
             scope.spawn(move || {
                 let mut worker_scope = telemetry.scope_under(dispatch_parent, "sweep.worker");
                 worker_scope.attr("worker", w);
                 let mut claimed = 0usize;
-                loop {
+                'claim: loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= p {
                         let _ = drained_at_us.compare_exchange(
@@ -258,8 +443,17 @@ where
                     let end = (start + chunk).min(p);
                     claimed += end - start;
                     for &i in &order[start..end] {
-                        tx.send((i, f(&items[i])))
-                            .expect("receiver outlives workers");
+                        let result = match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                            Ok(r) => Ok(r),
+                            Err(payload) if is_cancel(&*payload) => {
+                                let mut slot = cancel_slot.lock().expect("cancel slot lock");
+                                slot.get_or_insert(payload);
+                                abort.store(true, Ordering::Relaxed);
+                                break 'claim;
+                            }
+                            Err(payload) => Err(panic_message(&*payload)),
+                        };
+                        tx.send((i, result)).expect("receiver outlives workers");
                     }
                 }
                 worker_scope.attr("items", claimed);
@@ -269,7 +463,10 @@ where
         // The single collector thread also owns the progress line, so
         // ticks are serialized without extra locking.
         for (i, r) in rx.iter() {
-            out[i] = Some(r);
+            match r {
+                Ok(r) => out[i] = Some(r),
+                Err(msg) => errors.push((i, msg)),
+            }
             if let Some(m) = meter.as_mut() {
                 m.tick();
             }
@@ -282,6 +479,28 @@ where
             let tail_ms = total.saturating_sub(drained) / 1000;
             telemetry.counter("sweep.tail_ms").add(tail_ms);
         }
+    }
+    finish_sweep(
+        out,
+        errors,
+        cancel_slot.into_inner().expect("cancel slot lock"),
+    )
+}
+
+/// Resolve a contained sweep: propagate a pending cancellation payload
+/// first, then aggregated per-item panics, and only collect results when
+/// everything actually completed.
+fn finish_sweep<R>(
+    out: Vec<Option<R>>,
+    mut errors: Vec<(usize, String)>,
+    cancel_payload: Option<Box<dyn std::any::Any + Send>>,
+) -> Vec<R> {
+    if let Some(payload) = cancel_payload {
+        resume_unwind(payload);
+    }
+    if !errors.is_empty() {
+        errors.sort_by_key(|&(i, _)| i);
+        std::panic::panic_any(SweepPanics { items: errors });
     }
     collect_all(out)
 }
@@ -476,6 +695,130 @@ mod tests {
             &Telemetry::disabled(),
         );
         assert_eq!(out, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn panicking_item_is_contained_and_other_items_complete() {
+        let items: Vec<u64> = (0..64).collect();
+        let completed = AtomicUsize::new(0);
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_planned(
+                &items,
+                |_| Plan::Compute(1),
+                |&x| {
+                    if x == 13 || x == 40 {
+                        panic!("item {x} exploded");
+                    }
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    x
+                },
+                &Telemetry::disabled(),
+            )
+        }))
+        .expect_err("a sweep with panicking items must re-panic");
+        let panics = payload
+            .downcast_ref::<SweepPanics>()
+            .expect("payload must be SweepPanics");
+        let indices: Vec<usize> = panics.items.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, vec![13, 40], "input-ordered failed indices");
+        assert!(panics.items[0].1.contains("item 13 exploded"));
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            62,
+            "every surviving item must still run"
+        );
+    }
+
+    #[test]
+    fn probe_panic_is_contained_too() {
+        let items: Vec<u64> = (0..8).collect();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_planned(
+                &items,
+                |&x| {
+                    if x == 3 {
+                        panic!("bad probe");
+                    }
+                    Plan::Ready(x)
+                },
+                |&x| x,
+                &Telemetry::disabled(),
+            )
+        }))
+        .expect_err("probe panic must surface");
+        let panics = payload
+            .downcast_ref::<SweepPanics>()
+            .expect("payload must be SweepPanics");
+        assert_eq!(panics.items.len(), 1);
+        assert_eq!(panics.items[0].0, 3);
+    }
+
+    #[test]
+    fn fired_cancel_token_propagates_and_stops_claiming() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let token = CancelToken::new(Arc::clone(&flag), None);
+        let items: Vec<u64> = (0..256).collect();
+        let started = AtomicUsize::new(0);
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            parallel_map_planned(
+                &items,
+                |_| Plan::Compute(1),
+                |&x| {
+                    let n = started.fetch_add(1, Ordering::Relaxed);
+                    if n == 5 {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                    token.check();
+                    x
+                },
+                &Telemetry::disabled(),
+            )
+        }))
+        .expect_err("a fired token must unwind the sweep");
+        let cancelled = payload
+            .downcast_ref::<SweepCancelled>()
+            .expect("payload must be SweepCancelled");
+        assert_eq!(cancelled.0, CancelReason::Cancelled);
+        assert!(
+            started.load(Ordering::Relaxed) < items.len(),
+            "cancellation must abort the dispatch before the tail"
+        );
+    }
+
+    #[test]
+    fn deadline_token_reports_timeout_reason() {
+        let token = CancelToken::new(
+            Arc::new(AtomicBool::new(false)),
+            Some(Instant::now() - std::time::Duration::from_millis(1)),
+        );
+        assert_eq!(token.cancelled(), Some(CancelReason::DeadlineExceeded));
+        let payload = catch_unwind(AssertUnwindSafe(|| token.check()))
+            .expect_err("expired deadline must fire");
+        assert_eq!(
+            payload.downcast_ref::<SweepCancelled>(),
+            Some(&SweepCancelled(CancelReason::DeadlineExceeded))
+        );
+    }
+
+    #[test]
+    fn never_token_is_inert() {
+        let token = CancelToken::never();
+        assert_eq!(token.cancelled(), None);
+        token.check();
+        assert_eq!(CancelToken::default().cancelled(), None);
+    }
+
+    #[test]
+    fn panic_message_renders_known_payload_shapes() {
+        let str_payload = catch_unwind(|| panic!("plain literal")).unwrap_err();
+        assert_eq!(panic_message(&*str_payload), "plain literal");
+        let string_payload = catch_unwind(|| panic!("value {}", 42)).unwrap_err();
+        assert_eq!(panic_message(&*string_payload), "value 42");
+        let cancel: Box<dyn std::any::Any + Send> =
+            Box::new(SweepCancelled(CancelReason::DeadlineExceeded));
+        assert_eq!(panic_message(&*cancel), "sweep deadline exceeded");
+        let opaque: Box<dyn std::any::Any + Send> = Box::new(7u32);
+        assert_eq!(panic_message(&*opaque), "non-string panic payload");
     }
 
     /// Tests that touch the process-global worker override take this lock

@@ -1,0 +1,323 @@
+//! Chaos end-to-end test for `repro serve`: the real binary, a real
+//! loopback port, and hostile weather — concurrent submits (one of which
+//! panics on purpose), a cancel mid-run, a client that disconnects in the
+//! middle of an event stream, and malformed requests — all while `/health`
+//! must keep answering. The server is then drained via `/shutdown` and
+//! restarted over the same data dir to prove the journal replays without
+//! re-running completed work.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A `repro serve` child on an ephemeral port.
+struct ServeProc {
+    child: Child,
+    addr: String,
+}
+
+impl ServeProc {
+    fn start(dir: &Path) -> ServeProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+            .args([
+                "serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--serve-dir",
+                &dir.to_string_lossy(),
+                "--workers",
+                "2",
+                "--queue",
+                "8",
+                "--drain-ms",
+                "5000",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn repro serve");
+        // The first stdout line advertises the bound address.
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("serve exited before listening")
+                .expect("read serve stdout");
+            if let Some(rest) = line.strip_prefix("serve: listening on http://") {
+                break rest.trim().to_owned();
+            }
+        };
+        // Keep draining stdout so the child never blocks on a full pipe
+        // (experiments print plots to stdout).
+        std::thread::spawn(move || while let Some(Ok(_)) = lines.next() {});
+        ServeProc { child, addr }
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+        http(&self.addr, method, path, body)
+    }
+
+    fn wait_exit(&mut self, within: Duration) -> bool {
+        let deadline = Instant::now() + within;
+        while Instant::now() < deadline {
+            if self.child.try_wait().expect("try_wait").is_some() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        false
+    }
+}
+
+impl Drop for ServeProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Minimal blocking HTTP client (one request per connection, like the
+/// server expects).
+fn http(addr: &str, method: &str, path: &str, body: Option<&str>) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut raw)
+        .expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line in {raw:?}"));
+    let payload = raw.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+    // Chunked responses keep their framing here; these tests only
+    // substring-match bodies, so that is fine.
+    (status, payload)
+}
+
+fn submit(server: &ServeProc, json: &str) -> u64 {
+    let (status, body) = server.request("POST", "/submit", Some(json));
+    assert!(
+        status == 202 || status == 200,
+        "submit {json} got {status}: {body}"
+    );
+    body.split("\"job\":")
+        .nth(1)
+        .and_then(|s| s.split(&[',', '}'][..]).next())
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no job id in {body}"))
+}
+
+fn state_of(server: &ServeProc, id: u64) -> String {
+    let (status, body) = server.request("GET", &format!("/jobs/{id}"), None);
+    assert_eq!(status, 200, "{body}");
+    body.split("\"state\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .unwrap_or_else(|| panic!("no state in {body}"))
+        .to_owned()
+}
+
+fn wait_terminal(server: &ServeProc, id: u64, within: Duration) -> String {
+    let deadline = Instant::now() + within;
+    loop {
+        let state = state_of(server, id);
+        if !matches!(state.as_str(), "queued" | "running") {
+            return state;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "job {id} still '{state}' after {within:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn chaos_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-serve-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn chaos_storm_then_clean_drain_and_replay() {
+    let dir = chaos_dir();
+    let server = ServeProc::start(&dir);
+
+    // -- Concurrent submits, one of them a deliberate panic. --
+    let quick = submit(&server, r#"{"experiment":"fig8","quick":true}"#);
+    let boom = submit(&server, r#"{"experiment":"selftest-panic","quick":true}"#);
+    let slow = submit(&server, r#"{"experiment":"selftest-slow"}"#);
+
+    // -- Malformed requests while jobs are in flight. --
+    for garbage in [
+        "\r\n\r\n",
+        "GARBAGE NOISE NOT HTTP\r\n\r\n",
+        "POST /submit HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope",
+        "POST /submit HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+    ] {
+        let mut stream = TcpStream::connect(&server.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        stream.write_all(garbage.as_bytes()).expect("write garbage");
+        let mut response = String::new();
+        let _ = BufReader::new(stream).read_to_string(&mut response);
+        if let Some(status) = response.split_whitespace().nth(1) {
+            let status: u16 = status.parse().expect("numeric status");
+            assert!(
+                (400..500).contains(&status),
+                "garbage must get 4xx, got {status}"
+            );
+        } // An empty response (clean close) is also acceptable.
+    }
+
+    // -- A client that starts the slow job's event stream, then hangs up. --
+    {
+        let mut stream = TcpStream::connect(&server.addr).expect("connect");
+        write!(
+            stream,
+            "GET /jobs/{slow}/events HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"
+        )
+        .expect("start stream");
+        let mut first = [0u8; 64];
+        let _ = stream.read(&mut first);
+        drop(stream); // mid-stream disconnect
+    }
+
+    // -- Health must answer through all of it. --
+    let (status, body) = server.request("GET", "/health", None);
+    assert_eq!(status, 200, "{body}");
+
+    // -- Cancel the slow job mid-run. --
+    let (status, body) = server.request("POST", &format!("/jobs/{slow}/cancel"), None);
+    assert_eq!(status, 200, "{body}");
+
+    // -- Everything reaches the right terminal state. --
+    assert_eq!(
+        wait_terminal(&server, quick, Duration::from_secs(60)),
+        "completed"
+    );
+    assert_eq!(
+        wait_terminal(&server, boom, Duration::from_secs(60)),
+        "failed"
+    );
+    assert_eq!(
+        wait_terminal(&server, slow, Duration::from_secs(10)),
+        "cancelled"
+    );
+
+    // -- The cache means a resubmit of completed work is instant. --
+    let again = submit(&server, r#"{"experiment":"fig8","quick":true}"#);
+    assert_ne!(again, quick, "terminal jobs are not single-flighted");
+    assert_eq!(
+        wait_terminal(&server, again, Duration::from_secs(60)),
+        "completed"
+    );
+
+    // -- Graceful drain via the API. --
+    let (status, body) = server.request("POST", "/shutdown", None);
+    assert_eq!(status, 200, "{body}");
+    let mut server = server;
+    assert!(
+        server.wait_exit(Duration::from_secs(15)),
+        "server must exit after drain"
+    );
+
+    // -- Second life: journal replays, nothing re-runs, ids advance. --
+    let server2 = ServeProc::start(&dir);
+    let (status, listing) = server2.request("GET", "/jobs", None);
+    assert_eq!(status, 200);
+    for id in [quick, boom, slow, again] {
+        assert!(
+            listing.contains(&format!("\"id\":{id}")),
+            "job {id} lost across restart: {listing}"
+        );
+    }
+    assert_eq!(state_of(&server2, quick), "completed");
+    assert_eq!(state_of(&server2, boom), "failed");
+    assert_eq!(state_of(&server2, slow), "cancelled");
+    assert!(
+        !listing.contains("\"state\":\"queued\"") && !listing.contains("\"state\":\"running\""),
+        "no job may be non-terminal after replay: {listing}"
+    );
+    let fresh = submit(&server2, r#"{"experiment":"selftest-slow","quick":true}"#);
+    assert!(fresh > again, "ids must advance past replayed history");
+    let (status, _) = server2.request("POST", &format!("/jobs/{fresh}/cancel"), None);
+    assert_eq!(status, 200);
+    wait_terminal(&server2, fresh, Duration::from_secs(10));
+    drop(server2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_and_sigkill_leaves_interrupted_evidence() {
+    let dir = std::env::temp_dir().join(format!("repro-serve-sigterm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // -- SIGTERM: the cooperative slow job is cancelled by the drain and
+    // the process exits on its own. --
+    let mut server = ServeProc::start(&dir);
+    let slow = submit(&server, r#"{"experiment":"selftest-slow"}"#);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while state_of(&server, slow) != "running" {
+        assert!(Instant::now() < deadline, "slow job never started");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let pid = server.child.id();
+    assert!(Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .expect("send SIGTERM")
+        .success());
+    assert!(
+        server.wait_exit(Duration::from_secs(15)),
+        "SIGTERM must end the server"
+    );
+    drop(server);
+
+    // -- Replay shows the drain's work, then SIGKILL a fresh in-flight
+    // job: no drain ran, so replay must mark it interrupted. --
+    let mut server2 = ServeProc::start(&dir);
+    assert_eq!(state_of(&server2, slow), "cancelled");
+    let doomed = submit(&server2, r#"{"experiment":"selftest-slow"}"#);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while state_of(&server2, doomed) != "running" {
+        assert!(Instant::now() < deadline, "doomed job never started");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let pid = server2.child.id();
+    assert!(Command::new("kill")
+        .args(["-KILL", &pid.to_string()])
+        .status()
+        .expect("send SIGKILL")
+        .success());
+    assert!(
+        server2.wait_exit(Duration::from_secs(10)),
+        "SIGKILL must end the server"
+    );
+    drop(server2);
+
+    let server3 = ServeProc::start(&dir);
+    assert_eq!(
+        state_of(&server3, doomed),
+        "interrupted",
+        "a job killed mid-flight must replay as interrupted, not re-run"
+    );
+    drop(server3);
+    let _ = std::fs::remove_dir_all(&dir);
+}

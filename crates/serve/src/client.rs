@@ -1,0 +1,203 @@
+//! A minimal blocking HTTP/1.1 client for the `repro`
+//! submit/jobs/cancel subcommands and the smoke tests: one request per
+//! connection, chunked and `Content-Length` bodies both decoded, plus a
+//! retrying submit that honours `Retry-After` and backs off with jitter.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A decoded response: status code, headers, body text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lower-cased header `(name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The full (de-chunked) body.
+    pub body: String,
+}
+
+impl Response {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Issue one request and read the full response. `body` implies a JSON
+/// `Content-Type`. Connection-per-request matches the server's
+/// `Connection: close` discipline.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<Response, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| e.to_string())?;
+    let mut w = stream.try_clone().map_err(|e| e.to_string())?;
+    let payload = body.unwrap_or("");
+    write!(
+        w,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    )
+    .map_err(|e| format!("send: {e}"))?;
+    w.flush().map_err(|e| format!("send: {e}"))?;
+    read_response(&mut BufReader::new(stream))
+}
+
+/// Decode a response off any reader (exposed for tests).
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response, String> {
+    let mut status_line = String::new();
+    r.read_line(&mut status_line).map_err(|e| e.to_string())?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
+    loop {
+        let mut line = String::new();
+        r.read_line(&mut line).map_err(|e| e.to_string())?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((n, v)) = line.split_once(':') {
+            headers.push((n.to_ascii_lowercase(), v.trim().to_owned()));
+        }
+    }
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            r.read_line(&mut size_line).map_err(|e| e.to_string())?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("bad chunk size {size_line:?}"))?;
+            if size == 0 {
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            r.read_exact(&mut chunk).map_err(|e| e.to_string())?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            r.read_exact(&mut crlf).map_err(|e| e.to_string())?;
+        }
+    } else if let Some(len) = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        body.resize(len, 0);
+        r.read_exact(&mut body).map_err(|e| e.to_string())?;
+    } else {
+        r.read_to_end(&mut body).map_err(|e| e.to_string())?;
+    }
+    Ok(Response {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+/// Submit with retry: transient failures (connect errors, 5xx) and
+/// backpressure (429) back off exponentially with jitter before retrying;
+/// a 429 with `Retry-After` waits at least that long. Definitive answers
+/// (2xx, other 4xx) return immediately.
+pub fn submit_with_retry(
+    addr: &str,
+    body: &str,
+    attempts: u32,
+    base_delay: Duration,
+) -> Result<Response, String> {
+    let mut last_err = String::new();
+    for attempt in 0..attempts {
+        match request(addr, "POST", "/submit", Some(body)) {
+            Ok(resp) if resp.status == 429 => {
+                let retry_after = resp
+                    .header("retry-after")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(Duration::from_secs);
+                last_err = "shed with 429".to_owned();
+                let wait = backoff_delay(base_delay, attempt).max(retry_after.unwrap_or_default());
+                std::thread::sleep(wait);
+            }
+            Ok(resp) if resp.status >= 500 => {
+                last_err = format!("server error {}", resp.status);
+                std::thread::sleep(backoff_delay(base_delay, attempt));
+            }
+            Ok(resp) => return Ok(resp),
+            Err(e) => {
+                last_err = e;
+                std::thread::sleep(backoff_delay(base_delay, attempt));
+            }
+        }
+    }
+    Err(format!(
+        "submit failed after {attempts} attempts: {last_err}"
+    ))
+}
+
+/// Exponential backoff with full jitter: `base * 2^attempt`, capped, then
+/// scaled by a pseudo-random factor in [0.5, 1.0] so a herd of retrying
+/// clients decorrelates instead of thundering in lockstep.
+pub fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(6));
+    let capped = exp.min(Duration::from_secs(5));
+    // Cheap jitter source: the sub-microsecond phase of the monotonic
+    // clock, which is effectively uncorrelated across processes.
+    let nanos = std::time::Instant::now().elapsed().subsec_nanos() as u64
+        ^ std::process::id() as u64
+        ^ (attempt as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    let scale = 0.5 + (nanos % 1000) as f64 / 2000.0;
+    capped.mul_f64(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_content_length_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 5\r\n\r\nhello";
+        let r = read_response(&mut BufReader::new(&raw[..])).expect("decodes");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, "hello");
+        assert_eq!(r.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn decodes_chunked_response() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n";
+        let r = read_response(&mut BufReader::new(&raw[..])).expect("decodes");
+        assert_eq!(r.body, "hello\nworld\n");
+    }
+
+    #[test]
+    fn rejects_garbage_status_line() {
+        assert!(read_response(&mut BufReader::new(&b"not http\r\n\r\n"[..])).is_err());
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_bounded() {
+        let base = Duration::from_millis(100);
+        let d0 = backoff_delay(base, 0);
+        let d3 = backoff_delay(base, 3);
+        assert!(d0 >= Duration::from_millis(50) && d0 <= Duration::from_millis(100));
+        assert!(d3 >= Duration::from_millis(400) && d3 <= Duration::from_millis(800));
+        // Deep attempts stay under the cap even before jitter.
+        assert!(backoff_delay(base, 30) <= Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,384 @@
+//! A hand-rolled HTTP/1.1 subset over any [`BufRead`]: exactly what the
+//! experiment service needs and nothing more, hardened against byte soup.
+//!
+//! The parser never panics and never allocates unboundedly: the request
+//! line, each header, the header count and the body all have hard caps,
+//! and every violation maps to a definite 4xx (see
+//! [`ParseError::status`]). Reads that stall mid-request surface the
+//! socket's read timeout as [`ParseError::Timeout`] (408), which is the
+//! slowloris defence: a client that trickles half a request line holds a
+//! connection thread for at most one timeout, never forever.
+//!
+//! Responses are written with explicit `Content-Length` and
+//! `Connection: close` (one request per connection keeps the state
+//! machine trivial and robust), except the event stream, which uses
+//! `Transfer-Encoding: chunked` via [`ChunkedWriter`] so progress lines
+//! flush to the client incrementally while a job runs.
+
+use std::io::{self, BufRead, Write};
+
+/// Hard cap on the request line (method + target + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Hard cap on one header line.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Hard cap on the header count.
+pub const MAX_HEADERS: usize = 64;
+/// Hard cap on a request body (`Content-Length`).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed request: method, target path (with query stripped off by
+/// the router, not here) and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target, e.g. `/jobs/3/events`.
+    pub target: String,
+    /// Header `(name, value)` pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request failed to parse. Every variant maps to a definite
+/// response (or a clean close) via [`ParseError::status`].
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line, header or framing → 400.
+    BadRequest(&'static str),
+    /// A size cap was exceeded → 431 (headers) / 413 (body).
+    TooLarge(&'static str, u16),
+    /// The peer stalled past the socket read timeout → 408.
+    Timeout,
+    /// The peer closed before sending a full request → no response.
+    Eof,
+    /// Transport error mid-request → no response (the socket is gone).
+    Io(io::Error),
+}
+
+impl ParseError {
+    /// The `(status, reason, detail)` to answer with, or `None` when the
+    /// connection is not worth (or capable of) a response.
+    pub fn status(&self) -> Option<(u16, &'static str, &'static str)> {
+        match self {
+            ParseError::BadRequest(d) => Some((400, "Bad Request", d)),
+            ParseError::TooLarge(d, 413) => Some((413, "Payload Too Large", d)),
+            ParseError::TooLarge(d, _) => Some((431, "Request Header Fields Too Large", d)),
+            ParseError::Timeout => Some((408, "Request Timeout", "read timed out")),
+            ParseError::Eof | ParseError::Io(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadRequest(d) => write!(f, "bad request: {d}"),
+            ParseError::TooLarge(d, s) => write!(f, "too large ({s}): {d}"),
+            ParseError::Timeout => write!(f, "read timeout"),
+            ParseError::Eof => write!(f, "connection closed"),
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+fn io_error(e: io::Error) -> ParseError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ParseError::Timeout,
+        io::ErrorKind::UnexpectedEof => ParseError::Eof,
+        _ => ParseError::Io(e),
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line of at most `cap` bytes,
+/// byte-by-byte so the cap is enforced before the allocation, not after.
+/// `Ok(None)` is a clean EOF before the first byte.
+fn read_line_capped<R: BufRead>(
+    r: &mut R,
+    cap: usize,
+    what: &'static str,
+    over: u16,
+) -> Result<Option<String>, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::Eof);
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| ParseError::BadRequest("non-UTF-8 line"))?;
+                    return Ok(Some(text));
+                }
+                if line.len() >= cap {
+                    return Err(ParseError::TooLarge(what, over));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_error(e)),
+        }
+    }
+}
+
+/// Parse one request off the reader. See the module docs for the caps and
+/// the error → status mapping.
+pub fn parse_request<R: BufRead>(r: &mut R) -> Result<Request, ParseError> {
+    let Some(request_line) = read_line_capped(r, MAX_REQUEST_LINE, "request line", 431)? else {
+        return Err(ParseError::Eof);
+    };
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ParseError::BadRequest("bad method token"));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::BadRequest("target must be absolute path"));
+    }
+    if !(version == "HTTP/1.1" || version == "HTTP/1.0") || parts.next().is_some() {
+        return Err(ParseError::BadRequest("bad HTTP version"));
+    }
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line_capped(r, MAX_HEADER_LINE, "header line", 431)? else {
+            return Err(ParseError::Eof);
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(ParseError::TooLarge("too many headers", 431));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::BadRequest("header without colon"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadRequest("bad header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    match content_length {
+        None => {}
+        Some(Err(_)) => return Err(ParseError::BadRequest("bad Content-Length")),
+        Some(Ok(len)) if len > MAX_BODY => {
+            return Err(ParseError::TooLarge("body over cap", 413));
+        }
+        Some(Ok(len)) => {
+            body.resize(len, 0);
+            r.read_exact(&mut body).map_err(io_error)?;
+        }
+    }
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ParseError::BadRequest("chunked request bodies unsupported"));
+    }
+    Ok(Request {
+        method: method.to_owned(),
+        target: target.to_owned(),
+        headers,
+        body,
+    })
+}
+
+/// Write a complete response with `Content-Length` framing and
+/// `Connection: close`. `extra_headers` lines must be full `Name: value`
+/// pairs (no CRLF).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra_headers: &[&str],
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    )?;
+    for h in extra_headers {
+        write!(w, "{h}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Convenience: a JSON response.
+pub fn write_json(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    extra_headers: &[&str],
+    body: &str,
+) -> io::Result<()> {
+    write_response(
+        w,
+        status,
+        reason,
+        extra_headers,
+        "application/json",
+        body.as_bytes(),
+    )
+}
+
+/// An incremental `Transfer-Encoding: chunked` body writer — the event
+/// stream's transport. Each [`write_chunk`](ChunkedWriter::write_chunk)
+/// flushes, so a tailing client sees progress lines as they happen.
+pub struct ChunkedWriter<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedWriter<W> {
+    /// Write the status line + chunked headers and return the body writer.
+    pub fn start(mut w: W, content_type: &str) -> io::Result<Self> {
+        write!(
+            w,
+            "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+        )?;
+        w.flush()?;
+        Ok(ChunkedWriter { w })
+    }
+
+    /// Write one chunk (empty input is skipped — an empty chunk would
+    /// terminate the stream).
+    pub fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Terminate the stream with the zero-length chunk.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        parse_request(&mut BufReader::new(bytes))
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let r = parse(b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.target, "/health");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_bare_lf() {
+        let r = parse(b"POST /submit HTTP/1.1\nContent-Length: 4\n\nabcd").expect("parses");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_bad_method_version_and_target() {
+        assert!(matches!(
+            parse(b"get /x HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET x HTTP/1.1\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/2.0\r\n\r\n"),
+            Err(ParseError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_content_length() {
+        let e = parse(b"POST /x HTTP/1.1\r\nContent-Length: soup\r\n\r\n").unwrap_err();
+        assert_eq!(e.status().map(|s| s.0), Some(400));
+    }
+
+    #[test]
+    fn caps_header_count_and_body() {
+        let mut req = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..(MAX_HEADERS + 1) {
+            req.extend_from_slice(format!("H{i}: v\r\n").as_bytes());
+        }
+        req.extend_from_slice(b"\r\n");
+        assert_eq!(parse(&req).unwrap_err().status().map(|s| s.0), Some(431));
+
+        let big = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(
+            parse(big.as_bytes()).unwrap_err().status().map(|s| s.0),
+            Some(413)
+        );
+    }
+
+    #[test]
+    fn truncated_requests_are_clean_eof() {
+        assert!(matches!(parse(b""), Err(ParseError::Eof)));
+        assert!(matches!(parse(b"GET /x HT"), Err(ParseError::Eof)));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nHost: x\r\n"),
+            Err(ParseError::Eof)
+        ));
+        // Declared body longer than what arrives.
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ParseError::Eof)
+        ));
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let mut out = Vec::new();
+        {
+            let mut cw = ChunkedWriter::start(&mut out, "application/jsonl").expect("start");
+            cw.write_chunk(b"hello\n").expect("chunk");
+            cw.write_chunk(b"").expect("empty skipped");
+            cw.write_chunk(b"world\n").expect("chunk");
+            cw.finish().expect("finish");
+        }
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.ends_with("6\r\nhello\n\r\n6\r\nworld\n\r\n0\r\n\r\n"));
+    }
+}

@@ -1,0 +1,327 @@
+//! The job model of the experiment service: specs, lifecycle states,
+//! journaled records, the cancel-aware handle a running job holds, and
+//! the [`JobExecutor`] trait the service is generic over.
+//!
+//! The crate deliberately knows nothing about the experiment registry:
+//! the `experiments` crate implements [`JobExecutor`] on top of its own
+//! registry and cache, which keeps the dependency arrow pointing one way
+//! (experiments → serve) and lets the service be tested with toy
+//! executors.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// What a client asked the service to run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Registry experiment id (e.g. `fig8`).
+    pub experiment: String,
+    /// Shrink sweep grids for smoke runs (`--quick`).
+    pub quick: bool,
+    /// Per-job wall-clock deadline in milliseconds; 0 means the server
+    /// default applies.
+    pub timeout_ms: u64,
+}
+
+impl JobSpec {
+    /// Parse a submit request body. Only `experiment` is required:
+    /// missing `quick`/`timeout_ms` take their defaults, so old clients
+    /// keep working as the schema grows. (The derived `Deserialize` would
+    /// reject missing fields — this is the manual, lenient decoder.)
+    pub fn from_submit_json(body: &str) -> Result<JobSpec, String> {
+        let value = serde_json::from_str::<serde::Value>(body)
+            .map_err(|e| format!("body is not valid JSON: {e}"))?;
+        let serde::Value::Object(fields) = value else {
+            return Err("body must be a JSON object".to_owned());
+        };
+        let experiment: String = serde::field(&fields, "experiment").map_err(|e| e.to_string())?;
+        if experiment.is_empty() {
+            return Err("experiment id must be non-empty".to_owned());
+        }
+        let quick: bool = serde::field_or_default(&fields, "quick").map_err(|e| e.to_string())?;
+        let timeout_ms: u64 =
+            serde::field_or_default(&fields, "timeout_ms").map_err(|e| e.to_string())?;
+        Ok(JobSpec {
+            experiment,
+            quick,
+            timeout_ms,
+        })
+    }
+}
+
+/// Where a job is in its lifecycle.
+///
+/// ```text
+///            submit                    worker
+///   client ────────► Queued ─────────► Running ──► Completed
+///                      │                  │   ├──► Failed      (panic)
+///                      │ cancel           │   ├──► Cancelled   (client/drain)
+///                      ▼                  │   └──► TimedOut    (deadline)
+///                  Cancelled ◄────────────┘
+///                      ▲
+///     restart journal  │
+///        replay ───► Interrupted   (was Queued/Running at crash)
+/// ```
+///
+/// Everything except `Queued` and `Running` is terminal.
+///
+/// Serializes as its [`JobState::label`] string, so the journal and every
+/// HTTP response spell states the same way (`"timed-out"`, not
+/// `"TimedOut"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, journaled, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// The experiment panicked (payload in `detail`).
+    Failed,
+    /// Cancelled by a client or the shutdown drain.
+    Cancelled,
+    /// The wall-clock deadline fired.
+    TimedOut,
+    /// The server died while the job was queued or running; marked on
+    /// journal replay at restart.
+    Interrupted,
+}
+
+impl JobState {
+    /// Whether the state can never change again.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+
+    /// Stable lower-case label (JSON and CLI tables use it).
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed-out",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+
+    /// Inverse of [`JobState::label`].
+    pub fn from_label(label: &str) -> Option<JobState> {
+        Some(match label {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "completed" => JobState::Completed,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            "timed-out" => JobState::TimedOut,
+            "interrupted" => JobState::Interrupted,
+            _ => return None,
+        })
+    }
+}
+
+impl serde::Serialize for JobState {
+    fn serialize_value(&self) -> serde::Value {
+        serde::Value::Str(self.label().to_owned())
+    }
+}
+
+impl serde::Deserialize for JobState {
+    fn deserialize_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde::Value::Str(s) => JobState::from_label(s)
+                .ok_or_else(|| serde::DeError::custom(format!("unknown job state '{s}'"))),
+            other => Err(serde::DeError::custom(format!(
+                "job state must be a string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One job as the journal records it and `/jobs` reports it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Server-assigned id, dense from 1.
+    pub id: u64,
+    /// What was asked.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Human detail: completion summary, panic message, cancel reason.
+    pub detail: String,
+    /// Content key for single-flight dedup (executor-defined, e.g. the
+    /// rescache key hex of the spec under the current engine fingerprint).
+    pub dedupe_key: String,
+    /// Whether a later identical submit was coalesced onto this job.
+    pub deduped: bool,
+}
+
+/// How a supervised run ended. The executor maps its own unwind payloads
+/// (cooperative cancellation vs real panics) onto these; the server maps
+/// them onto terminal [`JobState`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran to the end; `detail` is a short result summary.
+    Completed {
+        /// Result summary shown by `/jobs` (e.g. cache traffic).
+        detail: String,
+    },
+    /// The experiment failed or panicked; `error` is the message.
+    Failed {
+        /// The panic payload or error message.
+        error: String,
+    },
+    /// The job observed its cancel flag and unwound cooperatively.
+    Cancelled,
+    /// The job observed its deadline and unwound cooperatively.
+    TimedOut,
+}
+
+/// The handle a running job executes under: its cancel flag, deadline and
+/// per-job event spool path.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    /// The job's id.
+    pub id: u64,
+    cancel: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+    /// Where the job's JSONL telemetry/progress events must be written;
+    /// `GET /jobs/<id>/events` tails this file.
+    pub events_path: PathBuf,
+}
+
+impl JobHandle {
+    /// Build a handle. `deadline` is absolute.
+    pub fn new(
+        id: u64,
+        cancel: Arc<AtomicBool>,
+        deadline: Option<Instant>,
+        events_path: PathBuf,
+    ) -> Self {
+        JobHandle {
+            id,
+            cancel,
+            deadline,
+            events_path,
+        }
+    }
+
+    /// The shared cancel flag (raise from any thread to cancel).
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The absolute wall-clock deadline, when one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+/// What the service is generic over: validation, content-keying and
+/// supervised execution of one spec.
+///
+/// Implementations should catch their own panics (`catch_unwind`) and map
+/// cooperative-cancellation unwinds to [`JobOutcome::Cancelled`] /
+/// [`JobOutcome::TimedOut`]; the server wraps the call in one more
+/// `catch_unwind` as a backstop so even a misbehaving executor cannot
+/// take a worker down.
+pub trait JobExecutor: Send + Sync + 'static {
+    /// Reject malformed specs before they are journaled or queued
+    /// (unknown experiment id, ...). The message becomes the 400 body.
+    fn validate(&self, spec: &JobSpec) -> Result<(), String>;
+
+    /// The spec's content key: identical keys single-flight onto one
+    /// running job. Must be stable across restarts for journal dedup to
+    /// make sense (e.g. a rescache key hex).
+    fn dedupe_key(&self, spec: &JobSpec) -> String;
+
+    /// Run the spec under the handle: honour `handle.cancel_flag()` and
+    /// `handle.deadline()` cooperatively, spool JSONL events to
+    /// `handle.events_path`.
+    fn run(&self, spec: &JobSpec, handle: &JobHandle) -> JobOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_json_minimal_and_full() {
+        let s = JobSpec::from_submit_json(r#"{"experiment":"fig8"}"#).expect("minimal");
+        assert_eq!(s.experiment, "fig8");
+        assert!(!s.quick);
+        assert_eq!(s.timeout_ms, 0);
+        let s =
+            JobSpec::from_submit_json(r#"{"experiment":"fig9","quick":true,"timeout_ms":5000}"#)
+                .expect("full");
+        assert!(s.quick);
+        assert_eq!(s.timeout_ms, 5000);
+    }
+
+    #[test]
+    fn submit_json_rejects_garbage() {
+        assert!(JobSpec::from_submit_json("not json").is_err());
+        assert!(JobSpec::from_submit_json("[]").is_err());
+        assert!(JobSpec::from_submit_json("{}").is_err());
+        assert!(JobSpec::from_submit_json(r#"{"experiment":""}"#).is_err());
+        assert!(JobSpec::from_submit_json(r#"{"experiment":42}"#).is_err());
+    }
+
+    #[test]
+    fn state_terminality_and_labels() {
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        for s in [
+            JobState::Completed,
+            JobState::Failed,
+            JobState::Cancelled,
+            JobState::TimedOut,
+            JobState::Interrupted,
+        ] {
+            assert!(s.is_terminal(), "{} must be terminal", s.label());
+        }
+        assert_eq!(JobState::TimedOut.label(), "timed-out");
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = JobRecord {
+            id: 3,
+            spec: JobSpec {
+                experiment: "fig8".to_owned(),
+                quick: true,
+                timeout_ms: 1000,
+            },
+            state: JobState::Completed,
+            detail: "cache hits 12".to_owned(),
+            dedupe_key: "abcd".to_owned(),
+            deduped: true,
+        };
+        let text = serde_json::to_string(&r).expect("serialize");
+        let back: JobRecord = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn handle_cancel_flag_is_shared() {
+        let h = JobHandle::new(
+            1,
+            Arc::new(AtomicBool::new(false)),
+            None,
+            PathBuf::from("/tmp/x.jsonl"),
+        );
+        assert!(!h.is_cancelled());
+        h.cancel_flag().store(true, Ordering::Relaxed);
+        assert!(h.is_cancelled());
+    }
+}

@@ -1,0 +1,229 @@
+//! The write-ahead job journal: a single JSON snapshot of every job
+//! record, rewritten atomically (temp + rename, the rescache discipline)
+//! on every state transition.
+//!
+//! Write-ahead means a job is journaled as `Queued` *before* it is
+//! visible to any worker, so a crash can never run work the journal does
+//! not know about. On restart, [`Journal::load`] replays the snapshot and
+//! marks every non-terminal job `Interrupted`: completed work is kept
+//! (never re-run — resubmitting the same spec is answered by the result
+//! cache), and half-done work is visible as such instead of silently
+//! vanishing.
+//!
+//! Corruption tolerance matches rescache: a truncated or garbled snapshot
+//! (a crash mid-rename on an exotic filesystem, a stray editor) is
+//! treated as absent rather than fatal — the service must start from
+//! arbitrary on-disk state.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobRecord, JobState};
+
+/// The journal snapshot payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Snapshot {
+    /// Schema version (future-proofing; v1).
+    version: u64,
+    /// The next job id to assign.
+    next_id: u64,
+    /// Every job record, id-ordered.
+    jobs: Vec<JobRecord>,
+}
+
+/// Atomic snapshot journal at a fixed path.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    seq: AtomicU64,
+}
+
+/// What [`Journal::load`] recovered.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The next job id to assign (1 on a fresh journal).
+    pub next_id: u64,
+    /// Replayed records, with every non-terminal state marked
+    /// [`JobState::Interrupted`].
+    pub jobs: Vec<JobRecord>,
+    /// How many jobs were marked interrupted during replay.
+    pub interrupted: usize,
+}
+
+impl Journal {
+    /// A journal at `path` (nothing is read or written yet).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Journal {
+            path: path.into(),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Replay the snapshot. A missing, truncated or corrupt file yields
+    /// an empty journal (`next_id` 1); jobs left `Queued`/`Running` by a
+    /// dead server come back `Interrupted` with the reason in `detail`.
+    pub fn load(&self) -> Recovered {
+        let text = match std::fs::read_to_string(&self.path) {
+            Ok(t) => t,
+            Err(_) => {
+                return Recovered {
+                    next_id: 1,
+                    jobs: Vec::new(),
+                    interrupted: 0,
+                }
+            }
+        };
+        let snapshot = match serde_json::from_str::<Snapshot>(&text) {
+            Ok(s) => s,
+            Err(_) => {
+                // Corrupt snapshot: start fresh, but keep the evidence
+                // aside instead of overwriting it.
+                let _ = std::fs::rename(&self.path, self.path.with_extension("corrupt"));
+                return Recovered {
+                    next_id: 1,
+                    jobs: Vec::new(),
+                    interrupted: 0,
+                };
+            }
+        };
+        let mut interrupted = 0;
+        let mut jobs = snapshot.jobs;
+        for job in &mut jobs {
+            if !job.state.is_terminal() {
+                job.state = JobState::Interrupted;
+                job.detail = "server stopped while the job was in flight".to_owned();
+                interrupted += 1;
+            }
+        }
+        let max_id = jobs.iter().map(|j| j.id).max().unwrap_or(0);
+        Recovered {
+            next_id: snapshot.next_id.max(max_id + 1).max(1),
+            jobs,
+            interrupted,
+        }
+    }
+
+    /// Atomically persist the full record set. Errors are returned, not
+    /// panicked: the server degrades to journal-less operation (and says
+    /// so) rather than dying on a full disk.
+    pub fn persist(&self, next_id: u64, jobs: &[JobRecord]) -> std::io::Result<()> {
+        let snapshot = Snapshot {
+            version: 1,
+            next_id,
+            jobs: jobs.to_vec(),
+        };
+        let text =
+            serde_json::to_string(&snapshot).map_err(|e| std::io::Error::other(e.to_string()))?;
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Unique temp name (pid + per-journal sequence) so concurrent
+        // persists never collide, then the atomic rename.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .path
+            .with_extension(format!("tmp-{}-{seq}", std::process::id()));
+        std::fs::write(&tmp, text)?;
+        match std::fs::rename(&tmp, &self.path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+
+    fn record(id: u64, state: JobState) -> JobRecord {
+        JobRecord {
+            id,
+            spec: JobSpec {
+                experiment: "fig8".to_owned(),
+                quick: true,
+                timeout_ms: 0,
+            },
+            state,
+            detail: String::new(),
+            dedupe_key: format!("key-{id}"),
+            deduped: false,
+        }
+    }
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("serve-journal-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let j = Journal::new(tmp_path("missing").join("journal.json"));
+        let r = j.load();
+        assert_eq!(r.next_id, 1);
+        assert!(r.jobs.is_empty());
+    }
+
+    #[test]
+    fn round_trip_marks_inflight_interrupted() {
+        let dir = tmp_path("roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let j = Journal::new(dir.join("journal.json"));
+        let jobs = vec![
+            record(1, JobState::Completed),
+            record(2, JobState::Running),
+            record(3, JobState::Queued),
+            record(4, JobState::Cancelled),
+        ];
+        j.persist(5, &jobs).expect("persist");
+        let r = j.load();
+        assert_eq!(r.next_id, 5);
+        assert_eq!(r.interrupted, 2);
+        assert_eq!(r.jobs[0].state, JobState::Completed);
+        assert_eq!(r.jobs[1].state, JobState::Interrupted);
+        assert_eq!(r.jobs[2].state, JobState::Interrupted);
+        assert_eq!(r.jobs[3].state, JobState::Cancelled);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journal_starts_fresh_and_keeps_evidence() {
+        let dir = tmp_path("corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("journal.json");
+        std::fs::write(&path, b"{\"version\":1,\"next_id\":9,\"jo").expect("write");
+        let j = Journal::new(&path);
+        let r = j.load();
+        assert_eq!(r.next_id, 1);
+        assert!(r.jobs.is_empty());
+        assert!(
+            path.with_extension("corrupt").exists(),
+            "corrupt snapshot must be kept aside"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn next_id_never_collides_with_replayed_ids() {
+        let dir = tmp_path("nextid");
+        let _ = std::fs::remove_dir_all(&dir);
+        let j = Journal::new(dir.join("journal.json"));
+        // A snapshot whose next_id lags its own records (e.g. written by
+        // an older build with a bug) must still come back collision-free.
+        j.persist(2, &[record(7, JobState::Completed)])
+            .expect("persist");
+        let r = j.load();
+        assert_eq!(r.next_id, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

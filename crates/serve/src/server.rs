@@ -1,0 +1,712 @@
+//! The experiment service itself: bounded job queue, supervised worker
+//! pool, single-flight dedup, journal persistence, graceful drain and the
+//! HTTP routes tying them together.
+//!
+//! # Robustness posture
+//!
+//! The server assumes arbitrary inputs and arbitrary prior state, in the
+//! same spirit the paper's adaptive loop assumes arbitrary variation:
+//!
+//! * every job runs under `catch_unwind` twice — once inside the executor
+//!   (which maps cooperative cancellation), once here as a backstop — so
+//!   a panicking experiment marks *that job* `failed` and nothing else;
+//! * the queue is bounded; a full queue answers `429` with `Retry-After`
+//!   instead of growing without limit;
+//! * every state transition is journaled atomically *before* it becomes
+//!   visible (write-ahead), so a `kill -9` never yields work the journal
+//!   does not know about, and a restart marks in-flight jobs
+//!   `interrupted` instead of losing them;
+//! * connections carry read timeouts, so a slowloris client costs one
+//!   thread for seconds, not forever;
+//! * `SIGTERM` (or `POST /shutdown`) drains: queued jobs are cancelled,
+//!   running jobs get a grace window, then their cancel flags are raised,
+//!   then the process leaves — a hard deadline on top of cooperation.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use clock_telemetry::{prometheus_text, Telemetry};
+
+use crate::http::{self, ChunkedWriter, Request};
+use crate::job::{JobExecutor, JobHandle, JobOutcome, JobRecord, JobSpec, JobState};
+use crate::journal::Journal;
+
+/// How long a connection may stall between bytes before 408.
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Poll cadence of the accept loop and the event tailer.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` (0 = ephemeral port).
+    pub addr: String,
+    /// Job worker threads.
+    pub workers: usize,
+    /// Bounded queue depth; submits beyond it are shed with 429.
+    pub queue_capacity: usize,
+    /// Journal and per-job event spools live here.
+    pub data_dir: PathBuf,
+    /// Default per-job deadline when a spec does not set one (0 = none).
+    pub default_timeout_ms: u64,
+    /// Grace window for the shutdown drain, applied twice: once waiting
+    /// for running jobs to finish on their own, once after raising their
+    /// cancel flags.
+    pub drain_grace_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            queue_capacity: 16,
+            data_dir: PathBuf::from(".repro-serve"),
+            default_timeout_ms: 0,
+            drain_grace_ms: 5_000,
+        }
+    }
+}
+
+/// How the server came down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether every in-flight job reached a terminal state before the
+    /// hard deadline (false means stragglers were abandoned to process
+    /// exit and will replay as `interrupted`).
+    pub drained: bool,
+    /// Jobs cancelled out of the queue by the drain.
+    pub cancelled_queued: usize,
+}
+
+struct State {
+    jobs: BTreeMap<u64, JobRecord>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+    /// Cancel flags of every non-terminal job.
+    cancel_flags: HashMap<u64, Arc<AtomicBool>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    journal: Journal,
+    config: ServerConfig,
+    executor: Arc<dyn JobExecutor>,
+    telemetry: Telemetry,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Shared {
+    fn spool_path(&self, id: u64) -> PathBuf {
+        self.config.data_dir.join(format!("job-{id}.events.jsonl"))
+    }
+
+    /// Persist the journal from inside the state lock. Failures degrade
+    /// (warn + keep serving) rather than kill the server: the journal is
+    /// a recovery aid, not a correctness dependency for live traffic.
+    fn persist_locked(&self, st: &State) {
+        let jobs: Vec<JobRecord> = st.jobs.values().cloned().collect();
+        if let Err(e) = self.journal.persist(st.next_id, &jobs) {
+            self.telemetry.counter("serve.journal_errors").inc();
+            eprintln!(
+                "serve: warning: cannot persist job journal {}: {e}",
+                self.journal.path().display()
+            );
+        }
+    }
+
+    fn finish_job(&self, id: u64, state: JobState, detail: String) {
+        let mut st = self.state.lock().expect("state lock");
+        if let Some(job) = st.jobs.get_mut(&id) {
+            job.state = state;
+            job.detail = detail;
+        }
+        st.cancel_flags.remove(&id);
+        self.persist_locked(&st);
+        drop(st);
+        let counter = match state {
+            JobState::Completed => "serve.jobs_completed",
+            JobState::Failed => "serve.jobs_failed",
+            JobState::TimedOut => "serve.jobs_timed_out",
+            _ => "serve.jobs_cancelled",
+        };
+        self.telemetry.counter(counter).inc();
+        self.cv.notify_all();
+    }
+}
+
+/// The bound, journal-replayed, worker-staffed service. [`Server::run`]
+/// blocks on the accept loop until shutdown, then drains.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind the listener, replay the journal (marking in-flight jobs of a
+    /// previous life `interrupted`), and start the worker pool.
+    pub fn bind(
+        config: ServerConfig,
+        executor: Arc<dyn JobExecutor>,
+        telemetry: Telemetry,
+    ) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&config.data_dir)?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let journal = Journal::new(config.data_dir.join("journal.json"));
+        let recovered = journal.load();
+        if recovered.interrupted > 0 {
+            eprintln!(
+                "serve: journal replay marked {} in-flight job(s) interrupted",
+                recovered.interrupted
+            );
+            telemetry
+                .counter("serve.jobs_interrupted")
+                .add(recovered.interrupted as u64);
+        }
+        let state = State {
+            jobs: recovered.jobs.into_iter().map(|j| (j.id, j)).collect(),
+            queue: VecDeque::new(),
+            next_id: recovered.next_id,
+            cancel_flags: HashMap::new(),
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            cv: Condvar::new(),
+            journal,
+            config,
+            executor,
+            telemetry,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        });
+        // Make the interrupted marks durable before serving.
+        {
+            let st = shared.state.lock().expect("state lock");
+            shared.persist_locked(&st);
+        }
+        let workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            listener,
+            workers,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The drain trigger: store `true` (from a signal handler thread, a
+    /// test, anywhere) and [`Server::run`] starts its graceful drain.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shared.shutdown)
+    }
+
+    /// Serve until the shutdown flag rises, then drain and return.
+    pub fn run(self) -> DrainReport {
+        self.listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || handle_connection(&shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL);
+                }
+                Err(_) => std::thread::sleep(POLL),
+            }
+        }
+        drop(self.listener);
+        let report = drain(&self.shared);
+        if report.drained {
+            for w in self.workers {
+                let _ = w.join();
+            }
+        }
+        // Undrained workers are abandoned to process exit — the hard
+        // deadline. Their jobs replay as interrupted next start.
+        report
+    }
+}
+
+/// Cancel every queued job, give running jobs a grace window, raise their
+/// cancel flags, give them one more window, then give up.
+fn drain(shared: &Shared) -> DrainReport {
+    shared.cv.notify_all();
+    let cancelled_queued = {
+        let mut st = shared.state.lock().expect("state lock");
+        let ids: Vec<u64> = st.queue.drain(..).collect();
+        for id in &ids {
+            if let Some(job) = st.jobs.get_mut(id) {
+                job.state = JobState::Cancelled;
+                job.detail = "server shutting down".to_owned();
+            }
+            st.cancel_flags.remove(id);
+        }
+        if !ids.is_empty() {
+            shared.persist_locked(&st);
+        }
+        ids.len()
+    };
+    shared
+        .telemetry
+        .counter("serve.jobs_cancelled")
+        .add(cancelled_queued as u64);
+    let grace = Duration::from_millis(shared.config.drain_grace_ms);
+    let running = |shared: &Shared| {
+        shared
+            .state
+            .lock()
+            .expect("state lock")
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count()
+    };
+    let polite = Instant::now() + grace;
+    while running(shared) > 0 && Instant::now() < polite {
+        std::thread::sleep(POLL);
+    }
+    if running(shared) > 0 {
+        // Grace expired: cancel what is left and wait once more.
+        let st = shared.state.lock().expect("state lock");
+        for flag in st.cancel_flags.values() {
+            flag.store(true, Ordering::SeqCst);
+        }
+        drop(st);
+        let hard = Instant::now() + grace;
+        while running(shared) > 0 && Instant::now() < hard {
+            std::thread::sleep(POLL);
+        }
+    }
+    DrainReport {
+        drained: running(shared) == 0,
+        cancelled_queued,
+    }
+}
+
+/// One worker: claim queued jobs, run them supervised, record outcomes.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let claimed = {
+            let mut st = shared.state.lock().expect("state lock");
+            loop {
+                if let Some(id) = st.queue.pop_front() {
+                    let spec = st.jobs.get(&id).map(|j| j.spec.clone());
+                    let flag = st.cancel_flags.get(&id).cloned();
+                    if let (Some(spec), Some(flag)) = (spec, flag) {
+                        if let Some(job) = st.jobs.get_mut(&id) {
+                            job.state = JobState::Running;
+                        }
+                        shared.persist_locked(&st);
+                        break Some((id, spec, flag));
+                    }
+                    continue; // cancelled while queued; nothing to run
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (next, _timeout) = shared
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(200))
+                    .expect("state lock");
+                st = next;
+            }
+        };
+        let Some((id, spec, flag)) = claimed else {
+            return;
+        };
+        let timeout_ms = if spec.timeout_ms > 0 {
+            spec.timeout_ms
+        } else {
+            shared.config.default_timeout_ms
+        };
+        let deadline = (timeout_ms > 0).then(|| Instant::now() + Duration::from_millis(timeout_ms));
+        let handle = JobHandle::new(id, flag, deadline, shared.spool_path(id));
+        // Supervision backstop: the executor already contains its own
+        // panics, but even a broken executor must only fail this job.
+        let outcome = catch_unwind(AssertUnwindSafe(|| shared.executor.run(&spec, &handle)))
+            .unwrap_or_else(|payload| JobOutcome::Failed {
+                error: payload_message(&*payload),
+            });
+        let (state, detail) = match outcome {
+            JobOutcome::Completed { detail } => (JobState::Completed, detail),
+            JobOutcome::Failed { error } => (JobState::Failed, error),
+            JobOutcome::Cancelled => (JobState::Cancelled, "cancelled by request".to_owned()),
+            JobOutcome::TimedOut => (
+                JobState::TimedOut,
+                format!("deadline of {timeout_ms} ms exceeded"),
+            ),
+        };
+        shared.finish_job(id, state, detail);
+    }
+}
+
+/// A string as a JSON string literal (quotes + escapes).
+fn json_str(s: &str) -> String {
+    serde_json::to_string(s).expect("strings serialize")
+}
+
+/// Best-effort panic payload rendering (local copy — the serve crate is
+/// experiments-agnostic, so it cannot use the sweep module's helper).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(READ_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    shared.telemetry.counter("serve.requests").inc();
+    match http::parse_request(&mut reader) {
+        Ok(request) => route(shared, &request, &mut writer),
+        Err(e) => {
+            shared.telemetry.counter("serve.malformed").inc();
+            if let Some((status, reason, detail)) = e.status() {
+                let body = format!("{{\"error\":{}}}\n", json_str(detail));
+                let _ = http::write_json(&mut writer, status, reason, &[], &body);
+            }
+        }
+    }
+}
+
+/// Split a target into non-empty path segments (query string dropped).
+fn segments(target: &str) -> Vec<&str> {
+    let path = target.split('?').next().unwrap_or("");
+    path.split('/').filter(|s| !s.is_empty()).collect()
+}
+
+fn route(shared: &Shared, request: &Request, w: &mut TcpStream) {
+    let segs = segments(&request.target);
+    match (request.method.as_str(), segs.as_slice()) {
+        ("GET", ["health"]) => {
+            let _ = http::write_json(w, 200, "OK", &[], "{\"status\":\"ok\"}\n");
+        }
+        ("GET", ["metrics"]) => {
+            let text = prometheus_text(&shared.telemetry.snapshot());
+            let _ = http::write_response(
+                w,
+                200,
+                "OK",
+                &[],
+                "text/plain; version=0.0.4",
+                text.as_bytes(),
+            );
+        }
+        ("POST", ["submit"]) => submit(shared, request, w),
+        ("GET", ["jobs"]) => {
+            let st = shared.state.lock().expect("state lock");
+            let jobs: Vec<JobRecord> = st.jobs.values().cloned().collect();
+            drop(st);
+            let body = serde_json::to_string(&jobs).expect("plain data serializes");
+            let _ = http::write_json(w, 200, "OK", &[], &body);
+        }
+        ("GET", ["jobs", id]) => match lookup(shared, id) {
+            Some(job) => {
+                let body = serde_json::to_string(&job).expect("plain data serializes");
+                let _ = http::write_json(w, 200, "OK", &[], &body);
+            }
+            None => not_found(w),
+        },
+        ("POST", ["jobs", id, "cancel"]) => cancel(shared, id, w),
+        ("GET", ["jobs", id, "events"]) => stream_events(shared, id, w),
+        ("POST", ["shutdown"]) => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.cv.notify_all();
+            let _ = http::write_json(w, 200, "OK", &[], "{\"draining\":true}\n");
+        }
+        _ => not_found(w),
+    }
+}
+
+fn not_found(w: &mut TcpStream) {
+    let _ = http::write_json(w, 404, "Not Found", &[], "{\"error\":\"no such route\"}\n");
+}
+
+fn lookup(shared: &Shared, id: &str) -> Option<JobRecord> {
+    let id: u64 = id.parse().ok()?;
+    shared
+        .state
+        .lock()
+        .expect("state lock")
+        .jobs
+        .get(&id)
+        .cloned()
+}
+
+fn submit_response(job: &JobRecord, deduped: bool) -> String {
+    format!(
+        "{{\"job\":{},\"state\":\"{}\",\"deduped\":{},\"events\":\"/jobs/{}/events\"}}\n",
+        job.id,
+        job.state.label(),
+        deduped,
+        job.id
+    )
+}
+
+fn submit(shared: &Shared, request: &Request, w: &mut TcpStream) {
+    let body = String::from_utf8_lossy(&request.body);
+    let spec = match JobSpec::from_submit_json(&body) {
+        Ok(s) => s,
+        Err(e) => {
+            shared.telemetry.counter("serve.malformed").inc();
+            let body = format!("{{\"error\":{}}}\n", json_str(&e));
+            let _ = http::write_json(w, 400, "Bad Request", &[], &body);
+            return;
+        }
+    };
+    if let Err(e) = shared.executor.validate(&spec) {
+        let body = format!("{{\"error\":{}}}\n", json_str(&e));
+        let _ = http::write_json(w, 400, "Bad Request", &[], &body);
+        return;
+    }
+    if shared.shutdown.load(Ordering::SeqCst) {
+        let _ = http::write_json(
+            w,
+            503,
+            "Service Unavailable",
+            &[],
+            "{\"error\":\"server is draining\"}\n",
+        );
+        return;
+    }
+    let dedupe_key = shared.executor.dedupe_key(&spec);
+    let mut st = shared.state.lock().expect("state lock");
+    // Single-flight: an identical spec already queued or running answers
+    // with that job instead of doing the work twice.
+    if let Some(existing) = st
+        .jobs
+        .values()
+        .find(|j| !j.state.is_terminal() && j.dedupe_key == dedupe_key)
+        .map(|j| j.id)
+    {
+        if let Some(job) = st.jobs.get_mut(&existing) {
+            job.deduped = true;
+            let body = submit_response(job, true);
+            drop(st);
+            shared.telemetry.counter("serve.deduped").inc();
+            let _ = http::write_json(w, 200, "OK", &[], &body);
+            return;
+        }
+    }
+    if st.queue.len() >= shared.config.queue_capacity {
+        drop(st);
+        shared.telemetry.counter("serve.shed").inc();
+        let _ = http::write_json(
+            w,
+            429,
+            "Too Many Requests",
+            &["Retry-After: 1"],
+            "{\"error\":\"job queue full, retry later\"}\n",
+        );
+        return;
+    }
+    let id = st.next_id;
+    st.next_id += 1;
+    let job = JobRecord {
+        id,
+        spec,
+        state: JobState::Queued,
+        detail: String::new(),
+        dedupe_key,
+        deduped: false,
+    };
+    let body = submit_response(&job, false);
+    st.jobs.insert(id, job);
+    st.cancel_flags.insert(id, Arc::new(AtomicBool::new(false)));
+    // Write-ahead: journal the queued job before any worker can see it.
+    shared.persist_locked(&st);
+    st.queue.push_back(id);
+    drop(st);
+    shared.telemetry.counter("serve.submitted").inc();
+    shared.cv.notify_one();
+    let _ = http::write_json(w, 202, "Accepted", &[], &body);
+}
+
+fn cancel(shared: &Shared, id: &str, w: &mut TcpStream) {
+    let Ok(id) = id.parse::<u64>() else {
+        not_found(w);
+        return;
+    };
+    let mut st = shared.state.lock().expect("state lock");
+    let Some(state) = st.jobs.get(&id).map(|j| j.state) else {
+        drop(st);
+        not_found(w);
+        return;
+    };
+    match state {
+        JobState::Queued => {
+            st.queue.retain(|&q| q != id);
+            if let Some(job) = st.jobs.get_mut(&id) {
+                job.state = JobState::Cancelled;
+                job.detail = "cancelled before start".to_owned();
+            }
+            st.cancel_flags.remove(&id);
+            shared.persist_locked(&st);
+            drop(st);
+            shared.telemetry.counter("serve.jobs_cancelled").inc();
+            let _ = http::write_json(w, 200, "OK", &[], "{\"state\":\"cancelled\"}\n");
+        }
+        JobState::Running => {
+            if let Some(flag) = st.cancel_flags.get(&id) {
+                flag.store(true, Ordering::SeqCst);
+            }
+            drop(st);
+            let _ = http::write_json(
+                w,
+                200,
+                "OK",
+                &[],
+                "{\"state\":\"running\",\"cancel_requested\":true}\n",
+            );
+        }
+        terminal => {
+            drop(st);
+            let body = format!("{{\"state\":\"{}\"}}\n", terminal.label());
+            let _ = http::write_json(w, 200, "OK", &[], &body);
+        }
+    }
+}
+
+/// Tail a job's JSONL event spool over a chunked response until the job
+/// reaches a terminal state, then append one final status line. A client
+/// that disconnects mid-stream just ends the tail (write errors are the
+/// signal); the job itself is unaffected.
+fn stream_events(shared: &Shared, id: &str, w: &mut TcpStream) {
+    let Ok(id) = id.parse::<u64>() else {
+        not_found(w);
+        return;
+    };
+    if lookup_state(shared, id).is_none() {
+        not_found(w);
+        return;
+    }
+    // Streams outlive the per-request read timeout by design; drop the
+    // write timeout to the same short value so a stuck client is shed.
+    let Ok(mut chunked) = ChunkedWriter::start(&mut *w, "application/jsonl") else {
+        return;
+    };
+    let path = shared.spool_path(id);
+    let mut offset = 0u64;
+    while let Some(state) = lookup_state(shared, id) {
+        let chunk = read_from(&path, offset);
+        if !chunk.is_empty() {
+            offset += chunk.len() as u64;
+            if chunked.write_chunk(&chunk).is_err() {
+                return; // client went away; nothing more to do
+            }
+        } else if state.is_terminal() {
+            let line = format!("{{\"job\":{id},\"state\":\"{}\"}}\n", state.label());
+            let _ = chunked.write_chunk(line.as_bytes());
+            break;
+        } else {
+            std::thread::sleep(POLL);
+        }
+        if shared.shutdown.load(Ordering::SeqCst) && lookup_state(shared, id).is_none() {
+            break;
+        }
+    }
+    let _ = chunked.finish();
+}
+
+fn lookup_state(shared: &Shared, id: u64) -> Option<JobState> {
+    shared
+        .state
+        .lock()
+        .expect("state lock")
+        .jobs
+        .get(&id)
+        .map(|j| j.state)
+}
+
+/// Read everything after `offset` (empty on any error — a not-yet-created
+/// spool reads as empty, not as a failure).
+fn read_from(path: &std::path::Path, offset: u64) -> Vec<u8> {
+    use std::io::{Read, Seek, SeekFrom};
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return Vec::new();
+    };
+    if f.seek(SeekFrom::Start(offset)).is_err() {
+        return Vec::new();
+    }
+    let mut buf = Vec::new();
+    let _ = f.take(256 * 1024).read_to_end(&mut buf);
+    buf
+}
+
+/// SIGTERM/SIGINT wiring: raise `flag` from a C signal handler via one
+/// relay atomic. Unix only; a no-op elsewhere (tests use `/shutdown`).
+#[cfg(unix)]
+pub fn install_termination_handler(flag: Arc<AtomicBool>) {
+    use std::sync::OnceLock;
+    static RELAY: AtomicBool = AtomicBool::new(false);
+    static WATCHER: OnceLock<()> = OnceLock::new();
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Only the store below is allowed here: atomics are
+        // async-signal-safe, Mutex/alloc are not.
+        RELAY.store(true, Ordering::SeqCst);
+    }
+
+    #[allow(unsafe_code)]
+    fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        // SAFETY: libc `signal` with a handler that only touches a static
+        // atomic; both signal numbers are the POSIX constants for the
+        // platforms this builds on (linux, macOS).
+        unsafe {
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+
+    install();
+    // One watcher thread forwards the relay to the server's drain flag
+    // (the handler itself must not touch non-trivial state).
+    WATCHER.get_or_init(|| {
+        std::thread::spawn(move || loop {
+            if RELAY.load(Ordering::SeqCst) {
+                flag.store(true, Ordering::SeqCst);
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    });
+}
+
+/// Non-unix stub: signals are not wired; `/shutdown` still works.
+#[cfg(not(unix))]
+pub fn install_termination_handler(_flag: Arc<AtomicBool>) {}

@@ -1,0 +1,131 @@
+//! Property tests for the hand-rolled HTTP/1.1 request parser.
+//!
+//! The server feeds the parser bytes straight off the network, so the
+//! contract is absolute: for *any* byte soup the parser must return
+//! either a request or a typed error — never panic — and every error it
+//! wants reported to the peer must map to a 4xx status. These
+//! properties drive arbitrary bytes, mangled near-valid requests,
+//! oversized lines/headers/bodies, and lying `Content-Length` headers
+//! through `parse_request` and check that contract.
+
+use std::io::Cursor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use clock_serve::http::{parse_request, ParseError, Request};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Run the parser over `input`, asserting the no-panic contract, and
+/// hand back its verdict.
+fn parse(input: &[u8]) -> Result<Request, ParseError> {
+    let owned = input.to_vec();
+    catch_unwind(AssertUnwindSafe(move || {
+        parse_request(&mut Cursor::new(owned))
+    }))
+    .unwrap_or_else(|_| panic!("parser panicked on input {input:?}"))
+}
+
+/// Every reportable error must be a client error: the server never
+/// blames itself for bytes it did not produce.
+fn check_verdict(input: &[u8], verdict: &Result<Request, ParseError>) {
+    if let Err(e) = verdict {
+        if let Some((status, _, _)) = e.status() {
+            assert!(
+                (400..500).contains(&status),
+                "non-4xx status {status} for error {e:?} on input {input:?}"
+            );
+        }
+        // Errors without a status (Eof / Io / Timeout) mean "close the
+        // connection without answering" — also a clean outcome.
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Raw byte soup: anything the network can deliver.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in vec((0u16..256).prop_map(|b| b as u8), 0..512)
+    ) {
+        let verdict = parse(&bytes);
+        check_verdict(&bytes, &verdict);
+    }
+
+    /// ASCII-ish soup with CRLF sprinkled in, which reaches much deeper
+    /// into the header state machine than uniform bytes do.
+    #[test]
+    fn crlf_heavy_soup_never_panics(
+        chunks in vec(
+            prop_oneof![
+                Just(b"\r\n".to_vec()),
+                Just(b"GET ".to_vec()),
+                Just(b"POST /submit HTTP/1.1".to_vec()),
+                Just(b"Content-Length: ".to_vec()),
+                Just(b"Content-Length: 9999999999999999999999".to_vec()),
+                Just(b": : :".to_vec()),
+                Just(b"\x00\xff\x7f".to_vec()),
+                vec(32u8..127u8, 0..24),
+            ],
+            0..24,
+        )
+    ) {
+        let bytes: Vec<u8> = chunks.concat();
+        let verdict = parse(&bytes);
+        check_verdict(&bytes, &verdict);
+    }
+
+    /// A near-valid request truncated at an arbitrary byte must never
+    /// parse as complete with a body it did not receive, and must never
+    /// panic while deciding that.
+    #[test]
+    fn truncated_valid_request_is_clean(cut in 0usize..94) {
+        let full = b"POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: 13\r\n\r\n{\"quick\":true} extra";
+        let bytes = &full[..cut.min(full.len())];
+        let verdict = parse(bytes);
+        check_verdict(bytes, &verdict);
+        if let Ok(req) = &verdict {
+            assert_eq!(req.body.len(), 13, "complete parse must honour Content-Length");
+        }
+    }
+
+    /// Oversized request lines are refused with a 4xx, not an allocation
+    /// blow-up, regardless of how far past the cap the peer pushes.
+    #[test]
+    fn oversized_request_line_is_4xx(extra in 1usize..4096) {
+        let mut bytes = b"GET /".to_vec();
+        bytes.resize(clock_serve::http::MAX_REQUEST_LINE + extra, b'a');
+        bytes.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let verdict = parse(&bytes);
+        check_verdict(&bytes, &verdict);
+        let Err(e) = verdict else {
+            panic!("oversized request line must not parse");
+        };
+        assert!(e.status().is_some(), "cap violations are reported, got {e:?}");
+    }
+
+    /// Content-Length lies — negative, non-numeric, larger than the body
+    /// cap — never panic and never yield a request larger than the cap.
+    #[test]
+    fn content_length_lies_are_contained(
+        decl in prop_oneof![
+            Just("-1".to_owned()),
+            Just("1048577".to_owned()),
+            Just("18446744073709551616".to_owned()),
+            Just("abc".to_owned()),
+            Just("".to_owned()),
+            (0u64..2048).prop_map(|n| n.to_string()),
+        ],
+        body_len in 0usize..64,
+    ) {
+        let mut bytes =
+            format!("POST /submit HTTP/1.1\r\nContent-Length: {decl}\r\n\r\n").into_bytes();
+        bytes.extend(std::iter::repeat_n(b'x', body_len));
+        let verdict = parse(&bytes);
+        check_verdict(&bytes, &verdict);
+        if let Ok(req) = &verdict {
+            assert!(req.body.len() <= clock_serve::http::MAX_BODY);
+            assert_eq!(req.body.len().to_string(), decl, "body must match declaration");
+        }
+    }
+}

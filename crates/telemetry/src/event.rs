@@ -170,9 +170,27 @@ impl EventLog {
             return Err(e);
         }
         if let Some(w) = &mut self.jsonl {
+            // Flush the buffer *and* fsync the file: a graceful shutdown
+            // (or a crash immediately after one) must never lose the last
+            // events of a run to the OS page cache.
             w.flush()?;
+            w.get_ref().sync_all()?;
         }
         Ok(())
+    }
+}
+
+impl Drop for EventLog {
+    /// Best-effort flush + fsync when the log is dropped without an
+    /// explicit [`flush`](EventLog::flush) — a process that exits through
+    /// the normal drop path keeps its tail events even if the caller
+    /// forgot to flush. Errors are ignored: there is nowhere left to
+    /// report them during drop.
+    fn drop(&mut self) {
+        if let Some(w) = &mut self.jsonl {
+            let _ = w.flush();
+            let _ = w.get_ref().sync_all();
+        }
     }
 }
 

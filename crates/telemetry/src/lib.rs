@@ -516,4 +516,33 @@ mod tests {
         assert!(matches!(records[0].event, Event::RoSaturation { .. }));
         let _ = std::fs::remove_file(&path);
     }
+
+    /// Dropping the last handle without an explicit flush must still land
+    /// every buffered event on disk — the last events of a run are exactly
+    /// the ones a crash-analysis needs, and a `BufWriter` silently dropped
+    /// mid-buffer used to lose them.
+    #[test]
+    fn jsonl_sink_flushes_on_drop() {
+        let path = std::env::temp_dir().join(format!(
+            "clock-telemetry-drop-sink-{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let t = Telemetry::to_jsonl(&path).expect("temp file");
+            for k in 0..32u64 {
+                t.emit(k as f64, Event::SensorDropout { sensor: k });
+            }
+            // no flush: the drop path owns persistence
+        }
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(
+            body.lines().count(),
+            32,
+            "all events must survive an unflushed drop"
+        );
+        for line in body.lines() {
+            let _: EventRecord = serde_json::from_str(line).expect("complete JSONL line");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
 }
